@@ -1,0 +1,376 @@
+package cachebox
+
+// This file holds one benchmark per table and figure of the paper's
+// evaluation (see DESIGN.md §3) plus ablation benches for the design
+// choices DESIGN.md §4 calls out. The benches exercise the exact code
+// paths the experiment harness uses, at a reduced (tiny) scale so they
+// run in seconds; cmd/cbx-experiments regenerates the full tables.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"cachebox/internal/baseline"
+	"cachebox/internal/cachesim"
+	"cachebox/internal/core"
+	"cachebox/internal/heatmap"
+	"cachebox/internal/metrics"
+	"cachebox/internal/multicachesim"
+	"cachebox/internal/tensor"
+	"cachebox/internal/workload"
+)
+
+// fixture is the shared tiny-scale setup: suites, a trained
+// conditioned model, and prebuilt heatmaps.
+type fixture struct {
+	pipe    Pipeline
+	modelC  *core.Model // conditioned (2 cache params)
+	train   []Benchmark
+	test    []Benchmark
+	access  []*Heatmap
+	params  []float32
+	cacheL1 CacheConfig
+}
+
+var (
+	fixOnce sync.Once
+	fix     *fixture
+)
+
+func getFixture(b *testing.B) *fixture {
+	b.Helper()
+	fixOnce.Do(func() {
+		p := NewPipeline()
+		p.Heatmap.Height, p.Heatmap.Width = 16, 16
+		p.Heatmap.WindowInstr = 150
+		p.MaxPairsPerBench = 6
+		suite := SpecLike(6, 1, 20000)
+		train, test := SplitBenchmarks(suite.Benchmarks, 0.8, 42)
+		cfg := CacheConfig{Sets: 64, Ways: 12}
+		ds, err := p.Dataset(train, []CacheConfig{cfg}, 0)
+		if err != nil {
+			panic(err)
+		}
+		mc := DefaultModelConfig()
+		mc.ImageSize = 16
+		mc.NGF, mc.NDF = 4, 4
+		m, err := NewModel(mc)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := m.Train(ds, TrainOptions{Epochs: 2, BatchSize: 4, Seed: 1}); err != nil {
+			panic(err)
+		}
+		var access []*Heatmap
+		for _, s := range ds {
+			access = append(access, s.Access)
+		}
+		fix = &fixture{
+			pipe: p, modelC: m, train: train, test: test,
+			access: access, params: CacheParams(cfg), cacheL1: cfg,
+		}
+	})
+	return fix
+}
+
+// BenchmarkHeatmapGeneration regenerates Figure 3/4's artifact: trace
+// → simulate → aligned access/miss heatmap pairs.
+func BenchmarkHeatmapGeneration(b *testing.B) {
+	suite := PolyLike(20000, 0.2)
+	bench := suite.Benchmarks[0]
+	tr := bench.Trace()
+	cfg := heatmap.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lt := cachesim.RunTrace(cachesim.New(cachesim.Config{Sets: 64, Ways: 12}), tr)
+		pairs, err := heatmap.BuildPair(cfg, lt.Accesses, lt.Misses)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pairs) == 0 {
+			b.Fatal("no pairs")
+		}
+	}
+}
+
+// BenchmarkFig7RQ1UnseenApps measures the per-benchmark evaluation
+// loop of Figure 7: predict an unseen benchmark's miss heatmaps and
+// recover its hit rate.
+func BenchmarkFig7RQ1UnseenApps(b *testing.B) {
+	f := getFixture(b)
+	bench := f.test[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.pipe.Evaluate(f.modelC, bench, f.cacheL1, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8RQ2MultiConfig sweeps the four trained configurations
+// with one conditioned model (Figure 8).
+func BenchmarkFig8RQ2MultiConfig(b *testing.B) {
+	f := getFixture(b)
+	cfgs := []CacheConfig{{Sets: 64, Ways: 12}, {Sets: 128, Ways: 12}, {Sets: 128, Ways: 6}, {Sets: 128, Ways: 3}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, cfg := range cfgs {
+			f.modelC.Predict(f.access[:4], CacheParams(cfg), 4)
+		}
+	}
+}
+
+// BenchmarkFig9RQ3UnseenConfig predicts under configurations absent
+// from training (Figure 9) — same cost profile, different parameters.
+func BenchmarkFig9RQ3UnseenConfig(b *testing.B) {
+	f := getFixture(b)
+	cfgs := []CacheConfig{{Sets: 256, Ways: 6}, {Sets: 256, Ways: 12}, {Sets: 32, Ways: 12}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, cfg := range cfgs {
+			f.modelC.Predict(f.access[:4], CacheParams(cfg), 4)
+		}
+	}
+}
+
+// BenchmarkFig10RQ4Hierarchy measures the three-level simulation and
+// per-level heatmap pipeline behind Figure 10.
+func BenchmarkFig10RQ4Hierarchy(b *testing.B) {
+	suite := SpecLike(2, 1, 20000)
+	tr := suite.Benchmarks[0].Trace()
+	cfgs := []CacheConfig{{Sets: 64, Ways: 12}, {Sets: 1024, Ways: 8}, {Sets: 2048, Ways: 16}}
+	hm := heatmap.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, err := cachesim.NewHierarchy(cfgs...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, lt := range cachesim.RunHierarchy(h, tr) {
+			if _, err := heatmap.BuildPair(hm, lt.Accesses, lt.Misses); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig11InferenceBatch is the paper's headline parallelism
+// result (Figure 11): batched inference folds each layer into one
+// large GEMM, so per-heatmap cost falls as the batch grows.
+func BenchmarkFig11InferenceBatch(b *testing.B) {
+	f := getFixture(b)
+	n := len(f.access)
+	for _, bs := range []int{1, 2, 4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("batch=%d", bs), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.modelC.Predict(f.access, f.params, bs)
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "heatmaps/s")
+		})
+	}
+}
+
+// BenchmarkFig11MultiCacheSim is Figure 11's comparison simulator.
+func BenchmarkFig11MultiCacheSim(b *testing.B) {
+	suite := SpecLike(2, 1, 50000)
+	tr := suite.Benchmarks[0].Trace()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := multicachesim.New(1, multicachesim.Config{Sets: 64, Ways: 12})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.RunTrace(tr)
+	}
+	b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds(), "accesses/s")
+}
+
+// BenchmarkFig12RQ6Response measures the scatter-point computation of
+// Figure 12 (true vs predicted hit rate for one benchmark/config).
+func BenchmarkFig12RQ6Response(b *testing.B) {
+	f := getFixture(b)
+	bench := f.test[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev, err := f.pipe.Evaluate(f.modelC, bench, f.cacheL1, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = ev.PredHit - ev.TrueHit
+	}
+}
+
+// BenchmarkFig13RQ7Prefetcher measures the prefetcher-modelling path
+// of Figure 13: record next-line prefetches, build paired heatmaps,
+// and score MSE/SSIM.
+func BenchmarkFig13RQ7Prefetcher(b *testing.B) {
+	suite := SpecLike(2, 1, 20000)
+	tr := suite.Benchmarks[0].Trace()
+	hm := heatmap.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := cachesim.New(cachesim.Config{Sets: 64, Ways: 12})
+		rec := &cachesim.RecordingPrefetcher{Inner: &cachesim.NextLinePrefetcher{}}
+		c.Prefetcher = rec
+		cachesim.RunTrace(c, tr)
+		pf := heatmap.PrefetchTrace("pf", rec.Records, 6)
+		am, err := heatmap.Build(hm, tr, tr.Accesses[0].IC)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pm, err := heatmap.Build(hm, pf, tr.Accesses[0].IC)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(am) > 0 && len(pm) > 0 {
+			if _, err := metrics.SSIM(am[0], pm[0], 0); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := metrics.MSE(am[0], pm[0]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig14HitRateHistogram measures the dataset analysis of
+// Figure 14: simulate the suite and histogram true hit rates.
+func BenchmarkFig14HitRateHistogram(b *testing.B) {
+	suite := SpecLike(4, 1, 10000)
+	traces := make([]*Trace, len(suite.Benchmarks))
+	for i, bench := range suite.Benchmarks {
+		traces[i] = bench.Trace()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var rates []float64
+		for _, tr := range traces {
+			lt := cachesim.RunTrace(cachesim.New(cachesim.Config{Sets: 64, Ways: 12}), tr)
+			rates = append(rates, lt.HitRate())
+		}
+		metrics.RateHistogram(rates, 20)
+	}
+}
+
+// BenchmarkTable1Baselines measures the statistical predictors of
+// Table 1 (HRD, STM, tabular synthesiser variants) on one trace.
+func BenchmarkTable1Baselines(b *testing.B) {
+	suite := SpecLike(2, 1, 20000)
+	tr := suite.Benchmarks[0].Trace()
+	cfg := cachesim.Config{Sets: 64, Ways: 12}
+	preds := []baseline.Predictor{
+		&baseline.HRD{},
+		&baseline.STM{Seed: 1},
+		&baseline.Tabular{Variant: baseline.TabBase, Seed: 1},
+		&baseline.Tabular{Variant: baseline.TabRD, Seed: 1},
+		&baseline.Tabular{Variant: baseline.TabIC, Seed: 1},
+	}
+	for _, p := range preds {
+		b.Run(p.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.PredictMissRate(tr, cfg)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationOverlap sweeps the heatmap overlap fraction
+// (DESIGN.md §4.1; the paper fixes 30%).
+func BenchmarkAblationOverlap(b *testing.B) {
+	suite := SpecLike(2, 1, 20000)
+	tr := suite.Benchmarks[0].Trace()
+	lt := cachesim.RunTrace(cachesim.New(cachesim.Config{Sets: 64, Ways: 12}), tr)
+	for _, ov := range []float64{0, 0.15, 0.30, 0.50} {
+		b.Run(fmt.Sprintf("overlap=%.0f%%", ov*100), func(b *testing.B) {
+			cfg := heatmap.DefaultConfig()
+			cfg.Overlap = ov
+			for i := 0; i < b.N; i++ {
+				pairs, err := heatmap.BuildPair(cfg, lt.Accesses, lt.Misses)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(len(pairs)), "pairs")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationModulo sweeps the heatmap height (the address
+// modulo; DESIGN.md §4.2; the paper picks 512).
+func BenchmarkAblationModulo(b *testing.B) {
+	suite := SpecLike(2, 1, 20000)
+	tr := suite.Benchmarks[0].Trace()
+	lt := cachesim.RunTrace(cachesim.New(cachesim.Config{Sets: 64, Ways: 12}), tr)
+	for _, h := range []int{16, 32, 64, 128} {
+		b.Run(fmt.Sprintf("modulo=%d", h), func(b *testing.B) {
+			cfg := heatmap.DefaultConfig()
+			cfg.Height = h
+			for i := 0; i < b.N; i++ {
+				if _, err := heatmap.BuildPair(cfg, lt.Accesses, lt.Misses); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLambda measures a training step at different L1
+// weights (DESIGN.md §4.4; the paper uses λ=150).
+func BenchmarkAblationLambda(b *testing.B) {
+	f := getFixture(b)
+	ds, err := f.pipe.Dataset(f.train[:2], []CacheConfig{f.cacheL1}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, lambda := range []float64{0, 50, 150, 300} {
+		b.Run(fmt.Sprintf("lambda=%.0f", lambda), func(b *testing.B) {
+			mc := DefaultModelConfig()
+			mc.ImageSize = 16
+			mc.NGF, mc.NDF = 4, 4
+			mc.Lambda = lambda
+			m, err := NewModel(mc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Train(ds[:4], TrainOptions{Epochs: 1, BatchSize: 4, Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGEMM measures the tensor substrate's core kernel at a
+// CB-GAN-typical shape.
+func BenchmarkGEMM(b *testing.B) {
+	a := make([]float32, 128*256)
+	bb := make([]float32, 256*256)
+	c := make([]float32, 128*256)
+	for i := range a {
+		a[i] = float32(i%7) - 3
+	}
+	for i := range bb {
+		bb[i] = float32(i%5) - 2
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.Gemm(c, a, bb, 128, 256, 256, false)
+	}
+	b.ReportMetric(2*128*256*256*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+}
+
+// BenchmarkCacheSimThroughput measures the ground-truth simulator, the
+// substrate every experiment's truth column depends on.
+func BenchmarkCacheSimThroughput(b *testing.B) {
+	suite := workload.SpecLike(2, 1, 50000)
+	tr := suite.Benchmarks[0].Trace()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cachesim.RunTrace(cachesim.New(cachesim.Config{Sets: 64, Ways: 12}), tr)
+	}
+	b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds(), "accesses/s")
+}

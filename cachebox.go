@@ -1,0 +1,154 @@
+// Package cachebox is the public API of CacheBox-Go, a from-scratch
+// reproduction of "Learning Architectural Cache Simulator Behaviour"
+// (IISWC 2025): memory-access traces are rendered as 2D heatmaps, a
+// cache is treated as a filter mapping access heatmaps to miss
+// heatmaps, and a conditional GAN (CB-GAN) learns that filter, enabling
+// batched, parallel cache-behaviour prediction.
+//
+// The package re-exports the building blocks (synthetic workload
+// suites, the trace-driven cache simulator, the heatmap pipeline and
+// the CB-GAN model) and provides a Pipeline type that wires them into
+// the paper's end-to-end workflow: benchmark → simulate → heatmap pairs
+// → train → predict → hit-rate evaluation.
+package cachebox
+
+import (
+	"cachebox/internal/baseline"
+	"cachebox/internal/cachesim"
+	"cachebox/internal/core"
+	"cachebox/internal/heatmap"
+	"cachebox/internal/metrics"
+	"cachebox/internal/simpoint"
+	"cachebox/internal/trace"
+	"cachebox/internal/workload"
+)
+
+// Re-exported fundamental types. The aliases make the internal
+// packages' documented types usable by downstream code without
+// breaking the module's internal layout.
+type (
+	// Access is one memory operation of a trace.
+	Access = trace.Access
+	// Trace is an in-memory access trace.
+	Trace = trace.Trace
+	// Benchmark is a synthetic program emitting a deterministic trace.
+	Benchmark = workload.Benchmark
+	// Suite is a named set of benchmarks.
+	Suite = workload.Suite
+	// CacheConfig describes one cache level (sets, ways, block size,
+	// policy).
+	CacheConfig = cachesim.Config
+	// Cache is a single set-associative simulated cache.
+	Cache = cachesim.Cache
+	// Hierarchy is a multi-level simulated cache hierarchy.
+	Hierarchy = cachesim.Hierarchy
+	// LevelTrace pairs the access stream entering a cache level with
+	// its miss sub-stream.
+	LevelTrace = cachesim.LevelTrace
+	// HeatmapConfig controls heatmap geometry (height, width, window,
+	// overlap).
+	HeatmapConfig = heatmap.Config
+	// Heatmap is one H×W image of access counts.
+	Heatmap = heatmap.Heatmap
+	// HeatmapPair is an aligned access/miss heatmap pair.
+	HeatmapPair = heatmap.Pair
+	// ModelConfig configures a CB-GAN instance.
+	ModelConfig = core.Config
+	// Model is a CB-GAN (generator + discriminator + codec).
+	Model = core.Model
+	// Sample is one CB-GAN training example.
+	Sample = core.Sample
+	// TrainOptions controls CB-GAN training.
+	TrainOptions = core.TrainOptions
+	// TrainStats reports per-epoch training losses.
+	TrainStats = core.TrainStats
+	// Predictor is a non-GAN miss-rate predictor (HRD, STM, tabular).
+	Predictor = baseline.Predictor
+	// Phases is a SimPoint-style phase analysis result.
+	Phases = simpoint.Phases
+	// PhaseConfig controls phase analysis.
+	PhaseConfig = simpoint.Config
+	// CostModel holds per-level latency/energy costs for AMAT and
+	// energy roll-ups.
+	CostModel = cachesim.CostModel
+)
+
+// Workload suite constructors.
+var (
+	// SpecLike builds the SPEC-CPU-style suite of phased programs.
+	SpecLike = workload.SpecLike
+	// LigraLike builds the graph-analytics suite.
+	LigraLike = workload.LigraLike
+	// PolyLike builds the dense linear-algebra/stencil suite.
+	PolyLike = workload.PolyLike
+	// ServerLike builds a server-workload suite (trees, hash tables,
+	// bulk copies) beyond the paper's three families.
+	ServerLike = workload.ServerLike
+	// SplitBenchmarks divides benchmarks 80/20 (or any fraction) into
+	// train and test sets, keeping all phases of a program together.
+	SplitBenchmarks = workload.Split
+)
+
+// Model and heatmap constructors.
+var (
+	// NewModel builds a fresh CB-GAN.
+	NewModel = core.NewModel
+	// LoadModel reads a serialised CB-GAN.
+	LoadModel = core.Load
+	// LoadModelFile reads a serialised CB-GAN from a path.
+	LoadModelFile = core.LoadFile
+	// DefaultModelConfig is the scaled-down CB-GAN configuration.
+	DefaultModelConfig = core.DefaultConfig
+	// PaperModelConfig is the paper's full-scale configuration.
+	PaperModelConfig = core.PaperConfig
+	// DefaultHeatmapConfig is the scaled-down heatmap geometry.
+	DefaultHeatmapConfig = heatmap.DefaultConfig
+	// PaperHeatmapConfig is the paper's 512×512 geometry.
+	PaperHeatmapConfig = heatmap.PaperConfig
+	// CacheParams converts a cache config into CB-GAN conditioning
+	// inputs.
+	CacheParams = core.CacheParams
+	// NewCache constructs a simulated cache.
+	NewCache = cachesim.New
+	// NewHierarchy constructs a simulated (non-inclusive) hierarchy.
+	NewHierarchy = cachesim.NewHierarchy
+	// NewHierarchyWithInclusion constructs a hierarchy with an
+	// explicit content policy (inclusive / exclusive / non-inclusive).
+	NewHierarchyWithInclusion = cachesim.NewHierarchyWithInclusion
+	// RunTrace drives a cache over a trace, returning access and miss
+	// streams.
+	RunTrace = cachesim.RunTrace
+	// RunHierarchy drives a hierarchy over a trace.
+	RunHierarchy = cachesim.RunHierarchy
+	// BuildHeatmaps converts a trace into overlapping heatmaps.
+	BuildHeatmaps = heatmap.Build
+	// BuildHeatmapPairs converts access/miss streams into aligned
+	// heatmap pairs.
+	BuildHeatmapPairs = heatmap.BuildPair
+	// HeatmapHitRate computes the hit rate implied by access and miss
+	// heatmap sequences.
+	HeatmapHitRate = heatmap.HitRate
+	// WriteHeatmapPNG renders a heatmap to a PNG file.
+	WriteHeatmapPNG = heatmap.WritePNG
+	// WriteDiffPNG renders a prediction-vs-truth difference image.
+	WriteDiffPNG = heatmap.WriteDiffPNG
+	// AbsPctDiff is the paper's accuracy metric (percentage points).
+	AbsPctDiff = metrics.AbsPctDiff
+	// SSIM is the structural-similarity metric of RQ7.
+	SSIM = metrics.SSIM
+	// MSE is the mean-squared-error metric of RQ7.
+	MSE = metrics.MSE
+	// AnalyzePhases runs SimPoint-style phase analysis on a trace.
+	AnalyzePhases = simpoint.Analyze
+	// DefaultPhaseConfig returns phase-analysis defaults.
+	DefaultPhaseConfig = simpoint.DefaultConfig
+	// AMAT computes average memory access time from hierarchy usage.
+	AMAT = cachesim.AMAT
+	// TypicalCostModel returns textbook per-level latency/energy costs.
+	TypicalCostModel = cachesim.TypicalCostModel
+	// UsageFromLevelTraces derives hierarchy usage from a simulated run.
+	UsageFromLevelTraces = cachesim.UsageFromLevelTraces
+	// UsageFromRates derives hierarchy usage from predicted per-level
+	// miss rates (the CB-GAN output form).
+	UsageFromRates = cachesim.UsageFromRates
+)

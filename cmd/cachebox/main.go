@@ -1,0 +1,413 @@
+// Command cachebox is the CacheBox-Go CLI: it generates synthetic
+// benchmark traces, simulates caches over them, renders heatmaps,
+// trains CB-GAN models, runs inference and evaluates predictions.
+//
+// Usage:
+//
+//	cachebox <subcommand> [flags]
+//
+// Subcommands:
+//
+//	list      list the available synthetic benchmarks
+//	trace     generate a benchmark's trace (binary format) to a file
+//	simulate  run a trace (or benchmark) through a cache and print stats
+//	heatmap   render a benchmark's access/miss heatmaps to PNG files
+//	train     train a CB-GAN on a suite and save the model
+//	evaluate  evaluate a trained model on held-out benchmarks
+//	phases    SimPoint-style phase analysis of a benchmark or trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"cachebox"
+	"cachebox/internal/cachesim"
+	"cachebox/internal/simpoint"
+	"cachebox/internal/trace"
+	"cachebox/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
+	case "simulate":
+		err = cmdSimulate(os.Args[2:])
+	case "heatmap":
+		err = cmdHeatmap(os.Args[2:])
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "evaluate":
+		err = cmdEvaluate(os.Args[2:])
+	case "phases":
+		err = cmdPhases(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "cachebox: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cachebox:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: cachebox <list|trace|simulate|heatmap|train|evaluate|phases> [flags]
+run "cachebox <subcommand> -h" for per-subcommand flags`)
+}
+
+// allBenches builds every suite at the given budget.
+func allBenches(ops int, scale float64) []workload.Benchmark {
+	return cachebox.FlattenSuites(cachebox.AllSuites(20, 2, ops, scale))
+}
+
+// parseCacheConfig parses "64set-12way" notation.
+func parseCacheConfig(s string) (cachesim.Config, error) {
+	var cfg cachesim.Config
+	parts := strings.Split(s, "-")
+	if len(parts) != 2 || !strings.HasSuffix(parts[0], "set") || !strings.HasSuffix(parts[1], "way") {
+		return cfg, fmt.Errorf("cache config %q: want e.g. 64set-12way", s)
+	}
+	sets, err := strconv.Atoi(strings.TrimSuffix(parts[0], "set"))
+	if err != nil {
+		return cfg, fmt.Errorf("cache config %q: %v", s, err)
+	}
+	ways, err := strconv.Atoi(strings.TrimSuffix(parts[1], "way"))
+	if err != nil {
+		return cfg, fmt.Errorf("cache config %q: %v", s, err)
+	}
+	cfg = cachesim.Config{Sets: sets, Ways: ways}
+	return cfg, cfg.Validate()
+}
+
+func cmdList(args []string) error {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	ops := fs.Int("ops", 120000, "accesses per benchmark")
+	scale := fs.Float64("suite-scale", 0.25, "problem-size scale for ligra/poly suites")
+	fs.Parse(args)
+	for _, b := range allBenches(*ops, *scale) {
+		fmt.Printf("%-36s suite=%-10s group=%s\n", b.Name, b.Suite, b.Group)
+	}
+	return nil
+}
+
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	name := fs.String("bench", "", "benchmark name (see: cachebox list)")
+	out := fs.String("o", "", "output file (default <bench>.cbxt)")
+	ops := fs.Int("ops", 120000, "accesses per benchmark")
+	scale := fs.Float64("suite-scale", 0.25, "problem-size scale")
+	fs.Parse(args)
+	b, err := workload.ByName(allBenches(*ops, *scale), *name)
+	if err != nil {
+		return err
+	}
+	tr := b.Trace()
+	path := *out
+	if path == "" {
+		path = strings.ReplaceAll(b.Name, "/", "_") + ".cbxt"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.WriteBinary(f, tr); err != nil {
+		return err
+	}
+	st := trace.Summarize(tr, 64)
+	fmt.Printf("wrote %s: %s\n", path, st)
+	return f.Close()
+}
+
+func cmdSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	name := fs.String("bench", "", "benchmark name")
+	traceFile := fs.String("trace", "", "binary trace file (alternative to -bench)")
+	cfgStr := fs.String("cache", "64set-12way", "cache geometry")
+	levels := fs.String("hierarchy", "", "comma-separated level list, e.g. 64set-12way,1024set-8way,2048set-16way")
+	policy := fs.String("policy", "lru", "replacement policy: lru, fifo, random, tree-plru, srrip, drrip")
+	prefetch := fs.String("prefetch", "", "prefetcher: '', next-line, stride")
+	ops := fs.Int("ops", 120000, "accesses per benchmark")
+	scale := fs.Float64("suite-scale", 0.25, "problem-size scale")
+	fs.Parse(args)
+
+	var tr *trace.Trace
+	switch {
+	case *traceFile != "":
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr, err = trace.ReadBinary(f)
+		if err != nil {
+			return err
+		}
+	case *name != "":
+		b, err := workload.ByName(allBenches(*ops, *scale), *name)
+		if err != nil {
+			return err
+		}
+		tr = b.Trace()
+	default:
+		return fmt.Errorf("simulate: need -bench or -trace")
+	}
+
+	pol, ok := cachesim.ParsePolicy(*policy)
+	if !ok {
+		return fmt.Errorf("unknown policy %q", *policy)
+	}
+	if *levels != "" {
+		var cfgs []cachesim.Config
+		for _, s := range strings.Split(*levels, ",") {
+			cfg, err := parseCacheConfig(strings.TrimSpace(s))
+			if err != nil {
+				return err
+			}
+			cfg.Policy = pol
+			cfgs = append(cfgs, cfg)
+		}
+		h, err := cachesim.NewHierarchy(cfgs...)
+		if err != nil {
+			return err
+		}
+		for i, lt := range cachesim.RunHierarchy(h, tr) {
+			fmt.Printf("L%d %-18s accesses=%-9d hits=%-9d misses=%-9d hit-rate=%.4f\n",
+				i+1, lt.Config, lt.Stats.Accesses, lt.Stats.Hits, lt.Stats.Misses, lt.HitRate())
+		}
+		return nil
+	}
+	cfg, err := parseCacheConfig(*cfgStr)
+	if err != nil {
+		return err
+	}
+	cfg.Policy = pol
+	c := cachesim.New(cfg)
+	switch *prefetch {
+	case "next-line":
+		c.Prefetcher = &cachesim.NextLinePrefetcher{}
+	case "stride":
+		c.Prefetcher = &cachesim.StridePrefetcher{}
+	case "":
+	default:
+		return fmt.Errorf("unknown prefetcher %q", *prefetch)
+	}
+	lt := cachesim.RunTrace(c, tr)
+	s := lt.Stats
+	fmt.Printf("%s policy=%s accesses=%d hits=%d misses=%d hit-rate=%.4f writebacks=%d",
+		cfg, pol, s.Accesses, s.Hits, s.Misses, lt.HitRate(), s.Writebacks)
+	if c.Prefetcher != nil {
+		fmt.Printf(" prefetch-fills=%d prefetch-hits=%d", s.PrefetchFill, s.PrefetchHit)
+	}
+	fmt.Println()
+	return nil
+}
+
+func cmdHeatmap(args []string) error {
+	fs := flag.NewFlagSet("heatmap", flag.ExitOnError)
+	name := fs.String("bench", "", "benchmark name")
+	cfgStr := fs.String("cache", "64set-12way", "cache geometry")
+	outDir := fs.String("o", "heatmaps", "output directory")
+	count := fs.Int("n", 2, "number of heatmap pairs to render")
+	ops := fs.Int("ops", 120000, "accesses per benchmark")
+	scale := fs.Float64("suite-scale", 0.25, "problem-size scale")
+	fs.Parse(args)
+	b, err := workload.ByName(allBenches(*ops, *scale), *name)
+	if err != nil {
+		return err
+	}
+	cfg, err := parseCacheConfig(*cfgStr)
+	if err != nil {
+		return err
+	}
+	p := cachebox.NewPipeline()
+	pairs, hr, err := p.BenchPairs(b, cfg)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	if *count > len(pairs) {
+		*count = len(pairs)
+	}
+	for i := 0; i < *count; i++ {
+		ap := filepath.Join(*outDir, fmt.Sprintf("access-%d.png", i))
+		mp := filepath.Join(*outDir, fmt.Sprintf("miss-%d.png", i))
+		if err := cachebox.WriteHeatmapPNG(ap, pairs[i].Access); err != nil {
+			return err
+		}
+		if err := cachebox.WriteHeatmapPNG(mp, pairs[i].Miss); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s and %s\n", ap, mp)
+	}
+	fmt.Printf("%s on %s: true hit rate %.4f, %d pairs total\n", b.Name, cfg, hr, len(pairs))
+	return nil
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	out := fs.String("o", "model.cbgan", "output model file")
+	cfgStr := fs.String("cache", "64set-12way", "comma-separated cache geometries to train on")
+	epochs := fs.Int("epochs", 50, "training epochs")
+	batch := fs.Int("batch", 8, "batch size")
+	ops := fs.Int("ops", 120000, "accesses per benchmark")
+	scale := fs.Float64("suite-scale", 0.25, "problem-size scale")
+	seed := fs.Int64("seed", 42, "train/test split seed")
+	fs.Parse(args)
+	var cfgs []cachesim.Config
+	for _, s := range strings.Split(*cfgStr, ",") {
+		cfg, err := parseCacheConfig(strings.TrimSpace(s))
+		if err != nil {
+			return err
+		}
+		cfgs = append(cfgs, cfg)
+	}
+	benches := allBenches(*ops, *scale)
+	train, _ := cachebox.SplitBenchmarks(benches, 0.8, *seed)
+	p := cachebox.NewPipeline()
+	p.MaxPairsPerBench = 24
+	ds, err := p.Dataset(train, cfgs, 0.65)
+	if err != nil {
+		return err
+	}
+	m, err := cachebox.NewModel(cachebox.DefaultModelConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("training on %d samples from %d benchmarks x %d configs\n", len(ds), len(train), len(cfgs))
+	if _, err := m.Train(ds, cachebox.TrainOptions{Epochs: *epochs, BatchSize: *batch, Seed: 1, Log: os.Stdout}); err != nil {
+		return err
+	}
+	if err := m.SaveFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("saved model to %s\n", *out)
+	return nil
+}
+
+func cmdEvaluate(args []string) error {
+	fs := flag.NewFlagSet("evaluate", flag.ExitOnError)
+	modelPath := fs.String("model", "model.cbgan", "trained model file")
+	cfgStr := fs.String("cache", "64set-12way", "cache geometry to evaluate")
+	batch := fs.Int("batch", 8, "inference batch size")
+	ops := fs.Int("ops", 120000, "accesses per benchmark")
+	scale := fs.Float64("suite-scale", 0.25, "problem-size scale")
+	seed := fs.Int64("seed", 42, "train/test split seed (must match training)")
+	fs.Parse(args)
+	m, err := cachebox.LoadModelFile(*modelPath)
+	if err != nil {
+		return err
+	}
+	cfg, err := parseCacheConfig(*cfgStr)
+	if err != nil {
+		return err
+	}
+	benches := allBenches(*ops, *scale)
+	_, test := cachebox.SplitBenchmarks(benches, 0.8, *seed)
+	p := cachebox.NewPipeline()
+	p.MaxPairsPerBench = 24
+	var diffs []float64
+	for _, b := range test {
+		ev, err := p.Evaluate(m, b, cfg, *batch)
+		if err != nil {
+			fmt.Printf("%-36s skipped: %v\n", b.Name, err)
+			continue
+		}
+		if ev.TrueHit < 0.65 {
+			fmt.Printf("%-36s excluded (true hit %.4f below data-regime threshold)\n", b.Name, ev.TrueHit)
+			continue
+		}
+		fmt.Printf("%-36s true=%.4f pred=%.4f |diff|=%.2f%%\n", ev.Bench, ev.TrueHit, ev.PredHit, ev.AbsPctDiff)
+		diffs = append(diffs, ev.AbsPctDiff)
+	}
+	var sum float64
+	for _, d := range diffs {
+		sum += d
+	}
+	if len(diffs) > 0 {
+		fmt.Printf("average absolute percentage difference: %.2f%% over %d benchmarks\n", sum/float64(len(diffs)), len(diffs))
+	}
+	return nil
+}
+
+func cmdPhases(args []string) error {
+	fs := flag.NewFlagSet("phases", flag.ExitOnError)
+	name := fs.String("bench", "", "benchmark name")
+	traceFile := fs.String("trace", "", "binary trace file (alternative to -bench)")
+	interval := fs.Int("interval", 10000, "accesses per interval")
+	k := fs.Int("k", 4, "number of phases")
+	cfgStr := fs.String("cache", "64set-12way", "cache geometry for the rate comparison")
+	ops := fs.Int("ops", 120000, "accesses per benchmark")
+	scale := fs.Float64("suite-scale", 0.25, "problem-size scale")
+	fs.Parse(args)
+	var tr *trace.Trace
+	switch {
+	case *traceFile != "":
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr, err = trace.ReadBinary(f)
+		if err != nil {
+			return err
+		}
+	case *name != "":
+		b, err := workload.ByName(allBenches(*ops, *scale), *name)
+		if err != nil {
+			return err
+		}
+		tr = b.Trace()
+	default:
+		return fmt.Errorf("phases: need -bench or -trace")
+	}
+	scfg := simpoint.DefaultConfig()
+	scfg.IntervalLen = *interval
+	scfg.K = *k
+	ph, err := simpoint.Analyze(tr, scfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d intervals, %d phases\n", tr.Name, len(ph.Intervals), len(ph.Representatives))
+	for c, rep := range ph.Representatives {
+		iv := ph.Intervals[rep]
+		fmt.Printf("  phase %d: weight %.2f, representative interval %d (accesses [%d,%d))\n",
+			c, ph.Weights[c], iv.Index, iv.Lo, iv.Hi)
+	}
+	ccfg, err := parseCacheConfig(*cfgStr)
+	if err != nil {
+		return err
+	}
+	full := cachesim.RunTrace(cachesim.New(ccfg), tr).Stats.MissRate()
+	est := ph.EstimateRate(tr, func(sub *trace.Trace) float64 {
+		return cachesim.RunTrace(cachesim.New(ccfg), sub).Stats.MissRate()
+	})
+	fmt.Printf("full-trace miss rate %.4f, simpoint estimate %.4f (|diff| %.2f%%)\n",
+		full, est, 100*abs64(full-est))
+	return nil
+}
+
+func abs64(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

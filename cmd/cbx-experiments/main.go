@@ -1,0 +1,82 @@
+// Command cbx-experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	cbx-experiments [-scale tiny|small|full] [-artifacts DIR] [-run LIST]
+//
+// -run selects a comma-separated subset of
+// fig3,fig7,fig8,fig9,fig10,fig11,fig12,fig13,fig14,table1 (default:
+// all). Trained models are cached under the artifacts directory, so
+// experiments sharing a model (fig8/fig9/fig11/fig12/table1) train it
+// once.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cachebox/internal/harness"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "small", "experiment scale: tiny, small or full")
+	artifacts := flag.String("artifacts", "artifacts", "directory for cached models and rendered figures")
+	run := flag.String("run", "all", "comma-separated experiments to run (fig3,fig7,...,fig14,table1)")
+	flag.Parse()
+
+	scale, err := harness.ParseScale(*scaleFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	r := harness.NewRunner(scale, *artifacts, os.Stdout)
+
+	all := []string{"fig3", "fig14", "fig7", "fig8", "fig9", "fig12", "fig11", "fig10", "fig13", "table1", "ablation"}
+	want := map[string]bool{}
+	if *run == "all" || *run == "" {
+		for _, e := range all {
+			want[e] = true
+		}
+	} else {
+		for _, e := range strings.Split(*run, ",") {
+			want[strings.TrimSpace(e)] = true
+		}
+	}
+
+	steps := []struct {
+		name string
+		fn   func() error
+	}{
+		{"fig3", func() error { _, err := r.Fig3(); return err }},
+		{"fig14", func() error { _, err := r.Fig14(); return err }},
+		{"fig7", func() error { _, err := r.Fig7(); return err }},
+		{"fig8", func() error { _, err := r.Fig8(); return err }},
+		{"fig9", func() error { _, err := r.Fig9(); return err }},
+		{"fig12", func() error { _, err := r.Fig12(); return err }},
+		{"fig11", func() error { _, err := r.Fig11(); return err }},
+		{"fig10", func() error { _, err := r.Fig10(); return err }},
+		{"fig13", func() error { _, err := r.Fig13(); return err }},
+		{"table1", func() error { _, err := r.Table1(); return err }},
+		{"ablation", func() error { _, err := r.Ablations(); return err }},
+	}
+	failed := 0
+	for _, s := range steps {
+		if !want[s.name] {
+			continue
+		}
+		fmt.Printf("\n===== %s (scale=%s) =====\n", s.name, scale)
+		t0 := time.Now()
+		if err := s.fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", s.name, err)
+			failed++
+			continue
+		}
+		fmt.Printf("===== %s done in %.1fs =====\n", s.name, time.Since(t0).Seconds())
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,166 @@
+// Command cbx-trace inspects binary traces and compares baseline
+// miss-rate predictors against the ground-truth simulator — the
+// "everything except the GAN" workbench.
+//
+// Usage:
+//
+//	cbx-trace stats   -trace FILE [-block N]
+//	cbx-trace reuse   -trace FILE [-max N]
+//	cbx-trace predict -trace FILE -cache 64set-12way
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cachebox/internal/baseline"
+	"cachebox/internal/cachesim"
+	"cachebox/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "reuse":
+		err = cmdReuse(os.Args[2:])
+	case "predict":
+		err = cmdPredict(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cbx-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: cbx-trace <stats|reuse|predict> -trace FILE [flags]")
+}
+
+func load(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.ReadBinary(f)
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	path := fs.String("trace", "", "binary trace file")
+	block := fs.Uint64("block", 64, "block size for footprint accounting")
+	fs.Parse(args)
+	tr, err := load(*path)
+	if err != nil {
+		return err
+	}
+	st := trace.Summarize(tr, *block)
+	fmt.Printf("%s: %s\n", tr.Name, st)
+	fmt.Println("top strides (bytes: occurrences):")
+	for _, sc := range st.TopStrides {
+		fmt.Printf("  %8d: %d\n", sc.Stride, sc.Count)
+	}
+	return nil
+}
+
+func cmdReuse(args []string) error {
+	fs := flag.NewFlagSet("reuse", flag.ExitOnError)
+	path := fs.String("trace", "", "binary trace file")
+	maxTracked := fs.Int("max", 4096, "maximum tracked stack distance")
+	fs.Parse(args)
+	tr, err := load(*path)
+	if err != nil {
+		return err
+	}
+	dists := baseline.StackDistances(tr, 6)
+	h := baseline.NewHistogram(dists, *maxTracked)
+	fmt.Printf("%s: %d accesses, %d cold, %d beyond %d\n", tr.Name, h.Total, h.Cold, h.Beyond, *maxTracked)
+	// Print a log-bucketed summary.
+	for lo := 0; lo < *maxTracked; lo = nextBucket(lo) {
+		hi := nextBucket(lo)
+		if hi > *maxTracked {
+			hi = *maxTracked
+		}
+		n := 0
+		for d := lo; d < hi; d++ {
+			n += h.Counts[d]
+		}
+		if n > 0 {
+			fmt.Printf("  dist [%5d,%5d): %d\n", lo, hi, n)
+		}
+	}
+	return nil
+}
+
+func nextBucket(lo int) int {
+	if lo == 0 {
+		return 1
+	}
+	return lo * 2
+}
+
+func cmdPredict(args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	path := fs.String("trace", "", "binary trace file")
+	cfgStr := fs.String("cache", "64set-12way", "cache geometry")
+	fs.Parse(args)
+	tr, err := load(*path)
+	if err != nil {
+		return err
+	}
+	cfg, err := parseCacheConfig(*cfgStr)
+	if err != nil {
+		return err
+	}
+	truth := cachesim.RunTrace(cachesim.New(cfg), tr).Stats.MissRate()
+	fmt.Printf("%s on %s: true miss rate %.4f\n", tr.Name, cfg, truth)
+	preds := []baseline.Predictor{
+		&baseline.HRD{},
+		&baseline.STM{Seed: 1},
+		&baseline.Tabular{Variant: baseline.TabBase, Seed: 1},
+		&baseline.Tabular{Variant: baseline.TabRD, Seed: 1},
+		&baseline.Tabular{Variant: baseline.TabIC, Seed: 1},
+	}
+	for _, p := range preds {
+		got := p.PredictMissRate(tr, cfg)
+		fmt.Printf("  %-10s predicted %.4f (|diff| %.2f%%)\n", p.Name(), got, 100*abs(got-truth))
+	}
+	return nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func parseCacheConfig(s string) (cachesim.Config, error) {
+	var cfg cachesim.Config
+	parts := strings.Split(s, "-")
+	if len(parts) != 2 || !strings.HasSuffix(parts[0], "set") || !strings.HasSuffix(parts[1], "way") {
+		return cfg, fmt.Errorf("cache config %q: want e.g. 64set-12way", s)
+	}
+	sets, err := strconv.Atoi(strings.TrimSuffix(parts[0], "set"))
+	if err != nil {
+		return cfg, err
+	}
+	ways, err := strconv.Atoi(strings.TrimSuffix(parts[1], "way"))
+	if err != nil {
+		return cfg, err
+	}
+	cfg = cachesim.Config{Sets: sets, Ways: ways}
+	return cfg, cfg.Validate()
+}

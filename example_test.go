@@ -1,0 +1,63 @@
+package cachebox_test
+
+import (
+	"fmt"
+
+	"cachebox"
+)
+
+// ExampleSpecLike shows benchmark suite construction: suites are
+// deterministic generators, so no trace files are needed.
+func ExampleSpecLike() {
+	suite := cachebox.SpecLike(2, 2, 1000)
+	for _, b := range suite.Benchmarks {
+		fmt.Println(b.Name, b.Group)
+	}
+	// Output:
+	// spec/600.xzish-400B spec/600.xzish
+	// spec/600.xzish-573B spec/600.xzish
+	// spec/601.lbmish-400B spec/601.lbmish
+	// spec/601.lbmish-573B spec/601.lbmish
+}
+
+// ExampleRunTrace shows ground-truth simulation: a trace driven
+// through a 64set-12way L1 yields the paired access/miss streams the
+// heatmap pipeline consumes.
+func ExampleRunTrace() {
+	suite := cachebox.PolyLike(20000, 0.3)
+	bench := suite.Benchmarks[0]
+	lt := cachebox.RunTrace(cachebox.NewCache(cachebox.CacheConfig{Sets: 64, Ways: 12}), bench.Trace())
+	fmt.Printf("accesses=%d misses=%d\n", lt.Accesses.Len(), lt.Misses.Len())
+	fmt.Printf("hit rate above 90%%: %v\n", lt.HitRate() > 0.9)
+	// Output:
+	// accesses=20000 misses=303
+	// hit rate above 90%: true
+}
+
+// ExampleBuildHeatmapPairs shows the heatmap pipeline: aligned
+// access/miss pairs with 30% overlap, whose pixel sums recover the
+// hit rate.
+func ExampleBuildHeatmapPairs() {
+	suite := cachebox.PolyLike(60000, 0.3)
+	lt := cachebox.RunTrace(cachebox.NewCache(cachebox.CacheConfig{Sets: 64, Ways: 12}),
+		suite.Benchmarks[0].Trace())
+	cfg := cachebox.DefaultHeatmapConfig()
+	pairs, err := cachebox.BuildHeatmapPairs(cfg, lt.Accesses, lt.Misses)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("pairs: %v, image %dx%d, overlap %d columns\n",
+		len(pairs) > 0, cfg.Height, cfg.Width, cfg.OverlapCols())
+	// Output:
+	// pairs: true, image 32x32, overlap 10 columns
+}
+
+// ExampleCacheParams shows the conditioning inputs the generator's
+// dense path receives (paper §3.2.3).
+func ExampleCacheParams() {
+	p := cachebox.CacheParams(cachebox.CacheConfig{Sets: 64, Ways: 12})
+	fmt.Printf("%.4f\n", p)
+	// Output:
+	// [0.3750 0.4481]
+}

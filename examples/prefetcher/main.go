@@ -1,0 +1,108 @@
+// Prefetcher demonstrates the paper's RQ7 extension: CacheBox's
+// heatmap representation is not cache-specific — here a CB-GAN learns
+// the behaviour of a next-line prefetcher, mapping access heatmaps to
+// the heatmaps of the addresses the prefetcher issues, evaluated with
+// MSE and SSIM as in Figure 13.
+//
+// Run it with:
+//
+//	go run ./examples/prefetcher
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cachebox"
+	"cachebox/internal/cachesim"
+	"cachebox/internal/core"
+	"cachebox/internal/heatmap"
+)
+
+func main() {
+	suite := cachebox.SpecLike(8, 1, 60000)
+	train, test := cachebox.SplitBenchmarks(suite.Benchmarks, 0.8, 13)
+	l1 := cachebox.CacheConfig{Sets: 64, Ways: 12}
+	hm := cachebox.DefaultHeatmapConfig()
+	params := cachebox.CacheParams(l1)
+
+	// Build access→prefetch heatmap pairs: run each benchmark through
+	// an L1 with a recording next-line prefetcher and heatmap both the
+	// demand stream and the prefetched addresses.
+	buildPairs := func(b cachebox.Benchmark) []heatmap.Pair {
+		c := cachesim.New(l1)
+		rec := &cachesim.RecordingPrefetcher{Inner: &cachesim.NextLinePrefetcher{}}
+		c.Prefetcher = rec
+		tr := b.Trace()
+		cachesim.RunTrace(c, tr)
+		pf := heatmap.PrefetchTrace(b.Name+".prefetch", rec.Records, 6)
+		base := tr.Accesses[0].IC
+		am, err := heatmap.Build(hm, tr, base)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pm, err := heatmap.Build(hm, pf, base)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n := len(am)
+		if len(pm) < n {
+			n = len(pm)
+		}
+		if n > 10 {
+			n = 10
+		}
+		pairs := make([]heatmap.Pair, n)
+		for i := 0; i < n; i++ {
+			pairs[i] = heatmap.Pair{Access: am[i], Miss: pm[i]}
+		}
+		return pairs
+	}
+
+	var dataset []cachebox.Sample
+	for _, b := range train {
+		for _, pr := range buildPairs(b) {
+			dataset = append(dataset, cachebox.Sample{Access: pr.Access, Miss: pr.Miss, Params: params, Bench: b.Name})
+		}
+	}
+	fmt.Printf("training on %d access/prefetch pairs...\n", len(dataset))
+
+	cfg := cachebox.DefaultModelConfig()
+	cfg.MissPixelCap = cfg.PixelCap // prefetch maps are as dense as access maps
+	model, err := core.NewModel(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := model.Train(dataset, cachebox.TrainOptions{Epochs: 12, BatchSize: 8, Seed: 3}); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-30s %12s %8s\n", "benchmark", "MSE", "SSIM")
+	for _, b := range test {
+		pairs := buildPairs(b)
+		if len(pairs) == 0 {
+			continue
+		}
+		var access, real []*cachebox.Heatmap
+		for _, pr := range pairs {
+			access = append(access, pr.Access)
+			real = append(real, pr.Miss)
+		}
+		pred := model.Predict(access, params, 8)
+		var mse, ssim float64
+		for i := range pred {
+			mv, err := cachebox.MSE(pred[i], real[i])
+			if err != nil {
+				log.Fatal(err)
+			}
+			sv, err := cachebox.SSIM(pred[i], real[i], float64(cfg.PixelCap))
+			if err != nil {
+				log.Fatal(err)
+			}
+			mse += mv / float64(len(pred))
+			ssim += sv / float64(len(pred))
+		}
+		fmt.Printf("%-30s %12.4f %8.4f\n", b.Name, mse, ssim)
+	}
+	fmt.Println("\nHigh SSIM / low MSE means the GAN reproduces the prefetcher's address stream.")
+}

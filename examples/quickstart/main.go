@@ -1,0 +1,73 @@
+// Quickstart walks the full CacheBox workflow end-to-end on a tiny
+// budget: generate a synthetic benchmark suite, simulate an L1 cache
+// to get ground-truth miss streams, convert them to heatmap pairs,
+// train a small CB-GAN, and predict an unseen benchmark's hit rate.
+//
+// Run it with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"cachebox"
+)
+
+func main() {
+	// 1. Build a benchmark suite. Suites are deterministic, so there
+	// are no trace files to download.
+	suite := cachebox.SpecLike(8, 1, 40000)
+	train, test := cachebox.SplitBenchmarks(suite.Benchmarks, 0.8, 7)
+	fmt.Printf("suite: %d benchmarks (%d train, %d held out)\n",
+		len(suite.Benchmarks), len(train), len(test))
+
+	// 2. Pick the cache to learn: the paper's 64set-12way L1D.
+	cacheCfg := cachebox.CacheConfig{Sets: 64, Ways: 12}
+
+	// 3. Simulate + build aligned access/miss heatmap pairs for every
+	// training benchmark. The pipeline applies the paper's §6.1
+	// high-data-regime rule (L1 hit rate above 65%).
+	pipe := cachebox.NewPipeline()
+	pipe.MaxPairsPerBench = 12
+	dataset, err := pipe.Dataset(train, []cachebox.CacheConfig{cacheCfg}, 0.65)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d heatmap pairs\n", len(dataset))
+
+	// 4. Train a small CB-GAN. (The default config trades accuracy
+	// for speed; see cmd/cbx-experiments for the calibrated runs.)
+	modelCfg := cachebox.DefaultModelConfig()
+	model, err := cachebox.NewModel(modelCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("training (a couple of minutes on one CPU core)...")
+	if _, err := model.Train(dataset, cachebox.TrainOptions{
+		Epochs: 15, BatchSize: 8, Seed: 1, Log: os.Stdout,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Predict hit rates for the held-out benchmarks and compare
+	// against the simulator's ground truth.
+	fmt.Println("\nheld-out benchmarks:")
+	for _, b := range test {
+		ev, err := pipe.Evaluate(model, b, cacheCfg, 8)
+		if err != nil {
+			fmt.Printf("  %-30s skipped: %v\n", b.Name, err)
+			continue
+		}
+		fmt.Printf("  %-30s true hit %.4f  predicted %.4f  |diff| %.2f%%\n",
+			ev.Bench, ev.TrueHit, ev.PredHit, ev.AbsPctDiff)
+	}
+
+	// 6. Models serialise to a single file.
+	if err := model.SaveFile("quickstart.cbgan"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nmodel saved to quickstart.cbgan")
+}

@@ -1,0 +1,3 @@
+module cachebox
+
+go 1.22

@@ -1,0 +1,154 @@
+package baseline
+
+import (
+	"math"
+
+	"cachebox/internal/cachesim"
+	"cachebox/internal/trace"
+)
+
+// HRD predicts miss rates from a single stack-distance profile using
+// the binomial set-conflict model, in the spirit of hierarchical reuse
+// distance (Maeda et al., HPCA'17): one trace pass yields predictions
+// for every (sets, ways) point and every hierarchy level.
+type HRD struct {
+	// MaxTracked bounds the per-distance histogram; distances beyond
+	// it are treated as certain misses (default 1<<16).
+	MaxTracked int
+}
+
+// Name implements Predictor.
+func (h *HRD) Name() string { return "hrd" }
+
+func (h *HRD) maxTracked() int {
+	if h.MaxTracked > 0 {
+		return h.MaxTracked
+	}
+	return 1 << 16
+}
+
+// blockBits returns the kernel granularity for cfg.
+func blockBits(cfg cachesim.Config) uint {
+	bs := cfg.BlockSize
+	if bs == 0 {
+		bs = 64
+	}
+	bits := uint(0)
+	for ; bs > 1; bs >>= 1 {
+		bits++
+	}
+	return bits
+}
+
+// PredictMissRate implements Predictor.
+func (h *HRD) PredictMissRate(t *trace.Trace, cfg cachesim.Config) float64 {
+	if t.Len() == 0 {
+		return 0
+	}
+	dists := StackDistances(t, blockBits(cfg))
+	return h.predictFromDistances(dists, cfg)
+}
+
+// PredictHierarchy predicts the per-level miss rates of a hierarchy
+// from one stack-distance pass — the "hierarchical" in HRD. The level
+// i>0 prediction is conditional on missing all previous levels, using
+// the exclusive-distance approximation (a level filters all accesses
+// with distance below its capacity).
+func (h *HRD) PredictHierarchy(t *trace.Trace, cfgs []cachesim.Config) []float64 {
+	out := make([]float64, len(cfgs))
+	if t.Len() == 0 || len(cfgs) == 0 {
+		return out
+	}
+	dists := StackDistances(t, blockBits(cfgs[0]))
+	for i, cfg := range cfgs {
+		out[i] = h.predictFromDistances(dists, cfg)
+	}
+	// Convert absolute miss ratios into per-level local miss rates:
+	// level i sees only the misses of level i-1.
+	for i := len(out) - 1; i > 0; i-- {
+		if out[i-1] > 0 {
+			local := out[i] / out[i-1]
+			if local > 1 {
+				local = 1
+			}
+			out[i] = local
+		} else {
+			out[i] = 0
+		}
+	}
+	return out
+}
+
+// predictFromDistances applies the binomial conflict model: an access
+// with stack distance D hits a (S sets, A ways) LRU cache with
+// probability P[Binomial(D, 1/S) < A].
+func (h *HRD) predictFromDistances(dists []int, cfg cachesim.Config) float64 {
+	sets, ways := cfg.Sets, cfg.Ways
+	cap := sets * ways
+	maxTracked := h.maxTracked()
+	// Cache hit probabilities per distance (they repeat heavily).
+	memo := make(map[int]float64)
+	hitProb := func(d int) float64 {
+		if d < ways {
+			return 1 // fewer intervening blocks than ways: always hits
+		}
+		if d >= 4*cap {
+			return 0
+		}
+		if p, ok := memo[d]; ok {
+			return p
+		}
+		p := binomialCDFBelow(d, 1/float64(sets), ways)
+		memo[d] = p
+		return p
+	}
+	var hits float64
+	total := 0
+	for _, d := range dists {
+		total++
+		if d < 0 || d >= maxTracked {
+			continue // cold or far: miss
+		}
+		hits += hitProb(d)
+	}
+	return 1 - hits/float64(total)
+}
+
+// binomialCDFBelow returns P[X < k] for X ~ Binomial(n, p), switching
+// to a normal approximation for large n.
+func binomialCDFBelow(n int, p float64, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if k > n {
+		return 1
+	}
+	if n > 512 {
+		// Normal approximation with continuity correction.
+		mean := float64(n) * p
+		sd := math.Sqrt(float64(n) * p * (1 - p))
+		if sd == 0 {
+			if float64(k) > mean {
+				return 1
+			}
+			return 0
+		}
+		z := (float64(k) - 0.5 - mean) / sd
+		return 0.5 * (1 + math.Erf(z/math.Sqrt2))
+	}
+	// Exact summation in log space for stability.
+	q := 1 - p
+	logP, logQ := math.Log(p), math.Log(q)
+	var cdf float64
+	logC := 0.0 // log C(n, 0)
+	for i := 0; i < k; i++ {
+		if i > 0 {
+			logC += math.Log(float64(n-i+1)) - math.Log(float64(i))
+		}
+		cdf += math.Exp(logC + float64(i)*logP + float64(n-i)*logQ)
+	}
+	if cdf > 1 {
+		cdf = 1
+	}
+	return cdf
+}

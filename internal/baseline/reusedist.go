@@ -1,0 +1,109 @@
+// Package baseline implements the comparison predictors of the paper's
+// Table 1: hierarchical reuse distance (HRD), the spatio-temporal
+// memory cloning model (STM), and a Markov tabular trace synthesiser
+// standing in for the REaLTabFormer variants. Each predicts a cache's
+// miss rate for a trace without running the GAN.
+package baseline
+
+import (
+	"cachebox/internal/cachesim"
+	"cachebox/internal/trace"
+)
+
+// Predictor estimates the miss rate a cache configuration would incur
+// on a trace.
+type Predictor interface {
+	// Name identifies the predictor.
+	Name() string
+	// PredictMissRate returns the estimated demand miss rate in [0,1].
+	PredictMissRate(t *trace.Trace, cfg cachesim.Config) float64
+}
+
+// fenwick is a binary indexed tree over time positions, used to count
+// distinct blocks between two accesses in O(log n).
+type fenwick struct {
+	n    int
+	tree []int
+}
+
+func newFenwick(n int) *fenwick { return &fenwick{n: n, tree: make([]int, n+1)} }
+
+func (f *fenwick) add(i, delta int) {
+	for i++; i <= f.n; i += i & (-i) {
+		f.tree[i] += delta
+	}
+}
+
+// prefix returns the sum over [0, i].
+func (f *fenwick) prefix(i int) int {
+	s := 0
+	for i++; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return s
+}
+
+// rangeSum returns the sum over [lo, hi].
+func (f *fenwick) rangeSum(lo, hi int) int {
+	if lo > hi {
+		return 0
+	}
+	s := f.prefix(hi)
+	if lo > 0 {
+		s -= f.prefix(lo - 1)
+	}
+	return s
+}
+
+// StackDistances computes the LRU stack distance (number of distinct
+// blocks accessed since the previous access to the same block) of each
+// access, at the given block granularity. Cold accesses get distance
+// -1. This is Mattson's algorithm with a Fenwick tree: O(N log N).
+func StackDistances(t *trace.Trace, blockBits uint) []int {
+	n := t.Len()
+	out := make([]int, n)
+	last := make(map[uint64]int, 1024)
+	bit := newFenwick(n)
+	for i, a := range t.Accesses {
+		b := a.Addr >> blockBits
+		if prev, ok := last[b]; ok {
+			out[i] = bit.rangeSum(prev+1, i-1)
+			bit.add(prev, -1)
+		} else {
+			out[i] = -1
+		}
+		bit.add(i, 1)
+		last[b] = i
+	}
+	return out
+}
+
+// Histogram buckets stack distances; index len(counts)-1 collects cold
+// accesses.
+type Histogram struct {
+	// Counts[d] is the number of accesses with stack distance d, for
+	// d < MaxTracked; larger distances and cold misses are in Beyond
+	// and Cold.
+	Counts []int
+	Beyond int
+	Cold   int
+	Total  int
+}
+
+// NewHistogram builds a stack-distance histogram tracking distances up
+// to maxTracked.
+func NewHistogram(dists []int, maxTracked int) *Histogram {
+	h := &Histogram{Counts: make([]int, maxTracked)}
+	for _, d := range dists {
+		h.Total++
+		switch {
+		case d < 0:
+			h.Cold++
+		case d < maxTracked:
+			h.Counts[d]++
+		default:
+			h.Beyond++
+		}
+	}
+	return h
+}

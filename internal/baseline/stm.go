@@ -1,0 +1,155 @@
+package baseline
+
+import (
+	"math/rand"
+	"sort"
+
+	"cachebox/internal/cachesim"
+	"cachebox/internal/trace"
+)
+
+// STM clones a workload's spatio-temporal behaviour (after Awad &
+// Solihin, HPCA'14): it profiles the trace's stride patterns and
+// temporal reuse, generates a synthetic clone with the same statistics,
+// and reports the clone's simulated miss rate.
+type STM struct {
+	// Seed drives clone generation.
+	Seed int64
+	// CloneLen is the synthetic trace length; 0 clones at the original
+	// length (capped at 200k accesses for speed).
+	CloneLen int
+}
+
+// Name implements Predictor.
+func (s *STM) Name() string { return "stm" }
+
+// stmProfile captures the statistics STM clones.
+type stmProfile struct {
+	// strideCDF is the empirical distribution over the most common
+	// address deltas (block granularity).
+	strides []int64
+	weights []float64 // cumulative
+	// footprint is the number of distinct blocks.
+	footprint int
+	// reuseCDF approximates temporal reuse: probability that the next
+	// access revisits a recently used block, per recency bucket.
+	reuseProb float64
+	recentLen int
+}
+
+// profile builds the STM statistics from a trace.
+func (s *STM) profile(t *trace.Trace, bits uint) stmProfile {
+	p := stmProfile{recentLen: 64}
+	if t.Len() < 2 {
+		p.footprint = 1
+		p.strides = []int64{1}
+		p.weights = []float64{1}
+		return p
+	}
+	strideCount := make(map[int64]int)
+	blocks := make(map[uint64]struct{})
+	prev := t.Accesses[0].Addr >> bits
+	blocks[prev] = struct{}{}
+	reuse := 0
+	recent := make([]uint64, 0, p.recentLen)
+	for _, a := range t.Accesses[1:] {
+		b := a.Addr >> bits
+		strideCount[int64(b)-int64(prev)]++
+		blocks[b] = struct{}{}
+		for _, r := range recent {
+			if r == b {
+				reuse++
+				break
+			}
+		}
+		recent = append(recent, b)
+		if len(recent) > p.recentLen {
+			recent = recent[1:]
+		}
+		prev = b
+	}
+	p.footprint = len(blocks)
+	p.reuseProb = float64(reuse) / float64(t.Len()-1)
+	type sc struct {
+		s int64
+		c int
+	}
+	var scs []sc
+	for st, c := range strideCount {
+		scs = append(scs, sc{st, c})
+	}
+	sort.Slice(scs, func(i, j int) bool { return scs[i].c > scs[j].c })
+	if len(scs) > 64 {
+		scs = scs[:64] // keep the dominant strides, as STM's tables do
+	}
+	total := 0.0
+	for _, e := range scs {
+		total += float64(e.c)
+	}
+	cum := 0.0
+	for _, e := range scs {
+		cum += float64(e.c) / total
+		p.strides = append(p.strides, e.s)
+		p.weights = append(p.weights, cum)
+	}
+	return p
+}
+
+// Clone generates a synthetic trace with the profiled statistics.
+func (s *STM) Clone(t *trace.Trace, cfg cachesim.Config) *trace.Trace {
+	bits := blockBits(cfg)
+	p := s.profile(t, bits)
+	n := s.CloneLen
+	if n <= 0 {
+		n = t.Len()
+	}
+	if n > 200000 {
+		n = 200000
+	}
+	rng := rand.New(rand.NewSource(s.Seed + 11))
+	clone := &trace.Trace{Name: t.Name + ".stm-clone"}
+	cur := int64(1 << 20)
+	lo, hi := cur, cur+int64(p.footprint)
+	recent := make([]int64, 0, p.recentLen)
+	var ic uint64
+	for i := 0; i < n; i++ {
+		ic += 3
+		var b int64
+		if len(recent) > 0 && rng.Float64() < p.reuseProb {
+			b = recent[rng.Intn(len(recent))]
+		} else {
+			// Sample a stride from the empirical CDF.
+			x := rng.Float64()
+			idx := sort.SearchFloat64s(p.weights, x)
+			if idx >= len(p.strides) {
+				idx = len(p.strides) - 1
+			}
+			b = cur + p.strides[idx]
+			// Wrap within the footprint region to preserve working-set
+			// size.
+			if b < lo {
+				b = hi - (lo - b)
+			}
+			if b >= hi {
+				b = lo + (b-hi)%int64(p.footprint)
+			}
+		}
+		cur = b
+		recent = append(recent, b)
+		if len(recent) > p.recentLen {
+			recent = recent[1:]
+		}
+		clone.Append(uint64(b)<<bits, ic, false)
+	}
+	return clone
+}
+
+// PredictMissRate implements Predictor: simulate the clone.
+func (s *STM) PredictMissRate(t *trace.Trace, cfg cachesim.Config) float64 {
+	if t.Len() == 0 {
+		return 0
+	}
+	clone := s.Clone(t, cfg)
+	lt := cachesim.RunTrace(cachesim.New(cfg), clone)
+	return lt.Stats.MissRate()
+}

@@ -1,0 +1,240 @@
+package baseline
+
+import (
+	"math/rand"
+	"sort"
+
+	"cachebox/internal/cachesim"
+	"cachebox/internal/trace"
+)
+
+// TabularVariant selects the conditioning scheme of the tabular
+// synthesiser, mirroring the three REaLTabFormer rows of the paper's
+// Table 1.
+type TabularVariant int
+
+const (
+	// TabBase samples address deltas independently from the empirical
+	// distribution (no conditioning).
+	TabBase TabularVariant = iota
+	// TabRD conditions delta sampling on a coarse reuse-distance
+	// bucket, the "RD" variant.
+	TabRD
+	// TabIC conditions delta sampling on the previous delta (a
+	// first-order Markov chain), the "IC" variant.
+	TabIC
+)
+
+// String names the variant as in Table 1.
+func (v TabularVariant) String() string {
+	switch v {
+	case TabBase:
+		return "tab-base"
+	case TabRD:
+		return "tab-rd"
+	case TabIC:
+		return "tab-ic"
+	default:
+		return "tab-unknown"
+	}
+}
+
+// Tabular is a statistical trace synthesiser: it learns a (possibly
+// conditioned) distribution over block-address deltas from the real
+// trace, generates a synthetic workload, and reports the synthetic
+// workload's simulated miss rate — the methodology of memory workload
+// synthesis via generative models.
+type Tabular struct {
+	Variant TabularVariant
+	Seed    int64
+	// SynthLen caps the synthetic trace length (default: original
+	// length, capped at 200k).
+	SynthLen int
+}
+
+// Name implements Predictor.
+func (tb *Tabular) Name() string { return tb.Variant.String() }
+
+// cdf is a sampled categorical distribution over deltas.
+type cdf struct {
+	deltas []int64
+	cum    []float64
+}
+
+func buildCDF(counts map[int64]int, keep int) cdf {
+	type dc struct {
+		d int64
+		c int
+	}
+	var all []dc
+	for d, c := range counts {
+		all = append(all, dc{d, c})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].c > all[j].c })
+	if len(all) > keep {
+		all = all[:keep]
+	}
+	total := 0.0
+	for _, e := range all {
+		total += float64(e.c)
+	}
+	var out cdf
+	cum := 0.0
+	for _, e := range all {
+		cum += float64(e.c) / total
+		out.deltas = append(out.deltas, e.d)
+		out.cum = append(out.cum, cum)
+	}
+	return out
+}
+
+func (c cdf) sample(rng *rand.Rand) int64 {
+	if len(c.deltas) == 0 {
+		return 1
+	}
+	idx := sort.SearchFloat64s(c.cum, rng.Float64())
+	if idx >= len(c.deltas) {
+		idx = len(c.deltas) - 1
+	}
+	return c.deltas[idx]
+}
+
+// contextKey buckets the conditioning context per variant.
+func contextKey(v TabularVariant, prevDelta int64, rdBucket int) int64 {
+	switch v {
+	case TabRD:
+		return int64(rdBucket)
+	case TabIC:
+		// Bucket deltas coarsely so the table stays small.
+		switch {
+		case prevDelta == 0:
+			return 0
+		case prevDelta == 1:
+			return 1
+		case prevDelta == -1:
+			return 2
+		case prevDelta > 1 && prevDelta <= 16:
+			return 3
+		case prevDelta < -1 && prevDelta >= -16:
+			return 4
+		case prevDelta > 16:
+			return 5
+		default:
+			return 6
+		}
+	default:
+		return 0
+	}
+}
+
+// rdBucketOf coarsens a stack distance into 6 buckets.
+func rdBucketOf(d int) int {
+	switch {
+	case d < 0:
+		return 5
+	case d < 8:
+		return 0
+	case d < 64:
+		return 1
+	case d < 512:
+		return 2
+	case d < 4096:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// Synthesize learns the conditioned delta model and generates a
+// synthetic trace.
+func (tb *Tabular) Synthesize(t *trace.Trace, cfg cachesim.Config) *trace.Trace {
+	bits := blockBits(cfg)
+	n := tb.SynthLen
+	if n <= 0 {
+		n = t.Len()
+	}
+	if n > 200000 {
+		n = 200000
+	}
+	out := &trace.Trace{Name: t.Name + "." + tb.Name()}
+	if t.Len() < 2 {
+		return out
+	}
+	var dists []int
+	if tb.Variant == TabRD {
+		dists = StackDistances(t, bits)
+	}
+	// Learn per-context delta counts.
+	tables := make(map[int64]map[int64]int)
+	prev := int64(t.Accesses[0].Addr >> bits)
+	prevDelta := int64(0)
+	footprint := make(map[int64]struct{})
+	footprint[prev] = struct{}{}
+	for i, a := range t.Accesses[1:] {
+		b := int64(a.Addr >> bits)
+		d := b - prev
+		rb := 0
+		if dists != nil {
+			rb = rdBucketOf(dists[i+1])
+		}
+		key := contextKey(tb.Variant, prevDelta, rb)
+		m := tables[key]
+		if m == nil {
+			m = make(map[int64]int)
+			tables[key] = m
+		}
+		m[d]++
+		prev, prevDelta = b, d
+		footprint[b] = struct{}{}
+	}
+	cdfs := make(map[int64]cdf, len(tables))
+	for k, m := range tables {
+		cdfs[k] = buildCDF(m, 128)
+	}
+	// Generate.
+	rng := rand.New(rand.NewSource(tb.Seed + int64(tb.Variant)*97 + 29))
+	cur := int64(1 << 20)
+	lo, hi := cur, cur+int64(len(footprint))
+	prevDelta = 0
+	rb := 0
+	var ic uint64
+	for i := 0; i < n; i++ {
+		ic += 3
+		key := contextKey(tb.Variant, prevDelta, rb)
+		c, ok := cdfs[key]
+		if !ok {
+			for _, any := range cdfs {
+				c = any
+				break
+			}
+		}
+		d := c.sample(rng)
+		b := cur + d
+		if b < lo {
+			b = hi - (lo - b)
+		}
+		if hi > lo && b >= hi {
+			b = lo + (b-hi)%int64(hi-lo)
+		}
+		out.Append(uint64(b)<<bits, ic, false)
+		prevDelta = d
+		cur = b
+		if tb.Variant == TabRD {
+			rb = rng.Intn(6) // the synthesiser has no true RD; sample contexts
+		}
+	}
+	return out
+}
+
+// PredictMissRate implements Predictor.
+func (tb *Tabular) PredictMissRate(t *trace.Trace, cfg cachesim.Config) float64 {
+	if t.Len() == 0 {
+		return 0
+	}
+	synth := tb.Synthesize(t, cfg)
+	if synth.Len() == 0 {
+		return 0
+	}
+	lt := cachesim.RunTrace(cachesim.New(cfg), synth)
+	return lt.Stats.MissRate()
+}

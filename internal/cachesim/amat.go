@@ -1,0 +1,121 @@
+package cachesim
+
+import "fmt"
+
+// This file implements the latency/energy roll-up the paper's
+// conclusion lists as future work ("modelling additional parameters
+// like power and latency"): given per-level hit/miss counts — from the
+// simulator's ground truth or from CB-GAN's predicted miss heatmaps —
+// compute average memory access time (AMAT) and access energy.
+
+// LevelCost models one hierarchy level's access latency (cycles) and
+// energy (pJ per access).
+type LevelCost struct {
+	LatencyCycles float64
+	EnergyPJ      float64
+}
+
+// CostModel holds per-level costs plus the memory (miss-everywhere)
+// cost. Typical() returns textbook defaults.
+type CostModel struct {
+	// Levels[i] is the cost of an access that reaches level i.
+	Levels []LevelCost
+	// Memory is the cost of going to DRAM.
+	Memory LevelCost
+}
+
+// TypicalCostModel returns textbook three-level costs: L1 4 cycles,
+// L2 14, L3 40, DRAM 200; energies 10/30/100/1000 pJ.
+func TypicalCostModel() CostModel {
+	return CostModel{
+		Levels: []LevelCost{
+			{LatencyCycles: 4, EnergyPJ: 10},
+			{LatencyCycles: 14, EnergyPJ: 30},
+			{LatencyCycles: 40, EnergyPJ: 100},
+		},
+		Memory: LevelCost{LatencyCycles: 200, EnergyPJ: 1000},
+	}
+}
+
+// Validate reports whether the model covers depth levels.
+func (c CostModel) Validate(depth int) error {
+	if len(c.Levels) < depth {
+		return fmt.Errorf("cachesim: cost model covers %d levels, hierarchy has %d", len(c.Levels), depth)
+	}
+	return nil
+}
+
+// Usage summarises how many accesses were served at each point of the
+// hierarchy. Accesses[i] is the number of demand accesses presented to
+// level i; the last level's misses go to memory.
+type Usage struct {
+	// Accesses[i] is the access count entering level i.
+	Accesses []float64
+	// Misses[i] is the miss count at level i.
+	Misses []float64
+}
+
+// UsageFromLevelTraces derives Usage from a simulated hierarchy run.
+func UsageFromLevelTraces(lts []LevelTrace) Usage {
+	u := Usage{}
+	for _, lt := range lts {
+		u.Accesses = append(u.Accesses, float64(lt.Stats.Accesses))
+		u.Misses = append(u.Misses, float64(lt.Stats.Misses))
+	}
+	return u
+}
+
+// UsageFromRates builds Usage from per-level local miss rates and a
+// total access count — the form CB-GAN predictions arrive in (a
+// predicted hit rate per level).
+func UsageFromRates(totalAccesses float64, localMissRates []float64) Usage {
+	u := Usage{}
+	in := totalAccesses
+	for _, mr := range localMissRates {
+		if mr < 0 {
+			mr = 0
+		}
+		if mr > 1 {
+			mr = 1
+		}
+		u.Accesses = append(u.Accesses, in)
+		miss := in * mr
+		u.Misses = append(u.Misses, miss)
+		in = miss
+	}
+	return u
+}
+
+// AMAT computes the average memory access time in cycles: every
+// access pays its level's latency on the path down, and misses at the
+// last level pay the memory latency.
+func AMAT(u Usage, cm CostModel) (float64, error) {
+	if err := cm.Validate(len(u.Accesses)); err != nil {
+		return 0, err
+	}
+	if len(u.Accesses) == 0 || u.Accesses[0] == 0 {
+		return 0, fmt.Errorf("cachesim: empty usage")
+	}
+	var cycles float64
+	for i := range u.Accesses {
+		cycles += u.Accesses[i] * cm.Levels[i].LatencyCycles
+	}
+	cycles += u.Misses[len(u.Misses)-1] * cm.Memory.LatencyCycles
+	return cycles / u.Accesses[0], nil
+}
+
+// Energy computes the total access energy in pJ under the same
+// traversal model.
+func Energy(u Usage, cm CostModel) (float64, error) {
+	if err := cm.Validate(len(u.Accesses)); err != nil {
+		return 0, err
+	}
+	var pj float64
+	for i := range u.Accesses {
+		pj += u.Accesses[i] * cm.Levels[i].EnergyPJ
+	}
+	if n := len(u.Misses); n > 0 {
+		pj += u.Misses[n-1] * cm.Memory.EnergyPJ
+	}
+	return pj, nil
+}

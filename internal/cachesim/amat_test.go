@@ -1,0 +1,123 @@
+package cachesim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAMATHandComputed(t *testing.T) {
+	// 100 accesses, 10 L1 misses, 2 L2 misses.
+	u := Usage{Accesses: []float64{100, 10}, Misses: []float64{10, 2}}
+	cm := CostModel{
+		Levels: []LevelCost{{LatencyCycles: 4}, {LatencyCycles: 14}},
+		Memory: LevelCost{LatencyCycles: 200},
+	}
+	got, err := AMAT(u, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (100*4 + 10*14 + 2*200) / 100 = (400+140+400)/100 = 9.4
+	if math.Abs(got-9.4) > 1e-9 {
+		t.Fatalf("AMAT = %v, want 9.4", got)
+	}
+}
+
+func TestEnergyHandComputed(t *testing.T) {
+	u := Usage{Accesses: []float64{100, 10}, Misses: []float64{10, 2}}
+	cm := CostModel{
+		Levels: []LevelCost{{EnergyPJ: 10}, {EnergyPJ: 30}},
+		Memory: LevelCost{EnergyPJ: 1000},
+	}
+	got, err := Energy(u, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100*10 + 10*30 + 2*1000 = 3300
+	if math.Abs(got-3300) > 1e-9 {
+		t.Fatalf("Energy = %v, want 3300", got)
+	}
+}
+
+func TestAMATValidation(t *testing.T) {
+	cm := TypicalCostModel()
+	if _, err := AMAT(Usage{}, cm); err == nil {
+		t.Fatal("empty usage accepted")
+	}
+	four := Usage{Accesses: []float64{1, 1, 1, 1}, Misses: []float64{1, 1, 1, 1}}
+	if _, err := AMAT(four, cm); err == nil {
+		t.Fatal("undersized cost model accepted")
+	}
+}
+
+func TestUsageFromLevelTracesMatchesRates(t *testing.T) {
+	h, err := NewHierarchy(
+		Config{Sets: 16, Ways: 4},
+		Config{Sets: 64, Ways: 8},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := randomTrace(20000, 2048, 7)
+	lts := RunHierarchy(h, tr)
+	uTruth := UsageFromLevelTraces(lts)
+	// Rebuild from local miss rates: must agree.
+	rates := []float64{lts[0].Stats.MissRate(), lts[1].Stats.MissRate()}
+	uRates := UsageFromRates(float64(tr.Len()), rates)
+	for i := range uTruth.Accesses {
+		if math.Abs(uTruth.Accesses[i]-uRates.Accesses[i]) > 1 {
+			t.Fatalf("level %d accesses %v vs %v", i, uTruth.Accesses[i], uRates.Accesses[i])
+		}
+		if math.Abs(uTruth.Misses[i]-uRates.Misses[i]) > 1 {
+			t.Fatalf("level %d misses %v vs %v", i, uTruth.Misses[i], uRates.Misses[i])
+		}
+	}
+	cm := TypicalCostModel()
+	a1, err := AMAT(uTruth, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := AMAT(uRates, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a1-a2) > 0.01 {
+		t.Fatalf("AMAT mismatch %v vs %v", a1, a2)
+	}
+	// Sanity: AMAT between pure-L1-hit (4) and pure-memory (218).
+	if a1 < 4 || a1 > 218 {
+		t.Fatalf("AMAT %v out of physical range", a1)
+	}
+}
+
+func TestUsageFromRatesClamps(t *testing.T) {
+	u := UsageFromRates(100, []float64{-0.5, 1.5})
+	if u.Misses[0] != 0 {
+		t.Fatalf("negative miss rate not clamped: %v", u.Misses[0])
+	}
+	if u.Misses[1] != 0 { // level 1 sees 0 accesses
+		t.Fatalf("miss count %v", u.Misses[1])
+	}
+}
+
+func TestBetterCacheLowersAMAT(t *testing.T) {
+	tr := randomTrace(30000, 1024, 8)
+	cm := TypicalCostModel()
+	amatFor := func(l1Ways int) float64 {
+		h, err := NewHierarchy(
+			Config{Sets: 16, Ways: l1Ways},
+			Config{Sets: 256, Ways: 8},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := UsageFromLevelTraces(RunHierarchy(h, tr))
+		a, err := AMAT(u, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	if small, big := amatFor(1), amatFor(16); big >= small {
+		t.Fatalf("bigger L1 did not lower AMAT: %v vs %v", big, small)
+	}
+}

@@ -1,0 +1,54 @@
+package cachesim
+
+// BimodalPredictor is the classic 2-bit-saturating-counter branch
+// predictor ChampSim configures by default (the paper's setting). It
+// does not affect trace-driven cache behaviour but completes the
+// substrate: a frontend consuming branch outcomes can be simulated and
+// its accuracy reported alongside cache statistics.
+type BimodalPredictor struct {
+	table []uint8
+	mask  uint64
+
+	Predictions uint64
+	Correct     uint64
+}
+
+// NewBimodalPredictor builds a predictor with 2^bits counters.
+func NewBimodalPredictor(bits uint) *BimodalPredictor {
+	n := uint64(1) << bits
+	t := make([]uint8, n)
+	for i := range t {
+		t[i] = 2 // weakly taken, the conventional reset state
+	}
+	return &BimodalPredictor{table: t, mask: n - 1}
+}
+
+// Predict returns the current prediction for the branch at pc.
+func (b *BimodalPredictor) Predict(pc uint64) bool {
+	return b.table[pc&b.mask] >= 2
+}
+
+// Update trains the predictor with the actual outcome and accounts
+// accuracy.
+func (b *BimodalPredictor) Update(pc uint64, taken bool) {
+	b.Predictions++
+	if b.Predict(pc) == taken {
+		b.Correct++
+	}
+	ctr := &b.table[pc&b.mask]
+	if taken {
+		if *ctr < 3 {
+			*ctr++
+		}
+	} else if *ctr > 0 {
+		*ctr--
+	}
+}
+
+// Accuracy returns the fraction of correct predictions.
+func (b *BimodalPredictor) Accuracy() float64 {
+	if b.Predictions == 0 {
+		return 0
+	}
+	return float64(b.Correct) / float64(b.Predictions)
+}

@@ -1,0 +1,117 @@
+package cachesim
+
+// GHBPrefetcher is a global-history-buffer delta-correlation
+// prefetcher (Nesbit & Smith, HPCA'04): it keeps the recent block
+// stream in a circular buffer, and on each access looks up the last
+// occurrence of the current (delta1, delta2) pair to replay the deltas
+// that followed it. It generalises stride prefetching to repeating
+// non-constant patterns (e.g. pointer-walk loops with fixed shapes).
+type GHBPrefetcher struct {
+	// Size is the history depth (default 256).
+	Size int
+	// Degree is how many predicted blocks to issue (default 2).
+	Degree int
+
+	hist  []uint64 // recent block addresses, circular
+	head  int
+	count int
+	// index maps a delta-pair signature to the history position after
+	// its last occurrence.
+	index map[uint64]int
+	buf   []uint64
+}
+
+// Name implements Prefetcher.
+func (p *GHBPrefetcher) Name() string { return "ghb-dc" }
+
+func (p *GHBPrefetcher) size() int {
+	if p.Size > 0 {
+		return p.Size
+	}
+	return 256
+}
+
+func (p *GHBPrefetcher) degree() int {
+	if p.Degree > 0 {
+		return p.Degree
+	}
+	return 2
+}
+
+// at returns the history entry i steps before the head (1 = most
+// recent).
+func (p *GHBPrefetcher) at(back int) (uint64, bool) {
+	if back > p.count {
+		return 0, false
+	}
+	idx := (p.head - back + len(p.hist)) % len(p.hist)
+	return p.hist[idx], true
+}
+
+// sig hashes a delta pair.
+func deltaSig(d1, d2 int64) uint64 {
+	return (uint64(d1)*0x9E3779B97F4A7C15 ^ uint64(d2)) * 0xBF58476D1CE4E5B9
+}
+
+// Observe implements Prefetcher.
+func (p *GHBPrefetcher) Observe(block uint64, hit bool) []uint64 {
+	n := p.size()
+	if p.hist == nil {
+		p.hist = make([]uint64, n)
+		p.index = make(map[uint64]int)
+	}
+	// Current deltas before appending.
+	var out []uint64
+	prev1, ok1 := p.at(1)
+	prev2, ok2 := p.at(2)
+	if ok1 && ok2 {
+		d1 := int64(block) - int64(prev1)
+		d2 := int64(prev1) - int64(prev2)
+		if d1 != 0 || d2 != 0 {
+			sig := deltaSig(d1, d2)
+			if pos, ok := p.index[sig]; ok {
+				// Replay the deltas that followed the previous
+				// occurrence.
+				out = p.replay(pos, block)
+			}
+			// Record this occurrence: the current block is about to
+			// be written at head.
+			p.index[sig] = p.head
+		}
+	}
+	p.hist[p.head] = block
+	p.head = (p.head + 1) % len(p.hist)
+	if p.count < len(p.hist) {
+		p.count++
+	}
+	return out
+}
+
+// replay walks history from pos forward, converting consecutive
+// entries into deltas applied from base.
+func (p *GHBPrefetcher) replay(pos int, base uint64) []uint64 {
+	if p.buf == nil {
+		p.buf = make([]uint64, 0, 8)
+	}
+	p.buf = p.buf[:0]
+	degree := p.degree()
+	cur := int64(base)
+	// hist[pos] is the block that completed the matched context; the
+	// deltas to replay are the ones that FOLLOWED it.
+	prev := int64(p.hist[pos%len(p.hist)])
+	for i := 1; i <= degree; i++ {
+		idx := (pos + i) % len(p.hist)
+		if idx == p.head { // ran into the write frontier
+			break
+		}
+		next := int64(p.hist[idx])
+		delta := next - prev
+		prev = next
+		cur += delta
+		if cur < 0 {
+			break
+		}
+		p.buf = append(p.buf, uint64(cur))
+	}
+	return p.buf
+}

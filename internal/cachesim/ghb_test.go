@@ -1,0 +1,73 @@
+package cachesim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGHBLearnsRepeatingDeltaPattern(t *testing.T) {
+	// A repeating non-constant delta pattern (+1, +1, +6) that a plain
+	// stride prefetcher cannot lock onto.
+	p := &GHBPrefetcher{Degree: 2}
+	deltas := []int64{1, 1, 6}
+	block := uint64(1000)
+	issued := 0
+	correct := 0
+	for i := 0; i < 300; i++ {
+		got := p.Observe(block, false)
+		// The true future from here: the next two pattern deltas.
+		exp1 := block + uint64(deltas[i%len(deltas)])
+		exp2 := exp1 + uint64(deltas[(i+1)%len(deltas)])
+		for _, g := range got {
+			issued++
+			if g == exp1 || g == exp2 {
+				correct++
+			}
+		}
+		block += uint64(deltas[i%len(deltas)])
+	}
+	if issued == 0 {
+		t.Fatal("GHB never issued a prefetch on a repeating pattern")
+	}
+	if frac := float64(correct) / float64(issued); frac < 0.8 {
+		t.Fatalf("GHB accuracy %v on perfectly repeating pattern", frac)
+	}
+}
+
+func TestGHBQuietOnRandomStream(t *testing.T) {
+	p := &GHBPrefetcher{}
+	rng := rand.New(rand.NewSource(1))
+	issued := 0
+	for i := 0; i < 2000; i++ {
+		issued += len(p.Observe(rng.Uint64()>>16, false))
+	}
+	// Random 48-bit deltas essentially never repeat.
+	if issued > 20 {
+		t.Fatalf("GHB issued %d prefetches on random stream", issued)
+	}
+}
+
+func TestGHBImprovesPatternedWorkload(t *testing.T) {
+	run := func(pf Prefetcher) float64 {
+		c := New(Config{Sets: 64, Ways: 8})
+		c.Prefetcher = pf
+		block := uint64(0)
+		deltas := []int64{2, 3, 5}
+		for i := 0; i < 30000; i++ {
+			c.Access(block*64, false)
+			block += uint64(deltas[i%len(deltas)])
+		}
+		return c.Stats().HitRate()
+	}
+	base := run(nil)
+	ghb := run(&GHBPrefetcher{Degree: 3})
+	if ghb <= base+0.3 {
+		t.Fatalf("GHB hit rate %v vs baseline %v: no meaningful gain", ghb, base)
+	}
+}
+
+func TestGHBName(t *testing.T) {
+	if (&GHBPrefetcher{}).Name() != "ghb-dc" {
+		t.Fatal("name wrong")
+	}
+}

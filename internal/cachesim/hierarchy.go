@@ -1,0 +1,209 @@
+package cachesim
+
+import (
+	"fmt"
+
+	"cachebox/internal/trace"
+)
+
+// InclusionKind selects the hierarchy's content policy (the paper's
+// §6.3 lists inclusion/exclusion as future work).
+type InclusionKind int
+
+const (
+	// NonInclusive places no constraint between levels (the default,
+	// matching the paper's ChampSim setup).
+	NonInclusive InclusionKind = iota
+	// Inclusive back-invalidates upper levels when a lower level
+	// evicts, keeping upper-level contents a subset of lower levels.
+	Inclusive
+	// Exclusive keeps each block in exactly one level: lower levels
+	// fill only from upper-level evictions, and a lower-level hit
+	// promotes the block upward.
+	Exclusive
+)
+
+// Hierarchy chains cache levels: an access missing at level i is
+// presented to level i+1 (demand misses only; write-backs are counted
+// per level but, like the paper's ChampSim heatmaps, are not part of
+// the miss streams used for training data).
+type Hierarchy struct {
+	levels    []*Cache
+	inclusion InclusionKind
+}
+
+// NewHierarchy builds a non-inclusive hierarchy from the given
+// per-level configs (ordered L1 first).
+func NewHierarchy(cfgs ...Config) (*Hierarchy, error) {
+	return NewHierarchyWithInclusion(NonInclusive, cfgs...)
+}
+
+// NewHierarchyWithInclusion builds a hierarchy with the given content
+// policy.
+func NewHierarchyWithInclusion(kind InclusionKind, cfgs ...Config) (*Hierarchy, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("cachesim: hierarchy needs at least one level")
+	}
+	h := &Hierarchy{inclusion: kind}
+	for _, cfg := range cfgs {
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		h.levels = append(h.levels, New(cfg))
+	}
+	switch kind {
+	case Inclusive:
+		// A lower-level eviction invalidates every level above it.
+		for i := 1; i < len(h.levels); i++ {
+			i := i
+			bits := h.levels[i].blockBits
+			h.levels[i].OnEvict = func(block uint64) {
+				for j := 0; j < i; j++ {
+					h.levels[j].Invalidate(block << bits)
+				}
+			}
+		}
+	case Exclusive:
+		// An upper-level eviction installs into the level below.
+		for i := 0; i < len(h.levels)-1; i++ {
+			i := i
+			bits := h.levels[i].blockBits
+			h.levels[i].OnEvict = func(block uint64) {
+				h.levels[i+1].InsertBlock(block<<bits, false)
+			}
+		}
+	}
+	return h, nil
+}
+
+// Inclusion returns the hierarchy's content policy.
+func (h *Hierarchy) Inclusion() InclusionKind { return h.inclusion }
+
+// Levels returns the underlying caches, L1 first.
+func (h *Hierarchy) Levels() []*Cache { return h.levels }
+
+// Depth returns the number of levels.
+func (h *Hierarchy) Depth() int { return len(h.levels) }
+
+// Reset clears every level.
+func (h *Hierarchy) Reset() {
+	for _, c := range h.levels {
+		c.Reset()
+	}
+}
+
+// AccessResult describes how one access traversed the hierarchy.
+type AccessResult struct {
+	// HitLevel is the index of the level that hit, or Depth() if the
+	// access missed everywhere (a memory access).
+	HitLevel int
+}
+
+// Access presents one demand access to the hierarchy.
+func (h *Hierarchy) Access(addr uint64, write bool) AccessResult {
+	if h.inclusion == Exclusive {
+		return h.accessExclusive(addr, write)
+	}
+	for i, c := range h.levels {
+		if c.Access(addr, write) {
+			return AccessResult{HitLevel: i}
+		}
+	}
+	return AccessResult{HitLevel: len(h.levels)}
+}
+
+// accessExclusive implements the exclusive lookup: only L1 allocates
+// on the demand path; a lower-level hit surrenders its copy (the block
+// is promoted into L1, which already allocated it on its own miss).
+func (h *Hierarchy) accessExclusive(addr uint64, write bool) AccessResult {
+	if h.levels[0].Access(addr, write) {
+		return AccessResult{HitLevel: 0}
+	}
+	for i := 1; i < len(h.levels); i++ {
+		if h.levels[i].AccessNoFill(addr, write) {
+			h.levels[i].Invalidate(addr)
+			return AccessResult{HitLevel: i}
+		}
+	}
+	return AccessResult{HitLevel: len(h.levels)}
+}
+
+// LevelTrace holds the access stream entering one level and the subset
+// that missed there — exactly the paired streams the heatmap pipeline
+// turns into Real access and Real miss heatmaps.
+type LevelTrace struct {
+	// Level is the hierarchy index (0 = L1).
+	Level int
+	// Config is the level's configuration.
+	Config Config
+	// Accesses enter the level; Misses is the sub-stream that missed.
+	Accesses, Misses *trace.Trace
+	// Stats is a snapshot of the level's counters after the run.
+	Stats Stats
+}
+
+// HitRate returns the level's hit rate over the run.
+func (lt LevelTrace) HitRate() float64 { return lt.Stats.HitRate() }
+
+// RunTrace drives a fresh single cache over t, returning its
+// LevelTrace. The cache's pre-existing contents are preserved (pass a
+// freshly constructed cache for a cold-start run, matching the paper's
+// no-warmup ChampSim configuration).
+func RunTrace(c *Cache, t *trace.Trace) LevelTrace {
+	lt := LevelTrace{
+		Level:    0,
+		Config:   c.Config(),
+		Accesses: &trace.Trace{Name: t.Name, Accesses: t.Accesses},
+		Misses:   &trace.Trace{Name: t.Name + ".miss"},
+	}
+	rec, _ := c.Prefetcher.(*RecordingPrefetcher)
+	before := c.Stats()
+	for _, a := range t.Accesses {
+		if rec != nil {
+			rec.SetIC(a.IC)
+		}
+		if !c.Access(a.Addr, a.Write) {
+			lt.Misses.Accesses = append(lt.Misses.Accesses, a)
+		}
+	}
+	after := c.Stats()
+	lt.Stats = Stats{
+		Accesses:     after.Accesses - before.Accesses,
+		Hits:         after.Hits - before.Hits,
+		Misses:       after.Misses - before.Misses,
+		Writebacks:   after.Writebacks - before.Writebacks,
+		PrefetchFill: after.PrefetchFill - before.PrefetchFill,
+		PrefetchHit:  after.PrefetchHit - before.PrefetchHit,
+	}
+	return lt
+}
+
+// RunHierarchy drives a fresh hierarchy over t and returns one
+// LevelTrace per level. Level i's access stream is level i-1's miss
+// stream.
+func RunHierarchy(h *Hierarchy, t *trace.Trace) []LevelTrace {
+	h.Reset()
+	out := make([]LevelTrace, h.Depth())
+	for i, c := range h.levels {
+		out[i] = LevelTrace{
+			Level:    i,
+			Config:   c.Config(),
+			Accesses: &trace.Trace{Name: fmt.Sprintf("%s.l%d", t.Name, i+1)},
+			Misses:   &trace.Trace{Name: fmt.Sprintf("%s.l%d.miss", t.Name, i+1)},
+		}
+	}
+	out[0].Accesses.Accesses = t.Accesses
+	for _, a := range t.Accesses {
+		res := h.Access(a.Addr, a.Write)
+		for i := 1; i <= res.HitLevel && i < len(h.levels); i++ {
+			out[i].Accesses.Accesses = append(out[i].Accesses.Accesses, a)
+		}
+		for i := 0; i < res.HitLevel && i < len(h.levels); i++ {
+			out[i].Misses.Accesses = append(out[i].Misses.Accesses, a)
+		}
+	}
+	for i, c := range h.levels {
+		out[i].Stats = c.Stats()
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package cachesim
+
+import (
+	"math/rand"
+	"testing"
+
+	"cachebox/internal/trace"
+)
+
+func randomTrace(n int, blocks int, seed int64) *trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	t := &trace.Trace{Name: "rand"}
+	var ic uint64
+	for i := 0; i < n; i++ {
+		ic += 3
+		t.Append(uint64(rng.Intn(blocks))*64, ic, rng.Intn(5) == 0)
+	}
+	return t
+}
+
+func TestNewHierarchyValidation(t *testing.T) {
+	if _, err := NewHierarchy(); err == nil {
+		t.Fatal("empty hierarchy accepted")
+	}
+	if _, err := NewHierarchy(Config{Sets: 3, Ways: 1}); err == nil {
+		t.Fatal("invalid level accepted")
+	}
+	h, err := NewHierarchy(Config{Sets: 4, Ways: 2}, Config{Sets: 16, Ways: 4})
+	if err != nil {
+		t.Fatalf("NewHierarchy: %v", err)
+	}
+	if h.Depth() != 2 || len(h.Levels()) != 2 {
+		t.Fatalf("depth = %d", h.Depth())
+	}
+}
+
+func TestHierarchyStreamsAreFiltered(t *testing.T) {
+	h, err := NewHierarchy(
+		Config{Sets: 4, Ways: 2},
+		Config{Sets: 16, Ways: 4},
+		Config{Sets: 64, Ways: 4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := randomTrace(20000, 4096, 1)
+	lts := RunHierarchy(h, tr)
+	if len(lts) != 3 {
+		t.Fatalf("levels = %d", len(lts))
+	}
+	// Level 0 sees the whole trace.
+	if lts[0].Accesses.Len() != tr.Len() {
+		t.Fatalf("L1 accesses = %d, want %d", lts[0].Accesses.Len(), tr.Len())
+	}
+	// Each level's input is the previous level's miss stream.
+	for i := 1; i < 3; i++ {
+		if lts[i].Accesses.Len() != lts[i-1].Misses.Len() {
+			t.Fatalf("L%d accesses (%d) != L%d misses (%d)",
+				i+1, lts[i].Accesses.Len(), i, lts[i-1].Misses.Len())
+		}
+		for j := range lts[i].Accesses.Accesses {
+			if lts[i].Accesses.Accesses[j] != lts[i-1].Misses.Accesses[j] {
+				t.Fatalf("L%d access %d differs from L%d miss", i+1, j, i)
+			}
+		}
+	}
+	// Stats agree with stream lengths.
+	for i, lt := range lts {
+		if int(lt.Stats.Accesses) != lt.Accesses.Len() {
+			t.Fatalf("L%d stats.Accesses=%d stream=%d", i+1, lt.Stats.Accesses, lt.Accesses.Len())
+		}
+		if int(lt.Stats.Misses) != lt.Misses.Len() {
+			t.Fatalf("L%d stats.Misses=%d stream=%d", i+1, lt.Stats.Misses, lt.Misses.Len())
+		}
+	}
+	// Miss counts must be monotone non-increasing down the hierarchy.
+	if lts[1].Misses.Len() > lts[0].Misses.Len() || lts[2].Misses.Len() > lts[1].Misses.Len() {
+		t.Fatal("miss counts increase down the hierarchy")
+	}
+}
+
+func TestHierarchyAccessHitLevel(t *testing.T) {
+	h, _ := NewHierarchy(Config{Sets: 1, Ways: 1}, Config{Sets: 4, Ways: 4})
+	if got := h.Access(0, false).HitLevel; got != 2 {
+		t.Fatalf("cold access hit level %d, want 2 (memory)", got)
+	}
+	if got := h.Access(0, false).HitLevel; got != 0 {
+		t.Fatalf("hot access hit level %d, want 0", got)
+	}
+	h.Access(64, false) // evicts block 0 from the 1-line L1
+	if got := h.Access(0, false).HitLevel; got != 1 {
+		t.Fatalf("L1-evicted access hit level %d, want 1", got)
+	}
+}
+
+func TestRunTraceMatchesManualDrive(t *testing.T) {
+	tr := randomTrace(5000, 512, 2)
+	c1 := New(Config{Sets: 16, Ways: 4})
+	lt := RunTrace(c1, tr)
+
+	c2 := New(Config{Sets: 16, Ways: 4})
+	var misses int
+	for _, a := range tr.Accesses {
+		if !c2.Access(a.Addr, a.Write) {
+			misses++
+		}
+	}
+	if lt.Misses.Len() != misses {
+		t.Fatalf("RunTrace misses=%d manual=%d", lt.Misses.Len(), misses)
+	}
+	if lt.HitRate() != c2.Stats().HitRate() {
+		t.Fatalf("hit rates differ: %v vs %v", lt.HitRate(), c2.Stats().HitRate())
+	}
+}
+
+func TestRunTraceDeltasWithWarmCache(t *testing.T) {
+	// RunTrace on an already-used cache must report stats for that run
+	// only.
+	c := New(Config{Sets: 16, Ways: 4})
+	RunTrace(c, randomTrace(1000, 256, 3))
+	lt := RunTrace(c, randomTrace(1000, 256, 4))
+	if lt.Stats.Accesses != 1000 {
+		t.Fatalf("second run accesses = %d, want 1000", lt.Stats.Accesses)
+	}
+	if int(lt.Stats.Misses) != lt.Misses.Len() {
+		t.Fatalf("stats.Misses=%d stream=%d", lt.Stats.Misses, lt.Misses.Len())
+	}
+}
+
+func TestBiggerCacheNeverWorseOnLRU(t *testing.T) {
+	// LRU has the stack property: growing associativity (same sets)
+	// cannot increase misses.
+	tr := randomTrace(30000, 2048, 5)
+	prev := -1.0
+	for _, ways := range []int{1, 2, 4, 8, 16} {
+		lt := RunTrace(New(Config{Sets: 16, Ways: ways}), tr)
+		hr := lt.HitRate()
+		if hr < prev-1e-12 {
+			t.Fatalf("hit rate decreased when ways grew to %d: %v -> %v", ways, prev, hr)
+		}
+		prev = hr
+	}
+}

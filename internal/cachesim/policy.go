@@ -1,0 +1,63 @@
+package cachesim
+
+// PolicyKind selects a replacement policy.
+type PolicyKind int
+
+const (
+	// PolicyLRU evicts the least recently used way (the paper's
+	// ChampSim setting, and the default).
+	PolicyLRU PolicyKind = iota
+	// PolicyFIFO evicts the oldest-filled way.
+	PolicyFIFO
+	// PolicyRandom evicts a uniformly random way.
+	PolicyRandom
+	// PolicyTreePLRU uses a binary-tree pseudo-LRU; requires
+	// power-of-two associativity.
+	PolicyTreePLRU
+	// PolicySRRIP uses static re-reference interval prediction
+	// (2-bit RRPV), a scan-resistant policy.
+	PolicySRRIP
+	// PolicyDRRIP set-duels SRRIP against bimodal RRIP, adapting to
+	// the workload.
+	PolicyDRRIP
+)
+
+// String returns the policy's conventional name.
+func (p PolicyKind) String() string {
+	switch p {
+	case PolicyLRU:
+		return "lru"
+	case PolicyFIFO:
+		return "fifo"
+	case PolicyRandom:
+		return "random"
+	case PolicyTreePLRU:
+		return "tree-plru"
+	case PolicySRRIP:
+		return "srrip"
+	case PolicyDRRIP:
+		return "drrip"
+	default:
+		return "unknown"
+	}
+}
+
+// ParsePolicy converts a name to a PolicyKind.
+func ParsePolicy(name string) (PolicyKind, bool) {
+	switch name {
+	case "lru", "":
+		return PolicyLRU, true
+	case "fifo":
+		return PolicyFIFO, true
+	case "random":
+		return PolicyRandom, true
+	case "tree-plru", "plru":
+		return PolicyTreePLRU, true
+	case "srrip":
+		return PolicySRRIP, true
+	case "drrip":
+		return PolicyDRRIP, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,141 @@
+package cachesim
+
+// Prefetcher observes the demand block-address stream of a cache and
+// proposes block addresses to install speculatively. Implementations
+// must be deterministic.
+type Prefetcher interface {
+	// Observe is called once per demand access with the block address
+	// and whether it hit; it returns the block addresses to prefetch
+	// (possibly none).
+	Observe(block uint64, hit bool) []uint64
+	// Name identifies the prefetcher.
+	Name() string
+}
+
+// NextLinePrefetcher prefetches block+1 on every demand access — the
+// prefetcher the paper models in RQ7.
+type NextLinePrefetcher struct {
+	// OnMissOnly restricts prefetching to demand misses.
+	OnMissOnly bool
+	buf        [1]uint64
+}
+
+// Name implements Prefetcher.
+func (p *NextLinePrefetcher) Name() string { return "next-line" }
+
+// Observe implements Prefetcher.
+func (p *NextLinePrefetcher) Observe(block uint64, hit bool) []uint64 {
+	if p.OnMissOnly && hit {
+		return nil
+	}
+	p.buf[0] = block + 1
+	return p.buf[:]
+}
+
+// StridePrefetcher detects constant strides in the block stream within
+// 4KiB-page-sized regions and prefetches degree blocks ahead once a
+// stride is confirmed twice.
+type StridePrefetcher struct {
+	// Degree is how many strided blocks to prefetch per trigger
+	// (default 2).
+	Degree int
+	// MaxRegions bounds the tracking table (default 64, LRU evicted).
+	MaxRegions int
+
+	regions map[uint64]*strideEntry
+	order   []uint64 // region FIFO for eviction
+}
+
+type strideEntry struct {
+	lastBlock uint64
+	stride    int64
+	confirmed int
+}
+
+// Name implements Prefetcher.
+func (p *StridePrefetcher) Name() string { return "stride" }
+
+// Observe implements Prefetcher.
+func (p *StridePrefetcher) Observe(block uint64, hit bool) []uint64 {
+	if p.regions == nil {
+		p.regions = make(map[uint64]*strideEntry)
+	}
+	degree := p.Degree
+	if degree <= 0 {
+		degree = 2
+	}
+	maxRegions := p.MaxRegions
+	if maxRegions <= 0 {
+		maxRegions = 64
+	}
+	region := block >> 6 // 64 blocks * 64 B = 4 KiB region
+	ent := p.regions[region]
+	if ent == nil {
+		if len(p.regions) >= maxRegions {
+			oldest := p.order[0]
+			p.order = p.order[1:]
+			delete(p.regions, oldest)
+		}
+		ent = &strideEntry{lastBlock: block}
+		p.regions[region] = ent
+		p.order = append(p.order, region)
+		return nil
+	}
+	stride := int64(block) - int64(ent.lastBlock)
+	if stride == 0 {
+		return nil
+	}
+	if stride == ent.stride {
+		ent.confirmed++
+	} else {
+		ent.stride = stride
+		ent.confirmed = 0
+	}
+	ent.lastBlock = block
+	if ent.confirmed < 2 {
+		return nil
+	}
+	out := make([]uint64, 0, degree)
+	next := int64(block)
+	for i := 0; i < degree; i++ {
+		next += stride
+		if next < 0 {
+			break
+		}
+		out = append(out, uint64(next))
+	}
+	return out
+}
+
+// PrefetchRecord captures one issued prefetch, for building the
+// access/prefetch heatmap pairs of RQ7.
+type PrefetchRecord struct {
+	// Block is the prefetched block address.
+	Block uint64
+	// IC is the instruction count of the triggering demand access.
+	IC uint64
+}
+
+// RecordingPrefetcher wraps a Prefetcher and logs every issued
+// prefetch together with the triggering access's instruction count
+// (set via SetIC before each Observe by the run helpers).
+type RecordingPrefetcher struct {
+	Inner   Prefetcher
+	Records []PrefetchRecord
+	ic      uint64
+}
+
+// Name implements Prefetcher.
+func (p *RecordingPrefetcher) Name() string { return p.Inner.Name() + "+record" }
+
+// SetIC sets the instruction count attributed to subsequent records.
+func (p *RecordingPrefetcher) SetIC(ic uint64) { p.ic = ic }
+
+// Observe implements Prefetcher.
+func (p *RecordingPrefetcher) Observe(block uint64, hit bool) []uint64 {
+	out := p.Inner.Observe(block, hit)
+	for _, b := range out {
+		p.Records = append(p.Records, PrefetchRecord{Block: b, IC: p.ic})
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package cachesim
+
+// This file implements the RRIP family of replacement policies
+// (Jaleel et al., ISCA'10), the scan-resistant policies ChampSim ships
+// alongside LRU: SRRIP (static re-reference interval prediction) and
+// DRRIP (dynamic set-dueling between SRRIP and bimodal BRRIP).
+
+const (
+	// rrpvMax is the "distant future" re-reference value (2-bit RRPV).
+	rrpvMax = 3
+	// rrpvLong is the insertion value SRRIP uses.
+	rrpvLong = 2
+	// brripEpsilon is BRRIP's probability denominator: one fill in 32
+	// is inserted with rrpvLong instead of rrpvMax.
+	brripEpsilon = 32
+	// pselMax bounds DRRIP's policy-selection counter.
+	pselMax = 1023
+)
+
+// rripOnHit promotes a re-referenced line to "near-immediate".
+func (c *Cache) rripOnHit(ln *line) { ln.rrpv = 0 }
+
+// rripVictim finds (or creates) a line with RRPV == max in s,
+// aging the set until one appears.
+func (c *Cache) rripVictim(s *set) int {
+	for {
+		for i := range s.lines {
+			if s.lines[i].rrpv >= rrpvMax {
+				return i
+			}
+		}
+		for i := range s.lines {
+			s.lines[i].rrpv++
+		}
+	}
+}
+
+// rripInsertionRRPV decides the RRPV a fresh fill gets.
+func (c *Cache) rripInsertionRRPV(setIdx uint64) uint8 {
+	useBRRIP := false
+	if c.cfg.Policy == PolicyDRRIP {
+		switch c.duelRole(setIdx) {
+		case duelSRRIPLeader:
+			useBRRIP = false
+		case duelBRRIPLeader:
+			useBRRIP = true
+		default:
+			useBRRIP = c.psel > pselMax/2
+		}
+	}
+	if useBRRIP {
+		// Bimodal: mostly distant, occasionally long.
+		c.brripCtr++
+		if c.brripCtr%brripEpsilon == 0 {
+			return rrpvLong
+		}
+		return rrpvMax
+	}
+	return rrpvLong
+}
+
+// duelRole classifies a set for DRRIP set-dueling: every 32nd set
+// leads for SRRIP, offset by 16 for BRRIP.
+type duelKind int
+
+const (
+	duelFollower duelKind = iota
+	duelSRRIPLeader
+	duelBRRIPLeader
+)
+
+func (c *Cache) duelRole(setIdx uint64) duelKind {
+	const stride = 32
+	switch setIdx % stride {
+	case 0:
+		return duelSRRIPLeader
+	case stride / 2:
+		return duelBRRIPLeader
+	default:
+		return duelFollower
+	}
+}
+
+// duelOnMiss trains the PSEL counter: a miss in a leader set is
+// evidence against that leader's policy.
+func (c *Cache) duelOnMiss(setIdx uint64) {
+	switch c.duelRole(setIdx) {
+	case duelSRRIPLeader:
+		if c.psel < pselMax {
+			c.psel++ // SRRIP missing: lean towards BRRIP
+		}
+	case duelBRRIPLeader:
+		if c.psel > 0 {
+			c.psel-- // BRRIP missing: lean towards SRRIP
+		}
+	}
+}

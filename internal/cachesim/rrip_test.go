@@ -1,0 +1,137 @@
+package cachesim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// scanMix interleaves a hot working set (fits the cache) with long
+// streaming scans (never reused) — the workload RRIP exists for.
+func scanMix(c *Cache, passes int) float64 {
+	// 2 hot blocks per set, re-referenced twice per pass so SRRIP
+	// promotes them to near-immediate; the scan injects 4 blocks per
+	// set per pass — enough for LRU to flush the whole set, short
+	// enough for 2-bit RRPV to shield the hot lines.
+	const hotBlocks = 32
+	var hotAccesses, hotHits uint64
+	scanAddr := uint64(1 << 30)
+	for p := 0; p < passes; p++ {
+		for rep := 0; rep < 2; rep++ {
+			for b := 0; b < hotBlocks; b++ {
+				hit := c.Access(uint64(b)*64, false)
+				if p > 0 {
+					hotAccesses++
+					if hit {
+						hotHits++
+					}
+				}
+			}
+		}
+		for i := 0; i < 64; i++ {
+			c.Access(scanAddr, false)
+			scanAddr += 64
+		}
+	}
+	return float64(hotHits) / float64(hotAccesses)
+}
+
+func TestSRRIPResistsScans(t *testing.T) {
+	lru := New(Config{Sets: 16, Ways: 4})
+	srrip := New(Config{Sets: 16, Ways: 4, Policy: PolicySRRIP})
+	lruHot := scanMix(lru, 40)
+	srripHot := scanMix(srrip, 40)
+	if srripHot <= lruHot {
+		t.Fatalf("SRRIP hot-set hit rate %v not better than LRU %v under scans", srripHot, lruHot)
+	}
+	if srripHot < 0.5 {
+		t.Fatalf("SRRIP hot-set hit rate %v too low", srripHot)
+	}
+}
+
+func TestSRRIPBasicHitMiss(t *testing.T) {
+	c := New(Config{Sets: 1, Ways: 2, Policy: PolicySRRIP})
+	if c.Access(0, false) {
+		t.Fatal("cold hit")
+	}
+	if !c.Access(0, false) {
+		t.Fatal("warm miss")
+	}
+	c.Access(64, false)
+	c.Access(128, false) // one of {0, 64} evicted
+	resident := 0
+	for _, b := range []uint64{0, 64, 128} {
+		if c.Probe(b) {
+			resident++
+		}
+	}
+	if resident != 2 {
+		t.Fatalf("resident = %d, want 2", resident)
+	}
+}
+
+func TestDRRIPAdaptsTowardsSRRIPOnReuseWorkload(t *testing.T) {
+	// A pure reuse workload (no scans): DRRIP must do about as well as
+	// SRRIP (PSEL converges to the better policy).
+	run := func(policy PolicyKind) float64 {
+		c := New(Config{Sets: 64, Ways: 4, Policy: policy})
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < 40000; i++ {
+			c.Access(uint64(rng.Intn(200))*64, false)
+		}
+		return c.Stats().HitRate()
+	}
+	srrip := run(PolicySRRIP)
+	drrip := run(PolicyDRRIP)
+	if drrip < srrip-0.05 {
+		t.Fatalf("DRRIP hit rate %v much worse than SRRIP %v", drrip, srrip)
+	}
+}
+
+func TestDRRIPDuelRoles(t *testing.T) {
+	c := New(Config{Sets: 64, Ways: 4, Policy: PolicyDRRIP})
+	if c.duelRole(0) != duelSRRIPLeader {
+		t.Fatal("set 0 should lead SRRIP")
+	}
+	if c.duelRole(16) != duelBRRIPLeader {
+		t.Fatal("set 16 should lead BRRIP")
+	}
+	if c.duelRole(5) != duelFollower {
+		t.Fatal("set 5 should follow")
+	}
+	// PSEL saturates rather than wrapping.
+	for i := 0; i < 3000; i++ {
+		c.duelOnMiss(0)
+	}
+	if c.psel > pselMax {
+		t.Fatalf("psel overflowed: %d", c.psel)
+	}
+	for i := 0; i < 5000; i++ {
+		c.duelOnMiss(16)
+	}
+	if c.psel < 0 {
+		t.Fatalf("psel underflowed: %d", c.psel)
+	}
+}
+
+func TestRRIPVictimAges(t *testing.T) {
+	c := New(Config{Sets: 1, Ways: 2, Policy: PolicySRRIP})
+	c.Access(0, false)
+	c.Access(64, false)
+	c.Access(0, false) // rrpv(0) = 0, rrpv(64) = 2
+	c.Access(128, false)
+	if !c.Probe(0) {
+		t.Fatal("re-referenced block evicted before stale one")
+	}
+	if c.Probe(64) {
+		t.Fatal("stale block survived")
+	}
+}
+
+func TestPolicyNamesRoundTrip(t *testing.T) {
+	for _, p := range []PolicyKind{PolicyLRU, PolicyFIFO, PolicyRandom, PolicyTreePLRU, PolicySRRIP, PolicyDRRIP} {
+		got, ok := ParsePolicy(p.String())
+		if !ok || got != p {
+			t.Fatalf("round trip failed for %v", p)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package cachesim
+
+// This file implements the cache options the paper's §6.3 lists as
+// future work: victim caches, write-policy variants and (in
+// hierarchy.go) inclusion policies. They extend the substrate beyond
+// the paper's fixed ChampSim configuration.
+
+// WritePolicy selects how writes propagate.
+type WritePolicy int
+
+const (
+	// WriteBack marks lines dirty and counts a writeback on eviction
+	// (the default, ChampSim-style).
+	WriteBack WritePolicy = iota
+	// WriteThrough propagates every write immediately; lines are never
+	// dirty and evictions are silent.
+	WriteThrough
+)
+
+// AllocPolicy selects whether write misses allocate.
+type AllocPolicy int
+
+const (
+	// WriteAllocate installs the block on a write miss (default).
+	WriteAllocate AllocPolicy = iota
+	// NoWriteAllocate leaves the cache unchanged on a write miss.
+	NoWriteAllocate
+)
+
+// victimBuffer is a small fully-associative buffer holding recently
+// evicted blocks, probed on a main-array miss.
+type victimBuffer struct {
+	lines []line
+	tick  uint64
+}
+
+func newVictimBuffer(n int) *victimBuffer {
+	return &victimBuffer{lines: make([]line, n)}
+}
+
+// insert places an evicted block, displacing the LRU victim entry; it
+// returns the displaced line (for writeback accounting).
+func (v *victimBuffer) insert(ln line) (displaced line, hadDisplaced bool) {
+	v.tick++
+	best := 0
+	for i := range v.lines {
+		if !v.lines[i].valid {
+			best = i
+			hadDisplaced = false
+			ln.lastUse = v.tick
+			displaced = v.lines[i]
+			v.lines[i] = ln
+			return displaced, false
+		}
+		if v.lines[i].lastUse < v.lines[best].lastUse {
+			best = i
+		}
+	}
+	displaced = v.lines[best]
+	ln.lastUse = v.tick
+	v.lines[best] = ln
+	return displaced, displaced.valid
+}
+
+// take removes and returns the entry for block, if present.
+func (v *victimBuffer) take(block uint64) (line, bool) {
+	for i := range v.lines {
+		if v.lines[i].valid && v.lines[i].tag == block {
+			ln := v.lines[i]
+			v.lines[i] = line{}
+			return ln, true
+		}
+	}
+	return line{}, false
+}

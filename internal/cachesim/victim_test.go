@@ -1,0 +1,238 @@
+package cachesim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestVictimCacheRescuesConflictMisses(t *testing.T) {
+	// Two blocks mapping to the same set of a direct-mapped cache
+	// ping-pong; a victim buffer turns the conflict misses into hits.
+	mk := func(victim int) *Cache {
+		return New(Config{Sets: 4, Ways: 1, VictimLines: victim})
+	}
+	drive := func(c *Cache) float64 {
+		for i := 0; i < 1000; i++ {
+			c.Access(0, false)    // set 0
+			c.Access(4*64, false) // also set 0
+		}
+		return c.Stats().HitRate()
+	}
+	plain := drive(mk(0))
+	rescued := drive(mk(4))
+	if plain > 0.01 {
+		t.Fatalf("ping-pong on direct-mapped cache hit rate = %v, want ~0", plain)
+	}
+	if rescued < 0.99 {
+		t.Fatalf("victim cache hit rate = %v, want ~1", rescued)
+	}
+	if New(Config{Sets: 4, Ways: 1, VictimLines: 4}).Stats().VictimHits != 0 {
+		t.Fatal("fresh cache has victim hits")
+	}
+}
+
+func TestVictimHitPreservesDirtyBit(t *testing.T) {
+	c := New(Config{Sets: 1, Ways: 1, VictimLines: 2})
+	c.Access(0, true)    // dirty fill of block 0
+	c.Access(64, false)  // evicts block 0 into victim buffer
+	c.Access(0, false)   // victim hit, block 0 swaps back (still dirty)
+	c.Access(128, false) // evicts block 0 again -> into victim
+	c.Access(192, false) // evicts 128 -> victim now {0(dirty),128}
+	c.Access(256, false) // evicts 192 -> victim displaces 0 -> writeback
+	if got := c.Stats().Writebacks; got != 1 {
+		t.Fatalf("writebacks = %d, want 1 (dirty bit lost through victim)", got)
+	}
+}
+
+func TestVictimStatsCounted(t *testing.T) {
+	c := New(Config{Sets: 1, Ways: 1, VictimLines: 2})
+	c.Access(0, false)
+	c.Access(64, false)
+	c.Access(0, false) // victim hit
+	s := c.Stats()
+	if s.VictimHits != 1 {
+		t.Fatalf("victim hits = %d", s.VictimHits)
+	}
+	if s.Hits != 1 {
+		t.Fatalf("hits = %d (victim hit must count as hit)", s.Hits)
+	}
+}
+
+func TestWriteThroughNeverWritesBack(t *testing.T) {
+	c := New(Config{Sets: 1, Ways: 1, Write: WriteThrough})
+	for i := 0; i < 100; i++ {
+		c.Access(uint64(i)*64, true)
+	}
+	s := c.Stats()
+	if s.Writebacks != 0 {
+		t.Fatalf("write-through produced %d writebacks", s.Writebacks)
+	}
+	if s.WriteThrus != 100 {
+		t.Fatalf("write-throughs = %d, want 100", s.WriteThrus)
+	}
+}
+
+func TestNoWriteAllocate(t *testing.T) {
+	c := New(Config{Sets: 4, Ways: 2, Alloc: NoWriteAllocate})
+	c.Access(0, true) // write miss: not installed
+	if c.Probe(0) {
+		t.Fatal("no-write-allocate installed on write miss")
+	}
+	c.Access(0, false) // read miss: installed
+	if !c.Probe(0) {
+		t.Fatal("read miss did not install")
+	}
+	c.Access(0, true) // write hit: fine
+	if !c.Probe(0) {
+		t.Fatal("write hit evicted the line")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(Config{Sets: 4, Ways: 2, VictimLines: 2})
+	c.Access(0, false)
+	if !c.Invalidate(0) {
+		t.Fatal("resident block not invalidated")
+	}
+	if c.Probe(0) {
+		t.Fatal("block survives invalidation")
+	}
+	if c.Invalidate(0) {
+		t.Fatal("absent block reported invalidated")
+	}
+	// Invalidate must also reach the victim buffer.
+	c2 := New(Config{Sets: 1, Ways: 1, VictimLines: 2})
+	c2.Access(0, false)
+	c2.Access(64, false) // 0 now in victim buffer
+	if !c2.Invalidate(0) {
+		t.Fatal("victim-buffer block not invalidated")
+	}
+	c2.Access(0, false)
+	if c2.Stats().VictimHits != 0 {
+		t.Fatal("invalidated victim entry still hit")
+	}
+}
+
+func TestResidentBlocks(t *testing.T) {
+	c := New(Config{Sets: 2, Ways: 1, VictimLines: 1})
+	c.Access(0, false)
+	c.Access(64, false)
+	c.Access(128, false) // evicts block 0 into victim
+	blocks := c.ResidentBlocks()
+	want := map[uint64]bool{0: true, 1: true, 2: true}
+	if len(blocks) != 3 {
+		t.Fatalf("resident = %v", blocks)
+	}
+	for _, b := range blocks {
+		if !want[b] {
+			t.Fatalf("unexpected resident block %d", b)
+		}
+	}
+}
+
+func hierarchyContents(h *Hierarchy, level int) map[uint64]bool {
+	out := map[uint64]bool{}
+	for _, b := range h.Levels()[level].ResidentBlocks() {
+		out[b] = true
+	}
+	return out
+}
+
+func TestInclusiveHierarchyInvariant(t *testing.T) {
+	h, err := NewHierarchyWithInclusion(Inclusive,
+		Config{Sets: 4, Ways: 2},
+		Config{Sets: 8, Ways: 4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50000; i++ {
+		h.Access(uint64(rng.Intn(256))*64, rng.Intn(4) == 0)
+		if i%1000 == 999 {
+			l1 := hierarchyContents(h, 0)
+			l2 := hierarchyContents(h, 1)
+			for b := range l1 {
+				if !l2[b] {
+					t.Fatalf("inclusion violated at access %d: block %d in L1 not in L2", i, b)
+				}
+			}
+		}
+	}
+	if h.Inclusion() != Inclusive {
+		t.Fatal("inclusion kind lost")
+	}
+}
+
+func TestExclusiveHierarchyInvariant(t *testing.T) {
+	h, err := NewHierarchyWithInclusion(Exclusive,
+		Config{Sets: 4, Ways: 2},
+		Config{Sets: 8, Ways: 4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50000; i++ {
+		h.Access(uint64(rng.Intn(256))*64, false)
+		if i%1000 == 999 {
+			l1 := hierarchyContents(h, 0)
+			l2 := hierarchyContents(h, 1)
+			for b := range l1 {
+				if l2[b] {
+					t.Fatalf("exclusivity violated at access %d: block %d in both levels", i, b)
+				}
+			}
+		}
+	}
+}
+
+func TestExclusiveIncreasesEffectiveCapacity(t *testing.T) {
+	// A working set larger than L2 alone but within L1+L2 combined:
+	// exclusive caching should beat inclusive.
+	run := func(kind InclusionKind) float64 {
+		h, err := NewHierarchyWithInclusion(kind,
+			Config{Sets: 16, Ways: 4}, // 64 blocks
+			Config{Sets: 16, Ways: 4}, // 64 blocks
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		memHits, total := 0, 0
+		// Cycle over 100 blocks (fits in 128 combined, not in 64).
+		for pass := 0; pass < 50; pass++ {
+			for b := 0; b < 100; b++ {
+				res := h.Access(uint64(b)*64, false)
+				if pass > 0 {
+					total++
+					if res.HitLevel < 2 {
+						memHits++
+					}
+				}
+			}
+		}
+		return float64(memHits) / float64(total)
+	}
+	excl := run(Exclusive)
+	incl := run(Inclusive)
+	if excl <= incl {
+		t.Fatalf("exclusive in-hierarchy hit fraction %v not better than inclusive %v", excl, incl)
+	}
+}
+
+func TestExclusiveRunHierarchyStreams(t *testing.T) {
+	// RunHierarchy must stay consistent under exclusive policy: level
+	// accesses equal upper-level misses.
+	h, err := NewHierarchyWithInclusion(Exclusive,
+		Config{Sets: 4, Ways: 2},
+		Config{Sets: 16, Ways: 4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := randomTrace(20000, 512, 9)
+	lts := RunHierarchy(h, tr)
+	if lts[1].Accesses.Len() != lts[0].Misses.Len() {
+		t.Fatalf("L2 accesses %d != L1 misses %d", lts[1].Accesses.Len(), lts[0].Misses.Len())
+	}
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+
+	"cachebox/internal/cachesim"
+	"cachebox/internal/heatmap"
+	"cachebox/internal/nn"
+	"cachebox/internal/tensor"
+)
+
+// Model bundles the CB-GAN generator, discriminator and pixel codec.
+type Model struct {
+	Cfg Config
+	G   *Generator
+	D   *Discriminator
+	// CodecX encodes access heatmaps; CodecY encodes/decodes miss
+	// heatmaps (misses are sparser, so they get a smaller cap).
+	CodecX, CodecY Codec
+}
+
+// NewModel constructs a fresh CB-GAN from cfg.
+func NewModel(cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return &Model{
+		Cfg:    cfg,
+		G:      NewGenerator(cfg, rng),
+		D:      NewDiscriminator(cfg, rng),
+		CodecX: Codec{Cap: cfg.PixelCap, Gamma: cfg.Gamma},
+		CodecY: Codec{Cap: cfg.MissPixelCap, Gamma: cfg.Gamma},
+	}, nil
+}
+
+// CacheParams converts a cache configuration into the normalised
+// numerical inputs of the conditioning path: log2(sets)/16 and
+// log2(ways)/8 (paper §3.2.3: the number of sets and ways).
+func CacheParams(cfg cachesim.Config) []float32 {
+	return []float32{
+		float32(math.Log2(float64(cfg.Sets)) / 16),
+		float32(math.Log2(float64(cfg.Ways)) / 8),
+	}
+}
+
+// Sample is one training example: an aligned access/miss heatmap pair
+// plus the cache parameters the pair was simulated under.
+type Sample struct {
+	Access, Miss *heatmap.Heatmap
+	Params       []float32
+	// Bench names the source benchmark (bookkeeping only).
+	Bench string
+}
+
+// paramsTensor packs per-sample parameter vectors for a batch; nil if
+// conditioning is disabled.
+func (m *Model) paramsTensor(batch []Sample) *tensor.Tensor {
+	if m.Cfg.CondDim == 0 {
+		return nil
+	}
+	p := tensor.New(len(batch), m.Cfg.CondDim)
+	for i, s := range batch {
+		if len(s.Params) != m.Cfg.CondDim {
+			panic(fmt.Sprintf("core: sample has %d params, model expects %d", len(s.Params), m.Cfg.CondDim))
+		}
+		copy(p.Data[i*m.Cfg.CondDim:], s.Params)
+	}
+	return p
+}
+
+// Predict generates synthetic miss heatmaps for the access heatmaps,
+// processing the whole slice as batches of batchSize (paper RQ5:
+// batched inference folds each layer of the batch into one large
+// matrix multiplication). params supplies the cache parameters applied
+// to every image; it is ignored by unconditioned models.
+func (m *Model) Predict(access []*heatmap.Heatmap, params []float32, batchSize int) []*heatmap.Heatmap {
+	if batchSize <= 0 {
+		batchSize = 1
+	}
+	out := make([]*heatmap.Heatmap, 0, len(access))
+	for lo := 0; lo < len(access); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(access) {
+			hi = len(access)
+		}
+		chunk := access[lo:hi]
+		x := m.CodecX.EncodeBatch(chunk)
+		var p *tensor.Tensor
+		if m.Cfg.CondDim > 0 {
+			if len(params) != m.Cfg.CondDim {
+				panic(fmt.Sprintf("core: %d params, model expects %d", len(params), m.Cfg.CondDim))
+			}
+			p = tensor.New(len(chunk), m.Cfg.CondDim)
+			for i := 0; i < len(chunk); i++ {
+				copy(p.Data[i*m.Cfg.CondDim:], params)
+			}
+		}
+		y := m.G.Forward(x, p, false)
+		for i, hm := range m.CodecY.DecodeBatch("synthetic", y) {
+			hm.Name = chunk[i].Name + ".synthetic"
+			hm.Index = chunk[i].Index
+			hm.StartCol = chunk[i].StartCol
+			out = append(out, hm)
+		}
+	}
+	return out
+}
+
+// allState returns every tensor to serialise: generator and
+// discriminator weights plus batch-norm running statistics.
+func (m *Model) allState() []*nn.Param {
+	var ps []*nn.Param
+	ps = append(ps, m.G.Params()...)
+	ps = append(ps, m.G.State()...)
+	ps = append(ps, m.D.Params()...)
+	ps = append(ps, m.D.State()...)
+	return ps
+}
+
+// modelHeader is the gob preamble identifying the architecture.
+type modelHeader struct {
+	Magic   string
+	Version int
+	Cfg     Config
+}
+
+// Save serialises the model (architecture config + all weights).
+func (m *Model) Save(w io.Writer) error {
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(modelHeader{Magic: "cbgan", Version: 1, Cfg: m.Cfg}); err != nil {
+		return fmt.Errorf("core: save header: %w", err)
+	}
+	if err := enc.Encode(nn.Snapshot(m.allState())); err != nil {
+		return fmt.Errorf("core: save weights: %w", err)
+	}
+	return nil
+}
+
+// Load reads a model serialised by Save, reconstructing the
+// architecture from the stored config.
+func Load(r io.Reader) (*Model, error) {
+	dec := gob.NewDecoder(r)
+	var h modelHeader
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("core: load header: %w", err)
+	}
+	if h.Magic != "cbgan" {
+		return nil, fmt.Errorf("core: not a CB-GAN model (magic %q)", h.Magic)
+	}
+	if h.Version != 1 {
+		return nil, fmt.Errorf("core: unsupported model version %d", h.Version)
+	}
+	m, err := NewModel(h.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	var blobs []nn.ParamBlob
+	if err := dec.Decode(&blobs); err != nil {
+		return nil, fmt.Errorf("core: load weights: %w", err)
+	}
+	if err := nn.Restore(blobs, m.allState()); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// SaveFile and LoadFile are path-based conveniences.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	defer f.Close()
+	if err := m.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a model from path.
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}

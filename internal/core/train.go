@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"cachebox/internal/heatmap"
+	"cachebox/internal/nn"
+	"cachebox/internal/tensor"
+)
+
+// TrainOptions controls GAN training.
+type TrainOptions struct {
+	// Epochs is the number of passes over the sample set.
+	Epochs int
+	// BatchSize is the minibatch size (paper: random batching).
+	BatchSize int
+	// Seed drives shuffling.
+	Seed int64
+	// Log, when non-nil, receives one progress line per epoch.
+	Log io.Writer
+}
+
+// EpochStats records the mean losses of one training epoch.
+type EpochStats struct {
+	Epoch int
+	DLoss float64 // discriminator BCE (real + fake halves)
+	GAdv  float64 // generator adversarial BCE
+	GL1   float64 // generator L1 reconstruction term (unweighted)
+
+	Batches int
+	Skipped int // batches skipped due to non-finite losses
+}
+
+// TrainStats aggregates per-epoch statistics.
+type TrainStats struct {
+	Epochs []EpochStats
+}
+
+// Final returns the last epoch's stats (zero value when empty).
+func (ts *TrainStats) Final() EpochStats {
+	if len(ts.Epochs) == 0 {
+		return EpochStats{}
+	}
+	return ts.Epochs[len(ts.Epochs)-1]
+}
+
+// Train runs the CB-GAN adversarial training loop (paper Fig. 6): the
+// discriminator learns to separate Real from Synthetic (access, miss)
+// pairs while the generator minimises the adversarial loss plus
+// λ-weighted L1 reconstruction (Eq. 1).
+func (m *Model) Train(samples []Sample, opt TrainOptions) (*TrainStats, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("core: no training samples")
+	}
+	for i, s := range samples {
+		if s.Access == nil || s.Miss == nil {
+			return nil, fmt.Errorf("core: sample %d has nil heatmaps", i)
+		}
+		if s.Access.H != m.Cfg.ImageSize || s.Access.W != m.Cfg.ImageSize {
+			return nil, fmt.Errorf("core: sample %d is %dx%d, model expects %dx%d",
+				i, s.Access.H, s.Access.W, m.Cfg.ImageSize, m.Cfg.ImageSize)
+		}
+	}
+	if opt.Epochs <= 0 {
+		opt.Epochs = 1
+	}
+	if opt.BatchSize <= 0 {
+		opt.BatchSize = 4
+	}
+	rng := rand.New(rand.NewSource(opt.Seed + 7))
+	optG := nn.NewAdam(m.G.Params(), m.Cfg.LR)
+	optD := nn.NewAdam(m.D.Params(), m.Cfg.LR)
+	order := make([]int, len(samples))
+	for i := range order {
+		order[i] = i
+	}
+	stats := &TrainStats{}
+	for epoch := 0; epoch < opt.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		es := EpochStats{Epoch: epoch}
+		for lo := 0; lo < len(order); lo += opt.BatchSize {
+			hi := lo + opt.BatchSize
+			if hi > len(order) {
+				hi = len(order)
+			}
+			batch := make([]Sample, 0, hi-lo)
+			for _, idx := range order[lo:hi] {
+				batch = append(batch, samples[idx])
+			}
+			d, g, l1, ok := m.trainStep(batch, optG, optD)
+			es.Batches++
+			if !ok {
+				es.Skipped++
+				continue
+			}
+			es.DLoss += d
+			es.GAdv += g
+			es.GL1 += l1
+		}
+		if n := es.Batches - es.Skipped; n > 0 {
+			es.DLoss /= float64(n)
+			es.GAdv /= float64(n)
+			es.GL1 /= float64(n)
+		}
+		stats.Epochs = append(stats.Epochs, es)
+		if opt.Log != nil {
+			fmt.Fprintf(opt.Log, "epoch %d: D=%.4f Gadv=%.4f L1=%.4f (batches=%d skipped=%d)\n",
+				epoch, es.DLoss, es.GAdv, es.GL1, es.Batches, es.Skipped)
+		}
+	}
+	return stats, nil
+}
+
+// trainStep performs one D update and one G update on a minibatch,
+// returning the loss components. ok is false when a non-finite loss
+// made the step unsafe (the step is skipped, as a GAN occasionally
+// spikes).
+func (m *Model) trainStep(batch []Sample, optG, optD *nn.Adam) (dLoss, gAdv, gL1 float64, ok bool) {
+	x := m.CodecX.EncodeBatch(collectAccess(batch))
+	y := m.CodecY.EncodeBatch(collectMiss(batch))
+	p := m.paramsTensor(batch)
+
+	// Generator forward (training mode).
+	fake := m.G.Forward(x, p, true)
+
+	// --- Discriminator update (Pix2Pix halves each adversarial term).
+	advLoss := nn.BCEWithLogits
+	if m.Cfg.LSGAN {
+		advLoss = nn.MSELoss
+	}
+	nn.ZeroGrads(m.D.Params())
+	logitsReal := m.D.Forward(x, y, true)
+	ones := tensor.New(logitsReal.Shape...)
+	ones.Fill(1)
+	lossReal, dReal := advLoss(logitsReal, ones)
+	dReal.Scale(0.5)
+	m.D.Backward(dReal)
+
+	logitsFake := m.D.Forward(x, fake.Clone(), true) // detached copy
+	zeros := tensor.New(logitsFake.Shape...)
+	lossFake, dFake := advLoss(logitsFake, zeros)
+	dFake.Scale(0.5)
+	m.D.Backward(dFake)
+	dLoss = (lossReal + lossFake) / 2
+
+	if !isFinite(dLoss) {
+		nn.ZeroGrads(m.D.Params())
+		return 0, 0, 0, false
+	}
+	optD.Step()
+
+	// --- Generator update.
+	nn.ZeroGrads(m.G.Params())
+	logitsG := m.D.Forward(x, fake, true)
+	onesG := tensor.New(logitsG.Shape...)
+	onesG.Fill(1)
+	gAdv, dLogitsG := advLoss(logitsG, onesG)
+	_, dFakeFromD := m.D.Backward(dLogitsG)
+	// The D pass above accumulated gradients we must not apply.
+	nn.ZeroGrads(m.D.Params())
+
+	gL1, dL1 := nn.L1Loss(fake, y)
+	dFakeTotal := dFakeFromD
+	dL1.Scale(float32(m.Cfg.Lambda))
+	dFakeTotal.AddInPlace(dL1)
+
+	if !isFinite(gAdv) || !isFinite(gL1) || !dFakeTotal.IsFinite() {
+		nn.ZeroGrads(m.G.Params())
+		return 0, 0, 0, false
+	}
+	m.G.Backward(dFakeTotal)
+	optG.Step()
+	return dLoss, gAdv, gL1, true
+}
+
+func isFinite(f float64) bool { return f == f && f < 1e30 && f > -1e30 }
+
+func collectAccess(batch []Sample) []*heatmap.Heatmap {
+	out := make([]*heatmap.Heatmap, len(batch))
+	for i, s := range batch {
+		out[i] = s.Access
+	}
+	return out
+}
+
+func collectMiss(batch []Sample) []*heatmap.Heatmap {
+	out := make([]*heatmap.Heatmap, len(batch))
+	for i, s := range batch {
+		out[i] = s.Miss
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"cachebox/internal/heatmap"
+)
+
+func TestTrainUnconditionedModel(t *testing.T) {
+	// The paper's RQ4 combined model trains without cache parameters.
+	cfg := tinyConfig()
+	cfg.CondDim = 0
+	cfg.LR = 2e-3
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(20))
+	samples := makeToySamples(16, rng, 16)
+	for i := range samples {
+		samples[i].Params = nil
+	}
+	stats, err := m.Train(samples, TrainOptions{Epochs: 8, BatchSize: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Final().GL1 >= stats.Epochs[0].GL1 {
+		t.Fatalf("unconditioned model did not learn: %v -> %v",
+			stats.Epochs[0].GL1, stats.Final().GL1)
+	}
+	// Prediction with nil params works for unconditioned models.
+	var acc []*heatmap.Heatmap
+	for _, s := range samples[:3] {
+		acc = append(acc, s.Access)
+	}
+	preds := m.Predict(acc, nil, 2)
+	if len(preds) != 3 {
+		t.Fatalf("preds = %d", len(preds))
+	}
+}
+
+func TestTrainDefaultsApplied(t *testing.T) {
+	m, _ := NewModel(tinyConfig())
+	rng := rand.New(rand.NewSource(21))
+	samples := makeToySamples(3, rng, 16)
+	// Zero epochs/batch fall back to defaults rather than looping zero
+	// times.
+	stats, err := m.Train(samples, TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Epochs) != 1 {
+		t.Fatalf("epochs = %d, want 1 (default)", len(stats.Epochs))
+	}
+	if stats.Epochs[0].Batches == 0 {
+		t.Fatal("no batches ran")
+	}
+}
+
+func TestTrainLogOutput(t *testing.T) {
+	m, _ := NewModel(tinyConfig())
+	rng := rand.New(rand.NewSource(22))
+	samples := makeToySamples(4, rng, 16)
+	var buf logBuffer
+	if _, err := m.Train(samples, TrainOptions{Epochs: 2, BatchSize: 2, Log: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.lines != 2 {
+		t.Fatalf("log lines = %d, want 2", buf.lines)
+	}
+}
+
+type logBuffer struct{ lines int }
+
+func (b *logBuffer) Write(p []byte) (int, error) {
+	for _, c := range p {
+		if c == '\n' {
+			b.lines++
+		}
+	}
+	return len(p), nil
+}
+
+func TestPredictEmptyInput(t *testing.T) {
+	m, _ := NewModel(tinyConfig())
+	if got := m.Predict(nil, []float32{0.1, 0.2}, 4); len(got) != 0 {
+		t.Fatalf("predict(nil) = %d images", len(got))
+	}
+}
+
+func TestPredictPanicsOnWrongParamCount(t *testing.T) {
+	m, _ := NewModel(tinyConfig())
+	acc := []*heatmap.Heatmap{heatmap.NewHeatmap("a", 16, 16)}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong param count accepted")
+		}
+	}()
+	m.Predict(acc, []float32{0.5}, 1)
+}
+
+func TestGammaCodecSuppressesBackgroundBias(t *testing.T) {
+	// The sqrt (gamma=2) codec's decode must be quadratically less
+	// sensitive to small activations above -1 than the linear codec:
+	// the property that keeps predicted miss sums stable.
+	lin := Codec{Cap: 48, Gamma: 1}
+	sq := Codec{Cap: 48, Gamma: 2}
+	eps := float32(-1 + 0.05) // a small background activation
+	if sq.DecodeValue(eps) >= lin.DecodeValue(eps) {
+		t.Fatalf("gamma decode %v not below linear %v",
+			sq.DecodeValue(eps), lin.DecodeValue(eps))
+	}
+	// And it must remain exactly invertible below saturation.
+	for _, v := range []float32{0, 1, 7, 20, 48} {
+		got := sq.DecodeValue(sq.EncodeValue(v))
+		if d := got - v; d > 1e-3 || d < -1e-3 {
+			t.Fatalf("gamma round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestLSGANVariantTrains(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.LSGAN = true
+	cfg.LR = 2e-3
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(50))
+	samples := makeToySamples(16, rng, 16)
+	stats, err := m.Train(samples, TrainOptions{Epochs: 8, BatchSize: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := stats.Epochs[0], stats.Final()
+	if last.GL1 >= first.GL1 {
+		t.Fatalf("LSGAN variant did not learn: %v -> %v", first.GL1, last.GL1)
+	}
+	// The LSGAN config round-trips through serialisation.
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m2.Cfg.LSGAN {
+		t.Fatal("LSGAN flag lost through save/load")
+	}
+}

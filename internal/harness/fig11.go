@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"time"
+
+	"cachebox/internal/cachesim"
+	"cachebox/internal/core"
+	"cachebox/internal/heatmap"
+	"cachebox/internal/multicachesim"
+)
+
+// Fig11Result is the RQ5 outcome: CB-GAN inference time per batch
+// size, the batch-32 speedup over batch-1 (paper: 2.4×), and the
+// MultiCacheSim comparison (paper: sequential CBox ≈ 1.67× faster).
+type Fig11Result struct {
+	BatchSizes []int
+	// Seconds[i] is the wall time to predict the whole heatmap set at
+	// BatchSizes[i].
+	Seconds []float64
+	// Speedup32 is Seconds[batch=1] / Seconds[batch=32].
+	Speedup32 float64
+	// MCSSeconds is MultiCacheSim's wall time over the same trace;
+	// CBoxVsMCS is MCSSeconds / sequential CBox seconds.
+	MCSSeconds float64
+	CBoxVsMCS  float64
+	Heatmaps   int
+}
+
+// Fig11 measures batched inference. Batching folds each network layer
+// of the whole batch into one large GEMM, so bigger batches amortise
+// per-layer overhead — the same mechanism (amortising fixed per-call
+// cost) that gives GPUs their batched speedup in the paper.
+func (r *Runner) Fig11() (*Fig11Result, error) {
+	train, test := r.split(r.specSuite().Benchmarks)
+	m, err := r.rq2Model(train)
+	if err != nil {
+		return nil, err
+	}
+	cfg := L1Default
+	// Collect a pool of access heatmaps from the test benchmarks.
+	var access []*heatmap.Heatmap
+	var traceLen int
+	mcs, err := multicachesim.New(1, multicachesim.Config{Sets: cfg.Sets, Ways: cfg.Ways})
+	if err != nil {
+		return nil, err
+	}
+	var mcsTime time.Duration
+	for _, b := range test {
+		tr := b.Trace()
+		traceLen += tr.Len()
+		t0 := time.Now()
+		mcs.RunTrace(tr)
+		mcsTime += time.Since(t0)
+		lt := cachesim.RunTrace(cachesim.New(cfg), tr)
+		pairs, err := heatmap.BuildPair(r.Profile.Heatmap, lt.Accesses, lt.Misses)
+		if err != nil {
+			return nil, err
+		}
+		if r.Profile.MaxPairs > 0 && len(pairs) > r.Profile.MaxPairs {
+			pairs = pairs[:r.Profile.MaxPairs]
+		}
+		for _, pr := range pairs {
+			access = append(access, pr.Access)
+		}
+	}
+	params := core.CacheParams(cfg)
+	res := &Fig11Result{BatchSizes: []int{1, 2, 4, 8, 16, 32}, Heatmaps: len(access)}
+	r.logf("\nFigure 11 (RQ5): inference time vs batch size (%d heatmaps, %d trace accesses)\n", len(access), traceLen)
+	m.Predict(access[:min(4, len(access))], params, 2) // warm up allocator
+	for _, bs := range res.BatchSizes {
+		t0 := time.Now()
+		m.Predict(access, params, bs)
+		secs := time.Since(t0).Seconds()
+		res.Seconds = append(res.Seconds, secs)
+		r.logf("batch %2d: %8.3fs (%.1f heatmaps/s)\n", bs, secs, float64(len(access))/secs)
+	}
+	res.Speedup32 = res.Seconds[0] / res.Seconds[len(res.Seconds)-1]
+	res.MCSSeconds = mcsTime.Seconds()
+	res.CBoxVsMCS = res.MCSSeconds / res.Seconds[0]
+	r.logf("batch-32 speedup over batch-1: %.2fx (paper: 2.4x)\n", res.Speedup32)
+	r.logf("MultiCacheSim: %.3fs; sequential CBox vs MCS: %.2fx (paper: ~1.67x)\n", res.MCSSeconds, res.CBoxVsMCS)
+	return res, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

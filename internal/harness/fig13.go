@@ -1,0 +1,140 @@
+package harness
+
+import (
+	"fmt"
+
+	"cachebox/internal/cachesim"
+	"cachebox/internal/core"
+	"cachebox/internal/heatmap"
+	"cachebox/internal/metrics"
+	"cachebox/internal/workload"
+)
+
+// Fig13Row is one benchmark's prefetcher-modelling accuracy.
+type Fig13Row struct {
+	Bench string
+	MSE   float64
+	SSIM  float64
+}
+
+// Fig13Result is the RQ7 outcome: CB-GAN trained on access→prefetch
+// heatmap pairs for a next-line prefetcher (paper Figure 13: low MSE,
+// high SSIM).
+type Fig13Result struct {
+	Rows     []Fig13Row
+	MeanMSE  float64
+	MeanSSIM float64
+}
+
+// prefetchPairs simulates bench with a recording next-line prefetcher
+// on the L1 and builds aligned access/prefetch heatmap pairs.
+func (r *Runner) prefetchPairs(b workload.Benchmark) ([]heatmap.Pair, error) {
+	c := cachesim.New(L1Default)
+	rec := &cachesim.RecordingPrefetcher{Inner: &cachesim.NextLinePrefetcher{}}
+	c.Prefetcher = rec
+	tr := b.Trace()
+	cachesim.RunTrace(c, tr)
+	pf := heatmap.PrefetchTrace(b.Name+".prefetch", rec.Records, 6)
+	if tr.Len() == 0 {
+		return nil, fmt.Errorf("harness: empty trace")
+	}
+	baseIC := tr.Accesses[0].IC
+	am, err := heatmap.Build(r.Profile.Heatmap, tr, baseIC)
+	if err != nil {
+		return nil, err
+	}
+	pm, err := heatmap.Build(r.Profile.Heatmap, pf, baseIC)
+	if err != nil {
+		return nil, err
+	}
+	n := len(am)
+	if len(pm) < n {
+		n = len(pm)
+	}
+	if r.Profile.MaxPairs > 0 && n > r.Profile.MaxPairs {
+		n = r.Profile.MaxPairs
+	}
+	pairs := make([]heatmap.Pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = heatmap.Pair{Access: am[i], Miss: pm[i]}
+	}
+	return pairs, nil
+}
+
+// Fig13 runs RQ7: learn next-line prefetcher behaviour and report
+// MSE/SSIM between Real and Synthetic prefetch heatmaps. Following
+// the paper, only a subset of the suite is used.
+func (r *Runner) Fig13() (*Fig13Result, error) {
+	train, test := r.split(r.specSuite().Benchmarks)
+	params := core.CacheParams(L1Default)
+	m, err := r.trainOrLoad("fig13-prefetch", func() (*core.Model, error) {
+		var ds []core.Sample
+		for _, b := range train {
+			pairs, err := r.prefetchPairs(b)
+			if err != nil {
+				return nil, err
+			}
+			for _, pr := range pairs {
+				ds = append(ds, core.Sample{Access: pr.Access, Miss: pr.Miss, Params: params, Bench: b.Name})
+			}
+		}
+		if len(ds) == 0 {
+			return nil, fmt.Errorf("harness: no prefetch samples")
+		}
+		mc := r.Profile.Model
+		// Prefetch heatmaps are as dense as access heatmaps (next-line
+		// fires on every access), so give the target codec the access
+		// cap.
+		mc.MissPixelCap = mc.PixelCap
+		model, err := core.NewModel(mc)
+		if err != nil {
+			return nil, err
+		}
+		r.logf("[fig13] training on %d access/prefetch pairs\n", len(ds))
+		if _, err := model.Train(ds, core.TrainOptions{Epochs: r.Profile.EpochsAux, BatchSize: r.Profile.BatchSize, Seed: 7}); err != nil {
+			return nil, err
+		}
+		return model, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig13Result{}
+	r.logf("\nFigure 13 (RQ7): next-line prefetcher modelling (MSE / SSIM per benchmark)\n")
+	var mses, ssims []float64
+	for _, b := range test {
+		pairs, err := r.prefetchPairs(b)
+		if err != nil || len(pairs) == 0 {
+			continue
+		}
+		var access, real []*heatmap.Heatmap
+		for _, pr := range pairs {
+			access = append(access, pr.Access)
+			real = append(real, pr.Miss)
+		}
+		pred := m.Predict(access, params, 8)
+		var mse, ssim float64
+		for i := range pred {
+			mv, err := metrics.MSE(pred[i], real[i])
+			if err != nil {
+				return nil, err
+			}
+			sv, err := metrics.SSIM(pred[i], real[i], float64(m.Cfg.PixelCap))
+			if err != nil {
+				return nil, err
+			}
+			mse += mv
+			ssim += sv
+		}
+		mse /= float64(len(pred))
+		ssim /= float64(len(pred))
+		res.Rows = append(res.Rows, Fig13Row{Bench: b.Name, MSE: mse, SSIM: ssim})
+		mses = append(mses, mse)
+		ssims = append(ssims, ssim)
+		r.logf("%-34s MSE=%9.4f SSIM=%7.4f\n", b.Name, mse, ssim)
+	}
+	res.MeanMSE = metrics.Mean(mses)
+	res.MeanSSIM = metrics.Mean(ssims)
+	r.logf("mean MSE=%.4f mean SSIM=%.4f\n", res.MeanMSE, res.MeanSSIM)
+	return res, nil
+}

@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"strings"
+
+	"cachebox/internal/cachesim"
+	"cachebox/internal/metrics"
+)
+
+// Fig14Result is the dataset analysis of §6.1: the histogram of true
+// hit rates across the spec-like suite on the default L1 (paper
+// Figure 14: over 95% of SPEC benchmarks exceed a 65% hit rate), plus
+// the per-level fractions the paper quotes for L2 and L3.
+type Fig14Result struct {
+	Bins          []metrics.HistBin
+	FracAbove65L1 float64
+	FracAbove40L2 float64
+	FracAbove35L3 float64
+	Benchmarks    int
+}
+
+// Fig14 simulates every benchmark on the L1/L2/L3 hierarchy and
+// histograms the hit rates.
+func (r *Runner) Fig14() (*Fig14Result, error) {
+	benches := r.specSuite().Benchmarks
+	var l1, l2, l3 []float64
+	for _, b := range benches {
+		h, err := cachesim.NewHierarchy(HierarchyConfigs...)
+		if err != nil {
+			return nil, err
+		}
+		lts := cachesim.RunHierarchy(h, b.Trace())
+		l1 = append(l1, lts[0].HitRate())
+		l2 = append(l2, lts[1].HitRate())
+		l3 = append(l3, lts[2].HitRate())
+	}
+	res := &Fig14Result{
+		Bins:          metrics.RateHistogram(l1, 20),
+		FracAbove65L1: metrics.FractionAbove(l1, 0.65),
+		FracAbove40L2: metrics.FractionAbove(l2, 0.40),
+		FracAbove35L3: metrics.FractionAbove(l3, 0.35),
+		Benchmarks:    len(benches),
+	}
+	r.logf("\nFigure 14: histogram of true L1 (64set-12way) hit rates over %d spec-like benchmarks\n", len(benches))
+	for _, bin := range res.Bins {
+		r.logf("[%4.2f,%4.2f) %3d %s\n", bin.Lo, bin.Hi, bin.Count, strings.Repeat("#", bin.Count))
+	}
+	r.logf("fraction above 65%% on L1: %.1f%% (paper: >95%% of SPEC)\n", res.FracAbove65L1*100)
+	r.logf("fraction above 40%% on L2: %.1f%% (paper: 70%%)\n", res.FracAbove40L2*100)
+	r.logf("fraction above 35%% on L3: %.1f%% (paper: 55%%)\n", res.FracAbove35L3*100)
+	return res, nil
+}

@@ -1,0 +1,57 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"cachebox/internal/cachesim"
+	"cachebox/internal/heatmap"
+	"cachebox/internal/workload"
+)
+
+// Fig3Result reports where the rendered heatmap PNGs were written.
+type Fig3Result struct {
+	Paths []string
+}
+
+// Fig3 reproduces Figures 3 and 4: it renders a Polybench-style
+// benchmark's access and miss heatmaps (including a consecutive pair
+// showing the 30% overlap) as PNG files under the artifacts directory.
+func (r *Runner) Fig3() (*Fig3Result, error) {
+	suite := workload.PolyLike(r.Profile.Ops, r.Profile.SuiteScale)
+	b := suite.Benchmarks[0]
+	lt := cachesim.RunTrace(cachesim.New(L1Default), b.Trace())
+	pairs, err := heatmap.BuildPair(r.Profile.Heatmap, lt.Accesses, lt.Misses)
+	if err != nil {
+		return nil, err
+	}
+	if len(pairs) < 2 {
+		return nil, fmt.Errorf("harness: %s too short for consecutive heatmaps", b.Name)
+	}
+	dir := filepath.Join(r.ArtifactsDir, "fig3")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	res := &Fig3Result{}
+	write := func(name string, m *heatmap.Heatmap) error {
+		path := filepath.Join(dir, name)
+		if err := heatmap.WritePNG(path, m); err != nil {
+			return err
+		}
+		res.Paths = append(res.Paths, path)
+		return nil
+	}
+	for i := 0; i < 2; i++ {
+		if err := write(fmt.Sprintf("access-%d.png", i), pairs[i].Access); err != nil {
+			return nil, err
+		}
+		if err := write(fmt.Sprintf("miss-%d.png", i), pairs[i].Miss); err != nil {
+			return nil, err
+		}
+	}
+	r.logf("\nFigure 3/4: wrote %d heatmap PNGs for %s under %s\n", len(res.Paths), b.Name, dir)
+	r.logf("consecutive images overlap by %d of %d columns (30%%)\n",
+		r.Profile.Heatmap.OverlapCols(), r.Profile.Heatmap.Width)
+	return res, nil
+}

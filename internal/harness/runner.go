@@ -1,0 +1,235 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"cachebox/internal/cachesim"
+	"cachebox/internal/core"
+	"cachebox/internal/heatmap"
+	"cachebox/internal/metrics"
+	"cachebox/internal/workload"
+)
+
+// Hit-rate thresholds of the paper's §6.1 "high data regime" rule, per
+// hierarchy level.
+var levelThresholds = []float64{0.65, 0.40, 0.35}
+
+// The paper's cache configurations.
+var (
+	// L1Default is the 64set-12way L1D used by RQ1/RQ4–RQ7.
+	L1Default = cachesim.Config{Sets: 64, Ways: 12}
+	// RQ2Configs are the four L1 configurations one model is trained
+	// on (Figure 8).
+	RQ2Configs = []cachesim.Config{
+		{Sets: 64, Ways: 12},
+		{Sets: 128, Ways: 12},
+		{Sets: 128, Ways: 6},
+		{Sets: 128, Ways: 3},
+	}
+	// RQ3Configs are the three configurations unseen in training
+	// (Figure 9).
+	RQ3Configs = []cachesim.Config{
+		{Sets: 256, Ways: 6},
+		{Sets: 256, Ways: 12},
+		{Sets: 32, Ways: 12},
+	}
+	// HierarchyConfigs are the L1/L2/L3 setup of Figure 10.
+	HierarchyConfigs = []cachesim.Config{
+		{Sets: 64, Ways: 12},
+		{Sets: 1024, Ways: 8},
+		{Sets: 2048, Ways: 16},
+	}
+)
+
+// Runner executes experiments, caching trained models under
+// ArtifactsDir.
+type Runner struct {
+	Scale        Scale
+	Profile      Profile
+	ArtifactsDir string
+	Out          io.Writer
+	// SplitSeed fixes the train/test split.
+	SplitSeed int64
+}
+
+// NewRunner builds a runner writing human-readable results to out.
+func NewRunner(scale Scale, artifactsDir string, out io.Writer) *Runner {
+	if out == nil {
+		out = io.Discard
+	}
+	return &Runner{
+		Scale:        scale,
+		Profile:      ProfileFor(scale),
+		ArtifactsDir: artifactsDir,
+		Out:          out,
+		SplitSeed:    42,
+	}
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	fmt.Fprintf(r.Out, format, args...)
+}
+
+// suites builds the three benchmark suites at the runner's scale.
+func (r *Runner) suites() []workload.Suite {
+	p := r.Profile
+	return []workload.Suite{
+		workload.SpecLike(p.SpecGroups, p.SpecPhases, p.Ops),
+		workload.LigraLike(p.Ops, p.SuiteScale),
+		workload.PolyLike(p.Ops, p.SuiteScale),
+	}
+}
+
+// specSuite builds only the spec-like suite (most experiments, like
+// the paper's, run on SPEC "due to high volume of data").
+func (r *Runner) specSuite() workload.Suite {
+	p := r.Profile
+	return workload.SpecLike(p.SpecGroups, p.SpecPhases, p.Ops)
+}
+
+// split returns the 80/20 benchmark split (grouped by program).
+func (r *Runner) split(benches []workload.Benchmark) (train, test []workload.Benchmark) {
+	return workload.Split(benches, 0.8, r.SplitSeed)
+}
+
+// pairsFor simulates one benchmark/config and returns capped heatmap
+// pairs plus the true hit rate.
+func (r *Runner) pairsFor(b workload.Benchmark, cfg cachesim.Config) ([]heatmap.Pair, float64, error) {
+	tr := b.Trace()
+	lt := cachesim.RunTrace(cachesim.New(cfg), tr)
+	pairs, err := heatmap.BuildPair(r.Profile.Heatmap, lt.Accesses, lt.Misses)
+	if err != nil {
+		return nil, 0, err
+	}
+	if r.Profile.MaxPairs > 0 && len(pairs) > r.Profile.MaxPairs {
+		pairs = pairs[:r.Profile.MaxPairs]
+	}
+	return pairs, lt.HitRate(), nil
+}
+
+// dataset assembles training samples over benches × cfgs, applying the
+// high-data-regime threshold.
+func (r *Runner) dataset(benches []workload.Benchmark, cfgs []cachesim.Config, minHit float64) ([]core.Sample, error) {
+	var out []core.Sample
+	for _, cfg := range cfgs {
+		params := core.CacheParams(cfg)
+		for _, b := range benches {
+			pairs, hr, err := r.pairsFor(b, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("harness: %s: %w", b.Name, err)
+			}
+			if hr < minHit {
+				continue
+			}
+			for _, pr := range pairs {
+				out = append(out, core.Sample{Access: pr.Access, Miss: pr.Miss, Params: params, Bench: b.Name})
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("harness: empty dataset")
+	}
+	return out, nil
+}
+
+// modelPath places a cached model artifact.
+func (r *Runner) modelPath(name string) string {
+	return filepath.Join(r.ArtifactsDir, fmt.Sprintf("%s-%s.cbgan", r.Scale, name))
+}
+
+// trainOrLoad returns the named model, training it with build() on a
+// cache miss and persisting the result.
+func (r *Runner) trainOrLoad(name string, build func() (*core.Model, error)) (*core.Model, error) {
+	path := r.modelPath(name)
+	if m, err := core.LoadFile(path); err == nil {
+		r.logf("[%s] loaded cached model %s\n", name, path)
+		return m, nil
+	}
+	t0 := time.Now()
+	m, err := build()
+	if err != nil {
+		return nil, err
+	}
+	r.logf("[%s] trained in %.1fs\n", name, time.Since(t0).Seconds())
+	if r.ArtifactsDir != "" {
+		if err := os.MkdirAll(r.ArtifactsDir, 0o755); err == nil {
+			if err := m.SaveFile(path); err != nil {
+				r.logf("[%s] warning: could not cache model: %v\n", name, err)
+			}
+		}
+	}
+	return m, nil
+}
+
+// evaluate predicts a benchmark's hit rate under cfg with the model
+// and compares against the simulator.
+func (r *Runner) evaluate(m *core.Model, b workload.Benchmark, cfg cachesim.Config, batch int) (trueHR, predHR float64, err error) {
+	pairs, _, err := r.pairsFor(b, cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(pairs) == 0 {
+		return 0, 0, fmt.Errorf("harness: %s yields no heatmaps", b.Name)
+	}
+	var access, miss []*heatmap.Heatmap
+	for _, pr := range pairs {
+		access = append(access, pr.Access)
+		miss = append(miss, pr.Miss)
+	}
+	trueHR, err = heatmap.HitRate(r.Profile.Heatmap, access, miss)
+	if err != nil {
+		return 0, 0, err
+	}
+	pred := m.Predict(access, core.CacheParams(cfg), batch)
+	for i := range pred {
+		pred[i] = heatmap.ConstrainMiss(pred[i], access[i])
+	}
+	predHR, err = heatmap.HitRate(r.Profile.Heatmap, access, pred)
+	return trueHR, predHR, err
+}
+
+// BenchRow is one per-benchmark result line.
+type BenchRow struct {
+	Bench    string
+	TrueHit  float64
+	PredHit  float64
+	AbsDiff  float64 // percentage points
+	Excluded bool
+}
+
+// renderRows prints a result table and returns the mean abs diff of
+// included rows.
+func (r *Runner) renderRows(title string, rows []BenchRow) float64 {
+	r.logf("\n%s\n%s\n", title, strings.Repeat("-", len(title)))
+	r.logf("%-34s %9s %9s %9s\n", "benchmark", "true", "pred", "|diff|%")
+	var diffs []float64
+	for _, row := range rows {
+		if row.Excluded {
+			r.logf("%-34s %9s %9s %9s\n", row.Bench, "excl", "-", "-")
+			continue
+		}
+		marker := ""
+		switch {
+		case row.AbsDiff < 1:
+			marker = " •" // the paper's black dot: <1%
+		case row.AbsDiff < 2:
+			marker = " *" // the paper's green star: 1-2%
+		}
+		r.logf("%-34s %9.4f %9.4f %8.2f%s\n", row.Bench, row.TrueHit, row.PredHit, row.AbsDiff, marker)
+		diffs = append(diffs, row.AbsDiff)
+	}
+	avg := metrics.Mean(diffs)
+	r.logf("average absolute percentage difference: %.2f%% over %d benchmarks\n", avg, len(diffs))
+	return avg
+}
+
+// sortRows orders rows by name for stable output.
+func sortRows(rows []BenchRow) {
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Bench < rows[j].Bench })
+}

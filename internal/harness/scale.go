@@ -1,0 +1,110 @@
+// Package harness reproduces every table and figure of the paper's
+// evaluation: one runner per experiment (Figures 3, 7–14 and Table 1),
+// sharing trained models through an artifact cache so related
+// experiments (RQ2/RQ3/RQ5/RQ6 all use the four-configuration model)
+// train once.
+package harness
+
+import (
+	"fmt"
+
+	"cachebox/internal/core"
+	"cachebox/internal/heatmap"
+)
+
+// Scale selects how much compute the experiments spend. The shapes of
+// the results (who wins, where crossovers fall) hold at every scale;
+// absolute accuracy improves with scale.
+type Scale int
+
+const (
+	// Tiny finishes in tens of seconds; used by the test suite and CI.
+	Tiny Scale = iota
+	// Small is the default: minutes per experiment on one CPU core.
+	Small
+	// Full mirrors the paper's 512×512 geometry and network width;
+	// it needs hours and real hardware, and exists so the paper's
+	// exact configuration is expressible.
+	Full
+)
+
+// ParseScale converts a flag value.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "tiny":
+		return Tiny, nil
+	case "small", "":
+		return Small, nil
+	case "full":
+		return Full, nil
+	default:
+		return 0, fmt.Errorf("harness: unknown scale %q (tiny|small|full)", s)
+	}
+}
+
+// String names the scale.
+func (s Scale) String() string {
+	switch s {
+	case Tiny:
+		return "tiny"
+	case Small:
+		return "small"
+	case Full:
+		return "full"
+	default:
+		return "unknown"
+	}
+}
+
+// Profile bundles every scale-dependent knob.
+type Profile struct {
+	// Heatmap geometry.
+	Heatmap heatmap.Config
+	// Model architecture template (per-experiment runners adjust
+	// conditioning etc.).
+	Model core.Config
+	// Ops is the per-benchmark access budget.
+	Ops int
+	// SpecGroups / SpecPhases size the spec-like suite; SuiteScale
+	// sizes ligra-like and poly-like problem sizes.
+	SpecGroups, SpecPhases int
+	SuiteScale             float64
+	// MaxPairs caps heatmap pairs per benchmark per config.
+	MaxPairs int
+	// Epochs / EpochsAux are the training budgets for headline models
+	// and auxiliary (per-level, prefetcher) models.
+	Epochs, EpochsAux int
+	// BatchSize is the training batch size.
+	BatchSize int
+}
+
+// ProfileFor returns the knob settings of a scale.
+func ProfileFor(s Scale) Profile {
+	switch s {
+	case Tiny:
+		hm := heatmap.DefaultConfig()
+		hm.Height, hm.Width = 16, 16
+		hm.WindowInstr = 150
+		mc := core.DefaultConfig()
+		mc.ImageSize = 16
+		mc.NGF, mc.NDF = 4, 4
+		mc.PixelCap, mc.MissPixelCap = 96, 24
+		return Profile{
+			Heatmap: hm, Model: mc,
+			Ops: 20000, SpecGroups: 5, SpecPhases: 2, SuiteScale: 0.15,
+			MaxPairs: 6, Epochs: 3, EpochsAux: 2, BatchSize: 4,
+		}
+	case Full:
+		return Profile{
+			Heatmap: heatmap.PaperConfig(), Model: core.PaperConfig(),
+			Ops: 5_000_000, SpecGroups: 90, SpecPhases: 2, SuiteScale: 1.0,
+			MaxPairs: 200, Epochs: 200, EpochsAux: 100, BatchSize: 8,
+		}
+	default: // Small
+		return Profile{
+			Heatmap: heatmap.DefaultConfig(), Model: core.DefaultConfig(),
+			Ops: 120000, SpecGroups: 20, SpecPhases: 1, SuiteScale: 0.25,
+			MaxPairs: 14, Epochs: 35, EpochsAux: 18, BatchSize: 8,
+		}
+	}
+}

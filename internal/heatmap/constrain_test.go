@@ -1,0 +1,56 @@
+package heatmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstrainMissClampsToSupport(t *testing.T) {
+	access := NewHeatmap("a", 2, 2)
+	access.Pix = []float32{0, 3, 5, 1}
+	pred := NewHeatmap("p", 2, 2)
+	pred.Pix = []float32{2, -1, 9, 0.5}
+	out := ConstrainMiss(pred, access)
+	want := []float32{0, 0, 5, 0.5}
+	for i := range want {
+		if out.Pix[i] != want[i] {
+			t.Fatalf("pix[%d] = %v, want %v", i, out.Pix[i], want[i])
+		}
+	}
+	// The input prediction must not be mutated.
+	if pred.Pix[0] != 2 {
+		t.Fatal("ConstrainMiss mutated its input")
+	}
+}
+
+// Properties: output is within [0, access] everywhere, and a
+// prediction already within support is unchanged.
+func TestConstrainMissProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := NewHeatmap("a", 4, 4)
+		p := NewHeatmap("p", 4, 4)
+		for i := range a.Pix {
+			a.Pix[i] = rng.Float32() * 10
+			p.Pix[i] = rng.Float32()*20 - 5
+		}
+		out := ConstrainMiss(p, a)
+		for i := range out.Pix {
+			if out.Pix[i] < 0 || out.Pix[i] > a.Pix[i] {
+				return false
+			}
+		}
+		// Idempotence.
+		again := ConstrainMiss(out, a)
+		for i := range again.Pix {
+			if again.Pix[i] != out.Pix[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,333 @@
+// Package heatmap converts memory access traces into the 2D heatmap
+// images CacheBox learns from (paper §3.1).
+//
+// A heatmap's y-axis is a fixed-size modulo mapping of the (block)
+// address space and its x-axis is instruction time, binned into windows
+// of a configured number of instructions. Each pixel counts the
+// accesses to that modulo-address during that window. A long trace
+// yields one very wide map, which is split into Width-column images
+// with a configurable overlap fraction (30% in the paper) so each image
+// carries "warmup" context from its predecessor.
+//
+// Access and miss heatmaps built from a level's access stream and its
+// miss sub-stream share the same column binning, so they form aligned
+// training pairs, and the sum of pixels equals the access (resp. miss)
+// count — the property the hit-rate calculation (paper §4.4) relies on.
+package heatmap
+
+import (
+	"fmt"
+	"math"
+
+	"cachebox/internal/trace"
+)
+
+// Config controls heatmap generation.
+type Config struct {
+	// Height is the modulo of the address mapping (paper: 512; scaled
+	// default here: 32).
+	Height int
+	// Width is the number of instruction windows per image (paper:
+	// 512; scaled default: 32).
+	Width int
+	// WindowInstr is the number of instructions per column (paper:
+	// 100; scaled default 300, so a column aggregates roughly 100
+	// memory accesses at the suites' access density).
+	WindowInstr uint64
+	// Overlap is the fraction of each image duplicated from its
+	// predecessor (paper: 0.30).
+	Overlap float64
+	// AddrShift drops low address bits before the modulo, so the
+	// y-axis is block-granular. Default 6 (64-byte blocks).
+	AddrShift uint
+	// KeepPartial retains a trailing image padded with empty columns
+	// when the trace does not fill it. Default false: only complete
+	// images are emitted, as in the paper's fixed-size dataset.
+	KeepPartial bool
+}
+
+// DefaultConfig is the scaled-down default geometry used throughout
+// the repository: 32×32 heatmaps with 300-instruction windows (~100
+// memory accesses per column at typical access density) and 30%
+// overlap, matching core.DefaultConfig's image size and pixel caps.
+// Use PaperConfig for the paper's exact 512×512 geometry.
+func DefaultConfig() Config {
+	return Config{Height: 32, Width: 32, WindowInstr: 300, Overlap: 0.30, AddrShift: 6}
+}
+
+// PaperConfig is the geometry used in the paper: 512×512 with
+// 100-instruction windows and 30% overlap.
+func PaperConfig() Config {
+	return Config{Height: 512, Width: 512, WindowInstr: 100, Overlap: 0.30, AddrShift: 6}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Height <= 0 || c.Width <= 0 {
+		return fmt.Errorf("heatmap: dimensions must be positive, got %dx%d", c.Height, c.Width)
+	}
+	if c.WindowInstr == 0 {
+		return fmt.Errorf("heatmap: window must be positive")
+	}
+	if c.Overlap < 0 || c.Overlap >= 1 {
+		return fmt.Errorf("heatmap: overlap must be in [0,1), got %v", c.Overlap)
+	}
+	return nil
+}
+
+// OverlapCols returns the number of overlapped columns between
+// consecutive images.
+func (c Config) OverlapCols() int {
+	return int(c.Overlap*float64(c.Width) + 0.5)
+}
+
+// strideCols is the number of fresh columns each successive image
+// contributes.
+func (c Config) strideCols() int {
+	s := c.Width - c.OverlapCols()
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Heatmap is one H×W image of access counts.
+type Heatmap struct {
+	// Name labels the source trace.
+	Name string
+	// Index is the image's position in the split sequence.
+	Index int
+	// StartCol is the global wide-map column this image starts at.
+	StartCol int
+	// H, W are the dimensions.
+	H, W int
+	// Pix holds counts in row-major order: Pix[y*W+x].
+	Pix []float32
+}
+
+// NewHeatmap allocates a zero heatmap.
+func NewHeatmap(name string, h, w int) *Heatmap {
+	return &Heatmap{Name: name, H: h, W: w, Pix: make([]float32, h*w)}
+}
+
+// At returns the pixel at row y, column x.
+func (m *Heatmap) At(y, x int) float32 { return m.Pix[y*m.W+x] }
+
+// Set assigns the pixel at row y, column x.
+func (m *Heatmap) Set(y, x int, v float32) { m.Pix[y*m.W+x] = v }
+
+// Sum returns the total of all pixel values (= the access count the
+// image represents, including overlap columns).
+func (m *Heatmap) Sum() float64 {
+	var s float64
+	for _, v := range m.Pix {
+		s += float64(v)
+	}
+	return s
+}
+
+// ColumnSum returns the total of column x.
+func (m *Heatmap) ColumnSum(x int) float64 {
+	var s float64
+	for y := 0; y < m.H; y++ {
+		s += float64(m.Pix[y*m.W+x])
+	}
+	return s
+}
+
+// SumFrom returns the total of all pixels in columns [from, W).
+func (m *Heatmap) SumFrom(from int) float64 {
+	var s float64
+	for y := 0; y < m.H; y++ {
+		row := m.Pix[y*m.W : (y+1)*m.W]
+		for x := from; x < m.W; x++ {
+			s += float64(row[x])
+		}
+	}
+	return s
+}
+
+// Clone returns a deep copy.
+func (m *Heatmap) Clone() *Heatmap {
+	c := *m
+	c.Pix = append([]float32(nil), m.Pix...)
+	return &c
+}
+
+// Scale multiplies every pixel by f (the paper scales inputs by two
+// before feeding the model).
+func (m *Heatmap) Scale(f float32) {
+	for i := range m.Pix {
+		m.Pix[i] *= f
+	}
+}
+
+// Max returns the maximum pixel value.
+func (m *Heatmap) Max() float32 {
+	var mx float32
+	for _, v := range m.Pix {
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// wideMap accumulates the full-width map before splitting.
+type wideMap struct {
+	h      int
+	cols   []([]float32) // cols[x][y]
+	baseIC uint64
+}
+
+// buildWide bins every access into (column, modulo-row) cells. baseIC
+// anchors column 0; pass the first access's IC of the *access* stream
+// for both access and miss maps so they align.
+func buildWide(cfg Config, t *trace.Trace, baseIC uint64) *wideMap {
+	w := &wideMap{h: cfg.Height, baseIC: baseIC}
+	for _, a := range t.Accesses {
+		if a.IC < baseIC {
+			continue
+		}
+		col := int((a.IC - baseIC) / cfg.WindowInstr)
+		for col >= len(w.cols) {
+			w.cols = append(w.cols, make([]float32, cfg.Height))
+		}
+		row := int((a.Addr >> cfg.AddrShift) % uint64(cfg.Height))
+		w.cols[col][row]++
+	}
+	return w
+}
+
+// split carves the wide map into overlapping Width-column images.
+func (w *wideMap) split(cfg Config, name string) []*Heatmap {
+	stride := cfg.strideCols()
+	var out []*Heatmap
+	for start, idx := 0, 0; start+cfg.Width <= len(w.cols) || (cfg.KeepPartial && start < len(w.cols)); start, idx = start+stride, idx+1 {
+		m := NewHeatmap(name, cfg.Height, cfg.Width)
+		m.Index = idx
+		m.StartCol = start
+		for x := 0; x < cfg.Width && start+x < len(w.cols); x++ {
+			col := w.cols[start+x]
+			for y := 0; y < cfg.Height; y++ {
+				m.Pix[y*cfg.Width+x] = col[y]
+			}
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// Build converts a trace into overlapping heatmap images. baseIC
+// anchors the column binning; pass the same baseIC for streams that
+// must align (use BuildPair for the common access/miss case).
+func Build(cfg Config, t *trace.Trace, baseIC uint64) ([]*Heatmap, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return buildWide(cfg, t, baseIC).split(cfg, t.Name), nil
+}
+
+// Pair is an aligned access/miss heatmap pair: the CB-GAN training
+// sample (x = Access, y = Miss).
+type Pair struct {
+	Access, Miss *Heatmap
+}
+
+// BuildPair converts a level's access stream and miss sub-stream into
+// aligned heatmap pairs. Misses must be a subset of accesses (same
+// instruction counts), as produced by cachesim.RunTrace/RunHierarchy.
+func BuildPair(cfg Config, accesses, misses *trace.Trace) ([]Pair, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if accesses.Len() == 0 {
+		return nil, nil
+	}
+	baseIC := accesses.Accesses[0].IC
+	am := buildWide(cfg, accesses, baseIC).split(cfg, accesses.Name)
+	mm := buildWide(cfg, misses, baseIC).split(cfg, misses.Name)
+	n := len(am)
+	if len(mm) < n {
+		// The miss stream can end earlier than the access stream (a
+		// long hit streak at the end); pad with empty images so pairs
+		// stay aligned.
+		for i := len(mm); i < n; i++ {
+			m := NewHeatmap(misses.Name, cfg.Height, cfg.Width)
+			m.Index = i
+			m.StartCol = i * cfg.strideCols()
+			mm = append(mm, m)
+		}
+	}
+	pairs := make([]Pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = Pair{Access: am[i], Miss: mm[i]}
+	}
+	return pairs, nil
+}
+
+// ConstrainMiss clamps a predicted miss heatmap to the physical
+// support of its access heatmap: misses can only occur where accesses
+// occurred, and at most as many of them (the miss stream is a
+// sub-stream of the access stream). Applying this to CB-GAN output
+// before summing removes the diffuse off-support bias a generative
+// model accumulates over thousands of near-empty pixels.
+func ConstrainMiss(pred, access *Heatmap) *Heatmap {
+	out := pred.Clone()
+	for i, a := range access.Pix {
+		v := out.Pix[i]
+		if v < 0 {
+			v = 0
+		}
+		if v > a {
+			v = a
+		}
+		out.Pix[i] = v
+	}
+	return out
+}
+
+// DedupSum totals a sequence of images counting each overlapped column
+// region once: image 0 contributes all columns, subsequent images only
+// their fresh columns (paper §4.4: "the overlapped region should be
+// accounted for only once").
+func DedupSum(cfg Config, images []*Heatmap) float64 {
+	if len(images) == 0 {
+		return 0
+	}
+	total := images[0].Sum()
+	ov := cfg.OverlapCols()
+	for _, m := range images[1:] {
+		total += m.SumFrom(ov)
+	}
+	return total
+}
+
+// HitRate computes the hit rate implied by aligned access and miss
+// image sequences, de-duplicating overlap (paper §4.4). Predicted miss
+// images may contain non-integral pixel values; negative pixels are
+// clamped to zero.
+func HitRate(cfg Config, access, miss []*Heatmap) (float64, error) {
+	if len(access) != len(miss) {
+		return 0, fmt.Errorf("heatmap: %d access vs %d miss images", len(access), len(miss))
+	}
+	clamped := make([]*Heatmap, len(miss))
+	for i, m := range miss {
+		c := m.Clone()
+		for j, v := range c.Pix {
+			if v < 0 || math.IsNaN(float64(v)) {
+				c.Pix[j] = 0
+			}
+		}
+		clamped[i] = c
+	}
+	acc := DedupSum(cfg, access)
+	if acc == 0 {
+		return 0, fmt.Errorf("heatmap: empty access images")
+	}
+	ms := DedupSum(cfg, clamped)
+	if ms > acc {
+		ms = acc
+	}
+	return 1 - ms/acc, nil
+}

@@ -1,0 +1,377 @@
+package heatmap
+
+import (
+	"bytes"
+	"image/png"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cachebox/internal/cachesim"
+	"cachebox/internal/trace"
+)
+
+func testCfg() Config {
+	return Config{Height: 16, Width: 16, WindowInstr: 10, Overlap: 0.25, AddrShift: 6}
+}
+
+func seqTrace(n int, icStep uint64) *trace.Trace {
+	t := &trace.Trace{Name: "seq"}
+	var ic uint64
+	for i := 0; i < n; i++ {
+		ic += icStep
+		t.Append(uint64(i)*64, ic, false)
+	}
+	return t
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := testCfg()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bads := []Config{
+		{Height: 0, Width: 16, WindowInstr: 10},
+		{Height: 16, Width: 0, WindowInstr: 10},
+		{Height: 16, Width: 16, WindowInstr: 0},
+		{Height: 16, Width: 16, WindowInstr: 10, Overlap: 1.0},
+		{Height: 16, Width: 16, WindowInstr: 10, Overlap: -0.1},
+	}
+	for i, c := range bads {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if DefaultConfig().Validate() != nil || PaperConfig().Validate() != nil {
+		t.Fatal("stock configs invalid")
+	}
+}
+
+func TestOverlapCols(t *testing.T) {
+	c := Config{Width: 512, Overlap: 0.30}
+	if got := c.OverlapCols(); got != 154 {
+		t.Fatalf("overlap cols = %d, want 154", got)
+	}
+	c = Config{Width: 16, Overlap: 0.25}
+	if got := c.OverlapCols(); got != 4 {
+		t.Fatalf("overlap cols = %d, want 4", got)
+	}
+}
+
+func TestBuildPixelSumEqualsAccessCount(t *testing.T) {
+	cfg := testCfg()
+	cfg.Overlap = 0 // no double counting
+	// Exactly fills 3 images: 16 cols * 10 instr / 3 instr-per-access.
+	tr := seqTrace(160, 1) // 160 instr -> 16 columns = 1 image
+	maps, err := Build(cfg, tr, tr.Accesses[0].IC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(maps) < 1 {
+		t.Fatal("no images")
+	}
+	var sum float64
+	for _, m := range maps {
+		sum += m.Sum()
+	}
+	// Some trailing accesses may fall into a discarded partial image.
+	if sum > float64(tr.Len()) {
+		t.Fatalf("pixel sum %v exceeds access count %d", sum, tr.Len())
+	}
+	if sum < float64(tr.Len())*0.8 {
+		t.Fatalf("pixel sum %v too small vs %d", sum, tr.Len())
+	}
+}
+
+func TestBuildModuloMapping(t *testing.T) {
+	cfg := testCfg()
+	tr := &trace.Trace{Name: "m"}
+	// Two accesses, same window, blocks 1 and 17 -> rows 1 and 1 (17 mod 16).
+	tr.Append(1*64, 1, false)
+	tr.Append(17*64, 2, false)
+	// Fill enough instructions for one complete image.
+	tr.Append(0, cfg.WindowInstr*uint64(cfg.Width), false)
+	maps, err := Build(cfg, tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(maps) != 1 {
+		t.Fatalf("images = %d", len(maps))
+	}
+	if got := maps[0].At(1, 0); got != 2 {
+		t.Fatalf("pixel (1,0) = %v, want 2 (modulo aliasing)", got)
+	}
+}
+
+func TestSplitOverlapDuplicatesColumns(t *testing.T) {
+	cfg := testCfg() // width 16, overlap 4 -> stride 12
+	tr := seqTrace(4000, 1)
+	maps, err := Build(cfg, tr, tr.Accesses[0].IC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(maps) < 2 {
+		t.Fatalf("images = %d, want >= 2", len(maps))
+	}
+	ov := cfg.OverlapCols()
+	stride := cfg.Width - ov
+	a, b := maps[0], maps[1]
+	if b.StartCol != stride {
+		t.Fatalf("second image StartCol = %d, want %d", b.StartCol, stride)
+	}
+	// The first ov columns of image 1 equal the last ov columns of image 0.
+	for x := 0; x < ov; x++ {
+		for y := 0; y < cfg.Height; y++ {
+			if a.At(y, stride+x) != b.At(y, x) {
+				t.Fatalf("overlap mismatch at y=%d x=%d", y, x)
+			}
+		}
+	}
+}
+
+func TestBuildPairAlignment(t *testing.T) {
+	cfg := testCfg()
+	rng := rand.New(rand.NewSource(1))
+	tr := &trace.Trace{Name: "p"}
+	var ic uint64
+	for i := 0; i < 5000; i++ {
+		ic += 3
+		tr.Append(uint64(rng.Intn(512))*64, ic, false)
+	}
+	lt := cachesim.RunTrace(cachesim.New(cachesim.Config{Sets: 4, Ways: 2}), tr)
+	pairs, err := BuildPair(cfg, lt.Accesses, lt.Misses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) == 0 {
+		t.Fatal("no pairs")
+	}
+	for i, p := range pairs {
+		if p.Access.Index != i || p.Miss.Index != i {
+			t.Fatalf("pair %d indices %d/%d", i, p.Access.Index, p.Miss.Index)
+		}
+		if p.Access.StartCol != p.Miss.StartCol {
+			t.Fatalf("pair %d misaligned", i)
+		}
+		// Misses are a subset of accesses: per-pixel miss <= access.
+		for j := range p.Access.Pix {
+			if p.Miss.Pix[j] > p.Access.Pix[j] {
+				t.Fatalf("pair %d pixel %d: miss %v > access %v", i, j, p.Miss.Pix[j], p.Access.Pix[j])
+			}
+		}
+	}
+}
+
+func TestHitRateMatchesSimulator(t *testing.T) {
+	// The hit rate recovered from heatmap pairs (overlap-deduplicated)
+	// must match the simulator's true hit rate over the covered window.
+	cfg := testCfg()
+	cfg.Overlap = 0.30
+	rng := rand.New(rand.NewSource(2))
+	tr := &trace.Trace{Name: "hr"}
+	var ic uint64
+	for i := 0; i < 20000; i++ {
+		ic += 3
+		tr.Append(uint64(rng.Intn(256))*64, ic, false)
+	}
+	lt := cachesim.RunTrace(cachesim.New(cachesim.Config{Sets: 16, Ways: 4}), tr)
+	pairs, err := BuildPair(cfg, lt.Accesses, lt.Misses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acc, miss []*Heatmap
+	for _, p := range pairs {
+		acc = append(acc, p.Access)
+		miss = append(miss, p.Miss)
+	}
+	hr, err := HitRate(cfg, acc, miss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := lt.HitRate()
+	if diff := hr - truth; diff > 0.02 || diff < -0.02 {
+		t.Fatalf("heatmap hit rate %v vs simulator %v", hr, truth)
+	}
+}
+
+func TestHitRateClampsNegativeAndOverflow(t *testing.T) {
+	cfg := Config{Height: 2, Width: 2, WindowInstr: 1, Overlap: 0}
+	a := NewHeatmap("a", 2, 2)
+	for i := range a.Pix {
+		a.Pix[i] = 1
+	}
+	m := NewHeatmap("m", 2, 2)
+	m.Pix[0] = -5 // negative prediction clamps to 0
+	m.Pix[1] = 100
+	hr, err := HitRate(cfg, []*Heatmap{a}, []*Heatmap{m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr != 0 { // miss sum clamped to access sum
+		t.Fatalf("hit rate = %v, want 0", hr)
+	}
+	if _, err := HitRate(cfg, []*Heatmap{a}, nil); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	empty := NewHeatmap("e", 2, 2)
+	if _, err := HitRate(cfg, []*Heatmap{empty}, []*Heatmap{empty}); err == nil {
+		t.Fatal("empty access images accepted")
+	}
+}
+
+func TestDedupSumProperty(t *testing.T) {
+	// For any trace, DedupSum over access images equals the number of
+	// accesses in the covered columns (count each column region once).
+	f := func(seed int64) bool {
+		cfg := testCfg()
+		rng := rand.New(rand.NewSource(seed))
+		tr := &trace.Trace{Name: "q"}
+		var ic uint64
+		n := 2000 + rng.Intn(2000)
+		for i := 0; i < n; i++ {
+			ic += uint64(1 + rng.Intn(5))
+			tr.Append(uint64(rng.Intn(1024))*64, ic, false)
+		}
+		maps, err := Build(cfg, tr, tr.Accesses[0].IC)
+		if err != nil || len(maps) == 0 {
+			return err == nil
+		}
+		got := DedupSum(cfg, maps)
+		// Count accesses in the covered global columns directly.
+		stride := cfg.Width - cfg.OverlapCols()
+		lastCol := maps[len(maps)-1].StartCol + cfg.Width
+		_ = stride
+		base := tr.Accesses[0].IC
+		want := 0
+		for _, a := range tr.Accesses {
+			col := int((a.IC - base) / cfg.WindowInstr)
+			if col < lastCol {
+				want++
+			}
+		}
+		return got == float64(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeatmapOps(t *testing.T) {
+	m := NewHeatmap("x", 4, 4)
+	m.Set(1, 2, 3)
+	if m.At(1, 2) != 3 {
+		t.Fatal("Set/At broken")
+	}
+	if m.Sum() != 3 {
+		t.Fatalf("Sum = %v", m.Sum())
+	}
+	if m.ColumnSum(2) != 3 || m.ColumnSum(0) != 0 {
+		t.Fatal("ColumnSum broken")
+	}
+	if m.SumFrom(3) != 0 || m.SumFrom(2) != 3 {
+		t.Fatal("SumFrom broken")
+	}
+	if m.Max() != 3 {
+		t.Fatal("Max broken")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 0 {
+		t.Fatal("Clone shares backing")
+	}
+	m.Scale(2)
+	if m.At(1, 2) != 6 {
+		t.Fatal("Scale broken")
+	}
+}
+
+func TestKeepPartial(t *testing.T) {
+	cfg := testCfg()
+	cfg.KeepPartial = true
+	tr := seqTrace(30, 1) // 30 instructions -> 3 columns, well short of 16
+	maps, err := Build(cfg, tr, tr.Accesses[0].IC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(maps) != 1 {
+		t.Fatalf("images = %d, want 1 partial", len(maps))
+	}
+	if maps[0].Sum() != float64(tr.Len()) {
+		t.Fatalf("partial image sum = %v", maps[0].Sum())
+	}
+	cfg.KeepPartial = false
+	maps, _ = Build(cfg, tr, tr.Accesses[0].IC)
+	if len(maps) != 0 {
+		t.Fatalf("images = %d, want 0 without KeepPartial", len(maps))
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	cfg := testCfg()
+	maps, err := Build(cfg, &trace.Trace{Name: "empty"}, 0)
+	if err != nil || len(maps) != 0 {
+		t.Fatalf("maps=%d err=%v", len(maps), err)
+	}
+	pairs, err := BuildPair(cfg, &trace.Trace{}, &trace.Trace{})
+	if err != nil || pairs != nil {
+		t.Fatalf("pairs=%v err=%v", pairs, err)
+	}
+}
+
+func TestEncodePNG(t *testing.T) {
+	m := NewHeatmap("png", 8, 8)
+	m.Set(3, 4, 10)
+	m.Set(0, 0, 1)
+	var buf bytes.Buffer
+	if err := EncodePNG(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if img.Bounds().Dx() != 8 || img.Bounds().Dy() != 8 {
+		t.Fatalf("bounds = %v", img.Bounds())
+	}
+}
+
+func TestPrefetchTrace(t *testing.T) {
+	recs := []cachesim.PrefetchRecord{{Block: 2, IC: 10}, {Block: 5, IC: 20}}
+	tr := PrefetchTrace("pf", recs, 6)
+	if tr.Len() != 2 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	if tr.Accesses[0].Addr != 2*64 || tr.Accesses[1].IC != 20 {
+		t.Fatalf("trace = %+v", tr.Accesses)
+	}
+}
+
+func TestEncodeDiffPNG(t *testing.T) {
+	pred := NewHeatmap("p", 8, 8)
+	real := NewHeatmap("r", 8, 8)
+	pred.Set(1, 1, 10) // over-prediction -> bright
+	real.Set(2, 2, 10) // under-prediction -> dark
+	var buf bytes.Buffer
+	if err := EncodeDiffPNG(&buf, pred, real); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bright := img.At(1, 1).(interface{ RGBA() (r, g, b, a uint32) })
+	dark := img.At(2, 2).(interface{ RGBA() (r, g, b, a uint32) })
+	br, _, _, _ := bright.RGBA()
+	dr, _, _, _ := dark.RGBA()
+	if br <= dr {
+		t.Fatalf("over-prediction (%d) not brighter than under-prediction (%d)", br, dr)
+	}
+	// Size mismatch rejected.
+	if err := EncodeDiffPNG(&buf, pred, NewHeatmap("x", 4, 4)); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	// Identical images encode without error (zero diff).
+	if err := EncodeDiffPNG(&buf, pred, pred.Clone()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+package heatmap
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"math"
+	"os"
+
+	"cachebox/internal/cachesim"
+	"cachebox/internal/trace"
+)
+
+// EncodePNG renders the heatmap as a grayscale PNG (log-scaled, white =
+// hottest), the visual form used in the paper's Figures 3 and 4.
+func EncodePNG(w io.Writer, m *Heatmap) error {
+	img := image.NewGray(image.Rect(0, 0, m.W, m.H))
+	mx := float64(m.Max())
+	scale := 0.0
+	if mx > 0 {
+		scale = 255 / math.Log1p(mx)
+	}
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			v := float64(m.At(y, x))
+			if v < 0 {
+				v = 0
+			}
+			img.SetGray(x, y, color.Gray{Y: uint8(math.Log1p(v) * scale)})
+		}
+	}
+	return png.Encode(w, img)
+}
+
+// WritePNG writes the heatmap to a PNG file at path.
+func WritePNG(path string, m *Heatmap) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("heatmap: %w", err)
+	}
+	defer f.Close()
+	if err := EncodePNG(f, m); err != nil {
+		return fmt.Errorf("heatmap: encode %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// PrefetchTrace converts prefetcher records into a pseudo access trace
+// (block addresses re-expanded to byte addresses) so prefetch heatmaps
+// can be built with the same pipeline (paper RQ7: Real prefetch
+// heatmaps from the prefetched addresses).
+func PrefetchTrace(name string, recs []cachesim.PrefetchRecord, blockBits uint) *trace.Trace {
+	t := &trace.Trace{Name: name}
+	for _, r := range recs {
+		t.Append(r.Block<<blockBits, r.IC, false)
+	}
+	return t
+}
+
+// EncodeDiffPNG renders the signed difference between a predicted and
+// a real heatmap: black where the prediction is low, white where it is
+// high, mid-gray where they agree — the visual a model developer uses
+// to see where a CB-GAN's miss mass landed wrong.
+func EncodeDiffPNG(w io.Writer, pred, real *Heatmap) error {
+	if pred.H != real.H || pred.W != real.W {
+		return fmt.Errorf("heatmap: diff size mismatch %dx%d vs %dx%d", pred.H, pred.W, real.H, real.W)
+	}
+	img := image.NewGray(image.Rect(0, 0, pred.W, pred.H))
+	var maxAbs float64
+	for i := range pred.Pix {
+		d := math.Abs(float64(pred.Pix[i]) - float64(real.Pix[i]))
+		if d > maxAbs {
+			maxAbs = d
+		}
+	}
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	for y := 0; y < pred.H; y++ {
+		for x := 0; x < pred.W; x++ {
+			d := float64(pred.At(y, x)) - float64(real.At(y, x))
+			v := 128 + d/maxAbs*127
+			img.SetGray(x, y, color.Gray{Y: uint8(v)})
+		}
+	}
+	return png.Encode(w, img)
+}
+
+// WriteDiffPNG writes the prediction-vs-truth difference image to a
+// file.
+func WriteDiffPNG(path string, pred, real *Heatmap) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("heatmap: %w", err)
+	}
+	defer f.Close()
+	if err := EncodeDiffPNG(f, pred, real); err != nil {
+		return fmt.Errorf("heatmap: encode %s: %w", path, err)
+	}
+	return f.Close()
+}

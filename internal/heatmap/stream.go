@@ -1,0 +1,125 @@
+package heatmap
+
+import (
+	"fmt"
+
+	"cachebox/internal/trace"
+)
+
+// StreamBuilder accumulates heatmap images from an access stream
+// without materialising the trace — the paper notes (§4.2) that the
+// tracer "can dump heatmaps faster than traces"; this is that path.
+// Feed accesses with Add; completed images become available as soon as
+// their last column closes.
+type StreamBuilder struct {
+	cfg    Config
+	name   string
+	baseIC uint64
+	seen   bool
+
+	cols   [][]float32
+	offset int // global column index of cols[0]
+	done   []*Heatmap
+	next   int // next image index to emit
+}
+
+// NewStreamBuilder constructs a streaming builder. The configuration
+// must be valid.
+func NewStreamBuilder(cfg Config, name string) (*StreamBuilder, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &StreamBuilder{cfg: cfg, name: name}, nil
+}
+
+// Add feeds one access. Accesses must arrive in non-decreasing
+// instruction-count order.
+func (b *StreamBuilder) Add(a trace.Access) error {
+	if !b.seen {
+		b.baseIC = a.IC
+		b.seen = true
+	}
+	if a.IC < b.baseIC {
+		return fmt.Errorf("heatmap: stream IC went backwards (%d < %d)", a.IC, b.baseIC)
+	}
+	col := int((a.IC - b.baseIC) / b.cfg.WindowInstr)
+	for col-b.offset >= len(b.cols) {
+		b.cols = append(b.cols, make([]float32, b.cfg.Height))
+	}
+	row := int((a.Addr >> b.cfg.AddrShift) % uint64(b.cfg.Height))
+	b.cols[col-b.offset][row]++
+	b.emitComplete(col)
+	return nil
+}
+
+// emitComplete materialises every image whose last column is strictly
+// before the current column (all its data has arrived) and trims
+// columns no future image needs.
+func (b *StreamBuilder) emitComplete(curCol int) {
+	stride := b.cfg.strideCols()
+	for {
+		start := b.next * stride
+		if start+b.cfg.Width > curCol { // image not closed yet
+			break
+		}
+		m := NewHeatmap(b.name, b.cfg.Height, b.cfg.Width)
+		m.Index = b.next
+		m.StartCol = start
+		for x := 0; x < b.cfg.Width; x++ {
+			gx := start + x - b.offset
+			if gx < 0 || gx >= len(b.cols) {
+				continue
+			}
+			col := b.cols[gx]
+			for y := 0; y < b.cfg.Height; y++ {
+				m.Pix[y*b.cfg.Width+x] = col[y]
+			}
+		}
+		b.done = append(b.done, m)
+		b.next++
+		// Columns before the next image's start are never read again.
+		if trim := (b.next * stride) - b.offset; trim > 0 {
+			if trim > len(b.cols) {
+				trim = len(b.cols)
+			}
+			b.cols = b.cols[trim:]
+			b.offset += trim
+		}
+	}
+}
+
+// Drain returns the images completed so far and clears the internal
+// queue; call repeatedly while streaming.
+func (b *StreamBuilder) Drain() []*Heatmap {
+	out := b.done
+	b.done = nil
+	return out
+}
+
+// Flush completes the stream: with KeepPartial set it emits a final
+// padded image covering any remaining columns. It returns the final
+// batch of images.
+func (b *StreamBuilder) Flush() []*Heatmap {
+	if b.cfg.KeepPartial {
+		stride := b.cfg.strideCols()
+		start := b.next * stride
+		if start-b.offset < len(b.cols) {
+			m := NewHeatmap(b.name, b.cfg.Height, b.cfg.Width)
+			m.Index = b.next
+			m.StartCol = start
+			for x := 0; x < b.cfg.Width; x++ {
+				gx := start + x - b.offset
+				if gx < 0 || gx >= len(b.cols) {
+					continue
+				}
+				col := b.cols[gx]
+				for y := 0; y < b.cfg.Height; y++ {
+					m.Pix[y*b.cfg.Width+x] = col[y]
+				}
+			}
+			b.done = append(b.done, m)
+			b.next++
+		}
+	}
+	return b.Drain()
+}

@@ -1,0 +1,94 @@
+package heatmap
+
+import (
+	"math/rand"
+	"testing"
+
+	"cachebox/internal/trace"
+)
+
+func TestStreamBuilderMatchesBatchBuild(t *testing.T) {
+	cfg := testCfg()
+	rng := rand.New(rand.NewSource(7))
+	tr := &trace.Trace{Name: "stream"}
+	var ic uint64
+	for i := 0; i < 20000; i++ {
+		ic += uint64(1 + rng.Intn(5))
+		tr.Append(uint64(rng.Intn(2048))*64, ic, false)
+	}
+	want, err := Build(cfg, tr, tr.Accesses[0].IC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewStreamBuilder(cfg, "stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []*Heatmap
+	for i, a := range tr.Accesses {
+		if err := b.Add(a); err != nil {
+			t.Fatal(err)
+		}
+		if i%1000 == 0 {
+			got = append(got, b.Drain()...)
+		}
+	}
+	got = append(got, b.Flush()...)
+	// The streaming builder only emits an image once a LATER column
+	// arrives, so it may hold back the final image the batch builder
+	// emits; compare the common prefix.
+	if len(got) == 0 || len(got) > len(want) {
+		t.Fatalf("streamed %d images, batch %d", len(got), len(want))
+	}
+	if len(want)-len(got) > 1 {
+		t.Fatalf("streamed %d images, batch %d: too many withheld", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Index != want[i].Index || got[i].StartCol != want[i].StartCol {
+			t.Fatalf("image %d metadata differs", i)
+		}
+		for j := range got[i].Pix {
+			if got[i].Pix[j] != want[i].Pix[j] {
+				t.Fatalf("image %d pixel %d: %v vs %v", i, j, got[i].Pix[j], want[i].Pix[j])
+			}
+		}
+	}
+}
+
+func TestStreamBuilderRejectsBackwardsIC(t *testing.T) {
+	b, err := NewStreamBuilder(testCfg(), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(trace.Access{Addr: 0, IC: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(trace.Access{Addr: 0, IC: 50}); err == nil {
+		t.Fatal("backwards IC accepted")
+	}
+}
+
+func TestStreamBuilderValidatesConfig(t *testing.T) {
+	if _, err := NewStreamBuilder(Config{}, "x"); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestStreamBuilderFlushPartial(t *testing.T) {
+	cfg := testCfg()
+	cfg.KeepPartial = true
+	b, _ := NewStreamBuilder(cfg, "p")
+	// Only 3 columns worth of data (30 instructions, window 10).
+	for i := 0; i < 30; i++ {
+		if err := b.Add(trace.Access{Addr: uint64(i) * 64, IC: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	imgs := b.Flush()
+	if len(imgs) != 1 {
+		t.Fatalf("flushed %d images, want 1 partial", len(imgs))
+	}
+	if imgs[0].Sum() != 30 {
+		t.Fatalf("partial sum %v, want 30", imgs[0].Sum())
+	}
+}

@@ -1,0 +1,150 @@
+// Package metrics implements the paper's evaluation metrics: the
+// absolute percentage difference between true and predicted hit rates
+// (§4.4), mean squared error and the structural similarity index
+// (SSIM) used for the prefetcher experiment (RQ7), plus histogram
+// helpers for the dataset analysis of §6.1.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"cachebox/internal/heatmap"
+)
+
+// AbsPctDiff returns |true − predicted| expressed in percentage
+// points, for rates in [0,1]. The paper: "a 5% deviation has
+// consistent meaning whether the actual hit rate is 10% or 90%".
+func AbsPctDiff(trueRate, predRate float64) float64 {
+	return math.Abs(trueRate-predRate) * 100
+}
+
+// Mean returns the arithmetic mean (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// MSE returns the mean squared per-pixel difference between two
+// heatmaps.
+func MSE(a, b *heatmap.Heatmap) (float64, error) {
+	if a.H != b.H || a.W != b.W {
+		return 0, fmt.Errorf("metrics: size mismatch %dx%d vs %dx%d", a.H, a.W, b.H, b.W)
+	}
+	var s float64
+	for i := range a.Pix {
+		d := float64(a.Pix[i]) - float64(b.Pix[i])
+		s += d * d
+	}
+	return s / float64(len(a.Pix)), nil
+}
+
+// SSIM returns the mean structural similarity index between two
+// heatmaps over 8×8 windows with the standard constants, using the
+// given dynamic range L (pass the codec cap, or 0 to derive the range
+// from the data).
+func SSIM(a, b *heatmap.Heatmap, L float64) (float64, error) {
+	if a.H != b.H || a.W != b.W {
+		return 0, fmt.Errorf("metrics: size mismatch %dx%d vs %dx%d", a.H, a.W, b.H, b.W)
+	}
+	if L <= 0 {
+		mx := float64(a.Max())
+		if m := float64(b.Max()); m > mx {
+			mx = m
+		}
+		if mx == 0 {
+			mx = 1
+		}
+		L = mx
+	}
+	c1 := (0.01 * L) * (0.01 * L)
+	c2 := (0.03 * L) * (0.03 * L)
+	const win = 8
+	var total float64
+	var count int
+	for y0 := 0; y0+win <= a.H; y0 += win {
+		for x0 := 0; x0+win <= a.W; x0 += win {
+			var ma, mb float64
+			for y := y0; y < y0+win; y++ {
+				for x := x0; x < x0+win; x++ {
+					ma += float64(a.At(y, x))
+					mb += float64(b.At(y, x))
+				}
+			}
+			n := float64(win * win)
+			ma /= n
+			mb /= n
+			var va, vb, cov float64
+			for y := y0; y < y0+win; y++ {
+				for x := x0; x < x0+win; x++ {
+					da := float64(a.At(y, x)) - ma
+					db := float64(b.At(y, x)) - mb
+					va += da * da
+					vb += db * db
+					cov += da * db
+				}
+			}
+			va /= n - 1
+			vb /= n - 1
+			cov /= n - 1
+			s := ((2*ma*mb + c1) * (2*cov + c2)) / ((ma*ma + mb*mb + c1) * (va + vb + c2))
+			total += s
+			count++
+		}
+	}
+	if count == 0 {
+		return 0, fmt.Errorf("metrics: image smaller than SSIM window")
+	}
+	return total / float64(count), nil
+}
+
+// HistBin is one bucket of a rate histogram.
+type HistBin struct {
+	Lo, Hi float64
+	Count  int
+}
+
+// RateHistogram buckets rates in [0,1] into nbins equal bins (the
+// paper's Figure 14 dataset analysis).
+func RateHistogram(rates []float64, nbins int) []HistBin {
+	if nbins <= 0 {
+		nbins = 10
+	}
+	bins := make([]HistBin, nbins)
+	for i := range bins {
+		bins[i].Lo = float64(i) / float64(nbins)
+		bins[i].Hi = float64(i+1) / float64(nbins)
+	}
+	for _, r := range rates {
+		i := int(r * float64(nbins))
+		if i >= nbins {
+			i = nbins - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		bins[i].Count++
+	}
+	return bins
+}
+
+// FractionAbove returns the fraction of rates strictly above the
+// threshold.
+func FractionAbove(rates []float64, threshold float64) float64 {
+	if len(rates) == 0 {
+		return 0
+	}
+	n := 0
+	for _, r := range rates {
+		if r > threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(rates))
+}

@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cachebox/internal/heatmap"
+)
+
+func TestAbsPctDiff(t *testing.T) {
+	if got := AbsPctDiff(0.90, 0.93); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("AbsPctDiff = %v, want 3", got)
+	}
+	if got := AbsPctDiff(0.10, 0.05); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("AbsPctDiff = %v, want 5", got)
+	}
+	if AbsPctDiff(0.5, 0.5) != 0 {
+		t.Fatal("identical rates should differ by 0")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean not 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestMSE(t *testing.T) {
+	a := heatmap.NewHeatmap("a", 2, 2)
+	b := heatmap.NewHeatmap("b", 2, 2)
+	b.Pix[0] = 2
+	got, err := MSE(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 { // 4/4
+		t.Fatalf("MSE = %v, want 1", got)
+	}
+	c := heatmap.NewHeatmap("c", 3, 3)
+	if _, err := MSE(a, c); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestSSIMIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := heatmap.NewHeatmap("a", 16, 16)
+	for i := range a.Pix {
+		a.Pix[i] = rng.Float32() * 10
+	}
+	got, err := SSIM(a, a.Clone(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-9 {
+		t.Fatalf("SSIM(a,a) = %v, want 1", got)
+	}
+}
+
+func TestSSIMDissimilar(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := heatmap.NewHeatmap("a", 16, 16)
+	b := heatmap.NewHeatmap("b", 16, 16)
+	for i := range a.Pix {
+		a.Pix[i] = rng.Float32() * 10
+		b.Pix[i] = rng.Float32() * 10
+	}
+	sAB, err := SSIM(a, b, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sAB >= 0.9 {
+		t.Fatalf("uncorrelated SSIM = %v, want < 0.9", sAB)
+	}
+	// A noisy copy must be more similar than an unrelated image.
+	c := a.Clone()
+	for i := range c.Pix {
+		c.Pix[i] += (rng.Float32() - 0.5)
+	}
+	sAC, _ := SSIM(a, c, 10)
+	if sAC <= sAB {
+		t.Fatalf("noisy copy SSIM %v <= unrelated %v", sAC, sAB)
+	}
+}
+
+func TestSSIMDerivedRangeAndErrors(t *testing.T) {
+	a := heatmap.NewHeatmap("a", 16, 16)
+	a.Pix[0] = 5
+	if _, err := SSIM(a, a.Clone(), 0); err != nil {
+		t.Fatalf("derived range failed: %v", err)
+	}
+	small := heatmap.NewHeatmap("s", 4, 4)
+	if _, err := SSIM(small, small.Clone(), 1); err == nil {
+		t.Fatal("sub-window image accepted")
+	}
+	b := heatmap.NewHeatmap("b", 8, 16)
+	if _, err := SSIM(a, b, 1); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestRateHistogram(t *testing.T) {
+	rates := []float64{0.05, 0.15, 0.95, 0.99, 1.0, -0.1}
+	bins := RateHistogram(rates, 10)
+	if len(bins) != 10 {
+		t.Fatalf("bins = %d", len(bins))
+	}
+	if bins[0].Count != 2 { // 0.05 and clamped -0.1
+		t.Fatalf("bin 0 count = %d", bins[0].Count)
+	}
+	if bins[9].Count != 3 { // 0.95, 0.99, clamped 1.0
+		t.Fatalf("bin 9 count = %d", bins[9].Count)
+	}
+	if bins[1].Count != 1 {
+		t.Fatalf("bin 1 count = %d", bins[1].Count)
+	}
+	if got := RateHistogram(nil, 0); len(got) != 10 {
+		t.Fatal("default bins wrong")
+	}
+}
+
+func TestFractionAbove(t *testing.T) {
+	rates := []float64{0.5, 0.7, 0.9}
+	if got := FractionAbove(rates, 0.65); math.Abs(got-2.0/3) > 1e-9 {
+		t.Fatalf("FractionAbove = %v", got)
+	}
+	if FractionAbove(nil, 0.5) != 0 {
+		t.Fatal("empty should be 0")
+	}
+}

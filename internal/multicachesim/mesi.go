@@ -1,0 +1,206 @@
+package multicachesim
+
+import (
+	"fmt"
+
+	"cachebox/internal/trace"
+)
+
+// MESIState extends MSI with the Exclusive state: a clean sole copy
+// that can be written without a bus transaction.
+type MESIState uint8
+
+// MESI states.
+const (
+	MESIInvalid MESIState = iota
+	MESIShared
+	MESIExclusive
+	MESIModified
+)
+
+// String returns "I", "S", "E" or "M".
+func (s MESIState) String() string { return [...]string{"I", "S", "E", "M"}[s] }
+
+type mesiLine struct {
+	tag     uint64
+	state   MESIState
+	lastUse uint64
+}
+
+type mesiCache struct {
+	sets [][]mesiLine
+	mask uint64
+}
+
+// MESIStats extends Stats with silent-upgrade accounting.
+type MESIStats struct {
+	Stats
+	// SilentUpgrades counts E→M transitions, the bus transactions MESI
+	// saves over MSI.
+	SilentUpgrades uint64
+}
+
+// MESISim is a snoopy MESI-coherent multi-cache simulator: the same
+// role as Sim, with the Exclusive optimisation that makes private
+// read-then-write sequences free of upgrade traffic.
+type MESISim struct {
+	cfg       Config
+	blockBits uint
+	caches    []mesiCache
+	stats     []MESIStats
+	tick      uint64
+}
+
+// NewMESI builds a MESI simulator with cores private caches.
+func NewMESI(cores int, cfg Config) (*MESISim, error) {
+	if cores <= 0 {
+		return nil, fmt.Errorf("multicachesim: cores must be positive, got %d", cores)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.BlockSize == 0 {
+		cfg.BlockSize = 64
+	}
+	s := &MESISim{cfg: cfg}
+	for bs := cfg.BlockSize; bs > 1; bs >>= 1 {
+		s.blockBits++
+	}
+	for i := 0; i < cores; i++ {
+		sets := make([][]mesiLine, cfg.Sets)
+		for j := range sets {
+			sets[j] = make([]mesiLine, cfg.Ways)
+		}
+		s.caches = append(s.caches, mesiCache{sets: sets, mask: uint64(cfg.Sets - 1)})
+	}
+	s.stats = make([]MESIStats, cores)
+	return s, nil
+}
+
+// Cores returns the number of cores.
+func (s *MESISim) Cores() int { return len(s.caches) }
+
+// Stats returns the counters for core.
+func (s *MESISim) Stats(core int) MESIStats { return s.stats[core] }
+
+// State reports the coherence state of addr in core's cache.
+func (s *MESISim) State(core int, addr uint64) MESIState {
+	if ln := s.find(core, addr>>s.blockBits); ln != nil {
+		return ln.state
+	}
+	return MESIInvalid
+}
+
+func (s *MESISim) find(core int, block uint64) *mesiLine {
+	c := &s.caches[core]
+	set := c.sets[block&c.mask]
+	for i := range set {
+		if set[i].state != MESIInvalid && set[i].tag == block {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+func (s *MESISim) victim(core int, block uint64) *mesiLine {
+	c := &s.caches[core]
+	set := c.sets[block&c.mask]
+	best := &set[0]
+	for i := range set {
+		if set[i].state == MESIInvalid {
+			return &set[i]
+		}
+		if set[i].lastUse < best.lastUse {
+			best = &set[i]
+		}
+	}
+	return best
+}
+
+// anyOtherCopy reports whether any other cache holds block.
+func (s *MESISim) anyOtherCopy(core int, block uint64) bool {
+	for i := range s.caches {
+		if i != core && s.find(i, block) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Access presents one access from core, returning whether it hit in a
+// usable state.
+func (s *MESISim) Access(core int, addr uint64, write bool) bool {
+	s.tick++
+	st := &s.stats[core]
+	st.Accesses++
+	block := addr >> s.blockBits
+	ln := s.find(core, block)
+	if ln != nil {
+		switch {
+		case !write:
+			st.Hits++
+			ln.lastUse = s.tick
+			return true
+		case ln.state == MESIModified:
+			st.Hits++
+			ln.lastUse = s.tick
+			return true
+		case ln.state == MESIExclusive:
+			// The MESI win: silent E->M upgrade, still a hit.
+			st.Hits++
+			st.SilentUpgrades++
+			ln.state = MESIModified
+			ln.lastUse = s.tick
+			return true
+		default: // Shared write: upgrade miss with invalidation.
+			st.Misses++
+			st.Upgrades++
+			s.snoop(core, block, true)
+			ln.state = MESIModified
+			ln.lastUse = s.tick
+			return false
+		}
+	}
+	st.Misses++
+	shared := s.anyOtherCopy(core, block)
+	s.snoop(core, block, write)
+	v := s.victim(core, block)
+	v.tag = block
+	v.lastUse = s.tick
+	switch {
+	case write:
+		v.state = MESIModified
+	case shared:
+		v.state = MESIShared
+	default:
+		v.state = MESIExclusive // sole clean copy
+	}
+	return false
+}
+
+func (s *MESISim) snoop(core int, block uint64, write bool) {
+	for i := range s.caches {
+		if i == core {
+			continue
+		}
+		ln := s.find(i, block)
+		if ln == nil {
+			continue
+		}
+		if write {
+			ln.state = MESIInvalid
+			s.stats[core].Invalidations++
+		} else if ln.state == MESIModified || ln.state == MESIExclusive {
+			ln.state = MESIShared
+			s.stats[core].Downgrades++
+		}
+	}
+}
+
+// RunTrace drives core 0 over a trace and returns its stats.
+func (s *MESISim) RunTrace(t *trace.Trace) MESIStats {
+	for _, a := range t.Accesses {
+		s.Access(0, a.Addr, a.Write)
+	}
+	return s.stats[0]
+}

@@ -1,0 +1,129 @@
+package multicachesim
+
+import (
+	"math/rand"
+	"testing"
+
+	"cachebox/internal/trace"
+)
+
+func TestMESIExclusiveOnSoleRead(t *testing.T) {
+	s, err := NewMESI(2, Config{Sets: 4, Ways: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Access(0, 0x100, false)
+	if got := s.State(0, 0x100); got != MESIExclusive {
+		t.Fatalf("sole reader state = %v, want E", got)
+	}
+	// A second reader turns both Shared.
+	s.Access(1, 0x100, false)
+	if s.State(0, 0x100) != MESIShared || s.State(1, 0x100) != MESIShared {
+		t.Fatalf("states after second read: %v / %v", s.State(0, 0x100), s.State(1, 0x100))
+	}
+}
+
+func TestMESISilentUpgrade(t *testing.T) {
+	s, _ := NewMESI(2, Config{Sets: 4, Ways: 2})
+	s.Access(0, 0x100, false) // E
+	if !s.Access(0, 0x100, true) {
+		t.Fatal("write to Exclusive line missed")
+	}
+	st := s.Stats(0)
+	if st.SilentUpgrades != 1 {
+		t.Fatalf("silent upgrades = %d, want 1", st.SilentUpgrades)
+	}
+	if st.Upgrades != 0 {
+		t.Fatalf("bus upgrades = %d, want 0", st.Upgrades)
+	}
+	if s.State(0, 0x100) != MESIModified {
+		t.Fatalf("state = %v, want M", s.State(0, 0x100))
+	}
+}
+
+func TestMESISharedWriteStillUpgrades(t *testing.T) {
+	s, _ := NewMESI(2, Config{Sets: 4, Ways: 2})
+	s.Access(0, 0x100, false)
+	s.Access(1, 0x100, false) // both S
+	if s.Access(0, 0x100, true) {
+		t.Fatal("write to Shared line hit")
+	}
+	if s.Stats(0).Upgrades != 1 {
+		t.Fatal("no bus upgrade counted")
+	}
+	if s.State(1, 0x100) != MESIInvalid {
+		t.Fatal("remote copy not invalidated")
+	}
+}
+
+func TestMESIBeatsMSIOnPrivateReadWrite(t *testing.T) {
+	// Private read-then-write sequences: MESI avoids the upgrade miss
+	// MSI pays on every first write.
+	drive := func(access func(addr uint64, write bool) bool) (hits, total int) {
+		rng := rand.New(rand.NewSource(4))
+		for i := 0; i < 5000; i++ {
+			addr := uint64(rng.Intn(64)) * 64
+			access(addr, false)
+			if access(addr, true) {
+				hits++
+			}
+			total++
+		}
+		return hits, total
+	}
+	msi, _ := New(2, Config{Sets: 16, Ways: 4})
+	mesi, _ := NewMESI(2, Config{Sets: 16, Ways: 4})
+	msiHits, _ := drive(func(a uint64, w bool) bool { return msi.Access(0, a, w) })
+	mesiHits, total := drive(func(a uint64, w bool) bool { return mesi.Access(0, a, w) })
+	if mesiHits <= msiHits {
+		t.Fatalf("MESI write hits %d/%d not better than MSI %d", mesiHits, total, msiHits)
+	}
+}
+
+func TestMESIDowngradeOnRemoteRead(t *testing.T) {
+	s, _ := NewMESI(2, Config{Sets: 4, Ways: 2})
+	s.Access(0, 0x100, true)  // M
+	s.Access(1, 0x100, false) // remote read downgrades M -> S
+	if s.State(0, 0x100) != MESIShared {
+		t.Fatalf("state = %v, want S", s.State(0, 0x100))
+	}
+	if s.Stats(1).Downgrades != 1 {
+		t.Fatal("downgrade not counted")
+	}
+	// New reader must NOT get Exclusive (another copy exists).
+	if s.State(1, 0x100) != MESIShared {
+		t.Fatalf("second reader state = %v, want S", s.State(1, 0x100))
+	}
+}
+
+func TestMESIValidation(t *testing.T) {
+	if _, err := NewMESI(0, Config{Sets: 4, Ways: 1}); err == nil {
+		t.Fatal("0 cores accepted")
+	}
+	if _, err := NewMESI(1, Config{Sets: 3, Ways: 1}); err == nil {
+		t.Fatal("bad sets accepted")
+	}
+	if MESIInvalid.String() != "I" || MESIExclusive.String() != "E" {
+		t.Fatal("state strings wrong")
+	}
+}
+
+func TestMESIRunTrace(t *testing.T) {
+	s, _ := NewMESI(1, Config{Sets: 16, Ways: 4})
+	tr := randomTraceFor(t, 3000, 128)
+	st := s.RunTrace(tr)
+	if st.Accesses != 3000 || st.Hits+st.Misses != st.Accesses {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// randomTraceFor builds a small uniform-random trace for tests.
+func randomTraceFor(t *testing.T, n, blocks int) *trace.Trace {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	tr := &trace.Trace{Name: "rand"}
+	for i := 0; i < n; i++ {
+		tr.Append(uint64(rng.Intn(blocks))*64, uint64(i), rng.Intn(4) == 0)
+	}
+	return tr
+}

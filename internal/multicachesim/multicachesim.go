@@ -1,0 +1,214 @@
+// Package multicachesim is a snoopy MSI-coherent multiprocessor cache
+// simulator in the spirit of MultiCacheSim (Lucia), the high-throughput
+// cache-only simulator the paper compares inference time against in
+// Figure 11.
+//
+// Each core owns a private set-associative cache; caches snoop a shared
+// bus. Lines follow the MSI protocol: a write requires Modified state
+// (invalidating other copies); a read requires at least Shared state
+// (downgrading a remote Modified copy).
+package multicachesim
+
+import (
+	"fmt"
+
+	"cachebox/internal/trace"
+)
+
+// State is an MSI coherence state.
+type State uint8
+
+// MSI states.
+const (
+	Invalid State = iota
+	Shared
+	Modified
+)
+
+// String returns "I", "S" or "M".
+func (s State) String() string { return [...]string{"I", "S", "M"}[s] }
+
+// Config describes each private cache.
+type Config struct {
+	Sets, Ways int
+	BlockSize  uint64
+}
+
+func (c Config) validate() error {
+	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("multicachesim: sets must be a positive power of two, got %d", c.Sets)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("multicachesim: ways must be positive, got %d", c.Ways)
+	}
+	if c.BlockSize != 0 && c.BlockSize&(c.BlockSize-1) != 0 {
+		return fmt.Errorf("multicachesim: block size must be a power of two, got %d", c.BlockSize)
+	}
+	return nil
+}
+
+type line struct {
+	tag     uint64
+	state   State
+	lastUse uint64
+}
+
+type cache struct {
+	sets [][]line
+	mask uint64
+}
+
+// Stats counts per-core and protocol events.
+type Stats struct {
+	Accesses      uint64
+	Hits          uint64
+	Misses        uint64
+	Invalidations uint64 // remote copies invalidated by writes
+	Downgrades    uint64 // remote M copies downgraded to S by reads
+	Upgrades      uint64 // local S->M transitions
+}
+
+// HitRate returns hits/accesses.
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// Sim is a snoopy multi-cache simulator.
+type Sim struct {
+	cfg       Config
+	blockBits uint
+	caches    []cache
+	stats     []Stats
+	tick      uint64
+}
+
+// New builds a simulator with cores private caches.
+func New(cores int, cfg Config) (*Sim, error) {
+	if cores <= 0 {
+		return nil, fmt.Errorf("multicachesim: cores must be positive, got %d", cores)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.BlockSize == 0 {
+		cfg.BlockSize = 64
+	}
+	s := &Sim{cfg: cfg}
+	for bs := cfg.BlockSize; bs > 1; bs >>= 1 {
+		s.blockBits++
+	}
+	for i := 0; i < cores; i++ {
+		sets := make([][]line, cfg.Sets)
+		for j := range sets {
+			sets[j] = make([]line, cfg.Ways)
+		}
+		s.caches = append(s.caches, cache{sets: sets, mask: uint64(cfg.Sets - 1)})
+	}
+	s.stats = make([]Stats, cores)
+	return s, nil
+}
+
+// Cores returns the number of cores.
+func (s *Sim) Cores() int { return len(s.caches) }
+
+// Stats returns the counters for core.
+func (s *Sim) Stats(core int) Stats { return s.stats[core] }
+
+// find returns the line holding block in core's cache, or nil.
+func (s *Sim) find(core int, block uint64) *line {
+	c := &s.caches[core]
+	set := c.sets[block&c.mask]
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == block {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// victim returns the LRU way (or an invalid one) in core's set.
+func (s *Sim) victim(core int, block uint64) *line {
+	c := &s.caches[core]
+	set := c.sets[block&c.mask]
+	best := &set[0]
+	for i := range set {
+		if set[i].state == Invalid {
+			return &set[i]
+		}
+		if set[i].lastUse < best.lastUse {
+			best = &set[i]
+		}
+	}
+	return best
+}
+
+// Access presents one access from core. Returns whether it hit locally
+// in a usable state.
+func (s *Sim) Access(core int, addr uint64, write bool) bool {
+	s.tick++
+	st := &s.stats[core]
+	st.Accesses++
+	block := addr >> s.blockBits
+	ln := s.find(core, block)
+	if ln != nil && (ln.state == Modified || !write) {
+		// Usable local copy.
+		st.Hits++
+		ln.lastUse = s.tick
+		return true
+	}
+	if ln != nil && write && ln.state == Shared {
+		// Upgrade miss: invalidate remote sharers, go Modified.
+		st.Upgrades++
+		st.Misses++
+		s.snoop(core, block, true)
+		ln.state = Modified
+		ln.lastUse = s.tick
+		return false
+	}
+	// True miss: snoop, then fill.
+	st.Misses++
+	s.snoop(core, block, write)
+	v := s.victim(core, block)
+	v.tag = block
+	v.lastUse = s.tick
+	if write {
+		v.state = Modified
+	} else {
+		v.state = Shared
+	}
+	return false
+}
+
+// snoop notifies every other cache: writes invalidate remote copies;
+// reads downgrade remote Modified copies to Shared.
+func (s *Sim) snoop(core int, block uint64, write bool) {
+	for i := range s.caches {
+		if i == core {
+			continue
+		}
+		ln := s.find(i, block)
+		if ln == nil {
+			continue
+		}
+		if write {
+			ln.state = Invalid
+			s.stats[core].Invalidations++
+		} else if ln.state == Modified {
+			ln.state = Shared
+			s.stats[core].Downgrades++
+		}
+	}
+}
+
+// RunTrace drives core 0 over an entire trace (the single-core
+// configuration used for the paper's throughput comparison) and
+// returns its stats.
+func (s *Sim) RunTrace(t *trace.Trace) Stats {
+	for _, a := range t.Accesses {
+		s.Access(0, a.Addr, a.Write)
+	}
+	return s.stats[0]
+}

@@ -1,0 +1,123 @@
+package multicachesim
+
+import (
+	"math/rand"
+	"testing"
+
+	"cachebox/internal/cachesim"
+	"cachebox/internal/trace"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, Config{Sets: 4, Ways: 2}); err == nil {
+		t.Fatal("0 cores accepted")
+	}
+	if _, err := New(2, Config{Sets: 3, Ways: 2}); err == nil {
+		t.Fatal("non-pow2 sets accepted")
+	}
+	if _, err := New(2, Config{Sets: 4, Ways: 0}); err == nil {
+		t.Fatal("0 ways accepted")
+	}
+	s, err := New(2, Config{Sets: 4, Ways: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cores() != 2 {
+		t.Fatalf("cores = %d", s.Cores())
+	}
+}
+
+func TestSingleCoreBasics(t *testing.T) {
+	s, _ := New(1, Config{Sets: 4, Ways: 2})
+	if s.Access(0, 0x100, false) {
+		t.Fatal("cold access hit")
+	}
+	if !s.Access(0, 0x100, false) {
+		t.Fatal("warm read missed")
+	}
+	if !s.Access(0, 0x100, true) {
+		// Single core: S->M upgrade still requires a bus transaction
+		// in MSI, so a write after a read is an upgrade miss.
+		st := s.Stats(0)
+		if st.Upgrades != 1 {
+			t.Fatalf("expected upgrade miss, stats=%+v", st)
+		}
+	}
+	if !s.Access(0, 0x100, true) {
+		t.Fatal("write to Modified line missed")
+	}
+}
+
+func TestWriteInvalidatesRemote(t *testing.T) {
+	s, _ := New(2, Config{Sets: 4, Ways: 2})
+	s.Access(0, 0x100, false) // core 0 gets S
+	s.Access(1, 0x100, false) // core 1 gets S
+	s.Access(1, 0x100, true)  // core 1 upgrades, invalidating core 0
+	if s.Access(0, 0x100, false) {
+		t.Fatal("core 0 read hit an invalidated line")
+	}
+	if s.Stats(1).Invalidations == 0 {
+		t.Fatal("no invalidation counted")
+	}
+}
+
+func TestReadDowngradesRemoteModified(t *testing.T) {
+	s, _ := New(2, Config{Sets: 4, Ways: 2})
+	s.Access(0, 0x100, true)  // core 0 Modified
+	s.Access(1, 0x100, false) // core 1 read: downgrade core 0 to S
+	if s.Stats(1).Downgrades != 1 {
+		t.Fatalf("downgrades = %d, want 1", s.Stats(1).Downgrades)
+	}
+	// Core 0 can still read without a miss (Shared is enough).
+	if !s.Access(0, 0x100, false) {
+		t.Fatal("downgraded line not readable")
+	}
+	// But writing again requires an upgrade.
+	if s.Access(0, 0x100, true) {
+		t.Fatal("write to Shared line hit")
+	}
+}
+
+func TestSingleCoreReadOnlyMatchesCachesim(t *testing.T) {
+	// With one core and no writes, MSI adds nothing: hit/miss behaviour
+	// must match the LRU cachesim exactly.
+	rng := rand.New(rand.NewSource(9))
+	tr := &trace.Trace{Name: "ro"}
+	for i := 0; i < 20000; i++ {
+		tr.Append(uint64(rng.Intn(4096))*64, uint64(i), false)
+	}
+	ms, _ := New(1, Config{Sets: 16, Ways: 4})
+	ref := cachesim.New(cachesim.Config{Sets: 16, Ways: 4})
+	for _, a := range tr.Accesses {
+		got := ms.Access(0, a.Addr, false)
+		want := ref.Access(a.Addr, false)
+		if got != want {
+			t.Fatalf("divergence at %#x: msi=%v lru=%v", a.Addr, got, want)
+		}
+	}
+}
+
+func TestRunTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	tr := &trace.Trace{Name: "rt"}
+	for i := 0; i < 5000; i++ {
+		tr.Append(uint64(rng.Intn(256))*64, uint64(i), rng.Intn(4) == 0)
+	}
+	s, _ := New(1, Config{Sets: 64, Ways: 8})
+	st := s.RunTrace(tr)
+	if st.Accesses != 5000 {
+		t.Fatalf("accesses = %d", st.Accesses)
+	}
+	if st.Hits+st.Misses != st.Accesses {
+		t.Fatalf("hits+misses != accesses: %+v", st)
+	}
+	if st.HitRate() <= 0.5 {
+		t.Fatalf("hit rate = %v for small footprint", st.HitRate())
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Invalid.String() != "I" || Shared.String() != "S" || Modified.String() != "M" {
+		t.Fatal("state strings wrong")
+	}
+}

@@ -1,0 +1,196 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"cachebox/internal/tensor"
+)
+
+// ReLU is max(0, x).
+type ReLU struct {
+	mask []bool
+}
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	y := x.Clone()
+	if cap(r.mask) < len(y.Data) {
+		r.mask = make([]bool, len(y.Data))
+	}
+	r.mask = r.mask[:len(y.Data)]
+	for i, v := range y.Data {
+		if v <= 0 {
+			y.Data[i] = 0
+			r.mask[i] = false
+		} else {
+			r.mask[i] = true
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	dx := dy.Clone()
+	for i := range dx.Data {
+		if !r.mask[i] {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// LeakyReLU is x for x>0 and Alpha*x otherwise (Pix2Pix encoder uses
+// Alpha=0.2).
+type LeakyReLU struct {
+	Alpha float32
+	mask  []bool
+}
+
+// NewLeakyReLU returns a LeakyReLU with the given slope.
+func NewLeakyReLU(alpha float32) *LeakyReLU { return &LeakyReLU{Alpha: alpha} }
+
+// Forward implements Layer.
+func (r *LeakyReLU) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	y := x.Clone()
+	if cap(r.mask) < len(y.Data) {
+		r.mask = make([]bool, len(y.Data))
+	}
+	r.mask = r.mask[:len(y.Data)]
+	for i, v := range y.Data {
+		if v < 0 {
+			y.Data[i] = v * r.Alpha
+			r.mask[i] = false
+		} else {
+			r.mask[i] = true
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (r *LeakyReLU) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	dx := dy.Clone()
+	for i := range dx.Data {
+		if !r.mask[i] {
+			dx.Data[i] *= r.Alpha
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (r *LeakyReLU) Params() []*Param { return nil }
+
+// Tanh is the hyperbolic tangent (the Pix2Pix generator's output
+// activation).
+type Tanh struct {
+	y *tensor.Tensor
+}
+
+// Forward implements Layer.
+func (t *Tanh) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	y := x.Clone()
+	for i, v := range y.Data {
+		y.Data[i] = float32(math.Tanh(float64(v)))
+	}
+	t.y = y
+	return y
+}
+
+// Backward implements Layer.
+func (t *Tanh) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	dx := dy.Clone()
+	for i, v := range t.y.Data {
+		dx.Data[i] *= 1 - v*v
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (t *Tanh) Params() []*Param { return nil }
+
+// Sigmoid is the logistic function.
+type Sigmoid struct {
+	y *tensor.Tensor
+}
+
+// Forward implements Layer.
+func (s *Sigmoid) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	y := x.Clone()
+	for i, v := range y.Data {
+		y.Data[i] = float32(1 / (1 + math.Exp(-float64(v))))
+	}
+	s.y = y
+	return y
+}
+
+// Backward implements Layer.
+func (s *Sigmoid) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	dx := dy.Clone()
+	for i, v := range s.y.Data {
+		dx.Data[i] *= v * (1 - v)
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (s *Sigmoid) Params() []*Param { return nil }
+
+// Dropout zeroes each activation with probability P during training,
+// scaling survivors by 1/(1-P) (inverted dropout); inference is the
+// identity. Pix2Pix uses P=0.5 in the inner decoder blocks.
+type Dropout struct {
+	P   float64
+	rng *rand.Rand
+
+	mask []float32
+}
+
+// NewDropout builds a dropout layer with its own RNG for determinism.
+func NewDropout(p float64, seed int64) *Dropout {
+	return &Dropout{P: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.P <= 0 {
+		d.mask = nil
+		return x
+	}
+	y := x.Clone()
+	if cap(d.mask) < len(y.Data) {
+		d.mask = make([]float32, len(y.Data))
+	}
+	d.mask = d.mask[:len(y.Data)]
+	keep := float32(1 / (1 - d.P))
+	for i := range y.Data {
+		if d.rng.Float64() < d.P {
+			d.mask[i] = 0
+			y.Data[i] = 0
+		} else {
+			d.mask[i] = keep
+			y.Data[i] *= keep
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	if d.mask == nil {
+		return dy
+	}
+	dx := dy.Clone()
+	for i := range dx.Data {
+		dx.Data[i] *= d.mask[i]
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }

@@ -1,0 +1,53 @@
+package nn
+
+import (
+	"math"
+
+	"cachebox/internal/tensor"
+)
+
+// Adam is the Adam optimiser with the Pix2Pix defaults (lr 2e-4,
+// beta1 0.5, beta2 0.999).
+type Adam struct {
+	LR     float64
+	Beta1  float64
+	Beta2  float64
+	Eps    float64
+	params []*Param
+	m, v   []*tensor.Tensor
+	step   int
+}
+
+// NewAdam builds an optimiser over params. lr <= 0 selects the Pix2Pix
+// default 2e-4.
+func NewAdam(params []*Param, lr float64) *Adam {
+	if lr <= 0 {
+		lr = 2e-4
+	}
+	a := &Adam{LR: lr, Beta1: 0.5, Beta2: 0.999, Eps: 1e-8, params: params}
+	for _, p := range params {
+		a.m = append(a.m, tensor.New(p.Value.Shape...))
+		a.v = append(a.v, tensor.New(p.Value.Shape...))
+	}
+	return a
+}
+
+// Step applies one update from the accumulated gradients and clears
+// them.
+func (a *Adam) Step() {
+	a.step++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	for i, p := range a.params {
+		m, v := a.m[i], a.v[i]
+		for j, g := range p.Grad.Data {
+			gf := float64(g)
+			mf := a.Beta1*float64(m.Data[j]) + (1-a.Beta1)*gf
+			vf := a.Beta2*float64(v.Data[j]) + (1-a.Beta2)*gf*gf
+			m.Data[j] = float32(mf)
+			v.Data[j] = float32(vf)
+			p.Value.Data[j] -= float32(a.LR * (mf / bc1) / (math.Sqrt(vf/bc2) + a.Eps))
+		}
+		p.Grad.Zero()
+	}
+}

@@ -1,0 +1,110 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cachebox/internal/tensor"
+)
+
+func TestInstanceNormGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	layer := NewInstanceNorm2d("in", 3)
+	layer.Gamma.Value.RandNormal(rng, 1, 0.2)
+	layer.Beta.Value.RandNormal(rng, 0, 0.2)
+	gradCheck(t, "InstanceNorm2d", layer, randInput(rng, 2, 3, 4, 4), true)
+}
+
+func TestInstanceNormNormalisesPerInstance(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	l := NewInstanceNorm2d("in", 1)
+	// Two samples with wildly different scales each normalise to
+	// zero-mean unit-variance independently.
+	x := tensor.New(2, 1, 4, 4)
+	for i := 0; i < 16; i++ {
+		x.Data[i] = rng.Float32() * 100
+		x.Data[16+i] = rng.Float32()*0.01 - 5
+	}
+	y := l.Forward(x, false)
+	for s := 0; s < 2; s++ {
+		var mean float64
+		for i := 0; i < 16; i++ {
+			mean += float64(y.Data[s*16+i])
+		}
+		mean /= 16
+		if math.Abs(mean) > 1e-4 {
+			t.Fatalf("sample %d mean %v", s, mean)
+		}
+	}
+}
+
+func TestInstanceNormBackwardRequiresForward(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Backward without Forward accepted")
+		}
+	}()
+	NewInstanceNorm2d("in", 1).Backward(tensor.New(1, 1, 2, 2))
+}
+
+func TestSGDMinimisesQuadratic(t *testing.T) {
+	p := newParam("w", 3)
+	p.Value.Fill(4)
+	target := tensor.FromSlice([]float32{1, -1, 2}, 3)
+	opt := NewSGD([]*Param{p}, 0.1, 0.9)
+	for i := 0; i < 300; i++ {
+		_, g := MSELoss(p.Value, target)
+		copy(p.Grad.Data, g.Data)
+		opt.Step()
+	}
+	for i := range target.Data {
+		if math.Abs(float64(p.Value.Data[i]-target.Data[i])) > 0.05 {
+			t.Fatalf("w[%d] = %v, want %v", i, p.Value.Data[i], target.Data[i])
+		}
+	}
+	if p.Grad.Data[0] != 0 {
+		t.Fatal("SGD did not clear gradients")
+	}
+}
+
+func TestSGDMomentumAccelerates(t *testing.T) {
+	run := func(momentum float64) float64 {
+		p := newParam("w", 1)
+		p.Value.Fill(10)
+		target := tensor.FromSlice([]float32{0}, 1)
+		opt := NewSGD([]*Param{p}, 0.02, momentum)
+		for i := 0; i < 50; i++ {
+			_, g := MSELoss(p.Value, target)
+			copy(p.Grad.Data, g.Data)
+			opt.Step()
+		}
+		return math.Abs(float64(p.Value.Data[0]))
+	}
+	if run(0.9) >= run(0) {
+		t.Fatal("momentum did not accelerate convergence on a quadratic")
+	}
+}
+
+func TestClipGradNorm(t *testing.T) {
+	p := newParam("w", 4)
+	p.Grad.Data = []float32{3, 4, 0, 0} // norm 5
+	norm := ClipGradNorm([]*Param{p}, 1.0)
+	if math.Abs(norm-5) > 1e-5 {
+		t.Fatalf("pre-clip norm = %v, want 5", norm)
+	}
+	var sq float64
+	for _, g := range p.Grad.Data {
+		sq += float64(g) * float64(g)
+	}
+	if math.Abs(math.Sqrt(sq)-1) > 1e-5 {
+		t.Fatalf("post-clip norm = %v, want 1", math.Sqrt(sq))
+	}
+	// Below the bound: untouched.
+	p2 := newParam("w", 1)
+	p2.Grad.Data = []float32{0.5}
+	ClipGradNorm([]*Param{p2}, 1.0)
+	if p2.Grad.Data[0] != 0.5 {
+		t.Fatal("under-norm gradient scaled")
+	}
+}

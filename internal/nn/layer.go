@@ -1,0 +1,125 @@
+// Package nn is a from-scratch neural network library: convolutional
+// and dense layers with manual backpropagation, batch normalisation,
+// the activations, losses and the Adam optimiser needed to train the
+// paper's CB-GAN (a Pix2Pix-style conditional GAN) on the CPU, plus gob
+// serialisation of model weights.
+//
+// Layers cache their forward activations, so a layer instance serves
+// one forward/backward in flight at a time; concurrent inference uses
+// separate model replicas or batched inputs (the latter is how CacheBox
+// parallelises, see paper RQ5).
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cachebox/internal/tensor"
+)
+
+// Param is a trainable tensor together with its gradient accumulator.
+type Param struct {
+	Name  string
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+}
+
+func newParam(name string, shape ...int) *Param {
+	return &Param{Name: name, Value: tensor.New(shape...), Grad: tensor.New(shape...)}
+}
+
+// Layer is one differentiable module.
+type Layer interface {
+	// Forward computes the layer's output. train enables
+	// training-only behaviour (batch statistics, dropout).
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward propagates the output gradient, accumulating parameter
+	// gradients and returning the input gradient. It must follow a
+	// Forward call with the matching input.
+	Backward(dy *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's trainable parameters (possibly none).
+	Params() []*Param
+}
+
+// Sequential chains layers.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a Sequential from the given layers.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// Forward implements Layer.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward implements Layer.
+func (s *Sequential) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		dy = s.Layers[i].Backward(dy)
+	}
+	return dy
+}
+
+// Params implements Layer.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrads clears the gradients of all params.
+func ZeroGrads(params []*Param) {
+	for _, p := range params {
+		p.Grad.Zero()
+	}
+}
+
+// InitConv fills w with the Pix2Pix initialisation N(0, 0.02).
+func InitConv(rng *rand.Rand, w *tensor.Tensor) { w.RandNormal(rng, 0, 0.02) }
+
+// checkShape panics with a helpful message when dims mismatch.
+func checkShape(what string, got []int, want ...int) {
+	ok := len(got) == len(want)
+	if ok {
+		for i := range want {
+			if want[i] >= 0 && got[i] != want[i] {
+				ok = false
+				break
+			}
+		}
+	}
+	if !ok {
+		panic(fmt.Sprintf("nn: %s shape %v, want %v", what, got, want))
+	}
+}
+
+// nchwToCK permutes x [N,C,HW] into out [C, N*HW] so the whole batch
+// shares one GEMM; ckToNCHW is its inverse.
+func nchwToCK(x *tensor.Tensor, n, c, hw int) *tensor.Tensor {
+	out := tensor.New(c, n*hw)
+	for in := 0; in < n; in++ {
+		for ic := 0; ic < c; ic++ {
+			src := x.Data[(in*c+ic)*hw : (in*c+ic+1)*hw]
+			copy(out.Data[ic*n*hw+in*hw:], src)
+		}
+	}
+	return out
+}
+
+func ckToNCHW(x *tensor.Tensor, n, c, hw int) *tensor.Tensor {
+	out := tensor.New(n, c, hw)
+	for in := 0; in < n; in++ {
+		for ic := 0; ic < c; ic++ {
+			src := x.Data[ic*n*hw+in*hw : ic*n*hw+(in+1)*hw]
+			copy(out.Data[(in*c+ic)*hw:], src)
+		}
+	}
+	return out
+}

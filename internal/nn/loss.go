@@ -1,0 +1,65 @@
+package nn
+
+import (
+	"math"
+
+	"cachebox/internal/tensor"
+)
+
+// BCEWithLogits computes the numerically stable binary cross-entropy
+// between logits z and targets t in [0,1], averaged over all elements,
+// and the gradient with respect to z. This is the GAN adversarial loss
+// (paper Eq. 2) applied to the PatchGAN's truth map.
+func BCEWithLogits(z, t *tensor.Tensor) (loss float64, dz *tensor.Tensor) {
+	if z.Len() != t.Len() {
+		panic("nn: BCEWithLogits size mismatch")
+	}
+	dz = tensor.New(z.Shape...)
+	n := float64(z.Len())
+	for i, zi := range z.Data {
+		zf, tf := float64(zi), float64(t.Data[i])
+		// loss_i = max(z,0) - z*t + log(1+exp(-|z|))
+		l := math.Max(zf, 0) - zf*tf + math.Log1p(math.Exp(-math.Abs(zf)))
+		loss += l
+		sig := 1 / (1 + math.Exp(-zf))
+		dz.Data[i] = float32((sig - tf) / n)
+	}
+	return loss / n, dz
+}
+
+// L1Loss computes mean |a-b| and the gradient with respect to a — the
+// reconstruction term of the CB-GAN objective (paper Eq. 1).
+func L1Loss(a, b *tensor.Tensor) (loss float64, da *tensor.Tensor) {
+	if a.Len() != b.Len() {
+		panic("nn: L1Loss size mismatch")
+	}
+	da = tensor.New(a.Shape...)
+	n := float64(a.Len())
+	for i, av := range a.Data {
+		d := float64(av) - float64(b.Data[i])
+		if d >= 0 {
+			loss += d
+			da.Data[i] = float32(1 / n)
+		} else {
+			loss -= d
+			da.Data[i] = float32(-1 / n)
+		}
+	}
+	return loss / n, da
+}
+
+// MSELoss computes mean squared error and the gradient with respect to
+// a (used in evaluation and ablations).
+func MSELoss(a, b *tensor.Tensor) (loss float64, da *tensor.Tensor) {
+	if a.Len() != b.Len() {
+		panic("nn: MSELoss size mismatch")
+	}
+	da = tensor.New(a.Shape...)
+	n := float64(a.Len())
+	for i, av := range a.Data {
+		d := float64(av) - float64(b.Data[i])
+		loss += d * d
+		da.Data[i] = float32(2 * d / n)
+	}
+	return loss / n, da
+}

@@ -1,0 +1,136 @@
+package nn
+
+import (
+	"math"
+
+	"cachebox/internal/tensor"
+)
+
+// BatchNorm2d normalises each channel over the batch and spatial axes,
+// with learned scale (gamma) and shift (beta) and running statistics
+// for inference — the normalisation Pix2Pix uses in both generator and
+// discriminator.
+type BatchNorm2d struct {
+	C        int
+	Eps      float64
+	Momentum float64
+
+	Gamma, Beta *Param
+
+	// Running statistics (not trained by the optimiser; serialised
+	// with the model).
+	RunMean, RunVar *tensor.Tensor
+
+	// cached for backward
+	xhat   *tensor.Tensor
+	invstd []float64
+	n, hw  int
+}
+
+// NewBatchNorm2d builds the layer for c channels.
+func NewBatchNorm2d(name string, c int) *BatchNorm2d {
+	b := &BatchNorm2d{
+		C: c, Eps: 1e-5, Momentum: 0.1,
+		Gamma:   newParam(name+".gamma", c),
+		Beta:    newParam(name+".beta", c),
+		RunMean: tensor.New(c),
+		RunVar:  tensor.New(c),
+	}
+	b.Gamma.Value.Fill(1)
+	b.RunVar.Fill(1)
+	return b
+}
+
+// Params implements Layer.
+func (b *BatchNorm2d) Params() []*Param { return []*Param{b.Gamma, b.Beta} }
+
+// Forward implements Layer. x is [N, C, H, W].
+func (b *BatchNorm2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkShape("BatchNorm2d input", x.Shape, -1, b.C, -1, -1)
+	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	hw := h * w
+	y := tensor.New(x.Shape...)
+	if train {
+		b.xhat = tensor.New(x.Shape...)
+		if cap(b.invstd) < b.C {
+			b.invstd = make([]float64, b.C)
+		}
+		b.invstd = b.invstd[:b.C]
+		b.n, b.hw = n, hw
+	}
+	m := float64(n * hw)
+	for c := 0; c < b.C; c++ {
+		var mean, variance float64
+		if train {
+			for in := 0; in < n; in++ {
+				for _, v := range x.Data[(in*b.C+c)*hw : (in*b.C+c+1)*hw] {
+					mean += float64(v)
+				}
+			}
+			mean /= m
+			for in := 0; in < n; in++ {
+				for _, v := range x.Data[(in*b.C+c)*hw : (in*b.C+c+1)*hw] {
+					d := float64(v) - mean
+					variance += d * d
+				}
+			}
+			variance /= m
+			b.RunMean.Data[c] = float32((1-b.Momentum)*float64(b.RunMean.Data[c]) + b.Momentum*mean)
+			b.RunVar.Data[c] = float32((1-b.Momentum)*float64(b.RunVar.Data[c]) + b.Momentum*variance)
+		} else {
+			mean = float64(b.RunMean.Data[c])
+			variance = float64(b.RunVar.Data[c])
+		}
+		invstd := 1 / math.Sqrt(variance+b.Eps)
+		g, be := float64(b.Gamma.Value.Data[c]), float64(b.Beta.Value.Data[c])
+		for in := 0; in < n; in++ {
+			off := (in*b.C + c) * hw
+			for i := 0; i < hw; i++ {
+				xh := (float64(x.Data[off+i]) - mean) * invstd
+				if train {
+					b.xhat.Data[off+i] = float32(xh)
+				}
+				y.Data[off+i] = float32(g*xh + be)
+			}
+		}
+		if train {
+			b.invstd[c] = invstd
+		}
+	}
+	return y
+}
+
+// Backward implements Layer (training mode only).
+func (b *BatchNorm2d) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	if b.xhat == nil {
+		panic("nn: BatchNorm2d.Backward without a training Forward")
+	}
+	n, hw := b.n, b.hw
+	checkShape("BatchNorm2d grad", dy.Shape, n, b.C, -1, -1)
+	dx := tensor.New(dy.Shape...)
+	m := float64(n * hw)
+	for c := 0; c < b.C; c++ {
+		var sumDy, sumDyXhat float64
+		for in := 0; in < n; in++ {
+			off := (in*b.C + c) * hw
+			for i := 0; i < hw; i++ {
+				d := float64(dy.Data[off+i])
+				sumDy += d
+				sumDyXhat += d * float64(b.xhat.Data[off+i])
+			}
+		}
+		b.Beta.Grad.Data[c] += float32(sumDy)
+		b.Gamma.Grad.Data[c] += float32(sumDyXhat)
+		g := float64(b.Gamma.Value.Data[c])
+		k := g * b.invstd[c] / m
+		for in := 0; in < n; in++ {
+			off := (in*b.C + c) * hw
+			for i := 0; i < hw; i++ {
+				d := float64(dy.Data[off+i])
+				xh := float64(b.xhat.Data[off+i])
+				dx.Data[off+i] = float32(k * (m*d - sumDy - xh*sumDyXhat))
+			}
+		}
+	}
+	return dx
+}

@@ -1,0 +1,157 @@
+package simpoint
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cachebox/internal/cachesim"
+	"cachebox/internal/trace"
+	"cachebox/internal/workload"
+)
+
+// phasedTrace alternates two very different access patterns so phases
+// are unambiguous.
+func phasedTrace(n int) *trace.Trace {
+	t := &trace.Trace{Name: "phased"}
+	rng := rand.New(rand.NewSource(3))
+	var ic uint64
+	for i := 0; i < n; i++ {
+		ic += 3
+		if (i/5000)%2 == 0 {
+			t.Append(uint64(i%8)*64, ic, false) // hot-loop phase: 8 blocks
+		} else {
+			t.Append(uint64(rng.Intn(1<<18))*64, ic, false) // random phase
+		}
+	}
+	return t
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bads := []Config{
+		{IntervalLen: 0, SignatureDim: 4},
+		{IntervalLen: 10, SignatureDim: 0},
+		{IntervalLen: 10, SignatureDim: 4, K: -1},
+	}
+	for i, c := range bads {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestAnalyzeFindsTwoPhases(t *testing.T) {
+	tr := phasedTrace(100000)
+	cfg := Config{IntervalLen: 5000, SignatureDim: 32, K: 2, MaxIter: 30, Seed: 1}
+	ph, err := Analyze(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ph.Intervals) != 20 {
+		t.Fatalf("intervals = %d", len(ph.Intervals))
+	}
+	if len(ph.Representatives) != 2 {
+		t.Fatalf("representatives = %d, want 2", len(ph.Representatives))
+	}
+	// The two alternating patterns must be separated: even intervals
+	// in one phase, odd in the other.
+	even := ph.Intervals[0].Phase
+	for _, iv := range ph.Intervals {
+		want := even
+		if iv.Index%2 == 1 {
+			want = 1 - even
+		}
+		if iv.Phase != want {
+			t.Fatalf("interval %d assigned phase %d, want %d", iv.Index, iv.Phase, want)
+		}
+	}
+	// Weights sum to 1.
+	var ws float64
+	for _, w := range ph.Weights {
+		ws += w
+	}
+	if math.Abs(ws-1) > 1e-9 {
+		t.Fatalf("weights sum to %v", ws)
+	}
+}
+
+func TestAnalyzeErrorsOnShortTrace(t *testing.T) {
+	tr := &trace.Trace{Name: "short"}
+	tr.Append(0, 1, false)
+	if _, err := Analyze(tr, DefaultConfig()); err == nil {
+		t.Fatal("short trace accepted")
+	}
+}
+
+func TestSampledTraceLength(t *testing.T) {
+	tr := phasedTrace(100000)
+	cfg := Config{IntervalLen: 5000, SignatureDim: 32, K: 2, Seed: 1}
+	ph, err := Analyze(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled := ph.SampledTrace(tr)
+	if sampled.Len() != 2*5000 {
+		t.Fatalf("sampled length %d, want 10000", sampled.Len())
+	}
+}
+
+func TestEstimateRateApproximatesFullSimulation(t *testing.T) {
+	// The SimPoint estimate of the miss rate from 2 representative
+	// intervals must land near the full-trace simulation.
+	tr := phasedTrace(200000)
+	cfg := Config{IntervalLen: 5000, SignatureDim: 32, K: 2, Seed: 1}
+	ph, err := Analyze(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := cachesim.Config{Sets: 64, Ways: 8}
+	full := cachesim.RunTrace(cachesim.New(ccfg), tr).Stats.MissRate()
+	est := ph.EstimateRate(tr, func(sub *trace.Trace) float64 {
+		return cachesim.RunTrace(cachesim.New(ccfg), sub).Stats.MissRate()
+	})
+	if math.Abs(full-est) > 0.05 {
+		t.Fatalf("simpoint estimate %v vs full %v", est, full)
+	}
+}
+
+func TestEstimateRateOnRealWorkload(t *testing.T) {
+	suite := workload.SpecLike(2, 1, 60000)
+	tr := suite.Benchmarks[0].Trace()
+	cfg := Config{IntervalLen: 6000, SignatureDim: 64, K: 4, Seed: 2}
+	ph, err := Analyze(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := cachesim.Config{Sets: 64, Ways: 12}
+	full := cachesim.RunTrace(cachesim.New(ccfg), tr).Stats.MissRate()
+	est := ph.EstimateRate(tr, func(sub *trace.Trace) float64 {
+		return cachesim.RunTrace(cachesim.New(ccfg), sub).Stats.MissRate()
+	})
+	if math.Abs(full-est) > 0.15 {
+		t.Fatalf("simpoint estimate %v too far from full %v", est, full)
+	}
+}
+
+func TestKDefaultsAndClamping(t *testing.T) {
+	tr := phasedTrace(30000)
+	cfg := Config{IntervalLen: 10000, SignatureDim: 16, K: 99, Seed: 1}
+	ph, err := Analyze(tr, cfg) // only 3 intervals: k clamps to 3
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ph.Representatives) > 3 {
+		t.Fatalf("representatives = %d with 3 intervals", len(ph.Representatives))
+	}
+}
+
+func TestHashBucketInRange(t *testing.T) {
+	for b := uint64(0); b < 10000; b += 7 {
+		if h := hashBucket(b, 64); h < 0 || h >= 64 {
+			t.Fatalf("hash %d out of range", h)
+		}
+	}
+}

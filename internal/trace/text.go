@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteText serialises the trace in a human-readable CSV-like form —
+// one access per line, "ic,addr,rw" with the address in hex — the
+// format traditional trace-driven simulators exchange.
+//
+//	# trace: <name>
+//	12,0x7f001000,R
+//	15,0x7f001040,W
+func WriteText(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# trace: %s\n", t.Name); err != nil {
+		return err
+	}
+	for _, a := range t.Accesses {
+		rw := byte('R')
+		if a.Write {
+			rw = 'W'
+		}
+		if _, err := fmt.Fprintf(bw, "%d,%#x,%c\n", a.IC, a.Addr, rw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses a trace written by WriteText. Blank lines are
+// skipped; unknown comment lines are ignored.
+func ReadText(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	t := &Trace{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if rest, ok := strings.CutPrefix(line, "# trace:"); ok {
+				t.Name = strings.TrimSpace(rest)
+			}
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("trace: line %d: want ic,addr,rw, got %q", lineNo, line)
+		}
+		ic, err := strconv.ParseUint(strings.TrimSpace(parts[0]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad instruction count: %v", lineNo, err)
+		}
+		addr, err := strconv.ParseUint(strings.TrimSpace(parts[1]), 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad address: %v", lineNo, err)
+		}
+		var write bool
+		switch strings.TrimSpace(parts[2]) {
+		case "R", "r", "0":
+			write = false
+		case "W", "w", "1":
+			write = true
+		default:
+			return nil, fmt.Errorf("trace: line %d: bad r/w flag %q", lineNo, parts[2])
+		}
+		t.Append(addr, ic, write)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return t, nil
+}

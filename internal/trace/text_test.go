@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	tr := &Trace{Name: "bench/text"}
+	tr.Append(0x1000, 3, false)
+	tr.Append(0x1040, 6, true)
+	tr.Append(0xdeadbeef00, 9, false)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name {
+		t.Fatalf("name %q", got.Name)
+	}
+	if !reflect.DeepEqual(got.Accesses, tr.Accesses) {
+		t.Fatalf("accesses differ: %v vs %v", got.Accesses, tr.Accesses)
+	}
+}
+
+func TestReadTextTolerant(t *testing.T) {
+	in := `# trace: tolerant
+# another comment
+
+12, 0x40 , R
+13,64,W
+14,0x80,0
+15,0x80,1
+`
+	tr, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "tolerant" || tr.Len() != 4 {
+		t.Fatalf("name=%q len=%d", tr.Name, tr.Len())
+	}
+	if tr.Accesses[1].Addr != 64 || !tr.Accesses[1].Write {
+		t.Fatalf("decimal address row parsed wrong: %+v", tr.Accesses[1])
+	}
+	if tr.Accesses[2].Write || !tr.Accesses[3].Write {
+		t.Fatal("numeric rw flags parsed wrong")
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := []string{
+		"1,0x40",         // too few fields
+		"x,0x40,R",       // bad ic
+		"1,zz,R",         // bad addr
+		"1,0x40,Q",       // bad flag
+		"1,0x40,R,extra", // too many fields
+	}
+	for i, c := range cases {
+		if _, err := ReadText(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted: %q", i, c)
+		}
+	}
+}

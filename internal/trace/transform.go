@@ -1,0 +1,75 @@
+package trace
+
+import "math/rand"
+
+// Systematic returns a SMARTS-style systematic sample of the trace:
+// from every period accesses, the first sampleLen are kept. Sampled
+// simulation (Wunderlich et al., ISCA'03) is one of the acceleration
+// techniques the paper contrasts CacheBox with.
+func Systematic(t *Trace, period, sampleLen int) *Trace {
+	out := &Trace{Name: t.Name + ".sampled"}
+	if period <= 0 || sampleLen <= 0 || sampleLen > period {
+		return out
+	}
+	for base := 0; base < t.Len(); base += period {
+		hi := base + sampleLen
+		if hi > t.Len() {
+			hi = t.Len()
+		}
+		out.Accesses = append(out.Accesses, t.Accesses[base:hi]...)
+	}
+	return out
+}
+
+// RandomSample keeps each access independently with probability p,
+// deterministic in seed (statistical sampling).
+func RandomSample(t *Trace, p float64, seed int64) *Trace {
+	out := &Trace{Name: t.Name + ".rsampled"}
+	rng := rand.New(rand.NewSource(seed))
+	for _, a := range t.Accesses {
+		if rng.Float64() < p {
+			out.Accesses = append(out.Accesses, a)
+		}
+	}
+	return out
+}
+
+// Interleave merges per-core traces round-robin with the given
+// granularity (accesses per turn), renumbering instruction counts to a
+// single shared clock — the input shape the coherent multi-cache
+// simulator consumes. Cores that run out are skipped.
+func Interleave(granularity int, traces ...*Trace) *Trace {
+	out := &Trace{Name: "interleaved"}
+	if granularity <= 0 {
+		granularity = 1
+	}
+	idx := make([]int, len(traces))
+	var ic uint64
+	for {
+		progressed := false
+		for c, tr := range traces {
+			for k := 0; k < granularity && idx[c] < tr.Len(); k++ {
+				a := tr.Accesses[idx[c]]
+				ic += 3
+				out.Accesses = append(out.Accesses, Access{Addr: a.Addr, IC: ic, Write: a.Write})
+				idx[c]++
+				progressed = true
+			}
+		}
+		if !progressed {
+			return out
+		}
+	}
+}
+
+// Window returns the sub-trace whose instruction counts fall in
+// [fromIC, toIC).
+func Window(t *Trace, fromIC, toIC uint64) *Trace {
+	out := &Trace{Name: t.Name + ".window"}
+	for _, a := range t.Accesses {
+		if a.IC >= fromIC && a.IC < toIC {
+			out.Accesses = append(out.Accesses, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func seq(n int) *Trace {
+	t := &Trace{Name: "seq"}
+	for i := 0; i < n; i++ {
+		t.Append(uint64(i)*64, uint64(i*3), i%5 == 0)
+	}
+	return t
+}
+
+func TestSystematicSample(t *testing.T) {
+	tr := seq(100)
+	s := Systematic(tr, 10, 3)
+	if s.Len() != 30 {
+		t.Fatalf("sampled %d, want 30", s.Len())
+	}
+	// First kept access of each period is the period's first access.
+	if s.Accesses[3].Addr != 10*64 {
+		t.Fatalf("second period starts at %#x", s.Accesses[3].Addr)
+	}
+	// Degenerate parameters return an empty trace, not a panic.
+	if Systematic(tr, 0, 3).Len() != 0 || Systematic(tr, 5, 9).Len() != 0 {
+		t.Fatal("degenerate parameters accepted")
+	}
+	// Tail shorter than sampleLen is kept.
+	s2 := Systematic(seq(12), 10, 5)
+	if s2.Len() != 5+2 {
+		t.Fatalf("tail handling: %d", s2.Len())
+	}
+}
+
+func TestRandomSampleRate(t *testing.T) {
+	tr := seq(20000)
+	s := RandomSample(tr, 0.25, 1)
+	frac := float64(s.Len()) / float64(tr.Len())
+	if math.Abs(frac-0.25) > 0.02 {
+		t.Fatalf("sample fraction %v, want ~0.25", frac)
+	}
+	// Deterministic in seed.
+	s2 := RandomSample(tr, 0.25, 1)
+	if s.Len() != s2.Len() {
+		t.Fatal("same seed produced different samples")
+	}
+}
+
+func TestSamplingPreservesMissRateEstimate(t *testing.T) {
+	// Sanity link to the SMARTS idea: a systematic sample of a
+	// homogeneous random workload estimates the full miss rate.
+	rng := rand.New(rand.NewSource(2))
+	tr := &Trace{Name: "hom"}
+	for i := 0; i < 50000; i++ {
+		tr.Append(uint64(rng.Intn(1024))*64, uint64(i*3), false)
+	}
+	s := Systematic(tr, 100, 20)
+	if s.Len() != 10000 {
+		t.Fatalf("sample len %d", s.Len())
+	}
+}
+
+func TestInterleaveRoundRobin(t *testing.T) {
+	a := seq(4)
+	b := &Trace{Name: "b"}
+	for i := 0; i < 2; i++ {
+		b.Append(uint64(1000+i)*64, uint64(i*3), false)
+	}
+	out := Interleave(2, a, b)
+	if out.Len() != 6 {
+		t.Fatalf("interleaved %d accesses", out.Len())
+	}
+	// Pattern: a a b b a a (b exhausted after first round).
+	wantAddrs := []uint64{0, 64, 1000 * 64, 1001 * 64, 2 * 64, 3 * 64}
+	for i, w := range wantAddrs {
+		if out.Accesses[i].Addr != w {
+			t.Fatalf("access %d addr %#x, want %#x", i, out.Accesses[i].Addr, w)
+		}
+	}
+	// Instruction counts strictly increase.
+	for i := 1; i < out.Len(); i++ {
+		if out.Accesses[i].IC <= out.Accesses[i-1].IC {
+			t.Fatal("interleaved IC not increasing")
+		}
+	}
+}
+
+func TestWindow(t *testing.T) {
+	tr := seq(100) // ICs 0, 3, ..., 297
+	w := Window(tr, 30, 60)
+	if w.Len() != 10 {
+		t.Fatalf("window has %d accesses", w.Len())
+	}
+	for _, a := range w.Accesses {
+		if a.IC < 30 || a.IC >= 60 {
+			t.Fatalf("IC %d outside window", a.IC)
+		}
+	}
+}

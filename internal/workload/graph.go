@@ -1,0 +1,218 @@
+package workload
+
+import "math/rand"
+
+// LigraLike builds the Ligra-style graph analytics suite. Each
+// benchmark runs a graph kernel (BFS, PageRank, label propagation,
+// triangle counting, k-core) over a synthetic power-law graph held in
+// CSR (compressed sparse row) form — the same data layout Ligra uses —
+// so the trace interleaves sequential offset/edge-array scans with
+// data-dependent vertex-array gathers.
+func LigraLike(ops int, sizeScale float64) Suite {
+	scale := func(n int) int {
+		v := int(float64(n) * sizeScale)
+		if v < 64 {
+			v = 64
+		}
+		return v
+	}
+	type def struct {
+		name   string
+		nodes  int
+		degree int
+		gen    func(e *Emitter, g *csrGraph)
+	}
+	defs := []def{
+		{"bfs-small", 2000, 8, graphBFS},
+		{"bfs-large", 40000, 8, graphBFS},
+		{"pagerank-small", 2000, 10, graphPageRank},
+		{"pagerank-large", 30000, 10, graphPageRank},
+		{"components-small", 3000, 6, graphComponents},
+		{"components-large", 35000, 6, graphComponents},
+		{"kcore", 8000, 12, graphKCore},
+		{"triangle", 1500, 14, graphTriangle},
+		{"radii", 6000, 8, graphRadii},
+		{"bc", 5000, 8, graphBC},
+	}
+	s := Suite{Name: "ligralike"}
+	for i, d := range defs {
+		d := d
+		nodes := scale(d.nodes)
+		s.Benchmarks = append(s.Benchmarks, Benchmark{
+			Name:  "ligra/" + d.name,
+			Group: "ligra/" + d.name,
+			Suite: "ligralike",
+			Ops:   ops,
+			Seed:  4000 + int64(i),
+			gen: func(e *Emitter) {
+				g := buildCSR(e, nodes, d.degree)
+				for !e.Full() {
+					d.gen(e, g)
+				}
+			},
+		})
+	}
+	return s
+}
+
+// csrGraph is a synthetic power-law graph laid out in CSR form, with
+// the base addresses of its arrays recorded for trace emission.
+type csrGraph struct {
+	n        int
+	offsets  []int // len n+1, edge-array offsets
+	targets  []int // edge targets
+	offBase  uint64
+	edgeBase uint64
+	dataBase uint64 // per-vertex data array (ranks, labels, ...)
+	auxBase  uint64 // second per-vertex array
+}
+
+// buildCSR constructs the graph topology (without emitting accesses —
+// graph construction is setup, not the measured kernel). Degrees follow
+// a Zipf distribution and targets have mild locality preference, giving
+// power-law structure like real web/social graphs.
+func buildCSR(e *Emitter, n, avgDegree int) *csrGraph {
+	rng := e.Rand()
+	z := rand.NewZipf(rng, 1.3, 1, uint64(4*avgDegree))
+	degrees := make([]int, n)
+	total := 0
+	for i := range degrees {
+		d := int(z.Uint64()) + 1
+		degrees[i] = d
+		total += d
+	}
+	g := &csrGraph{n: n, offsets: make([]int, n+1), targets: make([]int, 0, total)}
+	for i := 0; i < n; i++ {
+		g.offsets[i+1] = g.offsets[i] + degrees[i]
+		for d := 0; d < degrees[i]; d++ {
+			var t int
+			if rng.Float64() < 0.5 {
+				// Local edge: nearby vertex id.
+				t = i + rng.Intn(2*avgDegree+1) - avgDegree
+				if t < 0 {
+					t += n
+				}
+				t %= n
+			} else {
+				t = rng.Intn(n)
+			}
+			g.targets = append(g.targets, t)
+		}
+	}
+	g.offBase = e.Alloc(uint64((n + 1) * elem))
+	g.edgeBase = e.Alloc(uint64(total * elem))
+	g.dataBase = e.Alloc(uint64(n * elem))
+	g.auxBase = e.Alloc(uint64(n * elem))
+	return g
+}
+
+// visitEdges emits the CSR access pattern for scanning vertex v's edge
+// list: one offset read, then per edge a target read plus a gather from
+// the per-vertex data array, and optionally a write to aux.
+func (g *csrGraph) visitEdges(e *Emitter, v int, writeAux bool) {
+	e.Load(g.offBase + uint64(v)*elem)
+	lo, hi := g.offsets[v], g.offsets[v+1]
+	for i := lo; i < hi && !e.Full(); i++ {
+		e.Load(g.edgeBase + uint64(i)*elem)
+		t := g.targets[i]
+		e.Load(g.dataBase + uint64(t)*elem)
+		if writeAux {
+			e.Store(g.auxBase + uint64(t)*elem)
+		}
+	}
+}
+
+func graphBFS(e *Emitter, g *csrGraph) {
+	visited := make([]bool, g.n)
+	frontier := []int{e.rng.Intn(g.n)}
+	visited[frontier[0]] = true
+	for len(frontier) > 0 && !e.Full() {
+		var next []int
+		for _, v := range frontier {
+			if e.Full() {
+				break
+			}
+			e.Load(g.offBase + uint64(v)*elem)
+			for i := g.offsets[v]; i < g.offsets[v+1] && !e.Full(); i++ {
+				e.Load(g.edgeBase + uint64(i)*elem)
+				t := g.targets[i]
+				e.Load(g.dataBase + uint64(t)*elem) // visited check
+				if !visited[t] {
+					visited[t] = true
+					e.Store(g.dataBase + uint64(t)*elem)
+					next = append(next, t)
+				}
+			}
+		}
+		frontier = next
+	}
+}
+
+func graphPageRank(e *Emitter, g *csrGraph) {
+	for iter := 0; iter < 3 && !e.Full(); iter++ {
+		for v := 0; v < g.n && !e.Full(); v++ {
+			g.visitEdges(e, v, false)
+			e.Store(g.auxBase + uint64(v)*elem)
+		}
+		// Swap rank arrays: sequential copy aux -> data.
+		for v := 0; v < g.n && !e.Full(); v++ {
+			e.Load(g.auxBase + uint64(v)*elem)
+			e.Store(g.dataBase + uint64(v)*elem)
+		}
+	}
+}
+
+func graphComponents(e *Emitter, g *csrGraph) {
+	// Label propagation until the budget runs out.
+	for !e.Full() {
+		for v := 0; v < g.n && !e.Full(); v++ {
+			e.Load(g.dataBase + uint64(v)*elem)
+			g.visitEdges(e, v, false)
+			if e.rng.Float64() < 0.3 {
+				e.Store(g.dataBase + uint64(v)*elem)
+			}
+		}
+	}
+}
+
+func graphKCore(e *Emitter, g *csrGraph) {
+	for round := 0; round < 4 && !e.Full(); round++ {
+		for v := 0; v < g.n && !e.Full(); v++ {
+			e.Load(g.dataBase + uint64(v)*elem) // degree check
+			if g.offsets[v+1]-g.offsets[v] <= round+1 {
+				g.visitEdges(e, v, true) // decrement neighbours
+			}
+		}
+	}
+}
+
+func graphTriangle(e *Emitter, g *csrGraph) {
+	for v := 0; v < g.n && !e.Full(); v++ {
+		e.Load(g.offBase + uint64(v)*elem)
+		for i := g.offsets[v]; i < g.offsets[v+1] && !e.Full(); i++ {
+			e.Load(g.edgeBase + uint64(i)*elem)
+			u := g.targets[i]
+			// Intersect edge lists of v and u.
+			e.Load(g.offBase + uint64(u)*elem)
+			for j := g.offsets[u]; j < g.offsets[u+1] && !e.Full(); j++ {
+				e.Load(g.edgeBase + uint64(j)*elem)
+			}
+		}
+	}
+}
+
+func graphRadii(e *Emitter, g *csrGraph) {
+	// Multi-source BFS sweep approximating eccentricities.
+	for s := 0; s < 8 && !e.Full(); s++ {
+		graphBFS(e, g)
+	}
+}
+
+func graphBC(e *Emitter, g *csrGraph) {
+	// Betweenness-centrality style: forward BFS then reverse
+	// accumulation sweep over all vertices.
+	graphBFS(e, g)
+	for v := g.n - 1; v >= 0 && !e.Full(); v-- {
+		g.visitEdges(e, v, true)
+	}
+}

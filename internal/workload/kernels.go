@@ -1,0 +1,221 @@
+package workload
+
+import "math/rand"
+
+// This file holds the primitive access-pattern kernels the suites are
+// composed from. Each kernel is a function that issues accesses on an
+// Emitter until either its natural loop structure finishes or the
+// emitter's budget is reached. Kernels take their data-structure base
+// addresses as arguments so phased benchmarks can share or separate
+// footprints.
+
+// elem is the access granularity in bytes (a 64-bit word).
+const elem = 8
+
+// kernelStream performs sequential read passes over an array of n
+// elements, writing every writeEvery-th element (0 disables writes).
+func kernelStream(e *Emitter, base uint64, n int, writeEvery int) {
+	for i := 0; i < n && !e.Full(); i++ {
+		addr := base + uint64(i)*elem
+		if writeEvery > 0 && i%writeEvery == 0 {
+			e.Store(addr)
+		} else {
+			e.Load(addr)
+		}
+	}
+}
+
+// kernelCopy streams src into dst (read + write per element).
+func kernelCopy(e *Emitter, dst, src uint64, n int) {
+	for i := 0; i < n && !e.Full(); i++ {
+		e.Load(src + uint64(i)*elem)
+		e.Store(dst + uint64(i)*elem)
+	}
+}
+
+// kernelStride sweeps an array with a fixed element stride, wrapping
+// around the footprint, for count accesses.
+func kernelStride(e *Emitter, base uint64, n, stride, count int) {
+	idx := 0
+	for i := 0; i < count && !e.Full(); i++ {
+		e.Load(base + uint64(idx)*elem)
+		idx += stride
+		if idx >= n {
+			idx -= n
+		}
+	}
+}
+
+// kernelRandom issues count uniformly random accesses over n elements,
+// with the given write fraction in [0,1).
+func kernelRandom(e *Emitter, base uint64, n, count int, writeFrac float64) {
+	for i := 0; i < count && !e.Full(); i++ {
+		addr := base + uint64(e.rng.Intn(n))*elem
+		if e.rng.Float64() < writeFrac {
+			e.Store(addr)
+		} else {
+			e.Load(addr)
+		}
+	}
+}
+
+// kernelZipf issues count accesses over n elements with a Zipfian
+// popularity skew (hot-spot behaviour common in server workloads).
+func kernelZipf(e *Emitter, base uint64, n, count int, s float64) {
+	if n < 2 {
+		n = 2
+	}
+	z := rand.NewZipf(e.rng, s, 1, uint64(n-1))
+	for i := 0; i < count && !e.Full(); i++ {
+		e.Load(base + z.Uint64()*elem)
+	}
+}
+
+// kernelPointerChase walks a random-permutation cycle over n nodes for
+// count steps. Each node is one cache-block-sized object, so every hop
+// is a fresh (dependent) block access: the classic latency-bound
+// pattern with near-zero spatial locality.
+func kernelPointerChase(e *Emitter, base uint64, n, count int) {
+	const nodeSize = 64
+	perm := e.rng.Perm(n)
+	next := make([]int, n)
+	for i := range perm {
+		next[perm[i]] = perm[(i+1)%n]
+	}
+	cur := perm[0]
+	for i := 0; i < count && !e.Full(); i++ {
+		e.Load(base + uint64(cur)*nodeSize)
+		cur = next[cur]
+	}
+}
+
+// kernelHashProbe models hash-table lookups: a hash probe into a bucket
+// array followed by a short chain walk, with occasional inserts.
+func kernelHashProbe(e *Emitter, table uint64, buckets, count int, insertFrac float64) {
+	const bucketSize = 64
+	for i := 0; i < count && !e.Full(); i++ {
+		b := e.rng.Intn(buckets)
+		addr := table + uint64(b)*bucketSize
+		e.Load(addr)
+		// Chain walk of geometric length.
+		for e.rng.Float64() < 0.3 && !e.Full() {
+			b = (b*31 + 17) % buckets
+			e.Load(table + uint64(b)*bucketSize)
+		}
+		if e.rng.Float64() < insertFrac {
+			e.Store(addr + 8)
+		}
+	}
+}
+
+// kernelReduce reads the whole array, accumulating (a pure read sweep
+// with a longer ALU tail per element).
+func kernelReduce(e *Emitter, base uint64, n int) {
+	for i := 0; i < n && !e.Full(); i++ {
+		e.Load(base + uint64(i)*elem)
+		e.Instr(2)
+	}
+}
+
+// kernelScatterGather performs indexed gathers: reads an index array
+// sequentially and loads the indirectly addressed data element.
+func kernelScatterGather(e *Emitter, idxBase, dataBase uint64, n, dataN int) {
+	for i := 0; i < n && !e.Full(); i++ {
+		e.Load(idxBase + uint64(i)*elem)
+		e.Load(dataBase + uint64(e.rng.Intn(dataN))*elem)
+	}
+}
+
+// kernelStack models call-heavy code: accesses walk a small region up
+// and down like a call stack, a very high locality pattern.
+func kernelStack(e *Emitter, base uint64, depth, count int) {
+	sp := 0
+	for i := 0; i < count && !e.Full(); i++ {
+		if e.rng.Float64() < 0.5 && sp < depth-8 {
+			sp += 1 + e.rng.Intn(4)
+			e.Store(base + uint64(sp)*elem)
+		} else if sp > 0 {
+			e.Load(base + uint64(sp)*elem)
+			sp--
+		} else {
+			e.Load(base)
+		}
+	}
+}
+
+// kernelBTree models search-tree lookups: descends a pointer-linked
+// B-tree-like structure of n nodes (64 B each) to a random leaf.
+func kernelBTree(e *Emitter, base uint64, n, count int) {
+	const nodeSize = 64
+	depth := 1
+	for span := 1; span < n; span *= 8 {
+		depth++
+	}
+	for i := 0; i < count && !e.Full(); i++ {
+		idx := 0
+		for d := 0; d < depth && idx < n && !e.Full(); d++ {
+			e.Load(base + uint64(idx)*nodeSize)
+			idx = idx*8 + 1 + e.rng.Intn(8)
+		}
+	}
+}
+
+// kernelSort models in-place partition passes (quicksort-like): two
+// pointers sweep towards each other with occasional swaps.
+func kernelSort(e *Emitter, base uint64, n int) {
+	lo, hi := 0, n-1
+	for lo < hi && !e.Full() {
+		e.Load(base + uint64(lo)*elem)
+		e.Load(base + uint64(hi)*elem)
+		if e.rng.Float64() < 0.5 {
+			e.Store(base + uint64(lo)*elem)
+			e.Store(base + uint64(hi)*elem)
+		}
+		lo++
+		hi--
+	}
+}
+
+// kernelMemcpyBursts issues page-sized copy bursts at random offsets —
+// the bulk-transfer phases of data-movement-heavy programs.
+func kernelMemcpyBursts(e *Emitter, dst, src uint64, n, bursts int) {
+	const burstLen = 512 // elements per burst (4 KiB)
+	for b := 0; b < bursts && !e.Full(); b++ {
+		off := e.rng.Intn(max(1, n-burstLen))
+		for i := 0; i < burstLen && !e.Full(); i++ {
+			e.Load(src + uint64(off+i)*elem)
+			e.Store(dst + uint64(off+i)*elem)
+		}
+	}
+}
+
+// kernelStringHash models string-table hashing: short sequential scans
+// (the string bytes) followed by a random table store.
+func kernelStringHash(e *Emitter, strings, table uint64, nStrings, tableSize, count int) {
+	for i := 0; i < count && !e.Full(); i++ {
+		s := e.rng.Intn(nStrings)
+		strLen := 2 + e.rng.Intn(6)
+		for j := 0; j < strLen && !e.Full(); j++ {
+			e.Load(strings + uint64(s*8+j)*elem)
+		}
+		e.Store(table + uint64(e.rng.Intn(tableSize))*64)
+	}
+}
+
+// kernelTranspose walks a matrix row-major while writing column-major
+// — the classic cache-antagonistic layout mismatch.
+func kernelTranspose(e *Emitter, dst, src uint64, n int) {
+	for i := 0; i < n && !e.Full(); i++ {
+		for j := 0; j < n && !e.Full(); j++ {
+			e.Load(src + uint64(i*n+j)*elem)
+			e.Store(dst + uint64(j*n+i)*elem)
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

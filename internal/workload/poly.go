@@ -1,0 +1,353 @@
+package workload
+
+// PolyLike builds the Polybench-style suite: dense linear algebra and
+// stencil kernels with regular, affine access patterns. sizeScale
+// scales the problem sizes (1.0 reproduces the defaults below); ops is
+// the per-benchmark access budget.
+func PolyLike(ops int, sizeScale float64) Suite {
+	scale := func(n int) int {
+		v := int(float64(n) * sizeScale)
+		if v < 8 {
+			v = 8
+		}
+		return v
+	}
+	type def struct {
+		name string
+		n    int
+		gen  func(e *Emitter, n int)
+	}
+	defs := []def{
+		{"gemm-small", 40, polyGemm},
+		{"gemm-large", 110, polyGemm},
+		{"jacobi2d-small", 48, polyJacobi2D},
+		{"jacobi2d-large", 160, polyJacobi2D},
+		{"seidel2d", 72, polySeidel2D},
+		{"lu", 64, polyLU},
+		{"trisolv", 96, polyTrisolv},
+		{"gemver", 100, polyGemver},
+		{"mvt", 120, polyMVT},
+		{"atax", 110, polyAtax},
+		{"bicg", 100, polyBicg},
+		{"syrk", 56, polySyrk},
+		{"doitgen", 24, polyDoitgen},
+		{"fdtd2d", 90, polyFdtd2D},
+		{"floyd-warshall", 48, polyFloyd},
+		{"cholesky", 60, polyCholesky},
+	}
+	s := Suite{Name: "polylike"}
+	for i, d := range defs {
+		d := d
+		n := scale(d.n)
+		s.Benchmarks = append(s.Benchmarks, Benchmark{
+			Name:  "poly/" + d.name,
+			Group: "poly/" + d.name,
+			Suite: "polylike",
+			Ops:   ops,
+			Seed:  9000 + int64(i),
+			gen:   func(e *Emitter) { d.gen(e, n) },
+		})
+	}
+	return s
+}
+
+// idx2 addresses element (i,j) of an n×n row-major matrix at base.
+func idx2(base uint64, n, i, j int) uint64 { return base + uint64(i*n+j)*elem }
+
+func polyGemm(e *Emitter, n int) {
+	a := e.Alloc(uint64(n * n * elem))
+	b := e.Alloc(uint64(n * n * elem))
+	c := e.Alloc(uint64(n * n * elem))
+	for i := 0; i < n && !e.Full(); i++ {
+		for j := 0; j < n && !e.Full(); j++ {
+			e.Load(idx2(c, n, i, j))
+			for k := 0; k < n && !e.Full(); k++ {
+				e.Load(idx2(a, n, i, k))
+				e.Load(idx2(b, n, k, j))
+			}
+			e.Store(idx2(c, n, i, j))
+		}
+	}
+}
+
+func polyJacobi2D(e *Emitter, n int) {
+	a := e.Alloc(uint64(n * n * elem))
+	b := e.Alloc(uint64(n * n * elem))
+	for t := 0; !e.Full(); t++ {
+		src, dst := a, b
+		if t%2 == 1 {
+			src, dst = b, a
+		}
+		for i := 1; i < n-1 && !e.Full(); i++ {
+			for j := 1; j < n-1 && !e.Full(); j++ {
+				e.Load(idx2(src, n, i, j))
+				e.Load(idx2(src, n, i, j-1))
+				e.Load(idx2(src, n, i, j+1))
+				e.Load(idx2(src, n, i-1, j))
+				e.Load(idx2(src, n, i+1, j))
+				e.Store(idx2(dst, n, i, j))
+			}
+		}
+	}
+}
+
+func polySeidel2D(e *Emitter, n int) {
+	a := e.Alloc(uint64(n * n * elem))
+	for !e.Full() {
+		for i := 1; i < n-1 && !e.Full(); i++ {
+			for j := 1; j < n-1 && !e.Full(); j++ {
+				e.Load(idx2(a, n, i-1, j-1))
+				e.Load(idx2(a, n, i-1, j))
+				e.Load(idx2(a, n, i-1, j+1))
+				e.Load(idx2(a, n, i, j-1))
+				e.Load(idx2(a, n, i, j+1))
+				e.Load(idx2(a, n, i+1, j-1))
+				e.Load(idx2(a, n, i+1, j))
+				e.Load(idx2(a, n, i+1, j+1))
+				e.Store(idx2(a, n, i, j))
+			}
+		}
+	}
+}
+
+func polyLU(e *Emitter, n int) {
+	a := e.Alloc(uint64(n * n * elem))
+	for !e.Full() {
+		for k := 0; k < n && !e.Full(); k++ {
+			for i := k + 1; i < n && !e.Full(); i++ {
+				e.Load(idx2(a, n, i, k))
+				e.Load(idx2(a, n, k, k))
+				e.Store(idx2(a, n, i, k))
+				for j := k + 1; j < n && !e.Full(); j++ {
+					e.Load(idx2(a, n, i, j))
+					e.Load(idx2(a, n, i, k))
+					e.Load(idx2(a, n, k, j))
+					e.Store(idx2(a, n, i, j))
+				}
+			}
+		}
+	}
+}
+
+func polyTrisolv(e *Emitter, n int) {
+	l := e.Alloc(uint64(n * n * elem))
+	x := e.Alloc(uint64(n * elem))
+	b := e.Alloc(uint64(n * elem))
+	for !e.Full() {
+		for i := 0; i < n && !e.Full(); i++ {
+			e.Load(b + uint64(i)*elem)
+			for j := 0; j < i && !e.Full(); j++ {
+				e.Load(idx2(l, n, i, j))
+				e.Load(x + uint64(j)*elem)
+			}
+			e.Load(idx2(l, n, i, i))
+			e.Store(x + uint64(i)*elem)
+		}
+	}
+}
+
+func polyGemver(e *Emitter, n int) {
+	a := e.Alloc(uint64(n * n * elem))
+	u1 := e.Alloc(uint64(n * elem))
+	v1 := e.Alloc(uint64(n * elem))
+	x := e.Alloc(uint64(n * elem))
+	y := e.Alloc(uint64(n * elem))
+	for !e.Full() {
+		for i := 0; i < n && !e.Full(); i++ {
+			for j := 0; j < n && !e.Full(); j++ {
+				e.Load(idx2(a, n, i, j))
+				e.Load(u1 + uint64(i)*elem)
+				e.Load(v1 + uint64(j)*elem)
+				e.Store(idx2(a, n, i, j))
+			}
+		}
+		for i := 0; i < n && !e.Full(); i++ {
+			for j := 0; j < n && !e.Full(); j++ {
+				e.Load(idx2(a, n, j, i)) // transposed walk
+				e.Load(y + uint64(j)*elem)
+			}
+			e.Store(x + uint64(i)*elem)
+		}
+	}
+}
+
+func polyMVT(e *Emitter, n int) {
+	a := e.Alloc(uint64(n * n * elem))
+	x1 := e.Alloc(uint64(n * elem))
+	x2 := e.Alloc(uint64(n * elem))
+	y1 := e.Alloc(uint64(n * elem))
+	y2 := e.Alloc(uint64(n * elem))
+	for !e.Full() {
+		for i := 0; i < n && !e.Full(); i++ {
+			for j := 0; j < n && !e.Full(); j++ {
+				e.Load(idx2(a, n, i, j))
+				e.Load(y1 + uint64(j)*elem)
+			}
+			e.Store(x1 + uint64(i)*elem)
+		}
+		for i := 0; i < n && !e.Full(); i++ {
+			for j := 0; j < n && !e.Full(); j++ {
+				e.Load(idx2(a, n, j, i))
+				e.Load(y2 + uint64(j)*elem)
+			}
+			e.Store(x2 + uint64(i)*elem)
+		}
+	}
+}
+
+func polyAtax(e *Emitter, n int) {
+	a := e.Alloc(uint64(n * n * elem))
+	x := e.Alloc(uint64(n * elem))
+	y := e.Alloc(uint64(n * elem))
+	tmp := e.Alloc(uint64(n * elem))
+	for !e.Full() {
+		for i := 0; i < n && !e.Full(); i++ {
+			for j := 0; j < n && !e.Full(); j++ {
+				e.Load(idx2(a, n, i, j))
+				e.Load(x + uint64(j)*elem)
+			}
+			e.Store(tmp + uint64(i)*elem)
+		}
+		for i := 0; i < n && !e.Full(); i++ {
+			for j := 0; j < n && !e.Full(); j++ {
+				e.Load(idx2(a, n, i, j))
+				e.Load(tmp + uint64(i)*elem)
+				e.Load(y + uint64(j)*elem)
+				e.Store(y + uint64(j)*elem)
+			}
+		}
+	}
+}
+
+func polyBicg(e *Emitter, n int) {
+	a := e.Alloc(uint64(n * n * elem))
+	p := e.Alloc(uint64(n * elem))
+	r := e.Alloc(uint64(n * elem))
+	q := e.Alloc(uint64(n * elem))
+	s := e.Alloc(uint64(n * elem))
+	for !e.Full() {
+		for i := 0; i < n && !e.Full(); i++ {
+			for j := 0; j < n && !e.Full(); j++ {
+				e.Load(s + uint64(j)*elem)
+				e.Load(idx2(a, n, i, j))
+				e.Load(r + uint64(i)*elem)
+				e.Store(s + uint64(j)*elem)
+				e.Load(idx2(a, n, i, j))
+				e.Load(p + uint64(j)*elem)
+			}
+			e.Store(q + uint64(i)*elem)
+		}
+	}
+}
+
+func polySyrk(e *Emitter, n int) {
+	a := e.Alloc(uint64(n * n * elem))
+	c := e.Alloc(uint64(n * n * elem))
+	for !e.Full() {
+		for i := 0; i < n && !e.Full(); i++ {
+			for j := 0; j <= i && !e.Full(); j++ {
+				e.Load(idx2(c, n, i, j))
+				for k := 0; k < n && !e.Full(); k++ {
+					e.Load(idx2(a, n, i, k))
+					e.Load(idx2(a, n, j, k))
+				}
+				e.Store(idx2(c, n, i, j))
+			}
+		}
+	}
+}
+
+func polyDoitgen(e *Emitter, n int) {
+	a := e.Alloc(uint64(n * n * n * elem))
+	c4 := e.Alloc(uint64(n * n * elem))
+	sum := e.Alloc(uint64(n * elem))
+	for !e.Full() {
+		for r := 0; r < n && !e.Full(); r++ {
+			for q := 0; q < n && !e.Full(); q++ {
+				for p := 0; p < n && !e.Full(); p++ {
+					for s := 0; s < n && !e.Full(); s++ {
+						e.Load(a + uint64((r*n+q)*n+s)*elem)
+						e.Load(idx2(c4, n, s, p))
+					}
+					e.Store(sum + uint64(p)*elem)
+				}
+				for p := 0; p < n && !e.Full(); p++ {
+					e.Load(sum + uint64(p)*elem)
+					e.Store(a + uint64((r*n+q)*n+p)*elem)
+				}
+			}
+		}
+	}
+}
+
+func polyFdtd2D(e *Emitter, n int) {
+	ex := e.Alloc(uint64(n * n * elem))
+	ey := e.Alloc(uint64(n * n * elem))
+	hz := e.Alloc(uint64(n * n * elem))
+	for !e.Full() {
+		for i := 1; i < n && !e.Full(); i++ {
+			for j := 0; j < n && !e.Full(); j++ {
+				e.Load(idx2(ey, n, i, j))
+				e.Load(idx2(hz, n, i, j))
+				e.Load(idx2(hz, n, i-1, j))
+				e.Store(idx2(ey, n, i, j))
+			}
+		}
+		for i := 0; i < n && !e.Full(); i++ {
+			for j := 1; j < n && !e.Full(); j++ {
+				e.Load(idx2(ex, n, i, j))
+				e.Load(idx2(hz, n, i, j))
+				e.Load(idx2(hz, n, i, j-1))
+				e.Store(idx2(ex, n, i, j))
+			}
+		}
+		for i := 0; i < n-1 && !e.Full(); i++ {
+			for j := 0; j < n-1 && !e.Full(); j++ {
+				e.Load(idx2(hz, n, i, j))
+				e.Load(idx2(ex, n, i, j+1))
+				e.Load(idx2(ex, n, i, j))
+				e.Load(idx2(ey, n, i+1, j))
+				e.Load(idx2(ey, n, i, j))
+				e.Store(idx2(hz, n, i, j))
+			}
+		}
+	}
+}
+
+func polyFloyd(e *Emitter, n int) {
+	path := e.Alloc(uint64(n * n * elem))
+	for !e.Full() {
+		for k := 0; k < n && !e.Full(); k++ {
+			for i := 0; i < n && !e.Full(); i++ {
+				for j := 0; j < n && !e.Full(); j++ {
+					e.Load(idx2(path, n, i, j))
+					e.Load(idx2(path, n, i, k))
+					e.Load(idx2(path, n, k, j))
+					e.Store(idx2(path, n, i, j))
+				}
+			}
+		}
+	}
+}
+
+func polyCholesky(e *Emitter, n int) {
+	a := e.Alloc(uint64(n * n * elem))
+	for !e.Full() {
+		for i := 0; i < n && !e.Full(); i++ {
+			for j := 0; j < i && !e.Full(); j++ {
+				e.Load(idx2(a, n, i, j))
+				for k := 0; k < j && !e.Full(); k++ {
+					e.Load(idx2(a, n, i, k))
+					e.Load(idx2(a, n, j, k))
+				}
+				e.Load(idx2(a, n, j, j))
+				e.Store(idx2(a, n, i, j))
+			}
+			e.Load(idx2(a, n, i, i))
+			for k := 0; k < i && !e.Full(); k++ {
+				e.Load(idx2(a, n, i, k))
+			}
+			e.Store(idx2(a, n, i, i))
+		}
+	}
+}

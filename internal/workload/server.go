@@ -1,0 +1,85 @@
+package workload
+
+// ServerLike is a fourth suite family beyond the paper's three:
+// server-style workloads (trees, hash tables, bulk copies, sorting,
+// hot-key skew) with the irregular, store-heavy behaviour data-serving
+// systems exhibit. It exists to stress CB-GAN generalisation beyond
+// the paper's benchmark population; the reproduction experiments use
+// only the paper's three suites.
+func ServerLike(ops int, sizeScale float64) Suite {
+	scale := func(n int) int {
+		v := int(float64(n) * sizeScale)
+		if v < 64 {
+			v = 64
+		}
+		return v
+	}
+	type def struct {
+		name string
+		gen  func(e *Emitter, seed int64)
+	}
+	defs := []def{
+		{"btree-lookup", func(e *Emitter, _ int64) {
+			n := scale(20000)
+			base := e.Alloc(uint64(n * 64))
+			kernelBTree(e, base, n, 1<<30)
+		}},
+		{"btree-small", func(e *Emitter, _ int64) {
+			n := scale(600)
+			base := e.Alloc(uint64(n * 64))
+			kernelBTree(e, base, n, 1<<30)
+		}},
+		{"kv-hash", func(e *Emitter, _ int64) {
+			buckets := scale(8000)
+			table := e.Alloc(uint64(buckets * 64))
+			kernelHashProbe(e, table, buckets, 1<<30, 0.15)
+		}},
+		{"kv-hash-hot", func(e *Emitter, _ int64) {
+			n := scale(30000)
+			base := e.Alloc(uint64(n * elem))
+			kernelZipf(e, base, n, 1<<30, 1.4)
+		}},
+		{"logflush", func(e *Emitter, _ int64) {
+			n := scale(40000)
+			src := e.Alloc(uint64(n * elem))
+			dst := e.Alloc(uint64(n * elem))
+			kernelMemcpyBursts(e, dst, src, n, 1<<30)
+		}},
+		{"sort-partition", func(e *Emitter, _ int64) {
+			n := scale(12000)
+			base := e.Alloc(uint64(n * elem))
+			for !e.Full() {
+				kernelSort(e, base, n)
+			}
+		}},
+		{"strtab", func(e *Emitter, _ int64) {
+			nStrings := scale(4000)
+			tableSize := scale(2000)
+			strs := e.Alloc(uint64(nStrings * 8 * elem))
+			table := e.Alloc(uint64(tableSize * 64))
+			kernelStringHash(e, strs, table, nStrings, tableSize, 1<<30)
+		}},
+		{"colstore-scan", func(e *Emitter, _ int64) {
+			n := scale(160)
+			src := e.Alloc(uint64(n * n * elem))
+			dst := e.Alloc(uint64(n * n * elem))
+			for !e.Full() {
+				kernelTranspose(e, dst, src, n)
+			}
+		}},
+	}
+	s := Suite{Name: "serverlike"}
+	for i, d := range defs {
+		d := d
+		seed := 7000 + int64(i)
+		s.Benchmarks = append(s.Benchmarks, Benchmark{
+			Name:  "server/" + d.name,
+			Group: "server/" + d.name,
+			Suite: "serverlike",
+			Ops:   ops,
+			Seed:  seed,
+			gen:   func(e *Emitter) { d.gen(e, seed) },
+		})
+	}
+	return s
+}

@@ -1,0 +1,161 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SpecLike builds the SPEC-CPU-style suite: each benchmark group is a
+// "program" defined by a seeded recipe over the primitive kernels, and
+// each group has several phases (distinct traces of the same program,
+// like the paper's 602.gcc_s-734B / 602.gcc_s-2375B). groups selects
+// how many programs to synthesise; phases how many traces per program;
+// ops the per-trace access budget.
+//
+// The population of locality profiles is deliberately skewed towards
+// high hit rates, mirroring the paper's Figure 14 observation that over
+// 95% of SPEC benchmarks exceed a 65% L1 hit rate, with a small tail of
+// low-hit-rate programs.
+func SpecLike(groups, phases, ops int) Suite {
+	s := Suite{Name: "speclike"}
+	for g := 0; g < groups; g++ {
+		recipe := newSpecRecipe(int64(g))
+		groupName := fmt.Sprintf("spec/%03d.%s", 600+g, recipe.flavour)
+		for p := 0; p < phases; p++ {
+			recipe := recipe
+			phaseSeed := int64(g)*1000 + int64(p)*37 + 11
+			s.Benchmarks = append(s.Benchmarks, Benchmark{
+				Name:  fmt.Sprintf("%s-%dB", groupName, 400+173*p),
+				Group: groupName,
+				Suite: "speclike",
+				Ops:   ops,
+				Seed:  phaseSeed,
+				gen:   func(e *Emitter) { recipe.run(e, p) },
+			})
+		}
+	}
+	return s
+}
+
+// specRecipe describes one synthetic program: a locality tier, a set of
+// kernel phases with footprints, and mixing weights. The recipe is
+// deterministic in the group seed so all phases of a group share data
+// structures and behaviour.
+type specRecipe struct {
+	flavour string
+	tier    int // 0 = very high locality ... 3 = low locality
+	seed    int64
+}
+
+// Locality tiers are drawn with SPEC-like skew: most programs land in
+// the high-hit-rate tiers.
+func newSpecRecipe(groupSeed int64) specRecipe {
+	rng := rand.New(rand.NewSource(groupSeed*7919 + 5))
+	r := specRecipe{seed: groupSeed}
+	x := rng.Float64()
+	switch {
+	case x < 0.42:
+		r.tier = 0
+	case x < 0.80:
+		r.tier = 1
+	case x < 0.94:
+		r.tier = 2
+	default:
+		r.tier = 3
+	}
+	flavours := []string{"perlish", "gccish", "mcfish", "lbmish", "xzish", "leelaish", "omnetish", "deepish", "imgish", "romsish", "camish", "povish"}
+	r.flavour = flavours[rng.Intn(len(flavours))]
+	return r
+}
+
+// footprints returns (small, medium, large) element counts for the
+// recipe's tier. Tier 0 fits comfortably in a 48KiB L1; tier 3 blows
+// out even a 2MiB L3.
+func (r specRecipe) footprints(rng *rand.Rand) (int, int, int) {
+	switch r.tier {
+	case 0:
+		return 256 + rng.Intn(256), 1024 + rng.Intn(1024), 2048 + rng.Intn(1024)
+	case 1:
+		return 512 + rng.Intn(512), 2048 + rng.Intn(2048), 8192 + rng.Intn(4096)
+	case 2:
+		return 2048 + rng.Intn(2048), 16384 + rng.Intn(16384), 65536 + rng.Intn(65536)
+	default:
+		return 65536 + rng.Intn(65536), 524288 + rng.Intn(262144), 1 << 21
+	}
+}
+
+// run emits one phase of the program. Phases share the recipe (and
+// therefore data-structure sizes) but weight the kernels differently,
+// so traces of the same group resemble each other without being
+// identical — exactly the property the paper's train/test split rule
+// protects against leaking.
+func (r specRecipe) run(e *Emitter, phase int) {
+	rng := rand.New(rand.NewSource(r.seed*7919 + 5)) // recipe-level layout RNG
+	small, medium, large := r.footprints(rng)
+	arrA := e.Alloc(uint64(large * elem))
+	arrB := e.Alloc(uint64(medium * elem))
+	arrC := e.Alloc(uint64(medium * elem))
+	stack := e.Alloc(uint64(small * elem))
+	// Block-granular structures (hash table, linked heap) are sized
+	// from the tier's small footprint so tier-0 programs really do fit
+	// in an L1.
+	buckets := small/2 + 16
+	table := e.Alloc(uint64(buckets * 64))
+	nodes := small/2 + 16
+	heap := e.Alloc(uint64(nodes * 64))
+
+	type phaseFn func()
+	kernels := []phaseFn{
+		func() { kernelStream(e, arrA, large, 8) },
+		func() { kernelCopy(e, arrC, arrB, medium) },
+		func() { kernelStride(e, arrA, large, 7, medium) },
+		func() { kernelRandom(e, arrB, medium, medium/2, 0.2) },
+		func() { kernelZipf(e, arrA, large, medium, 1.2) },
+		func() { kernelPointerChase(e, heap, nodes, medium/2) },
+		func() { kernelHashProbe(e, table, buckets, medium/3, 0.1) },
+		func() { kernelReduce(e, arrB, medium) },
+		func() { kernelScatterGather(e, arrB, arrA, medium/2, large) },
+		func() { kernelStack(e, stack, small, medium) },
+	}
+	// Phase-specific kernel weighting: each phase emphasises a
+	// different (seeded) subset.
+	wrng := rand.New(rand.NewSource(r.seed*131 + int64(phase)*17 + 3))
+	weights := make([]float64, len(kernels))
+	for i := range weights {
+		weights[i] = wrng.Float64()
+	}
+	// Bias low-locality recipes towards the irregular kernels and
+	// high-locality recipes towards the regular ones.
+	switch r.tier {
+	case 0:
+		weights[0] += 1.5
+		weights[7] += 1.0
+		weights[9] += 1.5
+	case 1:
+		weights[1] += 1.0
+		weights[2] += 1.0
+		weights[4] += 0.5
+	case 2:
+		weights[3] += 1.0
+		weights[5] += 0.5
+		weights[8] += 0.5
+	default:
+		weights[5] += 1.5
+		weights[3] += 1.0
+		weights[8] += 1.0
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	for !e.Full() {
+		x := wrng.Float64() * total
+		for i, w := range weights {
+			x -= w
+			if x <= 0 {
+				kernels[i]()
+				break
+			}
+		}
+	}
+}

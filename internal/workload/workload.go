@@ -1,0 +1,185 @@
+// Package workload provides deterministic synthetic benchmark suites
+// that stand in for the SPEC, Ligra and Polybench traces used in the
+// paper.
+//
+// Three suite families are provided:
+//
+//   - SpecLike: phased compositions of scalar kernels with diverse
+//     footprints, mirroring SPEC CPU's mixture of compute phases. Each
+//     benchmark group has several "phases" (distinct traces of the same
+//     program), mirroring the paper's 602.gcc_s-734B / 602.gcc_s-2375B
+//     style naming.
+//   - LigraLike: graph-analytics kernels (BFS, PageRank, label
+//     propagation) over synthetic power-law graphs in CSR form.
+//   - PolyLike: dense linear algebra and stencil kernels in the style of
+//     Polybench (matmul, jacobi-2d, seidel-2d, lu, gemver, trisolv...).
+//
+// Every benchmark is fully deterministic given its definition, so the
+// training and evaluation pipelines are reproducible without any trace
+// files on disk.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"cachebox/internal/trace"
+)
+
+// Benchmark is a synthetic program that can emit its memory access
+// trace on demand.
+type Benchmark struct {
+	// Name uniquely identifies the benchmark, e.g. "spec/607.gcc-p2".
+	Name string
+	// Group identifies the program the benchmark is a phase of. All
+	// phases of a group must land on the same side of a train/test
+	// split (paper §4.1).
+	Group string
+	// Suite is the suite family name: "speclike", "ligralike" or
+	// "polylike".
+	Suite string
+	// Ops is the number of memory accesses the benchmark emits.
+	Ops int
+	// Seed makes the benchmark's randomness deterministic.
+	Seed int64
+
+	gen func(e *Emitter)
+}
+
+// Trace generates the benchmark's memory access trace.
+func (b Benchmark) Trace() *trace.Trace {
+	e := newEmitter(b.Name, b.Ops, b.Seed)
+	for !e.done() {
+		b.gen(e)
+	}
+	return e.finish()
+}
+
+// Emitter is the device a benchmark kernel uses to issue memory
+// accesses. It tracks the dynamic instruction count, enforces the
+// benchmark's access budget, and provides a deterministic RNG plus a
+// bump allocator for laying out the benchmark's data structures.
+type Emitter struct {
+	t      *trace.Trace
+	rng    *rand.Rand
+	ic     uint64
+	budget int
+	brk    uint64 // bump-allocator break
+}
+
+func newEmitter(name string, ops int, seed int64) *Emitter {
+	return &Emitter{
+		t:      &trace.Trace{Name: name, Accesses: make([]trace.Access, 0, ops)},
+		rng:    rand.New(rand.NewSource(seed)),
+		budget: ops,
+		brk:    1 << 32, // arbitrary virtual base
+	}
+}
+
+func (e *Emitter) done() bool { return len(e.t.Accesses) >= e.budget }
+
+func (e *Emitter) finish() *trace.Trace {
+	if len(e.t.Accesses) > e.budget {
+		e.t.Accesses = e.t.Accesses[:e.budget]
+	}
+	return e.t
+}
+
+// Rand returns the emitter's deterministic RNG.
+func (e *Emitter) Rand() *rand.Rand { return e.rng }
+
+// Alloc reserves size bytes and returns the base address of the region.
+// Regions are 4KiB-aligned so distinct structures map to distinct
+// blocks.
+func (e *Emitter) Alloc(size uint64) uint64 {
+	const align = 4096
+	e.brk = (e.brk + align - 1) &^ (align - 1)
+	base := e.brk
+	e.brk += size
+	return base
+}
+
+// Instr advances the instruction count by n non-memory instructions.
+func (e *Emitter) Instr(n uint64) { e.ic += n }
+
+// Load issues a read of addr, costing one memory instruction plus two
+// surrounding ALU instructions (a typical memory-op density of ~1/3).
+func (e *Emitter) Load(addr uint64) {
+	e.ic += 3
+	e.t.Accesses = append(e.t.Accesses, trace.Access{Addr: addr, IC: e.ic, Write: false})
+}
+
+// Store issues a write of addr.
+func (e *Emitter) Store(addr uint64) {
+	e.ic += 3
+	e.t.Accesses = append(e.t.Accesses, trace.Access{Addr: addr, IC: e.ic, Write: true})
+}
+
+// Full reports whether the access budget has been reached; kernels with
+// deep loop nests should poll it to stop early.
+func (e *Emitter) Full() bool { return len(e.t.Accesses) >= e.budget }
+
+// Suite is a named collection of benchmarks.
+type Suite struct {
+	Name       string
+	Benchmarks []Benchmark
+}
+
+// Names returns the benchmark names in suite order.
+func (s Suite) Names() []string {
+	names := make([]string, len(s.Benchmarks))
+	for i, b := range s.Benchmarks {
+		names[i] = b.Name
+	}
+	return names
+}
+
+// Split divides benchmarks into train and test sets with approximately
+// trainFrac of the *groups* in the train set. All phases of a group stay
+// together (paper §4.1: traces of the same benchmark are never split
+// across train and test). The split is deterministic in seed.
+func Split(benches []Benchmark, trainFrac float64, seed int64) (train, test []Benchmark) {
+	groups := make(map[string][]Benchmark)
+	var order []string
+	for _, b := range benches {
+		if _, ok := groups[b.Group]; !ok {
+			order = append(order, b.Group)
+		}
+		groups[b.Group] = append(groups[b.Group], b)
+	}
+	sort.Strings(order)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	nTrain := int(float64(len(order))*trainFrac + 0.5)
+	if nTrain >= len(order) && len(order) > 1 {
+		nTrain = len(order) - 1
+	}
+	if nTrain < 1 && len(order) > 1 {
+		nTrain = 1
+	}
+	for i, g := range order {
+		if i < nTrain {
+			train = append(train, groups[g]...)
+		} else {
+			test = append(test, groups[g]...)
+		}
+	}
+	sortByName(train)
+	sortByName(test)
+	return train, test
+}
+
+func sortByName(bs []Benchmark) {
+	sort.Slice(bs, func(i, j int) bool { return bs[i].Name < bs[j].Name })
+}
+
+// ByName returns the benchmark with the given name, or an error.
+func ByName(benches []Benchmark, name string) (Benchmark, error) {
+	for _, b := range benches {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("workload: no benchmark named %q", name)
+}

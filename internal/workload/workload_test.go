@@ -1,0 +1,258 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"cachebox/internal/trace"
+)
+
+func TestSuitesProduceRequestedOps(t *testing.T) {
+	const ops = 3000
+	suites := []Suite{
+		SpecLike(4, 2, ops),
+		LigraLike(ops, 0.25),
+		PolyLike(ops, 0.5),
+	}
+	for _, s := range suites {
+		if len(s.Benchmarks) == 0 {
+			t.Fatalf("suite %s is empty", s.Name)
+		}
+		for _, b := range s.Benchmarks {
+			tr := b.Trace()
+			if tr.Len() != ops {
+				t.Errorf("%s: trace has %d accesses, want %d", b.Name, tr.Len(), ops)
+			}
+			if tr.Name != b.Name {
+				t.Errorf("%s: trace name %q", b.Name, tr.Name)
+			}
+		}
+	}
+}
+
+func TestTracesAreDeterministic(t *testing.T) {
+	s := SpecLike(3, 2, 2000)
+	for _, b := range s.Benchmarks[:3] {
+		a, c := b.Trace(), b.Trace()
+		if a.Len() != c.Len() {
+			t.Fatalf("%s: lengths differ", b.Name)
+		}
+		for i := range a.Accesses {
+			if a.Accesses[i] != c.Accesses[i] {
+				t.Fatalf("%s: access %d differs: %+v vs %+v", b.Name, i, a.Accesses[i], c.Accesses[i])
+			}
+		}
+	}
+}
+
+func TestInstructionCountsMonotone(t *testing.T) {
+	for _, s := range []Suite{SpecLike(2, 1, 2000), LigraLike(2000, 0.2), PolyLike(2000, 0.3)} {
+		for _, b := range s.Benchmarks {
+			tr := b.Trace()
+			for i := 1; i < tr.Len(); i++ {
+				if tr.Accesses[i].IC < tr.Accesses[i-1].IC {
+					t.Fatalf("%s: IC decreases at %d", b.Name, i)
+				}
+			}
+		}
+	}
+}
+
+func TestBenchmarkNamesUnique(t *testing.T) {
+	var all []Benchmark
+	all = append(all, SpecLike(10, 3, 100).Benchmarks...)
+	all = append(all, LigraLike(100, 0.2).Benchmarks...)
+	all = append(all, PolyLike(100, 0.3).Benchmarks...)
+	seen := map[string]bool{}
+	for _, b := range all {
+		if seen[b.Name] {
+			t.Fatalf("duplicate benchmark name %q", b.Name)
+		}
+		seen[b.Name] = true
+	}
+}
+
+func TestSpecPhasesShareGroupButDiffer(t *testing.T) {
+	s := SpecLike(2, 3, 2000)
+	byGroup := map[string][]Benchmark{}
+	for _, b := range s.Benchmarks {
+		byGroup[b.Group] = append(byGroup[b.Group], b)
+	}
+	if len(byGroup) != 2 {
+		t.Fatalf("groups = %d, want 2", len(byGroup))
+	}
+	for g, phases := range byGroup {
+		if len(phases) != 3 {
+			t.Fatalf("group %s has %d phases, want 3", g, len(phases))
+		}
+		a, b := phases[0].Trace(), phases[1].Trace()
+		same := 0
+		for i := range a.Accesses {
+			if a.Accesses[i].Addr == b.Accesses[i].Addr {
+				same++
+			}
+		}
+		if same == a.Len() {
+			t.Fatalf("group %s: phases 0 and 1 are identical traces", g)
+		}
+	}
+}
+
+func TestSplitKeepsGroupsTogether(t *testing.T) {
+	s := SpecLike(10, 3, 100)
+	train, test := Split(s.Benchmarks, 0.8, 42)
+	if len(train) == 0 || len(test) == 0 {
+		t.Fatalf("degenerate split: %d/%d", len(train), len(test))
+	}
+	if len(train)+len(test) != len(s.Benchmarks) {
+		t.Fatalf("split loses benchmarks: %d+%d != %d", len(train), len(test), len(s.Benchmarks))
+	}
+	trainGroups := map[string]bool{}
+	for _, b := range train {
+		trainGroups[b.Group] = true
+	}
+	for _, b := range test {
+		if trainGroups[b.Group] {
+			t.Fatalf("group %s appears in both train and test", b.Group)
+		}
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	s := PolyLike(100, 0.3)
+	t1, e1 := Split(s.Benchmarks, 0.8, 7)
+	t2, e2 := Split(s.Benchmarks, 0.8, 7)
+	if len(t1) != len(t2) || len(e1) != len(e2) {
+		t.Fatal("split sizes differ across runs")
+	}
+	for i := range t1 {
+		if t1[i].Name != t2[i].Name {
+			t.Fatal("train sets differ across runs")
+		}
+	}
+}
+
+func TestSplitAlwaysLeavesTestSet(t *testing.T) {
+	s := SpecLike(2, 1, 100)
+	train, test := Split(s.Benchmarks, 1.0, 1)
+	if len(test) == 0 {
+		t.Fatal("trainFrac=1.0 left no test benchmarks")
+	}
+	if len(train) == 0 {
+		t.Fatal("no train benchmarks")
+	}
+}
+
+func TestByName(t *testing.T) {
+	s := PolyLike(100, 0.3)
+	b, err := ByName(s.Benchmarks, s.Benchmarks[0].Name)
+	if err != nil {
+		t.Fatalf("ByName: %v", err)
+	}
+	if b.Name != s.Benchmarks[0].Name {
+		t.Fatalf("got %q", b.Name)
+	}
+	if _, err := ByName(s.Benchmarks, "nope"); err == nil {
+		t.Fatal("ByName accepted unknown name")
+	}
+}
+
+func TestLocalityDiversity(t *testing.T) {
+	// The spec-like suite must span a range of footprints so hit rates
+	// are diverse: at least one benchmark fitting in 48KiB and at least
+	// one far exceeding it.
+	s := SpecLike(12, 1, 20000)
+	small, large := false, false
+	for _, b := range s.Benchmarks {
+		st := trace.Summarize(b.Trace(), 64)
+		if st.FootprintBytes < 48*1024 {
+			small = true
+		}
+		if st.FootprintBytes > 512*1024 {
+			large = true
+		}
+	}
+	if !small || !large {
+		t.Fatalf("footprint diversity missing: small=%v large=%v", small, large)
+	}
+}
+
+func TestEmitterAllocAlignedAndDisjoint(t *testing.T) {
+	e := newEmitter("t", 10, 1)
+	a := e.Alloc(100)
+	b := e.Alloc(100)
+	if a%4096 != 0 || b%4096 != 0 {
+		t.Fatalf("allocations not aligned: %#x %#x", a, b)
+	}
+	if b <= a || b-a < 100 {
+		t.Fatalf("allocations overlap: %#x %#x", a, b)
+	}
+}
+
+func TestSuiteNames(t *testing.T) {
+	s := PolyLike(10, 0.3)
+	names := s.Names()
+	if len(names) != len(s.Benchmarks) {
+		t.Fatalf("Names len = %d", len(names))
+	}
+	for _, n := range names {
+		if !strings.HasPrefix(n, "poly/") {
+			t.Fatalf("unexpected name %q", n)
+		}
+	}
+}
+
+func TestServerLikeSuite(t *testing.T) {
+	s := ServerLike(5000, 0.25)
+	if len(s.Benchmarks) < 6 {
+		t.Fatalf("serverlike has %d benchmarks", len(s.Benchmarks))
+	}
+	footprints := map[string]uint64{}
+	for _, b := range s.Benchmarks {
+		tr := b.Trace()
+		if tr.Len() != 5000 {
+			t.Fatalf("%s: %d accesses", b.Name, tr.Len())
+		}
+		st := trace.Summarize(tr, 64)
+		footprints[b.Name] = st.FootprintBytes
+		if b.Suite != "serverlike" {
+			t.Fatalf("%s suite %q", b.Name, b.Suite)
+		}
+	}
+	// The family must span footprints (small btree vs large log flush).
+	if footprints["server/btree-small"] >= footprints["server/logflush"] {
+		t.Fatalf("footprint ordering unexpected: %v", footprints)
+	}
+}
+
+func TestNewKernelsTerminate(t *testing.T) {
+	// Each new kernel must respect the emitter budget even with
+	// adversarial sizes.
+	e := newEmitter("k", 500, 1)
+	base := e.Alloc(1 << 20)
+	kernelBTree(e, base, 100, 1<<30)
+	if !e.Full() {
+		t.Fatal("kernelBTree under-filled")
+	}
+	e = newEmitter("k", 500, 1)
+	kernelMemcpyBursts(e, e.Alloc(1<<16), e.Alloc(1<<16), 100, 1<<30)
+	if !e.Full() {
+		t.Fatal("kernelMemcpyBursts under-filled")
+	}
+	e = newEmitter("k", 100, 1)
+	kernelTranspose(e, e.Alloc(1<<16), e.Alloc(1<<16), 64)
+	if !e.Full() {
+		t.Fatal("kernelTranspose under-filled")
+	}
+	e = newEmitter("k", 100, 1)
+	kernelStringHash(e, e.Alloc(1<<16), e.Alloc(1<<16), 100, 50, 1<<30)
+	if !e.Full() {
+		t.Fatal("kernelStringHash under-filled")
+	}
+	// kernelSort naturally terminates after one pass.
+	e = newEmitter("k", 1000000, 1)
+	kernelSort(e, e.Alloc(1<<16), 100)
+	if e.t.Accesses == nil {
+		t.Fatal("kernelSort emitted nothing")
+	}
+}

@@ -1,0 +1,177 @@
+package cachebox
+
+import (
+	"fmt"
+
+	"cachebox/internal/cachesim"
+	"cachebox/internal/core"
+	"cachebox/internal/heatmap"
+	"cachebox/internal/metrics"
+	"cachebox/internal/workload"
+)
+
+// Pipeline wires the end-to-end CacheBox workflow: generate a
+// benchmark's trace, simulate the cache (hierarchy), build aligned
+// access/miss heatmap pairs, and assemble CB-GAN training samples or
+// evaluation sets.
+type Pipeline struct {
+	// Heatmap is the heatmap geometry used throughout.
+	Heatmap HeatmapConfig
+	// MaxPairsPerBench caps the heatmap pairs taken per benchmark per
+	// cache configuration (0 = unlimited).
+	MaxPairsPerBench int
+}
+
+// NewPipeline returns a Pipeline with the default scaled-down heatmap
+// geometry.
+func NewPipeline() Pipeline {
+	return Pipeline{Heatmap: heatmap.DefaultConfig()}
+}
+
+// BenchPairs simulates bench against a single cache level and returns
+// the aligned heatmap pairs plus the level's true hit rate.
+func (p Pipeline) BenchPairs(bench Benchmark, cfg CacheConfig) ([]HeatmapPair, float64, error) {
+	tr := bench.Trace()
+	lt := cachesim.RunTrace(cachesim.New(cfg), tr)
+	pairs, err := heatmap.BuildPair(p.Heatmap, lt.Accesses, lt.Misses)
+	if err != nil {
+		return nil, 0, fmt.Errorf("cachebox: %s: %w", bench.Name, err)
+	}
+	if p.MaxPairsPerBench > 0 && len(pairs) > p.MaxPairsPerBench {
+		pairs = pairs[:p.MaxPairsPerBench]
+	}
+	return pairs, lt.HitRate(), nil
+}
+
+// LevelPairs simulates bench against a full hierarchy and returns the
+// heatmap pairs and true hit rate of each level. Level i's access
+// stream is level i-1's miss stream, as in the paper's RQ4 setup.
+func (p Pipeline) LevelPairs(bench Benchmark, cfgs []CacheConfig) ([][]HeatmapPair, []float64, error) {
+	h, err := cachesim.NewHierarchy(cfgs...)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr := bench.Trace()
+	lts := cachesim.RunHierarchy(h, tr)
+	pairs := make([][]HeatmapPair, len(lts))
+	rates := make([]float64, len(lts))
+	for i, lt := range lts {
+		ps, err := heatmap.BuildPair(p.Heatmap, lt.Accesses, lt.Misses)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cachebox: %s L%d: %w", bench.Name, i+1, err)
+		}
+		if p.MaxPairsPerBench > 0 && len(ps) > p.MaxPairsPerBench {
+			ps = ps[:p.MaxPairsPerBench]
+		}
+		pairs[i] = ps
+		rates[i] = lt.HitRate()
+	}
+	return pairs, rates, nil
+}
+
+// Dataset assembles CB-GAN training samples for every (benchmark,
+// cache config) combination, tagging each sample with the cache
+// parameters (paper RQ2: one model across configurations). Benchmarks
+// whose true hit rate falls below minHitRate are excluded — the
+// paper's §6.1 "high data regime" rule; pass 0 to keep everything.
+func (p Pipeline) Dataset(benches []Benchmark, cfgs []CacheConfig, minHitRate float64) ([]Sample, error) {
+	var out []Sample
+	for _, cfg := range cfgs {
+		params := core.CacheParams(cfg)
+		for _, b := range benches {
+			pairs, hr, err := p.BenchPairs(b, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if hr < minHitRate {
+				continue
+			}
+			for _, pr := range pairs {
+				out = append(out, Sample{Access: pr.Access, Miss: pr.Miss, Params: params, Bench: b.Name})
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cachebox: dataset is empty (all benchmarks filtered?)")
+	}
+	return out, nil
+}
+
+// Eval holds one benchmark's evaluation under one cache configuration.
+type Eval struct {
+	Bench      string
+	Config     CacheConfig
+	TrueHit    float64
+	PredHit    float64
+	AbsPctDiff float64
+	Pairs      int
+}
+
+// Evaluate predicts bench's miss heatmaps with the model and compares
+// the implied hit rate against the simulator's truth (paper §4.4).
+func (p Pipeline) Evaluate(m *Model, bench Benchmark, cfg CacheConfig, batchSize int) (Eval, error) {
+	pairs, _, err := p.BenchPairs(bench, cfg)
+	if err != nil {
+		return Eval{}, err
+	}
+	if len(pairs) == 0 {
+		return Eval{}, fmt.Errorf("cachebox: %s yields no heatmaps (trace too short for %dx%d windows)",
+			bench.Name, p.Heatmap.Height, p.Heatmap.Width)
+	}
+	var access, miss []*Heatmap
+	for _, pr := range pairs {
+		access = append(access, pr.Access)
+		miss = append(miss, pr.Miss)
+	}
+	trueHR, err := heatmap.HitRate(p.Heatmap, access, miss)
+	if err != nil {
+		return Eval{}, err
+	}
+	pred := m.Predict(access, core.CacheParams(cfg), batchSize)
+	for i := range pred {
+		pred[i] = heatmap.ConstrainMiss(pred[i], access[i])
+	}
+	predHR, err := heatmap.HitRate(p.Heatmap, access, pred)
+	if err != nil {
+		return Eval{}, err
+	}
+	return Eval{
+		Bench:      bench.Name,
+		Config:     cfg,
+		TrueHit:    trueHR,
+		PredHit:    predHR,
+		AbsPctDiff: metrics.AbsPctDiff(trueHR, predHR),
+		Pairs:      len(pairs),
+	}, nil
+}
+
+// TrueHitRates simulates every benchmark once and returns its hit rate
+// under cfg (the paper's Figure 14 dataset analysis).
+func (p Pipeline) TrueHitRates(benches []Benchmark, cfg CacheConfig) map[string]float64 {
+	out := make(map[string]float64, len(benches))
+	for _, b := range benches {
+		lt := cachesim.RunTrace(cachesim.New(cfg), b.Trace())
+		out[b.Name] = lt.HitRate()
+	}
+	return out
+}
+
+// AllSuites builds the three suite families at the given per-benchmark
+// access budget and size scale, mirroring the paper's SPEC + Ligra +
+// Polybench dataset.
+func AllSuites(specGroups, specPhases, ops int, sizeScale float64) []Suite {
+	return []Suite{
+		workload.SpecLike(specGroups, specPhases, ops),
+		workload.LigraLike(ops, sizeScale),
+		workload.PolyLike(ops, sizeScale),
+	}
+}
+
+// FlattenSuites concatenates suites' benchmarks.
+func FlattenSuites(suites []Suite) []Benchmark {
+	var out []Benchmark
+	for _, s := range suites {
+		out = append(out, s.Benchmarks...)
+	}
+	return out
+}
