@@ -99,7 +99,9 @@ func cmdList(args []string) error {
 	fs := flag.NewFlagSet("list", flag.ExitOnError)
 	ops := fs.Int("ops", 120000, "accesses per benchmark")
 	scale := fs.Float64("suite-scale", 0.25, "problem-size scale for ligra/poly suites")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	for _, b := range allBenches(*ops, *scale) {
 		fmt.Printf("%-36s suite=%-10s group=%s\n", b.Name, b.Suite, b.Group)
 	}
@@ -112,7 +114,9 @@ func cmdTrace(args []string) error {
 	out := fs.String("o", "", "output file (default <bench>.cbxt)")
 	ops := fs.Int("ops", 120000, "accesses per benchmark")
 	scale := fs.Float64("suite-scale", 0.25, "problem-size scale")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	b, err := workload.ByName(allBenches(*ops, *scale), *name)
 	if err != nil {
 		return err
@@ -126,6 +130,7 @@ func cmdTrace(args []string) error {
 	if err != nil {
 		return err
 	}
+	//lint:ignore unchecked-error cleanup for early returns; the success path checks the explicit Close below
 	defer f.Close()
 	if err := trace.WriteBinary(f, tr); err != nil {
 		return err
@@ -145,7 +150,9 @@ func cmdSimulate(args []string) error {
 	prefetch := fs.String("prefetch", "", "prefetcher: '', next-line, stride")
 	ops := fs.Int("ops", 120000, "accesses per benchmark")
 	scale := fs.Float64("suite-scale", 0.25, "problem-size scale")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var tr *trace.Trace
 	switch {
@@ -154,6 +161,7 @@ func cmdSimulate(args []string) error {
 		if err != nil {
 			return err
 		}
+		//lint:ignore unchecked-error read-only file; a Close failure cannot lose data
 		defer f.Close()
 		tr, err = trace.ReadBinary(f)
 		if err != nil {
@@ -227,7 +235,9 @@ func cmdHeatmap(args []string) error {
 	count := fs.Int("n", 2, "number of heatmap pairs to render")
 	ops := fs.Int("ops", 120000, "accesses per benchmark")
 	scale := fs.Float64("suite-scale", 0.25, "problem-size scale")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	b, err := workload.ByName(allBenches(*ops, *scale), *name)
 	if err != nil {
 		return err
@@ -271,7 +281,9 @@ func cmdTrain(args []string) error {
 	ops := fs.Int("ops", 120000, "accesses per benchmark")
 	scale := fs.Float64("suite-scale", 0.25, "problem-size scale")
 	seed := fs.Int64("seed", 42, "train/test split seed")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	var cfgs []cachesim.Config
 	for _, s := range strings.Split(*cfgStr, ",") {
 		cfg, err := parseCacheConfig(strings.TrimSpace(s))
@@ -311,7 +323,9 @@ func cmdEvaluate(args []string) error {
 	ops := fs.Int("ops", 120000, "accesses per benchmark")
 	scale := fs.Float64("suite-scale", 0.25, "problem-size scale")
 	seed := fs.Int64("seed", 42, "train/test split seed (must match training)")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	m, err := cachebox.LoadModelFile(*modelPath)
 	if err != nil {
 		return err
@@ -357,7 +371,9 @@ func cmdPhases(args []string) error {
 	cfgStr := fs.String("cache", "64set-12way", "cache geometry for the rate comparison")
 	ops := fs.Int("ops", 120000, "accesses per benchmark")
 	scale := fs.Float64("suite-scale", 0.25, "problem-size scale")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	var tr *trace.Trace
 	switch {
 	case *traceFile != "":
@@ -365,6 +381,7 @@ func cmdPhases(args []string) error {
 		if err != nil {
 			return err
 		}
+		//lint:ignore unchecked-error read-only file; a Close failure cannot lose data
 		defer f.Close()
 		tr, err = trace.ReadBinary(f)
 		if err != nil {

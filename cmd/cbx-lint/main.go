@@ -1,0 +1,212 @@
+// Command cbx-lint is CacheBox's static-analysis gate. It loads every
+// package in the module using only the Go standard library and runs
+// the internal/analysis analyzer suite: determinism (unseeded-rand,
+// map-range-numeric), robustness (unchecked-error, library-panic),
+// concurrency (mutex-by-value) and tensor-API hygiene (shape-arity).
+//
+// Usage:
+//
+//	go run ./cmd/cbx-lint [flags] [packages]
+//
+// Packages are directory patterns relative to the module root:
+// "./..." (default) lints the whole module, "./internal/..." a
+// subtree, "./internal/nn" a single package. Findings print as
+// file:line:col: [analyzer] message; -json switches to a machine
+// readable array. The process exits 1 when findings remain and 2 on
+// load failure, so it can gate CI directly.
+//
+// Suppress an individual finding at its source line with
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cachebox/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("cbx-lint", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	var (
+		jsonOut = fs.Bool("json", false, "emit findings as a JSON array")
+		enable  = fs.String("enable", "", "comma-separated analyzers to run (default: all)")
+		disable = fs.String("disable", "", "comma-separated analyzers to skip")
+		list    = fs.Bool("list", false, "list available analyzers and exit")
+		modDir  = fs.String("C", ".", "module root directory to lint")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	root, err := findModuleRoot(*modDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cbx-lint:", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(root, "")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cbx-lint:", err)
+		return 2
+	}
+
+	analyzers := analysis.DefaultAnalyzers(loader.ModulePath)
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stdout, "%-18s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers, err = selectAnalyzers(analyzers, *enable, *disable)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cbx-lint:", err)
+		return 2
+	}
+
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cbx-lint:", err)
+		return 2
+	}
+	pkgs, err = filterPackages(pkgs, root, fs.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cbx-lint:", err)
+		return 2
+	}
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			fmt.Fprintf(os.Stderr, "cbx-lint: typecheck %s: %v\n", p.ImportPath, terr)
+		}
+	}
+
+	findings := analysis.Run(pkgs, analyzers)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []analysis.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "cbx-lint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			rel := f
+			if r, err := filepath.Rel(root, f.Pos.Filename); err == nil {
+				rel.Pos.Filename = r
+			}
+			fmt.Fprintln(os.Stdout, rel.String())
+		}
+		if len(findings) > 0 {
+			fmt.Fprintf(os.Stdout, "cbx-lint: %d finding(s)\n", len(findings))
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks up from dir to the directory holding go.mod.
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// selectAnalyzers applies -enable / -disable.
+func selectAnalyzers(all []*analysis.Analyzer, enable, disable string) ([]*analysis.Analyzer, error) {
+	byName := make(map[string]*analysis.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	out := all
+	if enable != "" {
+		out = nil
+		for _, name := range strings.Split(enable, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				return nil, fmt.Errorf("unknown analyzer %q", name)
+			}
+			out = append(out, a)
+		}
+	}
+	if disable != "" {
+		skip := make(map[string]bool)
+		for _, name := range strings.Split(disable, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := byName[name]; !ok {
+				return nil, fmt.Errorf("unknown analyzer %q", name)
+			}
+			skip[name] = true
+		}
+		var kept []*analysis.Analyzer
+		for _, a := range out {
+			if !skip[a.Name] {
+				kept = append(kept, a)
+			}
+		}
+		out = kept
+	}
+	return out, nil
+}
+
+// filterPackages narrows the loaded package set to the requested
+// patterns: "./..." keeps everything, "dir/..." a subtree, plain
+// directories a single package. No patterns means everything.
+func filterPackages(pkgs []*analysis.Package, root string, patterns []string) ([]*analysis.Package, error) {
+	if len(patterns) == 0 {
+		return pkgs, nil
+	}
+	var kept []*analysis.Package
+	seen := make(map[string]bool)
+	for _, pat := range patterns {
+		recursive := false
+		if pat == "all" || pat == "./..." || pat == "..." {
+			return pkgs, nil
+		}
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+		}
+		dir := filepath.Join(root, filepath.FromSlash(strings.TrimPrefix(pat, "./")))
+		if pat == "." || pat == "" {
+			dir = root
+		}
+		matched := false
+		for _, p := range pkgs {
+			ok := p.Dir == dir || (recursive && strings.HasPrefix(p.Dir+string(filepath.Separator), dir+string(filepath.Separator)))
+			if ok && !seen[p.ImportPath] {
+				kept = append(kept, p)
+				seen[p.ImportPath] = true
+			}
+			matched = matched || ok
+		}
+		if !matched {
+			return nil, fmt.Errorf("pattern %q matched no packages", pat)
+		}
+	}
+	return kept, nil
+}

@@ -53,6 +53,7 @@ func load(path string) (*trace.Trace, error) {
 	if err != nil {
 		return nil, err
 	}
+	//lint:ignore unchecked-error read-only file; a Close failure cannot lose data
 	defer f.Close()
 	return trace.ReadBinary(f)
 }
@@ -61,7 +62,9 @@ func cmdStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	path := fs.String("trace", "", "binary trace file")
 	block := fs.Uint64("block", 64, "block size for footprint accounting")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	tr, err := load(*path)
 	if err != nil {
 		return err
@@ -79,7 +82,9 @@ func cmdReuse(args []string) error {
 	fs := flag.NewFlagSet("reuse", flag.ExitOnError)
 	path := fs.String("trace", "", "binary trace file")
 	maxTracked := fs.Int("max", 4096, "maximum tracked stack distance")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	tr, err := load(*path)
 	if err != nil {
 		return err
@@ -115,7 +120,9 @@ func cmdPredict(args []string) error {
 	fs := flag.NewFlagSet("predict", flag.ExitOnError)
 	path := fs.String("trace", "", "binary trace file")
 	cfgStr := fs.String("cache", "64set-12way", "cache geometry")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	tr, err := load(*path)
 	if err != nil {
 		return err

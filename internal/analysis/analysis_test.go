@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMalformedSuppression: a lint:ignore without a reason must be
+// reported itself and must NOT silence the finding it sits above.
+func TestMalformedSuppression(t *testing.T) {
+	pkg := loadFixture(t, "badsupp")
+	findings := Run([]*Package{pkg}, []*Analyzer{UnseededRand()})
+	if len(findings) != 2 {
+		t.Fatalf("want 2 findings (malformed directive + surviving finding), got %v", findings)
+	}
+	if findings[0].Analyzer != "lint-directive" || !strings.Contains(findings[0].Message, "malformed lint:ignore") {
+		t.Errorf("first finding should flag the malformed directive, got %v", findings[0])
+	}
+	if findings[1].Analyzer != "unseeded-rand" {
+		t.Errorf("the directive must not suppress without a reason, got %v", findings[1])
+	}
+	if findings[0].Pos.Line >= findings[1].Pos.Line {
+		t.Errorf("findings not sorted by line: %v", findings)
+	}
+}
+
+// TestSuppresses exercises the directive-matching rules directly:
+// same-line and line-above application, per-analyzer filtering, and
+// the "all" wildcard (nil analyzer set).
+func TestSuppresses(t *testing.T) {
+	set := &suppressionSet{byLine: map[string]map[int][]*suppression{
+		"a.go": {
+			5:  {{file: "a.go", line: 5}}, // "all"
+			10: {{file: "a.go", line: 10, analyzers: map[string]bool{"x": true}}},
+		},
+	}}
+	finding := func(file string, line int, analyzer string) Finding {
+		f := Finding{Analyzer: analyzer}
+		f.Pos.Filename = file
+		f.Pos.Line = line
+		return f
+	}
+	cases := []struct {
+		f    Finding
+		want bool
+	}{
+		{finding("a.go", 5, "anything"), true},  // same line, wildcard
+		{finding("a.go", 6, "anything"), true},  // line below wildcard
+		{finding("a.go", 7, "anything"), false}, // out of reach
+		{finding("a.go", 4, "anything"), false}, // directives do not apply upward
+		{finding("a.go", 10, "x"), true},
+		{finding("a.go", 11, "x"), true},
+		{finding("a.go", 10, "y"), false}, // different analyzer
+		{finding("b.go", 5, "x"), false},  // different file
+	}
+	for _, c := range cases {
+		if got := set.suppresses(c.f); got != c.want {
+			t.Errorf("suppresses(%s:%d %s) = %v, want %v", c.f.Pos.Filename, c.f.Pos.Line, c.f.Analyzer, got, c.want)
+		}
+	}
+}
+
+// TestNewLoaderReadsGoMod checks module-path discovery from go.mod
+// when no explicit path is supplied.
+func TestNewLoaderReadsGoMod(t *testing.T) {
+	loader, err := NewLoader("../..", "")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	if loader.ModulePath != "cachebox" {
+		t.Fatalf("ModulePath = %q, want cachebox", loader.ModulePath)
+	}
+}
+
+// TestDefaultAnalyzers pins the published analyzer set: names are API
+// (they appear in lint:ignore directives and enable/disable flags).
+func TestDefaultAnalyzers(t *testing.T) {
+	want := []string{
+		"unseeded-rand", "map-range-numeric", "unchecked-error",
+		"library-panic", "mutex-by-value", "shape-arity",
+	}
+	got := DefaultAnalyzers("cachebox")
+	if len(got) != len(want) {
+		t.Fatalf("got %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no doc line", a.Name)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// loadFixture loads one package of the fixture module under
+// testdata/src (module path "fixture").
+func loadFixture(t *testing.T, rel string) *Package {
+	t.Helper()
+	loader, err := NewLoader(filepath.Join("testdata", "src"), "fixture")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", filepath.FromSlash(rel)))
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", rel, err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("fixture %s has type errors: %v", rel, pkg.TypeErrors)
+	}
+	return pkg
+}
+
+var wantRE = regexp.MustCompile(`// want "([^"]+)"`)
+
+// collectWants maps source lines to the expected finding substring
+// declared by trailing `// want "..."` comments.
+func collectWants(pkg *Package) map[int]string {
+	wants := make(map[int]string)
+	for _, file := range pkg.Syntax {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				wants[pkg.Fset.Position(c.Pos()).Line] = m[1]
+			}
+		}
+	}
+	return wants
+}
+
+// checkFixture runs one analyzer over one fixture package and verifies
+// the findings agree exactly with the // want annotations: every want
+// line produces a matching finding, and no finding lacks a want.
+func checkFixture(t *testing.T, rel string, a *Analyzer) {
+	t.Helper()
+	pkg := loadFixture(t, rel)
+	findings := Run([]*Package{pkg}, []*Analyzer{a})
+	wants := collectWants(pkg)
+	got := make(map[int][]Finding)
+	for _, f := range findings {
+		got[f.Pos.Line] = append(got[f.Pos.Line], f)
+	}
+	for line, want := range wants {
+		fs := got[line]
+		if len(fs) == 0 {
+			t.Errorf("%s:%d: want finding containing %q, got none", rel, line, want)
+			continue
+		}
+		matched := false
+		for _, f := range fs {
+			if strings.Contains(f.Message, want) {
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: want finding containing %q, got %v", rel, line, want, fs)
+		}
+	}
+	for line, fs := range got {
+		if _, ok := wants[line]; !ok {
+			t.Errorf("%s:%d: unexpected finding(s): %v", rel, line, fs)
+		}
+	}
+}
+
+func TestUnseededRand(t *testing.T) {
+	checkFixture(t, "unseeded", UnseededRand())
+}
+
+func TestMapRangeNumeric(t *testing.T) {
+	checkFixture(t, "maprange", MapRangeNumeric("maprange"))
+}
+
+func TestMapRangeSkipsNonNumericPackages(t *testing.T) {
+	pkg := loadFixture(t, "maprange")
+	findings := Run([]*Package{pkg}, []*Analyzer{MapRangeNumeric("othername")})
+	if len(findings) != 0 {
+		t.Fatalf("package off the numeric path must produce no findings, got %v", findings)
+	}
+}
+
+func TestUncheckedError(t *testing.T) {
+	checkFixture(t, "uncheckederr", UncheckedError())
+}
+
+func TestLibraryPanic(t *testing.T) {
+	checkFixture(t, "internal/panics", LibraryPanic("fixture"))
+}
+
+func TestLibraryPanicSkipsNonInternal(t *testing.T) {
+	// The unseeded fixture is outside internal/ and contains no panic;
+	// more to the point, an internal-only analyzer must not fire on it.
+	pkg := loadFixture(t, "unseeded")
+	findings := Run([]*Package{pkg}, []*Analyzer{LibraryPanic("fixture")})
+	if len(findings) != 0 {
+		t.Fatalf("non-internal package must produce no library-panic findings, got %v", findings)
+	}
+}
+
+func TestMutexByValue(t *testing.T) {
+	checkFixture(t, "mutexcopy", MutexByValue())
+}
+
+func TestShapeArity(t *testing.T) {
+	checkFixture(t, "shapes", ShapeArity("fixture/tensor"))
+}
+
+func TestFindingString(t *testing.T) {
+	pkg := loadFixture(t, "unseeded")
+	findings := Run([]*Package{pkg}, []*Analyzer{UnseededRand()})
+	if len(findings) == 0 {
+		t.Fatal("expected findings")
+	}
+	s := findings[0].String()
+	for _, part := range []string{"unseeded.go:", "[unseeded-rand]"} {
+		if !strings.Contains(s, part) {
+			t.Errorf("finding %q missing %q", s, part)
+		}
+	}
+}
+
+func ExampleFinding_String() {
+	f := Finding{Analyzer: "demo", Message: "something"}
+	f.Pos.Filename = "a.go"
+	f.Pos.Line = 3
+	f.Pos.Column = 7
+	fmt.Println(f)
+	// Output: a.go:3:7: [demo] something
+}

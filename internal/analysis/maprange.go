@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+)
+
+// defaultNumericPackages are the package base names on the numeric
+// path, where map iteration order can perturb float accumulation and
+// therefore the reproduced figures.
+var defaultNumericPackages = []string{
+	"tensor", "nn", "core", "heatmap", "baseline", "metrics",
+}
+
+// MapRangeNumeric flags `range` over a map inside numeric-path
+// packages. Go randomises map iteration order per run, so any float
+// reduction, sort feeding, or "pick one element" logic driven by such
+// a range is a nondeterminism hazard. Order-independent ranges (set
+// population, key collection that is sorted afterwards) should carry a
+// lint:ignore with the reason.
+func MapRangeNumeric(numericPkgs ...string) *Analyzer {
+	if len(numericPkgs) == 0 {
+		numericPkgs = defaultNumericPackages
+	}
+	names := make(map[string]bool, len(numericPkgs))
+	for _, n := range numericPkgs {
+		names[n] = true
+	}
+	a := &Analyzer{
+		Name: "map-range-numeric",
+		Doc:  "flags range-over-map in numeric-path packages (iteration order is randomised)",
+	}
+	a.Run = func(pass *Pass) {
+		if !names[path.Base(pass.Pkg.ImportPath)] {
+			return
+		}
+		for _, file := range pass.Files() {
+			ast.Inspect(file, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := pass.Pkg.TypesInfo.Types[rs.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Report(rs.Pos(), "range over map %s in numeric package: iteration order is nondeterministic", types.ExprString(rs.X))
+				}
+				return true
+			})
+		}
+	}
+	return a
+}

@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// syncLockTypes are the sync primitives that must never be copied
+// after first use.
+var syncLockTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Once": true, "Cond": true, "Map": true, "Pool": true,
+}
+
+// MutexByValue flags copies of values whose type (transitively)
+// contains a sync primitive: value receivers, by-value parameters and
+// results, plain assignments from existing values, and range value
+// variables. A copied Mutex guards nothing and a copied WaitGroup
+// deadlocks waiters — both silently.
+func MutexByValue() *Analyzer {
+	a := &Analyzer{
+		Name: "mutex-by-value",
+		Doc:  "flags copying of structs containing sync.Mutex/WaitGroup and friends",
+	}
+	a.Run = func(pass *Pass) {
+		info := pass.Pkg.TypesInfo
+		lock := func(e ast.Expr) (types.Type, bool) {
+			t := info.TypeOf(e)
+			if t != nil && containsLock(t, nil) {
+				return t, true
+			}
+			return nil, false
+		}
+		for _, file := range pass.Files() {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					if n.Recv != nil {
+						for _, f := range n.Recv.List {
+							if t, bad := lock(f.Type); bad {
+								pass.Report(f.Type.Pos(), "method %s has value receiver of lock-containing type %s; use a pointer receiver", n.Name.Name, t)
+							}
+						}
+					}
+					checkFieldList(pass, n.Type.Params, "parameter")
+					checkFieldList(pass, n.Type.Results, "result")
+				case *ast.FuncLit:
+					checkFieldList(pass, n.Type.Params, "parameter")
+					checkFieldList(pass, n.Type.Results, "result")
+				case *ast.AssignStmt:
+					for i, rhs := range n.Rhs {
+						if !copiesValue(rhs) {
+							continue
+						}
+						if t, bad := lock(rhs); bad {
+							if i < len(n.Lhs) && isBlank(n.Lhs[i]) {
+								continue
+							}
+							pass.Report(rhs.Pos(), "assignment copies lock-containing value of type %s", t)
+						}
+					}
+				case *ast.RangeStmt:
+					if n.Value != nil && !isBlank(n.Value) {
+						if t, bad := lock(n.Value); bad {
+							pass.Report(n.Value.Pos(), "range value copies lock-containing element of type %s; range over the index instead", t)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// checkFieldList reports by-value lock-containing params/results.
+func checkFieldList(pass *Pass, fl *ast.FieldList, kind string) {
+	if fl == nil {
+		return
+	}
+	for _, f := range fl.List {
+		t := pass.Pkg.TypesInfo.TypeOf(f.Type)
+		if t != nil && containsLock(t, nil) {
+			pass.Report(f.Type.Pos(), "%s passes lock-containing type %s by value; use a pointer", kind, t)
+		}
+	}
+}
+
+// copiesValue reports whether evaluating e copies an existing value
+// (as opposed to constructing a fresh one or taking an address).
+func copiesValue(e ast.Expr) bool {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		return true
+	}
+	return false
+}
+
+// containsLock reports whether t transitively embeds a sync primitive
+// by value. seen guards against recursive types.
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	t = types.Unalias(t)
+	if seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	switch t := t.(type) {
+	case *types.Named:
+		if obj := t.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "sync" && syncLockTypes[obj.Name()] {
+			return true
+		}
+		return containsLock(t.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if containsLock(t.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(t.Elem(), seen)
+	}
+	return false
+}

@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// defaultInvariantHelpers are the registered helper functions allowed
+// to panic: each package funnels its "programmer error" checks through
+// one documented chokepoint instead of scattering panics across the
+// API surface.
+var defaultInvariantHelpers = []string{"mustValidShape", "checkShape"}
+
+// LibraryPanic flags panic calls in internal/* non-test code outside
+// the registered invariant helpers. Library APIs should return errors;
+// panics are reserved for invariant violations routed through the
+// documented helpers so callers can grep one name to find every
+// deliberate crash point.
+func LibraryPanic(modulePath string, helpers ...string) *Analyzer {
+	if len(helpers) == 0 {
+		helpers = defaultInvariantHelpers
+	}
+	allowed := make(map[string]bool, len(helpers))
+	for _, h := range helpers {
+		allowed[h] = true
+	}
+	prefix := modulePath + "/internal/"
+	a := &Analyzer{
+		Name: "library-panic",
+		Doc:  "flags panic in internal packages outside registered invariant helpers",
+	}
+	a.Run = func(pass *Pass) {
+		if !strings.HasPrefix(pass.Pkg.ImportPath, prefix) {
+			return
+		}
+		for _, file := range pass.Files() {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				// Make sure this is the builtin, not a shadowing decl.
+				if obj := pass.Pkg.TypesInfo.Uses[id]; obj != nil && obj.Pkg() != nil {
+					return true
+				}
+				if fd := enclosingFunc(file, call); fd != nil && allowed[fd.Name.Name] {
+					return true
+				}
+				pass.Report(call.Pos(), "panic in library package: return an error or route through a registered invariant helper (%s)", strings.Join(helpers, ", "))
+				return true
+			})
+		}
+	}
+	return a
+}

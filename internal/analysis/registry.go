@@ -1,0 +1,17 @@
+package analysis
+
+// DefaultAnalyzers returns the production analyzer set for a module
+// rooted at modulePath (e.g. "cachebox"). The set is the lint gate the
+// CI runs: determinism (unseeded-rand, map-range-numeric), robustness
+// (unchecked-error, library-panic), concurrency (mutex-by-value) and
+// numeric-API hygiene (shape-arity).
+func DefaultAnalyzers(modulePath string) []*Analyzer {
+	return []*Analyzer{
+		UnseededRand(),
+		MapRangeNumeric(),
+		UncheckedError(),
+		LibraryPanic(modulePath),
+		MutexByValue(),
+		ShapeArity(modulePath + "/internal/tensor"),
+	}
+}

@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// shapeInfo is what the analyzer can prove locally about a tensor.
+type shapeInfo struct {
+	rank       int
+	elems      int64
+	elemsKnown bool
+}
+
+// ShapeArity flags tensor shape/arity contradictions that are locally
+// provable inside a single function: Dim(i) with a constant index
+// outside the constructed rank, Reshape with more than one inferred
+// (-1) dimension, and Reshape to an all-constant shape whose element
+// count contradicts the all-constant shape the receiver was
+// constructed with. tensorPath selects the package providing
+// New/FromSlice/Reshape/Dim (the real internal/tensor in production, a
+// fixture package in tests).
+func ShapeArity(tensorPath string) *Analyzer {
+	a := &Analyzer{
+		Name: "shape-arity",
+		Doc:  "flags constant tensor Dim/Reshape calls contradicting the locally inferred shape",
+	}
+	a.Run = func(pass *Pass) {
+		for _, file := range pass.Files() {
+			ast.Inspect(file, func(n ast.Node) bool {
+				if fn, ok := n.(*ast.FuncDecl); ok {
+					if fn.Body != nil {
+						checkShapeBody(pass, tensorPath, fn.Body)
+					}
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// checkShapeBody runs the local shape inference over one function.
+func checkShapeBody(pass *Pass, tensorPath string, body *ast.BlockStmt) {
+	info := pass.Pkg.TypesInfo
+	ranks := make(map[types.Object]shapeInfo)
+
+	// Pass 1: record locals defined directly from a shape constructor.
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		if si, ok := constructedShape(pass, tensorPath, as.Rhs[0]); ok {
+			if obj := info.Defs[id]; obj != nil {
+				ranks[obj] = si
+			}
+		}
+		return true
+	})
+
+	// Pass 2: drop anything reassigned or field-mutated later; the
+	// inference is deliberately conservative, not flow-sensitive.
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok == token.DEFINE {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			switch lhs := lhs.(type) {
+			case *ast.Ident:
+				delete(ranks, info.Uses[lhs])
+			case *ast.SelectorExpr:
+				if id, ok := lhs.X.(*ast.Ident); ok {
+					delete(ranks, info.Uses[id])
+				}
+			}
+		}
+		return true
+	})
+
+	// receiverShape resolves the shape facts for a method receiver:
+	// either a tracked local or an inline constructor call.
+	receiverShape := func(e ast.Expr) (shapeInfo, bool) {
+		e = ast.Unparen(e)
+		if id, ok := e.(*ast.Ident); ok {
+			si, ok := ranks[info.Uses[id]]
+			return si, ok
+		}
+		return constructedShape(pass, tensorPath, e)
+	}
+
+	// Pass 3: check Dim/Reshape calls against the recorded shapes.
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != tensorPath {
+			return true
+		}
+		switch fn.Name() {
+		case "Reshape":
+			inferred := 0
+			target := int64(1)
+			targetKnown := len(call.Args) > 0 && call.Ellipsis == token.NoPos
+			for _, arg := range call.Args {
+				v, ok := constInt(pass, arg)
+				switch {
+				case ok && v == -1:
+					inferred++
+					targetKnown = false
+				case ok && v >= 0:
+					target *= v
+				default:
+					targetKnown = false
+				}
+			}
+			if inferred > 1 {
+				pass.Report(call.Pos(), "Reshape with %d inferred (-1) dimensions; at most one may be inferred", inferred)
+				return true
+			}
+			if si, ok := receiverShape(sel.X); ok && si.elemsKnown && targetKnown && target != si.elems {
+				pass.Report(call.Pos(), "Reshape to %d elements contradicts the %d elements the receiver was constructed with", target, si.elems)
+			}
+		case "Dim":
+			si, ok := receiverShape(sel.X)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			if idx, ok := constInt(pass, call.Args[0]); ok && (idx < 0 || idx >= int64(si.rank)) {
+				pass.Report(call.Pos(), "Dim(%d) out of range for tensor constructed with rank %d", idx, si.rank)
+			}
+		}
+		return true
+	})
+}
+
+// constructedShape recognises tensor.New / tensor.FromSlice /
+// t.Reshape call results and derives shape facts from constant args.
+func constructedShape(pass *Pass, tensorPath string, e ast.Expr) (shapeInfo, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || call.Ellipsis != token.NoPos {
+		return shapeInfo{}, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return shapeInfo{}, false
+	}
+	fn, ok := pass.Pkg.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != tensorPath {
+		return shapeInfo{}, false
+	}
+	var dims []ast.Expr
+	switch fn.Name() {
+	case "New":
+		dims = call.Args
+	case "FromSlice":
+		if len(call.Args) < 1 {
+			return shapeInfo{}, false
+		}
+		dims = call.Args[1:]
+	case "Reshape":
+		dims = call.Args
+	default:
+		return shapeInfo{}, false
+	}
+	si := shapeInfo{rank: len(dims), elems: 1, elemsKnown: len(dims) > 0}
+	for _, d := range dims {
+		v, ok := constInt(pass, d)
+		if !ok || v < 0 {
+			si.elemsKnown = false
+			si.elems = 0
+			break
+		}
+		si.elems *= v
+	}
+	return si, true
+}
+
+// constInt evaluates e as a compile-time integer constant.
+func constInt(pass *Pass, e ast.Expr) (int64, bool) {
+	tv, ok := pass.Pkg.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}

@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression comment:
+//
+//	//lint:ignore unchecked-error the report writer targets a bytes.Buffer
+//
+// The directive names one or more analyzers (comma-separated, or the
+// word "all") followed by a mandatory free-form reason. It applies to
+// findings on its own source line or on the line directly below it, so
+// it works both as a trailing comment and as a standalone line above
+// the offending statement.
+const ignorePrefix = "//lint:ignore "
+
+// suppression is one parsed lint:ignore directive.
+type suppression struct {
+	file      string
+	line      int
+	analyzers map[string]bool // nil means "all"
+}
+
+// suppressionSet holds every directive of one package.
+type suppressionSet struct {
+	byLine    map[string]map[int][]*suppression // file -> line -> directives
+	malformed []Finding
+}
+
+// suppresses reports whether finding f is covered by a directive on
+// its line or the line above.
+func (s *suppressionSet) suppresses(f Finding) bool {
+	lines := s.byLine[f.Pos.Filename]
+	for _, ln := range []int{f.Pos.Line, f.Pos.Line - 1} {
+		for _, sup := range lines[ln] {
+			if sup.analyzers == nil || sup.analyzers[f.Analyzer] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectSuppressions parses every lint:ignore directive in the
+// package, reporting malformed ones as "lint-directive" findings.
+func collectSuppressions(pkg *Package) *suppressionSet {
+	set := &suppressionSet{byLine: make(map[string]map[int][]*suppression)}
+	for _, file := range pkg.Syntax {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, strings.TrimSuffix(ignorePrefix, " "))
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					set.malformed = append(set.malformed, Finding{
+						Analyzer: "lint-directive",
+						Pos:      pos,
+						Message:  "malformed lint:ignore: want //lint:ignore <analyzer>[,...] <reason>",
+					})
+					continue
+				}
+				sup := &suppression{file: pos.Filename, line: pos.Line}
+				if fields[0] != "all" {
+					sup.analyzers = make(map[string]bool)
+					for _, name := range strings.Split(fields[0], ",") {
+						sup.analyzers[name] = true
+					}
+				}
+				if set.byLine[pos.Filename] == nil {
+					set.byLine[pos.Filename] = make(map[int][]*suppression)
+				}
+				set.byLine[pos.Filename][pos.Line] = append(set.byLine[pos.Filename][pos.Line], sup)
+			}
+		}
+	}
+	return set
+}
+
+// enclosingFunc returns the function declaration containing pos, if
+// any. Shared by analyzers that care about their lexical context.
+func enclosingFunc(file *ast.File, pos ast.Node) *ast.FuncDecl {
+	var found *ast.FuncDecl
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil || found != nil {
+			return false
+		}
+		if fd, ok := n.(*ast.FuncDecl); ok {
+			if fd.Pos() <= pos.Pos() && pos.End() <= fd.End() {
+				found = fd
+			}
+			return found == nil
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+// Package badsupp holds a malformed suppression directive: the
+// analyzer name is present but the mandatory reason is missing, so the
+// directive itself must be reported and the finding must survive.
+package badsupp
+
+import "math/rand"
+
+// Unjustified tries to silence the linter without saying why.
+func Unjustified() float64 {
+	//lint:ignore unseeded-rand
+	return rand.Float64()
+}

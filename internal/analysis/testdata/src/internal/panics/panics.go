@@ -1,0 +1,41 @@
+// Package panics exercises the library-panic analyzer; it lives under
+// the fixture module's internal/ tree so the analyzer applies.
+package panics
+
+import "fmt"
+
+// Explode panics directly in library code.
+func Explode(n int) int {
+	if n < 0 {
+		panic("negative") // want "panic in library package"
+	}
+	return n
+}
+
+// mustValidShape is a registered invariant helper; its panic is
+// allowed.
+func mustValidShape(ok bool, format string, args ...any) {
+	if !ok {
+		panic(fmt.Sprintf(format, args...))
+	}
+}
+
+// checkShape is the other registered helper name.
+func checkShape(got, want int) {
+	if got != want {
+		panic("shape mismatch")
+	}
+}
+
+// Guarded routes its invariant through the helpers; never flagged.
+func Guarded(n int) int {
+	mustValidShape(n >= 0, "negative %d", n)
+	checkShape(n, n)
+	return n
+}
+
+// Suppressed documents a deliberate panic.
+func Suppressed() {
+	//lint:ignore library-panic fixture: documented crash point with a reason
+	panic("deliberate")
+}

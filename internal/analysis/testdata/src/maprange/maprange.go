@@ -1,0 +1,34 @@
+// Package maprange exercises the map-range-numeric analyzer (the test
+// registers this package name as numeric-path).
+package maprange
+
+import "sort"
+
+// Accumulate sums in map order: the canonical nondeterminism hazard.
+func Accumulate(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // want "range over map m"
+		s += v
+	}
+	return s
+}
+
+// Keys collects then sorts, which is safe, and says why.
+func Keys(m map[string]float64) []string {
+	var ks []string
+	//lint:ignore map-range-numeric key collection is order-independent; sorted below
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Slices ranges over a slice; never flagged.
+func Slices(xs []float64) float64 {
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}

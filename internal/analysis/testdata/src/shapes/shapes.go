@@ -1,0 +1,57 @@
+// Package shapes exercises the shape-arity analyzer against the
+// fixture tensor package.
+package shapes
+
+import "fixture/tensor"
+
+// BadDim indexes past the constructed rank.
+func BadDim() int {
+	t := tensor.New(2, 3)
+	return t.Dim(2) // want "Dim(2) out of range for tensor constructed with rank 2"
+}
+
+// BadDimFromSlice infers the rank from FromSlice's dims.
+func BadDimFromSlice(data []float32) int {
+	t := tensor.FromSlice(data, 4, 4)
+	return t.Dim(5) // want "Dim(5) out of range for tensor constructed with rank 2"
+}
+
+// BadReshapeElems reshapes to a contradictory element count.
+func BadReshapeElems() *tensor.Tensor {
+	t := tensor.New(2, 3)
+	return t.Reshape(4, 2) // want "Reshape to 8 elements contradicts the 6 elements"
+}
+
+// BadReshapeInfer uses two inferred dimensions.
+func BadReshapeInfer(t *tensor.Tensor) *tensor.Tensor {
+	return t.Reshape(-1, -1, 2) // want "Reshape with 2 inferred (-1) dimensions"
+}
+
+// GoodLocal stays within the constructed shape; never flagged.
+func GoodLocal() int {
+	t := tensor.New(2, 3)
+	u := t.Reshape(3, 2)
+	v := u.Reshape(-1, 2)
+	return t.Dim(1) + u.Dim(0) + v.Dim(1)
+}
+
+// GoodDynamic has no locally provable shape; never flagged.
+func GoodDynamic(n int) int {
+	t := tensor.New(n, 3)
+	u := t.Reshape(3, n)
+	return u.Dim(1)
+}
+
+// Reassigned loses the inferred shape, so no check applies.
+func Reassigned(other *tensor.Tensor) int {
+	t := tensor.New(2, 3)
+	t = other
+	return t.Dim(7)
+}
+
+// Suppressed documents a deliberate out-of-range probe.
+func Suppressed() int {
+	t := tensor.New(2, 3)
+	//lint:ignore shape-arity fixture: probing the panic path on purpose
+	return t.Dim(9)
+}

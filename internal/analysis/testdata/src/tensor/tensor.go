@@ -1,0 +1,32 @@
+// Package tensor is a minimal stand-in for cachebox/internal/tensor so
+// the shape-arity fixtures can exercise the analyzer against the same
+// New/FromSlice/Reshape/Dim API surface.
+package tensor
+
+// Tensor mirrors the real tensor type's API shape.
+type Tensor struct {
+	Shape []int
+	Data  []float32
+}
+
+// New allocates a zero tensor of the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	return &Tensor{Shape: shape, Data: make([]float32, n)}
+}
+
+// FromSlice wraps data in a tensor of the given shape.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	return &Tensor{Shape: shape, Data: data}
+}
+
+// Reshape returns a view with a new shape.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	return &Tensor{Shape: shape, Data: t.Data}
+}
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.Shape[i] }

@@ -1,0 +1,46 @@
+// Package uncheckederr exercises the unchecked-error analyzer.
+package uncheckederr
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+)
+
+func fallible() error { return nil }
+
+func pair() (int, error) { return 0, nil }
+
+// Dropped discards errors in every statement position.
+func Dropped(f *os.File) {
+	fallible()      // want "error result of fixture/uncheckederr.fallible is dropped"
+	defer f.Close() // want "error result of (*os.File).Close is dropped"
+	go fallible()   // want "error result of fixture/uncheckederr.fallible is dropped"
+	_ = fallible()  // want "error value of fallible() is assigned to _"
+	n, _ := pair()  // want "error result of fixture/uncheckederr.pair is assigned to _"
+	_ = n
+}
+
+// Checked handles everything; nothing here may be flagged.
+func Checked() error {
+	if err := fallible(); err != nil {
+		return err
+	}
+	n, err := pair()
+	_ = n
+	return err
+}
+
+// Exempt writers and printers need no handling.
+func Exempt(buf *bytes.Buffer) {
+	fmt.Println("hello")
+	fmt.Fprintf(buf, "x=%d\n", 1)
+	fmt.Fprintln(os.Stderr, "diag")
+	buf.WriteString("tail")
+}
+
+// Suppressed documents a deliberately dropped error.
+func Suppressed() {
+	//lint:ignore unchecked-error fixture: best-effort call, failure is harmless
+	fallible()
+}

@@ -1,0 +1,26 @@
+// Package unseeded exercises the unseeded-rand analyzer.
+package unseeded
+
+import "math/rand"
+
+// Bad uses the global RNG in several forms.
+func Bad() float64 {
+	x := rand.Float64()   // want "global math/rand.Float64"
+	n := rand.Intn(10)    // want "global math/rand.Intn"
+	rand.Shuffle(3, swap) // want "global math/rand.Shuffle"
+	return x + float64(n)
+}
+
+func swap(i, j int) {}
+
+// Good injects a seeded source; nothing here may be flagged.
+func Good(rng *rand.Rand) float64 {
+	r := rand.New(rand.NewSource(7))
+	return rng.Float64() + r.NormFloat64()
+}
+
+// Suppressed documents a deliberate use of the global RNG.
+func Suppressed() float64 {
+	//lint:ignore unseeded-rand fixture: deliberate global use with a reason
+	return rand.Float64()
+}

@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// exemptCallees are callables whose error results may be dropped
+// without a suppression: fmt printing to stdout, and the stdlib
+// buffered writers documented to never return a non-nil error.
+var exemptCallees = map[string]bool{
+	"fmt.Print": true, "fmt.Printf": true, "fmt.Println": true,
+	"(*bytes.Buffer).Write": true, "(*bytes.Buffer).WriteString": true,
+	"(*bytes.Buffer).WriteByte": true, "(*bytes.Buffer).WriteRune": true,
+	"(*strings.Builder).Write": true, "(*strings.Builder).WriteString": true,
+	"(*strings.Builder).WriteByte": true, "(*strings.Builder).WriteRune": true,
+}
+
+// exemptFprint names the fmt.Fprint family, exempt only when writing
+// to a destination that cannot fail mid-report (stdout/stderr, or an
+// in-memory/buffering writer whose Flush is still checked).
+var exemptFprint = map[string]bool{
+	"fmt.Fprint": true, "fmt.Fprintf": true, "fmt.Fprintln": true,
+}
+
+// ignorableWriterTypes are Fprint destinations whose writes cannot
+// fail, or whose errors are sticky and surface from a Flush that the
+// analyzer still requires to be checked.
+var ignorableWriterTypes = map[string]bool{
+	"*bytes.Buffer":          true,
+	"*strings.Builder":       true,
+	"*text/tabwriter.Writer": true,
+	"*bufio.Writer":          true,
+}
+
+// UncheckedError flags dropped error results: expression statements,
+// go/defer statements, and blank-identifier assignments that discard a
+// value of type error. A silently ignored error in the training or
+// figure pipeline turns an I/O failure into a corrupted artefact.
+func UncheckedError() *Analyzer {
+	a := &Analyzer{
+		Name: "unchecked-error",
+		Doc:  "flags dropped error return values (including _ = outside allowlisted sites)",
+	}
+	a.Run = func(pass *Pass) {
+		for _, file := range pass.Files() {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.ExprStmt:
+					checkDroppedCall(pass, st.X)
+				case *ast.GoStmt:
+					checkDroppedCall(pass, st.Call)
+				case *ast.DeferStmt:
+					checkDroppedCall(pass, st.Call)
+				case *ast.AssignStmt:
+					checkBlankAssign(pass, st)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// checkDroppedCall reports a statement-position call whose error
+// result vanishes.
+func checkDroppedCall(pass *Pass, expr ast.Expr) {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	tv, ok := pass.Pkg.TypesInfo.Types[call]
+	if !ok || !resultHasError(tv.Type) {
+		return
+	}
+	if callExempt(pass, call) {
+		return
+	}
+	pass.Report(call.Pos(), "error result of %s is dropped", calleeName(pass, call))
+}
+
+// checkBlankAssign reports error results explicitly discarded with _.
+func checkBlankAssign(pass *Pass, st *ast.AssignStmt) {
+	// Tuple form: v, _ := f() with the blank at an error position.
+	if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+		call, ok := st.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		tuple, ok := pass.Pkg.TypesInfo.TypeOf(call).(*types.Tuple)
+		if !ok || tuple.Len() != len(st.Lhs) {
+			return
+		}
+		for i := 0; i < tuple.Len(); i++ {
+			if isBlank(st.Lhs[i]) && isErrorType(tuple.At(i).Type()) && !callExempt(pass, call) {
+				pass.Report(st.Lhs[i].Pos(), "error result of %s is assigned to _", calleeName(pass, call))
+			}
+		}
+		return
+	}
+	// Parallel form: _ = expr for each pair.
+	for i, lhs := range st.Lhs {
+		if i >= len(st.Rhs) || !isBlank(lhs) {
+			continue
+		}
+		t := pass.Pkg.TypesInfo.TypeOf(st.Rhs[i])
+		if t == nil || !isErrorType(t) {
+			continue
+		}
+		if call, ok := st.Rhs[i].(*ast.CallExpr); ok && callExempt(pass, call) {
+			continue
+		}
+		pass.Report(lhs.Pos(), "error value of %s is assigned to _", types.ExprString(st.Rhs[i]))
+	}
+}
+
+// isBlank reports whether e is the blank identifier.
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// resultHasError reports whether a call result type includes an error.
+func resultHasError(t types.Type) bool {
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+// calleeFunc resolves the called function object, if it is statically
+// known.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pass.Pkg.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pass.Pkg.TypesInfo.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// calleeName renders the callee for diagnostics.
+func calleeName(pass *Pass, call *ast.CallExpr) string {
+	if fn := calleeFunc(pass, call); fn != nil {
+		return fn.FullName()
+	}
+	return types.ExprString(call.Fun)
+}
+
+// callExempt applies the allowlist to one call.
+func callExempt(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return false
+	}
+	name := fn.FullName()
+	if exemptCallees[name] {
+		return true
+	}
+	if exemptFprint[name] && len(call.Args) > 0 {
+		return fprintDestIgnorable(pass, call.Args[0])
+	}
+	return false
+}
+
+// fprintDestIgnorable reports whether an fmt.Fprint destination cannot
+// meaningfully fail: stdout/stderr, or an in-memory/buffering writer.
+func fprintDestIgnorable(pass *Pass, dest ast.Expr) bool {
+	if sel, ok := ast.Unparen(dest).(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := pass.Pkg.TypesInfo.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "os" {
+				if sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr" {
+					return true
+				}
+			}
+		}
+	}
+	t := pass.Pkg.TypesInfo.TypeOf(dest)
+	if t == nil {
+		return false
+	}
+	return ignorableWriterTypes[types.TypeString(t, nil)]
+}

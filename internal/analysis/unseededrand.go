@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// globalRandFuncs are the math/rand package-level functions backed by
+// the shared global source. Constructors (New, NewSource, NewZipf) and
+// types are deliberately absent: injecting a seeded *rand.Rand is the
+// sanctioned pattern.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "NormFloat64": true,
+	"ExpFloat64": true, "Perm": true, "Shuffle": true, "Seed": true,
+	"Read": true,
+}
+
+// UnseededRand flags uses of math/rand's global RNG in library code.
+// CacheBox's reproduction claims depend on every stochastic component
+// being replayable from an explicit seed; the global source is shared
+// mutable state that silently couples callers and defeats replay.
+func UnseededRand() *Analyzer {
+	a := &Analyzer{
+		Name: "unseeded-rand",
+		Doc:  "flags math/rand global-RNG calls; inject a seeded *rand.Rand instead",
+	}
+	a.Run = func(pass *Pass) {
+		for _, file := range pass.Files() {
+			ast.Inspect(file, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				ident, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pn, ok := pass.Pkg.TypesInfo.Uses[ident].(*types.PkgName)
+				if !ok || pn.Imported().Path() != "math/rand" {
+					return true
+				}
+				if globalRandFuncs[sel.Sel.Name] {
+					pass.Report(sel.Pos(), "use of global math/rand.%s; inject a seeded *rand.Rand for reproducibility", sel.Sel.Name)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}

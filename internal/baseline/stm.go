@@ -75,10 +75,18 @@ func (s *STM) profile(t *trace.Trace, bits uint) stmProfile {
 		c int
 	}
 	var scs []sc
+	//lint:ignore map-range-numeric pair collection is order-independent; the sort below is fully deterministic
 	for st, c := range strideCount {
 		scs = append(scs, sc{st, c})
 	}
-	sort.Slice(scs, func(i, j int) bool { return scs[i].c > scs[j].c })
+	// Tie-break equal counts by stride so the profile (and therefore
+	// the clone) does not depend on map iteration order.
+	sort.Slice(scs, func(i, j int) bool {
+		if scs[i].c != scs[j].c {
+			return scs[i].c > scs[j].c
+		}
+		return scs[i].s < scs[j].s
+	})
 	if len(scs) > 64 {
 		scs = scs[:64] // keep the dominant strides, as STM's tables do
 	}

@@ -67,10 +67,18 @@ func buildCDF(counts map[int64]int, keep int) cdf {
 		c int
 	}
 	var all []dc
+	//lint:ignore map-range-numeric pair collection is order-independent; the sort below is fully deterministic
 	for d, c := range counts {
 		all = append(all, dc{d, c})
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].c > all[j].c })
+	// Tie-break equal counts by delta so the CDF does not depend on map
+	// iteration order.
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].d < all[j].d
+	})
 	if len(all) > keep {
 		all = all[:keep]
 	}
@@ -188,8 +196,13 @@ func (tb *Tabular) Synthesize(t *trace.Trace, cfg cachesim.Config) *trace.Trace 
 		footprint[b] = struct{}{}
 	}
 	cdfs := make(map[int64]cdf, len(tables))
+	fallbackKey, haveFallback := int64(0), false
+	//lint:ignore map-range-numeric populating one map from another is order-independent; the fallback key is minimised deterministically
 	for k, m := range tables {
 		cdfs[k] = buildCDF(m, 128)
+		if !haveFallback || k < fallbackKey {
+			fallbackKey, haveFallback = k, true
+		}
 	}
 	// Generate.
 	rng := rand.New(rand.NewSource(tb.Seed + int64(tb.Variant)*97 + 29))
@@ -201,12 +214,11 @@ func (tb *Tabular) Synthesize(t *trace.Trace, cfg cachesim.Config) *trace.Trace 
 	for i := 0; i < n; i++ {
 		ic += 3
 		key := contextKey(tb.Variant, prevDelta, rb)
+		// An unseen context falls back to the smallest learned key
+		// rather than an arbitrary map element, which changed per run.
 		c, ok := cdfs[key]
-		if !ok {
-			for _, any := range cdfs {
-				c = any
-				break
-			}
+		if !ok && haveFallback {
+			c = cdfs[fallbackKey]
 		}
 		d := c.sample(rng)
 		b := cur + d

@@ -149,6 +149,7 @@ type Cache struct {
 // configuration; use cfg.Validate to check first.
 func New(cfg Config) *Cache {
 	if err := cfg.Validate(); err != nil {
+		//lint:ignore library-panic documented contract: New panics on invalid config, callers pre-check with cfg.Validate
 		panic(err)
 	}
 	if cfg.BlockSize == 0 {
@@ -454,6 +455,7 @@ func (c *Cache) victimWay(s *set) int {
 	case PolicyTreePLRU:
 		return c.plruVictim(s)
 	default:
+		//lint:ignore library-panic unreachable: Validate rejects unknown policies at construction
 		panic(fmt.Sprintf("cachesim: unknown policy %d", c.cfg.Policy))
 	}
 }

@@ -73,15 +73,11 @@ func (c Codec) Encode(m *heatmap.Heatmap) *tensor.Tensor {
 
 // EncodeBatch packs heatmaps into an [N, 1, H, W] tensor.
 func (c Codec) EncodeBatch(ms []*heatmap.Heatmap) *tensor.Tensor {
-	if len(ms) == 0 {
-		panic("core: empty batch")
-	}
+	mustValidShape(len(ms) > 0, "core: empty batch")
 	h, w := ms[0].H, ms[0].W
 	t := tensor.New(len(ms), 1, h, w)
 	for i, m := range ms {
-		if m.H != h || m.W != w {
-			panic("core: mixed heatmap sizes in batch")
-		}
+		mustValidShape(m.H == h && m.W == w, "core: mixed heatmap sizes in batch")
 		enc := c.Encode(m)
 		copy(t.Data[i*h*w:(i+1)*h*w], enc.Data)
 	}

@@ -180,9 +180,7 @@ func (g *Generator) Forward(x, params *tensor.Tensor, train bool) *tensor.Tensor
 	}
 	g.condUsed = false
 	if g.cfg.CondDim > 0 {
-		if params == nil {
-			panic("core: generator requires cache parameters (CondDim > 0)")
-		}
+		mustValidShape(params != nil, "core: generator requires cache parameters (CondDim > 0)")
 		p := params
 		for _, l := range g.mlp {
 			p = l.Forward(p, train)

@@ -1,0 +1,15 @@
+package core
+
+import "fmt"
+
+// mustValidShape is core's registered invariant helper (allowlisted by
+// cbx-lint's library-panic analyzer): it panics with the formatted
+// message when ok is false. It guards batch/conditioning shape
+// contracts that only a programming error can violate — a dataset
+// builder emitting mismatched parameter vectors or mixed heatmap
+// sizes — where limping on would corrupt training silently.
+func mustValidShape(ok bool, format string, args ...any) {
+	if !ok {
+		panic(fmt.Sprintf(format, args...))
+	}
+}

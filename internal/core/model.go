@@ -66,9 +66,8 @@ func (m *Model) paramsTensor(batch []Sample) *tensor.Tensor {
 	}
 	p := tensor.New(len(batch), m.Cfg.CondDim)
 	for i, s := range batch {
-		if len(s.Params) != m.Cfg.CondDim {
-			panic(fmt.Sprintf("core: sample has %d params, model expects %d", len(s.Params), m.Cfg.CondDim))
-		}
+		mustValidShape(len(s.Params) == m.Cfg.CondDim,
+			"core: sample has %d params, model expects %d", len(s.Params), m.Cfg.CondDim)
 		copy(p.Data[i*m.Cfg.CondDim:], s.Params)
 	}
 	return p
@@ -93,9 +92,8 @@ func (m *Model) Predict(access []*heatmap.Heatmap, params []float32, batchSize i
 		x := m.CodecX.EncodeBatch(chunk)
 		var p *tensor.Tensor
 		if m.Cfg.CondDim > 0 {
-			if len(params) != m.Cfg.CondDim {
-				panic(fmt.Sprintf("core: %d params, model expects %d", len(params), m.Cfg.CondDim))
-			}
+			mustValidShape(len(params) == m.Cfg.CondDim,
+				"core: %d params, model expects %d", len(params), m.Cfg.CondDim)
 			p = tensor.New(len(chunk), m.Cfg.CondDim)
 			for i := 0; i < len(chunk); i++ {
 				copy(p.Data[i*m.Cfg.CondDim:], params)
@@ -176,6 +174,7 @@ func (m *Model) SaveFile(path string) error {
 	if err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
+	//lint:ignore unchecked-error cleanup for early returns; the success path checks the explicit Close below
 	defer f.Close()
 	if err := m.Save(f); err != nil {
 		return err
@@ -189,6 +188,7 @@ func LoadFile(path string) (*Model, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	//lint:ignore unchecked-error read-only file; a Close failure cannot lose data
 	defer f.Close()
 	return Load(f)
 }

@@ -106,6 +106,7 @@ func (m *Model) Train(samples []Sample, opt TrainOptions) (*TrainStats, error) {
 		}
 		stats.Epochs = append(stats.Epochs, es)
 		if opt.Log != nil {
+			//lint:ignore unchecked-error progress logging; a failing log writer must not abort training
 			fmt.Fprintf(opt.Log, "epoch %d: D=%.4f Gadv=%.4f L1=%.4f (batches=%d skipped=%d)\n",
 				epoch, es.DLoss, es.GAdv, es.GL1, es.Batches, es.Skipped)
 		}

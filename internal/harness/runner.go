@@ -73,6 +73,7 @@ func NewRunner(scale Scale, artifactsDir string, out io.Writer) *Runner {
 }
 
 func (r *Runner) logf(format string, args ...any) {
+	//lint:ignore unchecked-error progress logging; a failing log writer must not abort an experiment run
 	fmt.Fprintf(r.Out, format, args...)
 }
 

@@ -40,6 +40,7 @@ func WritePNG(path string, m *Heatmap) error {
 	if err != nil {
 		return fmt.Errorf("heatmap: %w", err)
 	}
+	//lint:ignore unchecked-error cleanup for early returns; the success path checks the explicit Close below
 	defer f.Close()
 	if err := EncodePNG(f, m); err != nil {
 		return fmt.Errorf("heatmap: encode %s: %w", path, err)
@@ -95,6 +96,7 @@ func WriteDiffPNG(path string, pred, real *Heatmap) error {
 	if err != nil {
 		return fmt.Errorf("heatmap: %w", err)
 	}
+	//lint:ignore unchecked-error cleanup for early returns; the success path checks the explicit Close below
 	defer f.Close()
 	if err := EncodeDiffPNG(f, pred, real); err != nil {
 		return fmt.Errorf("heatmap: encode %s: %w", path, err)

@@ -76,9 +76,7 @@ func (l *InstanceNorm2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (l *InstanceNorm2d) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	if l.xhat == nil {
-		panic("nn: InstanceNorm2d.Backward without Forward")
-	}
+	mustValidShape(l.xhat != nil, "nn: InstanceNorm2d.Backward without Forward")
 	n, hw := l.n, l.hw
 	dx := tensor.New(dy.Shape...)
 	m := float64(hw)

@@ -84,7 +84,19 @@ func ZeroGrads(params []*Param) {
 // InitConv fills w with the Pix2Pix initialisation N(0, 0.02).
 func InitConv(rng *rand.Rand, w *tensor.Tensor) { w.RandNormal(rng, 0, 0.02) }
 
-// checkShape panics with a helpful message when dims mismatch.
+// mustValidShape is nn's registered invariant helper (allowlisted by
+// cbx-lint's library-panic analyzer, like tensor's helper of the same
+// name): it panics with the formatted message when ok is false. Use it
+// for programmer-error invariants — size mismatches, Backward before
+// Forward — that returning an error would only defer to a worse crash.
+func mustValidShape(ok bool, format string, args ...any) {
+	if !ok {
+		panic(fmt.Sprintf(format, args...))
+	}
+}
+
+// checkShape panics with a helpful message when dims mismatch. It is
+// the second registered invariant helper the linter allowlists.
 func checkShape(what string, got []int, want ...int) {
 	ok := len(got) == len(want)
 	if ok {

@@ -11,9 +11,7 @@ import (
 // and the gradient with respect to z. This is the GAN adversarial loss
 // (paper Eq. 2) applied to the PatchGAN's truth map.
 func BCEWithLogits(z, t *tensor.Tensor) (loss float64, dz *tensor.Tensor) {
-	if z.Len() != t.Len() {
-		panic("nn: BCEWithLogits size mismatch")
-	}
+	mustValidShape(z.Len() == t.Len(), "nn: BCEWithLogits size mismatch")
 	dz = tensor.New(z.Shape...)
 	n := float64(z.Len())
 	for i, zi := range z.Data {
@@ -30,9 +28,7 @@ func BCEWithLogits(z, t *tensor.Tensor) (loss float64, dz *tensor.Tensor) {
 // L1Loss computes mean |a-b| and the gradient with respect to a — the
 // reconstruction term of the CB-GAN objective (paper Eq. 1).
 func L1Loss(a, b *tensor.Tensor) (loss float64, da *tensor.Tensor) {
-	if a.Len() != b.Len() {
-		panic("nn: L1Loss size mismatch")
-	}
+	mustValidShape(a.Len() == b.Len(), "nn: L1Loss size mismatch")
 	da = tensor.New(a.Shape...)
 	n := float64(a.Len())
 	for i, av := range a.Data {
@@ -51,9 +47,7 @@ func L1Loss(a, b *tensor.Tensor) (loss float64, da *tensor.Tensor) {
 // MSELoss computes mean squared error and the gradient with respect to
 // a (used in evaluation and ablations).
 func MSELoss(a, b *tensor.Tensor) (loss float64, da *tensor.Tensor) {
-	if a.Len() != b.Len() {
-		panic("nn: MSELoss size mismatch")
-	}
+	mustValidShape(a.Len() == b.Len(), "nn: MSELoss size mismatch")
 	da = tensor.New(a.Shape...)
 	n := float64(a.Len())
 	for i, av := range a.Data {

@@ -102,9 +102,7 @@ func (b *BatchNorm2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward implements Layer (training mode only).
 func (b *BatchNorm2d) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	if b.xhat == nil {
-		panic("nn: BatchNorm2d.Backward without a training Forward")
-	}
+	mustValidShape(b.xhat != nil, "nn: BatchNorm2d.Backward without a training Forward")
 	n, hw := b.n, b.hw
 	checkShape("BatchNorm2d grad", dy.Shape, n, b.C, -1, -1)
 	dx := tensor.New(dy.Shape...)

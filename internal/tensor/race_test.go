@@ -1,0 +1,71 @@
+package tensor
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestGemmConcurrentCallers drives the Gemm worker fan-out from many
+// goroutines at once under `go test -race`. The inputs are shared
+// read-only across callers while each caller owns its output buffer —
+// exactly the contract the parallel row-band kernel must uphold. The
+// [96,48,64] operand sizes keep m*n*k above the 1<<16 parallel
+// threshold so the sync.WaitGroup path is exercised, not the serial
+// fallback.
+func TestGemmConcurrentCallers(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randT(rng, 96, 48)
+	b := randT(rng, 48, 64)
+	want := naiveMatMul(a, b)
+
+	const callers = 8
+	results := make([]*Tensor, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = MatMul(a, b)
+		}(i)
+	}
+	wg.Wait()
+	for i, got := range results {
+		if got == nil {
+			t.Fatalf("caller %d produced no result", i)
+		}
+		tensorsClose(t, got, want, 1e-3)
+	}
+}
+
+// TestGemmConcurrentAccumulate checks the accumulate=true path under
+// the same contention: each caller repeatedly accumulates into its own
+// buffer while sharing the operands.
+func TestGemmConcurrentAccumulate(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := randT(rng, 80, 40)
+	b := randT(rng, 40, 64)
+	base := naiveMatMul(a, b)
+	want := New(80, 64)
+	for i := range want.Data {
+		want.Data[i] = 2 * base.Data[i]
+	}
+
+	const callers = 6
+	results := make([]*Tensor, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := New(80, 64)
+			MatMulInto(c, a, b, false)
+			MatMulInto(c, a, b, true) // accumulate a second product
+			results[i] = c
+		}(i)
+	}
+	wg.Wait()
+	for _, got := range results {
+		tensorsClose(t, got, want, 2e-3)
+	}
+}

@@ -19,13 +19,23 @@ type Tensor struct {
 	Data  []float32
 }
 
+// mustValidShape is the package's single registered invariant helper:
+// every deliberate crash point in tensor funnels through it, and
+// cbx-lint's library-panic analyzer allowlists it by name. It panics
+// with the formatted message when ok is false. Shape mismatches here
+// are programmer errors (a malformed network graph), not runtime
+// conditions a caller could recover from.
+func mustValidShape(ok bool, format string, args ...any) {
+	if !ok {
+		panic(fmt.Sprintf(format, args...))
+	}
+}
+
 // numel returns the element count implied by shape.
 func numel(shape []int) int {
 	n := 1
 	for _, d := range shape {
-		if d < 0 {
-			panic(fmt.Sprintf("tensor: negative dimension in %v", shape))
-		}
+		mustValidShape(d >= 0, "tensor: negative dimension in %v", shape)
 		n *= d
 	}
 	return n
@@ -39,9 +49,7 @@ func New(shape ...int) *Tensor {
 // FromSlice wraps data (without copying) in a tensor of the given
 // shape; the lengths must agree.
 func FromSlice(data []float32, shape ...int) *Tensor {
-	if len(data) != numel(shape) {
-		panic(fmt.Sprintf("tensor: %d elements cannot take shape %v", len(data), shape))
-	}
+	mustValidShape(len(data) == numel(shape), "tensor: %d elements cannot take shape %v", len(data), shape)
 	return &Tensor{Shape: append([]int(nil), shape...), Data: data}
 }
 
@@ -59,23 +67,18 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 	known := 1
 	for i, d := range out {
 		if d == -1 {
-			if infer >= 0 {
-				panic("tensor: multiple inferred dimensions")
-			}
+			mustValidShape(infer < 0, "tensor: multiple inferred dimensions")
 			infer = i
 		} else {
 			known *= d
 		}
 	}
 	if infer >= 0 {
-		if known == 0 || len(t.Data)%known != 0 {
-			panic(fmt.Sprintf("tensor: cannot infer dimension reshaping %v to %v", t.Shape, shape))
-		}
+		mustValidShape(known != 0 && len(t.Data)%known == 0,
+			"tensor: cannot infer dimension reshaping %v to %v", t.Shape, shape)
 		out[infer] = len(t.Data) / known
 	}
-	if numel(out) != len(t.Data) {
-		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", t.Shape, shape))
-	}
+	mustValidShape(numel(out) == len(t.Data), "tensor: cannot reshape %v to %v", t.Shape, shape)
 	return &Tensor{Shape: out, Data: t.Data}
 }
 
@@ -102,9 +105,7 @@ func (t *Tensor) Fill(v float32) {
 
 // AddInPlace accumulates o into t elementwise.
 func (t *Tensor) AddInPlace(o *Tensor) {
-	if len(t.Data) != len(o.Data) {
-		panic("tensor: AddInPlace size mismatch")
-	}
+	mustValidShape(len(t.Data) == len(o.Data), "tensor: AddInPlace size mismatch")
 	for i, v := range o.Data {
 		t.Data[i] += v
 	}
@@ -161,9 +162,8 @@ func (t *Tensor) IsFinite() bool {
 // [m,n] tensor. The kernel is cache-blocked over k and parallelised
 // over row bands when multiple CPUs are available.
 func MatMul(a, b *Tensor) *Tensor {
-	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[0] {
-		panic(fmt.Sprintf("tensor: MatMul shapes %v x %v", a.Shape, b.Shape))
-	}
+	mustValidShape(len(a.Shape) == 2 && len(b.Shape) == 2 && a.Shape[1] == b.Shape[0],
+		"tensor: MatMul shapes %v x %v", a.Shape, b.Shape)
 	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
 	c := New(m, n)
 	Gemm(c.Data, a.Data, b.Data, m, k, n, false)
@@ -173,13 +173,11 @@ func MatMul(a, b *Tensor) *Tensor {
 // MatMulInto computes C += A×B (accumulate=true) or C = A×B into an
 // existing buffer, avoiding allocation in hot loops.
 func MatMulInto(c, a, b *Tensor, accumulate bool) {
-	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[0] {
-		panic(fmt.Sprintf("tensor: MatMulInto shapes %v x %v", a.Shape, b.Shape))
-	}
+	mustValidShape(len(a.Shape) == 2 && len(b.Shape) == 2 && a.Shape[1] == b.Shape[0],
+		"tensor: MatMulInto shapes %v x %v", a.Shape, b.Shape)
 	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
-	if c.Shape[0] != m || c.Shape[1] != n {
-		panic(fmt.Sprintf("tensor: MatMulInto output shape %v, want [%d %d]", c.Shape, m, n))
-	}
+	mustValidShape(c.Shape[0] == m && c.Shape[1] == n,
+		"tensor: MatMulInto output shape %v, want [%d %d]", c.Shape, m, n)
 	Gemm(c.Data, a.Data, b.Data, m, k, n, accumulate)
 }
 
@@ -236,9 +234,8 @@ func gemmRows(c, a, b []float32, lo, hi, k, n int) {
 // MatMulATB computes C = Aᵀ×B for A [k,m], B [k,n] → C [m,n], used for
 // weight gradients without materialising transposes.
 func MatMulATB(a, b *Tensor) *Tensor {
-	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[0] != b.Shape[0] {
-		panic(fmt.Sprintf("tensor: MatMulATB shapes %v x %v", a.Shape, b.Shape))
-	}
+	mustValidShape(len(a.Shape) == 2 && len(b.Shape) == 2 && a.Shape[0] == b.Shape[0],
+		"tensor: MatMulATB shapes %v x %v", a.Shape, b.Shape)
 	k, m, n := a.Shape[0], a.Shape[1], b.Shape[1]
 	c := New(m, n)
 	// C[i,j] = sum_p A[p,i]*B[p,j]: accumulate rank-1 updates.
@@ -260,9 +257,8 @@ func MatMulATB(a, b *Tensor) *Tensor {
 
 // MatMulABT computes C = A×Bᵀ for A [m,k], B [n,k] → C [m,n].
 func MatMulABT(a, b *Tensor) *Tensor {
-	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[1] {
-		panic(fmt.Sprintf("tensor: MatMulABT shapes %v x %v", a.Shape, b.Shape))
-	}
+	mustValidShape(len(a.Shape) == 2 && len(b.Shape) == 2 && a.Shape[1] == b.Shape[1],
+		"tensor: MatMulABT shapes %v x %v", a.Shape, b.Shape)
 	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
 	c := New(m, n)
 	for i := 0; i < m; i++ {
@@ -282,9 +278,7 @@ func MatMulABT(a, b *Tensor) *Tensor {
 
 // Transpose returns Aᵀ for a 2-D tensor.
 func Transpose(a *Tensor) *Tensor {
-	if len(a.Shape) != 2 {
-		panic("tensor: Transpose needs 2-D")
-	}
+	mustValidShape(len(a.Shape) == 2, "tensor: Transpose needs 2-D")
 	m, n := a.Shape[0], a.Shape[1]
 	t := New(n, m)
 	for i := 0; i < m; i++ {
