@@ -18,6 +18,7 @@ import (
 	"cachebox/internal/core"
 	"cachebox/internal/heatmap"
 	"cachebox/internal/metrics"
+	"cachebox/internal/serve"
 	"cachebox/internal/simpoint"
 	"cachebox/internal/trace"
 	"cachebox/internal/workload"
@@ -71,6 +72,27 @@ type (
 	// CostModel holds per-level latency/energy costs for AMAT and
 	// energy roll-ups.
 	CostModel = cachesim.CostModel
+	// InferenceServer is the batched CB-GAN inference HTTP service
+	// (model registry + dynamic micro-batcher + backpressure).
+	InferenceServer = serve.Server
+	// ServeConfig tunes the inference service (batch size, wait
+	// deadline, queue depth, timeouts).
+	ServeConfig = serve.Config
+	// ModelRegistry is a thread-safe name → model table, optionally
+	// backed by a hot-reloadable directory of model files.
+	ModelRegistry = serve.Registry
+	// PredictRequest is the /v1/predict JSON request body.
+	PredictRequest = serve.PredictRequest
+	// PredictResponse is the /v1/predict JSON response body.
+	PredictResponse = serve.PredictResponse
+	// HeatmapJSON is the wire form of a heatmap.
+	HeatmapJSON = serve.HeatmapJSON
+	// ModelInfo describes one model loaded in a registry.
+	ModelInfo = serve.ModelInfo
+	// ReloadSummary reports what a registry hot reload changed.
+	ReloadSummary = serve.ReloadSummary
+	// ModelHeaderError describes a rejected model file header.
+	ModelHeaderError = core.HeaderError
 )
 
 // Workload suite constructors.
@@ -151,4 +173,29 @@ var (
 	// UsageFromRates derives hierarchy usage from predicted per-level
 	// miss rates (the CB-GAN output form).
 	UsageFromRates = cachesim.UsageFromRates
+)
+
+// Serving constructors and errors.
+var (
+	// NewInferenceServer wires the batched inference service around a
+	// model registry.
+	NewInferenceServer = serve.New
+	// NewModelRegistry scans a directory of model files (strict: every
+	// file must load).
+	NewModelRegistry = serve.NewRegistry
+	// NewStaticModelRegistry wraps one in-memory model.
+	NewStaticModelRegistry = serve.NewStaticRegistry
+	// ReadModelHeader validates a serialised model's architecture
+	// header without restoring its weights.
+	ReadModelHeader = core.ReadHeader
+	// ReadModelFileHeader is ReadModelHeader for a file path.
+	ReadModelFileHeader = core.ReadFileHeader
+	// ErrBadModelHeader matches (errors.Is) any model-header rejection.
+	ErrBadModelHeader = core.ErrBadHeader
+	// ErrModelQueueFull is the backpressure rejection of the inference
+	// service (HTTP 429).
+	ErrModelQueueFull = serve.ErrQueueFull
+	// ErrUnknownModel is the inference service's unknown-model error
+	// (HTTP 404).
+	ErrUnknownModel = serve.ErrUnknownModel
 )

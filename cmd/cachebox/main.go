@@ -272,18 +272,66 @@ func cmdHeatmap(args []string) error {
 	return nil
 }
 
+// tinyModelConfig shrinks the CB-GAN for smoke tests: a 16×16 image
+// with minimal channel counts trains in seconds on one core.
+func tinyModelConfig() cachebox.ModelConfig {
+	c := cachebox.DefaultModelConfig()
+	c.ImageSize = 16
+	c.NGF = 2
+	c.NDF = 2
+	c.DLayers = 1
+	c.CondHidden = 4
+	c.CondChannels = 2
+	return c
+}
+
 func cmdTrain(args []string) error {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
 	out := fs.String("o", "model.cbgan", "output model file")
+	saveModel := fs.String("save-model", "", "output model file (overrides -o; use to export into a cbx-serve registry dir)")
+	loadModel := fs.String("load-model", "", "warm-start from an existing model instead of initialising fresh; with -epochs 0 the model is re-exported without training")
+	tiny := fs.Bool("tiny", false, "use a miniature model and heatmap geometry (fast smoke-test models)")
 	cfgStr := fs.String("cache", "64set-12way", "comma-separated cache geometries to train on")
-	epochs := fs.Int("epochs", 50, "training epochs")
+	epochs := fs.Int("epochs", 50, "training epochs (0 with -load-model: re-export only)")
 	batch := fs.Int("batch", 8, "batch size")
 	ops := fs.Int("ops", 120000, "accesses per benchmark")
 	scale := fs.Float64("suite-scale", 0.25, "problem-size scale")
 	seed := fs.Int64("seed", 42, "train/test split seed")
+	maxBenches := fs.Int("max-benches", 0, "cap the number of training benchmarks (0 = all)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	path := *out
+	if *saveModel != "" {
+		path = *saveModel
+	}
+
+	var m *cachebox.Model
+	var err error
+	if *loadModel != "" {
+		if m, err = cachebox.LoadModelFile(*loadModel); err != nil {
+			return err
+		}
+	} else {
+		mc := cachebox.DefaultModelConfig()
+		if *tiny {
+			mc = tinyModelConfig()
+		}
+		if m, err = cachebox.NewModel(mc); err != nil {
+			return err
+		}
+	}
+	// Re-export path: -epochs 0 skips dataset building and training
+	// entirely, so a trained model can be copied into a serving registry
+	// (or a fresh tiny model materialised) without a training run.
+	if *epochs <= 0 {
+		if err := m.SaveFile(path); err != nil {
+			return err
+		}
+		fmt.Printf("saved model to %s (no training)\n", path)
+		return nil
+	}
+
 	var cfgs []cachesim.Config
 	for _, s := range strings.Split(*cfgStr, ",") {
 		cfg, err := parseCacheConfig(strings.TrimSpace(s))
@@ -294,13 +342,18 @@ func cmdTrain(args []string) error {
 	}
 	benches := allBenches(*ops, *scale)
 	train, _ := cachebox.SplitBenchmarks(benches, 0.8, *seed)
+	if *maxBenches > 0 && len(train) > *maxBenches {
+		train = train[:*maxBenches]
+	}
 	p := cachebox.NewPipeline()
 	p.MaxPairsPerBench = 24
-	ds, err := p.Dataset(train, cfgs, 0.65)
-	if err != nil {
-		return err
+	if *tiny {
+		// Match the heatmap geometry to the miniature model and shrink
+		// the window so short traces still yield training pairs.
+		p.Heatmap = cachebox.HeatmapConfig{Height: 16, Width: 16, WindowInstr: 40, Overlap: 0.30, AddrShift: 6}
+		p.MaxPairsPerBench = 8
 	}
-	m, err := cachebox.NewModel(cachebox.DefaultModelConfig())
+	ds, err := p.Dataset(train, cfgs, 0.65)
 	if err != nil {
 		return err
 	}
@@ -308,10 +361,10 @@ func cmdTrain(args []string) error {
 	if _, err := m.Train(ds, cachebox.TrainOptions{Epochs: *epochs, BatchSize: *batch, Seed: 1, Log: os.Stdout}); err != nil {
 		return err
 	}
-	if err := m.SaveFile(*out); err != nil {
+	if err := m.SaveFile(path); err != nil {
 		return err
 	}
-	fmt.Printf("saved model to %s\n", *out)
+	fmt.Printf("saved model to %s\n", path)
 	return nil
 }
 

@@ -1,0 +1,227 @@
+// Command cbx-serve runs the CacheBox batched-inference HTTP service:
+// a model registry of trained CB-GAN files plus a dynamic micro-batcher
+// that coalesces concurrent predictions into batched generator forward
+// passes.
+//
+// Serve a directory of models (hot-reloadable via POST /admin/reload):
+//
+//	cbx-serve -models ./models -addr :8080
+//
+// Serve a single model file (static registry, name "default"):
+//
+//	cbx-serve -model model.cbgan
+//
+// Run as a one-shot smoke-test client against a live server and exit:
+//
+//	cbx-serve -smoke http://127.0.0.1:8080
+//
+// Endpoints: POST /v1/predict, GET /v1/models, POST /admin/reload,
+// GET /healthz, GET /metrics (Prometheus text format).
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cachebox/internal/core"
+	"cachebox/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	modelsDir := flag.String("models", "", "directory of *"+serve.ModelExt+" model files (hot-reloadable)")
+	modelFile := flag.String("model", "", "single model file (static registry, served as \"default\")")
+	maxBatch := flag.Int("max-batch", 16, "max coalesced requests per forward pass")
+	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "max wait for a batch to fill before flushing")
+	queueDepth := flag.Int("queue", 256, "bounded queue depth (full queue returns 429)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request queue+inference timeout")
+	workers := flag.Int("workers", 1, "batch-collection workers")
+	drainWait := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
+	smoke := flag.String("smoke", "", "run as a smoke-test client against this base URL and exit")
+	flag.Parse()
+
+	if *smoke != "" {
+		if err := runSmoke(*smoke); err != nil {
+			fmt.Fprintln(os.Stderr, "cbx-serve: smoke:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	reg, err := buildRegistry(*modelsDir, *modelFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cbx-serve:", err)
+		os.Exit(1)
+	}
+	s := serve.New(reg, serve.Config{
+		MaxBatch:       *maxBatch,
+		MaxWait:        *maxWait,
+		QueueDepth:     *queueDepth,
+		RequestTimeout: *timeout,
+		Workers:        *workers,
+	})
+	hs := &http.Server{Addr: *addr, Handler: s}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("cbx-serve: listening on %s, %d model(s) loaded", *addr, reg.Len())
+
+	select {
+	case <-ctx.Done():
+		// First stop the listener so handlers finish receiving results,
+		// then drain the batcher so every accepted request is answered.
+		log.Printf("cbx-serve: signal received, draining")
+		sctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			log.Printf("cbx-serve: shutdown: %v", err)
+		}
+		s.Close()
+		log.Printf("cbx-serve: drained")
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "cbx-serve:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// buildRegistry resolves the -models / -model flags.
+func buildRegistry(dir, file string) (*serve.Registry, error) {
+	switch {
+	case dir != "" && file != "":
+		return nil, fmt.Errorf("use -models or -model, not both")
+	case dir != "":
+		return serve.NewRegistry(dir)
+	case file != "":
+		m, err := core.LoadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		return serve.NewStaticRegistry("default", m), nil
+	default:
+		return nil, fmt.Errorf("need -models <dir> or -model <file> (or -smoke <url>)")
+	}
+}
+
+// runSmoke exercises a live server end to end: wait for /healthz,
+// discover a model via /v1/models, issue one prediction, and confirm
+// the metrics endpoint is exposing. Used by CI as a deployment check.
+func runSmoke(base string) error {
+	if err := waitHealthy(base, 10*time.Second); err != nil {
+		return err
+	}
+	code, body, err := fetch(http.MethodGet, base+"/v1/models", nil)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("GET /v1/models: status %d: %s", code, body)
+	}
+	var infos []serve.ModelInfo
+	if err := json.Unmarshal(body, &infos); err != nil {
+		return fmt.Errorf("decode /v1/models: %w", err)
+	}
+	if len(infos) == 0 {
+		return fmt.Errorf("server reports no models")
+	}
+	info := infos[0]
+
+	size := info.ImageSize
+	pix := make([]float32, size*size)
+	for i := range pix {
+		pix[i] = float32((i*7)%23) / 2
+	}
+	req, err := json.Marshal(serve.PredictRequest{
+		Model:  info.Name,
+		Access: serve.HeatmapJSON{H: size, W: size, Pix: pix},
+		Sets:   64,
+		Ways:   12,
+	})
+	if err != nil {
+		return err
+	}
+	code, body, err = fetch(http.MethodPost, base+"/v1/predict", req)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("POST /v1/predict: status %d: %s", code, body)
+	}
+	var pr serve.PredictResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		return fmt.Errorf("decode /v1/predict: %w", err)
+	}
+	if pr.Miss.H != size || pr.Miss.W != size || len(pr.Miss.Pix) != size*size {
+		return fmt.Errorf("miss heatmap shape %dx%d/%d, want %dx%d", pr.Miss.H, pr.Miss.W, len(pr.Miss.Pix), size, size)
+	}
+	if pr.HitRate < 0 || pr.HitRate > 1 {
+		return fmt.Errorf("hit rate %v out of [0,1]", pr.HitRate)
+	}
+	code, body, err = fetch(http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK || !bytes.Contains(body, []byte("cbx_serve_requests_total")) {
+		return fmt.Errorf("GET /metrics: status %d, request counter missing", code)
+	}
+	fmt.Printf("smoke ok: model %q (%dx%d) hit-rate %.4f batch %d\n",
+		pr.Model, size, size, pr.HitRate, pr.BatchSize)
+	return nil
+}
+
+// waitHealthy polls /healthz until it returns 200 or the budget runs
+// out, so the smoke client can start before the server finishes booting.
+func waitHealthy(base string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for {
+		code, _, err := fetch(http.MethodGet, base+"/healthz", nil)
+		if err == nil && code == http.StatusOK {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("server never became healthy: %w", err)
+			}
+			return fmt.Errorf("server never became healthy: /healthz status %d", code)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// fetch issues one HTTP request and returns status + body.
+func fetch(method, url string, body []byte) (int, []byte, error) {
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	if method == http.MethodPost {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	data, rerr := io.ReadAll(resp.Body)
+	cerr := resp.Body.Close()
+	if rerr != nil {
+		return 0, nil, rerr
+	}
+	if cerr != nil {
+		return 0, nil, cerr
+	}
+	return resp.StatusCode, data, nil
+}

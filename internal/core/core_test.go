@@ -2,8 +2,11 @@ package core
 
 import (
 	"bytes"
+	"encoding/gob"
+	"errors"
 	"math"
 	"math/rand"
+	"os"
 	"testing"
 
 	"cachebox/internal/cachesim"
@@ -373,8 +376,118 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 }
 
 func TestLoadRejectsGarbage(t *testing.T) {
-	if _, err := Load(bytes.NewReader([]byte("not a model"))); err == nil {
+	_, err := Load(bytes.NewReader([]byte("not a model")))
+	if err == nil {
 		t.Fatal("garbage accepted")
+	}
+	if !errors.Is(err, ErrBadHeader) {
+		t.Fatalf("garbage error %v does not unwrap to ErrBadHeader", err)
+	}
+}
+
+func TestLoadHeaderTypedErrors(t *testing.T) {
+	encode := func(h modelHeader) *bytes.Reader {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(h); err != nil {
+			t.Fatal(err)
+		}
+		return bytes.NewReader(buf.Bytes())
+	}
+	cases := []struct {
+		name string
+		h    modelHeader
+	}{
+		{"wrong magic", modelHeader{Magic: "notgan", Version: 1, Cfg: tinyConfig()}},
+		{"wrong version", modelHeader{Magic: "cbgan", Version: 99, Cfg: tinyConfig()}},
+		{"invalid config", modelHeader{Magic: "cbgan", Version: 1, Cfg: Config{ImageSize: 48}}},
+	}
+	for _, tc := range cases {
+		_, err := Load(encode(tc.h))
+		if err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+		var he *HeaderError
+		if !errors.As(err, &he) {
+			t.Fatalf("%s: error %v is not a *HeaderError", tc.name, err)
+		}
+		if !errors.Is(err, ErrBadHeader) {
+			t.Fatalf("%s: error %v does not unwrap to ErrBadHeader", tc.name, err)
+		}
+	}
+}
+
+func TestReadFileHeader(t *testing.T) {
+	m, _ := NewModel(tinyConfig())
+	dir := t.TempDir()
+	path := dir + "/m.cbgan"
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := ReadFileHeader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ImageSize != m.Cfg.ImageSize || cfg.CondDim != m.Cfg.CondDim {
+		t.Fatalf("header config %+v does not match model config", cfg)
+	}
+	bad := dir + "/bad.cbgan"
+	if err := os.WriteFile(bad, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFileHeader(bad); !errors.Is(err, ErrBadHeader) {
+		t.Fatalf("junk file error %v does not unwrap to ErrBadHeader", err)
+	}
+}
+
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	m, _ := NewModel(tinyConfig())
+	rng := rand.New(rand.NewSource(11))
+	samples := makeToySamples(6, rng, 16)
+	var acc []*heatmap.Heatmap
+	for _, s := range samples[:4] {
+		acc = append(acc, s.Access)
+	}
+	p := []float32{0.375, 0.4}
+	want := m.Predict(acc, p, len(acc))
+	perImage := make([][]float32, len(acc))
+	for i := range perImage {
+		perImage[i] = p
+	}
+	got, err := m.PredictBatch(acc, perImage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d images, want %d", len(got), len(want))
+	}
+	for i := range want {
+		for j := range want[i].Pix {
+			if want[i].Pix[j] != got[i].Pix[j] {
+				t.Fatalf("image %d pixel %d: %v vs %v", i, j, want[i].Pix[j], got[i].Pix[j])
+			}
+		}
+	}
+}
+
+func TestPredictBatchValidation(t *testing.T) {
+	m, _ := NewModel(tinyConfig())
+	good := heatmap.NewHeatmap("a", 16, 16)
+	p := []float32{0.375, 0.4}
+	if _, err := m.PredictBatch(nil, nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if _, err := m.PredictBatch([]*heatmap.Heatmap{good}, nil); err == nil {
+		t.Fatal("missing params accepted")
+	}
+	if _, err := m.PredictBatch([]*heatmap.Heatmap{nil}, [][]float32{p}); err == nil {
+		t.Fatal("nil heatmap accepted")
+	}
+	wrong := heatmap.NewHeatmap("b", 8, 8)
+	if _, err := m.PredictBatch([]*heatmap.Heatmap{wrong}, [][]float32{p}); err == nil {
+		t.Fatal("wrong image size accepted")
+	}
+	if _, err := m.PredictBatch([]*heatmap.Heatmap{good}, [][]float32{{0.5}}); err == nil {
+		t.Fatal("wrong param arity accepted")
 	}
 }
 

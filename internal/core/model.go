@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -110,6 +111,56 @@ func (m *Model) Predict(access []*heatmap.Heatmap, params []float32, batchSize i
 	return out
 }
 
+// PredictBatch runs one batched generator forward pass with per-image
+// cache parameters — the serving layer's micro-batching hook. Unlike
+// Predict, which chunks a long slice under a single parameter vector,
+// PredictBatch treats the whole slice as one batch and pairs access[i]
+// with params[i], so concurrent requests simulated under different
+// cache geometries still coalesce into the same folded GEMM. All
+// validation failures come back as errors (never panics) so a serving
+// layer can map them to clean 4xx responses.
+//
+// The forward pass caches activations inside the generator, so
+// PredictBatch is not safe for concurrent use on one Model; callers
+// that share a model across goroutines must serialise calls.
+func (m *Model) PredictBatch(access []*heatmap.Heatmap, params [][]float32) ([]*heatmap.Heatmap, error) {
+	if len(access) == 0 {
+		return nil, fmt.Errorf("core: empty prediction batch")
+	}
+	if m.Cfg.CondDim > 0 && len(params) != len(access) {
+		return nil, fmt.Errorf("core: %d access images but %d parameter vectors", len(access), len(params))
+	}
+	s := m.Cfg.ImageSize
+	for i, hm := range access {
+		if hm == nil {
+			return nil, fmt.Errorf("core: nil access heatmap at index %d", i)
+		}
+		if hm.H != s || hm.W != s {
+			return nil, fmt.Errorf("core: image %d is %dx%d, model expects %dx%d", i, hm.H, hm.W, s, s)
+		}
+		if m.Cfg.CondDim > 0 && len(params[i]) != m.Cfg.CondDim {
+			return nil, fmt.Errorf("core: image %d has %d cache parameters, model expects %d",
+				i, len(params[i]), m.Cfg.CondDim)
+		}
+	}
+	x := m.CodecX.EncodeBatch(access)
+	var p *tensor.Tensor
+	if m.Cfg.CondDim > 0 {
+		p = tensor.New(len(access), m.Cfg.CondDim)
+		for i := range access {
+			copy(p.Data[i*m.Cfg.CondDim:], params[i])
+		}
+	}
+	y := m.G.Forward(x, p, false)
+	out := m.CodecY.DecodeBatch("synthetic", y)
+	for i, hm := range out {
+		hm.Name = access[i].Name + ".synthetic"
+		hm.Index = access[i].Index
+		hm.StartCol = access[i].StartCol
+	}
+	return out, nil
+}
+
 // allState returns every tensor to serialise: generator and
 // discriminator weights plus batch-norm running statistics.
 func (m *Model) allState() []*nn.Param {
@@ -128,6 +179,71 @@ type modelHeader struct {
 	Cfg     Config
 }
 
+// ErrBadHeader marks any failure to read or validate a model file's
+// architecture header: not a CB-GAN file, an unsupported version, or a
+// config that fails validation. Callers (notably the serving layer)
+// test with errors.Is to distinguish "bad model file" from I/O or
+// weight-restore failures.
+var ErrBadHeader = errors.New("core: invalid model header")
+
+// HeaderError carries the details of a rejected architecture header.
+// It unwraps to ErrBadHeader.
+type HeaderError struct {
+	// Magic and Version are the values found in the file (zero when the
+	// header could not be decoded at all).
+	Magic   string
+	Version int
+	// Reason says what was wrong.
+	Reason string
+}
+
+func (e *HeaderError) Error() string {
+	return fmt.Sprintf("core: invalid model header: %s", e.Reason)
+}
+
+func (e *HeaderError) Unwrap() error { return ErrBadHeader }
+
+// readHeader decodes and validates the architecture header, leaving
+// dec positioned at the weight blobs.
+func readHeader(dec *gob.Decoder) (modelHeader, error) {
+	var h modelHeader
+	if err := dec.Decode(&h); err != nil {
+		return h, &HeaderError{Reason: fmt.Sprintf("decode: %v", err)}
+	}
+	if h.Magic != "cbgan" {
+		return h, &HeaderError{Magic: h.Magic, Version: h.Version,
+			Reason: fmt.Sprintf("not a CB-GAN model (magic %q)", h.Magic)}
+	}
+	if h.Version != 1 {
+		return h, &HeaderError{Magic: h.Magic, Version: h.Version,
+			Reason: fmt.Sprintf("unsupported model version %d", h.Version)}
+	}
+	if err := h.Cfg.Validate(); err != nil {
+		return h, &HeaderError{Magic: h.Magic, Version: h.Version,
+			Reason: fmt.Sprintf("architecture config: %v", err)}
+	}
+	return h, nil
+}
+
+// ReadHeader decodes and validates just the architecture header of a
+// serialised model, without restoring weights. Registries use it to
+// vet candidate files cheaply; failures unwrap to ErrBadHeader.
+func ReadHeader(r io.Reader) (Config, error) {
+	h, err := readHeader(gob.NewDecoder(r))
+	return h.Cfg, err
+}
+
+// ReadFileHeader is the path-based convenience form of ReadHeader.
+func ReadFileHeader(path string) (Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("core: %w", err)
+	}
+	//lint:ignore unchecked-error read-only file; a Close failure cannot lose data
+	defer f.Close()
+	return ReadHeader(f)
+}
+
 // Save serialises the model (architecture config + all weights).
 func (m *Model) Save(w io.Writer) error {
 	enc := gob.NewEncoder(w)
@@ -141,18 +257,13 @@ func (m *Model) Save(w io.Writer) error {
 }
 
 // Load reads a model serialised by Save, reconstructing the
-// architecture from the stored config.
+// architecture from the stored config. Header failures (wrong magic,
+// version, or invalid architecture config) unwrap to ErrBadHeader.
 func Load(r io.Reader) (*Model, error) {
 	dec := gob.NewDecoder(r)
-	var h modelHeader
-	if err := dec.Decode(&h); err != nil {
-		return nil, fmt.Errorf("core: load header: %w", err)
-	}
-	if h.Magic != "cbgan" {
-		return nil, fmt.Errorf("core: not a CB-GAN model (magic %q)", h.Magic)
-	}
-	if h.Version != 1 {
-		return nil, fmt.Errorf("core: unsupported model version %d", h.Version)
+	h, err := readHeader(dec)
+	if err != nil {
+		return nil, err
 	}
 	m, err := NewModel(h.Cfg)
 	if err != nil {

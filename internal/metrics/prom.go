@@ -1,0 +1,323 @@
+package metrics
+
+// This file adds the *operational* metric types behind cbx-serve's
+// GET /metrics endpoint, complementing the paper-evaluation metrics in
+// metrics.go: counters, gauges and histograms with Prometheus text
+// exposition (version 0.0.4), stdlib-only. Families and labelled
+// children are stored in ordered slices — never ranged from a map —
+// so exposition is byte-for-byte deterministic, in line with the
+// repository's map-range-numeric policy.
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// mustValidShape is metrics' registered invariant helper (allowlisted
+// by cbx-lint's library-panic analyzer): it panics when a metric
+// family is registered twice or constructed with invalid buckets —
+// programming errors in wiring code, never data-dependent conditions.
+func mustValidShape(ok bool, format string, args ...any) {
+	if !ok {
+		panic(fmt.Sprintf(format, args...))
+	}
+}
+
+// family is one exposition block: a # HELP / # TYPE pair followed by
+// the family's samples.
+type family interface {
+	famName() string
+	expose(buf *bytes.Buffer)
+}
+
+// PromRegistry holds registered metric families and renders them in
+// registration order.
+type PromRegistry struct {
+	mu       sync.Mutex
+	families []family
+	byName   map[string]bool
+}
+
+// NewPromRegistry returns an empty registry.
+func NewPromRegistry() *PromRegistry {
+	return &PromRegistry{byName: make(map[string]bool)}
+}
+
+func (r *PromRegistry) register(f family) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	mustValidShape(!r.byName[f.famName()], "metrics: duplicate metric family %q", f.famName())
+	r.byName[f.famName()] = true
+	r.families = append(r.families, f)
+}
+
+// Expose renders every family in Prometheus text format.
+func (r *PromRegistry) Expose() []byte {
+	r.mu.Lock()
+	fams := append([]family(nil), r.families...)
+	r.mu.Unlock()
+	var buf bytes.Buffer
+	for _, f := range fams {
+		f.expose(&buf)
+	}
+	return buf.Bytes()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// writeHeader emits the # HELP / # TYPE preamble.
+func writeHeader(buf *bytes.Buffer, name, help, typ string) {
+	fmt.Fprintf(buf, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// formatFloat renders a sample value (integers without exponent).
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	name, help string
+	labels     string // pre-rendered {k="v"} block, "" for plain counters
+	v          atomic.Uint64
+}
+
+// NewCounter registers and returns a plain counter.
+func (r *PromRegistry) NewCounter(name, help string) *Counter {
+	c := &Counter{name: name, help: help}
+	r.register(c)
+	return c
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) famName() string { return c.name }
+
+func (c *Counter) expose(buf *bytes.Buffer) {
+	writeHeader(buf, c.name, c.help, "counter")
+	fmt.Fprintf(buf, "%s%s %d\n", c.name, c.labels, c.v.Load())
+}
+
+// CounterVec is a family of counters keyed by one label. Children are
+// created on first use and exposed sorted by label value.
+type CounterVec struct {
+	name, help, label string
+
+	mu       sync.Mutex
+	children []*Counter
+	index    map[string]*Counter
+}
+
+// NewCounterVec registers and returns a one-label counter family.
+func (r *PromRegistry) NewCounterVec(name, help, label string) *CounterVec {
+	v := &CounterVec{name: name, help: help, label: label, index: make(map[string]*Counter)}
+	r.register(v)
+	return v
+}
+
+// With returns the child counter for the given label value, creating
+// it on first use.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.index[value]; ok {
+		return c
+	}
+	c := &Counter{name: v.name, labels: fmt.Sprintf("{%s=\"%s\"}", v.label, escapeLabel(value))}
+	v.index[value] = c
+	v.children = append(v.children, c)
+	return c
+}
+
+func (v *CounterVec) famName() string { return v.name }
+
+func (v *CounterVec) expose(buf *bytes.Buffer) {
+	v.mu.Lock()
+	children := append([]*Counter(nil), v.children...)
+	v.mu.Unlock()
+	sort.Slice(children, func(i, j int) bool { return children[i].labels < children[j].labels })
+	writeHeader(buf, v.name, v.help, "counter")
+	for _, c := range children {
+		fmt.Fprintf(buf, "%s%s %d\n", c.name, c.labels, c.v.Load())
+	}
+}
+
+// GaugeFunc exposes an instantaneous value read from a callback at
+// exposition time (e.g. current queue depth).
+type GaugeFunc struct {
+	name, help string
+	fn         func() float64
+}
+
+// NewGaugeFunc registers a callback-backed gauge.
+func (r *PromRegistry) NewGaugeFunc(name, help string, fn func() float64) *GaugeFunc {
+	g := &GaugeFunc{name: name, help: help, fn: fn}
+	r.register(g)
+	return g
+}
+
+func (g *GaugeFunc) famName() string { return g.name }
+
+func (g *GaugeFunc) expose(buf *bytes.Buffer) {
+	writeHeader(buf, g.name, g.help, "gauge")
+	fmt.Fprintf(buf, "%s %s\n", g.name, formatFloat(g.fn()))
+}
+
+// Histogram is a fixed-bucket histogram with cumulative exposition.
+type Histogram struct {
+	name, help string
+	labels     string
+	bounds     []float64 // strictly increasing upper bounds
+
+	mu     sync.Mutex
+	counts []uint64 // len(bounds)+1; last is +Inf overflow
+	sum    float64
+	n      uint64
+}
+
+func newHistogram(name, help, labels string, bounds []float64) *Histogram {
+	mustValidShape(len(bounds) > 0, "metrics: histogram %q needs at least one bucket", name)
+	for i := 1; i < len(bounds); i++ {
+		mustValidShape(bounds[i] > bounds[i-1],
+			"metrics: histogram %q buckets not strictly increasing at %d", name, i)
+	}
+	return &Histogram{
+		name: name, help: help, labels: labels,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// NewHistogram registers and returns a histogram with the given upper
+// bucket bounds (an implicit +Inf bucket is added).
+func (r *PromRegistry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	h := newHistogram(name, help, "", bounds)
+	r.register(h)
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v (le semantics)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.n++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Sum returns the sum of all observed values so far.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+func (h *Histogram) famName() string { return h.name }
+
+// exposeSamples writes the _bucket/_sum/_count samples (no header),
+// so a HistogramVec can emit one header over several children.
+func (h *Histogram) exposeSamples(buf *bytes.Buffer) {
+	h.mu.Lock()
+	counts := append([]uint64(nil), h.counts...)
+	sum, n := h.sum, h.n
+	h.mu.Unlock()
+	inner := strings.TrimSuffix(strings.TrimPrefix(h.labels, "{"), "}")
+	sep := ""
+	if inner != "" {
+		sep = ","
+	}
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += counts[i]
+		fmt.Fprintf(buf, "%s_bucket{%s%sle=%q} %d\n", h.name, inner, sep, formatFloat(b), cum)
+	}
+	cum += counts[len(h.bounds)]
+	fmt.Fprintf(buf, "%s_bucket{%s%sle=\"+Inf\"} %d\n", h.name, inner, sep, cum)
+	fmt.Fprintf(buf, "%s_sum%s %s\n", h.name, h.labels, formatFloat(sum))
+	fmt.Fprintf(buf, "%s_count%s %d\n", h.name, h.labels, n)
+}
+
+func (h *Histogram) expose(buf *bytes.Buffer) {
+	writeHeader(buf, h.name, h.help, "histogram")
+	h.exposeSamples(buf)
+}
+
+// HistogramVec is a family of histograms keyed by one label, sharing
+// bucket bounds.
+type HistogramVec struct {
+	name, help, label string
+	bounds            []float64
+
+	mu       sync.Mutex
+	children []*Histogram
+	index    map[string]*Histogram
+}
+
+// NewHistogramVec registers and returns a one-label histogram family.
+func (r *PromRegistry) NewHistogramVec(name, help, label string, bounds []float64) *HistogramVec {
+	v := &HistogramVec{
+		name: name, help: help, label: label,
+		bounds: append([]float64(nil), bounds...),
+		index:  make(map[string]*Histogram),
+	}
+	mustValidShape(len(bounds) > 0, "metrics: histogram %q needs at least one bucket", name)
+	r.register(v)
+	return v
+}
+
+// With returns the child histogram for the given label value, creating
+// it on first use.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h, ok := v.index[value]; ok {
+		return h
+	}
+	h := newHistogram(v.name, v.help,
+		fmt.Sprintf("{%s=\"%s\"}", v.label, escapeLabel(value)), v.bounds)
+	v.index[value] = h
+	v.children = append(v.children, h)
+	return h
+}
+
+func (v *HistogramVec) famName() string { return v.name }
+
+func (v *HistogramVec) expose(buf *bytes.Buffer) {
+	v.mu.Lock()
+	children := append([]*Histogram(nil), v.children...)
+	v.mu.Unlock()
+	sort.Slice(children, func(i, j int) bool { return children[i].labels < children[j].labels })
+	writeHeader(buf, v.name, v.help, "histogram")
+	for _, h := range children {
+		h.exposeSamples(buf)
+	}
+}

@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestPromCounterExposition(t *testing.T) {
+	r := NewPromRegistry()
+	c := r.NewCounter("test_total", "a test counter")
+	c.Inc()
+	c.Add(4)
+	out := string(r.Expose())
+	want := "# HELP test_total a test counter\n# TYPE test_total counter\ntest_total 5\n"
+	if out != want {
+		t.Fatalf("exposition:\n%s\nwant:\n%s", out, want)
+	}
+	if c.Value() != 5 {
+		t.Fatalf("Value() = %d, want 5", c.Value())
+	}
+}
+
+func TestPromCounterVecSortedByLabel(t *testing.T) {
+	r := NewPromRegistry()
+	v := r.NewCounterVec("req_total", "requests", "code")
+	v.With("429").Inc()
+	v.With("200").Add(3)
+	v.With("200").Inc() // same child
+	out := string(r.Expose())
+	i200 := strings.Index(out, `req_total{code="200"} 4`)
+	i429 := strings.Index(out, `req_total{code="429"} 1`)
+	if i200 < 0 || i429 < 0 {
+		t.Fatalf("missing samples:\n%s", out)
+	}
+	if i200 > i429 {
+		t.Fatalf("children not sorted by label value:\n%s", out)
+	}
+}
+
+func TestPromGaugeFunc(t *testing.T) {
+	r := NewPromRegistry()
+	depth := 7.0
+	r.NewGaugeFunc("queue_depth", "queued requests", func() float64 { return depth })
+	out := string(r.Expose())
+	if !strings.Contains(out, "# TYPE queue_depth gauge\n") || !strings.Contains(out, "queue_depth 7\n") {
+		t.Fatalf("gauge exposition:\n%s", out)
+	}
+	depth = 2.5
+	if !strings.Contains(string(r.Expose()), "queue_depth 2.5\n") {
+		t.Fatal("gauge not read at exposition time")
+	}
+}
+
+func TestPromHistogramCumulativeBuckets(t *testing.T) {
+	r := NewPromRegistry()
+	h := r.NewHistogram("batch_size", "batch sizes", []float64{1, 2, 4})
+	for _, v := range []float64{1, 1, 2, 3, 9} {
+		h.Observe(v)
+	}
+	out := string(r.Expose())
+	for _, want := range []string{
+		`batch_size_bucket{le="1"} 2`,
+		`batch_size_bucket{le="2"} 3`,
+		`batch_size_bucket{le="4"} 4`,
+		`batch_size_bucket{le="+Inf"} 5`,
+		"batch_size_sum 16",
+		"batch_size_count 5",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if h.Count() != 5 || h.Sum() != 16 {
+		t.Fatalf("Count/Sum = %d/%v, want 5/16", h.Count(), h.Sum())
+	}
+}
+
+func TestPromHistogramVec(t *testing.T) {
+	r := NewPromRegistry()
+	v := r.NewHistogramVec("stage_seconds", "per-stage latency", "stage", []float64{0.01, 0.1})
+	v.With("queue").Observe(0.005)
+	v.With("infer").Observe(0.05)
+	out := string(r.Expose())
+	for _, want := range []string{
+		`stage_seconds_bucket{stage="infer",le="0.1"} 1`,
+		`stage_seconds_bucket{stage="queue",le="0.01"} 1`,
+		`stage_seconds_count{stage="queue"} 1`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// One header per family even with several children.
+	if n := strings.Count(out, "# TYPE stage_seconds histogram"); n != 1 {
+		t.Fatalf("%d TYPE lines for the vec, want 1:\n%s", n, out)
+	}
+}
+
+func TestPromConcurrentUse(t *testing.T) {
+	r := NewPromRegistry()
+	c := r.NewCounter("c_total", "c")
+	v := r.NewCounterVec("v_total", "v", "k")
+	h := r.NewHistogram("h", "h", []float64{1, 10})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Inc()
+				v.With([]string{"a", "b"}[i%2]).Inc()
+				h.Observe(float64(j % 20))
+				_ = r.Expose()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Value() != 800 {
+		t.Fatalf("counter %d, want 800", c.Value())
+	}
+	if h.Count() != 800 {
+		t.Fatalf("histogram count %d, want 800", h.Count())
+	}
+}
+
+func TestPromLabelEscaping(t *testing.T) {
+	r := NewPromRegistry()
+	v := r.NewCounterVec("esc_total", "e", "path")
+	v.With("a\"b\\c\nd").Inc()
+	out := string(r.Expose())
+	if !strings.Contains(out, `esc_total{path="a\"b\\c\nd"} 1`) {
+		t.Fatalf("label not escaped:\n%s", out)
+	}
+}

@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"cachebox/internal/heatmap"
+)
+
+// testEntry wraps a tiny model in a registry entry.
+func testEntry(t *testing.T, name string) *entry {
+	t.Helper()
+	return &entry{name: name, model: tinyModel(t), loadedAt: time.Now()}
+}
+
+// newTestBatcher builds a batcher with fresh metrics.
+func newTestBatcher(maxBatch, queueDepth, workers int, maxWait time.Duration) *batcher {
+	return newBatcher(maxBatch, queueDepth, workers, maxWait, newServeMetrics())
+}
+
+// makePending builds one enqueued request against e.
+func makePending(ctx context.Context, e *entry) *pending {
+	size := e.model.Cfg.ImageSize
+	m := heatmap.NewHeatmap("req", size, size)
+	for i := range m.Pix {
+		m.Pix[i] = float32(i % 5)
+	}
+	return &pending{
+		e:        e,
+		access:   m,
+		params:   []float32{0.375, 0.4},
+		ctx:      ctx,
+		enqueued: time.Now(),
+		resp:     make(chan result, 1),
+	}
+}
+
+func TestBatcherFlushesOnMaxBatch(t *testing.T) {
+	e := testEntry(t, "m")
+	// maxWait is an hour: only the size trigger can flush.
+	b := newTestBatcher(4, 16, 1, time.Hour)
+	defer b.close()
+	var ps []*pending
+	for i := 0; i < 4; i++ {
+		p := makePending(context.Background(), e)
+		if err := b.enqueue(p); err != nil {
+			t.Fatal(err)
+		}
+		ps = append(ps, p)
+	}
+	for i, p := range ps {
+		select {
+		case res := <-p.resp:
+			if res.err != nil {
+				t.Fatalf("request %d: %v", i, res.err)
+			}
+			if res.batchSize != 4 {
+				t.Fatalf("request %d rode in batch of %d, want 4", i, res.batchSize)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("request %d not flushed by the size trigger", i)
+		}
+	}
+	if n := b.m.batchSize.Count(); n != 1 {
+		t.Fatalf("%d forward passes, want 1", n)
+	}
+}
+
+func TestBatcherFlushesOnMaxWait(t *testing.T) {
+	e := testEntry(t, "m")
+	// maxBatch is huge: only the deadline trigger can flush.
+	b := newTestBatcher(100, 16, 1, 30*time.Millisecond)
+	defer b.close()
+	p1 := makePending(context.Background(), e)
+	p2 := makePending(context.Background(), e)
+	if err := b.enqueue(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.enqueue(p2); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range []*pending{p1, p2} {
+		select {
+		case res := <-p.resp:
+			if res.err != nil {
+				t.Fatalf("request %d: %v", i, res.err)
+			}
+			if res.batchSize != 2 {
+				t.Fatalf("request %d rode in batch of %d, want 2", i, res.batchSize)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("request %d not flushed by the deadline trigger", i)
+		}
+	}
+}
+
+func TestBatcherSkipsCanceledRequests(t *testing.T) {
+	e := testEntry(t, "m")
+	b := newTestBatcher(2, 16, 1, time.Hour)
+	defer b.close()
+	canceledCtx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dead := makePending(canceledCtx, e)
+	live := makePending(context.Background(), e)
+	if err := b.enqueue(dead); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.enqueue(live); err != nil {
+		t.Fatal(err)
+	}
+	if res := <-dead.resp; !errors.Is(res.err, context.Canceled) {
+		t.Fatalf("canceled request got %v, want context.Canceled", res.err)
+	}
+	if res := <-live.resp; res.err != nil || res.batchSize != 1 {
+		t.Fatalf("live request: err %v batch %d, want nil/1", res.err, res.batchSize)
+	}
+}
+
+func TestBatcherGroupsByModel(t *testing.T) {
+	ea, eb := testEntry(t, "a"), testEntry(t, "b")
+	b := newTestBatcher(4, 16, 1, time.Hour)
+	defer b.close()
+	ps := []*pending{
+		makePending(context.Background(), ea),
+		makePending(context.Background(), eb),
+		makePending(context.Background(), ea),
+		makePending(context.Background(), eb),
+	}
+	for _, p := range ps {
+		if err := b.enqueue(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, p := range ps {
+		res := <-p.resp
+		if res.err != nil {
+			t.Fatalf("request %d: %v", i, res.err)
+		}
+		if res.batchSize != 2 {
+			t.Fatalf("request %d rode in batch of %d, want 2 (one per model)", i, res.batchSize)
+		}
+	}
+	if n := b.m.batchSize.Count(); n != 2 {
+		t.Fatalf("%d forward passes, want 2", n)
+	}
+}
+
+func TestBatcherBackpressureAndDrain(t *testing.T) {
+	e := testEntry(t, "m")
+	b := newTestBatcher(1, 1, 1, time.Millisecond)
+	e.mu.Lock() // stall the worker inside its first flush
+
+	first := makePending(context.Background(), e)
+	if err := b.enqueue(first); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for b.depth() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	queued := makePending(context.Background(), e)
+	if err := b.enqueue(queued); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.enqueue(makePending(context.Background(), e)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("enqueue on full queue: %v, want ErrQueueFull", err)
+	}
+
+	closed := make(chan struct{})
+	go func() {
+		b.close()
+		close(closed)
+	}()
+	// close() flips the draining flag from its goroutine; poll until
+	// the rejection changes from queue-full to draining.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		err := b.enqueue(makePending(context.Background(), e))
+		if errors.Is(err, ErrDraining) {
+			break
+		}
+		if !errors.Is(err, ErrQueueFull) {
+			t.Fatalf("enqueue during close: %v, want ErrQueueFull then ErrDraining", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("draining state never reached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	e.mu.Unlock()
+	for i, p := range []*pending{first, queued} {
+		select {
+		case res := <-p.resp:
+			if res.err != nil {
+				t.Fatalf("accepted request %d dropped during drain: %v", i, res.err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("accepted request %d never answered", i)
+		}
+	}
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("close did not return")
+	}
+}

@@ -1,0 +1,236 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"cachebox/internal/core"
+)
+
+// ModelExt is the file extension registry directories are scanned for.
+const ModelExt = ".cbgan"
+
+// Typed registry errors; the HTTP layer maps them to status codes.
+var (
+	// ErrUnknownModel: the named model is not in the registry (404).
+	ErrUnknownModel = errors.New("serve: unknown model")
+	// ErrNoModels: the registry is empty (503 — nothing can be served).
+	ErrNoModels = errors.New("serve: registry holds no models")
+	// ErrAmbiguousModel: no model name given and several are loaded (400).
+	ErrAmbiguousModel = errors.New("serve: model name required (registry holds several models)")
+	// ErrNoDir: reload requested on a registry without a backing
+	// directory (static single-model registries).
+	ErrNoDir = errors.New("serve: registry has no backing directory")
+)
+
+// entry pairs a loaded model with the mutex that serialises inference:
+// generator forward passes cache activations inside the layers, so a
+// model instance admits one forward pass at a time. Hot reload swaps
+// whole entries; an in-flight batch finishes on the entry it resolved.
+type entry struct {
+	name     string
+	model    *core.Model
+	path     string
+	loadedAt time.Time
+	mu       sync.Mutex
+}
+
+// Registry is a thread-safe name → model table, optionally backed by a
+// directory of *.cbgan files for hot reload.
+type Registry struct {
+	dir     string // "" for static registries
+	mu      sync.RWMutex
+	entries map[string]*entry
+}
+
+// NewRegistry scans dir for *.cbgan files, loading each as the model
+// named by its base name (models/l1.cbgan → "l1"). Architecture
+// headers are validated (core.ErrBadHeader failures are rejected).
+// Startup is strict: any unloadable model file is an error, as is an
+// empty directory — a serving process with missing models should fail
+// loudly at boot, not at the first request.
+func NewRegistry(dir string) (*Registry, error) {
+	r := &Registry{dir: dir, entries: make(map[string]*entry)}
+	sum, err := r.Reload()
+	if err != nil {
+		return nil, err
+	}
+	if len(sum.Failed) > 0 {
+		names := make([]string, 0, len(sum.Failed))
+		for name := range sum.Failed {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		parts := make([]string, len(names))
+		for i, name := range names {
+			parts[i] = fmt.Sprintf("%s: %s", name, sum.Failed[name])
+		}
+		return nil, fmt.Errorf("serve: %d model file(s) failed to load: %s",
+			len(names), strings.Join(parts, "; "))
+	}
+	if len(r.entries) == 0 {
+		return nil, fmt.Errorf("%w (no %s files in %s)", ErrNoModels, ModelExt, dir)
+	}
+	return r, nil
+}
+
+// NewStaticRegistry wraps one in-memory model under the given name
+// (default "default" when empty). It has no backing directory, so
+// Reload returns ErrNoDir.
+func NewStaticRegistry(name string, m *core.Model) *Registry {
+	if name == "" {
+		name = "default"
+	}
+	return &Registry{entries: map[string]*entry{
+		name: {name: name, model: m, loadedAt: time.Now()},
+	}}
+}
+
+// Reload re-scans the backing directory: every *.cbgan file is read
+// afresh (validated header first), new names are added, existing names
+// are replaced, and names whose file disappeared are dropped. A file
+// that fails to load is reported in the summary and its previous entry
+// — if any — stays in service, so one corrupt upload cannot take a
+// model out from under live traffic.
+func (r *Registry) Reload() (ReloadSummary, error) {
+	var sum ReloadSummary
+	if r.dir == "" {
+		return sum, ErrNoDir
+	}
+	dirents, err := os.ReadDir(r.dir)
+	if err != nil {
+		return sum, fmt.Errorf("serve: scan registry dir: %w", err)
+	}
+	var names []string
+	paths := make(map[string]string)
+	for _, de := range dirents {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ModelExt) {
+			continue
+		}
+		name := strings.TrimSuffix(de.Name(), ModelExt)
+		names = append(names, name)
+		paths[name] = filepath.Join(r.dir, de.Name())
+	}
+	sort.Strings(names)
+
+	r.mu.RLock()
+	old := make(map[string]*entry, len(r.entries))
+	for name, e := range r.entries {
+		old[name] = e
+	}
+	r.mu.RUnlock()
+
+	next := make(map[string]*entry, len(names))
+	for _, name := range names {
+		path := paths[name]
+		// Validate the architecture header before committing to the
+		// full weight restore, so the summary distinguishes "bad model
+		// file" cleanly.
+		if _, err := core.ReadFileHeader(path); err != nil {
+			if sum.Failed == nil {
+				sum.Failed = make(map[string]string)
+			}
+			sum.Failed[name] = err.Error()
+			if prev, ok := old[name]; ok {
+				next[name] = prev
+			}
+			continue
+		}
+		m, err := core.LoadFile(path)
+		if err != nil {
+			if sum.Failed == nil {
+				sum.Failed = make(map[string]string)
+			}
+			sum.Failed[name] = err.Error()
+			if prev, ok := old[name]; ok {
+				next[name] = prev
+			}
+			continue
+		}
+		next[name] = &entry{name: name, model: m, path: path, loadedAt: time.Now()}
+		if _, existed := old[name]; existed {
+			sum.Replaced = append(sum.Replaced, name)
+		} else {
+			sum.Loaded = append(sum.Loaded, name)
+		}
+	}
+	var removed []string
+	for name := range old {
+		if _, ok := next[name]; !ok {
+			removed = append(removed, name)
+		}
+	}
+	sort.Strings(removed)
+	sum.Removed = removed
+
+	r.mu.Lock()
+	r.entries = next
+	r.mu.Unlock()
+	return sum, nil
+}
+
+// get resolves a model name to its entry. An empty name is accepted
+// when the registry holds exactly one model.
+func (r *Registry) get(name string) (*entry, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.entries) == 0 {
+		return nil, ErrNoModels
+	}
+	if name == "" {
+		if len(r.entries) > 1 {
+			return nil, ErrAmbiguousModel
+		}
+		for _, e := range r.entries {
+			return e, nil
+		}
+	}
+	e, ok := r.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	return e, nil
+}
+
+// Len returns the number of loaded models.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
+
+// Names returns the loaded model names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.entries))
+	for name := range r.entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Infos describes every loaded model, sorted by name.
+func (r *Registry) Infos() []ModelInfo {
+	r.mu.RLock()
+	infos := make([]ModelInfo, 0, len(r.entries))
+	for _, e := range r.entries {
+		infos = append(infos, ModelInfo{
+			Name:      e.name,
+			ImageSize: e.model.Cfg.ImageSize,
+			CondDim:   e.model.Cfg.CondDim,
+			Path:      e.path,
+			LoadedAt:  e.loadedAt,
+		})
+	}
+	r.mu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}

@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func saveModel(t *testing.T, dir, name string) {
+	t.Helper()
+	if err := tinyModel(t).SaveFile(filepath.Join(dir, name+ModelExt)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRegistryLoadsDirectory(t *testing.T) {
+	dir := t.TempDir()
+	saveModel(t, dir, "l1")
+	saveModel(t, dir, "l2")
+	// Non-model files are ignored.
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := NewRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Names(); !reflect.DeepEqual(got, []string{"l1", "l2"}) {
+		t.Fatalf("names %v", got)
+	}
+	if reg.Len() != 2 {
+		t.Fatalf("len %d", reg.Len())
+	}
+	if _, err := reg.get("l1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.get(""); !errors.Is(err, ErrAmbiguousModel) {
+		t.Fatalf("empty name with two models: %v", err)
+	}
+	if _, err := reg.get("nope"); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("unknown name: %v", err)
+	}
+	infos := reg.Infos()
+	if len(infos) != 2 || infos[0].Name != "l1" || infos[0].Path == "" {
+		t.Fatalf("infos %+v", infos)
+	}
+}
+
+func TestNewRegistryStrictStartup(t *testing.T) {
+	empty := t.TempDir()
+	if _, err := NewRegistry(empty); !errors.Is(err, ErrNoModels) {
+		t.Fatalf("empty dir: %v, want ErrNoModels", err)
+	}
+	bad := t.TempDir()
+	saveModel(t, bad, "good")
+	if err := os.WriteFile(filepath.Join(bad, "corrupt.cbgan"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := NewRegistry(bad)
+	if err == nil {
+		t.Fatal("corrupt model accepted at startup")
+	}
+	if got := err.Error(); !strings.Contains(got, "corrupt") {
+		t.Fatalf("error %q does not name the bad file", got)
+	}
+	if _, err := NewRegistry(filepath.Join(empty, "missing")); err == nil {
+		t.Fatal("missing dir accepted")
+	}
+}
+
+func TestStaticRegistry(t *testing.T) {
+	reg := NewStaticRegistry("", tinyModel(t))
+	if got := reg.Names(); !reflect.DeepEqual(got, []string{"default"}) {
+		t.Fatalf("names %v", got)
+	}
+	// Empty name resolves when exactly one model is loaded.
+	e, err := reg.get("")
+	if err != nil || e.name != "default" {
+		t.Fatalf("get(\"\"): %v, %v", e, err)
+	}
+	if _, err := reg.Reload(); !errors.Is(err, ErrNoDir) {
+		t.Fatalf("reload on static registry: %v, want ErrNoDir", err)
+	}
+}
+
+func TestReloadKeepsOldEntryWhenFileGoesBad(t *testing.T) {
+	dir := t.TempDir()
+	saveModel(t, dir, "m")
+	reg, err := NewRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := reg.get("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the backing file, then reload: the old entry must stay
+	// in service and the failure must be reported.
+	if err := os.WriteFile(filepath.Join(dir, "m"+ModelExt), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := reg.Reload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sum.Failed["m"]; !ok {
+		t.Fatalf("failure not reported: %+v", sum)
+	}
+	after, err := reg.get("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != before {
+		t.Fatal("old entry replaced by a corrupt file")
+	}
+}
+
+func TestReloadReplacesAndRemoves(t *testing.T) {
+	dir := t.TempDir()
+	saveModel(t, dir, "a")
+	reg, err := NewRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saveModel(t, dir, "a") // fresh bytes, same name
+	saveModel(t, dir, "b")
+	sum, err := reg.Reload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sum.Replaced, []string{"a"}) || !reflect.DeepEqual(sum.Loaded, []string{"b"}) {
+		t.Fatalf("summary %+v", sum)
+	}
+	if err := os.Remove(filepath.Join(dir, "a"+ModelExt)); err != nil {
+		t.Fatal(err)
+	}
+	sum, err = reg.Reload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sum.Removed, []string{"a"}) {
+		t.Fatalf("summary %+v", sum)
+	}
+	if _, err := reg.get("a"); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("removed model still resolvable: %v", err)
+	}
+}

@@ -1,0 +1,521 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cachebox/internal/core"
+)
+
+// tinyModelConfig is small enough that a forward pass costs well under
+// a millisecond.
+func tinyModelConfig() core.Config {
+	c := core.DefaultConfig()
+	c.ImageSize = 16
+	c.NGF = 2
+	c.NDF = 2
+	c.DLayers = 1
+	c.CondHidden = 4
+	c.CondChannels = 2
+	c.Seed = 5
+	return c
+}
+
+func tinyModel(t *testing.T) *core.Model {
+	t.Helper()
+	m, err := core.NewModel(tinyModelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// testAccess builds a deterministic non-empty access heatmap.
+func testAccess(size int) HeatmapJSON {
+	pix := make([]float32, size*size)
+	for i := range pix {
+		pix[i] = float32((i*7)%23) / 2
+	}
+	return HeatmapJSON{H: size, W: size, Pix: pix}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// newTestServer wires a Server around a registry and mounts it on an
+// httptest listener.
+func newTestServer(t *testing.T, reg *Registry, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(reg, cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// postPredict issues one prediction and decodes the response.
+func postPredict(t *testing.T, url string, req PredictRequest) (int, PredictResponse, string) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pr PredictResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &pr); err != nil {
+			t.Fatalf("decode 200 body %q: %v", raw, err)
+		}
+	}
+	return resp.StatusCode, pr, string(raw)
+}
+
+func TestPredictRoundTrip(t *testing.T) {
+	reg := NewStaticRegistry("default", tinyModel(t))
+	_, ts := newTestServer(t, reg, Config{})
+	code, pr, raw := postPredict(t, ts.URL, PredictRequest{
+		Access: testAccess(16), Sets: 64, Ways: 12,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status %d, body %s", code, raw)
+	}
+	if pr.Model != "default" {
+		t.Fatalf("served by %q, want default", pr.Model)
+	}
+	if pr.Miss.H != 16 || pr.Miss.W != 16 || len(pr.Miss.Pix) != 256 {
+		t.Fatalf("miss heatmap shape %dx%d/%d", pr.Miss.H, pr.Miss.W, len(pr.Miss.Pix))
+	}
+	if pr.HitRate < 0 || pr.HitRate > 1 {
+		t.Fatalf("hit rate %v out of [0,1]", pr.HitRate)
+	}
+	if pr.BatchSize < 1 {
+		t.Fatalf("batch size %d", pr.BatchSize)
+	}
+	// The constrained miss map must respect the physical support of
+	// the access map.
+	acc := testAccess(16)
+	for i, v := range pr.Miss.Pix {
+		if v < 0 || v > acc.Pix[i] {
+			t.Fatalf("miss pixel %d = %v outside [0, %v]", i, v, acc.Pix[i])
+		}
+	}
+}
+
+func TestPredictDeterministicAcrossBatchSplits(t *testing.T) {
+	// The same request must yield the same prediction whether it rode
+	// alone or coalesced — batching is an optimisation, not a
+	// behaviour change.
+	reg := NewStaticRegistry("default", tinyModel(t))
+	_, ts := newTestServer(t, reg, Config{MaxWait: 20 * time.Millisecond, MaxBatch: 8})
+	req := PredictRequest{Access: testAccess(16), Sets: 64, Ways: 12}
+	_, solo, _ := postPredict(t, ts.URL, req)
+
+	const n = 8
+	results := make([]PredictResponse, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, results[i], _ = postPredict(t, ts.URL, req)
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range results {
+		for j := range r.Miss.Pix {
+			if r.Miss.Pix[j] != solo.Miss.Pix[j] {
+				t.Fatalf("request %d pixel %d: %v (batched) vs %v (solo)", i, j, r.Miss.Pix[j], solo.Miss.Pix[j])
+			}
+		}
+	}
+}
+
+func TestPredictValidation(t *testing.T) {
+	reg := NewStaticRegistry("m1", tinyModel(t))
+	_, ts := newTestServer(t, reg, Config{})
+	valid := testAccess(16)
+	cases := []struct {
+		name string
+		req  PredictRequest
+		want int
+	}{
+		{"unknown model", PredictRequest{Model: "nope", Access: valid, Sets: 64, Ways: 12}, http.StatusNotFound},
+		{"zero sets", PredictRequest{Access: valid, Sets: 0, Ways: 12}, http.StatusBadRequest},
+		{"zero ways", PredictRequest{Access: valid, Sets: 64, Ways: 0}, http.StatusBadRequest},
+		{"wrong image size", PredictRequest{Access: testAccess(8), Sets: 64, Ways: 12}, http.StatusUnprocessableEntity},
+		{"empty heatmap", PredictRequest{Access: HeatmapJSON{H: 16, W: 16, Pix: make([]float32, 256)}, Sets: 64, Ways: 12}, http.StatusUnprocessableEntity},
+		{"pixel count mismatch", PredictRequest{Access: HeatmapJSON{H: 16, W: 16, Pix: []float32{1}}, Sets: 64, Ways: 12}, http.StatusBadRequest},
+		{"negative pixel", PredictRequest{Access: HeatmapJSON{H: 16, W: 16, Pix: append([]float32{-1}, make([]float32, 255)...)}, Sets: 64, Ways: 12}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		code, _, raw := postPredict(t, ts.URL, tc.req)
+		if code != tc.want {
+			t.Errorf("%s: status %d, want %d (body %s)", tc.name, code, tc.want, raw)
+		}
+		var er errorResponse
+		if err := json.Unmarshal([]byte(raw), &er); err != nil || er.Error == "" {
+			t.Errorf("%s: non-2xx body %q is not a JSON error", tc.name, raw)
+		}
+	}
+	// Malformed JSON.
+	resp, err := http.Post(ts.URL+"/v1/predict", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: status %d, want 400", resp.StatusCode)
+	}
+	// Wrong method.
+	resp, err = http.Get(ts.URL + "/v1/predict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET predict: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// stall grabs a model entry's inference mutex so the batcher worker
+// blocks mid-flush; the returned func releases it (idempotently, so
+// tests can both call and defer it).
+func stall(reg *Registry, name string) (release func()) {
+	e, err := reg.get(name)
+	if err != nil {
+		panic(err)
+	}
+	e.mu.Lock()
+	var once sync.Once
+	return func() { once.Do(e.mu.Unlock) }
+}
+
+func TestQueueFullReturns429(t *testing.T) {
+	reg := NewStaticRegistry("default", tinyModel(t))
+	s, ts := newTestServer(t, reg, Config{
+		MaxBatch:   1, // flush immediately: the worker blocks in inference
+		QueueDepth: 1,
+		MaxWait:    time.Millisecond,
+	})
+	release := stall(reg, "default")
+	defer release()
+
+	req := PredictRequest{Access: testAccess(16), Sets: 64, Ways: 12}
+	codes := make(chan int, 2)
+	post := func() {
+		code, _, _ := postPredict(t, ts.URL, req)
+		codes <- code
+	}
+	// A: collected by the worker, which then blocks on the stalled
+	// model.
+	go post()
+	waitFor(t, "worker to collect the first request", func() bool { return s.b.depth() == 0 })
+	// B: sits in the depth-1 queue.
+	go post()
+	waitFor(t, "the queue to fill", func() bool { return s.b.depth() == 1 })
+	// C: bounced with backpressure.
+	resp, err := http.Post(ts.URL+"/v1/predict", "application/json",
+		bytes.NewReader(mustJSON(t, req)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity request: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	release()
+	for i := 0; i < 2; i++ {
+		if code := <-codes; code != http.StatusOK {
+			t.Fatalf("accepted request %d finished with %d, want 200", i, code)
+		}
+	}
+	// The backpressure rejection must be visible in the metrics.
+	if got := metricsText(t, ts.URL); !strings.Contains(got, `cbx_serve_requests_total{code="429"} 1`) {
+		t.Fatalf("429 not counted:\n%s", got)
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func metricsText(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+func TestHotReload(t *testing.T) {
+	dir := t.TempDir()
+	m := tinyModel(t)
+	if err := m.SaveFile(filepath.Join(dir, "a.cbgan")); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := NewRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, reg, Config{})
+
+	req := PredictRequest{Model: "a", Access: testAccess(16), Sets: 64, Ways: 12}
+	if code, _, raw := postPredict(t, ts.URL, req); code != http.StatusOK {
+		t.Fatalf("predict against a: %d %s", code, raw)
+	}
+
+	// Swap the directory contents: a disappears, b appears, c is junk.
+	if err := m.SaveFile(filepath.Join(dir, "b.cbgan")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "a.cbgan")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "c.cbgan"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/admin/reload", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload status %d", resp.StatusCode)
+	}
+	var sum ReloadSummary
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Loaded) != 1 || sum.Loaded[0] != "b" {
+		t.Fatalf("loaded %v, want [b]", sum.Loaded)
+	}
+	if len(sum.Removed) != 1 || sum.Removed[0] != "a" {
+		t.Fatalf("removed %v, want [a]", sum.Removed)
+	}
+	if _, ok := sum.Failed["c"]; !ok {
+		t.Fatalf("junk file not reported: %+v", sum)
+	}
+
+	req.Model = "b"
+	if code, _, raw := postPredict(t, ts.URL, req); code != http.StatusOK {
+		t.Fatalf("predict against b after reload: %d %s", code, raw)
+	}
+	req.Model = "a"
+	if code, _, _ := postPredict(t, ts.URL, req); code != http.StatusNotFound {
+		t.Fatalf("predict against removed model: %d, want 404", code)
+	}
+	if got := metricsText(t, ts.URL); !strings.Contains(got, "cbx_serve_model_reloads_total 1") {
+		t.Fatalf("reload not counted:\n%s", got)
+	}
+}
+
+func TestShutdownDrainsInFlight(t *testing.T) {
+	reg := NewStaticRegistry("default", tinyModel(t))
+	s, ts := newTestServer(t, reg, Config{
+		MaxBatch:   2,
+		QueueDepth: 8,
+		MaxWait:    time.Millisecond,
+	})
+	release := stall(reg, "default")
+	defer release()
+
+	req := PredictRequest{Access: testAccess(16), Sets: 64, Ways: 12}
+	const n = 5
+	codes := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			code, _, _ := postPredict(t, ts.URL, req)
+			codes <- code
+		}()
+	}
+	// Wait until every request is accepted (in a batch or queued):
+	// the worker holds up to MaxBatch, the rest sit in the queue.
+	waitFor(t, "all requests accepted", func() bool { return s.b.depth() >= n-2 })
+
+	closed := make(chan struct{})
+	go func() {
+		s.Close()
+		close(closed)
+	}()
+	// Draining refuses new work...
+	waitFor(t, "draining state", func() bool {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			return false
+		}
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusServiceUnavailable
+	})
+	if code, _, _ := postPredict(t, ts.URL, req); code != http.StatusServiceUnavailable {
+		t.Fatalf("predict while draining: %d, want 503", code)
+	}
+	// ...but completes everything already accepted.
+	release()
+	for i := 0; i < n; i++ {
+		if code := <-codes; code != http.StatusOK {
+			t.Fatalf("accepted request %d finished with %d, want 200", i, code)
+		}
+	}
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return after the drain")
+	}
+}
+
+func TestModelsEndpointAndHealthz(t *testing.T) {
+	reg := NewStaticRegistry("default", tinyModel(t))
+	_, ts := newTestServer(t, reg, Config{})
+	resp, err := http.Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var infos []ModelInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Name != "default" || infos[0].ImageSize != 16 || infos[0].CondDim != 2 {
+		t.Fatalf("model infos %+v", infos)
+	}
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var h healthResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if hresp.StatusCode != http.StatusOK || h.Status != "ok" || h.Models != 1 {
+		t.Fatalf("healthz %d %+v", hresp.StatusCode, h)
+	}
+	// Reload on a static registry is a clean client error.
+	rresp, err := http.Post(ts.URL+"/admin/reload", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("reload on static registry: %d, want 400", rresp.StatusCode)
+	}
+}
+
+// TestConcurrentClientsCoalesce is the acceptance scenario: under
+// -race, 48 concurrent clients must be coalesced into batched forward
+// passes, observable both in per-response batch sizes and in the
+// /metrics batch-size histogram.
+func TestConcurrentClientsCoalesce(t *testing.T) {
+	reg := NewStaticRegistry("default", tinyModel(t))
+	_, ts := newTestServer(t, reg, Config{
+		MaxBatch:   8,
+		MaxWait:    60 * time.Millisecond,
+		QueueDepth: 256,
+	})
+	const clients = 48
+	req := PredictRequest{Access: testAccess(16), Sets: 64, Ways: 12}
+
+	start := make(chan struct{})
+	results := make([]PredictResponse, clients)
+	codes := make([]int, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			codes[i], results[i], _ = postPredict(t, ts.URL, req)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	maxBatch := 0
+	for i := 0; i < clients; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("client %d: status %d", i, codes[i])
+		}
+		if results[i].BatchSize > maxBatch {
+			maxBatch = results[i].BatchSize
+		}
+	}
+	if maxBatch < 2 {
+		t.Fatalf("no coalescing observed: max batch size %d", maxBatch)
+	}
+
+	// Cross-check against the exposed histogram: sum of observed batch
+	// sizes equals the client count, and the number of forward passes
+	// is strictly smaller — i.e. batches > 1 happened.
+	text := metricsText(t, ts.URL)
+	sum := promValue(t, text, "cbx_serve_batch_size_sum")
+	count := promValue(t, text, "cbx_serve_batch_size_count")
+	if int(sum) != clients {
+		t.Fatalf("batch-size histogram sum %v, want %d\n%s", sum, clients, text)
+	}
+	if count >= float64(clients) {
+		t.Fatalf("%v forward passes for %d requests: nothing coalesced\n%s", count, clients, text)
+	}
+	if !strings.Contains(text, fmt.Sprintf(`cbx_serve_requests_total{code="200"} %d`, clients)) {
+		t.Fatalf("request counter missing:\n%s", text)
+	}
+}
+
+// promValue extracts a sample value from exposition text.
+func promValue(t *testing.T, text, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			var v float64
+			if _, err := fmt.Sscanf(strings.TrimPrefix(line, name+" "), "%g", &v); err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("sample %s not found in:\n%s", name, text)
+	return 0
+}

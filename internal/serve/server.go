@@ -1,0 +1,313 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cachebox/internal/cachesim"
+	"cachebox/internal/core"
+	"cachebox/internal/heatmap"
+	"cachebox/internal/metrics"
+)
+
+// Config tunes the service. The zero value gets sensible defaults.
+type Config struct {
+	// MaxBatch caps the coalesced forward-pass size (default 16).
+	MaxBatch int
+	// MaxWait bounds how long the first request of a batch waits for
+	// company before the batch is flushed anyway (default 2ms).
+	MaxWait time.Duration
+	// QueueDepth bounds the pending-request queue; a full queue
+	// rejects new predictions with HTTP 429 (default 256).
+	QueueDepth int
+	// RequestTimeout bounds a request's total queue + inference time
+	// (default 30s; exceeded requests get HTTP 504).
+	RequestTimeout time.Duration
+	// Workers is the number of batch-collection workers (default 1;
+	// forward passes on one model are serialised regardless, so more
+	// workers only help multi-model registries).
+	Workers int
+	// MaxBodyBytes caps predict request bodies (default 16 MiB — a
+	// 512×512 paper-scale heatmap in JSON is a few MiB).
+	MaxBodyBytes int64
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 2 * time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 16 << 20
+	}
+	return c
+}
+
+// serveMetrics bundles the service's operational metrics.
+type serveMetrics struct {
+	prom        *metrics.PromRegistry
+	requests    *metrics.CounterVec // by HTTP status code
+	batchSize   *metrics.Histogram
+	stageQueue  *metrics.Histogram
+	stageInfer  *metrics.Histogram
+	reloads     *metrics.Counter
+	writeErrors *metrics.Counter
+}
+
+func newServeMetrics() *serveMetrics {
+	p := metrics.NewPromRegistry()
+	sm := &serveMetrics{prom: p}
+	sm.requests = p.NewCounterVec("cbx_serve_requests_total",
+		"API responses by HTTP status code.", "code")
+	sm.batchSize = p.NewHistogram("cbx_serve_batch_size",
+		"Coalesced requests per generator forward pass.",
+		[]float64{1, 2, 4, 8, 16, 32, 64})
+	stage := p.NewHistogramVec("cbx_serve_stage_seconds",
+		"Per-stage request latency in seconds.", "stage",
+		[]float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5})
+	sm.stageQueue = stage.With("queue")
+	sm.stageInfer = stage.With("infer")
+	sm.reloads = p.NewCounter("cbx_serve_model_reloads_total",
+		"Successful registry hot reloads.")
+	sm.writeErrors = p.NewCounter("cbx_serve_write_errors_total",
+		"Response writes that failed after the handler committed.")
+	return sm
+}
+
+// Server is the batched inference HTTP service. Create with New, mount
+// as an http.Handler, and Close to drain on shutdown.
+type Server struct {
+	reg *Registry
+	cfg Config
+	b   *batcher
+	m   *serveMetrics
+	mux *http.ServeMux
+
+	draining  atomic.Bool
+	closeOnce sync.Once
+}
+
+// New wires a server around a model registry.
+func New(reg *Registry, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	m := newServeMetrics()
+	s := &Server{
+		reg: reg,
+		cfg: cfg,
+		b:   newBatcher(cfg.MaxBatch, cfg.QueueDepth, cfg.Workers, cfg.MaxWait, m),
+		m:   m,
+		mux: http.NewServeMux(),
+	}
+	m.prom.NewGaugeFunc("cbx_serve_queue_depth",
+		"Predictions enqueued but not yet collected into a batch.",
+		func() float64 { return float64(s.b.depth()) })
+	m.prom.NewGaugeFunc("cbx_serve_queue_capacity",
+		"Bounded queue capacity (429s begin past this depth).",
+		func() float64 { return float64(cfg.QueueDepth) })
+	m.prom.NewGaugeFunc("cbx_serve_models",
+		"Models currently loaded in the registry.",
+		func() float64 { return float64(s.reg.Len()) })
+	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	s.mux.HandleFunc("GET /v1/models", s.handleModels)
+	s.mux.HandleFunc("POST /admin/reload", s.handleReload)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close begins a graceful shutdown: new predictions are refused with
+// 503 while every already-accepted request is drained through the
+// batcher. It blocks until the drain completes and is safe to call
+// more than once. When fronted by an http.Server, call its Shutdown
+// first (so handlers finish receiving results), then Close.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.draining.Store(true)
+		s.b.close()
+	})
+}
+
+// respond writes a JSON response and counts it by status code.
+func (s *Server) respond(w http.ResponseWriter, code int, v any) {
+	s.m.requests.With(strconv.Itoa(code)).Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.m.writeErrors.Inc()
+	}
+}
+
+// fail writes a JSON error body with the given status.
+func (s *Server) fail(w http.ResponseWriter, code int, msg string) {
+	s.respond(w, code, errorResponse{Error: msg})
+}
+
+// handlePredict implements POST /v1/predict: validate, enqueue into
+// the micro-batcher, wait for the coalesced result.
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.fail(w, http.StatusServiceUnavailable, ErrDraining.Error())
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req PredictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "decode request: "+err.Error())
+		return
+	}
+	e, err := s.reg.get(req.Model)
+	switch {
+	case errors.Is(err, ErrUnknownModel):
+		s.fail(w, http.StatusNotFound, err.Error())
+		return
+	case errors.Is(err, ErrNoModels):
+		s.fail(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case err != nil:
+		s.fail(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	access, err := req.Access.toHeatmap("request")
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Sets < 1 || req.Ways < 1 {
+		s.fail(w, http.StatusBadRequest, "sets and ways must be at least 1")
+		return
+	}
+	// Requests that pass JSON-level validation but cannot be served by
+	// this model's architecture are 422s: well-formed, semantically
+	// unprocessable.
+	if size := e.model.Cfg.ImageSize; access.H != size || access.W != size {
+		s.fail(w, http.StatusUnprocessableEntity,
+			"access heatmap is "+strconv.Itoa(access.H)+"x"+strconv.Itoa(access.W)+
+				", model "+e.name+" expects "+strconv.Itoa(size)+"x"+strconv.Itoa(size))
+		return
+	}
+	accessSum := access.Sum()
+	if accessSum == 0 {
+		s.fail(w, http.StatusUnprocessableEntity, "access heatmap is empty (all-zero counts)")
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	p := &pending{
+		e:        e,
+		access:   access,
+		params:   core.CacheParams(cachesim.Config{Sets: req.Sets, Ways: req.Ways}),
+		ctx:      ctx,
+		enqueued: time.Now(),
+		resp:     make(chan result, 1),
+	}
+	if err := s.b.enqueue(p); err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			w.Header().Set("Retry-After", "1")
+			s.fail(w, http.StatusTooManyRequests, err.Error())
+			return
+		}
+		s.fail(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	select {
+	case res := <-p.resp:
+		if res.err != nil {
+			if errors.Is(res.err, context.DeadlineExceeded) {
+				s.fail(w, http.StatusGatewayTimeout, "request timed out in queue")
+				return
+			}
+			if errors.Is(res.err, context.Canceled) {
+				// Client went away; status is best-effort.
+				s.fail(w, http.StatusBadRequest, "request canceled")
+				return
+			}
+			s.fail(w, http.StatusInternalServerError, res.err.Error())
+			return
+		}
+		constrained := heatmap.ConstrainMiss(res.miss, access)
+		s.respond(w, http.StatusOK, PredictResponse{
+			Model:     e.name,
+			Miss:      heatmapToJSON(constrained),
+			HitRate:   1 - constrained.Sum()/accessSum,
+			BatchSize: res.batchSize,
+		})
+	case <-ctx.Done():
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			s.fail(w, http.StatusGatewayTimeout, "request timed out awaiting inference")
+			return
+		}
+		s.fail(w, http.StatusBadRequest, "request canceled")
+	}
+}
+
+// handleModels implements GET /v1/models.
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	s.respond(w, http.StatusOK, s.reg.Infos())
+}
+
+// handleReload implements POST /admin/reload: hot-reload the registry
+// directory and report what changed.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.fail(w, http.StatusServiceUnavailable, ErrDraining.Error())
+		return
+	}
+	sum, err := s.reg.Reload()
+	if err != nil {
+		if errors.Is(err, ErrNoDir) {
+			s.fail(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		s.fail(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.m.reloads.Inc()
+	s.respond(w, http.StatusOK, sum)
+}
+
+// handleHealthz implements GET /healthz: 200 while serving, 503 once
+// draining (so load balancers stop routing during shutdown).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status, code := "ok", http.StatusOK
+	if s.draining.Load() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	s.respond(w, code, healthResponse{
+		Status:     status,
+		Models:     s.reg.Len(),
+		QueueDepth: s.b.depth(),
+	})
+}
+
+// handleMetrics implements GET /metrics in Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	buf := s.m.prom.Expose()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if _, err := w.Write(buf); err != nil {
+		s.m.writeErrors.Inc()
+	}
+}

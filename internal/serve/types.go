@@ -1,0 +1,123 @@
+// Package serve is cbx-serve's engine: a batched CB-GAN inference
+// service turning the paper's headline capability — batched, parallel
+// cache-behaviour prediction — into a network service. Three pieces:
+//
+//   - a model Registry that loads named core.Model gob files from a
+//     directory, validates their architecture headers, and hot-reloads
+//     on demand;
+//   - a dynamic micro-batcher: concurrent POST /v1/predict requests
+//     are enqueued and coalesced into single batched generator forward
+//     passes, flushed when either the batch-size cap or a max-wait
+//     deadline is reached;
+//   - a bounded queue with backpressure (HTTP 429 when full),
+//     per-request context timeouts, and graceful shutdown that drains
+//     every accepted request.
+//
+// GET /metrics exposes Prometheus text metrics (request counts, queue
+// depth, a batch-size histogram, per-stage latency) built on
+// internal/metrics. Everything is Go standard library only.
+package serve
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"cachebox/internal/heatmap"
+)
+
+// HeatmapJSON is the wire form of a heatmap: row-major pixel counts.
+type HeatmapJSON struct {
+	H   int       `json:"h"`
+	W   int       `json:"w"`
+	Pix []float32 `json:"pix"`
+}
+
+// heatmapToJSON converts an in-memory heatmap to its wire form.
+func heatmapToJSON(m *heatmap.Heatmap) HeatmapJSON {
+	return HeatmapJSON{H: m.H, W: m.W, Pix: m.Pix}
+}
+
+// toHeatmap validates the wire form and converts it. Counts must be
+// finite and non-negative.
+func (j HeatmapJSON) toHeatmap(name string) (*heatmap.Heatmap, error) {
+	if j.H <= 0 || j.W <= 0 {
+		return nil, fmt.Errorf("heatmap dimensions must be positive, got %dx%d", j.H, j.W)
+	}
+	if len(j.Pix) != j.H*j.W {
+		return nil, fmt.Errorf("heatmap is %dx%d but carries %d pixels, want %d", j.H, j.W, len(j.Pix), j.H*j.W)
+	}
+	m := heatmap.NewHeatmap(name, j.H, j.W)
+	for i, v := range j.Pix {
+		f := float64(v)
+		if math.IsNaN(f) || math.IsInf(f, 0) || f < 0 {
+			return nil, fmt.Errorf("heatmap pixel %d is %v; counts must be finite and non-negative", i, v)
+		}
+		m.Pix[i] = v
+	}
+	return m, nil
+}
+
+// PredictRequest is the POST /v1/predict body: an access heatmap plus
+// the cache geometry to condition the generator on.
+type PredictRequest struct {
+	// Model names the registry entry to use. May be empty when the
+	// registry holds exactly one model.
+	Model string `json:"model,omitempty"`
+	// Access is the access heatmap to predict misses for.
+	Access HeatmapJSON `json:"access"`
+	// Sets and Ways are the cache geometry (the CB-GAN conditioning
+	// inputs of paper §3.2.3).
+	Sets int `json:"sets"`
+	Ways int `json:"ways"`
+}
+
+// PredictResponse is the POST /v1/predict result.
+type PredictResponse struct {
+	// Model is the registry entry that served the request.
+	Model string `json:"model"`
+	// Miss is the predicted miss heatmap, constrained to the physical
+	// support of the access heatmap (misses only where accesses were,
+	// and at most as many).
+	Miss HeatmapJSON `json:"miss"`
+	// HitRate is the hit rate implied by the constrained prediction.
+	HitRate float64 `json:"hit_rate"`
+	// BatchSize is the size of the coalesced forward pass this request
+	// rode in — an observability hook for the micro-batcher.
+	BatchSize int `json:"batch_size"`
+}
+
+// ModelInfo describes one registry entry (GET /v1/models).
+type ModelInfo struct {
+	Name      string    `json:"name"`
+	ImageSize int       `json:"image_size"`
+	CondDim   int       `json:"cond_dim"`
+	Path      string    `json:"path,omitempty"`
+	LoadedAt  time.Time `json:"loaded_at"`
+}
+
+// ReloadSummary reports what a registry hot reload changed
+// (POST /admin/reload).
+type ReloadSummary struct {
+	// Loaded lists models added by this reload.
+	Loaded []string `json:"loaded,omitempty"`
+	// Replaced lists models re-read from disk over an existing entry.
+	Replaced []string `json:"replaced,omitempty"`
+	// Removed lists models whose backing file disappeared.
+	Removed []string `json:"removed,omitempty"`
+	// Failed maps model names to load errors; the previous entry (if
+	// any) stays in service.
+	Failed map[string]string `json:"failed,omitempty"`
+}
+
+// healthResponse is the GET /healthz body.
+type healthResponse struct {
+	Status     string `json:"status"`
+	Models     int    `json:"models"`
+	QueueDepth int    `json:"queue_depth"`
+}
+
+// errorResponse is the JSON body of every non-2xx API response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
