@@ -20,6 +20,7 @@ import (
 	"cachebox/internal/metrics"
 	"cachebox/internal/serve"
 	"cachebox/internal/simpoint"
+	"cachebox/internal/store"
 	"cachebox/internal/trace"
 	"cachebox/internal/workload"
 )
@@ -93,6 +94,16 @@ type (
 	ReloadSummary = serve.ReloadSummary
 	// ModelHeaderError describes a rejected model file header.
 	ModelHeaderError = core.HeaderError
+	// Store is a content-addressed artifact store memoising simulation
+	// results, datasets and trained models.
+	Store = store.Store
+	// StoreKey addresses one artifact by its producing inputs.
+	StoreKey = store.Key
+	// StoreManifest describes one stored artifact.
+	StoreManifest = store.Manifest
+	// Checkpoint is a resumable training checkpoint (weights +
+	// optimiser state + RNG cursors + epoch counter).
+	Checkpoint = core.Checkpoint
 )
 
 // Workload suite constructors.
@@ -198,4 +209,23 @@ var (
 	// ErrUnknownModel is the inference service's unknown-model error
 	// (HTTP 404).
 	ErrUnknownModel = serve.ErrUnknownModel
+)
+
+// Artifact store and checkpoint constructors.
+var (
+	// OpenStore creates or opens a content-addressed artifact store.
+	OpenStore = store.Open
+	// ErrStoreMiss matches (errors.Is) a lookup with no stored entry.
+	ErrStoreMiss = store.ErrMiss
+	// LoadCheckpointFile reads a resumable training checkpoint.
+	LoadCheckpointFile = core.LoadCheckpointFile
+	// ErrBadCheckpoint matches (errors.Is) a checkpoint that cannot
+	// resume the current run.
+	ErrBadCheckpoint = core.ErrBadCheckpoint
+	// RuntimeSummary renders the process's store/simulator counters as
+	// one log line.
+	RuntimeSummary = metrics.RuntimeSummary
+	// NewModelRegistryFromStore serves models straight out of an
+	// artifact store.
+	NewModelRegistryFromStore = serve.NewRegistryFromStore
 )

@@ -298,6 +298,10 @@ func cmdTrain(args []string) error {
 	scale := fs.Float64("suite-scale", 0.25, "problem-size scale")
 	seed := fs.Int64("seed", 42, "train/test split seed")
 	maxBenches := fs.Int("max-benches", 0, "cap the number of training benchmarks (0 = all)")
+	storeDir := fs.String("store", "", "artifact store directory for memoised simulation results (empty = no store)")
+	noStore := fs.Bool("no-store", false, "disable the artifact store even if -store is set")
+	checkpointEvery := fs.Int("checkpoint-every", 0, "write a resumable checkpoint every N epochs (0 disables)")
+	resume := fs.Bool("resume", false, "resume training from the checkpoint file if present")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -305,6 +309,7 @@ func cmdTrain(args []string) error {
 	if *saveModel != "" {
 		path = *saveModel
 	}
+	ckptPath := path + ".ckpt"
 
 	var m *cachebox.Model
 	var err error
@@ -347,24 +352,52 @@ func cmdTrain(args []string) error {
 	}
 	p := cachebox.NewPipeline()
 	p.MaxPairsPerBench = 24
+	p.SplitSeed = *seed
 	if *tiny {
 		// Match the heatmap geometry to the miniature model and shrink
 		// the window so short traces still yield training pairs.
 		p.Heatmap = cachebox.HeatmapConfig{Height: 16, Width: 16, WindowInstr: 40, Overlap: 0.30, AddrShift: 6}
 		p.MaxPairsPerBench = 8
 	}
+	if *storeDir != "" && !*noStore {
+		st, err := cachebox.OpenStore(*storeDir)
+		if err != nil {
+			return err
+		}
+		p.Store = st
+	}
 	ds, err := p.Dataset(train, cfgs, 0.65)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("training on %d samples from %d benchmarks x %d configs\n", len(ds), len(train), len(cfgs))
-	if _, err := m.Train(ds, cachebox.TrainOptions{Epochs: *epochs, BatchSize: *batch, Seed: 1, Log: os.Stdout}); err != nil {
+	opt := cachebox.TrainOptions{Epochs: *epochs, BatchSize: *batch, Seed: 1, Log: os.Stdout}
+	if *checkpointEvery > 0 {
+		opt.CheckpointEvery = *checkpointEvery
+		opt.CheckpointPath = ckptPath
+	}
+	if *resume {
+		c, err := cachebox.LoadCheckpointFile(ckptPath)
+		if err != nil {
+			return fmt.Errorf("resume: %w", err)
+		}
+		opt.ResumeFrom = c
+		if opt.CheckpointPath == "" {
+			// Keep checkpointing where the resumed run left its state.
+			opt.CheckpointPath = ckptPath
+			opt.CheckpointEvery = 1
+		}
+	}
+	if _, err := m.Train(ds, opt); err != nil {
 		return err
 	}
 	if err := m.SaveFile(path); err != nil {
 		return err
 	}
 	fmt.Printf("saved model to %s\n", path)
+	if p.Store != nil {
+		fmt.Println(cachebox.RuntimeSummary())
+	}
 	return nil
 }
 

@@ -3,28 +3,40 @@
 // Usage:
 //
 //	cbx-experiments [-scale tiny|small|full] [-artifacts DIR] [-run LIST]
+//	                [-store DIR] [-no-store] [-split-seed N]
+//	                [-checkpoint-every N] [-resume]
 //
 // -run selects a comma-separated subset of
 // fig3,fig7,fig8,fig9,fig10,fig11,fig12,fig13,fig14,table1 (default:
 // all). Trained models are cached under the artifacts directory, so
 // experiments sharing a model (fig8/fig9/fig11/fig12/table1) train it
-// once.
+// once. Simulation results and models are additionally memoised in a
+// content-addressed artifact store (inspect it with cbx-store); a
+// rerun against a warm store performs zero simulator invocations.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"cachebox/internal/harness"
+	"cachebox/internal/metrics"
+	"cachebox/internal/store"
 )
 
 func main() {
 	scaleFlag := flag.String("scale", "small", "experiment scale: tiny, small or full")
 	artifacts := flag.String("artifacts", "artifacts", "directory for cached models and rendered figures")
 	run := flag.String("run", "all", "comma-separated experiments to run (fig3,fig7,...,fig14,table1)")
+	storeDir := flag.String("store", "", "artifact store directory (default: <artifacts>/store)")
+	noStore := flag.Bool("no-store", false, "disable the artifact store (always re-simulate)")
+	splitSeed := flag.Int64("split-seed", 42, "seed of the train/test benchmark split")
+	checkpointEvery := flag.Int("checkpoint-every", 5, "write a training checkpoint every N epochs (0 disables)")
+	resume := flag.Bool("resume", false, "resume interrupted training from existing checkpoints")
 	flag.Parse()
 
 	scale, err := harness.ParseScale(*scaleFlag)
@@ -33,6 +45,21 @@ func main() {
 		os.Exit(2)
 	}
 	r := harness.NewRunner(scale, *artifacts, os.Stdout)
+	r.SplitSeed = *splitSeed
+	r.CheckpointEvery = *checkpointEvery
+	r.Resume = *resume
+	if !*noStore {
+		dir := *storeDir
+		if dir == "" {
+			dir = filepath.Join(*artifacts, "store")
+		}
+		st, err := store.Open(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		r.Store = st
+	}
 
 	all := []string{"fig3", "fig14", "fig7", "fig8", "fig9", "fig12", "fig11", "fig10", "fig13", "table1", "ablation"}
 	want := map[string]bool{}
@@ -76,6 +103,7 @@ func main() {
 		}
 		fmt.Printf("===== %s done in %.1fs =====\n", s.name, time.Since(t0).Seconds())
 	}
+	fmt.Println(metrics.RuntimeSummary())
 	if failed > 0 {
 		os.Exit(1)
 	}

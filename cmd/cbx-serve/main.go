@@ -11,6 +11,11 @@
 //
 //	cbx-serve -model model.cbgan
 //
+// Serve models straight out of a content-addressed artifact store (the
+// newest entry per model name wins; reload re-scans the store):
+//
+//	cbx-serve -store artifacts/store
+//
 // Run as a one-shot smoke-test client against a live server and exit:
 //
 //	cbx-serve -smoke http://127.0.0.1:8080
@@ -42,6 +47,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	modelsDir := flag.String("models", "", "directory of *"+serve.ModelExt+" model files (hot-reloadable)")
 	modelFile := flag.String("model", "", "single model file (static registry, served as \"default\")")
+	storeDir := flag.String("store", "", "artifact store to serve models from (kind \"model\" entries)")
 	maxBatch := flag.Int("max-batch", 16, "max coalesced requests per forward pass")
 	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "max wait for a batch to fill before flushing")
 	queueDepth := flag.Int("queue", 256, "bounded queue depth (full queue returns 429)")
@@ -59,7 +65,7 @@ func main() {
 		return
 	}
 
-	reg, err := buildRegistry(*modelsDir, *modelFile)
+	reg, err := buildRegistry(*modelsDir, *modelFile, *storeDir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cbx-serve:", err)
 		os.Exit(1)
@@ -99,13 +105,21 @@ func main() {
 	}
 }
 
-// buildRegistry resolves the -models / -model flags.
-func buildRegistry(dir, file string) (*serve.Registry, error) {
+// buildRegistry resolves the -models / -model / -store flags.
+func buildRegistry(dir, file, storeDir string) (*serve.Registry, error) {
+	set := 0
+	for _, v := range []string{dir, file, storeDir} {
+		if v != "" {
+			set++
+		}
+	}
 	switch {
-	case dir != "" && file != "":
-		return nil, fmt.Errorf("use -models or -model, not both")
+	case set > 1:
+		return nil, fmt.Errorf("use exactly one of -models, -model, -store")
 	case dir != "":
 		return serve.NewRegistry(dir)
+	case storeDir != "":
+		return serve.NewRegistryFromStore(storeDir)
 	case file != "":
 		m, err := core.LoadFile(file)
 		if err != nil {
@@ -113,7 +127,7 @@ func buildRegistry(dir, file string) (*serve.Registry, error) {
 		}
 		return serve.NewStaticRegistry("default", m), nil
 	default:
-		return nil, fmt.Errorf("need -models <dir> or -model <file> (or -smoke <url>)")
+		return nil, fmt.Errorf("need -models <dir>, -model <file> or -store <dir> (or -smoke <url>)")
 	}
 }
 

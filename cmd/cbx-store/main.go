@@ -1,0 +1,210 @@
+// Command cbx-store inspects and maintains a CacheBox artifact store
+// (see internal/store): the content-addressed cache of simulation
+// datasets, trained models and training checkpoints that makes
+// repeated experiment runs cheap.
+//
+// Usage:
+//
+//	cbx-store [-root dir] ls
+//	cbx-store [-root dir] info <digest-prefix>
+//	cbx-store [-root dir] cat <digest-prefix> > payload.bin
+//	cbx-store [-root dir] verify
+//	cbx-store [-root dir] gc -max-bytes N
+//	cbx-store [-root dir] rm <digest-prefix>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"cachebox/internal/store"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cbx-store:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("cbx-store", flag.ContinueOnError)
+	root := fs.String("root", "artifacts/store", "store root directory")
+	fs.Usage = func() {
+		//lint:ignore unchecked-error usage text on the flag set's stderr; flag's own defaults printing is equally unchecked
+		fmt.Fprintf(fs.Output(), "usage: cbx-store [-root dir] <ls|info|cat|verify|gc|rm> [args]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		fs.Usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	s, err := store.Open(*root)
+	if err != nil {
+		return err
+	}
+	cmd, rest := rest[0], rest[1:]
+	switch cmd {
+	case "ls":
+		return cmdLs(s, out)
+	case "info":
+		return cmdInfo(s, rest, out)
+	case "cat":
+		return cmdCat(s, rest, out)
+	case "verify":
+		return cmdVerify(s, out)
+	case "gc":
+		return cmdGC(s, rest, out)
+	case "rm":
+		return cmdRm(s, rest, out)
+	default:
+		fs.Usage()
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}
+
+func cmdLs(s *store.Store, out io.Writer) error {
+	entries, err := s.Entries()
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "DIGEST\tKIND\tSIZE\tCREATED\tINPUTS")
+	for _, e := range entries {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%s\n",
+			e.Digest[:12], e.Kind, e.Size,
+			e.CreatedAt.Format("2006-01-02T15:04:05Z"), inputsSummary(e.Inputs, 3))
+	}
+	return tw.Flush()
+}
+
+// inputsSummary renders up to max name=value pairs, sorted by name.
+func inputsSummary(inputs map[string]string, max int) string {
+	names := make([]string, 0, len(inputs))
+	for name := range inputs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := ""
+	for i, name := range names {
+		if i >= max {
+			out += fmt.Sprintf(" +%d more", len(names)-max)
+			break
+		}
+		if i > 0 {
+			out += " "
+		}
+		out += name + "=" + inputs[name]
+	}
+	return out
+}
+
+func cmdInfo(s *store.Store, args []string, out io.Writer) error {
+	if len(args) != 1 {
+		return fmt.Errorf("info takes exactly one digest prefix")
+	}
+	digest, err := s.ResolvePrefix(args[0])
+	if err != nil {
+		return err
+	}
+	rc, man, err := s.OpenDigest(digest)
+	if err != nil {
+		return err
+	}
+	//lint:ignore unchecked-error read-only handle closed at process exit; nothing to flush
+	defer rc.Close()
+	if _, err := fmt.Fprintf(out, "digest:  %s\nkind:    %s\nformat:  %d\nsize:    %d bytes\nsha256:  %s\ncreated: %s\n",
+		man.Digest, man.Kind, man.Format, man.Size, man.SHA256,
+		man.CreatedAt.Format("2006-01-02T15:04:05Z")); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(man.Inputs))
+	for name := range man.Inputs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(out, "input:   %s = %s\n", name, man.Inputs[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func cmdCat(s *store.Store, args []string, out io.Writer) error {
+	if len(args) != 1 {
+		return fmt.Errorf("cat takes exactly one digest prefix")
+	}
+	digest, err := s.ResolvePrefix(args[0])
+	if err != nil {
+		return err
+	}
+	rc, _, err := s.OpenDigest(digest)
+	if err != nil {
+		return err
+	}
+	_, err = io.Copy(out, rc)
+	if cerr := rc.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func cmdVerify(s *store.Store, out io.Writer) error {
+	entries, err := s.Entries()
+	if err != nil {
+		return err
+	}
+	bad, err := s.VerifyAll()
+	if err != nil {
+		return err
+	}
+	if len(bad) == 0 {
+		_, err := fmt.Fprintf(out, "ok: %d entries verified\n", len(entries))
+		return err
+	}
+	for _, d := range bad {
+		if _, err := fmt.Fprintf(out, "corrupt: %s\n", d); err != nil {
+			return err
+		}
+	}
+	return fmt.Errorf("%d of %d entries corrupt", len(bad), len(entries))
+}
+
+func cmdGC(s *store.Store, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("cbx-store gc", flag.ContinueOnError)
+	maxBytes := fs.Int64("max-bytes", 1<<30, "evict least-recently-used entries until total payload size fits")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	stats, err := s.GC(*maxBytes)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(out, "gc: scanned %d, deleted %d, freed %d bytes, %d bytes kept\n",
+		stats.Scanned, stats.Deleted, stats.BytesFreed, stats.BytesKept)
+	return err
+}
+
+func cmdRm(s *store.Store, args []string, out io.Writer) error {
+	if len(args) != 1 {
+		return fmt.Errorf("rm takes exactly one digest prefix")
+	}
+	digest, err := s.ResolvePrefix(args[0])
+	if err != nil {
+		return err
+	}
+	if err := s.Remove(digest); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(out, "removed %s\n", digest[:12])
+	return err
+}

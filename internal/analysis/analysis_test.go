@@ -78,6 +78,7 @@ func TestDefaultAnalyzers(t *testing.T) {
 	want := []string{
 		"unseeded-rand", "map-range-numeric", "unchecked-error",
 		"library-panic", "mutex-by-value", "shape-arity",
+		"nonatomic-write",
 	}
 	got := DefaultAnalyzers("cachebox")
 	if len(got) != len(want) {

@@ -119,6 +119,20 @@ func TestMutexByValue(t *testing.T) {
 	checkFixture(t, "mutexcopy", MutexByValue())
 }
 
+func TestNonatomicWrite(t *testing.T) {
+	checkFixture(t, "nonatomic", NonatomicWrite("nonatomic"))
+}
+
+func TestNonatomicWriteSkipsOtherPackages(t *testing.T) {
+	// The fixture is full of direct writes, but only registered
+	// artifact packages are in scope.
+	pkg := loadFixture(t, "nonatomic")
+	findings := Run([]*Package{pkg}, []*Analyzer{NonatomicWrite("othername")})
+	if len(findings) != 0 {
+		t.Fatalf("package outside the artifact set must produce no findings, got %v", findings)
+	}
+}
+
 func TestShapeArity(t *testing.T) {
 	checkFixture(t, "shapes", ShapeArity("fixture/tensor"))
 }

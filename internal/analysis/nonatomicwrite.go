@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+)
+
+// defaultArtifactPackages are the package base names that publish
+// artifacts other processes read concurrently (the artifact store and
+// the model-serving registry). Writes there must go through the
+// temp-file + rename pattern so a reader never observes a half-written
+// file.
+var defaultArtifactPackages = []string{"store", "serve"}
+
+// NonatomicWrite flags direct file creation — os.Create, os.WriteFile,
+// or os.OpenFile with os.O_CREATE — inside artifact-publishing
+// packages. Those packages promise crash-safe, torn-read-free
+// artifacts, which only holds when payloads are staged with
+// os.CreateTemp and published with os.Rename (see
+// store.WriteFileAtomic). Deliberate exceptions (O_EXCL lock
+// acquisition, advisory sidecars) carry a lint:ignore with the reason.
+func NonatomicWrite(artifactPkgs ...string) *Analyzer {
+	if len(artifactPkgs) == 0 {
+		artifactPkgs = defaultArtifactPackages
+	}
+	names := make(map[string]bool, len(artifactPkgs))
+	for _, n := range artifactPkgs {
+		names[n] = true
+	}
+	a := &Analyzer{
+		Name: "nonatomic-write",
+		Doc:  "flags direct file creation in artifact packages; stage with CreateTemp and publish with Rename",
+	}
+	a.Run = func(pass *Pass) {
+		if !names[path.Base(pass.Pkg.ImportPath)] {
+			return
+		}
+		for _, file := range pass.Files() {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, ok := osFuncName(pass, call.Fun)
+				if !ok {
+					return true
+				}
+				switch name {
+				case "Create", "WriteFile":
+					pass.Report(call.Pos(), "os.%s publishes a file non-atomically; stage with os.CreateTemp and os.Rename into place", name)
+				case "OpenFile":
+					if len(call.Args) >= 2 && mentionsOCreate(pass, call.Args[1]) {
+						pass.Report(call.Pos(), "os.OpenFile with os.O_CREATE publishes a file non-atomically; stage with os.CreateTemp and os.Rename into place")
+					}
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// osFuncName resolves fun to a package-level function of the "os"
+// package and returns its name.
+func osFuncName(pass *Pass, fun ast.Expr) (string, bool) {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := pass.Pkg.TypesInfo.Uses[ident].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "os" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// mentionsOCreate reports whether the flag expression references
+// os.O_CREATE anywhere (typically OR-ed with other open flags).
+func mentionsOCreate(pass *Pass, flags ast.Expr) bool {
+	found := false
+	ast.Inspect(flags, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "O_CREATE" {
+			return true
+		}
+		ident, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pn, ok := pass.Pkg.TypesInfo.Uses[ident].(*types.PkgName); ok && pn.Imported().Path() == "os" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

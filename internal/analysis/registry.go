@@ -3,8 +3,9 @@ package analysis
 // DefaultAnalyzers returns the production analyzer set for a module
 // rooted at modulePath (e.g. "cachebox"). The set is the lint gate the
 // CI runs: determinism (unseeded-rand, map-range-numeric), robustness
-// (unchecked-error, library-panic), concurrency (mutex-by-value) and
-// numeric-API hygiene (shape-arity).
+// (unchecked-error, library-panic), concurrency (mutex-by-value),
+// numeric-API hygiene (shape-arity) and artifact durability
+// (nonatomic-write).
 func DefaultAnalyzers(modulePath string) []*Analyzer {
 	return []*Analyzer{
 		UnseededRand(),
@@ -13,5 +14,6 @@ func DefaultAnalyzers(modulePath string) []*Analyzer {
 		LibraryPanic(modulePath),
 		MutexByValue(),
 		ShapeArity(modulePath + "/internal/tensor"),
+		NonatomicWrite(),
 	}
 }

@@ -1,0 +1,52 @@
+// Package nonatomic exercises the nonatomic-write analyzer (the test
+// registers this package name as artifact-publishing).
+package nonatomic
+
+import "os"
+
+// PublishDirect writes an artifact in place: a reader can observe the
+// half-written file, and a crash leaves a torn artifact behind.
+func PublishDirect(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want "os.WriteFile publishes a file non-atomically"
+}
+
+// PublishCreate truncate-creates the final path before the payload is
+// complete.
+func PublishCreate(path string) (*os.File, error) {
+	return os.Create(path) // want "os.Create publishes a file non-atomically"
+}
+
+// PublishOpen open-creates the final path directly.
+func PublishOpen(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644) // want "os.OpenFile with os.O_CREATE"
+}
+
+// PublishAtomic stages under a temp name and renames into place: the
+// sanctioned pattern, never flagged.
+func PublishAtomic(dir, path string, data []byte) error {
+	f, err := os.CreateTemp(dir, "stage-*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		//lint:ignore unchecked-error already failing; close error cannot improve the report
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(f.Name(), path)
+}
+
+// AcquireLock uses O_EXCL creation as a mutex, which is deliberate and
+// says why.
+func AcquireLock(path string) (*os.File, error) {
+	//lint:ignore nonatomic-write O_EXCL creation is the lock acquisition itself, not an artifact publish
+	return os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+}
+
+// ReadOnly opens without O_CREATE; never flagged.
+func ReadOnly(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_RDONLY, 0)
+}

@@ -132,6 +132,18 @@ func (g *Generator) State() []*nn.Param {
 	return ps
 }
 
+// Dropouts returns the generator's active dropout layers in decoder
+// order, so checkpointing can record and restore their RNG cursors.
+func (g *Generator) Dropouts() []*nn.Dropout {
+	var ds []*nn.Dropout
+	for _, d := range g.drops {
+		if d != nil {
+			ds = append(ds, d)
+		}
+	}
+	return ds
+}
+
 // concatC concatenates along the channel axis: [N,C1,H,W] ++ [N,C2,H,W].
 func concatC(a, b *tensor.Tensor) *tensor.Tensor {
 	n, c1, h, w := a.Shape[0], a.Shape[1], a.Shape[2], a.Shape[3]

@@ -20,6 +20,17 @@ type TrainOptions struct {
 	Seed int64
 	// Log, when non-nil, receives one progress line per epoch.
 	Log io.Writer
+	// CheckpointEvery, when positive together with CheckpointPath,
+	// writes a resumable checkpoint after every N epochs (and after
+	// the final one).
+	CheckpointEvery int
+	// CheckpointPath is where periodic checkpoints are written
+	// (atomically; a crash mid-write preserves the previous one).
+	CheckpointPath string
+	// ResumeFrom, when non-nil, restores a checkpoint written by an
+	// earlier run with the same options and continues from its epoch.
+	// The resumed run is bit-identical to an uninterrupted one.
+	ResumeFrom *Checkpoint
 }
 
 // EpochStats records the mean losses of one training epoch.
@@ -77,7 +88,25 @@ func (m *Model) Train(samples []Sample, opt TrainOptions) (*TrainStats, error) {
 		order[i] = i
 	}
 	stats := &TrainStats{}
-	for epoch := 0; epoch < opt.Epochs; epoch++ {
+	startEpoch := 0
+	if opt.ResumeFrom != nil {
+		var err error
+		startEpoch, err = m.restoreCheckpoint(opt.ResumeFrom, opt, len(samples), optG, optD, stats)
+		if err != nil {
+			return nil, err
+		}
+		// Replay the shuffle RNG through the completed epochs so the
+		// remaining epochs see the same batch orders as an
+		// uninterrupted run.
+		for e := 0; e < startEpoch; e++ {
+			rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		}
+		if opt.Log != nil {
+			//lint:ignore unchecked-error progress logging; a failing log writer must not abort training
+			fmt.Fprintf(opt.Log, "resumed from checkpoint: %d/%d epochs complete\n", startEpoch, opt.Epochs)
+		}
+	}
+	for epoch := startEpoch; epoch < opt.Epochs; epoch++ {
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		es := EpochStats{Epoch: epoch}
 		for lo := 0; lo < len(order); lo += opt.BatchSize {
@@ -109,6 +138,13 @@ func (m *Model) Train(samples []Sample, opt TrainOptions) (*TrainStats, error) {
 			//lint:ignore unchecked-error progress logging; a failing log writer must not abort training
 			fmt.Fprintf(opt.Log, "epoch %d: D=%.4f Gadv=%.4f L1=%.4f (batches=%d skipped=%d)\n",
 				epoch, es.DLoss, es.GAdv, es.GL1, es.Batches, es.Skipped)
+		}
+		if opt.CheckpointEvery > 0 && opt.CheckpointPath != "" &&
+			((epoch+1)%opt.CheckpointEvery == 0 || epoch == opt.Epochs-1) {
+			c := m.checkpoint(epoch+1, opt, len(samples), optG, optD, stats)
+			if err := c.SaveFile(opt.CheckpointPath); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return stats, nil

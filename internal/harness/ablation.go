@@ -43,6 +43,7 @@ func (r *Runner) Ablations() ([]AblationResult, error) {
 		build := func(benches []workload.Benchmark) ([]core.Sample, error) {
 			var out []core.Sample
 			for _, b := range benches {
+				metrics.SimRuns.Inc()
 				lt := cachesim.RunTrace(cachesim.New(cfg), b.Trace())
 				pairs, err := heatmap.BuildPair(hm, lt.Accesses, lt.Misses)
 				if err != nil {
@@ -71,6 +72,7 @@ func (r *Runner) Ablations() ([]AblationResult, error) {
 		}
 		var diffs []float64
 		for _, b := range test {
+			metrics.SimRuns.Inc()
 			lt := cachesim.RunTrace(cachesim.New(cfg), b.Trace())
 			pairs, err := heatmap.BuildPair(hm, lt.Accesses, lt.Misses)
 			if err != nil || len(pairs) == 0 {

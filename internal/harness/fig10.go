@@ -6,6 +6,7 @@ import (
 	"cachebox/internal/cachesim"
 	"cachebox/internal/core"
 	"cachebox/internal/heatmap"
+	"cachebox/internal/metrics"
 	"cachebox/internal/workload"
 )
 
@@ -28,6 +29,7 @@ func (r *Runner) levelSamples(benches []workload.Benchmark, withParams bool) ([]
 		return nil, err
 	}
 	for _, b := range benches {
+		metrics.SimRuns.Inc()
 		lts := cachesim.RunHierarchy(h, b.Trace())
 		for i, lt := range lts {
 			if lt.HitRate() < levelThresholds[i] {
@@ -58,6 +60,7 @@ func (r *Runner) evalLevel(m *core.Model, b workload.Benchmark, level int) (true
 	if err != nil {
 		return 0, 0, err
 	}
+	metrics.SimRuns.Inc()
 	lts := cachesim.RunHierarchy(h, b.Trace())
 	lt := lts[level]
 	pairs, err := heatmap.BuildPair(r.Profile.Heatmap, lt.Accesses, lt.Misses)
@@ -118,7 +121,7 @@ func (r *Runner) Fig10() (*Fig10Result, error) {
 			return nil, err
 		}
 		r.logf("[fig10] combined model: %d samples across %d levels\n", len(ds), len(levels))
-		if _, err := model.Train(ds, core.TrainOptions{Epochs: r.Profile.EpochsAux, BatchSize: r.Profile.BatchSize, Seed: 4}); err != nil {
+		if _, err := model.Train(ds, r.trainOpts("fig10-combined", r.Profile.EpochsAux, 4)); err != nil {
 			return nil, err
 		}
 		return model, nil
@@ -147,7 +150,7 @@ func (r *Runner) Fig10() (*Fig10Result, error) {
 				return nil, err
 			}
 			r.logf("[fig10] standalone L%d model: %d samples\n", i+1, len(levels[i]))
-			if _, err := model.Train(levels[i], core.TrainOptions{Epochs: r.Profile.EpochsAux, BatchSize: r.Profile.BatchSize, Seed: int64(5 + i)}); err != nil {
+			if _, err := model.Train(levels[i], r.trainOpts(fmt.Sprintf("fig10-standalone-l%d", i+1), r.Profile.EpochsAux, int64(5+i))); err != nil {
 				return nil, err
 			}
 			return model, nil

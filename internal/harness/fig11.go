@@ -6,6 +6,7 @@ import (
 	"cachebox/internal/cachesim"
 	"cachebox/internal/core"
 	"cachebox/internal/heatmap"
+	"cachebox/internal/metrics"
 	"cachebox/internal/multicachesim"
 )
 
@@ -49,8 +50,10 @@ func (r *Runner) Fig11() (*Fig11Result, error) {
 		tr := b.Trace()
 		traceLen += tr.Len()
 		t0 := time.Now()
+		metrics.SimRuns.Inc()
 		mcs.RunTrace(tr)
 		mcsTime += time.Since(t0)
+		metrics.SimRuns.Inc()
 		lt := cachesim.RunTrace(cachesim.New(cfg), tr)
 		pairs, err := heatmap.BuildPair(r.Profile.Heatmap, lt.Accesses, lt.Misses)
 		if err != nil {

@@ -33,6 +33,7 @@ func (r *Runner) prefetchPairs(b workload.Benchmark) ([]heatmap.Pair, error) {
 	rec := &cachesim.RecordingPrefetcher{Inner: &cachesim.NextLinePrefetcher{}}
 	c.Prefetcher = rec
 	tr := b.Trace()
+	metrics.SimRuns.Inc()
 	cachesim.RunTrace(c, tr)
 	pf := heatmap.PrefetchTrace(b.Name+".prefetch", rec.Records, 6)
 	if tr.Len() == 0 {
@@ -91,7 +92,7 @@ func (r *Runner) Fig13() (*Fig13Result, error) {
 			return nil, err
 		}
 		r.logf("[fig13] training on %d access/prefetch pairs\n", len(ds))
-		if _, err := model.Train(ds, core.TrainOptions{Epochs: r.Profile.EpochsAux, BatchSize: r.Profile.BatchSize, Seed: 7}); err != nil {
+		if _, err := model.Train(ds, r.trainOpts("fig13-prefetch", r.Profile.EpochsAux, 7)); err != nil {
 			return nil, err
 		}
 		return model, nil

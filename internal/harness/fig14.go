@@ -29,6 +29,7 @@ func (r *Runner) Fig14() (*Fig14Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		metrics.SimRuns.Inc()
 		lts := cachesim.RunHierarchy(h, b.Trace())
 		l1 = append(l1, lts[0].HitRate())
 		l2 = append(l2, lts[1].HitRate())

@@ -5,7 +5,6 @@ import (
 	"os"
 	"path/filepath"
 
-	"cachebox/internal/cachesim"
 	"cachebox/internal/heatmap"
 	"cachebox/internal/workload"
 )
@@ -21,8 +20,7 @@ type Fig3Result struct {
 func (r *Runner) Fig3() (*Fig3Result, error) {
 	suite := workload.PolyLike(r.Profile.Ops, r.Profile.SuiteScale)
 	b := suite.Benchmarks[0]
-	lt := cachesim.RunTrace(cachesim.New(L1Default), b.Trace())
-	pairs, err := heatmap.BuildPair(r.Profile.Heatmap, lt.Accesses, lt.Misses)
+	pairs, _, err := r.pairsFor(b, L1Default)
 	if err != nil {
 		return nil, err
 	}

@@ -34,7 +34,7 @@ func (r *Runner) Fig7() (*Fig7Result, error) {
 			return nil, err
 		}
 		r.logf("[fig7] training on %d samples from %d benchmarks\n", len(ds), len(train))
-		if _, err := model.Train(ds, core.TrainOptions{Epochs: r.Profile.Epochs, BatchSize: r.Profile.BatchSize, Seed: 1}); err != nil {
+		if _, err := model.Train(ds, r.trainOpts("fig7-rq1-mixed", r.Profile.Epochs, 1)); err != nil {
 			return nil, err
 		}
 		return model, nil

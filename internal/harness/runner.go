@@ -13,6 +13,7 @@ import (
 	"cachebox/internal/core"
 	"cachebox/internal/heatmap"
 	"cachebox/internal/metrics"
+	"cachebox/internal/store"
 	"cachebox/internal/workload"
 )
 
@@ -54,8 +55,19 @@ type Runner struct {
 	Profile      Profile
 	ArtifactsDir string
 	Out          io.Writer
-	// SplitSeed fixes the train/test split.
+	// SplitSeed fixes the train/test split. It is part of every store
+	// key, so runs with different splits never share cached artifacts.
 	SplitSeed int64
+	// Store, when non-nil, memoises ground-truth simulation results
+	// and trained models: a rerun of the same figure against a warm
+	// store performs zero simulator invocations.
+	Store *store.Store
+	// CheckpointEvery, when positive, makes trained models write a
+	// resumable checkpoint every N epochs next to the model artifact.
+	CheckpointEvery int
+	// Resume restores training from an existing checkpoint file when
+	// one is present.
+	Resume bool
 }
 
 // NewRunner builds a runner writing human-readable results to out.
@@ -99,9 +111,19 @@ func (r *Runner) split(benches []workload.Benchmark) (train, test []workload.Ben
 	return workload.Split(benches, 0.8, r.SplitSeed)
 }
 
-// pairsFor simulates one benchmark/config and returns capped heatmap
-// pairs plus the true hit rate.
+// pairsFor returns capped heatmap pairs plus the true hit rate for one
+// benchmark/config, memoised through the artifact store when one is
+// attached: a warm-store call returns the cached simulation result
+// without running the simulator at all.
 func (r *Runner) pairsFor(b workload.Benchmark, cfg cachesim.Config) ([]heatmap.Pair, float64, error) {
+	var key store.Key
+	if r.Store != nil {
+		key = store.PairsKey(b, cfg, r.Profile.Heatmap, r.Profile.MaxPairs, r.SplitSeed)
+		if art, err := r.Store.LoadPairs(key); err == nil {
+			return art.Pairs, art.HitRate, nil
+		}
+	}
+	metrics.SimRuns.Inc()
 	tr := b.Trace()
 	lt := cachesim.RunTrace(cachesim.New(cfg), tr)
 	pairs, err := heatmap.BuildPair(r.Profile.Heatmap, lt.Accesses, lt.Misses)
@@ -110,6 +132,11 @@ func (r *Runner) pairsFor(b workload.Benchmark, cfg cachesim.Config) ([]heatmap.
 	}
 	if r.Profile.MaxPairs > 0 && len(pairs) > r.Profile.MaxPairs {
 		pairs = pairs[:r.Profile.MaxPairs]
+	}
+	if r.Store != nil {
+		if err := r.Store.SavePairs(key, &store.PairsArtifact{Pairs: pairs, HitRate: lt.HitRate()}); err != nil {
+			r.logf("[store] warning: could not cache pairs for %s: %v\n", b.Name, err)
+		}
 	}
 	return pairs, lt.HitRate(), nil
 }
@@ -144,9 +171,61 @@ func (r *Runner) modelPath(name string) string {
 	return filepath.Join(r.ArtifactsDir, fmt.Sprintf("%s-%s.cbgan", r.Scale, name))
 }
 
+// modelKey derives the store key for a named trained model. Unlike the
+// legacy file cache (which keys on scale+name alone), it includes the
+// split seed: a model trained on a different train/test split is a
+// different artifact.
+func (r *Runner) modelKey(name string) store.Key {
+	return store.Key{
+		Kind:   "model",
+		Format: 1,
+		Inputs: map[string]string{
+			"name":       name,
+			"scale":      r.Scale.String(),
+			"split_seed": fmt.Sprintf("%d", r.SplitSeed),
+		},
+	}
+}
+
+// trainOpts builds the TrainOptions for a named harness model, wiring
+// in the runner's checkpoint/resume policy. The checkpoint lands next
+// to the model artifact as <scale>-<name>.ckpt.
+func (r *Runner) trainOpts(name string, epochs int, seed int64) core.TrainOptions {
+	opt := core.TrainOptions{Epochs: epochs, BatchSize: r.Profile.BatchSize, Seed: seed}
+	if r.CheckpointEvery <= 0 || r.ArtifactsDir == "" {
+		return opt
+	}
+	if err := os.MkdirAll(r.ArtifactsDir, 0o755); err != nil {
+		r.logf("[%s] warning: no artifacts dir, checkpointing disabled: %v\n", name, err)
+		return opt
+	}
+	opt.CheckpointEvery = r.CheckpointEvery
+	opt.CheckpointPath = filepath.Join(r.ArtifactsDir, fmt.Sprintf("%s-%s.ckpt", r.Scale, name))
+	if r.Resume {
+		if c, err := core.LoadCheckpointFile(opt.CheckpointPath); err == nil {
+			opt.ResumeFrom = c
+		} else if !os.IsNotExist(err) {
+			r.logf("[%s] warning: ignoring unusable checkpoint %s: %v\n", name, opt.CheckpointPath, err)
+		}
+	}
+	return opt
+}
+
 // trainOrLoad returns the named model, training it with build() on a
-// cache miss and persisting the result.
+// cache miss and persisting the result. The store (when attached) is
+// consulted before the legacy per-scale model file.
 func (r *Runner) trainOrLoad(name string, build func() (*core.Model, error)) (*core.Model, error) {
+	if r.Store != nil {
+		if rc, _, err := r.Store.Get(r.modelKey(name)); err == nil {
+			m, lerr := core.Load(rc)
+			cerr := rc.Close()
+			if lerr == nil && cerr == nil {
+				r.logf("[%s] loaded model from store\n", name)
+				return m, nil
+			}
+			r.logf("[%s] warning: stored model unusable: load=%v close=%v\n", name, lerr, cerr)
+		}
+	}
 	path := r.modelPath(name)
 	if m, err := core.LoadFile(path); err == nil {
 		r.logf("[%s] loaded cached model %s\n", name, path)
@@ -163,6 +242,11 @@ func (r *Runner) trainOrLoad(name string, build func() (*core.Model, error)) (*c
 			if err := m.SaveFile(path); err != nil {
 				r.logf("[%s] warning: could not cache model: %v\n", name, err)
 			}
+		}
+	}
+	if r.Store != nil {
+		if _, err := r.Store.Put(r.modelKey(name), m.Save); err != nil {
+			r.logf("[%s] warning: could not store model: %v\n", name, err)
 		}
 	}
 	return m, nil

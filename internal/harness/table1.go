@@ -74,6 +74,7 @@ func (r *Runner) Table1() (*Table1Result, error) {
 		baseDiffs := map[string][]float64{}
 		for _, b := range byGroup[g] {
 			tr := b.Trace()
+			metrics.SimRuns.Inc()
 			trueMiss := cachesim.RunTrace(cachesim.New(cfg), tr).Stats.MissRate()
 			for _, pr := range preds {
 				d := metrics.AbsPctDiff(trueMiss, pr.PredictMissRate(tr, cfg))

@@ -1,0 +1,48 @@
+package metrics
+
+// This file holds the process-wide runtime counters: cache
+// effectiveness of the artifact store and how often the architectural
+// simulator actually runs. They live in a package-level registry so
+// internal/store and the experiment pipeline can count without
+// plumbing a registry handle through every constructor, and so both
+// cbx-serve's /metrics endpoint and the CLIs can report them.
+
+import "fmt"
+
+// Runtime is the process-wide registry behind the counters below.
+// Servers append Runtime.Expose() to their /metrics payload.
+var Runtime = NewPromRegistry()
+
+var (
+	// StoreHits counts artifact-store lookups served from the store.
+	StoreHits = Runtime.NewCounter("cachebox_store_hits_total",
+		"Artifact store lookups that found an entry.")
+	// StoreMisses counts lookups that found no entry.
+	StoreMisses = Runtime.NewCounter("cachebox_store_misses_total",
+		"Artifact store lookups that found no entry.")
+	// StoreBytesRead counts payload bytes served from the store.
+	StoreBytesRead = Runtime.NewCounter("cachebox_store_read_bytes_total",
+		"Payload bytes read from the artifact store.")
+	// StoreBytesWritten counts payload bytes published to the store.
+	StoreBytesWritten = Runtime.NewCounter("cachebox_store_written_bytes_total",
+		"Payload bytes written to the artifact store.")
+	// StoreEvictions counts entries deleted by garbage collection.
+	StoreEvictions = Runtime.NewCounter("cachebox_store_evictions_total",
+		"Artifact store entries evicted by garbage collection.")
+	// SimRuns counts ground-truth simulator invocations. A warm-store
+	// experiment rerun should leave this at zero.
+	SimRuns = Runtime.NewCounter("cachebox_sim_runs_total",
+		"Ground-truth cache simulator invocations.")
+)
+
+// RuntimeSummary renders the runtime counters as one log line, e.g.
+//
+//	store: hits=3 misses=0 bytes_read=123 bytes_written=0 evictions=0 sim_runs=0
+//
+// CLIs print it at exit; CI greps it to assert warm-store reruns skip
+// simulation.
+func RuntimeSummary() string {
+	return fmt.Sprintf("store: hits=%d misses=%d bytes_read=%d bytes_written=%d evictions=%d sim_runs=%d",
+		StoreHits.Value(), StoreMisses.Value(), StoreBytesRead.Value(),
+		StoreBytesWritten.Value(), StoreEvictions.Value(), SimRuns.Value())
+}

@@ -145,15 +145,35 @@ func (s *Sigmoid) Params() []*Param { return nil }
 // scaling survivors by 1/(1-P) (inverted dropout); inference is the
 // identity. Pix2Pix uses P=0.5 in the inner decoder blocks.
 type Dropout struct {
-	P   float64
-	rng *rand.Rand
+	P    float64
+	rng  *rand.Rand
+	seed int64
+	// draws counts Float64 calls consumed from rng, so a training
+	// checkpoint can record the stream position and SeekTo can replay
+	// it on resume (the rand.Rand internals are not serialisable).
+	draws int64
 
 	mask []float32
 }
 
 // NewDropout builds a dropout layer with its own RNG for determinism.
 func NewDropout(p float64, seed int64) *Dropout {
-	return &Dropout{P: p, rng: rand.New(rand.NewSource(seed))}
+	return &Dropout{P: p, rng: rand.New(rand.NewSource(seed)), seed: seed}
+}
+
+// Cursor returns how many random draws the layer has consumed — the
+// RNG stream position to store in a training checkpoint.
+func (d *Dropout) Cursor() int64 { return d.draws }
+
+// SeekTo rewinds the layer's RNG to its seed and fast-forwards to
+// stream position n, so training resumed from a checkpoint sees the
+// same dropout masks as an uninterrupted run.
+func (d *Dropout) SeekTo(n int64) {
+	d.rng = rand.New(rand.NewSource(d.seed))
+	for i := int64(0); i < n; i++ {
+		d.rng.Float64()
+	}
+	d.draws = n
 }
 
 // Forward implements Layer.
@@ -168,6 +188,7 @@ func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	d.mask = d.mask[:len(y.Data)]
 	keep := float32(1 / (1 - d.P))
+	d.draws += int64(len(y.Data))
 	for i := range y.Data {
 		if d.rng.Float64() < d.P {
 			d.mask[i] = 0

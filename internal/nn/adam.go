@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 
 	"cachebox/internal/tensor"
@@ -30,6 +31,53 @@ func NewAdam(params []*Param, lr float64) *Adam {
 		a.v = append(a.v, tensor.New(p.Value.Shape...))
 	}
 	return a
+}
+
+// AdamState is the serialisable snapshot of an optimiser: the step
+// counter (which drives bias correction) and the first/second moment
+// accumulators, in parameter order. Restoring it into a fresh Adam
+// over the same parameters makes the next Step bit-identical to one
+// taken by the original optimiser — the basis of checkpoint resume.
+type AdamState struct {
+	Step int
+	M, V []ParamBlob
+}
+
+// State snapshots the optimiser for serialisation.
+func (a *Adam) State() AdamState {
+	st := AdamState{Step: a.step}
+	for i, p := range a.params {
+		st.M = append(st.M, ParamBlob{
+			Name:  p.Name,
+			Shape: append([]int(nil), a.m[i].Shape...),
+			Data:  append([]float32(nil), a.m[i].Data...),
+		})
+		st.V = append(st.V, ParamBlob{
+			Name:  p.Name,
+			Shape: append([]int(nil), a.v[i].Shape...),
+			Data:  append([]float32(nil), a.v[i].Data...),
+		})
+	}
+	return st
+}
+
+// SetState restores a snapshot taken by State. The optimiser must be
+// built over the same parameters (count, order and sizes).
+func (a *Adam) SetState(st AdamState) error {
+	if len(st.M) != len(a.params) || len(st.V) != len(a.params) {
+		return fmt.Errorf("nn: adam state has %d/%d moment blobs, optimiser has %d params",
+			len(st.M), len(st.V), len(a.params))
+	}
+	for i := range a.params {
+		if len(st.M[i].Data) != a.m[i].Len() || len(st.V[i].Data) != a.v[i].Len() {
+			return fmt.Errorf("nn: adam state blob %d (%s) has %d/%d values, optimiser expects %d",
+				i, st.M[i].Name, len(st.M[i].Data), len(st.V[i].Data), a.m[i].Len())
+		}
+		copy(a.m[i].Data, st.M[i].Data)
+		copy(a.v[i].Data, st.V[i].Data)
+	}
+	a.step = st.Step
+	return nil
 }
 
 // Step applies one update from the accumulated gradients and clears

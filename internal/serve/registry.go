@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"cachebox/internal/core"
+	"cachebox/internal/store"
 )
 
 // ModelExt is the file extension registry directories are scanned for.
@@ -42,9 +43,11 @@ type entry struct {
 }
 
 // Registry is a thread-safe name → model table, optionally backed by a
-// directory of *.cbgan files for hot reload.
+// directory of *.cbgan files — or by an artifact store — for hot
+// reload.
 type Registry struct {
-	dir     string // "" for static registries
+	dir     string       // "" for static and store-backed registries
+	st      *store.Store // nil unless store-backed
 	mu      sync.RWMutex
 	entries map[string]*entry
 }
@@ -80,6 +83,42 @@ func NewRegistry(dir string) (*Registry, error) {
 	return r, nil
 }
 
+// NewRegistryFromStore serves models straight out of an artifact
+// store (see internal/store): every entry of kind "model" is loaded
+// under its "name" input, the newest entry winning when several share
+// a name (an experiment rerun supersedes its predecessors). Boot is
+// strict, like NewRegistry: an unloadable model or an empty store is
+// an error. Reload re-scans the store, so a training run publishing
+// into it hot-deploys.
+func NewRegistryFromStore(dir string) (*Registry, error) {
+	st, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	r := &Registry{st: st, entries: make(map[string]*entry)}
+	sum, err := r.Reload()
+	if err != nil {
+		return nil, err
+	}
+	if len(sum.Failed) > 0 {
+		names := make([]string, 0, len(sum.Failed))
+		for name := range sum.Failed {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		parts := make([]string, len(names))
+		for i, name := range names {
+			parts[i] = fmt.Sprintf("%s: %s", name, sum.Failed[name])
+		}
+		return nil, fmt.Errorf("serve: %d stored model(s) failed to load: %s",
+			len(names), strings.Join(parts, "; "))
+	}
+	if len(r.entries) == 0 {
+		return nil, fmt.Errorf("%w (no model entries in store %s)", ErrNoModels, dir)
+	}
+	return r, nil
+}
+
 // NewStaticRegistry wraps one in-memory model under the given name
 // (default "default" when empty). It has no backing directory, so
 // Reload returns ErrNoDir.
@@ -100,6 +139,9 @@ func NewStaticRegistry(name string, m *core.Model) *Registry {
 // model out from under live traffic.
 func (r *Registry) Reload() (ReloadSummary, error) {
 	var sum ReloadSummary
+	if r.st != nil {
+		return r.reloadFromStore()
+	}
 	if r.dir == "" {
 		return sum, ErrNoDir
 	}
@@ -154,6 +196,87 @@ func (r *Registry) Reload() (ReloadSummary, error) {
 			continue
 		}
 		next[name] = &entry{name: name, model: m, path: path, loadedAt: time.Now()}
+		if _, existed := old[name]; existed {
+			sum.Replaced = append(sum.Replaced, name)
+		} else {
+			sum.Loaded = append(sum.Loaded, name)
+		}
+	}
+	var removed []string
+	for name := range old {
+		if _, ok := next[name]; !ok {
+			removed = append(removed, name)
+		}
+	}
+	sort.Strings(removed)
+	sum.Removed = removed
+
+	r.mu.Lock()
+	r.entries = next
+	r.mu.Unlock()
+	return sum, nil
+}
+
+// reloadFromStore is Reload for store-backed registries: entries of
+// kind "model" are grouped by their "name" input (falling back to the
+// digest for unnamed entries) and the newest entry per name is loaded.
+// Like the directory path, a failing entry keeps its previous
+// incarnation in service.
+func (r *Registry) reloadFromStore() (ReloadSummary, error) {
+	var sum ReloadSummary
+	manifests, err := r.st.Entries()
+	if err != nil {
+		return sum, fmt.Errorf("serve: scan store: %w", err)
+	}
+	latest := make(map[string]store.Manifest)
+	var names []string
+	for _, man := range manifests {
+		if man.Kind != "model" {
+			continue
+		}
+		name := man.Inputs["name"]
+		if name == "" {
+			name = man.Digest[:12]
+		}
+		prev, seen := latest[name]
+		if !seen {
+			names = append(names, name)
+		}
+		if !seen || man.CreatedAt.After(prev.CreatedAt) {
+			latest[name] = man
+		}
+	}
+	sort.Strings(names)
+
+	r.mu.RLock()
+	old := make(map[string]*entry, len(r.entries))
+	for name, e := range r.entries {
+		old[name] = e
+	}
+	r.mu.RUnlock()
+
+	next := make(map[string]*entry, len(names))
+	for _, name := range names {
+		man := latest[name]
+		rc, _, err := r.st.OpenDigest(man.Digest)
+		var m *core.Model
+		if err == nil {
+			m, err = core.Load(rc)
+			if cerr := rc.Close(); err == nil && cerr != nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			if sum.Failed == nil {
+				sum.Failed = make(map[string]string)
+			}
+			sum.Failed[name] = err.Error()
+			if prev, ok := old[name]; ok {
+				next[name] = prev
+			}
+			continue
+		}
+		next[name] = &entry{name: name, model: m, path: "store:" + man.Digest[:12], loadedAt: time.Now()}
 		if _, existed := old[name]; existed {
 			sum.Replaced = append(sum.Replaced, name)
 		} else {

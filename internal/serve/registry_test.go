@@ -2,11 +2,15 @@ package serve
 
 import (
 	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
+	"time"
+
+	"cachebox/internal/store"
 )
 
 func saveModel(t *testing.T, dir, name string) {
@@ -115,6 +119,86 @@ func TestReloadKeepsOldEntryWhenFileGoesBad(t *testing.T) {
 	}
 	if after != before {
 		t.Fatal("old entry replaced by a corrupt file")
+	}
+}
+
+// putModel publishes a tiny model into the store under kind "model"
+// with the given name and revision input (the revision distinguishes
+// successive artifacts of one model name).
+func putModel(t *testing.T, st *store.Store, name, rev string) {
+	t.Helper()
+	key := store.Key{Kind: "model", Format: 1,
+		Inputs: map[string]string{"name": name, "rev": rev}}
+	if _, err := st.Put(key, tinyModel(t).Save); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRegistryFromStore(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	putModel(t, st, "l1", "1")
+	putModel(t, st, "l2", "1")
+	// Non-model kinds are ignored.
+	other := store.Key{Kind: "pairs", Format: 1, Inputs: map[string]string{"bench": "x"}}
+	if _, err := st.Put(other, func(w io.Writer) error {
+		_, werr := w.Write([]byte("not a model"))
+		return werr
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	reg, err := NewRegistryFromStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Names(); !reflect.DeepEqual(got, []string{"l1", "l2"}) {
+		t.Fatalf("names %v", got)
+	}
+	infos := reg.Infos()
+	if len(infos) != 2 || !strings.HasPrefix(infos[0].Path, "store:") {
+		t.Fatalf("infos %+v", infos)
+	}
+
+	// Publishing a newer artifact under an existing name and reloading
+	// hot-deploys it as a replacement.
+	time.Sleep(10 * time.Millisecond) // newest-wins resolution is by manifest timestamp
+	putModel(t, st, "l1", "2")
+	sum, err := reg.Reload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sum.Replaced, []string{"l1", "l2"}) {
+		t.Fatalf("summary %+v", sum)
+	}
+}
+
+func TestNewRegistryFromStoreStrictStartup(t *testing.T) {
+	empty := t.TempDir()
+	if _, err := store.Open(empty); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRegistryFromStore(empty); !errors.Is(err, ErrNoModels) {
+		t.Fatalf("empty store: %v, want ErrNoModels", err)
+	}
+
+	bad := t.TempDir()
+	st, err := store.Open(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := store.Key{Kind: "model", Format: 1, Inputs: map[string]string{"name": "junk"}}
+	if _, err := st.Put(key, func(w io.Writer) error {
+		_, werr := w.Write([]byte("not a model at all"))
+		return werr
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRegistryFromStore(bad); err == nil || !strings.Contains(err.Error(), "junk") {
+		t.Fatalf("corrupt stored model accepted at boot: %v", err)
 	}
 }
 

@@ -304,8 +304,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMetrics implements GET /metrics in Prometheus text format.
+// Besides the server's own families it exposes the process-wide
+// runtime counters (artifact-store effectiveness, simulator runs).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	buf := s.m.prom.Expose()
+	buf := append(s.m.prom.Expose(), metrics.Runtime.Expose()...)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if _, err := w.Write(buf); err != nil {
 		s.m.writeErrors.Inc()

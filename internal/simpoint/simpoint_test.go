@@ -3,6 +3,7 @@ package simpoint
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"cachebox/internal/cachesim"
@@ -152,6 +153,74 @@ func TestHashBucketInRange(t *testing.T) {
 	for b := uint64(0); b < 10000; b += 7 {
 		if h := hashBucket(b, 64); h < 0 || h >= 64 {
 			t.Fatalf("hash %d out of range", h)
+		}
+	}
+}
+
+// TestAnalyzeDeterministic: identical traces and configs must yield
+// identical analyses — assignments, representatives and weights — run
+// after run. The artifact store caches phase analyses by their inputs,
+// which is only sound if analysis is a pure function of them.
+func TestAnalyzeDeterministic(t *testing.T) {
+	cfg := Config{IntervalLen: 5000, SignatureDim: 32, K: 2, MaxIter: 30, Seed: 1}
+	a, err := Analyze(phasedTrace(100000), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Analyze(phasedTrace(100000), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Representatives, b.Representatives) {
+		t.Fatalf("representatives differ: %v vs %v", a.Representatives, b.Representatives)
+	}
+	if !reflect.DeepEqual(a.Weights, b.Weights) {
+		t.Fatalf("weights differ: %v vs %v", a.Weights, b.Weights)
+	}
+	if len(a.Intervals) != len(b.Intervals) {
+		t.Fatalf("interval counts differ: %d vs %d", len(a.Intervals), len(b.Intervals))
+	}
+	for i := range a.Intervals {
+		if !reflect.DeepEqual(a.Intervals[i], b.Intervals[i]) {
+			t.Fatalf("interval %d differs: %+v vs %+v", i, a.Intervals[i], b.Intervals[i])
+		}
+	}
+	// A different seed may cluster differently, but must itself be
+	// reproducible.
+	cfg2 := cfg
+	cfg2.Seed = 99
+	c, err := Analyze(phasedTrace(100000), cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Analyze(phasedTrace(100000), cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c.Representatives, d.Representatives) {
+		t.Fatalf("seed-99 representatives not reproducible: %v vs %v", c.Representatives, d.Representatives)
+	}
+}
+
+// TestSampledTraceDeterministic: the derived sampled trace — what the
+// simulator actually consumes — is reproducible end to end.
+func TestSampledTraceDeterministic(t *testing.T) {
+	cfg := Config{IntervalLen: 5000, SignatureDim: 32, K: 2, MaxIter: 30, Seed: 1}
+	run := func() *trace.Trace {
+		tr := phasedTrace(60000)
+		ph, err := Analyze(tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ph.SampledTrace(tr)
+	}
+	s1, s2 := run(), run()
+	if s1.Len() != s2.Len() {
+		t.Fatalf("sampled lengths differ: %d vs %d", s1.Len(), s2.Len())
+	}
+	for i := range s1.Accesses {
+		if s1.Accesses[i] != s2.Accesses[i] {
+			t.Fatalf("sampled access %d differs: %+v vs %+v", i, s1.Accesses[i], s2.Accesses[i])
 		}
 	}
 }

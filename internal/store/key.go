@@ -1,0 +1,61 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Key identifies an artifact by the inputs that produced it, not by
+// its content: two runs that would compute the same thing derive the
+// same key and therefore share one store entry. The digest is the
+// SHA-256 of a canonical text encoding, so key equality is stable
+// across processes, field-addition order, and map iteration order.
+type Key struct {
+	// Kind names the artifact family ("pairs", "model", ...). Entries
+	// of different kinds never collide even with identical inputs.
+	Kind string
+	// Format versions the payload encoding. Bump it when the encoded
+	// representation changes so stale entries miss instead of
+	// deserialising garbage.
+	Format int
+	// Inputs are the producing parameters, as strings. Every input
+	// that can change the artifact's bytes must be present.
+	Inputs map[string]string
+}
+
+// Validate reports whether the key is usable.
+func (k Key) Validate() error {
+	if k.Kind == "" {
+		return fmt.Errorf("store: key has empty kind")
+	}
+	if k.Format <= 0 {
+		return fmt.Errorf("store: key %q has non-positive format %d", k.Kind, k.Format)
+	}
+	return nil
+}
+
+// canonical renders the key in a stable text form: a version line,
+// then kind and format, then inputs sorted by name. All values are
+// %q-quoted so embedded newlines or '=' cannot forge a collision.
+func (k Key) canonical() string {
+	names := make([]string, 0, len(k.Inputs))
+	for name := range k.Inputs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "cbx-store/key/v1\nkind=%q\nformat=%d\n", k.Kind, k.Format)
+	for _, name := range names {
+		fmt.Fprintf(&b, "input:%q=%q\n", name, k.Inputs[name])
+	}
+	return b.String()
+}
+
+// Digest returns the key's hex SHA-256 content address.
+func (k Key) Digest() string {
+	sum := sha256.Sum256([]byte(k.canonical()))
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,589 @@
+// Package store is CacheBox's content-addressed artifact store: the
+// reuse substrate that makes repeated experiment runs cheap. The
+// paper's premise is that architectural simulation is too slow to
+// rerun; the store extends the same economics to our own harness by
+// memoising deterministic computations (ground-truth simulations,
+// heatmap datasets, trained models, training checkpoints) under keys
+// derived from their producing inputs.
+//
+// Layout under the store root:
+//
+//	objects/<aa>/<digest>.bin    payload bytes
+//	objects/<aa>/<digest>.json   manifest (kind, inputs, size, SHA-256)
+//	objects/<aa>/<digest>.atime  empty sidecar; mtime = last use (LRU)
+//	tmp/                         staging area for atomic writes
+//	lock                         single-writer lock file
+//
+// where <aa> is the first two hex digits of the entry's key digest.
+// Payloads are staged in tmp/ and published with an atomic rename, so
+// readers never observe partial entries and a crashed writer leaves at
+// worst an orphaned temp file. Every payload's SHA-256 is embedded in
+// the manifest and re-verified on read, so silent corruption surfaces
+// as an error instead of a wrong figure.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"cachebox/internal/metrics"
+)
+
+const (
+	objectsDir  = "objects"
+	stagingDir  = "tmp"
+	lockName    = "lock"
+	payloadExt  = ".bin"
+	manifestExt = ".json"
+	atimeExt    = ".atime"
+)
+
+// ErrMiss marks a lookup for a key with no stored entry.
+var ErrMiss = errors.New("store: artifact not found")
+
+// Manifest describes one stored entry. It is persisted as JSON next to
+// the payload so entries are inspectable without the producing code.
+type Manifest struct {
+	// Digest is the key digest the entry is addressed by.
+	Digest string `json:"digest"`
+	// Kind and Format echo the key.
+	Kind   string `json:"kind"`
+	Format int    `json:"format"`
+	// Inputs echoes the producing inputs for human inspection.
+	Inputs map[string]string `json:"inputs,omitempty"`
+	// Size is the payload length in bytes.
+	Size int64 `json:"size"`
+	// SHA256 is the payload's hex content hash, re-verified on read.
+	SHA256 string `json:"sha256"`
+	// CreatedAt records when the entry was published.
+	CreatedAt time.Time `json:"created_at"`
+}
+
+// Store is a content-addressed artifact store rooted at a directory.
+// Reads are lock-free; writes and garbage collection serialise through
+// a lock file, so concurrent experiment runs sharing one store cannot
+// corrupt entries.
+type Store struct {
+	root string
+	// lockTimeout bounds how long a writer waits for the lock.
+	lockTimeout time.Duration
+	// lockStale is the age past which a leftover lock file (from a
+	// crashed process) is broken.
+	lockStale time.Duration
+}
+
+// Open creates (if needed) and opens a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	for _, d := range []string{dir, filepath.Join(dir, objectsDir), filepath.Join(dir, stagingDir)} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	return &Store{
+		root:        dir,
+		lockTimeout: 10 * time.Second,
+		lockStale:   2 * time.Minute,
+	}, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+func (s *Store) shardDir(digest string) string {
+	return filepath.Join(s.root, objectsDir, digest[:2])
+}
+
+func (s *Store) payloadPath(digest string) string {
+	return filepath.Join(s.shardDir(digest), digest+payloadExt)
+}
+
+func (s *Store) manifestPath(digest string) string {
+	return filepath.Join(s.shardDir(digest), digest+manifestExt)
+}
+
+func (s *Store) atimePath(digest string) string {
+	return filepath.Join(s.shardDir(digest), digest+atimeExt)
+}
+
+// WriteFileAtomic writes path by staging the content in a temp file in
+// the same directory and renaming it into place, so a concurrent
+// reader (or a crash mid-write) never observes a partial file. This is
+// the helper the nonatomic-write analyzer points artifact writers at.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: stage %s: %w", path, err)
+	}
+	tmp := f.Name()
+	cleanup := func() {
+		//lint:ignore unchecked-error best-effort cleanup of a temp file after a failed write
+		f.Close()
+		//lint:ignore unchecked-error best-effort cleanup of a temp file after a failed write
+		os.Remove(tmp)
+	}
+	if err := write(f); err != nil {
+		cleanup()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		cleanup()
+		return fmt.Errorf("store: stage %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		//lint:ignore unchecked-error best-effort cleanup of a temp file after a failed rename
+		os.Remove(tmp)
+		return fmt.Errorf("store: publish %s: %w", path, err)
+	}
+	return nil
+}
+
+// countingWriter counts bytes on the way through.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// Put stores the artifact produced by write under k, replacing any
+// existing entry for the same key. The payload is staged to a temp
+// file (hashed as it streams through) and published atomically under
+// the writer lock together with its manifest.
+func (s *Store) Put(k Key, write func(io.Writer) error) (*Manifest, error) {
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	digest := k.Digest()
+	f, err := os.CreateTemp(filepath.Join(s.root, stagingDir), "put-*")
+	if err != nil {
+		return nil, fmt.Errorf("store: stage: %w", err)
+	}
+	tmp := f.Name()
+	discard := func() {
+		//lint:ignore unchecked-error best-effort cleanup of a staging file after a failed put
+		f.Close()
+		//lint:ignore unchecked-error best-effort cleanup of a staging file after a failed put
+		os.Remove(tmp)
+	}
+	h := sha256.New()
+	cw := &countingWriter{w: io.MultiWriter(f, h)}
+	if err := write(cw); err != nil {
+		discard()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		discard()
+		return nil, fmt.Errorf("store: stage: %w", err)
+	}
+	inputs := make(map[string]string, len(k.Inputs))
+	for name, v := range k.Inputs {
+		inputs[name] = v
+	}
+	man := &Manifest{
+		Digest:    digest,
+		Kind:      k.Kind,
+		Format:    k.Format,
+		Inputs:    inputs,
+		Size:      cw.n,
+		SHA256:    hex.EncodeToString(h.Sum(nil)),
+		CreatedAt: time.Now().UTC(),
+	}
+	err = s.withLock(func() error {
+		if err := os.MkdirAll(s.shardDir(digest), 0o755); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if err := os.Rename(tmp, s.payloadPath(digest)); err != nil {
+			return fmt.Errorf("store: publish payload: %w", err)
+		}
+		if err := WriteFileAtomic(s.manifestPath(digest), func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(man)
+		}); err != nil {
+			return err
+		}
+		s.touchAtime(digest)
+		return nil
+	})
+	if err != nil {
+		//lint:ignore unchecked-error best-effort cleanup of a staging file after a failed publish
+		os.Remove(tmp)
+		return nil, err
+	}
+	metrics.StoreBytesWritten.Add(uint64(man.Size))
+	return man, nil
+}
+
+// verifyReader re-hashes the payload as it is read and fails the final
+// Read (the one returning io.EOF) if the content does not match the
+// manifest — so a fully-consumed entry is always integrity-checked.
+type verifyReader struct {
+	f    *os.File
+	h    hash.Hash
+	want string
+	read int64
+	size int64
+}
+
+func (v *verifyReader) Read(p []byte) (int, error) {
+	n, err := v.f.Read(p)
+	if n > 0 {
+		//lint:ignore unchecked-error hash.Hash.Write is documented to never return an error
+		v.h.Write(p[:n])
+		v.read += int64(n)
+	}
+	if err == io.EOF {
+		if v.read != v.size {
+			return n, fmt.Errorf("store: %s: payload is %d bytes, manifest says %d", v.f.Name(), v.read, v.size)
+		}
+		if got := hex.EncodeToString(v.h.Sum(nil)); got != v.want {
+			return n, fmt.Errorf("store: %s: payload hash %s does not match manifest %s", v.f.Name(), got, v.want)
+		}
+	}
+	return n, err
+}
+
+func (v *verifyReader) Close() error { return v.f.Close() }
+
+// Get opens the entry stored under k. The returned reader verifies the
+// payload's embedded hash as it is consumed; reading through to EOF
+// guarantees integrity. Lookups count into the runtime store metrics.
+func (s *Store) Get(k Key) (io.ReadCloser, *Manifest, error) {
+	if err := k.Validate(); err != nil {
+		return nil, nil, err
+	}
+	digest := k.Digest()
+	man, err := s.manifest(digest)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			metrics.StoreMisses.Inc()
+			return nil, nil, fmt.Errorf("%w: kind=%s digest=%s", ErrMiss, k.Kind, digest[:12])
+		}
+		return nil, nil, err
+	}
+	f, err := os.Open(s.payloadPath(digest))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			metrics.StoreMisses.Inc()
+			return nil, nil, fmt.Errorf("%w: kind=%s digest=%s (manifest without payload)", ErrMiss, k.Kind, digest[:12])
+		}
+		return nil, nil, fmt.Errorf("store: %w", err)
+	}
+	s.touchAtime(digest)
+	metrics.StoreHits.Inc()
+	metrics.StoreBytesRead.Add(uint64(man.Size))
+	return &verifyReader{f: f, h: sha256.New(), want: man.SHA256, size: man.Size}, man, nil
+}
+
+// GetBytes reads the entire entry into memory (verifying integrity).
+func (s *Store) GetBytes(k Key) ([]byte, *Manifest, error) {
+	rc, man, err := s.Get(k)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := io.ReadAll(rc)
+	cerr := rc.Close()
+	if err != nil {
+		return nil, nil, err
+	}
+	if cerr != nil {
+		return nil, nil, fmt.Errorf("store: %w", cerr)
+	}
+	return data, man, nil
+}
+
+// Has reports whether an entry exists for k (without counting a hit or
+// a miss).
+func (s *Store) Has(k Key) bool {
+	_, err := os.Stat(s.manifestPath(k.Digest()))
+	return err == nil
+}
+
+// manifest loads and decodes one manifest by digest.
+func (s *Store) manifest(digest string) (*Manifest, error) {
+	data, err := os.ReadFile(s.manifestPath(digest))
+	if err != nil {
+		return nil, err
+	}
+	var man Manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return nil, fmt.Errorf("store: manifest %s: %w", digest[:12], err)
+	}
+	return &man, nil
+}
+
+// touchAtime marks the entry as recently used by refreshing its atime
+// sidecar's mtime. Best-effort: a failure only perturbs GC ordering.
+func (s *Store) touchAtime(digest string) {
+	now := time.Now()
+	p := s.atimePath(digest)
+	if os.Chtimes(p, now, now) == nil {
+		return
+	}
+	//lint:ignore nonatomic-write advisory empty atime sidecar; a torn write only perturbs LRU ordering
+	f, err := os.OpenFile(p, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return
+	}
+	//lint:ignore unchecked-error empty marker file; a close failure cannot lose artifact data
+	f.Close()
+}
+
+// Entries lists every stored manifest, sorted by digest.
+func (s *Store) Entries() ([]Manifest, error) {
+	var out []Manifest
+	err := s.walkManifests(func(man *Manifest) error {
+		out = append(out, *man)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Digest < out[j].Digest })
+	return out, nil
+}
+
+// walkManifests invokes fn for every readable manifest in the store.
+func (s *Store) walkManifests(fn func(*Manifest) error) error {
+	shards, err := os.ReadDir(filepath.Join(s.root, objectsDir))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, shard := range shards {
+		if !shard.IsDir() {
+			continue
+		}
+		dirents, err := os.ReadDir(filepath.Join(s.root, objectsDir, shard.Name()))
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		for _, de := range dirents {
+			if !strings.HasSuffix(de.Name(), manifestExt) {
+				continue
+			}
+			man, err := s.manifest(strings.TrimSuffix(de.Name(), manifestExt))
+			if err != nil {
+				return err
+			}
+			if err := fn(man); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ResolvePrefix expands a digest prefix to the unique full digest it
+// matches, for CLI ergonomics.
+func (s *Store) ResolvePrefix(prefix string) (string, error) {
+	if prefix == "" {
+		return "", fmt.Errorf("store: empty digest prefix")
+	}
+	var matches []string
+	err := s.walkManifests(func(man *Manifest) error {
+		if strings.HasPrefix(man.Digest, prefix) {
+			matches = append(matches, man.Digest)
+		}
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	switch len(matches) {
+	case 0:
+		return "", fmt.Errorf("store: no entry matches digest prefix %q", prefix)
+	case 1:
+		return matches[0], nil
+	default:
+		sort.Strings(matches)
+		return "", fmt.Errorf("store: digest prefix %q is ambiguous (%d matches, e.g. %s, %s)",
+			prefix, len(matches), matches[0][:16], matches[1][:16])
+	}
+}
+
+// OpenDigest opens an entry by full digest (as listed by Entries).
+func (s *Store) OpenDigest(digest string) (io.ReadCloser, *Manifest, error) {
+	man, err := s.manifest(digest)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil, fmt.Errorf("%w: digest=%s", ErrMiss, digest)
+		}
+		return nil, nil, err
+	}
+	f, err := os.Open(s.payloadPath(digest))
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: %w", err)
+	}
+	return &verifyReader{f: f, h: sha256.New(), want: man.SHA256, size: man.Size}, man, nil
+}
+
+// Remove deletes the entry with the given full digest.
+func (s *Store) Remove(digest string) error {
+	return s.withLock(func() error {
+		return s.removeLocked(digest)
+	})
+}
+
+func (s *Store) removeLocked(digest string) error {
+	if err := os.Remove(s.manifestPath(digest)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Remove(s.payloadPath(digest)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Remove(s.atimePath(digest)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// VerifyAll re-hashes every payload against its manifest and returns
+// the digests of corrupt or incomplete entries.
+func (s *Store) VerifyAll() ([]string, error) {
+	var bad []string
+	err := s.walkManifests(func(man *Manifest) error {
+		f, err := os.Open(s.payloadPath(man.Digest))
+		if err != nil {
+			bad = append(bad, man.Digest)
+			return nil
+		}
+		h := sha256.New()
+		n, err := io.Copy(h, f)
+		cerr := f.Close()
+		if err != nil || cerr != nil || n != man.Size || hex.EncodeToString(h.Sum(nil)) != man.SHA256 {
+			bad = append(bad, man.Digest)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(bad)
+	return bad, nil
+}
+
+// GCStats summarises one garbage-collection pass.
+type GCStats struct {
+	// Scanned is the number of entries examined.
+	Scanned int
+	// Deleted is the number of entries evicted.
+	Deleted int
+	// BytesFreed is the payload bytes released.
+	BytesFreed int64
+	// BytesKept is the payload bytes remaining after the pass.
+	BytesKept int64
+}
+
+// gcEntry pairs a manifest with its LRU timestamp for eviction order.
+type gcEntry struct {
+	man      Manifest
+	lastUsed time.Time
+}
+
+// GC evicts least-recently-used entries until the total payload size
+// is at or below maxBytes. "Used" is the atime sidecar's mtime,
+// refreshed on every Get; entries never read since creation age from
+// their creation time.
+func (s *Store) GC(maxBytes int64) (GCStats, error) {
+	var stats GCStats
+	err := s.withLock(func() error {
+		var entries []gcEntry
+		var total int64
+		err := s.walkManifests(func(man *Manifest) error {
+			last := man.CreatedAt
+			if st, err := os.Stat(s.atimePath(man.Digest)); err == nil && st.ModTime().After(last) {
+				last = st.ModTime()
+			}
+			entries = append(entries, gcEntry{man: *man, lastUsed: last})
+			total += man.Size
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		stats.Scanned = len(entries)
+		sort.Slice(entries, func(i, j int) bool {
+			if !entries[i].lastUsed.Equal(entries[j].lastUsed) {
+				return entries[i].lastUsed.Before(entries[j].lastUsed)
+			}
+			return entries[i].man.Digest < entries[j].man.Digest
+		})
+		for _, e := range entries {
+			if total <= maxBytes {
+				break
+			}
+			if err := s.removeLocked(e.man.Digest); err != nil {
+				return err
+			}
+			total -= e.man.Size
+			stats.Deleted++
+			stats.BytesFreed += e.man.Size
+		}
+		stats.BytesKept = total
+		return nil
+	})
+	if err != nil {
+		return stats, err
+	}
+	metrics.StoreEvictions.Add(uint64(stats.Deleted))
+	return stats, nil
+}
+
+// withLock runs fn holding the store's single-writer lock. The lock is
+// a lock file created with O_CREATE|O_EXCL (atomic on local
+// filesystems); a leftover lock older than lockStale — from a crashed
+// writer — is broken and re-acquired.
+func (s *Store) withLock(fn func() error) error {
+	path := filepath.Join(s.root, lockName)
+	deadline := time.Now().Add(s.lockTimeout)
+	for {
+		//lint:ignore nonatomic-write lock acquisition relies on O_CREATE|O_EXCL atomicity, not on rename
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			if _, werr := fmt.Fprintf(f, "pid=%d acquired=%s\n", os.Getpid(), time.Now().UTC().Format(time.RFC3339)); werr != nil {
+				//lint:ignore unchecked-error lock content is advisory; the file's existence is the lock
+				f.Close()
+			} else if cerr := f.Close(); cerr != nil {
+				//lint:ignore unchecked-error best-effort release after a failed close
+				os.Remove(path)
+				return fmt.Errorf("store: lock: %w", cerr)
+			}
+			break
+		}
+		if !errors.Is(err, fs.ErrExist) {
+			return fmt.Errorf("store: lock: %w", err)
+		}
+		if st, serr := os.Stat(path); serr == nil && time.Since(st.ModTime()) > s.lockStale {
+			// Break a stale lock from a crashed writer; the O_EXCL
+			// retry below re-races cleanly with other waiters.
+			//lint:ignore unchecked-error a concurrent waiter may have broken the stale lock first
+			os.Remove(path)
+			continue
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("store: timed out after %v waiting for writer lock %s", s.lockTimeout, path)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	defer func() {
+		//lint:ignore unchecked-error lock release; a leftover file is broken as stale by the next writer
+		os.Remove(path)
+	}()
+	return fn()
+}

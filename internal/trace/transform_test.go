@@ -88,6 +88,77 @@ func TestInterleaveRoundRobin(t *testing.T) {
 	}
 }
 
+// TestWindowPartitionRoundTrip: cutting a trace into consecutive IC
+// windows and concatenating the pieces reproduces the original exactly
+// — the invariant the store's cached sub-trace artifacts rely on.
+func TestWindowPartitionRoundTrip(t *testing.T) {
+	tr := seq(100) // ICs 0, 3, ..., 297
+	var got []Access
+	for from := uint64(0); from < 300; from += 75 {
+		got = append(got, Window(tr, from, from+75).Accesses...)
+	}
+	if len(got) != tr.Len() {
+		t.Fatalf("reassembled %d of %d accesses", len(got), tr.Len())
+	}
+	for i, a := range got {
+		if a != tr.Accesses[i] {
+			t.Fatalf("access %d: %+v != %+v", i, a, tr.Accesses[i])
+		}
+	}
+}
+
+// TestSystematicIdentityRoundTrip: a sample that keeps every period in
+// full is the identity transform.
+func TestSystematicIdentityRoundTrip(t *testing.T) {
+	tr := seq(50)
+	s := Systematic(tr, 10, 10)
+	if s.Len() != tr.Len() {
+		t.Fatalf("full sample has %d of %d accesses", s.Len(), tr.Len())
+	}
+	for i, a := range s.Accesses {
+		if a != tr.Accesses[i] {
+			t.Fatalf("access %d: %+v != %+v", i, a, tr.Accesses[i])
+		}
+	}
+	// RandomSample with p=1 likewise keeps everything, in order.
+	r := RandomSample(tr, 1.0, 7)
+	if r.Len() != tr.Len() {
+		t.Fatalf("p=1 sample has %d of %d accesses", r.Len(), tr.Len())
+	}
+}
+
+// TestInterleaveWindowRoundTrip: each core's accesses survive an
+// interleave in order with addresses and write flags intact, so the
+// merged trace can be attributed back to its cores.
+func TestInterleaveWindowRoundTrip(t *testing.T) {
+	a, b := seq(6), seq(4)
+	for i := range b.Accesses {
+		b.Accesses[i].Addr += 1 << 32 // disjoint address ranges per core
+	}
+	out := Interleave(2, a, b)
+	if out.Len() != a.Len()+b.Len() {
+		t.Fatalf("interleaved %d of %d accesses", out.Len(), a.Len()+b.Len())
+	}
+	var gotA, gotB []Access
+	for _, acc := range out.Accesses {
+		if acc.Addr >= 1<<32 {
+			gotB = append(gotB, acc)
+		} else {
+			gotA = append(gotA, acc)
+		}
+	}
+	for i, acc := range gotA {
+		if acc.Addr != a.Accesses[i].Addr || acc.Write != a.Accesses[i].Write {
+			t.Fatalf("core A access %d: %+v != %+v", i, acc, a.Accesses[i])
+		}
+	}
+	for i, acc := range gotB {
+		if acc.Addr != b.Accesses[i].Addr || acc.Write != b.Accesses[i].Write {
+			t.Fatalf("core B access %d: %+v != %+v", i, acc, b.Accesses[i])
+		}
+	}
+}
+
 func TestWindow(t *testing.T) {
 	tr := seq(100) // ICs 0, 3, ..., 297
 	w := Window(tr, 30, 60)

@@ -7,6 +7,7 @@ import (
 	"cachebox/internal/core"
 	"cachebox/internal/heatmap"
 	"cachebox/internal/metrics"
+	"cachebox/internal/store"
 	"cachebox/internal/workload"
 )
 
@@ -20,6 +21,13 @@ type Pipeline struct {
 	// MaxPairsPerBench caps the heatmap pairs taken per benchmark per
 	// cache configuration (0 = unlimited).
 	MaxPairsPerBench int
+	// Store, when non-nil, memoises BenchPairs simulation results in a
+	// content-addressed artifact store, so repeat runs skip the
+	// simulator.
+	Store *Store
+	// SplitSeed tags cached artifacts with the train/test split they
+	// feed (runs with different splits never share entries).
+	SplitSeed int64
 }
 
 // NewPipeline returns a Pipeline with the default scaled-down heatmap
@@ -31,6 +39,14 @@ func NewPipeline() Pipeline {
 // BenchPairs simulates bench against a single cache level and returns
 // the aligned heatmap pairs plus the level's true hit rate.
 func (p Pipeline) BenchPairs(bench Benchmark, cfg CacheConfig) ([]HeatmapPair, float64, error) {
+	var key store.Key
+	if p.Store != nil {
+		key = store.PairsKey(bench, cfg, p.Heatmap, p.MaxPairsPerBench, p.SplitSeed)
+		if art, err := p.Store.LoadPairs(key); err == nil {
+			return art.Pairs, art.HitRate, nil
+		}
+	}
+	metrics.SimRuns.Inc()
 	tr := bench.Trace()
 	lt := cachesim.RunTrace(cachesim.New(cfg), tr)
 	pairs, err := heatmap.BuildPair(p.Heatmap, lt.Accesses, lt.Misses)
@@ -39,6 +55,10 @@ func (p Pipeline) BenchPairs(bench Benchmark, cfg CacheConfig) ([]HeatmapPair, f
 	}
 	if p.MaxPairsPerBench > 0 && len(pairs) > p.MaxPairsPerBench {
 		pairs = pairs[:p.MaxPairsPerBench]
+	}
+	if p.Store != nil {
+		//lint:ignore unchecked-error cache-fill failure only costs a future re-simulation
+		p.Store.SavePairs(key, &store.PairsArtifact{Pairs: pairs, HitRate: lt.HitRate()})
 	}
 	return pairs, lt.HitRate(), nil
 }
@@ -52,6 +72,7 @@ func (p Pipeline) LevelPairs(bench Benchmark, cfgs []CacheConfig) ([][]HeatmapPa
 		return nil, nil, err
 	}
 	tr := bench.Trace()
+	metrics.SimRuns.Inc()
 	lts := cachesim.RunHierarchy(h, tr)
 	pairs := make([][]HeatmapPair, len(lts))
 	rates := make([]float64, len(lts))
@@ -150,6 +171,7 @@ func (p Pipeline) Evaluate(m *Model, bench Benchmark, cfg CacheConfig, batchSize
 func (p Pipeline) TrueHitRates(benches []Benchmark, cfg CacheConfig) map[string]float64 {
 	out := make(map[string]float64, len(benches))
 	for _, b := range benches {
+		metrics.SimRuns.Inc()
 		lt := cachesim.RunTrace(cachesim.New(cfg), b.Trace())
 		out[b.Name] = lt.HitRate()
 	}
