@@ -81,6 +81,7 @@ func BenchmarkHeatmapGeneration(b *testing.B) {
 	bench := suite.Benchmarks[0]
 	tr := bench.Trace()
 	cfg := heatmap.DefaultConfig()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		lt := cachesim.RunTrace(cachesim.New(cachesim.Config{Sets: 64, Ways: 12}), tr)
@@ -96,15 +97,84 @@ func BenchmarkHeatmapGeneration(b *testing.B) {
 
 // BenchmarkFig7RQ1UnseenApps measures the per-benchmark evaluation
 // loop of Figure 7: predict an unseen benchmark's miss heatmaps and
-// recover its hit rate.
+// recover its hit rate. Alongside timing it reports the hit-rate MAE
+// (in percentage points), so a perf win that costs accuracy is visible
+// in the same output line.
 func BenchmarkFig7RQ1UnseenApps(b *testing.B) {
 	f := getFixture(b)
 	bench := f.test[0]
+	var mae float64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := f.pipe.Evaluate(f.modelC, bench, f.cacheL1, 8); err != nil {
+		ev, err := f.pipe.Evaluate(f.modelC, bench, f.cacheL1, 8)
+		if err != nil {
 			b.Fatal(err)
 		}
+		mae += ev.AbsPctDiff
+	}
+	b.ReportMetric(mae/float64(b.N), "hitrate-mae-pp")
+}
+
+// benchWidths picks the pool widths the parallel benches compare: the
+// serial path against GOMAXPROCS, or against an 8-wide pool on a
+// single-CPU host (where the interesting number is the pool's overhead,
+// not a speedup).
+func benchWidths() []int {
+	if n := DefaultWorkers(); n > 1 {
+		return []int{1, n}
+	}
+	return []int{1, 8}
+}
+
+// BenchmarkPairGeneration measures the worker pool on the hottest
+// serial path the harness had — ground-truth simulation for dataset
+// assembly — at pool width 1 (the old serial path) versus the widest
+// useful pool. Both widths build byte-identical datasets; only the
+// wall clock may differ.
+func BenchmarkPairGeneration(b *testing.B) {
+	f := getFixture(b)
+	cfgs := []CacheConfig{{Sets: 64, Ways: 12}, {Sets: 128, Ways: 6}}
+	for _, j := range benchWidths() {
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			p := f.pipe
+			p.Workers = j
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Dataset(f.train, cfgs, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig7Evaluation measures the full fig7-style test-set
+// evaluation through EvaluateAll: simulation fans out across the pool,
+// prediction stays serial. The hit-rate MAE over the test set rides
+// along as a metric.
+func BenchmarkFig7Evaluation(b *testing.B) {
+	f := getFixture(b)
+	for _, j := range benchWidths() {
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			p := f.pipe
+			p.Workers = j
+			var mae float64
+			var rows int
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, res := range p.EvaluateAll(f.modelC, f.test, f.cacheL1, 8) {
+					if res.Err != nil {
+						b.Fatal(res.Err)
+					}
+					mae += res.Eval.AbsPctDiff
+					rows++
+				}
+			}
+			b.ReportMetric(mae/float64(rows), "hitrate-mae-pp")
+		})
 	}
 }
 
@@ -113,6 +183,7 @@ func BenchmarkFig7RQ1UnseenApps(b *testing.B) {
 func BenchmarkFig8RQ2MultiConfig(b *testing.B) {
 	f := getFixture(b)
 	cfgs := []CacheConfig{{Sets: 64, Ways: 12}, {Sets: 128, Ways: 12}, {Sets: 128, Ways: 6}, {Sets: 128, Ways: 3}}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, cfg := range cfgs {
@@ -126,6 +197,7 @@ func BenchmarkFig8RQ2MultiConfig(b *testing.B) {
 func BenchmarkFig9RQ3UnseenConfig(b *testing.B) {
 	f := getFixture(b)
 	cfgs := []CacheConfig{{Sets: 256, Ways: 6}, {Sets: 256, Ways: 12}, {Sets: 32, Ways: 12}}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, cfg := range cfgs {
@@ -141,6 +213,7 @@ func BenchmarkFig10RQ4Hierarchy(b *testing.B) {
 	tr := suite.Benchmarks[0].Trace()
 	cfgs := []CacheConfig{{Sets: 64, Ways: 12}, {Sets: 1024, Ways: 8}, {Sets: 2048, Ways: 16}}
 	hm := heatmap.DefaultConfig()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h, err := cachesim.NewHierarchy(cfgs...)
@@ -163,6 +236,7 @@ func BenchmarkFig11InferenceBatch(b *testing.B) {
 	n := len(f.access)
 	for _, bs := range []int{1, 2, 4, 8, 16, 32} {
 		b.Run(fmt.Sprintf("batch=%d", bs), func(b *testing.B) {
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				f.modelC.Predict(f.access, f.params, bs)
@@ -176,6 +250,7 @@ func BenchmarkFig11InferenceBatch(b *testing.B) {
 func BenchmarkFig11MultiCacheSim(b *testing.B) {
 	suite := SpecLike(2, 1, 50000)
 	tr := suite.Benchmarks[0].Trace()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s, err := multicachesim.New(1, multicachesim.Config{Sets: 64, Ways: 12})
@@ -192,6 +267,7 @@ func BenchmarkFig11MultiCacheSim(b *testing.B) {
 func BenchmarkFig12RQ6Response(b *testing.B) {
 	f := getFixture(b)
 	bench := f.test[0]
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ev, err := f.pipe.Evaluate(f.modelC, bench, f.cacheL1, 8)
@@ -209,6 +285,7 @@ func BenchmarkFig13RQ7Prefetcher(b *testing.B) {
 	suite := SpecLike(2, 1, 20000)
 	tr := suite.Benchmarks[0].Trace()
 	hm := heatmap.DefaultConfig()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c := cachesim.New(cachesim.Config{Sets: 64, Ways: 12})
@@ -243,6 +320,7 @@ func BenchmarkFig14HitRateHistogram(b *testing.B) {
 	for i, bench := range suite.Benchmarks {
 		traces[i] = bench.Trace()
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var rates []float64
@@ -269,6 +347,7 @@ func BenchmarkTable1Baselines(b *testing.B) {
 	}
 	for _, p := range preds {
 		b.Run(p.Name(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				p.PredictMissRate(tr, cfg)
 			}
@@ -286,6 +365,7 @@ func BenchmarkAblationOverlap(b *testing.B) {
 		b.Run(fmt.Sprintf("overlap=%.0f%%", ov*100), func(b *testing.B) {
 			cfg := heatmap.DefaultConfig()
 			cfg.Overlap = ov
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				pairs, err := heatmap.BuildPair(cfg, lt.Accesses, lt.Misses)
 				if err != nil {
@@ -307,6 +387,7 @@ func BenchmarkAblationModulo(b *testing.B) {
 		b.Run(fmt.Sprintf("modulo=%d", h), func(b *testing.B) {
 			cfg := heatmap.DefaultConfig()
 			cfg.Height = h
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := heatmap.BuildPair(cfg, lt.Accesses, lt.Misses); err != nil {
 					b.Fatal(err)
@@ -334,6 +415,7 @@ func BenchmarkAblationLambda(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := m.Train(ds[:4], TrainOptions{Epochs: 1, BatchSize: 4, Seed: 1}); err != nil {
@@ -356,6 +438,7 @@ func BenchmarkGEMM(b *testing.B) {
 	for i := range bb {
 		bb[i] = float32(i%5) - 2
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tensor.Gemm(c, a, bb, 128, 256, 256, false)
@@ -368,6 +451,7 @@ func BenchmarkGEMM(b *testing.B) {
 func BenchmarkCacheSimThroughput(b *testing.B) {
 	suite := workload.SpecLike(2, 1, 50000)
 	tr := suite.Benchmarks[0].Trace()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cachesim.RunTrace(cachesim.New(cachesim.Config{Sets: 64, Ways: 12}), tr)

@@ -18,6 +18,7 @@ import (
 	"cachebox/internal/core"
 	"cachebox/internal/heatmap"
 	"cachebox/internal/metrics"
+	"cachebox/internal/par"
 	"cachebox/internal/serve"
 	"cachebox/internal/simpoint"
 	"cachebox/internal/store"
@@ -228,4 +229,16 @@ var (
 	// NewModelRegistryFromStore serves models straight out of an
 	// artifact store.
 	NewModelRegistryFromStore = serve.NewRegistryFromStore
+)
+
+// Parallel execution helpers. Pipeline.Workers (and the harness's -j
+// flag) bound simulation fan-out; results always commit in
+// deterministic input order.
+var (
+	// DefaultWorkers is the worker-pool width used when none is set:
+	// runtime.GOMAXPROCS at call time.
+	DefaultWorkers = par.DefaultWorkers
+	// GenerateTraces synthesises many benchmarks' traces concurrently,
+	// returning them in benchmark order.
+	GenerateTraces = workload.Traces
 )

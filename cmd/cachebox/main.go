@@ -302,6 +302,7 @@ func cmdTrain(args []string) error {
 	noStore := fs.Bool("no-store", false, "disable the artifact store even if -store is set")
 	checkpointEvery := fs.Int("checkpoint-every", 0, "write a resumable checkpoint every N epochs (0 disables)")
 	resume := fs.Bool("resume", false, "resume training from the checkpoint file if present")
+	workers := fs.Int("j", 0, "simulation worker-pool width (0 = GOMAXPROCS, 1 = serial); the dataset is identical at any width")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -353,6 +354,7 @@ func cmdTrain(args []string) error {
 	p := cachebox.NewPipeline()
 	p.MaxPairsPerBench = 24
 	p.SplitSeed = *seed
+	p.Workers = *workers
 	if *tiny {
 		// Match the heatmap geometry to the miniature model and shrink
 		// the window so short traces still yield training pairs.
@@ -409,6 +411,7 @@ func cmdEvaluate(args []string) error {
 	ops := fs.Int("ops", 120000, "accesses per benchmark")
 	scale := fs.Float64("suite-scale", 0.25, "problem-size scale")
 	seed := fs.Int64("seed", 42, "train/test split seed (must match training)")
+	workers := fs.Int("j", 0, "simulation worker-pool width (0 = GOMAXPROCS, 1 = serial); results are identical at any width")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -424,15 +427,18 @@ func cmdEvaluate(args []string) error {
 	_, test := cachebox.SplitBenchmarks(benches, 0.8, *seed)
 	p := cachebox.NewPipeline()
 	p.MaxPairsPerBench = 24
+	p.Workers = *workers
 	var diffs []float64
-	for _, b := range test {
-		ev, err := p.Evaluate(m, b, cfg, *batch)
+	// Ground-truth simulation fans out across the worker pool; rows
+	// print in benchmark order either way.
+	for _, res := range p.EvaluateAll(m, test, cfg, *batch) {
+		ev, err := res.Eval, res.Err
 		if err != nil {
-			fmt.Printf("%-36s skipped: %v\n", b.Name, err)
+			fmt.Printf("%-36s skipped: %v\n", res.Eval.Bench, err)
 			continue
 		}
 		if ev.TrueHit < 0.65 {
-			fmt.Printf("%-36s excluded (true hit %.4f below data-regime threshold)\n", b.Name, ev.TrueHit)
+			fmt.Printf("%-36s excluded (true hit %.4f below data-regime threshold)\n", ev.Bench, ev.TrueHit)
 			continue
 		}
 		fmt.Printf("%-36s true=%.4f pred=%.4f |diff|=%.2f%%\n", ev.Bench, ev.TrueHit, ev.PredHit, ev.AbsPctDiff)

@@ -4,7 +4,7 @@
 //
 //	cbx-experiments [-scale tiny|small|full] [-artifacts DIR] [-run LIST]
 //	                [-store DIR] [-no-store] [-split-seed N]
-//	                [-checkpoint-every N] [-resume]
+//	                [-checkpoint-every N] [-resume] [-j N]
 //
 // -run selects a comma-separated subset of
 // fig3,fig7,fig8,fig9,fig10,fig11,fig12,fig13,fig14,table1 (default:
@@ -37,6 +37,7 @@ func main() {
 	splitSeed := flag.Int64("split-seed", 42, "seed of the train/test benchmark split")
 	checkpointEvery := flag.Int("checkpoint-every", 5, "write a training checkpoint every N epochs (0 disables)")
 	resume := flag.Bool("resume", false, "resume interrupted training from existing checkpoints")
+	workers := flag.Int("j", 0, "simulation worker-pool width (0 = GOMAXPROCS, 1 = serial); artifacts are byte-identical at any width")
 	flag.Parse()
 
 	scale, err := harness.ParseScale(*scaleFlag)
@@ -48,6 +49,7 @@ func main() {
 	r.SplitSeed = *splitSeed
 	r.CheckpointEvery = *checkpointEvery
 	r.Resume = *resume
+	r.Workers = *workers
 	if !*noStore {
 		dir := *storeDir
 		if dir == "" {

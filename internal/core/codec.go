@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"cachebox/internal/heatmap"
+	"cachebox/internal/par"
 	"cachebox/internal/tensor"
 )
 
@@ -71,16 +73,26 @@ func (c Codec) Encode(m *heatmap.Heatmap) *tensor.Tensor {
 	return t
 }
 
-// EncodeBatch packs heatmaps into an [N, 1, H, W] tensor.
+// EncodeBatch packs heatmaps into an [N, 1, H, W] tensor. Images are
+// encoded concurrently on the worker pool: image i writes only its own
+// [i·h·w, (i+1)·h·w) window, so the packed tensor is byte-identical to
+// a serial encode.
 func (c Codec) EncodeBatch(ms []*heatmap.Heatmap) *tensor.Tensor {
 	mustValidShape(len(ms) > 0, "core: empty batch")
 	h, w := ms[0].H, ms[0].W
-	t := tensor.New(len(ms), 1, h, w)
-	for i, m := range ms {
+	for _, m := range ms {
 		mustValidShape(m.H == h && m.W == w, "core: mixed heatmap sizes in batch")
-		enc := c.Encode(m)
-		copy(t.Data[i*h*w:(i+1)*h*w], enc.Data)
 	}
+	t := tensor.New(len(ms), 1, h, w)
+	err := par.ForEach(context.Background(), 0, ms,
+		func(_ context.Context, i int, m *heatmap.Heatmap) error {
+			enc := c.Encode(m)
+			copy(t.Data[i*h*w:(i+1)*h*w], enc.Data)
+			return nil
+		})
+	// The per-image task cannot fail; a non-nil error is a captured
+	// panic from a programming error — re-raise it.
+	mustValidShape(err == nil, "core: encode batch: %v", err)
 	return t
 }
 
@@ -94,13 +106,17 @@ func (c Codec) Decode(name string, data []float32, h, w int) *heatmap.Heatmap {
 	return m
 }
 
-// DecodeBatch unpacks an [N, 1, H, W] tensor into heatmaps.
+// DecodeBatch unpacks an [N, 1, H, W] tensor into heatmaps. Each image
+// window decodes into its own result slot, concurrently and
+// deterministically (see EncodeBatch).
 func (c Codec) DecodeBatch(name string, t *tensor.Tensor) []*heatmap.Heatmap {
 	n, h, w := t.Shape[0], t.Shape[2], t.Shape[3]
 	out := make([]*heatmap.Heatmap, n)
-	for i := 0; i < n; i++ {
+	err := par.New(0).Run(context.Background(), n, func(_ context.Context, i int) error {
 		out[i] = c.Decode(name, t.Data[i*h*w:(i+1)*h*w], h, w)
 		out[i].Index = i
-	}
+		return nil
+	})
+	mustValidShape(err == nil, "core: decode batch: %v", err)
 	return out
 }

@@ -1,12 +1,14 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"cachebox/internal/cachesim"
 	"cachebox/internal/core"
 	"cachebox/internal/heatmap"
 	"cachebox/internal/metrics"
+	"cachebox/internal/par"
 	"cachebox/internal/workload"
 )
 
@@ -40,19 +42,32 @@ func (r *Runner) Ablations() ([]AblationResult, error) {
 	// them all (no data-regime threshold) so every point evaluates the
 	// same population.
 	evalWith := func(hm heatmap.Config, mc core.Config) (float64, int, error) {
+		// simulate runs one benchmark's sim and builds capped pairs
+		// under the point's heatmap geometry — the pooled stage of both
+		// the build and eval loops below.
+		simulate := func(b workload.Benchmark) ([]heatmap.Pair, error) {
+			metrics.SimRuns.Inc()
+			lt := cachesim.RunTrace(cachesim.New(cfg), b.Trace())
+			pairs, err := heatmap.BuildPair(hm, lt.Accesses, lt.Misses)
+			if err != nil {
+				return nil, err
+			}
+			if len(pairs) > prof.MaxPairs {
+				pairs = pairs[:prof.MaxPairs]
+			}
+			return pairs, nil
+		}
 		build := func(benches []workload.Benchmark) ([]core.Sample, error) {
+			built, err := par.Map(context.Background(), r.workers(), benches,
+				func(_ context.Context, _ int, b workload.Benchmark) ([]heatmap.Pair, error) {
+					return simulate(b)
+				})
+			if err != nil {
+				return nil, err
+			}
 			var out []core.Sample
-			for _, b := range benches {
-				metrics.SimRuns.Inc()
-				lt := cachesim.RunTrace(cachesim.New(cfg), b.Trace())
-				pairs, err := heatmap.BuildPair(hm, lt.Accesses, lt.Misses)
-				if err != nil {
-					return nil, err
-				}
-				if len(pairs) > prof.MaxPairs {
-					pairs = pairs[:prof.MaxPairs]
-				}
-				for _, pr := range pairs {
+			for i, b := range benches {
+				for _, pr := range built[i] {
 					out = append(out, core.Sample{Access: pr.Access, Miss: pr.Miss,
 						Params: core.CacheParams(cfg), Bench: b.Name})
 				}
@@ -71,15 +86,22 @@ func (r *Runner) Ablations() ([]AblationResult, error) {
 			return 0, 0, err
 		}
 		var diffs []float64
-		for _, b := range test {
-			metrics.SimRuns.Inc()
-			lt := cachesim.RunTrace(cachesim.New(cfg), b.Trace())
-			pairs, err := heatmap.BuildPair(hm, lt.Accesses, lt.Misses)
-			if err != nil || len(pairs) == 0 {
+		type abTruth struct {
+			pairs []heatmap.Pair
+			err   error
+		}
+		testTruths, terr := par.Map(context.Background(), r.workers(), test,
+			func(_ context.Context, _ int, b workload.Benchmark) (abTruth, error) {
+				pairs, perr := simulate(b)
+				return abTruth{pairs: pairs, err: perr}, nil
+			})
+		if terr != nil {
+			return 0, 0, terr
+		}
+		for i := range test {
+			pairs := testTruths[i].pairs
+			if testTruths[i].err != nil || len(pairs) == 0 {
 				continue
-			}
-			if len(pairs) > prof.MaxPairs {
-				pairs = pairs[:prof.MaxPairs]
 			}
 			var access, miss []*heatmap.Heatmap
 			for _, pr := range pairs {

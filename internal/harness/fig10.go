@@ -1,12 +1,14 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"cachebox/internal/cachesim"
 	"cachebox/internal/core"
 	"cachebox/internal/heatmap"
 	"cachebox/internal/metrics"
+	"cachebox/internal/par"
 	"cachebox/internal/workload"
 )
 
@@ -19,79 +21,103 @@ type Fig10Result struct {
 	Combined, Standalone []ConfigResult
 }
 
+// hierTruth is one benchmark's full-hierarchy simulation: per-level
+// hit rates and capped heatmap pairs, plus per-level pair-building
+// errors. RunHierarchy resets the hierarchy before replaying, so each
+// pool task building its own hierarchy is identical to the old shared
+// serial one.
+type hierTruth struct {
+	rates []float64
+	pairs [][]heatmap.Pair
+	errs  []error
+	err   error // hierarchy construction failure
+}
+
+// hierTruths simulates benches over the L1/L2/L3 hierarchy on the
+// worker pool, in input order.
+func (r *Runner) hierTruths(benches []workload.Benchmark) []hierTruth {
+	out, err := par.Map(context.Background(), r.workers(), benches,
+		func(_ context.Context, _ int, b workload.Benchmark) (hierTruth, error) {
+			h, herr := cachesim.NewHierarchy(HierarchyConfigs...)
+			if herr != nil {
+				return hierTruth{err: herr}, nil
+			}
+			metrics.SimRuns.Inc()
+			lts := cachesim.RunHierarchy(h, b.Trace())
+			ht := hierTruth{
+				rates: make([]float64, len(lts)),
+				pairs: make([][]heatmap.Pair, len(lts)),
+				errs:  make([]error, len(lts)),
+			}
+			for i, lt := range lts {
+				ht.rates[i] = lt.HitRate()
+				pairs, perr := heatmap.BuildPair(r.Profile.Heatmap, lt.Accesses, lt.Misses)
+				if perr != nil {
+					ht.errs[i] = perr
+					continue
+				}
+				if r.Profile.MaxPairs > 0 && len(pairs) > r.Profile.MaxPairs {
+					pairs = pairs[:r.Profile.MaxPairs]
+				}
+				ht.pairs[i] = pairs
+			}
+			return ht, nil
+		})
+	if err != nil {
+		// Only a panicking task can get here; surface it on every row.
+		out = make([]hierTruth, len(benches))
+		for i := range out {
+			out[i] = hierTruth{err: err}
+		}
+	}
+	return out
+}
+
 // levelSamples builds per-level training samples by running the full
 // hierarchy, applying the paper's per-level data-regime thresholds.
 // Level i's access stream is level i-1's miss stream.
 func (r *Runner) levelSamples(benches []workload.Benchmark, withParams bool) ([][]core.Sample, error) {
 	out := make([][]core.Sample, len(HierarchyConfigs))
-	h, err := cachesim.NewHierarchy(HierarchyConfigs...)
-	if err != nil {
-		return nil, err
-	}
-	for _, b := range benches {
-		metrics.SimRuns.Inc()
-		lts := cachesim.RunHierarchy(h, b.Trace())
-		for i, lt := range lts {
-			if lt.HitRate() < levelThresholds[i] {
+	for bi, ht := range r.hierTruths(benches) {
+		if ht.err != nil {
+			return nil, ht.err
+		}
+		for i := range ht.rates {
+			if ht.rates[i] < levelThresholds[i] {
 				continue
 			}
-			pairs, err := heatmap.BuildPair(r.Profile.Heatmap, lt.Accesses, lt.Misses)
-			if err != nil {
-				return nil, err
-			}
-			if r.Profile.MaxPairs > 0 && len(pairs) > r.Profile.MaxPairs {
-				pairs = pairs[:r.Profile.MaxPairs]
+			if ht.errs[i] != nil {
+				return nil, ht.errs[i]
 			}
 			var params []float32
 			if withParams {
 				params = core.CacheParams(HierarchyConfigs[i])
 			}
-			for _, pr := range pairs {
-				out[i] = append(out[i], core.Sample{Access: pr.Access, Miss: pr.Miss, Params: params, Bench: b.Name})
+			for _, pr := range ht.pairs[i] {
+				out[i] = append(out[i], core.Sample{Access: pr.Access, Miss: pr.Miss, Params: params, Bench: benches[bi].Name})
 			}
 		}
 	}
 	return out, nil
 }
 
-// evalLevel evaluates a model on one hierarchy level of one benchmark.
-func (r *Runner) evalLevel(m *core.Model, b workload.Benchmark, level int) (trueHR, predHR float64, err error) {
-	h, err := cachesim.NewHierarchy(HierarchyConfigs...)
-	if err != nil {
-		return 0, 0, err
+// evalLevel evaluates a model on one hierarchy level of one
+// benchmark's simulated truth.
+func (r *Runner) evalLevel(m *core.Model, b workload.Benchmark, ht hierTruth, level int) (trueHR, predHR float64, err error) {
+	if ht.err != nil {
+		return 0, 0, ht.err
 	}
-	metrics.SimRuns.Inc()
-	lts := cachesim.RunHierarchy(h, b.Trace())
-	lt := lts[level]
-	pairs, err := heatmap.BuildPair(r.Profile.Heatmap, lt.Accesses, lt.Misses)
-	if err != nil {
-		return 0, 0, err
+	if ht.errs[level] != nil {
+		return 0, 0, ht.errs[level]
 	}
-	if r.Profile.MaxPairs > 0 && len(pairs) > r.Profile.MaxPairs {
-		pairs = pairs[:r.Profile.MaxPairs]
-	}
-	if len(pairs) == 0 {
+	if len(ht.pairs[level]) == 0 {
 		return 0, 0, fmt.Errorf("harness: %s L%d stream too short for heatmaps", b.Name, level+1)
-	}
-	var access, miss []*heatmap.Heatmap
-	for _, pr := range pairs {
-		access = append(access, pr.Access)
-		miss = append(miss, pr.Miss)
-	}
-	trueHR, err = heatmap.HitRate(r.Profile.Heatmap, access, miss)
-	if err != nil {
-		return 0, 0, err
 	}
 	var params []float32
 	if m.Cfg.CondDim > 0 {
 		params = core.CacheParams(HierarchyConfigs[level])
 	}
-	pred := m.Predict(access, params, 8)
-	for i := range pred {
-		pred[i] = heatmap.ConstrainMiss(pred[i], access[i])
-	}
-	predHR, err = heatmap.HitRate(r.Profile.Heatmap, access, pred)
-	return trueHR, predHR, err
+	return r.evaluatePairs(m, b.Name, ht.pairs[level], params, 8)
 }
 
 // Fig10 runs RQ4: the combined model (no cache parameters) and three
@@ -162,6 +188,9 @@ func (r *Runner) Fig10() (*Fig10Result, error) {
 
 	res := &Fig10Result{}
 	markers := []string{"+", "*", "ø"} // the paper's exclusion markers per level
+	// One pooled hierarchy simulation per test benchmark, shared by
+	// every (level, variant) evaluation below.
+	testTruths := r.hierTruths(test)
 	for i, cfg := range HierarchyConfigs {
 		variants := []struct {
 			name  string
@@ -174,8 +203,8 @@ func (r *Runner) Fig10() (*Fig10Result, error) {
 				continue
 			}
 			cr := ConfigResult{Config: cfg}
-			for _, b := range test {
-				trueHR, predHR, err := r.evalLevel(m, b, i)
+			for bi, b := range test {
+				trueHR, predHR, err := r.evalLevel(m, b, testTruths[bi], i)
 				if err != nil {
 					continue
 				}

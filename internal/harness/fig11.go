@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"time"
 
 	"cachebox/internal/cachesim"
@@ -8,6 +9,7 @@ import (
 	"cachebox/internal/heatmap"
 	"cachebox/internal/metrics"
 	"cachebox/internal/multicachesim"
+	"cachebox/internal/workload"
 )
 
 // Fig11Result is the RQ5 outcome: CB-GAN inference time per batch
@@ -46,8 +48,15 @@ func (r *Runner) Fig11() (*Fig11Result, error) {
 		return nil, err
 	}
 	var mcsTime time.Duration
-	for _, b := range test {
-		tr := b.Trace()
+	// Trace synthesis fans out across the worker pool; the timed
+	// simulator passes below stay serial so the wall-clock comparison
+	// is undistorted by sibling tasks.
+	traces, err := workload.Traces(context.Background(), r.workers(), test)
+	if err != nil {
+		return nil, err
+	}
+	for i := range test {
+		tr := traces[i]
 		traceLen += tr.Len()
 		t0 := time.Now()
 		metrics.SimRuns.Inc()

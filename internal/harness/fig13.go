@@ -1,12 +1,14 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"cachebox/internal/cachesim"
 	"cachebox/internal/core"
 	"cachebox/internal/heatmap"
 	"cachebox/internal/metrics"
+	"cachebox/internal/par"
 	"cachebox/internal/workload"
 )
 
@@ -69,13 +71,17 @@ func (r *Runner) Fig13() (*Fig13Result, error) {
 	train, test := r.split(r.specSuite().Benchmarks)
 	params := core.CacheParams(L1Default)
 	m, err := r.trainOrLoad("fig13-prefetch", func() (*core.Model, error) {
+		// Prefetch simulation fans out; samples commit in train order.
+		trainPairs, err := par.Map(context.Background(), r.workers(), train,
+			func(_ context.Context, _ int, b workload.Benchmark) ([]heatmap.Pair, error) {
+				return r.prefetchPairs(b)
+			})
+		if err != nil {
+			return nil, err
+		}
 		var ds []core.Sample
-		for _, b := range train {
-			pairs, err := r.prefetchPairs(b)
-			if err != nil {
-				return nil, err
-			}
-			for _, pr := range pairs {
+		for i, b := range train {
+			for _, pr := range trainPairs[i] {
 				ds = append(ds, core.Sample{Access: pr.Access, Miss: pr.Miss, Params: params, Bench: b.Name})
 			}
 		}
@@ -103,9 +109,21 @@ func (r *Runner) Fig13() (*Fig13Result, error) {
 	res := &Fig13Result{}
 	r.logf("\nFigure 13 (RQ7): next-line prefetcher modelling (MSE / SSIM per benchmark)\n")
 	var mses, ssims []float64
-	for _, b := range test {
-		pairs, err := r.prefetchPairs(b)
-		if err != nil || len(pairs) == 0 {
+	type pfTruth struct {
+		pairs []heatmap.Pair
+		err   error
+	}
+	testPairs, mapErr := par.Map(context.Background(), r.workers(), test,
+		func(_ context.Context, _ int, b workload.Benchmark) (pfTruth, error) {
+			pairs, perr := r.prefetchPairs(b)
+			return pfTruth{pairs: pairs, err: perr}, nil
+		})
+	if mapErr != nil {
+		return nil, mapErr
+	}
+	for i, b := range test {
+		pairs := testPairs[i].pairs
+		if testPairs[i].err != nil || len(pairs) == 0 {
 			continue
 		}
 		var access, real []*heatmap.Heatmap

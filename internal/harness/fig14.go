@@ -1,10 +1,13 @@
 package harness
 
 import (
+	"context"
 	"strings"
 
 	"cachebox/internal/cachesim"
 	"cachebox/internal/metrics"
+	"cachebox/internal/par"
+	"cachebox/internal/workload"
 )
 
 // Fig14Result is the dataset analysis of §6.1: the histogram of true
@@ -23,17 +26,30 @@ type Fig14Result struct {
 // histograms the hit rates.
 func (r *Runner) Fig14() (*Fig14Result, error) {
 	benches := r.specSuite().Benchmarks
+	// Per-benchmark hierarchy sims fan out across the worker pool; the
+	// rate slices are assembled in benchmark order below.
+	rates, err := par.Map(context.Background(), r.workers(), benches,
+		func(_ context.Context, _ int, b workload.Benchmark) ([]float64, error) {
+			h, err := cachesim.NewHierarchy(HierarchyConfigs...)
+			if err != nil {
+				return nil, err
+			}
+			metrics.SimRuns.Inc()
+			lts := cachesim.RunHierarchy(h, b.Trace())
+			rs := make([]float64, len(lts))
+			for i, lt := range lts {
+				rs[i] = lt.HitRate()
+			}
+			return rs, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	var l1, l2, l3 []float64
-	for _, b := range benches {
-		h, err := cachesim.NewHierarchy(HierarchyConfigs...)
-		if err != nil {
-			return nil, err
-		}
-		metrics.SimRuns.Inc()
-		lts := cachesim.RunHierarchy(h, b.Trace())
-		l1 = append(l1, lts[0].HitRate())
-		l2 = append(l2, lts[1].HitRate())
-		l3 = append(l3, lts[2].HitRate())
+	for _, rs := range rates {
+		l1 = append(l1, rs[0])
+		l2 = append(l2, rs[1])
+		l3 = append(l3, rs[2])
 	}
 	res := &Fig14Result{
 		Bins:          metrics.RateHistogram(l1, 20),

@@ -43,8 +43,14 @@ func (r *Runner) Fig7() (*Fig7Result, error) {
 		return nil, err
 	}
 	res := &Fig7Result{}
-	for _, b := range test {
-		trueHR, predHR, err := r.evaluate(m, b, cfg, 8)
+	// Ground-truth simulation fans out across the worker pool;
+	// prediction and row commit stay serial in benchmark order.
+	truths := r.truths(test, cfg)
+	for i, b := range test {
+		trueHR, predHR, err := 0.0, 0.0, truths[i].err
+		if err == nil {
+			trueHR, predHR, err = r.evaluatePairs(m, b.Name, truths[i].pairs, core.CacheParams(cfg), 8)
+		}
 		if err != nil {
 			r.logf("[fig7] %s skipped: %v\n", b.Name, err)
 			continue

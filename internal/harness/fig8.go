@@ -69,8 +69,13 @@ func (r *Runner) evalConfigs(m *core.Model, test []workload.Benchmark, cfgs []ca
 	res := &Fig8Result{}
 	for _, cfg := range cfgs {
 		cr := ConfigResult{Config: cfg}
-		for _, b := range test {
-			trueHR, predHR, err := r.evaluate(m, b, cfg, 8)
+		truths := r.truths(test, cfg)
+		params := core.CacheParams(cfg)
+		for i, b := range test {
+			trueHR, predHR, err := 0.0, 0.0, truths[i].err
+			if err == nil {
+				trueHR, predHR, err = r.evaluatePairs(m, b.Name, truths[i].pairs, params, 8)
+			}
 			if err != nil {
 				r.logf("[%s] %s skipped: %v\n", cfg, b.Name, err)
 				continue
@@ -111,8 +116,13 @@ func (r *Runner) Fig12() (*Fig12Result, error) {
 	res := &Fig12Result{}
 	var nInt, nHigh int
 	for _, cfg := range RQ2Configs {
-		for _, b := range test {
-			trueHR, predHR, err := r.evaluate(m, b, cfg, 8)
+		truths := r.truths(test, cfg)
+		params := core.CacheParams(cfg)
+		for i, b := range test {
+			if truths[i].err != nil {
+				continue
+			}
+			trueHR, predHR, err := r.evaluatePairs(m, b.Name, truths[i].pairs, params, 8)
 			if err != nil {
 				continue
 			}

@@ -1,18 +1,21 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"cachebox/internal/cachesim"
 	"cachebox/internal/core"
 	"cachebox/internal/heatmap"
 	"cachebox/internal/metrics"
+	"cachebox/internal/par"
 	"cachebox/internal/store"
 	"cachebox/internal/workload"
 )
@@ -68,6 +71,18 @@ type Runner struct {
 	// Resume restores training from an existing checkpoint file when
 	// one is present.
 	Resume bool
+	// Workers bounds the parallelism of ground-truth simulation and
+	// trace synthesis: 0 means runtime.GOMAXPROCS(0), 1 forces the old
+	// serial path. Whatever the value, results are committed in
+	// deterministic index order, so every artifact is byte-identical to
+	// a serial run. Model prediction always stays serial — the
+	// generator's forward pass is not safe for concurrent use on one
+	// model.
+	Workers int
+
+	// logMu serialises progress output: with Workers > 1 the pool's
+	// tasks may log (e.g. store warnings) concurrently.
+	logMu sync.Mutex
 }
 
 // NewRunner builds a runner writing human-readable results to out.
@@ -85,8 +100,18 @@ func NewRunner(scale Scale, artifactsDir string, out io.Writer) *Runner {
 }
 
 func (r *Runner) logf(format string, args ...any) {
+	r.logMu.Lock()
+	defer r.logMu.Unlock()
 	//lint:ignore unchecked-error progress logging; a failing log writer must not abort an experiment run
 	fmt.Fprintf(r.Out, format, args...)
+}
+
+// workers resolves the runner's pool width.
+func (r *Runner) workers() int {
+	if r.Workers <= 0 {
+		return par.DefaultWorkers()
+	}
+	return r.Workers
 }
 
 // suites builds the three benchmark suites at the runner's scale.
@@ -141,23 +166,71 @@ func (r *Runner) pairsFor(b workload.Benchmark, cfg cachesim.Config) ([]heatmap.
 	return pairs, lt.HitRate(), nil
 }
 
+// benchTruth is one benchmark's simulated ground truth: the parallel
+// simulation stage produces these, the serial commit stage consumes
+// them in benchmark order.
+type benchTruth struct {
+	pairs []heatmap.Pair
+	hr    float64
+	err   error
+}
+
+// truths runs pairsFor over benches × one config on the worker pool,
+// returning per-benchmark results in input order. Per-benchmark
+// failures are carried in the result (the serial callers decide
+// whether to skip or abort), so one short trace never cancels the
+// whole fan-out.
+func (r *Runner) truths(benches []workload.Benchmark, cfg cachesim.Config) []benchTruth {
+	out, err := par.Map(context.Background(), r.workers(), benches,
+		func(_ context.Context, _ int, b workload.Benchmark) (benchTruth, error) {
+			pairs, hr, perr := r.pairsFor(b, cfg)
+			return benchTruth{pairs: pairs, hr: hr, err: perr}, nil
+		})
+	if err != nil {
+		// Only a panicking task can get here; surface it on every row
+		// so callers fail loudly instead of indexing a nil slice.
+		out = make([]benchTruth, len(benches))
+		for i := range out {
+			out[i] = benchTruth{err: err}
+		}
+	}
+	return out
+}
+
 // dataset assembles training samples over benches × cfgs, applying the
-// high-data-regime threshold.
+// high-data-regime threshold. Simulation fans out across the worker
+// pool; samples are committed in the serial (cfg, bench) order, so the
+// dataset is identical to a serial build.
 func (r *Runner) dataset(benches []workload.Benchmark, cfgs []cachesim.Config, minHit float64) ([]core.Sample, error) {
-	var out []core.Sample
+	type item struct {
+		cfg   cachesim.Config
+		bench workload.Benchmark
+	}
+	var items []item
 	for _, cfg := range cfgs {
-		params := core.CacheParams(cfg)
 		for _, b := range benches {
-			pairs, hr, err := r.pairsFor(b, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("harness: %s: %w", b.Name, err)
+			items = append(items, item{cfg: cfg, bench: b})
+		}
+	}
+	res, err := par.Map(context.Background(), r.workers(), items,
+		func(_ context.Context, _ int, it item) (benchTruth, error) {
+			pairs, hr, perr := r.pairsFor(it.bench, it.cfg)
+			if perr != nil {
+				return benchTruth{}, fmt.Errorf("harness: %s: %w", it.bench.Name, perr)
 			}
-			if hr < minHit {
-				continue
-			}
-			for _, pr := range pairs {
-				out = append(out, core.Sample{Access: pr.Access, Miss: pr.Miss, Params: params, Bench: b.Name})
-			}
+			return benchTruth{pairs: pairs, hr: hr}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	var out []core.Sample
+	for i, it := range items {
+		if res[i].hr < minHit {
+			continue
+		}
+		params := core.CacheParams(it.cfg)
+		for _, pr := range res[i].pairs {
+			out = append(out, core.Sample{Access: pr.Access, Miss: pr.Miss, Params: params, Bench: it.bench.Name})
 		}
 	}
 	if len(out) == 0 {
@@ -252,15 +325,14 @@ func (r *Runner) trainOrLoad(name string, build func() (*core.Model, error)) (*c
 	return m, nil
 }
 
-// evaluate predicts a benchmark's hit rate under cfg with the model
-// and compares against the simulator.
-func (r *Runner) evaluate(m *core.Model, b workload.Benchmark, cfg cachesim.Config, batch int) (trueHR, predHR float64, err error) {
-	pairs, _, err := r.pairsFor(b, cfg)
-	if err != nil {
-		return 0, 0, err
-	}
+// evaluatePairs scores a model's prediction against one benchmark's
+// simulated pairs. It is the serial stage of an evaluation: the pairs
+// come from a (possibly parallel) truths call, but the generator's
+// forward pass is not safe for concurrent use on one model, so
+// prediction runs on the calling goroutine.
+func (r *Runner) evaluatePairs(m *core.Model, name string, pairs []heatmap.Pair, params []float32, batch int) (trueHR, predHR float64, err error) {
 	if len(pairs) == 0 {
-		return 0, 0, fmt.Errorf("harness: %s yields no heatmaps", b.Name)
+		return 0, 0, fmt.Errorf("harness: %s yields no heatmaps", name)
 	}
 	var access, miss []*heatmap.Heatmap
 	for _, pr := range pairs {
@@ -271,12 +343,22 @@ func (r *Runner) evaluate(m *core.Model, b workload.Benchmark, cfg cachesim.Conf
 	if err != nil {
 		return 0, 0, err
 	}
-	pred := m.Predict(access, core.CacheParams(cfg), batch)
+	pred := m.Predict(access, params, batch)
 	for i := range pred {
 		pred[i] = heatmap.ConstrainMiss(pred[i], access[i])
 	}
 	predHR, err = heatmap.HitRate(r.Profile.Heatmap, access, pred)
 	return trueHR, predHR, err
+}
+
+// evaluate predicts a benchmark's hit rate under cfg with the model
+// and compares against the simulator.
+func (r *Runner) evaluate(m *core.Model, b workload.Benchmark, cfg cachesim.Config, batch int) (trueHR, predHR float64, err error) {
+	pairs, _, err := r.pairsFor(b, cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	return r.evaluatePairs(m, b.Name, pairs, core.CacheParams(cfg), batch)
 }
 
 // BenchRow is one per-benchmark result line.

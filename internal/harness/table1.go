@@ -1,11 +1,14 @@
 package harness
 
 import (
+	"context"
 	"sort"
 
 	"cachebox/internal/baseline"
 	"cachebox/internal/cachesim"
+	"cachebox/internal/core"
 	"cachebox/internal/metrics"
+	"cachebox/internal/par"
 	"cachebox/internal/workload"
 )
 
@@ -72,16 +75,34 @@ func (r *Runner) Table1() (*Table1Result, error) {
 		row := Table1Row{Group: g, Baselines: map[string]float64{}, CBoxBest: 101, CBoxWorst: -1}
 		var cboxDiffs []float64
 		baseDiffs := map[string][]float64{}
-		for _, b := range byGroup[g] {
-			tr := b.Trace()
-			metrics.SimRuns.Inc()
-			trueMiss := cachesim.RunTrace(cachesim.New(cfg), tr).Stats.MissRate()
+		gb := byGroup[g]
+		// Parallel stage: trace synthesis, true miss-rate simulation and
+		// heatmap ground truth per benchmark. The statistical predictors
+		// carry internal state across calls, so they stay in the serial
+		// commit loop below, consuming the results in benchmark order.
+		traces, err := workload.Traces(context.Background(), r.workers(), gb)
+		if err != nil {
+			return nil, err
+		}
+		trueMisses, err := par.Map(context.Background(), r.workers(), gb,
+			func(_ context.Context, i int, b workload.Benchmark) (float64, error) {
+				metrics.SimRuns.Inc()
+				return cachesim.RunTrace(cachesim.New(cfg), traces[i]).Stats.MissRate(), nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		truths := r.truths(gb, cfg)
+		for i, b := range gb {
 			for _, pr := range preds {
-				d := metrics.AbsPctDiff(trueMiss, pr.PredictMissRate(tr, cfg))
+				d := metrics.AbsPctDiff(trueMisses[i], pr.PredictMissRate(traces[i], cfg))
 				baseDiffs[pr.Name()] = append(baseDiffs[pr.Name()], d)
 			}
-			trueHR, predHR, err := r.evaluate(m, b, cfg, 8)
-			if err != nil {
+			trueHR, predHR, evErr := 0.0, 0.0, truths[i].err
+			if evErr == nil {
+				trueHR, predHR, evErr = r.evaluatePairs(m, b.Name, truths[i].pairs, core.CacheParams(cfg), 8)
+			}
+			if evErr != nil {
 				continue
 			}
 			// Hit-rate and miss-rate absolute differences coincide.

@@ -1,0 +1,74 @@
+package heatmap
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzHeatmapConstrain feeds ConstrainMiss raw float32 bit patterns —
+// including NaNs, infinities and negative zeros a misbehaving model
+// could emit — and checks the physical-support invariant: every output
+// cell is finite and lies in [0, access cap], where a garbage
+// (non-finite or negative) access count caps its cell at 0. NaN is the
+// classic escape here: it fails both of the in-range comparisons, so
+// an unguarded clamp passes it straight through into the hit-rate sum.
+func FuzzHeatmapConstrain(f *testing.F) {
+	nan := math.Float32bits(float32(math.NaN()))
+	inf := math.Float32bits(float32(math.Inf(1)))
+	seed := func(vals ...uint32) []byte {
+		b := make([]byte, 4*len(vals))
+		for i, v := range vals {
+			binary.LittleEndian.PutUint32(b[4*i:], v)
+		}
+		return b
+	}
+	f.Add(seed(math.Float32bits(3), math.Float32bits(5), math.Float32bits(7), math.Float32bits(2)))
+	f.Add(seed(nan, math.Float32bits(5), inf, math.Float32bits(2)))
+	f.Add(seed(math.Float32bits(1), nan, math.Float32bits(1), inf))
+	f.Add(seed(math.Float32bits(-4), math.Float32bits(-1), inf|0x80000000, nan))
+	f.Add(seed())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Interpret the input as interleaved (pred, access) float32
+		// pairs filling two equally sized single-row heatmaps.
+		n := len(data) / 8
+		if n == 0 {
+			return
+		}
+		pred := NewHeatmap("pred", 1, n)
+		access := NewHeatmap("access", 1, n)
+		for i := 0; i < n; i++ {
+			pred.Pix[i] = math.Float32frombits(binary.LittleEndian.Uint32(data[8*i:]))
+			access.Pix[i] = math.Float32frombits(binary.LittleEndian.Uint32(data[8*i+4:]))
+		}
+		before := make([]uint32, n)
+		for i, v := range pred.Pix {
+			before[i] = math.Float32bits(v)
+		}
+		out := ConstrainMiss(pred, access)
+		for i, v := range out.Pix {
+			fv := float64(v)
+			if math.IsNaN(fv) || math.IsInf(fv, 0) {
+				t.Fatalf("cell %d: non-finite output %v (pred=%v access=%v)", i, v, pred.Pix[i], access.Pix[i])
+			}
+			if v < 0 {
+				t.Fatalf("cell %d: negative output %v (pred=%v access=%v)", i, v, pred.Pix[i], access.Pix[i])
+			}
+			lim := access.Pix[i]
+			if f := float64(lim); math.IsNaN(f) || math.IsInf(f, 0) || lim < 0 {
+				lim = 0
+			}
+			if v > lim {
+				t.Fatalf("cell %d: output %v exceeds access cap %v (pred=%v access=%v)",
+					i, v, lim, pred.Pix[i], access.Pix[i])
+			}
+		}
+		// ConstrainMiss clones: the prediction it was given must be
+		// bit-for-bit untouched.
+		for i, v := range pred.Pix {
+			if math.Float32bits(v) != before[i] {
+				t.Fatalf("cell %d: input prediction mutated", i)
+			}
+		}
+	})
+}

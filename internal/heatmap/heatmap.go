@@ -272,15 +272,25 @@ func BuildPair(cfg Config, accesses, misses *trace.Trace) ([]Pair, error) {
 // sub-stream of the access stream). Applying this to CB-GAN output
 // before summing removes the diffuse off-support bias a generative
 // model accumulates over thousands of near-empty pixels.
+//
+// Non-finite cells are treated as garbage: a NaN or infinite access
+// count caps its cell at 0, and a NaN or -Inf prediction becomes 0
+// (+Inf clamps to the cap like any oversized value). Both comparisons
+// below are false for NaN, so without the explicit checks a NaN would
+// pass through and poison every downstream hit-rate sum.
 func ConstrainMiss(pred, access *Heatmap) *Heatmap {
 	out := pred.Clone()
 	for i, a := range access.Pix {
-		v := out.Pix[i]
-		if v < 0 {
-			v = 0
+		lim := a
+		if f := float64(lim); math.IsNaN(f) || math.IsInf(f, 0) || lim < 0 {
+			lim = 0
 		}
-		if v > a {
-			v = a
+		v := out.Pix[i]
+		switch {
+		case math.IsNaN(float64(v)) || v < 0:
+			v = 0
+		case v > lim:
+			v = lim
 		}
 		out.Pix[i] = v
 	}

@@ -163,6 +163,40 @@ func (v *CounterVec) expose(buf *bytes.Buffer) {
 	}
 }
 
+// Gauge is a settable instantaneous value (e.g. in-flight worker-pool
+// tasks). Unlike GaugeFunc it is written at the measurement site, so it
+// works when the measured quantity has no single owner to poll.
+type Gauge struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// NewGauge registers and returns a settable gauge.
+func (r *PromRegistry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{name: name, help: help}
+	r.register(g)
+	return g
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Add adds n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) famName() string { return g.name }
+
+func (g *Gauge) expose(buf *bytes.Buffer) {
+	writeHeader(buf, g.name, g.help, "gauge")
+	fmt.Fprintf(buf, "%s %d\n", g.name, g.v.Load())
+}
+
 // GaugeFunc exposes an instantaneous value read from a callback at
 // exposition time (e.g. current queue depth).
 type GaugeFunc struct {

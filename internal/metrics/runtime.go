@@ -33,6 +33,12 @@ var (
 	// experiment rerun should leave this at zero.
 	SimRuns = Runtime.NewCounter("cachebox_sim_runs_total",
 		"Ground-truth cache simulator invocations.")
+	// ParInFlight gauges worker-pool tasks currently executing.
+	ParInFlight = Runtime.NewGauge("cachebox_par_inflight_workers",
+		"Worker-pool tasks currently executing.")
+	// ParTasks counts worker-pool tasks started since process start.
+	ParTasks = Runtime.NewCounter("cachebox_par_tasks_total",
+		"Worker-pool tasks started.")
 )
 
 // RuntimeSummary renders the runtime counters as one log line, e.g.

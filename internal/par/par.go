@@ -1,0 +1,186 @@
+// Package par is the repository's deterministic parallel execution
+// engine: a stdlib-only bounded worker pool for the experiment
+// harness's embarrassingly parallel stages (per-benchmark simulation,
+// trace synthesis, batch codec work).
+//
+// The design contract, relied on by the golden parallel-equivalence
+// tests, is that parallelism never changes results:
+//
+//   - Work items are dispatched by index and each item writes only its
+//     own result slot, so outputs are committed in deterministic index
+//     order regardless of goroutine scheduling.
+//   - Every item keeps whatever seed or state it carries; the pool adds
+//     no randomness of its own.
+//   - workers == 1 runs every item inline on the calling goroutine —
+//     the old serial path, with no goroutines at all.
+//
+// Failure handling is uniform across serial and parallel modes: the
+// first error cancels the shared context so in-flight items can bail
+// out and queued items are skipped, and a panicking task is captured
+// into a *PanicError instead of crashing sibling workers. When several
+// items fail before cancellation lands, Run returns the genuine
+// (non-context-cancellation) error with the lowest index — the same
+// error a serial run would have stopped at.
+//
+// The pool reports an in-flight-workers gauge and a started-tasks
+// counter through internal/metrics, so cbx-serve's /metrics endpoint
+// and the CLI exit summaries show pool activity.
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"cachebox/internal/metrics"
+)
+
+// DefaultWorkers is the pool width used when the caller does not pick
+// one: the process's GOMAXPROCS at call time.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// PanicError wraps a panic recovered from a pool task.
+type PanicError struct {
+	Index int    // index of the panicking task
+	Value any    // the recovered panic value
+	Stack []byte // stack trace captured at recovery
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("par: task %d panicked: %v", e.Index, e.Value)
+}
+
+// Pool is a bounded worker pool. The zero value uses DefaultWorkers.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool running at most workers tasks concurrently.
+// workers <= 0 selects DefaultWorkers; workers == 1 is the serial path.
+func New(workers int) Pool { return Pool{workers: workers} }
+
+// Workers reports the pool's concurrency bound.
+func (p Pool) Workers() int {
+	if p.workers <= 0 {
+		return DefaultWorkers()
+	}
+	return p.workers
+}
+
+// Run executes task(ctx, i) for i in [0, n). Tasks run on at most
+// Workers goroutines; indices are dispatched in increasing order. The
+// first error (or captured panic) cancels ctx for the remaining tasks.
+// See the package comment for the determinism contract.
+func (p Pool) Run(ctx context.Context, n int, task func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	w := p.Workers()
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := runTask(ctx, i, task); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if wctx.Err() != nil {
+					return
+				}
+				if err := runTask(wctx, i, task); err != nil {
+					errs[i] = err
+					failed.Store(true)
+					cancel()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if !failed.Load() {
+		return ctx.Err()
+	}
+	// Prefer the lowest-index genuine failure: that is the error a
+	// serial run would have returned. Cancellation errors from sibling
+	// tasks that were already in flight are only a fallback.
+	var fallback error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, context.Canceled) {
+			return err
+		}
+		if fallback == nil {
+			fallback = err
+		}
+	}
+	return fallback
+}
+
+// runTask executes one task with panic capture and gauge accounting.
+func runTask(ctx context.Context, i int, task func(ctx context.Context, i int) error) (err error) {
+	metrics.ParTasks.Inc()
+	metrics.ParInFlight.Inc()
+	defer metrics.ParInFlight.Dec()
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return task(ctx, i)
+}
+
+// Map applies fn to every item on a pool of the given width and
+// returns the results in item order. On error the partial results are
+// discarded and the lowest-index genuine error is returned.
+func Map[T, R any](ctx context.Context, workers int, items []T, fn func(ctx context.Context, i int, item T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	err := New(workers).Run(ctx, len(items), func(ctx context.Context, i int) error {
+		r, err := fn(ctx, i, items[i])
+		if err != nil {
+			return err
+		}
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ForEach applies fn to every item on a pool of the given width.
+func ForEach[T any](ctx context.Context, workers int, items []T, fn func(ctx context.Context, i int, item T) error) error {
+	return New(workers).Run(ctx, len(items), func(ctx context.Context, i int) error {
+		return fn(ctx, i, items[i])
+	})
+}

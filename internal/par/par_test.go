@@ -1,0 +1,204 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cachebox/internal/metrics"
+)
+
+// TestMapOrder: results land in item order for every pool width,
+// including widths far above the item count.
+func TestMapOrder(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{0, 1, 2, 3, 8, 256} {
+		got, err := Map(context.Background(), workers, items, func(_ context.Context, i int, item int) (int, error) {
+			return item * item, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestBoundedConcurrency: with a width-3 pool, at most 3 tasks run at
+// once, and the metrics gauge returns to its starting level.
+func TestBoundedConcurrency(t *testing.T) {
+	const workers, n = 3, 24
+	gauge0 := metrics.ParInFlight.Value()
+	var inFlight, peak atomic.Int64
+	err := New(workers).Run(context.Background(), n, func(context.Context, int) error {
+		cur := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		for {
+			old := peak.Load()
+			if cur <= old || peak.CompareAndSwap(old, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent tasks, pool width is %d", p, workers)
+	}
+	if p := peak.Load(); p < 2 {
+		t.Fatalf("observed %d concurrent tasks, expected parallelism", p)
+	}
+	if got := metrics.ParInFlight.Value(); got != gauge0 {
+		t.Fatalf("in-flight gauge did not return to baseline: %d vs %d", got, gauge0)
+	}
+}
+
+// TestSerialPathOrder: workers == 1 executes items strictly in index
+// order on the calling goroutine.
+func TestSerialPathOrder(t *testing.T) {
+	var order []int
+	err := New(1).Run(context.Background(), 10, func(_ context.Context, i int) error {
+		order = append(order, i) // no lock: serial mode must not spawn goroutines
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order[%d] = %d", i, v)
+		}
+	}
+}
+
+// TestFirstErrorCancels: a failing task cancels the shared context so
+// queued work is skipped, and Run reports the failure.
+func TestFirstErrorCancels(t *testing.T) {
+	boom := errors.New("boom")
+	var started atomic.Int64
+	var sawCancel atomic.Bool
+	const n = 1000
+	err := New(4).Run(context.Background(), n, func(ctx context.Context, i int) error {
+		started.Add(1)
+		if i == 5 {
+			return boom
+		}
+		select {
+		case <-ctx.Done():
+			sawCancel.Store(true)
+		case <-time.After(2 * time.Millisecond):
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if got := started.Load(); got == n {
+		t.Fatal("cancellation skipped no queued tasks")
+	}
+}
+
+// TestLowestIndexError: when several tasks fail, the reported error is
+// the lowest-index genuine one — what a serial run would return.
+func TestLowestIndexError(t *testing.T) {
+	var gate sync.WaitGroup
+	gate.Add(4)
+	err := New(4).Run(context.Background(), 4, func(_ context.Context, i int) error {
+		// Hold all four failures until everyone has started so each
+		// one is recorded before cancellation can skip it.
+		gate.Done()
+		gate.Wait()
+		return fmt.Errorf("task %d failed", i)
+	})
+	if err == nil || err.Error() != "task 0 failed" {
+		t.Fatalf("err = %v, want task 0's error", err)
+	}
+}
+
+// TestPanicCapture: a panicking task becomes a *PanicError instead of
+// crashing the process, in both parallel and serial modes.
+func TestPanicCapture(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := New(workers).Run(context.Background(), 8, func(_ context.Context, i int) error {
+			if i == 3 {
+				panic("kaboom")
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Index != 3 || pe.Value != "kaboom" {
+			t.Fatalf("workers=%d: captured %+v", workers, pe)
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: no stack captured", workers)
+		}
+	}
+}
+
+// TestPreCancelledContext: a cancelled parent context stops the pool
+// before any task runs.
+func TestPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := New(4).Run(ctx, 8, func(context.Context, int) error {
+		ran = true
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("task ran under a pre-cancelled context")
+	}
+}
+
+// TestForEachAndEmpty: ForEach covers every item; zero items is a
+// no-op.
+func TestForEachAndEmpty(t *testing.T) {
+	var sum atomic.Int64
+	items := []int{1, 2, 3, 4, 5}
+	if err := ForEach(context.Background(), 3, items, func(_ context.Context, _ int, v int) error {
+		sum.Add(int64(v))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 15 {
+		t.Fatalf("sum = %d", sum.Load())
+	}
+	if err := New(8).Run(context.Background(), 0, func(context.Context, int) error {
+		t.Fatal("task ran for n=0")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTaskCounter: the started-tasks counter advances by the number of
+// completed items.
+func TestTaskCounter(t *testing.T) {
+	before := metrics.ParTasks.Value()
+	if err := New(2).Run(context.Background(), 7, func(context.Context, int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := metrics.ParTasks.Value() - before; got < 7 {
+		t.Fatalf("task counter advanced by %d, want >= 7", got)
+	}
+}

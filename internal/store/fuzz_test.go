@@ -1,0 +1,62 @@
+package store
+
+import (
+	"maps"
+	"testing"
+)
+
+// FuzzStoreCanonicalKey checks the two properties every store key must
+// hold: digests are stable (the same kind/format/inputs always hash
+// identically, whatever order the map was built in) and injective
+// (semantically different keys never share a digest — the %q quoting
+// in canonical() must prevent newline/'=' boundary forgeries between
+// kind, input names and input values).
+func FuzzStoreCanonicalKey(f *testing.F) {
+	f.Add("pairs", 1, "bench", "spec.gcc.p0", "sets", "64", "ways", "12")
+	f.Add("model", 3, "epochs", "12", "seed", "42", "geom", "32x32")
+	f.Add("k", 1, "a", "b\nc", "a=b", "c", "", "")
+	f.Add("pairs", 1, "a", "b", "a", "b", "a", "b")
+	f.Add("k\"v", 7, "in:\"x\"", "y", "input:", "=", "\n", "\n")
+	f.Fuzz(func(t *testing.T, kind string, format int, k1, v1, k2, v2, k3, v3 string) {
+		if kind == "" || format <= 0 {
+			return // Validate() rejects these before they reach a store
+		}
+		base := Key{Kind: kind, Format: format,
+			Inputs: map[string]string{k1: v1, k2: v2, k3: v3}}
+
+		// Stability: rebuilding the same inputs in reverse insertion
+		// order must not change the canonical form or the digest.
+		rev := make(map[string]string, 3)
+		rev[k3] = v3
+		rev[k2] = v2
+		rev[k1] = v1
+		same := Key{Kind: kind, Format: format, Inputs: rev}
+		// Duplicate fuzzed names make the two insertion orders build
+		// genuinely different maps (last write wins), so only compare
+		// digests when the final contents agree.
+		if maps.Equal(base.Inputs, same.Inputs) && base.Digest() != same.Digest() {
+			t.Fatalf("digest depends on insertion order:\n%q\nvs\n%q", base.canonical(), same.canonical())
+		}
+
+		// Injectivity: each variant below perturbs kind, format or the
+		// inputs; its digest must differ from base exactly when the key
+		// is semantically different.
+		variants := []Key{
+			{Kind: kind + "x", Format: format, Inputs: base.Inputs},
+			{Kind: kind, Format: format + 1, Inputs: base.Inputs},
+			{Kind: kind, Format: format, Inputs: map[string]string{k1: v2, k2: v1, k3: v3}},
+			{Kind: kind, Format: format, Inputs: map[string]string{k1 + k2: v1 + v2, k3: v3}},
+			{Kind: kind, Format: format, Inputs: map[string]string{k1: v1 + "\n" + k2 + "=" + v2, k3: v3}},
+			{Kind: kind + "\n" + k1, Format: format, Inputs: map[string]string{k2: v2, k3: v3}},
+			{Kind: kind, Format: format, Inputs: map[string]string{k1: v1, k2: v2}},
+		}
+		for i, v := range variants {
+			equalKeys := base.Kind == v.Kind && base.Format == v.Format && maps.Equal(base.Inputs, v.Inputs)
+			equalDigests := base.Digest() == v.Digest()
+			if equalKeys != equalDigests {
+				t.Fatalf("variant %d: equal keys=%v but equal digests=%v\nbase: %q\nvar:  %q",
+					i, equalKeys, equalDigests, base.canonical(), v.canonical())
+			}
+		}
+	})
+}

@@ -1,0 +1,19 @@
+package workload
+
+import (
+	"context"
+
+	"cachebox/internal/par"
+	"cachebox/internal/trace"
+)
+
+// Traces synthesises the benchmarks' traces concurrently on a worker
+// pool of the given width (0 = GOMAXPROCS, 1 = serial), returning them
+// in benchmark order. Every Benchmark carries its own seed, so the
+// result is identical to calling b.Trace() in a serial loop.
+func Traces(ctx context.Context, workers int, benches []Benchmark) ([]*trace.Trace, error) {
+	return par.Map(ctx, workers, benches,
+		func(_ context.Context, _ int, b Benchmark) (*trace.Trace, error) {
+			return b.Trace(), nil
+		})
+}

@@ -1,12 +1,14 @@
 package cachebox
 
 import (
+	"context"
 	"fmt"
 
 	"cachebox/internal/cachesim"
 	"cachebox/internal/core"
 	"cachebox/internal/heatmap"
 	"cachebox/internal/metrics"
+	"cachebox/internal/par"
 	"cachebox/internal/store"
 	"cachebox/internal/workload"
 )
@@ -28,6 +30,11 @@ type Pipeline struct {
 	// SplitSeed tags cached artifacts with the train/test split they
 	// feed (runs with different splits never share entries).
 	SplitSeed int64
+	// Workers bounds the parallelism of ground-truth simulation in
+	// Dataset, EvaluateAll and TrueHitRates: 0 = runtime.GOMAXPROCS(0),
+	// 1 = the serial path. Results are committed in deterministic input
+	// order, so output is identical whatever the width.
+	Workers int
 }
 
 // NewPipeline returns a Pipeline with the default scaled-down heatmap
@@ -96,20 +103,42 @@ func (p Pipeline) LevelPairs(bench Benchmark, cfgs []CacheConfig) ([][]HeatmapPa
 // whose true hit rate falls below minHitRate are excluded — the
 // paper's §6.1 "high data regime" rule; pass 0 to keep everything.
 func (p Pipeline) Dataset(benches []Benchmark, cfgs []CacheConfig, minHitRate float64) ([]Sample, error) {
-	var out []Sample
+	type item struct {
+		cfg   CacheConfig
+		bench Benchmark
+	}
+	var items []item
 	for _, cfg := range cfgs {
-		params := core.CacheParams(cfg)
 		for _, b := range benches {
-			pairs, hr, err := p.BenchPairs(b, cfg)
+			items = append(items, item{cfg: cfg, bench: b})
+		}
+	}
+	type built struct {
+		pairs []HeatmapPair
+		hr    float64
+	}
+	// Simulation fans out across the worker pool; samples are committed
+	// in the serial (cfg, bench) order below, so the dataset is
+	// identical to a serial build.
+	res, err := par.Map(context.Background(), p.Workers, items,
+		func(_ context.Context, _ int, it item) (built, error) {
+			pairs, hr, err := p.BenchPairs(it.bench, it.cfg)
 			if err != nil {
-				return nil, err
+				return built{}, err
 			}
-			if hr < minHitRate {
-				continue
-			}
-			for _, pr := range pairs {
-				out = append(out, Sample{Access: pr.Access, Miss: pr.Miss, Params: params, Bench: b.Name})
-			}
+			return built{pairs: pairs, hr: hr}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	var out []Sample
+	for i, it := range items {
+		if res[i].hr < minHitRate {
+			continue
+		}
+		params := core.CacheParams(it.cfg)
+		for _, pr := range res[i].pairs {
+			out = append(out, Sample{Access: pr.Access, Miss: pr.Miss, Params: params, Bench: it.bench.Name})
 		}
 	}
 	if len(out) == 0 {
@@ -135,6 +164,57 @@ func (p Pipeline) Evaluate(m *Model, bench Benchmark, cfg CacheConfig, batchSize
 	if err != nil {
 		return Eval{}, err
 	}
+	return p.evaluatePairs(m, bench, cfg, pairs, batchSize)
+}
+
+// EvalResult pairs one benchmark's evaluation with its error, so a
+// fan-out over many benchmarks can skip individual failures (a trace
+// too short for the heatmap geometry) without losing the rest.
+type EvalResult struct {
+	Eval Eval
+	Err  error
+}
+
+// EvaluateAll evaluates many benchmarks under one configuration:
+// ground-truth simulation fans out across Workers, model prediction
+// stays serial (the generator's forward pass is not safe for
+// concurrent use on one model), and results return in benchmark order
+// regardless of scheduling.
+func (p Pipeline) EvaluateAll(m *Model, benches []Benchmark, cfg CacheConfig, batchSize int) []EvalResult {
+	type truth struct {
+		pairs []HeatmapPair
+		err   error
+	}
+	truths, mapErr := par.Map(context.Background(), p.Workers, benches,
+		func(_ context.Context, _ int, b Benchmark) (truth, error) {
+			pairs, _, err := p.BenchPairs(b, cfg)
+			return truth{pairs: pairs, err: err}, nil
+		})
+	out := make([]EvalResult, len(benches))
+	if mapErr != nil {
+		// Only a panicking task can get here; surface it on every row.
+		for i := range out {
+			out[i] = EvalResult{Err: mapErr}
+		}
+		return out
+	}
+	for i, b := range benches {
+		if truths[i].err != nil {
+			out[i] = EvalResult{Eval: Eval{Bench: b.Name, Config: cfg}, Err: truths[i].err}
+			continue
+		}
+		ev, err := p.evaluatePairs(m, b, cfg, truths[i].pairs, batchSize)
+		if err != nil {
+			ev.Bench, ev.Config = b.Name, cfg
+		}
+		out[i] = EvalResult{Eval: ev, Err: err}
+	}
+	return out
+}
+
+// evaluatePairs is Evaluate's serial scoring stage over pre-simulated
+// pairs.
+func (p Pipeline) evaluatePairs(m *Model, bench Benchmark, cfg CacheConfig, pairs []HeatmapPair, batchSize int) (Eval, error) {
 	if len(pairs) == 0 {
 		return Eval{}, fmt.Errorf("cachebox: %s yields no heatmaps (trace too short for %dx%d windows)",
 			bench.Name, p.Heatmap.Height, p.Heatmap.Width)
@@ -167,13 +247,21 @@ func (p Pipeline) Evaluate(m *Model, bench Benchmark, cfg CacheConfig, batchSize
 }
 
 // TrueHitRates simulates every benchmark once and returns its hit rate
-// under cfg (the paper's Figure 14 dataset analysis).
+// under cfg (the paper's Figure 14 dataset analysis). Simulation fans
+// out across Workers.
 func (p Pipeline) TrueHitRates(benches []Benchmark, cfg CacheConfig) map[string]float64 {
+	rates, err := par.Map(context.Background(), p.Workers, benches,
+		func(_ context.Context, _ int, b Benchmark) (float64, error) {
+			metrics.SimRuns.Inc()
+			lt := cachesim.RunTrace(cachesim.New(cfg), b.Trace())
+			return lt.HitRate(), nil
+		})
 	out := make(map[string]float64, len(benches))
-	for _, b := range benches {
-		metrics.SimRuns.Inc()
-		lt := cachesim.RunTrace(cachesim.New(cfg), b.Trace())
-		out[b.Name] = lt.HitRate()
+	if err != nil {
+		return out
+	}
+	for i, b := range benches {
+		out[b.Name] = rates[i]
 	}
 	return out
 }
