@@ -57,6 +57,10 @@ type (
 	HeatmapPair = heatmap.Pair
 	// ModelConfig configures a CB-GAN instance.
 	ModelConfig = core.Config
+	// ConditionVec is the named cache geometry the CB-GAN conditions on
+	// (paper §3.2.3); the preferred spelling of conditioning inputs for
+	// Model.PredictConditioned and the /v1/predict request body.
+	ConditionVec = core.ConditionVec
 	// Model is a CB-GAN (generator + discriminator + codec).
 	Model = core.Model
 	// Sample is one CB-GAN training example.

@@ -27,10 +27,33 @@ import (
 
 	"cachebox"
 	"cachebox/internal/cachesim"
+	"cachebox/internal/obs"
 	"cachebox/internal/simpoint"
 	"cachebox/internal/trace"
 	"cachebox/internal/workload"
 )
+
+// traceToFile installs a span collector when path is non-empty and
+// returns a flush function for the caller to defer: it writes the
+// Chrome trace-event file (viewable in chrome://tracing or Perfetto)
+// and surfaces the write error if the command itself succeeded.
+func traceToFile(path string, err *error) func() {
+	if path == "" {
+		return func() {}
+	}
+	c := obs.NewCollector(obs.Options{Trace: true})
+	obs.Install(c)
+	return func() {
+		obs.Install(nil)
+		if werr := c.WriteFile(path); werr != nil {
+			if *err == nil {
+				*err = werr
+			}
+			return
+		}
+		fmt.Printf("wrote %d trace events to %s\n", c.EventCount(), path)
+	}
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -285,7 +308,7 @@ func tinyModelConfig() cachebox.ModelConfig {
 	return c
 }
 
-func cmdTrain(args []string) error {
+func cmdTrain(args []string) (err error) {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
 	out := fs.String("o", "model.cbgan", "output model file")
 	saveModel := fs.String("save-model", "", "output model file (overrides -o; use to export into a cbx-serve registry dir)")
@@ -303,9 +326,11 @@ func cmdTrain(args []string) error {
 	checkpointEvery := fs.Int("checkpoint-every", 0, "write a resumable checkpoint every N epochs (0 disables)")
 	resume := fs.Bool("resume", false, "resume training from the checkpoint file if present")
 	workers := fs.Int("j", 0, "simulation worker-pool width (0 = GOMAXPROCS, 1 = serial); the dataset is identical at any width")
+	tracePath := fs.String("trace", "", "write a Chrome trace-event file of the run's spans to this path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	defer traceToFile(*tracePath, &err)()
 	path := *out
 	if *saveModel != "" {
 		path = *saveModel
@@ -313,7 +338,6 @@ func cmdTrain(args []string) error {
 	ckptPath := path + ".ckpt"
 
 	var m *cachebox.Model
-	var err error
 	if *loadModel != "" {
 		if m, err = cachebox.LoadModelFile(*loadModel); err != nil {
 			return err
@@ -403,7 +427,7 @@ func cmdTrain(args []string) error {
 	return nil
 }
 
-func cmdEvaluate(args []string) error {
+func cmdEvaluate(args []string) (err error) {
 	fs := flag.NewFlagSet("evaluate", flag.ExitOnError)
 	modelPath := fs.String("model", "model.cbgan", "trained model file")
 	cfgStr := fs.String("cache", "64set-12way", "cache geometry to evaluate")
@@ -412,9 +436,11 @@ func cmdEvaluate(args []string) error {
 	scale := fs.Float64("suite-scale", 0.25, "problem-size scale")
 	seed := fs.Int64("seed", 42, "train/test split seed (must match training)")
 	workers := fs.Int("j", 0, "simulation worker-pool width (0 = GOMAXPROCS, 1 = serial); results are identical at any width")
+	tracePath := fs.String("trace", "", "write a Chrome trace-event file of the run's spans to this path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	defer traceToFile(*tracePath, &err)()
 	m, err := cachebox.LoadModelFile(*modelPath)
 	if err != nil {
 		return err

@@ -5,10 +5,14 @@
 //	cbx-experiments [-scale tiny|small|full] [-artifacts DIR] [-run LIST]
 //	                [-store DIR] [-no-store] [-split-seed N]
 //	                [-checkpoint-every N] [-resume] [-j N]
+//	                [-trace FILE] [-figure LIST] [-tiny]
 //
 // -run selects a comma-separated subset of
 // fig3,fig7,fig8,fig9,fig10,fig11,fig12,fig13,fig14,table1 (default:
-// all). Trained models are cached under the artifacts directory, so
+// all); -figure is an alias, and -tiny shorthand for -scale tiny.
+// -trace writes the run's spans as a Chrome trace-event JSON file
+// (open in chrome://tracing or Perfetto). Trained models are cached
+// under the artifacts directory, so
 // experiments sharing a model (fig8/fig9/fig11/fig12/table1) train it
 // once. Simulation results and models are additionally memoised in a
 // content-addressed artifact store (inspect it with cbx-store); a
@@ -25,6 +29,7 @@ import (
 
 	"cachebox/internal/harness"
 	"cachebox/internal/metrics"
+	"cachebox/internal/obs"
 	"cachebox/internal/store"
 )
 
@@ -38,12 +43,26 @@ func main() {
 	checkpointEvery := flag.Int("checkpoint-every", 5, "write a training checkpoint every N epochs (0 disables)")
 	resume := flag.Bool("resume", false, "resume interrupted training from existing checkpoints")
 	workers := flag.Int("j", 0, "simulation worker-pool width (0 = GOMAXPROCS, 1 = serial); artifacts are byte-identical at any width")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event file of the run's spans to this path")
+	figure := flag.String("figure", "", "alias for -run")
+	tiny := flag.Bool("tiny", false, "alias for -scale tiny")
 	flag.Parse()
 
+	if *figure != "" {
+		*run = *figure
+	}
+	if *tiny {
+		*scaleFlag = "tiny"
+	}
 	scale, err := harness.ParseScale(*scaleFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	var collector *obs.Collector
+	if *tracePath != "" {
+		collector = obs.NewCollector(obs.Options{Trace: true})
+		obs.Install(collector)
 	}
 	r := harness.NewRunner(scale, *artifacts, os.Stdout)
 	r.SplitSeed = *splitSeed
@@ -106,6 +125,13 @@ func main() {
 		fmt.Printf("===== %s done in %.1fs =====\n", s.name, time.Since(t0).Seconds())
 	}
 	fmt.Println(metrics.RuntimeSummary())
+	if collector != nil {
+		if err := collector.WriteFile(*tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d trace events to %s\n", collector.EventCount(), *tracePath)
+	}
 	if failed > 0 {
 		os.Exit(1)
 	}

@@ -34,12 +34,15 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"cachebox/internal/core"
+	"cachebox/internal/obs"
 	"cachebox/internal/serve"
 )
 
@@ -55,6 +58,8 @@ func main() {
 	workers := flag.Int("workers", 1, "batch-collection workers")
 	drainWait := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
 	smoke := flag.String("smoke", "", "run as a smoke-test client against this base URL and exit")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof handlers under /debug/pprof/ (opt-in)")
+	traceDir := flag.String("trace-dir", "", "write a Chrome trace-event file of the serving spans to this directory at shutdown")
 	flag.Parse()
 
 	if *smoke != "" {
@@ -64,6 +69,12 @@ func main() {
 		}
 		return
 	}
+
+	// A collector is always installed so per-span latency histograms
+	// surface in GET /metrics; trace-event buffering is only paid for
+	// when -trace-dir asks for a trace file.
+	collector := obs.NewCollector(obs.Options{Trace: *traceDir != ""})
+	obs.Install(collector)
 
 	reg, err := buildRegistry(*modelsDir, *modelFile, *storeDir)
 	if err != nil {
@@ -77,7 +88,18 @@ func main() {
 		RequestTimeout: *timeout,
 		Workers:        *workers,
 	})
-	hs := &http.Server{Addr: *addr, Handler: s}
+	var handler http.Handler = s
+	if *pprofOn {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", s)
+		handler = mux
+	}
+	hs := &http.Server{Addr: *addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -97,6 +119,16 @@ func main() {
 		}
 		s.Close()
 		log.Printf("cbx-serve: drained")
+		if *traceDir != "" {
+			path := filepath.Join(*traceDir, "cbx-serve-trace.json")
+			if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+				log.Printf("cbx-serve: trace dir: %v", err)
+			} else if err := collector.WriteFile(path); err != nil {
+				log.Printf("cbx-serve: write trace: %v", err)
+			} else {
+				log.Printf("cbx-serve: wrote %d trace events to %s", collector.EventCount(), path)
+			}
+		}
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintln(os.Stderr, "cbx-serve:", err)

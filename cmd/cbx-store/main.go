@@ -34,6 +34,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("cbx-store", flag.ContinueOnError)
 	root := fs.String("root", "artifacts/store", "store root directory")
+	storeAlias := fs.String("store", "", "alias for -root (matches the -store flag of the other tools)")
 	fs.Usage = func() {
 		//lint:ignore unchecked-error usage text on the flag set's stderr; flag's own defaults printing is equally unchecked
 		fmt.Fprintf(fs.Output(), "usage: cbx-store [-root dir] <ls|info|cat|verify|gc|rm> [args]\n")
@@ -41,6 +42,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *storeAlias != "" {
+		*root = *storeAlias
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {

@@ -78,7 +78,7 @@ func TestDefaultAnalyzers(t *testing.T) {
 	want := []string{
 		"unseeded-rand", "map-range-numeric", "unchecked-error",
 		"library-panic", "mutex-by-value", "shape-arity",
-		"nonatomic-write",
+		"nonatomic-write", "span-leak",
 	}
 	got := DefaultAnalyzers("cachebox")
 	if len(got) != len(want) {

@@ -137,6 +137,20 @@ func TestShapeArity(t *testing.T) {
 	checkFixture(t, "shapes", ShapeArity("fixture/tensor"))
 }
 
+func TestSpanLeak(t *testing.T) {
+	checkFixture(t, "spanleak", SpanLeak("fixture/obs"))
+}
+
+func TestSpanLeakSkipsOtherPackages(t *testing.T) {
+	// The same fixture against a different obs path must be silent: the
+	// analyzer keys on the traced package's import path, not on names.
+	pkg := loadFixture(t, "spanleak")
+	findings := Run([]*Package{pkg}, []*Analyzer{SpanLeak("othermodule/obs")})
+	if len(findings) != 0 {
+		t.Fatalf("package off the obs path must produce no findings, got %v", findings)
+	}
+}
+
 func TestFindingString(t *testing.T) {
 	pkg := loadFixture(t, "unseeded")
 	findings := Run([]*Package{pkg}, []*Analyzer{UnseededRand()})

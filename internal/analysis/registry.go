@@ -4,8 +4,8 @@ package analysis
 // rooted at modulePath (e.g. "cachebox"). The set is the lint gate the
 // CI runs: determinism (unseeded-rand, map-range-numeric), robustness
 // (unchecked-error, library-panic), concurrency (mutex-by-value),
-// numeric-API hygiene (shape-arity) and artifact durability
-// (nonatomic-write).
+// numeric-API hygiene (shape-arity), artifact durability
+// (nonatomic-write) and observability hygiene (span-leak).
 func DefaultAnalyzers(modulePath string) []*Analyzer {
 	return []*Analyzer{
 		UnseededRand(),
@@ -15,5 +15,6 @@ func DefaultAnalyzers(modulePath string) []*Analyzer {
 		MutexByValue(),
 		ShapeArity(modulePath + "/internal/tensor"),
 		NonatomicWrite(),
+		SpanLeak(modulePath + "/internal/obs"),
 	}
 }

@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SpanLeak flags obs.Start / obs.StartLeaf calls whose span is
+// discarded or never Ended in the function that started it. A span
+// without End never reaches the collector: it vanishes from the trace
+// and its latency never lands in the histogram, which is exactly the
+// silent data loss a tracing layer must not have.
+//
+// The check is deliberately flow-insensitive and local: an End call
+// anywhere in the starting function (including deferred closures)
+// satisfies it, and a span that escapes — stored in a struct, passed
+// to a helper, returned, or otherwise used as a value — is skipped,
+// because cross-goroutine End is a supported pattern (the serve
+// queue-wait span is started by the HTTP handler and ended by the
+// batch worker).
+func SpanLeak(obsPath string) *Analyzer {
+	a := &Analyzer{
+		Name: "span-leak",
+		Doc:  "flags obs.Start spans never Ended in the starting function",
+	}
+	a.Run = func(pass *Pass) {
+		for _, file := range pass.Files() {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkSpanLeaks(pass, obsPath, fd.Body)
+			}
+		}
+	}
+	return a
+}
+
+// spanStart is one tracked obs.Start/StartLeaf whose result landed in
+// a named local variable.
+type spanStart struct {
+	obj  types.Object
+	call *ast.CallExpr
+	name string
+}
+
+// checkSpanLeaks analyses one function body (nested function literals
+// included, so a defer func(){span.End()}() counts).
+func checkSpanLeaks(pass *Pass, obsPath string, body *ast.BlockStmt) {
+	info := pass.Pkg.TypesInfo
+
+	// obsStartCall reports whether call is obs.Start or obs.StartLeaf.
+	obsStartCall := func(call *ast.CallExpr) (string, bool) {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return "", false
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return "", false
+		}
+		pn, ok := info.Uses[id].(*types.PkgName)
+		if !ok || pn.Imported().Path() != obsPath {
+			return "", false
+		}
+		if sel.Sel.Name == "Start" || sel.Sel.Name == "StartLeaf" {
+			return sel.Sel.Name, true
+		}
+		return "", false
+	}
+
+	// Pass 1: find tracked span variables and report discarded spans.
+	var starts []spanStart
+	defIdents := make(map[*ast.Ident]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := obsStartCall(call)
+		if !ok {
+			return true
+		}
+		// obs.Start returns (ctx, span); StartLeaf returns the leaf.
+		spanIdx := 0
+		if fn == "Start" {
+			spanIdx = 1
+		}
+		if spanIdx >= len(as.Lhs) {
+			return true
+		}
+		id, ok := as.Lhs[spanIdx].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if id.Name == "_" {
+			pass.Report(call.Pos(), "span from obs.%s is discarded; it must be Ended to reach the trace", fn)
+			return true
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			return true
+		}
+		defIdents[id] = true
+		starts = append(starts, spanStart{obj: obj, call: call, name: id.Name})
+		return true
+	})
+	if len(starts) == 0 {
+		return
+	}
+	tracked := make(map[types.Object]bool, len(starts))
+	for _, s := range starts {
+		tracked[s.obj] = true
+	}
+
+	// Pass 2: classify every use of a tracked span. A receiver position
+	// (span.End(), span.Tag(...)) is a method use; End satisfies the
+	// check. Any other appearance — call argument, struct field store,
+	// return value, composite literal — means the span escapes and some
+	// other function owns its End.
+	ended := make(map[types.Object]bool)
+	receiver := make(map[*ast.Ident]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil || !tracked[obj] {
+			return true
+		}
+		receiver[id] = true
+		if sel.Sel.Name == "End" {
+			ended[obj] = true
+		}
+		return true
+	})
+	escaped := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || defIdents[id] || receiver[id] {
+			return true
+		}
+		if obj := info.Uses[id]; obj != nil && tracked[obj] {
+			escaped[obj] = true
+		}
+		return true
+	})
+
+	for _, s := range starts {
+		if !ended[s.obj] && !escaped[s.obj] {
+			pass.Report(s.call.Pos(), "span %s is never Ended in this function; it will be missing from traces and histograms", s.name)
+		}
+	}
+}

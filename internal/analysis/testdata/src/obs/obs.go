@@ -1,0 +1,36 @@
+// Package obs is a fixture stub of the production tracing API
+// (cachebox/internal/obs) with the same shapes: Start returns a
+// context plus a span pointer, StartLeaf returns a value-typed timer.
+package obs
+
+import "context"
+
+// Span is a stub hierarchical span.
+type Span struct{}
+
+// Start opens a span under ctx.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	_ = name
+	return ctx, &Span{}
+}
+
+// Tag attaches a string attribute.
+func (s *Span) Tag(key, value string) {}
+
+// TagInt attaches an integer attribute.
+func (s *Span) TagInt(key string, value int) {}
+
+// End closes the span.
+func (s *Span) End() {}
+
+// Leaf is a stub value-typed leaf timer.
+type Leaf struct{}
+
+// StartLeaf opens a leaf timer.
+func StartLeaf(name string) Leaf {
+	_ = name
+	return Leaf{}
+}
+
+// End closes the leaf timer.
+func (l Leaf) End() {}

@@ -1,0 +1,90 @@
+// Package spanleak exercises the span-leak analyzer.
+package spanleak
+
+import (
+	"context"
+
+	"fixture/obs"
+)
+
+// Leaky starts a span, tags it, and forgets to End it.
+func Leaky(ctx context.Context) context.Context {
+	ctx2, span := obs.Start(ctx, "leaky") // want "span span is never Ended"
+	span.Tag("k", "v")
+	return ctx2
+}
+
+// Discarded throws the span away at the assignment.
+func Discarded(ctx context.Context) {
+	_, _ = obs.Start(ctx, "discarded") // want "span from obs.Start is discarded"
+}
+
+// DiscardedLeaf throws a leaf timer away.
+func DiscardedLeaf() {
+	_ = obs.StartLeaf("kernel") // want "span from obs.StartLeaf is discarded"
+}
+
+// DeferEnd is the standard idiom; nothing here may be flagged.
+func DeferEnd(ctx context.Context) {
+	_, span := obs.Start(ctx, "ok")
+	defer span.End()
+}
+
+// LeafTimer is the hot-kernel idiom.
+func LeafTimer() {
+	l := obs.StartLeaf("kernel")
+	defer l.End()
+}
+
+// ManualEnd ends without defer.
+func ManualEnd(ctx context.Context) {
+	_, span := obs.Start(ctx, "manual")
+	span.TagInt("n", 1)
+	span.End()
+}
+
+// ConditionalEnd only ends on one path; the analyzer is deliberately
+// flow-insensitive and accepts any End in the function.
+func ConditionalEnd(ctx context.Context, ok bool) {
+	_, span := obs.Start(ctx, "cond")
+	if ok {
+		span.End()
+	}
+}
+
+// EndInClosure ends the span inside a deferred closure.
+func EndInClosure(ctx context.Context) {
+	_, span := obs.Start(ctx, "closure")
+	defer func() { span.End() }()
+}
+
+// holder keeps a span alive across goroutines (the serve queue-wait
+// pattern: the batch worker Ends it later).
+type holder struct{ span *obs.Span }
+
+// Escapes stores the span for someone else to End; not flagged.
+func Escapes(ctx context.Context, h *holder) {
+	_, span := obs.Start(ctx, "queue")
+	h.span = span
+}
+
+// Returned hands the span straight to the caller; not flagged (it is
+// never assigned to a local at all).
+func Returned(ctx context.Context) (context.Context, *obs.Span) {
+	return obs.Start(ctx, "handoff")
+}
+
+// PassedAlong gives the span to a helper that owns the End.
+func PassedAlong(ctx context.Context) {
+	_, span := obs.Start(ctx, "helper")
+	endIt(span)
+}
+
+func endIt(s *obs.Span) { s.End() }
+
+// Suppressed documents a deliberate leak.
+func Suppressed(ctx context.Context) {
+	//lint:ignore span-leak fixture: deliberate leak with a reason
+	_, span := obs.Start(ctx, "meh")
+	span.Tag("k", "v")
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -12,6 +13,7 @@ import (
 	"cachebox/internal/cachesim"
 	"cachebox/internal/heatmap"
 	"cachebox/internal/nn"
+	"cachebox/internal/obs"
 	"cachebox/internal/tensor"
 )
 
@@ -44,9 +46,35 @@ func NewModel(cfg Config) (*Model, error) {
 // numerical inputs of the conditioning path: log2(sets)/16 and
 // log2(ways)/8 (paper §3.2.3: the number of sets and ways).
 func CacheParams(cfg cachesim.Config) []float32 {
+	return ConditionVec{Sets: cfg.Sets, Ways: cfg.Ways}.Params()
+}
+
+// ConditionVec names the cache-geometry conditioning inputs of the
+// CB-GAN generator. It replaces the positional []float32 parameter
+// vectors previously threaded through PredictBatch and the serve
+// request body: callers say what they mean (sets, ways) and the model
+// owns the normalisation.
+type ConditionVec struct {
+	// Sets is the number of cache sets; must be a power of two.
+	Sets int `json:"sets"`
+	// Ways is the associativity.
+	Ways int `json:"ways"`
+}
+
+// Validate reports whether the vector describes a usable geometry.
+func (v ConditionVec) Validate() error {
+	if v.Sets <= 0 || v.Ways <= 0 {
+		return fmt.Errorf("core: condition vector needs positive sets and ways, got sets=%d ways=%d", v.Sets, v.Ways)
+	}
+	return nil
+}
+
+// Params renders the vector as the normalised conditioning inputs the
+// generator consumes: log2(sets)/16 and log2(ways)/8.
+func (v ConditionVec) Params() []float32 {
 	return []float32{
-		float32(math.Log2(float64(cfg.Sets)) / 16),
-		float32(math.Log2(float64(cfg.Ways)) / 8),
+		float32(math.Log2(float64(v.Sets)) / 16),
+		float32(math.Log2(float64(v.Ways)) / 8),
 	}
 }
 
@@ -83,6 +111,10 @@ func (m *Model) Predict(access []*heatmap.Heatmap, params []float32, batchSize i
 	if batchSize <= 0 {
 		batchSize = 1
 	}
+	ctx, sp := obs.Start(context.Background(), "model.predict")
+	sp.TagInt("images", len(access))
+	sp.TagInt("batch_size", batchSize)
+	defer sp.End()
 	out := make([]*heatmap.Heatmap, 0, len(access))
 	for lo := 0; lo < len(access); lo += batchSize {
 		hi := lo + batchSize
@@ -90,7 +122,9 @@ func (m *Model) Predict(access []*heatmap.Heatmap, params []float32, batchSize i
 			hi = len(access)
 		}
 		chunk := access[lo:hi]
+		_, encSpan := obs.Start(ctx, "codec.encode")
 		x := m.CodecX.EncodeBatch(chunk)
+		encSpan.End()
 		var p *tensor.Tensor
 		if m.Cfg.CondDim > 0 {
 			mustValidShape(len(params) == m.Cfg.CondDim,
@@ -100,8 +134,13 @@ func (m *Model) Predict(access []*heatmap.Heatmap, params []float32, batchSize i
 				copy(p.Data[i*m.Cfg.CondDim:], params)
 			}
 		}
+		_, fwdSpan := obs.Start(ctx, "model.forward")
 		y := m.G.Forward(x, p, false)
-		for i, hm := range m.CodecY.DecodeBatch("synthetic", y) {
+		fwdSpan.End()
+		_, decSpan := obs.Start(ctx, "codec.decode")
+		decoded := m.CodecY.DecodeBatch("synthetic", y)
+		decSpan.End()
+		for i, hm := range decoded {
 			hm.Name = chunk[i].Name + ".synthetic"
 			hm.Index = chunk[i].Index
 			hm.StartCol = chunk[i].StartCol
@@ -111,19 +150,47 @@ func (m *Model) Predict(access []*heatmap.Heatmap, params []float32, batchSize i
 	return out
 }
 
-// PredictBatch runs one batched generator forward pass with per-image
-// cache parameters — the serving layer's micro-batching hook. Unlike
-// Predict, which chunks a long slice under a single parameter vector,
-// PredictBatch treats the whole slice as one batch and pairs access[i]
-// with params[i], so concurrent requests simulated under different
-// cache geometries still coalesce into the same folded GEMM. All
-// validation failures come back as errors (never panics) so a serving
-// layer can map them to clean 4xx responses.
+// PredictConditioned runs one batched generator forward pass with
+// per-image conditioning — the serving layer's micro-batching hook.
+// Unlike Predict, which chunks a long slice under a single parameter
+// vector, PredictConditioned treats the whole slice as one batch and
+// pairs access[i] with conds[i], so concurrent requests simulated
+// under different cache geometries still coalesce into the same folded
+// GEMM. All validation failures come back as errors (never panics) so
+// a serving layer can map them to clean 4xx responses.
 //
 // The forward pass caches activations inside the generator, so
-// PredictBatch is not safe for concurrent use on one Model; callers
-// that share a model across goroutines must serialise calls.
+// PredictConditioned is not safe for concurrent use on one Model;
+// callers that share a model across goroutines must serialise calls.
+func (m *Model) PredictConditioned(access []*heatmap.Heatmap, conds []ConditionVec) ([]*heatmap.Heatmap, error) {
+	var params [][]float32
+	if m.Cfg.CondDim > 0 {
+		if len(conds) != len(access) {
+			return nil, fmt.Errorf("core: %d access images but %d condition vectors", len(access), len(conds))
+		}
+		params = make([][]float32, len(conds))
+		for i, v := range conds {
+			if err := v.Validate(); err != nil {
+				return nil, fmt.Errorf("core: image %d: %w", i, err)
+			}
+			params[i] = v.Params()
+		}
+	}
+	return m.predictBatch(access, params)
+}
+
+// PredictBatch is the positional-parameter predecessor of
+// PredictConditioned, retained so downstream code compiles.
+//
+// Deprecated: use PredictConditioned with named ConditionVec values
+// instead of raw normalised parameter vectors.
 func (m *Model) PredictBatch(access []*heatmap.Heatmap, params [][]float32) ([]*heatmap.Heatmap, error) {
+	return m.predictBatch(access, params)
+}
+
+// predictBatch is the shared implementation behind PredictConditioned
+// and the deprecated PredictBatch shim.
+func (m *Model) predictBatch(access []*heatmap.Heatmap, params [][]float32) ([]*heatmap.Heatmap, error) {
 	if len(access) == 0 {
 		return nil, fmt.Errorf("core: empty prediction batch")
 	}
@@ -143,7 +210,12 @@ func (m *Model) PredictBatch(access []*heatmap.Heatmap, params [][]float32) ([]*
 				i, len(params[i]), m.Cfg.CondDim)
 		}
 	}
+	ctx, sp := obs.Start(context.Background(), "model.predict")
+	sp.TagInt("batch", len(access))
+	defer sp.End()
+	_, encSpan := obs.Start(ctx, "codec.encode")
 	x := m.CodecX.EncodeBatch(access)
+	encSpan.End()
 	var p *tensor.Tensor
 	if m.Cfg.CondDim > 0 {
 		p = tensor.New(len(access), m.Cfg.CondDim)
@@ -151,8 +223,12 @@ func (m *Model) PredictBatch(access []*heatmap.Heatmap, params [][]float32) ([]*
 			copy(p.Data[i*m.Cfg.CondDim:], params[i])
 		}
 	}
+	_, fwdSpan := obs.Start(ctx, "model.forward")
 	y := m.G.Forward(x, p, false)
+	fwdSpan.End()
+	_, decSpan := obs.Start(ctx, "codec.decode")
 	out := m.CodecY.DecodeBatch("synthetic", y)
+	decSpan.End()
 	for i, hm := range out {
 		hm.Name = access[i].Name + ".synthetic"
 		hm.Index = access[i].Index

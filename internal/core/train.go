@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
 
 	"cachebox/internal/heatmap"
 	"cachebox/internal/nn"
+	"cachebox/internal/obs"
 	"cachebox/internal/tensor"
 )
 
@@ -80,6 +82,11 @@ func (m *Model) Train(samples []Sample, opt TrainOptions) (*TrainStats, error) {
 	if opt.BatchSize <= 0 {
 		opt.BatchSize = 4
 	}
+	ctx, trainSpan := obs.Start(context.Background(), "train")
+	trainSpan.TagInt("samples", len(samples))
+	trainSpan.TagInt("epochs", opt.Epochs)
+	trainSpan.TagInt("batch_size", opt.BatchSize)
+	defer trainSpan.End()
 	rng := rand.New(rand.NewSource(opt.Seed + 7))
 	optG := nn.NewAdam(m.G.Params(), m.Cfg.LR)
 	optD := nn.NewAdam(m.D.Params(), m.Cfg.LR)
@@ -107,6 +114,8 @@ func (m *Model) Train(samples []Sample, opt TrainOptions) (*TrainStats, error) {
 		}
 	}
 	for epoch := startEpoch; epoch < opt.Epochs; epoch++ {
+		epochCtx, epochSpan := obs.Start(ctx, "train.epoch")
+		epochSpan.TagInt("epoch", epoch)
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		es := EpochStats{Epoch: epoch}
 		for lo := 0; lo < len(order); lo += opt.BatchSize {
@@ -118,7 +127,7 @@ func (m *Model) Train(samples []Sample, opt TrainOptions) (*TrainStats, error) {
 			for _, idx := range order[lo:hi] {
 				batch = append(batch, samples[idx])
 			}
-			d, g, l1, ok := m.trainStep(batch, optG, optD)
+			d, g, l1, ok := m.trainStep(epochCtx, batch, optG, optD)
 			es.Batches++
 			if !ok {
 				es.Skipped++
@@ -141,11 +150,16 @@ func (m *Model) Train(samples []Sample, opt TrainOptions) (*TrainStats, error) {
 		}
 		if opt.CheckpointEvery > 0 && opt.CheckpointPath != "" &&
 			((epoch+1)%opt.CheckpointEvery == 0 || epoch == opt.Epochs-1) {
+			_, ckptSpan := obs.Start(epochCtx, "train.checkpoint")
 			c := m.checkpoint(epoch+1, opt, len(samples), optG, optD, stats)
-			if err := c.SaveFile(opt.CheckpointPath); err != nil {
+			err := c.SaveFile(opt.CheckpointPath)
+			ckptSpan.End()
+			if err != nil {
+				epochSpan.End()
 				return nil, err
 			}
 		}
+		epochSpan.End()
 	}
 	return stats, nil
 }
@@ -154,13 +168,18 @@ func (m *Model) Train(samples []Sample, opt TrainOptions) (*TrainStats, error) {
 // returning the loss components. ok is false when a non-finite loss
 // made the step unsafe (the step is skipped, as a GAN occasionally
 // spikes).
-func (m *Model) trainStep(batch []Sample, optG, optD *nn.Adam) (dLoss, gAdv, gL1 float64, ok bool) {
+func (m *Model) trainStep(ctx context.Context, batch []Sample, optG, optD *nn.Adam) (dLoss, gAdv, gL1 float64, ok bool) {
+	stepCtx, stepSpan := obs.Start(ctx, "train.step")
+	stepSpan.TagInt("batch", len(batch))
+	defer stepSpan.End()
 	x := m.CodecX.EncodeBatch(collectAccess(batch))
 	y := m.CodecY.EncodeBatch(collectMiss(batch))
 	p := m.paramsTensor(batch)
 
 	// Generator forward (training mode).
+	_, gFwdSpan := obs.Start(stepCtx, "train.g_forward")
 	fake := m.G.Forward(x, p, true)
+	gFwdSpan.End()
 
 	// --- Discriminator update (Pix2Pix halves each adversarial term).
 	advLoss := nn.BCEWithLogits
@@ -168,18 +187,26 @@ func (m *Model) trainStep(batch []Sample, optG, optD *nn.Adam) (dLoss, gAdv, gL1
 		advLoss = nn.MSELoss
 	}
 	nn.ZeroGrads(m.D.Params())
+	_, dFwdSpan := obs.Start(stepCtx, "train.d_forward")
 	logitsReal := m.D.Forward(x, y, true)
+	dFwdSpan.End()
 	ones := tensor.New(logitsReal.Shape...)
 	ones.Fill(1)
 	lossReal, dReal := advLoss(logitsReal, ones)
 	dReal.Scale(0.5)
+	_, dBwdSpan := obs.Start(stepCtx, "train.d_backward")
 	m.D.Backward(dReal)
+	dBwdSpan.End()
 
+	_, dFwdSpan2 := obs.Start(stepCtx, "train.d_forward")
 	logitsFake := m.D.Forward(x, fake.Clone(), true) // detached copy
+	dFwdSpan2.End()
 	zeros := tensor.New(logitsFake.Shape...)
 	lossFake, dFake := advLoss(logitsFake, zeros)
 	dFake.Scale(0.5)
+	_, dBwdSpan2 := obs.Start(stepCtx, "train.d_backward")
 	m.D.Backward(dFake)
+	dBwdSpan2.End()
 	dLoss = (lossReal + lossFake) / 2
 
 	if !isFinite(dLoss) {
@@ -190,11 +217,15 @@ func (m *Model) trainStep(batch []Sample, optG, optD *nn.Adam) (dLoss, gAdv, gL1
 
 	// --- Generator update.
 	nn.ZeroGrads(m.G.Params())
+	_, dFwdSpan3 := obs.Start(stepCtx, "train.d_forward")
 	logitsG := m.D.Forward(x, fake, true)
+	dFwdSpan3.End()
 	onesG := tensor.New(logitsG.Shape...)
 	onesG.Fill(1)
 	gAdv, dLogitsG := advLoss(logitsG, onesG)
+	_, dBwdSpan3 := obs.Start(stepCtx, "train.d_backward")
 	_, dFakeFromD := m.D.Backward(dLogitsG)
+	dBwdSpan3.End()
 	// The D pass above accumulated gradients we must not apply.
 	nn.ZeroGrads(m.D.Params())
 
@@ -207,7 +238,9 @@ func (m *Model) trainStep(batch []Sample, optG, optD *nn.Adam) (dLoss, gAdv, gL1
 		nn.ZeroGrads(m.G.Params())
 		return 0, 0, 0, false
 	}
+	_, gBwdSpan := obs.Start(stepCtx, "train.g_backward")
 	m.G.Backward(dFakeTotal)
+	gBwdSpan.End()
 	optG.Step()
 	return dLoss, gAdv, gL1, true
 }

@@ -1,15 +1,15 @@
 package harness
 
 import (
-	"context"
-	"fmt"
-
 	"cachebox/internal/cachesim"
 	"cachebox/internal/core"
 	"cachebox/internal/heatmap"
 	"cachebox/internal/metrics"
+	"cachebox/internal/obs"
 	"cachebox/internal/par"
 	"cachebox/internal/workload"
+	"context"
+	"fmt"
 )
 
 // AblationPoint is one setting's accuracy.
@@ -31,6 +31,8 @@ type AblationResult struct {
 // trains a small model from scratch, so the sweep uses the tiny
 // profile geometry regardless of the runner's scale.
 func (r *Runner) Ablations() ([]AblationResult, error) {
+	_, abSpan := obs.Start(context.Background(), "harness.ablation")
+	defer abSpan.End()
 	prof := ProfileFor(Tiny)
 	prof.Epochs = 6
 	prof.Ops = 40000

@@ -1,15 +1,15 @@
 package harness
 
 import (
-	"context"
-	"fmt"
-
 	"cachebox/internal/cachesim"
 	"cachebox/internal/core"
 	"cachebox/internal/heatmap"
 	"cachebox/internal/metrics"
+	"cachebox/internal/obs"
 	"cachebox/internal/par"
 	"cachebox/internal/workload"
+	"context"
+	"fmt"
 )
 
 // Fig10Result is the RQ4 outcome: per-level accuracy of a combined
@@ -123,6 +123,8 @@ func (r *Runner) evalLevel(m *core.Model, b workload.Benchmark, ht hierTruth, le
 // Fig10 runs RQ4: the combined model (no cache parameters) and three
 // standalone per-level models over the L1/L2/L3 hierarchy.
 func (r *Runner) Fig10() (*Fig10Result, error) {
+	_, figSpan := obs.Start(context.Background(), "harness.fig10")
+	defer figSpan.End()
 	train, test := r.split(r.specSuite().Benchmarks)
 
 	// Combined model: all levels, CondDim = 0 (paper: "trained without

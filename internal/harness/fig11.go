@@ -1,15 +1,15 @@
 package harness
 
 import (
-	"context"
-	"time"
-
 	"cachebox/internal/cachesim"
 	"cachebox/internal/core"
 	"cachebox/internal/heatmap"
 	"cachebox/internal/metrics"
 	"cachebox/internal/multicachesim"
+	"cachebox/internal/obs"
 	"cachebox/internal/workload"
+	"context"
+	"time"
 )
 
 // Fig11Result is the RQ5 outcome: CB-GAN inference time per batch
@@ -34,6 +34,8 @@ type Fig11Result struct {
 // per-layer overhead — the same mechanism (amortising fixed per-call
 // cost) that gives GPUs their batched speedup in the paper.
 func (r *Runner) Fig11() (*Fig11Result, error) {
+	_, figSpan := obs.Start(context.Background(), "harness.fig11")
+	defer figSpan.End()
 	train, test := r.split(r.specSuite().Benchmarks)
 	m, err := r.rq2Model(train)
 	if err != nil {

@@ -1,15 +1,15 @@
 package harness
 
 import (
-	"context"
-	"fmt"
-
 	"cachebox/internal/cachesim"
 	"cachebox/internal/core"
 	"cachebox/internal/heatmap"
 	"cachebox/internal/metrics"
+	"cachebox/internal/obs"
 	"cachebox/internal/par"
 	"cachebox/internal/workload"
+	"context"
+	"fmt"
 )
 
 // Fig13Row is one benchmark's prefetcher-modelling accuracy.
@@ -68,6 +68,8 @@ func (r *Runner) prefetchPairs(b workload.Benchmark) ([]heatmap.Pair, error) {
 // MSE/SSIM between Real and Synthetic prefetch heatmaps. Following
 // the paper, only a subset of the suite is used.
 func (r *Runner) Fig13() (*Fig13Result, error) {
+	_, figSpan := obs.Start(context.Background(), "harness.fig13")
+	defer figSpan.End()
 	train, test := r.split(r.specSuite().Benchmarks)
 	params := core.CacheParams(L1Default)
 	m, err := r.trainOrLoad("fig13-prefetch", func() (*core.Model, error) {

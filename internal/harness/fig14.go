@@ -1,13 +1,13 @@
 package harness
 
 import (
-	"context"
-	"strings"
-
 	"cachebox/internal/cachesim"
 	"cachebox/internal/metrics"
+	"cachebox/internal/obs"
 	"cachebox/internal/par"
 	"cachebox/internal/workload"
+	"context"
+	"strings"
 )
 
 // Fig14Result is the dataset analysis of §6.1: the histogram of true
@@ -25,6 +25,8 @@ type Fig14Result struct {
 // Fig14 simulates every benchmark on the L1/L2/L3 hierarchy and
 // histograms the hit rates.
 func (r *Runner) Fig14() (*Fig14Result, error) {
+	_, figSpan := obs.Start(context.Background(), "harness.fig14")
+	defer figSpan.End()
 	benches := r.specSuite().Benchmarks
 	// Per-benchmark hierarchy sims fan out across the worker pool; the
 	// rate slices are assembled in benchmark order below.

@@ -3,7 +3,9 @@ package harness
 import (
 	"cachebox/internal/cachesim"
 	"cachebox/internal/core"
+	"cachebox/internal/obs"
 	"cachebox/internal/workload"
+	"context"
 )
 
 // Fig7Result is the RQ1 outcome: per-benchmark true/predicted hit
@@ -17,6 +19,8 @@ type Fig7Result struct {
 // Fig7 trains the mixed-suite model on a 64set-12way L1 and evaluates
 // every held-out benchmark above the L1 data-regime threshold.
 func (r *Runner) Fig7() (*Fig7Result, error) {
+	_, figSpan := obs.Start(context.Background(), "harness.fig7")
+	defer figSpan.End()
 	var all []workload.Benchmark
 	for _, s := range r.suites() {
 		all = append(all, s.Benchmarks...)

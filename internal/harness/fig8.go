@@ -4,7 +4,9 @@ import (
 	"cachebox/internal/cachesim"
 	"cachebox/internal/core"
 	"cachebox/internal/metrics"
+	"cachebox/internal/obs"
 	"cachebox/internal/workload"
+	"context"
 )
 
 // absPct is the paper's metric: |true − pred| in percentage points.
@@ -46,6 +48,8 @@ type Fig8Result struct {
 
 // Fig8 runs RQ2.
 func (r *Runner) Fig8() (*Fig8Result, error) {
+	_, figSpan := obs.Start(context.Background(), "harness.fig8")
+	defer figSpan.End()
 	train, test := r.split(r.specSuite().Benchmarks)
 	m, err := r.rq2Model(train)
 	if err != nil {
@@ -57,6 +61,8 @@ func (r *Runner) Fig8() (*Fig8Result, error) {
 // Fig9 runs RQ3: the RQ2 model on configurations absent from training
 // (paper averages 1.96/1.26/3.28%).
 func (r *Runner) Fig9() (*Fig8Result, error) {
+	_, figSpan := obs.Start(context.Background(), "harness.fig9")
+	defer figSpan.End()
 	train, test := r.split(r.specSuite().Benchmarks)
 	m, err := r.rq2Model(train)
 	if err != nil {
@@ -108,6 +114,8 @@ type Fig12Result struct {
 // Fig12 runs RQ6 using the RQ2 model across its four configurations,
 // without the data-regime exclusion (the scatter shows everything).
 func (r *Runner) Fig12() (*Fig12Result, error) {
+	_, figSpan := obs.Start(context.Background(), "harness.fig12")
+	defer figSpan.End()
 	train, test := r.split(r.specSuite().Benchmarks)
 	m, err := r.rq2Model(train)
 	if err != nil {

@@ -59,7 +59,7 @@ func TestFig3WritesPNGs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Paths) != 4 {
+	if len(res.Paths) != 5 {
 		t.Fatalf("paths = %d", len(res.Paths))
 	}
 	for _, p := range res.Paths {

@@ -15,6 +15,7 @@ import (
 	"cachebox/internal/core"
 	"cachebox/internal/heatmap"
 	"cachebox/internal/metrics"
+	"cachebox/internal/obs"
 	"cachebox/internal/par"
 	"cachebox/internal/store"
 	"cachebox/internal/workload"
@@ -140,7 +141,7 @@ func (r *Runner) split(benches []workload.Benchmark) (train, test []workload.Ben
 // benchmark/config, memoised through the artifact store when one is
 // attached: a warm-store call returns the cached simulation result
 // without running the simulator at all.
-func (r *Runner) pairsFor(b workload.Benchmark, cfg cachesim.Config) ([]heatmap.Pair, float64, error) {
+func (r *Runner) pairsFor(ctx context.Context, b workload.Benchmark, cfg cachesim.Config) ([]heatmap.Pair, float64, error) {
 	var key store.Key
 	if r.Store != nil {
 		key = store.PairsKey(b, cfg, r.Profile.Heatmap, r.Profile.MaxPairs, r.SplitSeed)
@@ -149,9 +150,17 @@ func (r *Runner) pairsFor(b workload.Benchmark, cfg cachesim.Config) ([]heatmap.
 		}
 	}
 	metrics.SimRuns.Inc()
+	_, traceSpan := obs.Start(ctx, "workload.trace")
+	traceSpan.Tag("bench", b.Name)
 	tr := b.Trace()
+	traceSpan.End()
+	_, simSpan := obs.Start(ctx, "sim.run")
+	simSpan.Tag("bench", b.Name)
 	lt := cachesim.RunTrace(cachesim.New(cfg), tr)
+	simSpan.End()
+	_, pairSpan := obs.Start(ctx, "heatmap.pairs")
 	pairs, err := heatmap.BuildPair(r.Profile.Heatmap, lt.Accesses, lt.Misses)
+	pairSpan.End()
 	if err != nil {
 		return nil, 0, err
 	}
@@ -182,8 +191,8 @@ type benchTruth struct {
 // whole fan-out.
 func (r *Runner) truths(benches []workload.Benchmark, cfg cachesim.Config) []benchTruth {
 	out, err := par.Map(context.Background(), r.workers(), benches,
-		func(_ context.Context, _ int, b workload.Benchmark) (benchTruth, error) {
-			pairs, hr, perr := r.pairsFor(b, cfg)
+		func(ctx context.Context, _ int, b workload.Benchmark) (benchTruth, error) {
+			pairs, hr, perr := r.pairsFor(ctx, b, cfg)
 			return benchTruth{pairs: pairs, hr: hr, err: perr}, nil
 		})
 	if err != nil {
@@ -213,8 +222,8 @@ func (r *Runner) dataset(benches []workload.Benchmark, cfgs []cachesim.Config, m
 		}
 	}
 	res, err := par.Map(context.Background(), r.workers(), items,
-		func(_ context.Context, _ int, it item) (benchTruth, error) {
-			pairs, hr, perr := r.pairsFor(it.bench, it.cfg)
+		func(ctx context.Context, _ int, it item) (benchTruth, error) {
+			pairs, hr, perr := r.pairsFor(ctx, it.bench, it.cfg)
 			if perr != nil {
 				return benchTruth{}, fmt.Errorf("harness: %s: %w", it.bench.Name, perr)
 			}
@@ -354,7 +363,7 @@ func (r *Runner) evaluatePairs(m *core.Model, name string, pairs []heatmap.Pair,
 // evaluate predicts a benchmark's hit rate under cfg with the model
 // and compares against the simulator.
 func (r *Runner) evaluate(m *core.Model, b workload.Benchmark, cfg cachesim.Config, batch int) (trueHR, predHR float64, err error) {
-	pairs, _, err := r.pairsFor(b, cfg)
+	pairs, _, err := r.pairsFor(context.Background(), b, cfg)
 	if err != nil {
 		return 0, 0, err
 	}

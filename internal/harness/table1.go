@@ -1,15 +1,15 @@
 package harness
 
 import (
-	"context"
-	"sort"
-
 	"cachebox/internal/baseline"
 	"cachebox/internal/cachesim"
 	"cachebox/internal/core"
 	"cachebox/internal/metrics"
+	"cachebox/internal/obs"
 	"cachebox/internal/par"
 	"cachebox/internal/workload"
+	"context"
+	"sort"
 )
 
 // Table1Row is one benchmark group's comparison: the baselines' mean
@@ -35,6 +35,8 @@ type Table1Result struct {
 // Table1 compares the statistical predictors against CBox on L1 miss
 // rate, over multi-phase benchmark groups held out from training.
 func (r *Runner) Table1() (*Table1Result, error) {
+	_, tabSpan := obs.Start(context.Background(), "harness.table1")
+	defer tabSpan.End()
 	p := r.Profile
 	phases := p.SpecPhases
 	if phases < 2 {

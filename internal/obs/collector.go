@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cachebox/internal/metrics"
+)
+
+// spanBuckets are the latency buckets of the cachebox_span_seconds
+// family: microseconds (GEMM tiles) through tens of seconds (training
+// epochs).
+var spanBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1, 5, 10, 60,
+}
+
+// spanHist is the shared per-span-name histogram family, registered in
+// the process-wide metrics.Runtime registry exactly once (the registry
+// panics on duplicate families) so cbx-serve's /metrics endpoint picks
+// it up with no extra wiring.
+var (
+	spanHistOnce sync.Once
+	spanHist     *metrics.HistogramVec
+)
+
+// SpanHistogram returns the cachebox_span_seconds histogram family,
+// creating and registering it in metrics.Runtime on first use.
+func SpanHistogram() *metrics.HistogramVec {
+	spanHistOnce.Do(func() {
+		spanHist = metrics.Runtime.NewHistogramVec("cachebox_span_seconds",
+			"Wall-clock seconds per obs span, by span name.", "span", spanBuckets)
+	})
+	return spanHist
+}
+
+// Options tunes a Collector.
+type Options struct {
+	// Trace accumulates Chrome trace events in memory for WriteTrace /
+	// WriteFile. Off, the collector feeds only the histogram sink —
+	// the right mode for long-lived servers.
+	Trace bool
+	// MaxEvents caps the in-memory trace event buffer (default 1<<20);
+	// past it, events still feed the histograms but are dropped from
+	// the trace, counted in DroppedEvents.
+	MaxEvents int
+}
+
+// traceEvent is one Chrome trace-event ("X" complete event). See the
+// Trace Event Format spec; chrome://tracing and Perfetto load it.
+type traceEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`  // microseconds since collector start
+	Dur  float64           `json:"dur"` // microseconds
+	Pid  int               `json:"pid"`
+	Tid  uint64            `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// traceFile is the on-disk JSON object form of a Chrome trace.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// Collector receives completed spans. Create with NewCollector,
+// activate with Install, and (when Options.Trace is set) persist the
+// trace with WriteFile after the measured work finishes.
+type Collector struct {
+	opts  Options
+	epoch time.Time
+	tids  atomic.Uint64
+
+	mu      sync.Mutex
+	events  []traceEvent
+	dropped uint64
+}
+
+// NewCollector builds a collector. It does not install itself.
+func NewCollector(opts Options) *Collector {
+	if opts.MaxEvents <= 0 {
+		opts.MaxEvents = 1 << 20
+	}
+	return &Collector{opts: opts, epoch: time.Now()}
+}
+
+// record sinks one completed span: always the histogram, plus a trace
+// event when tracing is on.
+func (c *Collector) record(name string, start time.Time, d time.Duration, tid uint64, args []spanArg) {
+	c.observe(name, d.Seconds())
+	if !c.opts.Trace {
+		return
+	}
+	ev := traceEvent{
+		Name: name,
+		Ph:   "X",
+		Ts:   float64(start.Sub(c.epoch).Nanoseconds()) / 1e3,
+		Dur:  float64(d.Nanoseconds()) / 1e3,
+		Pid:  1,
+		Tid:  tid,
+	}
+	if len(args) > 0 {
+		ev.Args = make(map[string]string, len(args))
+		for _, a := range args {
+			ev.Args[a.k] = a.v
+		}
+	}
+	c.mu.Lock()
+	if len(c.events) >= c.opts.MaxEvents {
+		c.dropped++
+	} else {
+		c.events = append(c.events, ev)
+	}
+	c.mu.Unlock()
+}
+
+// observe feeds the per-name latency histogram.
+func (c *Collector) observe(name string, seconds float64) {
+	SpanHistogram().With(name).Observe(seconds)
+}
+
+// EventCount returns how many trace events are buffered.
+func (c *Collector) EventCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.events)
+}
+
+// DroppedEvents returns how many events the MaxEvents cap discarded.
+func (c *Collector) DroppedEvents() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+// SpanNames returns the distinct span names buffered, sorted.
+func (c *Collector) SpanNames() []string {
+	c.mu.Lock()
+	seen := make(map[string]bool, 16)
+	for _, ev := range c.events {
+		seen[ev.Name] = true
+	}
+	c.mu.Unlock()
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteTrace renders the buffered events as Chrome trace-event JSON
+// (object form with a traceEvents array), sorted by start timestamp so
+// output is independent of goroutine completion order.
+func (c *Collector) WriteTrace(w io.Writer) error {
+	c.mu.Lock()
+	events := append([]traceEvent(nil), c.events...)
+	dropped := c.dropped
+	c.mu.Unlock()
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Ts != events[j].Ts {
+			return events[i].Ts < events[j].Ts
+		}
+		// Longer spans first at equal start, so parents precede children.
+		return events[i].Dur > events[j].Dur
+	})
+	if dropped > 0 {
+		events = append(events, traceEvent{
+			Name: "obs.dropped_events", Ph: "X", Ts: 0, Dur: 0, Pid: 1, Tid: 0,
+			Args: map[string]string{"count": fmt.Sprintf("%d", dropped)},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// WriteFile writes the trace atomically next to its final path (the
+// temp-file + rename pattern, so a crash mid-write never leaves a
+// torn JSON file).
+func (c *Collector) WriteFile(path string) error {
+	f, err := os.CreateTemp(filepath.Dir(path), ".obs-trace-*")
+	if err != nil {
+		return fmt.Errorf("obs: stage trace: %w", err)
+	}
+	tmp := f.Name()
+	if err := c.WriteTrace(f); err != nil {
+		//lint:ignore unchecked-error best-effort cleanup of a staging file after a failed write
+		f.Close()
+		//lint:ignore unchecked-error best-effort cleanup of a staging file after a failed write
+		os.Remove(tmp)
+		return fmt.Errorf("obs: write trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		//lint:ignore unchecked-error best-effort cleanup of a staging file after a failed write
+		os.Remove(tmp)
+		return fmt.Errorf("obs: write trace: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		//lint:ignore unchecked-error best-effort cleanup of a staging file after a failed rename
+		os.Remove(tmp)
+		return fmt.Errorf("obs: publish trace: %w", err)
+	}
+	return nil
+}

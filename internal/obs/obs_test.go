@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// withCollector installs c for the duration of the test, restoring
+// the previous (normally nil) collector afterwards. Tests in this
+// package share the process-global collector slot, so none may run in
+// parallel with another that installs.
+func withCollector(t *testing.T, c *Collector) {
+	t.Helper()
+	prev := Installed()
+	Install(c)
+	t.Cleanup(func() { Install(prev) })
+}
+
+func TestDisabledPathZeroAllocs(t *testing.T) {
+	Install(nil)
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		c, sp := Start(ctx, "noop")
+		sp.Tag("k", "v")
+		sp.End()
+		_ = c
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled Start/End allocates %.1f bytes-objects per call, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(1000, func() {
+		l := StartLeaf("noop")
+		l.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled StartLeaf/End allocates %.1f per call, want 0", allocs)
+	}
+}
+
+func TestDisabledReturnsSameContext(t *testing.T) {
+	Install(nil)
+	ctx := context.Background()
+	got, sp := Start(ctx, "x")
+	if got != ctx {
+		t.Fatal("disabled Start must return the caller's context unchanged")
+	}
+	if sp != nil {
+		t.Fatal("disabled Start must return a nil span")
+	}
+	sp.End() // must not panic
+}
+
+func TestNestedSpansShareTrack(t *testing.T) {
+	c := NewCollector(Options{Trace: true})
+	withCollector(t, c)
+	ctx, root := Start(context.Background(), "root")
+	cctx, child := Start(ctx, "child")
+	_, grand := Start(cctx, "grandchild")
+	grand.End()
+	child.End()
+	root.End()
+	_, other := Start(context.Background(), "other-root")
+	other.End()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	byName := map[string]traceEvent{}
+	for _, ev := range c.events {
+		byName[ev.Name] = ev
+	}
+	if len(byName) != 4 {
+		t.Fatalf("recorded %d distinct events, want 4", len(byName))
+	}
+	r, ch, g := byName["root"], byName["child"], byName["grandchild"]
+	if ch.Tid != r.Tid || g.Tid != r.Tid {
+		t.Errorf("children must inherit the root track: root=%d child=%d grandchild=%d", r.Tid, ch.Tid, g.Tid)
+	}
+	if byName["other-root"].Tid == r.Tid {
+		t.Error("independent roots must get distinct tracks")
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	c := NewCollector(Options{Trace: true})
+	withCollector(t, c)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ctx, sp := Start(context.Background(), "outer")
+				_, inner := Start(ctx, "inner")
+				inner.End()
+				l := StartLeaf("leaf")
+				l.End()
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if n := c.EventCount(); n != 8*200*2 {
+		t.Fatalf("buffered %d events, want %d", n, 8*200*2)
+	}
+	if h := SpanHistogram().With("leaf"); h.Count() < 8*200 {
+		t.Fatalf("leaf histogram count %d, want >= %d", h.Count(), 8*200)
+	}
+}
+
+func TestMaxEventsCapDrops(t *testing.T) {
+	c := NewCollector(Options{Trace: true, MaxEvents: 10})
+	withCollector(t, c)
+	for i := 0; i < 25; i++ {
+		_, sp := Start(context.Background(), "capped")
+		sp.End()
+	}
+	if n := c.EventCount(); n != 10 {
+		t.Fatalf("buffered %d events, want 10", n)
+	}
+	if d := c.DroppedEvents(); d != 15 {
+		t.Fatalf("dropped %d events, want 15", d)
+	}
+}
+
+func TestWriteFileEmitsValidChromeTrace(t *testing.T) {
+	c := NewCollector(Options{Trace: true})
+	withCollector(t, c)
+	ctx, root := Start(context.Background(), "parent")
+	root.TagInt("batch", 4)
+	_, child := Start(ctx, "leafwork")
+	child.End()
+	root.End()
+
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := c.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Dur  float64           `json:"dur"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v\n%s", err, raw)
+	}
+	if parsed.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", parsed.DisplayTimeUnit)
+	}
+	names := map[string]bool{}
+	for _, ev := range parsed.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %q has phase %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.Dur < 0 {
+			t.Errorf("event %q has negative duration", ev.Name)
+		}
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"parent", "leafwork"} {
+		if !names[want] {
+			t.Errorf("trace is missing span %q (has %v)", want, names)
+		}
+	}
+	for _, ev := range parsed.TraceEvents {
+		if ev.Name == "parent" && ev.Args["batch"] != "4" {
+			t.Errorf("parent args = %v, want batch=4", ev.Args)
+		}
+	}
+	if strings.Contains(string(raw), "NaN") {
+		t.Error("trace contains NaN")
+	}
+}
+
+func TestHistogramOnlyCollectorBuffersNothing(t *testing.T) {
+	c := NewCollector(Options{})
+	withCollector(t, c)
+	before := SpanHistogram().With("hist-only").Count()
+	for i := 0; i < 5; i++ {
+		_, sp := Start(context.Background(), "hist-only")
+		sp.End()
+	}
+	if n := c.EventCount(); n != 0 {
+		t.Fatalf("histogram-only collector buffered %d events, want 0", n)
+	}
+	if got := SpanHistogram().With("hist-only").Count() - before; got != 5 {
+		t.Fatalf("histogram observed %d spans, want 5", got)
+	}
+}
+
+func TestCrossGoroutineEnd(t *testing.T) {
+	c := NewCollector(Options{Trace: true})
+	withCollector(t, c)
+	_, sp := Start(context.Background(), "handoff")
+	done := make(chan struct{})
+	go func() {
+		sp.End()
+		close(done)
+	}()
+	<-done
+	if n := c.EventCount(); n != 1 {
+		t.Fatalf("buffered %d events, want 1", n)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 
 	"cachebox/internal/metrics"
+	"cachebox/internal/obs"
 )
 
 // DefaultWorkers is the pool width used when the caller does not pick
@@ -91,7 +92,7 @@ func (p Pool) Run(ctx context.Context, n int, task func(ctx context.Context, i i
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := runTask(ctx, i, task); err != nil {
+			if err := runTask(ctx, i, 1, task); err != nil {
 				return err
 			}
 		}
@@ -116,7 +117,7 @@ func (p Pool) Run(ctx context.Context, n int, task func(ctx context.Context, i i
 				if wctx.Err() != nil {
 					return
 				}
-				if err := runTask(wctx, i, task); err != nil {
+				if err := runTask(wctx, i, w, task); err != nil {
 					errs[i] = err
 					failed.Store(true)
 					cancel()
@@ -146,17 +147,22 @@ func (p Pool) Run(ctx context.Context, n int, task func(ctx context.Context, i i
 	return fallback
 }
 
-// runTask executes one task with panic capture and gauge accounting.
-func runTask(ctx context.Context, i int, task func(ctx context.Context, i int) error) (err error) {
+// runTask executes one task with panic capture, gauge accounting and a
+// per-task obs span recording the pool width the task ran under.
+func runTask(ctx context.Context, i, width int, task func(ctx context.Context, i int) error) (err error) {
 	metrics.ParTasks.Inc()
 	metrics.ParInFlight.Inc()
 	defer metrics.ParInFlight.Dec()
+	taskCtx, sp := obs.Start(ctx, "par.task")
+	sp.TagInt("index", i)
+	sp.TagInt("workers", width)
+	defer sp.End()
 	defer func() {
 		if r := recover(); r != nil {
 			err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
 		}
 	}()
-	return task(ctx, i)
+	return task(taskCtx, i)
 }
 
 // Map applies fn to every item on a pool of the given width and

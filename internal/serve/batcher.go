@@ -6,7 +6,9 @@ import (
 	"sync"
 	"time"
 
+	"cachebox/internal/core"
 	"cachebox/internal/heatmap"
+	"cachebox/internal/obs"
 )
 
 // Typed batcher errors; the HTTP layer maps them to status codes.
@@ -24,9 +26,14 @@ var (
 type pending struct {
 	e        *entry
 	access   *heatmap.Heatmap
-	params   []float32
+	cond     core.ConditionVec
 	ctx      context.Context
 	enqueued time.Time
+	// queueSpan is the request's queue-wait span: started by the HTTP
+	// handler at enqueue time, ended by the batch worker when the
+	// request is collected into a batch (obs spans may end on a
+	// different goroutine than they started on).
+	queueSpan *obs.Span
 	// resp is buffered (capacity 1) so a worker can always complete a
 	// request without blocking, even if the waiting handler timed out
 	// and went away.
@@ -162,6 +169,7 @@ func (b *batcher) flushGroup(e *entry, group []*pending) {
 	now := time.Now()
 	live := make([]*pending, 0, len(group))
 	for _, p := range group {
+		p.queueSpan.End()
 		if err := p.ctx.Err(); err != nil {
 			p.resp <- result{err: err}
 			continue
@@ -172,17 +180,22 @@ func (b *batcher) flushGroup(e *entry, group []*pending) {
 	if len(live) == 0 {
 		return
 	}
+	batchCtx, batchSpan := obs.Start(live[0].ctx, "serve.batch")
+	batchSpan.TagInt("size", len(live))
+	defer batchSpan.End()
 	access := make([]*heatmap.Heatmap, len(live))
-	params := make([][]float32, len(live))
+	conds := make([]core.ConditionVec, len(live))
 	for i, p := range live {
 		access[i] = p.access
-		params[i] = p.params
+		conds[i] = p.cond
 	}
 	b.m.batchSize.Observe(float64(len(live)))
 	start := time.Now()
+	_, fwdSpan := obs.Start(batchCtx, "serve.forward")
 	e.mu.Lock()
-	miss, err := e.model.PredictBatch(access, params)
+	miss, err := e.model.PredictConditioned(access, conds)
 	e.mu.Unlock()
+	fwdSpan.End()
 	b.m.stageInfer.Observe(time.Since(start).Seconds())
 	if err != nil {
 		for _, p := range live {

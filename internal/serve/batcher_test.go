@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"cachebox/internal/core"
 	"cachebox/internal/heatmap"
 )
 
@@ -30,7 +31,7 @@ func makePending(ctx context.Context, e *entry) *pending {
 	return &pending{
 		e:        e,
 		access:   m,
-		params:   []float32{0.375, 0.4},
+		cond:     core.ConditionVec{Sets: 64, Ways: 12},
 		ctx:      ctx,
 		enqueued: time.Now(),
 		resp:     make(chan result, 1),

@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"cachebox/internal/obs"
+)
+
+// TestErrorEnvelopeGolden pins the exact JSON bodies of the v1 error
+// envelope: {"error":{"code":"...","message":"..."}}. These are
+// contract tests — a byte-level change here is an API break and must
+// bump the envelope version, not silently reshape the body.
+func TestErrorEnvelopeGolden(t *testing.T) {
+	reg := NewStaticRegistry("default", tinyModel(t))
+	_, ts := newTestServer(t, reg, Config{})
+
+	do := func(method, path, body string) (int, string) {
+		t.Helper()
+		req, err := http.NewRequest(method, ts.URL+path, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, strings.TrimSpace(string(raw))
+	}
+
+	validBody := func(model string, size, sets, ways int) string {
+		b, err := json.Marshal(PredictRequest{Model: model, Access: testAccess(size), Sets: sets, Ways: ways})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	cases := []struct {
+		name       string
+		method     string
+		path       string
+		body       string
+		wantStatus int
+		golden     string
+	}{
+		{
+			name: "unknown model", method: "POST", path: "/v1/predict",
+			body:       validBody("nope", 16, 64, 12),
+			wantStatus: http.StatusNotFound,
+			golden:     `{"error":{"code":"unknown_model","message":"serve: unknown model: \"nope\""}}`,
+		},
+		{
+			name: "zero sets", method: "POST", path: "/v1/predict",
+			body:       validBody("", 16, 0, 12),
+			wantStatus: http.StatusBadRequest,
+			golden:     `{"error":{"code":"invalid_input","message":"sets and ways must be at least 1"}}`,
+		},
+		{
+			name: "wrong image size", method: "POST", path: "/v1/predict",
+			body:       validBody("", 8, 64, 12),
+			wantStatus: http.StatusUnprocessableEntity,
+			golden:     `{"error":{"code":"unprocessable","message":"access heatmap is 8x8, model default expects 16x16"}}`,
+		},
+		{
+			name: "empty heatmap", method: "POST", path: "/v1/predict",
+			body:       `{"access":{"h":16,"w":16,"pix":[` + strings.TrimSuffix(strings.Repeat("0,", 256), ",") + `]},"sets":64,"ways":12}`,
+			wantStatus: http.StatusUnprocessableEntity,
+			golden:     `{"error":{"code":"unprocessable","message":"access heatmap is empty (all-zero counts)"}}`,
+		},
+		{
+			name: "reload without dir", method: "POST", path: "/admin/reload",
+			body:       "",
+			wantStatus: http.StatusBadRequest,
+			golden:     `{"error":{"code":"no_registry_dir","message":"serve: registry has no backing directory"}}`,
+		},
+	}
+	for _, tc := range cases {
+		status, body := do(tc.method, tc.path, tc.body)
+		if status != tc.wantStatus {
+			t.Errorf("%s: status %d, want %d (body %s)", tc.name, status, tc.wantStatus, body)
+		}
+		if body != tc.golden {
+			t.Errorf("%s: body mismatch\n got: %s\nwant: %s", tc.name, body, tc.golden)
+		}
+	}
+
+	// Malformed JSON carries a decoder-generated message; pin only the
+	// code, not the exact text.
+	status, body := do("POST", "/v1/predict", "{nope")
+	if status != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d, want 400", status)
+	}
+	var er errorResponse
+	if err := json.Unmarshal([]byte(body), &er); err != nil || er.Error.Code != CodeBadRequest {
+		t.Errorf("malformed JSON: body %q, want envelope with code %q", body, CodeBadRequest)
+	}
+}
+
+// TestErrorEnvelopeDraining pins the draining envelope across predict
+// and reload once shutdown begins.
+func TestErrorEnvelopeDraining(t *testing.T) {
+	reg := NewStaticRegistry("default", tinyModel(t))
+	s, ts := newTestServer(t, reg, Config{})
+	s.Close()
+
+	golden := `{"error":{"code":"draining","message":"serve: server draining"}}`
+	for _, path := range []string{"/v1/predict", "/admin/reload"} {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		//lint:ignore unchecked-error test teardown of a fully-read response body
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("%s while draining: status %d, want 503", path, resp.StatusCode)
+		}
+		if got := strings.TrimSpace(string(raw)); got != golden {
+			t.Errorf("%s while draining: body %s, want %s", path, got, golden)
+		}
+	}
+}
+
+// TestConditionVecRequestBody verifies the named condition object is
+// accepted and wins over the legacy sets/ways fields.
+func TestConditionVecRequestBody(t *testing.T) {
+	reg := NewStaticRegistry("default", tinyModel(t))
+	_, ts := newTestServer(t, reg, Config{})
+
+	body := `{"access":` + string(mustJSON(t, testAccess(16))) + `,"condition":{"sets":64,"ways":12},"sets":0,"ways":0}`
+	resp, err := http.Post(ts.URL+"/v1/predict", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("condition object rejected: status %d body %s", resp.StatusCode, raw)
+	}
+}
+
+// TestPredictEmitsLifecycleSpans is the serve observability e2e: a
+// batched request must leave queue-wait and forward-pass spans (plus
+// the surrounding request, batch-assembly and encode stages) in the
+// installed collector.
+func TestPredictEmitsLifecycleSpans(t *testing.T) {
+	prev := obs.Installed()
+	c := obs.NewCollector(obs.Options{Trace: true})
+	obs.Install(c)
+	t.Cleanup(func() { obs.Install(prev) })
+
+	reg := NewStaticRegistry("default", tinyModel(t))
+	_, ts := newTestServer(t, reg, Config{MaxBatch: 4})
+
+	status, pr, raw := postPredict(t, ts.URL, PredictRequest{Access: testAccess(16), Sets: 64, Ways: 12})
+	if status != http.StatusOK {
+		t.Fatalf("predict failed: status %d body %s", status, raw)
+	}
+	if pr.BatchSize < 1 {
+		t.Fatalf("batch size %d, want >= 1", pr.BatchSize)
+	}
+	names := map[string]bool{}
+	for _, n := range c.SpanNames() {
+		names[n] = true
+	}
+	for _, want := range []string{
+		"serve.predict", "serve.queue", "serve.batch", "serve.forward", "serve.encode", "model.predict",
+	} {
+		if !names[want] {
+			t.Errorf("trace is missing span %q (have %v)", want, c.SpanNames())
+		}
+	}
+}

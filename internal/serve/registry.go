@@ -1,6 +1,9 @@
 package serve
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"os"
@@ -39,7 +42,10 @@ type entry struct {
 	model    *core.Model
 	path     string
 	loadedAt time.Time
-	mu       sync.Mutex
+	// sha256 is the hex digest of the model file content this entry was
+	// loaded from ("" for in-memory static registries).
+	sha256 string
+	mu     sync.Mutex
 }
 
 // Registry is a thread-safe name → model table, optionally backed by a
@@ -131,6 +137,26 @@ func NewStaticRegistry(name string, m *core.Model) *Registry {
 	}}
 }
 
+// loadModelFile reads a model file once into memory, validates its
+// architecture header before committing to the full weight restore
+// (so "bad model file" reports cleanly), and returns the model with
+// the hex SHA-256 of the exact file content served.
+func loadModelFile(path string) (*core.Model, string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", fmt.Errorf("serve: %w", err)
+	}
+	if _, err := core.ReadHeader(bytes.NewReader(data)); err != nil {
+		return nil, "", err
+	}
+	m, err := core.Load(bytes.NewReader(data))
+	if err != nil {
+		return nil, "", err
+	}
+	sum := sha256.Sum256(data)
+	return m, hex.EncodeToString(sum[:]), nil
+}
+
 // Reload re-scans the backing directory: every *.cbgan file is read
 // afresh (validated header first), new names are added, existing names
 // are replaced, and names whose file disappeared are dropped. A file
@@ -171,20 +197,7 @@ func (r *Registry) Reload() (ReloadSummary, error) {
 	next := make(map[string]*entry, len(names))
 	for _, name := range names {
 		path := paths[name]
-		// Validate the architecture header before committing to the
-		// full weight restore, so the summary distinguishes "bad model
-		// file" cleanly.
-		if _, err := core.ReadFileHeader(path); err != nil {
-			if sum.Failed == nil {
-				sum.Failed = make(map[string]string)
-			}
-			sum.Failed[name] = err.Error()
-			if prev, ok := old[name]; ok {
-				next[name] = prev
-			}
-			continue
-		}
-		m, err := core.LoadFile(path)
+		m, sha, err := loadModelFile(path)
 		if err != nil {
 			if sum.Failed == nil {
 				sum.Failed = make(map[string]string)
@@ -195,7 +208,7 @@ func (r *Registry) Reload() (ReloadSummary, error) {
 			}
 			continue
 		}
-		next[name] = &entry{name: name, model: m, path: path, loadedAt: time.Now()}
+		next[name] = &entry{name: name, model: m, path: path, loadedAt: time.Now(), sha256: sha}
 		if _, existed := old[name]; existed {
 			sum.Replaced = append(sum.Replaced, name)
 		} else {
@@ -276,7 +289,7 @@ func (r *Registry) reloadFromStore() (ReloadSummary, error) {
 			}
 			continue
 		}
-		next[name] = &entry{name: name, model: m, path: "store:" + man.Digest[:12], loadedAt: time.Now()}
+		next[name] = &entry{name: name, model: m, path: "store:" + man.Digest[:12], loadedAt: time.Now(), sha256: man.SHA256}
 		if _, existed := old[name]; existed {
 			sum.Replaced = append(sum.Replaced, name)
 		} else {
@@ -351,6 +364,7 @@ func (r *Registry) Infos() []ModelInfo {
 			CondDim:   e.model.Cfg.CondDim,
 			Path:      e.path,
 			LoadedAt:  e.loadedAt,
+			Sha256:    e.sha256,
 		})
 	}
 	r.mu.RUnlock()

@@ -183,8 +183,8 @@ func TestPredictValidation(t *testing.T) {
 			t.Errorf("%s: status %d, want %d (body %s)", tc.name, code, tc.want, raw)
 		}
 		var er errorResponse
-		if err := json.Unmarshal([]byte(raw), &er); err != nil || er.Error == "" {
-			t.Errorf("%s: non-2xx body %q is not a JSON error", tc.name, raw)
+		if err := json.Unmarshal([]byte(raw), &er); err != nil || er.Error.Code == "" || er.Error.Message == "" {
+			t.Errorf("%s: non-2xx body %q is not a JSON error envelope", tc.name, raw)
 		}
 	}
 	// Malformed JSON.

@@ -10,10 +10,9 @@ import (
 	"sync/atomic"
 	"time"
 
-	"cachebox/internal/cachesim"
-	"cachebox/internal/core"
 	"cachebox/internal/heatmap"
 	"cachebox/internal/metrics"
+	"cachebox/internal/obs"
 )
 
 // Config tunes the service. The zero value gets sensible defaults.
@@ -160,94 +159,105 @@ func (s *Server) respond(w http.ResponseWriter, code int, v any) {
 	}
 }
 
-// fail writes a JSON error body with the given status.
-func (s *Server) fail(w http.ResponseWriter, code int, msg string) {
-	s.respond(w, code, errorResponse{Error: msg})
+// fail writes the v1 JSON error envelope with the given HTTP status
+// and stable machine-readable code.
+func (s *Server) fail(w http.ResponseWriter, status int, code, msg string) {
+	s.respond(w, status, errorResponse{Error: ErrorBody{Code: code, Message: msg}})
 }
 
 // handlePredict implements POST /v1/predict: validate, enqueue into
 // the micro-batcher, wait for the coalesced result.
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	reqCtx, reqSpan := obs.Start(r.Context(), "serve.predict")
+	defer reqSpan.End()
 	if s.draining.Load() {
-		s.fail(w, http.StatusServiceUnavailable, ErrDraining.Error())
+		s.fail(w, http.StatusServiceUnavailable, CodeDraining, ErrDraining.Error())
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var req PredictRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.fail(w, http.StatusBadRequest, "decode request: "+err.Error())
+		s.fail(w, http.StatusBadRequest, CodeBadRequest, "decode request: "+err.Error())
 		return
 	}
 	e, err := s.reg.get(req.Model)
 	switch {
 	case errors.Is(err, ErrUnknownModel):
-		s.fail(w, http.StatusNotFound, err.Error())
+		s.fail(w, http.StatusNotFound, CodeUnknownModel, err.Error())
 		return
 	case errors.Is(err, ErrNoModels):
-		s.fail(w, http.StatusServiceUnavailable, err.Error())
+		s.fail(w, http.StatusServiceUnavailable, CodeNoModels, err.Error())
+		return
+	case errors.Is(err, ErrAmbiguousModel):
+		s.fail(w, http.StatusBadRequest, CodeAmbiguousModel, err.Error())
 		return
 	case err != nil:
-		s.fail(w, http.StatusBadRequest, err.Error())
+		s.fail(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
 	access, err := req.Access.toHeatmap("request")
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err.Error())
+		s.fail(w, http.StatusBadRequest, CodeInvalidInput, err.Error())
 		return
 	}
-	if req.Sets < 1 || req.Ways < 1 {
-		s.fail(w, http.StatusBadRequest, "sets and ways must be at least 1")
+	cond := req.condition()
+	if cond.Sets < 1 || cond.Ways < 1 {
+		s.fail(w, http.StatusBadRequest, CodeInvalidInput, "sets and ways must be at least 1")
 		return
 	}
 	// Requests that pass JSON-level validation but cannot be served by
 	// this model's architecture are 422s: well-formed, semantically
 	// unprocessable.
 	if size := e.model.Cfg.ImageSize; access.H != size || access.W != size {
-		s.fail(w, http.StatusUnprocessableEntity,
+		s.fail(w, http.StatusUnprocessableEntity, CodeUnprocessable,
 			"access heatmap is "+strconv.Itoa(access.H)+"x"+strconv.Itoa(access.W)+
 				", model "+e.name+" expects "+strconv.Itoa(size)+"x"+strconv.Itoa(size))
 		return
 	}
 	accessSum := access.Sum()
 	if accessSum == 0 {
-		s.fail(w, http.StatusUnprocessableEntity, "access heatmap is empty (all-zero counts)")
+		s.fail(w, http.StatusUnprocessableEntity, CodeUnprocessable, "access heatmap is empty (all-zero counts)")
 		return
 	}
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	ctx, cancel := context.WithTimeout(reqCtx, s.cfg.RequestTimeout)
 	defer cancel()
+	_, queueSpan := obs.Start(ctx, "serve.queue")
 	p := &pending{
-		e:        e,
-		access:   access,
-		params:   core.CacheParams(cachesim.Config{Sets: req.Sets, Ways: req.Ways}),
-		ctx:      ctx,
-		enqueued: time.Now(),
-		resp:     make(chan result, 1),
+		e:         e,
+		access:    access,
+		cond:      cond,
+		ctx:       ctx,
+		enqueued:  time.Now(),
+		queueSpan: queueSpan,
+		resp:      make(chan result, 1),
 	}
 	if err := s.b.enqueue(p); err != nil {
+		queueSpan.End()
 		if errors.Is(err, ErrQueueFull) {
 			w.Header().Set("Retry-After", "1")
-			s.fail(w, http.StatusTooManyRequests, err.Error())
+			s.fail(w, http.StatusTooManyRequests, CodeQueueFull, err.Error())
 			return
 		}
-		s.fail(w, http.StatusServiceUnavailable, err.Error())
+		s.fail(w, http.StatusServiceUnavailable, CodeDraining, err.Error())
 		return
 	}
 	select {
 	case res := <-p.resp:
 		if res.err != nil {
 			if errors.Is(res.err, context.DeadlineExceeded) {
-				s.fail(w, http.StatusGatewayTimeout, "request timed out in queue")
+				s.fail(w, http.StatusGatewayTimeout, CodeTimeout, "request timed out in queue")
 				return
 			}
 			if errors.Is(res.err, context.Canceled) {
 				// Client went away; status is best-effort.
-				s.fail(w, http.StatusBadRequest, "request canceled")
+				s.fail(w, http.StatusBadRequest, CodeCanceled, "request canceled")
 				return
 			}
-			s.fail(w, http.StatusInternalServerError, res.err.Error())
+			s.fail(w, http.StatusInternalServerError, CodeInternal, res.err.Error())
 			return
 		}
+		_, encSpan := obs.Start(ctx, "serve.encode")
 		constrained := heatmap.ConstrainMiss(res.miss, access)
 		s.respond(w, http.StatusOK, PredictResponse{
 			Model:     e.name,
@@ -255,12 +265,13 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			HitRate:   1 - constrained.Sum()/accessSum,
 			BatchSize: res.batchSize,
 		})
+		encSpan.End()
 	case <-ctx.Done():
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-			s.fail(w, http.StatusGatewayTimeout, "request timed out awaiting inference")
+			s.fail(w, http.StatusGatewayTimeout, CodeTimeout, "request timed out awaiting inference")
 			return
 		}
-		s.fail(w, http.StatusBadRequest, "request canceled")
+		s.fail(w, http.StatusBadRequest, CodeCanceled, "request canceled")
 	}
 }
 
@@ -273,16 +284,16 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 // directory and report what changed.
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		s.fail(w, http.StatusServiceUnavailable, ErrDraining.Error())
+		s.fail(w, http.StatusServiceUnavailable, CodeDraining, ErrDraining.Error())
 		return
 	}
 	sum, err := s.reg.Reload()
 	if err != nil {
 		if errors.Is(err, ErrNoDir) {
-			s.fail(w, http.StatusBadRequest, err.Error())
+			s.fail(w, http.StatusBadRequest, CodeNoRegistryDir, err.Error())
 			return
 		}
-		s.fail(w, http.StatusInternalServerError, err.Error())
+		s.fail(w, http.StatusInternalServerError, CodeInternal, err.Error())
 		return
 	}
 	s.m.reloads.Inc()

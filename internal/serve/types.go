@@ -23,6 +23,7 @@ import (
 	"math"
 	"time"
 
+	"cachebox/internal/core"
 	"cachebox/internal/heatmap"
 )
 
@@ -66,10 +67,23 @@ type PredictRequest struct {
 	Model string `json:"model,omitempty"`
 	// Access is the access heatmap to predict misses for.
 	Access HeatmapJSON `json:"access"`
-	// Sets and Ways are the cache geometry (the CB-GAN conditioning
-	// inputs of paper §3.2.3).
-	Sets int `json:"sets"`
-	Ways int `json:"ways"`
+	// Condition is the named cache geometry (the CB-GAN conditioning
+	// inputs of paper §3.2.3). When present it wins over the legacy
+	// top-level sets/ways fields below.
+	Condition *core.ConditionVec `json:"condition,omitempty"`
+	// Sets and Ways are the legacy positional spelling of Condition,
+	// kept so pre-envelope clients keep working.
+	Sets int `json:"sets,omitempty"`
+	Ways int `json:"ways,omitempty"`
+}
+
+// condition resolves the request's conditioning inputs, preferring the
+// named form.
+func (r PredictRequest) condition() core.ConditionVec {
+	if r.Condition != nil {
+		return *r.Condition
+	}
+	return core.ConditionVec{Sets: r.Sets, Ways: r.Ways}
 }
 
 // PredictResponse is the POST /v1/predict result.
@@ -89,11 +103,15 @@ type PredictResponse struct {
 
 // ModelInfo describes one registry entry (GET /v1/models).
 type ModelInfo struct {
-	Name      string    `json:"name"`
-	ImageSize int       `json:"image_size"`
-	CondDim   int       `json:"cond_dim"`
-	Path      string    `json:"path,omitempty"`
-	LoadedAt  time.Time `json:"loaded_at"`
+	Name      string `json:"name"`
+	ImageSize int    `json:"image_size"`
+	CondDim   int    `json:"cond_dim"`
+	Path      string `json:"path,omitempty"`
+	// LoadedAt (RFC 3339) and Sha256 identify when the entry was
+	// (re)loaded and the exact file content behind it, so hot-reload
+	// behaviour is debuggable from the API alone.
+	LoadedAt time.Time `json:"loaded_at"`
+	Sha256   string    `json:"sha256,omitempty"`
 }
 
 // ReloadSummary reports what a registry hot reload changed
@@ -117,7 +135,35 @@ type healthResponse struct {
 	QueueDepth int    `json:"queue_depth"`
 }
 
-// errorResponse is the JSON body of every non-2xx API response.
+// Stable machine-readable error codes of the v1 error envelope. Codes
+// are part of the API contract (see the golden tests in
+// contract_test.go): clients branch on the code, the message is for
+// humans and may change.
+const (
+	CodeBadRequest     = "bad_request"     // malformed JSON or body
+	CodeInvalidInput   = "invalid_input"   // well-formed but invalid field values
+	CodeUnknownModel   = "unknown_model"   // named model not in the registry
+	CodeAmbiguousModel = "ambiguous_model" // name omitted with several models loaded
+	CodeNoModels       = "no_models"       // registry is empty
+	CodeUnprocessable  = "unprocessable"   // valid JSON the model cannot serve
+	CodeQueueFull      = "queue_full"      // bounded queue rejected the request
+	CodeDraining       = "draining"        // server is shutting down
+	CodeTimeout        = "timeout"         // request exceeded its deadline
+	CodeCanceled       = "canceled"        // client went away
+	CodeNoRegistryDir  = "no_registry_dir" // reload on a static registry
+	CodeInternal       = "internal"        // everything else
+)
+
+// ErrorBody is the detail object of the v1 error envelope.
+type ErrorBody struct {
+	// Code is a stable machine-readable identifier.
+	Code string `json:"code"`
+	// Message is a human-readable explanation.
+	Message string `json:"message"`
+}
+
+// errorResponse is the JSON body of every non-2xx API response: a
+// single versioned envelope {"error":{"code":"...","message":"..."}}.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error ErrorBody `json:"error"`
 }

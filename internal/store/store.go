@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"cachebox/internal/metrics"
+	"cachebox/internal/obs"
 )
 
 const (
@@ -166,6 +167,8 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 // file (hashed as it streams through) and published atomically under
 // the writer lock together with its manifest.
 func (s *Store) Put(k Key, write func(io.Writer) error) (*Manifest, error) {
+	l := obs.StartLeaf("store.put")
+	defer l.End()
 	if err := k.Validate(); err != nil {
 		return nil, err
 	}
@@ -265,6 +268,8 @@ func (v *verifyReader) Close() error { return v.f.Close() }
 // payload's embedded hash as it is consumed; reading through to EOF
 // guarantees integrity. Lookups count into the runtime store metrics.
 func (s *Store) Get(k Key) (io.ReadCloser, *Manifest, error) {
+	l := obs.StartLeaf("store.get")
+	defer l.End()
 	if err := k.Validate(); err != nil {
 		return nil, nil, err
 	}

@@ -1,5 +1,7 @@
 package tensor
 
+import "cachebox/internal/obs"
+
 // ConvOutSize returns the spatial output size of a convolution over an
 // input of size in with the given kernel, stride and padding.
 func ConvOutSize(in, kernel, stride, pad int) int {
@@ -16,6 +18,8 @@ func ConvTransposeOutSize(in, kernel, stride, pad int) int {
 // [C*k*k, outH*outW] so convolution becomes a single GEMM. cols must be
 // pre-sized; out-of-bounds (padding) taps contribute zeros.
 func Im2col(cols, x []float32, c, h, w, kernel, stride, pad int) {
+	l := obs.StartLeaf("tensor.im2col")
+	defer l.End()
 	outH := ConvOutSize(h, kernel, stride, pad)
 	outW := ConvOutSize(w, kernel, stride, pad)
 	outHW := outH * outW
@@ -57,6 +61,8 @@ func Im2col(cols, x []float32, c, h, w, kernel, stride, pad int) {
 // Im2col, used for conv backward and transposed-conv forward. x is not
 // cleared; callers zero it first when appropriate.
 func Col2im(x, cols []float32, c, h, w, kernel, stride, pad int) {
+	l := obs.StartLeaf("tensor.col2im")
+	defer l.End()
 	outH := ConvOutSize(h, kernel, stride, pad)
 	outW := ConvOutSize(w, kernel, stride, pad)
 	outHW := outH * outW

@@ -11,6 +11,8 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+
+	"cachebox/internal/obs"
 )
 
 // Tensor is a dense row-major float32 array with an explicit shape.
@@ -182,7 +184,12 @@ func MatMulInto(c, a, b *Tensor, accumulate bool) {
 }
 
 // Gemm is the raw kernel: C[m,n] (+)= A[m,k] × B[k,n], row-major.
+// Durations feed the obs histogram sink (span name tensor.gemm) when a
+// collector is installed; the timer is a value type, so the kernel
+// never allocates for it.
 func Gemm(c, a, b []float32, m, k, n int, accumulate bool) {
+	l := obs.StartLeaf("tensor.gemm")
+	defer l.End()
 	if !accumulate {
 		for i := range c[:m*n] {
 			c[i] = 0

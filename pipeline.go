@@ -8,6 +8,7 @@ import (
 	"cachebox/internal/core"
 	"cachebox/internal/heatmap"
 	"cachebox/internal/metrics"
+	"cachebox/internal/obs"
 	"cachebox/internal/par"
 	"cachebox/internal/store"
 	"cachebox/internal/workload"
@@ -46,6 +47,12 @@ func NewPipeline() Pipeline {
 // BenchPairs simulates bench against a single cache level and returns
 // the aligned heatmap pairs plus the level's true hit rate.
 func (p Pipeline) BenchPairs(bench Benchmark, cfg CacheConfig) ([]HeatmapPair, float64, error) {
+	return p.benchPairs(context.Background(), bench, cfg)
+}
+
+// benchPairs is BenchPairs with an explicit context so worker-pool
+// callers thread their par.task span through to the stage spans.
+func (p Pipeline) benchPairs(ctx context.Context, bench Benchmark, cfg CacheConfig) ([]HeatmapPair, float64, error) {
 	var key store.Key
 	if p.Store != nil {
 		key = store.PairsKey(bench, cfg, p.Heatmap, p.MaxPairsPerBench, p.SplitSeed)
@@ -54,9 +61,17 @@ func (p Pipeline) BenchPairs(bench Benchmark, cfg CacheConfig) ([]HeatmapPair, f
 		}
 	}
 	metrics.SimRuns.Inc()
+	_, traceSpan := obs.Start(ctx, "workload.trace")
+	traceSpan.Tag("bench", bench.Name)
 	tr := bench.Trace()
+	traceSpan.End()
+	_, simSpan := obs.Start(ctx, "sim.run")
+	simSpan.Tag("bench", bench.Name)
 	lt := cachesim.RunTrace(cachesim.New(cfg), tr)
+	simSpan.End()
+	_, pairSpan := obs.Start(ctx, "heatmap.pairs")
 	pairs, err := heatmap.BuildPair(p.Heatmap, lt.Accesses, lt.Misses)
+	pairSpan.End()
 	if err != nil {
 		return nil, 0, fmt.Errorf("cachebox: %s: %w", bench.Name, err)
 	}
@@ -120,9 +135,12 @@ func (p Pipeline) Dataset(benches []Benchmark, cfgs []CacheConfig, minHitRate fl
 	// Simulation fans out across the worker pool; samples are committed
 	// in the serial (cfg, bench) order below, so the dataset is
 	// identical to a serial build.
-	res, err := par.Map(context.Background(), p.Workers, items,
-		func(_ context.Context, _ int, it item) (built, error) {
-			pairs, hr, err := p.BenchPairs(it.bench, it.cfg)
+	ctx, dsSpan := obs.Start(context.Background(), "pipeline.dataset")
+	dsSpan.TagInt("items", len(items))
+	defer dsSpan.End()
+	res, err := par.Map(ctx, p.Workers, items,
+		func(ctx context.Context, _ int, it item) (built, error) {
+			pairs, hr, err := p.benchPairs(ctx, it.bench, it.cfg)
 			if err != nil {
 				return built{}, err
 			}
@@ -185,9 +203,12 @@ func (p Pipeline) EvaluateAll(m *Model, benches []Benchmark, cfg CacheConfig, ba
 		pairs []HeatmapPair
 		err   error
 	}
-	truths, mapErr := par.Map(context.Background(), p.Workers, benches,
-		func(_ context.Context, _ int, b Benchmark) (truth, error) {
-			pairs, _, err := p.BenchPairs(b, cfg)
+	ctx, evalSpan := obs.Start(context.Background(), "pipeline.evaluate_all")
+	evalSpan.TagInt("benches", len(benches))
+	defer evalSpan.End()
+	truths, mapErr := par.Map(ctx, p.Workers, benches,
+		func(ctx context.Context, _ int, b Benchmark) (truth, error) {
+			pairs, _, err := p.benchPairs(ctx, b, cfg)
 			return truth{pairs: pairs, err: err}, nil
 		})
 	out := make([]EvalResult, len(benches))
@@ -250,10 +271,16 @@ func (p Pipeline) evaluatePairs(m *Model, bench Benchmark, cfg CacheConfig, pair
 // under cfg (the paper's Figure 14 dataset analysis). Simulation fans
 // out across Workers.
 func (p Pipeline) TrueHitRates(benches []Benchmark, cfg CacheConfig) map[string]float64 {
-	rates, err := par.Map(context.Background(), p.Workers, benches,
-		func(_ context.Context, _ int, b Benchmark) (float64, error) {
+	ctx, hrSpan := obs.Start(context.Background(), "pipeline.true_hit_rates")
+	hrSpan.TagInt("benches", len(benches))
+	defer hrSpan.End()
+	rates, err := par.Map(ctx, p.Workers, benches,
+		func(ctx context.Context, _ int, b Benchmark) (float64, error) {
 			metrics.SimRuns.Inc()
+			_, simSpan := obs.Start(ctx, "sim.run")
+			simSpan.Tag("bench", b.Name)
 			lt := cachesim.RunTrace(cachesim.New(cfg), b.Trace())
+			simSpan.End()
 			return lt.HitRate(), nil
 		})
 	out := make(map[string]float64, len(benches))
