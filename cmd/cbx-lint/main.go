@@ -1,8 +1,12 @@
 // Command cbx-lint is CacheBox's static-analysis gate. It loads every
-// package in the module using only the Go standard library and runs
-// the internal/analysis analyzer suite: determinism (unseeded-rand,
-// map-range-numeric), robustness (unchecked-error, library-panic),
-// concurrency (mutex-by-value) and tensor-API hygiene (shape-arity).
+// package in the module using only the Go standard library, builds a
+// module-wide call graph, and runs the internal/analysis analyzer
+// suite: determinism (unseeded-rand, map-range-numeric,
+// determinism-taint), robustness (unchecked-error, library-panic),
+// concurrency (mutex-by-value, goroutine-leak), tensor-API hygiene
+// (shape-arity), artifact durability (nonatomic-write), observability
+// hygiene (span-leak) and performance (hot-path-alloc,
+// unbounded-resource).
 //
 // Usage:
 //
@@ -11,9 +15,18 @@
 // Packages are directory patterns relative to the module root:
 // "./..." (default) lints the whole module, "./internal/..." a
 // subtree, "./internal/nn" a single package. Findings print as
-// file:line:col: [analyzer] message; -json switches to a machine
-// readable array. The process exits 1 when findings remain and 2 on
-// load failure, so it can gate CI directly.
+// file:line:col: [analyzer] message with module-relative paths; -json
+// switches to a machine-readable array, -sarif to SARIF 2.1.0 for
+// code-scanning upload. Load and analysis fan out over -j workers;
+// output is byte-identical at every worker count.
+//
+// A committed baseline supports incremental adoption: -write-baseline
+// records the current findings, and -baseline reports only findings
+// absent from that file.
+//
+// Exit codes: 0 no findings, 1 findings remain, 2 the module failed to
+// load or typecheck (type errors go to stderr and no analysis runs —
+// analyzer output over broken type information is noise).
 //
 // Suppress an individual finding at its source line with
 //
@@ -21,101 +34,376 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sort"
 	"strings"
 
 	"cachebox/internal/analysis"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string) int {
+// sink adapts an output stream to sticky-error printing: the first
+// write error is retained, every later write becomes a no-op, and run
+// checks the error once at exit instead of after each diagnostic line.
+type sink struct {
+	w   io.Writer
+	err error
+}
+
+func (s *sink) Write(p []byte) (int, error) {
+	if s.err != nil {
+		return 0, s.err
+	}
+	var n int
+	n, s.err = s.w.Write(p)
+	return n, s.err
+}
+
+func (s *sink) printf(format string, args ...any) {
+	if s.err == nil {
+		_, s.err = fmt.Fprintf(s.w, format, args...)
+	}
+}
+
+func (s *sink) println(args ...any) {
+	if s.err == nil {
+		_, s.err = fmt.Fprintln(s.w, args...)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	out, errs := &sink{w: stdout}, &sink{w: stderr}
+	code := lint(args, out, errs)
+	if out.err != nil {
+		errs.println("cbx-lint: writing findings failed:", out.err)
+	}
+	if code == 0 && (out.err != nil || errs.err != nil) {
+		code = 2
+	}
+	return code
+}
+
+func lint(args []string, out, errs *sink) int {
 	fs := flag.NewFlagSet("cbx-lint", flag.ContinueOnError)
-	fs.SetOutput(os.Stderr)
+	fs.SetOutput(errs)
 	var (
-		jsonOut = fs.Bool("json", false, "emit findings as a JSON array")
-		enable  = fs.String("enable", "", "comma-separated analyzers to run (default: all)")
-		disable = fs.String("disable", "", "comma-separated analyzers to skip")
-		list    = fs.Bool("list", false, "list available analyzers and exit")
-		modDir  = fs.String("C", ".", "module root directory to lint")
+		jsonOut   = fs.Bool("json", false, "emit findings as a JSON array")
+		sarifOut  = fs.Bool("sarif", false, "emit findings as SARIF 2.1.0")
+		enable    = fs.String("enable", "", "comma-separated analyzers to run (default: all)")
+		disable   = fs.String("disable", "", "comma-separated analyzers to skip")
+		list      = fs.Bool("list", false, "list available analyzers and exit")
+		modDir    = fs.String("C", ".", "module root directory to lint")
+		workers   = fs.Int("j", runtime.NumCPU(), "parallel load/analysis workers")
+		timing    = fs.Bool("timing", false, "print per-analyzer wall time to stderr")
+		baseline  = fs.String("baseline", "", "report only findings absent from this baseline file")
+		writeBase = fs.String("write-baseline", "", "write current findings to this baseline file and exit 0")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *jsonOut && *sarifOut {
+		errs.println("cbx-lint: -json and -sarif are mutually exclusive")
+		return 2
+	}
+	if *workers < 1 {
+		*workers = 1
+	}
 
 	root, err := findModuleRoot(*modDir)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cbx-lint:", err)
+		errs.println("cbx-lint:", err)
 		return 2
 	}
 	loader, err := analysis.NewLoader(root, "")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cbx-lint:", err)
+		errs.println("cbx-lint:", err)
 		return 2
 	}
 
 	analyzers := analysis.DefaultAnalyzers(loader.ModulePath)
 	if *list {
 		for _, a := range analyzers {
-			fmt.Fprintf(os.Stdout, "%-18s %s\n", a.Name, a.Doc)
+			out.printf("%-20s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
 	analyzers, err = selectAnalyzers(analyzers, *enable, *disable)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cbx-lint:", err)
+		errs.println("cbx-lint:", err)
 		return 2
 	}
 
-	pkgs, err := loader.LoadAll()
+	ctx := context.Background()
+	pkgs, err := loader.LoadAllParallel(ctx, *workers)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cbx-lint:", err)
+		errs.println("cbx-lint:", err)
 		return 2
 	}
 	pkgs, err = filterPackages(pkgs, root, fs.Args())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cbx-lint:", err)
+		errs.println("cbx-lint:", err)
 		return 2
 	}
+
+	// Type errors are fatal: analyzer results over incomplete type
+	// information are noise, and a silent pass over a broken package
+	// would defeat the gate.
+	broken := false
 	for _, p := range pkgs {
 		for _, terr := range p.TypeErrors {
-			fmt.Fprintf(os.Stderr, "cbx-lint: typecheck %s: %v\n", p.ImportPath, terr)
+			errs.printf("cbx-lint: typecheck %s: %v\n", p.ImportPath, terr)
+			broken = true
 		}
 	}
+	if broken {
+		return 2
+	}
 
-	findings := analysis.Run(pkgs, analyzers)
-	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
+	findings, timings, err := analysis.RunParallel(ctx, *workers, pkgs, analyzers)
+	if err != nil {
+		errs.println("cbx-lint:", err)
+		return 2
+	}
+	relativize(findings, root)
+	if *timing {
+		printTimings(errs, timings)
+	}
+
+	if *writeBase != "" {
+		if err := writeBaseline(*writeBase, findings); err != nil {
+			errs.println("cbx-lint:", err)
+			return 2
+		}
+		errs.printf("cbx-lint: wrote baseline with %d finding(s) to %s\n", len(findings), *writeBase)
+		return 0
+	}
+	if *baseline != "" {
+		known, err := readBaseline(*baseline)
+		if err != nil {
+			errs.println("cbx-lint:", err)
+			return 2
+		}
+		var fresh []analysis.Finding
+		for _, f := range findings {
+			if !known[baselineKey(f)] {
+				fresh = append(fresh, f)
+			}
+		}
+		if n := len(findings) - len(fresh); n > 0 {
+			errs.printf("cbx-lint: %d finding(s) matched the baseline\n", n)
+		}
+		findings = fresh
+	}
+
+	switch {
+	case *jsonOut:
+		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
 		if findings == nil {
 			findings = []analysis.Finding{}
 		}
 		if err := enc.Encode(findings); err != nil {
-			fmt.Fprintln(os.Stderr, "cbx-lint:", err)
+			errs.println("cbx-lint:", err)
 			return 2
 		}
-	} else {
+	case *sarifOut:
+		if err := writeSARIF(out, analyzers, findings); err != nil {
+			errs.println("cbx-lint:", err)
+			return 2
+		}
+	default:
 		for _, f := range findings {
-			rel := f
-			if r, err := filepath.Rel(root, f.Pos.Filename); err == nil {
-				rel.Pos.Filename = r
-			}
-			fmt.Fprintln(os.Stdout, rel.String())
+			out.println(f.String())
 		}
 		if len(findings) > 0 {
-			fmt.Fprintf(os.Stdout, "cbx-lint: %d finding(s)\n", len(findings))
+			out.printf("cbx-lint: %d finding(s)\n", len(findings))
 		}
 	}
 	if len(findings) > 0 {
 		return 1
 	}
 	return 0
+}
+
+// relativize rewrites finding paths relative to the module root with
+// forward slashes, so output and baselines are machine-portable.
+func relativize(findings []analysis.Finding, root string) {
+	for i := range findings {
+		if rel, err := filepath.Rel(root, findings[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			findings[i].Pos.Filename = filepath.ToSlash(rel)
+		}
+	}
+}
+
+// printTimings writes per-analyzer wall time (prepare + passes) to w,
+// slowest first.
+func printTimings(w *sink, timings map[string]float64) {
+	names := make([]string, 0, len(timings))
+	for name := range timings {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if timings[names[i]] != timings[names[j]] {
+			return timings[names[i]] > timings[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	for _, name := range names {
+		w.printf("cbx-lint: timing %-20s %8.1fms\n", name, timings[name]*1e3)
+	}
+}
+
+// baselineEntry identifies one accepted finding. Line and column are
+// deliberately absent: unrelated edits move findings around a file,
+// and a baseline keyed on positions would go stale on every commit.
+type baselineEntry struct {
+	File     string `json:"file"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func baselineKey(f analysis.Finding) string {
+	return f.Pos.Filename + "\x00" + f.Analyzer + "\x00" + f.Message
+}
+
+// writeBaseline records findings (already relativized) as a sorted,
+// deduplicated JSON array suitable for committing.
+func writeBaseline(path string, findings []analysis.Finding) error {
+	seen := make(map[string]bool)
+	entries := make([]baselineEntry, 0, len(findings))
+	for _, f := range findings {
+		if k := baselineKey(f); !seen[k] {
+			seen[k] = true
+			entries = append(entries, baselineEntry{File: f.Pos.Filename, Analyzer: f.Analyzer, Message: f.Message})
+		}
+	}
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// readBaseline loads a baseline file into a lookup set.
+func readBaseline(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []baselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	known := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		var f analysis.Finding
+		f.Pos.Filename, f.Analyzer, f.Message = e.File, e.Analyzer, e.Message
+		known[baselineKey(f)] = true
+	}
+	return known, nil
+}
+
+// SARIF 2.1.0 skeleton — just the subset code-scanning consumers need.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// writeSARIF renders findings as one SARIF run. Rules follow analyzer
+// registration order and results follow finding order, so the document
+// is deterministic.
+func writeSARIF(w io.Writer, analyzers []*analysis.Analyzer, findings []analysis.Finding) error {
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	seen := make(map[string]bool)
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+		seen[a.Name] = true
+	}
+	for _, f := range findings {
+		// The engine synthesizes lint-directive findings itself.
+		if !seen[f.Analyzer] {
+			rules = append(rules, sarifRule{ID: f.Analyzer, ShortDescription: sarifMessage{Text: "lint directive hygiene"}})
+			seen[f.Analyzer] = true
+		}
+	}
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "warning",
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: f.Pos.Filename},
+				Region:           sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+			}}},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: sarifDriver{Name: "cbx-lint", Rules: rules}}, Results: results}},
+	})
 }
 
 // findModuleRoot walks up from dir to the directory holding go.mod.

@@ -1,0 +1,200 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runLint runs the driver against args and returns (exit, stdout, stderr).
+func runLint(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestExitCleanModule(t *testing.T) {
+	code, stdout, stderr := runLint(t, "-C", "testdata/cleanmod", "./...")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("clean module must print nothing, got:\n%s", stdout)
+	}
+}
+
+func TestExitFindings(t *testing.T) {
+	code, stdout, _ := runLint(t, "-C", "testdata/findmod", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "unseeded-rand") {
+		t.Errorf("stdout missing the unseeded-rand finding:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "find.go:") {
+		t.Errorf("findings must use module-relative paths:\n%s", stdout)
+	}
+}
+
+func TestExitTypeError(t *testing.T) {
+	code, stdout, stderr := runLint(t, "-C", "testdata/brokenmod", "./...")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stderr, "typecheck") || !strings.Contains(stderr, "definitelyNotDefined") {
+		t.Errorf("type errors must reach stderr, got:\n%s", stderr)
+	}
+	if stdout != "" {
+		t.Errorf("no analysis output may print on a broken module, got:\n%s", stdout)
+	}
+}
+
+func TestExitUnknownFlag(t *testing.T) {
+	if code, _, _ := runLint(t, "-definitely-not-a-flag"); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	code, stdout, _ := runLint(t, "-C", "testdata/findmod", "-json", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var findings []struct {
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+		Pos      struct {
+			Filename string `json:"Filename"`
+			Line     int    `json:"Line"`
+		} `json:"pos"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &findings); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, stdout)
+	}
+	if len(findings) != 1 || findings[0].Analyzer != "unseeded-rand" || findings[0].Pos.Filename != "find.go" {
+		t.Errorf("findings = %+v, want one unseeded-rand at find.go", findings)
+	}
+}
+
+func TestSARIFOutput(t *testing.T) {
+	code, stdout, _ := runLint(t, "-C", "testdata/findmod", "-sarif", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var log sarifLog
+	if err := json.Unmarshal([]byte(stdout), &log); err != nil {
+		t.Fatalf("invalid SARIF: %v\n%s", err, stdout)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("bad SARIF envelope: %+v", log)
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "cbx-lint" || len(run.Tool.Driver.Rules) == 0 {
+		t.Errorf("bad tool block: %+v", run.Tool)
+	}
+	if len(run.Results) != 1 || run.Results[0].RuleID != "unseeded-rand" {
+		t.Fatalf("results = %+v, want one unseeded-rand", run.Results)
+	}
+	loc := run.Results[0].Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "find.go" || loc.Region.StartLine == 0 {
+		t.Errorf("bad location: %+v", loc)
+	}
+}
+
+func TestJSONAndSARIFExclusive(t *testing.T) {
+	code, _, stderr := runLint(t, "-C", "testdata/findmod", "-json", "-sarif", "./...")
+	if code != 2 || !strings.Contains(stderr, "mutually exclusive") {
+		t.Fatalf("exit = %d, stderr = %q; want 2 with an explanation", code, stderr)
+	}
+}
+
+func TestListIncludesWholeProgramAnalyzers(t *testing.T) {
+	code, stdout, _ := runLint(t, "-C", "testdata/cleanmod", "-list")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, name := range []string{"determinism-taint", "goroutine-leak", "hot-path-alloc", "unbounded-resource"} {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("-list missing %s:\n%s", name, stdout)
+		}
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "baseline.json")
+
+	code, _, stderr := runLint(t, "-C", "testdata/findmod", "-write-baseline", base, "./...")
+	if code != 0 {
+		t.Fatalf("write-baseline exit = %d, want 0\nstderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "wrote baseline with 1 finding(s)") {
+		t.Errorf("stderr = %q, want a baseline summary", stderr)
+	}
+
+	code, stdout, stderr := runLint(t, "-C", "testdata/findmod", "-baseline", base, "./...")
+	if code != 0 {
+		t.Fatalf("baselined run exit = %d, want 0\nstdout:\n%s", code, stdout)
+	}
+	if stdout != "" {
+		t.Errorf("baselined findings must not print, got:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "1 finding(s) matched the baseline") {
+		t.Errorf("stderr = %q, want a baseline-match note", stderr)
+	}
+}
+
+func TestBaselineMissesNewFindings(t *testing.T) {
+	// An empty baseline filters nothing: the finding stays fresh.
+	base := filepath.Join(t.TempDir(), "baseline.json")
+	code, _, _ := runLint(t, "-C", "testdata/cleanmod", "-write-baseline", base, "./...")
+	if code != 0 {
+		t.Fatalf("write-baseline exit = %d, want 0", code)
+	}
+	code, stdout, _ := runLint(t, "-C", "testdata/findmod", "-baseline", base, "./...")
+	if code != 1 || !strings.Contains(stdout, "unseeded-rand") {
+		t.Fatalf("exit = %d, stdout = %q; want 1 with the live finding", code, stdout)
+	}
+}
+
+func TestTimingGoesToStderr(t *testing.T) {
+	code, stdout, stderr := runLint(t, "-C", "testdata/cleanmod", "-timing", "./...")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	if stdout != "" {
+		t.Errorf("timing must not pollute stdout, got:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "timing") || !strings.Contains(stderr, "unseeded-rand") {
+		t.Errorf("stderr missing timing lines:\n%s", stderr)
+	}
+}
+
+// TestParallelByteIdentical is the determinism acceptance check: the
+// whole CacheBox module linted at -j1 and -j8 must produce
+// byte-identical output in both text and JSON modes.
+func TestParallelByteIdentical(t *testing.T) {
+	for _, mode := range []string{"text", "json"} {
+		args := []string{"-C", "../..", "./..."}
+		if mode == "json" {
+			args = append(args, "-json")
+		}
+		outs := make([]string, 2)
+		codes := make([]int, 2)
+		for i, j := range []string{"1", "8"} {
+			code, stdout, stderr := runLint(t, append([]string{"-j", j}, args...)...)
+			if code == 2 {
+				t.Fatalf("-j%s load failed:\n%s", j, stderr)
+			}
+			outs[i], codes[i] = stdout, code
+		}
+		if codes[0] != codes[1] {
+			t.Errorf("%s: exit codes differ: -j1=%d -j8=%d", mode, codes[0], codes[1])
+		}
+		if outs[0] != outs[1] {
+			t.Errorf("%s: -j1 and -j8 output differ:\n--- j1 ---\n%s\n--- j8 ---\n%s", mode, outs[0], outs[1])
+		}
+	}
+}

@@ -1,0 +1,5 @@
+// Package brokenmod is a driver fixture that fails typechecking.
+package brokenmod
+
+// Broken references an undefined symbol.
+func Broken() int { return definitelyNotDefined }

@@ -1,0 +1,5 @@
+// Package cleanmod is a driver fixture with nothing to report.
+package cleanmod
+
+// Add is deliberately boring.
+func Add(a, b int) int { return a + b }

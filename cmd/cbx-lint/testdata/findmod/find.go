@@ -1,0 +1,7 @@
+// Package findmod is a driver fixture with one known finding.
+package findmod
+
+import "math/rand"
+
+// Roll trips the unseeded-rand analyzer.
+func Roll() int { return rand.Int() }

@@ -1,0 +1,3 @@
+module findmod
+
+go 1.22

@@ -191,6 +191,7 @@ func runSmoke(base string) error {
 	for i := range pix {
 		pix[i] = float32((i*7)%23) / 2
 	}
+	//lint:ignore determinism-taint the smoke test's readiness poll reads the clock; the encoded request payload is fully synthetic
 	req, err := json.Marshal(serve.PredictRequest{
 		Model:  info.Name,
 		Access: serve.HeatmapJSON{H: size, W: size, Pix: pix},

@@ -1,27 +1,38 @@
-// Package analysis is CacheBox's stdlib-only static-analysis framework.
-// It loads every package in the module with go/parser + go/types and
-// runs a pluggable set of analyzers that enforce the invariants the
-// paper reproduction depends on: deterministic randomness, ordered
-// numeric reductions, checked errors, error-returning library APIs,
-// lock hygiene and tensor shape/arity consistency.
+// Package analysis is CacheBox's stdlib-only static-analysis engine.
+// It loads every package in the module with go/parser + go/types,
+// builds a module-wide call graph over the result, and runs a
+// pluggable set of analyzers that enforce the invariants the paper
+// reproduction depends on: deterministic randomness, ordered numeric
+// reductions, checked errors, error-returning library APIs, lock
+// hygiene, tensor shape/arity consistency — and, interprocedurally,
+// taint-free artifact commits, leak-free goroutines, alloc-free hot
+// kernels and bounded resource lifetimes.
 //
 // The framework deliberately depends only on the Go standard library
-// (go/ast, go/parser, go/token, go/types, go/importer) so the lint
-// gate needs nothing beyond the toolchain already required to build.
+// (go/ast, go/parser, go/token, go/types, go/importer) plus the
+// repo's own worker pool and span timer, so the lint gate needs
+// nothing beyond the toolchain already required to build.
 //
 // Findings can be suppressed at the source line with
 //
 //	//lint:ignore <analyzer>[,<analyzer>...] <reason>
 //
 // placed either on the offending line or on the line directly above
-// it. A suppression without a reason is itself reported.
+// it (block form /*lint:ignore ... */ works too). A suppression
+// without a reason is itself reported, as is a directive that no
+// longer suppresses anything.
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"go/ast"
 	"go/token"
 	"sort"
+	"time"
+
+	"cachebox/internal/obs"
+	"cachebox/internal/par"
 )
 
 // Finding is one diagnostic produced by an analyzer.
@@ -36,13 +47,21 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
 }
 
-// Analyzer is one named check run over a single package at a time.
+// Analyzer is one named check. Per-package analyzers implement Run
+// alone; interprocedural analyzers additionally implement Prepare,
+// which receives the whole-program view exactly once per Run/
+// RunParallel invocation — before any pass — and derives the facts
+// (reachability traces, tagged-function sets) that their per-package
+// passes then read. Prepare runs serially; facts must be treated as
+// immutable afterwards because passes may run concurrently.
 type Analyzer struct {
 	// Name identifies the analyzer in findings, enable/disable flags
 	// and lint:ignore directives.
 	Name string
 	// Doc is a one-line description shown by cbx-lint -list.
 	Doc string
+	// Prepare, when non-nil, computes whole-program facts.
+	Prepare func(prog *Program)
 	// Run inspects pass.Pkg and reports findings via pass.Report.
 	Run func(pass *Pass)
 }
@@ -52,6 +71,9 @@ type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Pkg      *Package
+	// Prog is the shared whole-program view (call graph + packages).
+	// Per-package analyzers may ignore it.
+	Prog *Program
 
 	report func(Finding)
 }
@@ -68,24 +90,97 @@ func (p *Pass) Report(pos token.Pos, format string, args ...any) {
 // Files returns the package's syntax trees.
 func (p *Pass) Files() []*ast.File { return p.Pkg.Syntax }
 
-// Run applies every analyzer to every package, filters suppressed
-// findings, and returns the survivors sorted by position. Malformed or
-// unused-reason suppressions surface as findings of the pseudo-analyzer
-// "lint-directive".
+// Run applies every analyzer to every package serially. It is
+// RunParallel at width 1, with the timing sink discarded — the
+// fixture tests and simple callers use it.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	//lint:ignore unchecked-error a background context cannot be cancelled, which is RunParallel's only error path
+	findings, _, _ := RunParallel(context.Background(), 1, pkgs, analyzers)
+	return findings
+}
+
+// RunParallel builds the whole-program view, lets each analyzer
+// prepare its facts, then fans the per-(package, analyzer) passes out
+// over an internal/par pool of the given width. Findings are merged
+// in fixed (package, analyzer) order, filtered through lint:ignore
+// suppressions, and sorted by position — so the output is
+// byte-identical at any worker count. The returned map holds
+// cumulative seconds spent per analyzer (prepare + passes); each pass
+// is also timed into the cachebox_span_seconds histogram under
+// "lint.<analyzer>" when an obs collector is installed.
+//
+// The only possible error is ctx cancellation; analyzer passes
+// themselves do not fail (a panicking analyzer surfaces as a
+// *par.PanicError).
+//
+//cbx:coldpath lint passes are AST-bound batch work; the lint.* leaf timers report wall time, not an allocation budget
+func RunParallel(ctx context.Context, workers int, pkgs []*Package, analyzers []*Analyzer) ([]Finding, map[string]float64, error) {
+	prog := NewProgram(pkgs)
+	timings := make(map[string]float64, len(analyzers))
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+		if a.Prepare != nil {
+			t0 := time.Now()
+			a.Prepare(prog)
+			timings[a.Name] += time.Since(t0).Seconds()
+		}
+	}
+
+	type task struct {
+		pkg *Package
+		a   *Analyzer
+	}
+	type taskOut struct {
+		findings []Finding
+		secs     float64
+	}
+	tasks := make([]task, 0, len(pkgs)*len(analyzers))
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			tasks = append(tasks, task{pkg: pkg, a: a})
+		}
+	}
+	outs, err := par.Map(ctx, workers, tasks, func(_ context.Context, _ int, tk task) (taskOut, error) {
+		l := obs.StartLeaf("lint." + tk.a.Name)
+		defer l.End()
+		t0 := time.Now()
+		var local []Finding
+		pass := &Pass{
+			Analyzer: tk.a,
+			Fset:     tk.pkg.Fset,
+			Pkg:      tk.pkg,
+			Prog:     prog,
+			report:   func(f Finding) { local = append(local, f) },
+		}
+		tk.a.Run(pass)
+		return taskOut{findings: local, secs: time.Since(t0).Seconds()}, nil
+	})
+	if err != nil {
+		return nil, timings, err
+	}
+
+	// Merge in fixed (package, analyzer) order, which matches the task
+	// construction order above regardless of scheduling, then filter
+	// through each package's suppression set. Suppression marking must
+	// see every finding of a package before unused directives are
+	// judged, hence the two-step shape.
 	var all []Finding
+	i := 0
 	for _, pkg := range pkgs {
 		sup := collectSuppressions(pkg)
 		all = append(all, sup.malformed...)
-		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Fset: pkg.Fset, Pkg: pkg}
-			pass.report = func(f Finding) {
+		for range analyzers {
+			out := outs[i]
+			timings[tasks[i].a.Name] += out.secs
+			for _, f := range out.findings {
 				if !sup.suppresses(f) {
 					all = append(all, f)
 				}
 			}
-			a.Run(pass)
+			i++
 		}
+		all = append(all, sup.unused(ran)...)
 	}
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i].Pos, all[j].Pos
@@ -100,5 +195,5 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		}
 		return all[i].Analyzer < all[j].Analyzer
 	})
-	return all
+	return all, timings, nil
 }

@@ -78,7 +78,8 @@ func TestDefaultAnalyzers(t *testing.T) {
 	want := []string{
 		"unseeded-rand", "map-range-numeric", "unchecked-error",
 		"library-panic", "mutex-by-value", "shape-arity",
-		"nonatomic-write", "span-leak",
+		"nonatomic-write", "span-leak", "determinism-taint",
+		"goroutine-leak", "hot-path-alloc", "unbounded-resource",
 	}
 	got := DefaultAnalyzers("cachebox")
 	if len(got) != len(want) {

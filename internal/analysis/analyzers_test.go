@@ -89,10 +89,24 @@ func TestMapRangeNumeric(t *testing.T) {
 	checkFixture(t, "maprange", MapRangeNumeric("maprange"))
 }
 
+// dropDirectiveFindings strips lint-directive housekeeping findings
+// (unused/malformed lint:ignore reports). The skip-scope tests below
+// run one analyzer against a fixture written for a different scope, so
+// the fixture's directives are legitimately unused in that run.
+func dropDirectiveFindings(findings []Finding) []Finding {
+	var kept []Finding
+	for _, f := range findings {
+		if f.Analyzer != "lint-directive" {
+			kept = append(kept, f)
+		}
+	}
+	return kept
+}
+
 func TestMapRangeSkipsNonNumericPackages(t *testing.T) {
 	pkg := loadFixture(t, "maprange")
 	findings := Run([]*Package{pkg}, []*Analyzer{MapRangeNumeric("othername")})
-	if len(findings) != 0 {
+	if findings = dropDirectiveFindings(findings); len(findings) != 0 {
 		t.Fatalf("package off the numeric path must produce no findings, got %v", findings)
 	}
 }
@@ -128,7 +142,7 @@ func TestNonatomicWriteSkipsOtherPackages(t *testing.T) {
 	// artifact packages are in scope.
 	pkg := loadFixture(t, "nonatomic")
 	findings := Run([]*Package{pkg}, []*Analyzer{NonatomicWrite("othername")})
-	if len(findings) != 0 {
+	if findings = dropDirectiveFindings(findings); len(findings) != 0 {
 		t.Fatalf("package outside the artifact set must produce no findings, got %v", findings)
 	}
 }
@@ -146,9 +160,25 @@ func TestSpanLeakSkipsOtherPackages(t *testing.T) {
 	// analyzer keys on the traced package's import path, not on names.
 	pkg := loadFixture(t, "spanleak")
 	findings := Run([]*Package{pkg}, []*Analyzer{SpanLeak("othermodule/obs")})
-	if len(findings) != 0 {
+	if findings = dropDirectiveFindings(findings); len(findings) != 0 {
 		t.Fatalf("package off the obs path must produce no findings, got %v", findings)
 	}
+}
+
+func TestDeterminismTaint(t *testing.T) {
+	checkFixture(t, "determtaint", DeterminismTaint("fixture"))
+}
+
+func TestGoroutineLeak(t *testing.T) {
+	checkFixture(t, "goroleak", GoroutineLeak())
+}
+
+func TestHotPathAlloc(t *testing.T) {
+	checkFixture(t, "hotpath", HotPathAlloc("fixture/obs"))
+}
+
+func TestUnboundedResource(t *testing.T) {
+	checkFixture(t, "unboundedres", UnboundedResource())
 }
 
 func TestFindingString(t *testing.T) {

@@ -1,0 +1,213 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DeterminismTaint is the whole-program determinism gate: it flags
+// module functions where an artifact-committing call path meets a call
+// path that can reach a nondeterministic source. The reproduction's
+// contract is that every committed artifact (store objects, PNGs,
+// JSON) is a pure function of seeds and configuration — byte-identical
+// at any worker count — so a commit path that can also reach
+// wall-clock reads, the global math/rand, or iteration over a
+// numeric-keyed map is a standing threat to that contract.
+//
+// Sinks are the artifact committers: store.Put, image/png.Encode,
+// encoding/json Marshal/Encode, os.WriteFile. Sources are time.Now,
+// the global math/rand functions, and range statements over maps with
+// numeric keys (Go randomises map order per run). Both sets are
+// matched through the module-wide call graph, so a helper three calls
+// away from the commit still taints it.
+//
+// To keep the check about artifact content rather than plumbing, the
+// traversal never descends into the observability, storage and lint
+// infrastructure itself (internal/obs, internal/metrics,
+// internal/store, internal/analysis): a leaf timer reading the clock,
+// the store stamping CreatedAt into a manifest, or the lint engine
+// timing its own passes is metadata, not artifact bytes.
+// A numeric-map range already excused with a lint:ignore
+// map-range-numeric directive is likewise not treated as a source —
+// the recorded excuse ("order-independent, sorted afterwards") carries
+// over.
+//
+// A finding is reported at the meet point only: the deepest function
+// from which both a sink and a source are reachable. Ancestors of a
+// flagged function stay silent, so one tainted path yields one
+// finding, not a cone of them up to main.
+func DeterminismTaint(modulePath string) *Analyzer {
+	a := &Analyzer{
+		Name: "determinism-taint",
+		Doc:  "flags call paths that both commit artifacts and can reach nondeterminism (time.Now, global rand, numeric-map ranges)",
+	}
+
+	exemptPkgs := map[string]bool{
+		modulePath + "/internal/obs":      true,
+		modulePath + "/internal/metrics":  true,
+		modulePath + "/internal/store":    true,
+		modulePath + "/internal/analysis": true,
+	}
+	sourceFuncs := map[string]string{
+		"time.Now":              "time.Now",
+		"math/rand.Int":         "global math/rand",
+		"math/rand.Intn":        "global math/rand",
+		"math/rand.Int31":       "global math/rand",
+		"math/rand.Int31n":      "global math/rand",
+		"math/rand.Int63":       "global math/rand",
+		"math/rand.Int63n":      "global math/rand",
+		"math/rand.Uint32":      "global math/rand",
+		"math/rand.Uint64":      "global math/rand",
+		"math/rand.Float32":     "global math/rand",
+		"math/rand.Float64":     "global math/rand",
+		"math/rand.Perm":        "global math/rand",
+		"math/rand.Shuffle":     "global math/rand",
+		"math/rand.NormFloat64": "global math/rand",
+		"math/rand.ExpFloat64":  "global math/rand",
+	}
+	isSink := func(fn *types.Func) bool {
+		switch fn.FullName() {
+		case "os.WriteFile", "image/png.Encode",
+			"encoding/json.Marshal", "encoding/json.MarshalIndent",
+			"(*encoding/json.Encoder).Encode":
+			return true
+		}
+		return fn.Name() == "Put" && pkgPathOf(fn) == modulePath+"/internal/store"
+	}
+	skip := func(fn *types.Func) bool { return exemptPkgs[pkgPathOf(fn)] }
+
+	var sinkTrace, srcTrace *Trace
+	a.Prepare = func(prog *Program) {
+		sups := make(map[*Package]*suppressionSet, len(prog.Pkgs))
+		for _, pkg := range prog.Pkgs {
+			sups[pkg] = collectSuppressions(pkg)
+		}
+		var sinkSeeds, srcSeeds []Seed
+		for _, info := range prog.Graph.Funcs() {
+			if skip(info.Fn) {
+				continue
+			}
+			for _, site := range info.Calls {
+				if isSink(site.Callee) {
+					sinkSeeds = append(sinkSeeds, Seed{Fn: info.Fn, Pos: site.Pos, What: shortFuncName(site.Callee)})
+					break
+				}
+			}
+			if pos, what, ok := directSource(info, sourceFuncs, sups[info.Pkg]); ok {
+				srcSeeds = append(srcSeeds, Seed{Fn: info.Fn, Pos: pos, What: what})
+			}
+		}
+		sinkTrace = prog.Backward(sinkSeeds, skip)
+		srcTrace = prog.Backward(srcSeeds, skip)
+	}
+
+	a.Run = func(pass *Pass) {
+		if exemptPkgs[pass.Pkg.ImportPath] {
+			return
+		}
+		for _, info := range pass.Prog.Graph.Funcs() {
+			if info.Pkg != pass.Pkg {
+				continue
+			}
+			src, srcOK := srcTrace.Reaches(info.Fn)
+			_, sinkOK := sinkTrace.Reaches(info.Fn)
+			if !srcOK || !sinkOK {
+				continue
+			}
+			// Meet point only: when a single callee already carries
+			// both properties, the deeper function reports instead.
+			deeper := false
+			for _, site := range info.Calls {
+				if _, ok := srcTrace.Reaches(site.Callee); !ok {
+					continue
+				}
+				if _, ok := sinkTrace.Reaches(site.Callee); ok {
+					deeper = true
+					break
+				}
+			}
+			if deeper {
+				continue
+			}
+			// Anchor the finding at fn's first hop toward the sink
+			// (its own sink call, or the call into the committing
+			// helper).
+			pos := sinkTrace.SeedPos(info.Fn)
+			if site, ok := sinkTrace.next[info.Fn]; ok {
+				pos = site.Pos
+			}
+			pass.Report(pos,
+				"artifact commit path (%s) can reach nondeterministic %s (%s); route the value through the index-ordered commit stage or excuse the source",
+				sinkTrace.Path(info.Fn), src.What, srcTrace.Path(info.Fn))
+		}
+	}
+	return a
+}
+
+// directSource scans one function for direct nondeterminism: a call to
+// a known source function, or a range over a numeric-keyed map that is
+// not excused by a map-range-numeric (or determinism-taint) directive.
+func directSource(info *FuncInfo, sourceFuncs map[string]string, sup *suppressionSet) (token.Pos, string, bool) {
+	for _, site := range info.Calls {
+		if w, isSrc := sourceFuncs[site.Callee.FullName()]; isSrc {
+			return site.Pos, w, true
+		}
+	}
+	var pos token.Pos
+	found := false
+	ast.Inspect(info.Decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		rs, isRange := n.(*ast.RangeStmt)
+		if !isRange {
+			return true
+		}
+		tv, has := info.Pkg.TypesInfo.Types[rs.X]
+		if !has {
+			return true
+		}
+		m, isMap := tv.Type.Underlying().(*types.Map)
+		if !isMap || !isNumericKey(m.Key()) {
+			return true
+		}
+		f := Finding{Analyzer: "map-range-numeric", Pos: info.Pkg.Fset.Position(rs.Pos())}
+		alt := Finding{Analyzer: "determinism-taint", Pos: f.Pos}
+		if sup.covers(f) || sup.covers(alt) {
+			return true
+		}
+		pos, found = rs.Pos(), true
+		return false
+	})
+	if found {
+		return pos, "numeric-keyed map iteration", true
+	}
+	return token.NoPos, "", false
+}
+
+// covers is suppresses without marking the directive used: taint
+// source exemption is a read-only query, and it must not make a
+// map-range-numeric directive look "used" when that analyzer never
+// fired on the line.
+func (s *suppressionSet) covers(f Finding) bool {
+	lines := s.byLine[f.Pos.Filename]
+	for _, ln := range []int{f.Pos.Line, f.Pos.Line - 1} {
+		for _, sup := range lines[ln] {
+			if sup.analyzers == nil || sup.analyzers[f.Analyzer] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isNumericKey reports whether t is an integer or float type (the map
+// key shapes whose iteration order perturbs numeric reductions).
+func isNumericKey(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsInteger|types.IsFloat) != 0
+}

@@ -1,0 +1,347 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoroutineLeak flags `go` statements that can strand their goroutine
+// forever on a channel operation with no cancellation or close path.
+// A leaked goroutine pins its stack and captures for the process
+// lifetime — in a serving process (the micro-batcher, the upcoming
+// gateway) that is a slow memory and scheduler leak under exactly the
+// sustained load the ROADMAP aims at.
+//
+// For every go statement the spawned body — a function literal, or the
+// declared function/method the graph resolves the call to — is scanned
+// for blocking channel operations:
+//
+//   - a plain send ch <- v outside any select;
+//   - a plain receive <-ch outside any select, without the comma-ok
+//     form;
+//   - a select with neither a default case, nor a comma-ok receive,
+//     nor a receive from a cancellation-shaped channel.
+//
+// An operation is excused when the goroutine is demonstrably
+// cancellable or close-aware: comma-ok receives and range-over-channel
+// observe channel close; a select containing default, a comma-ok
+// receive, or a receive from ctx.Done() / a done-, stop-, quit- or
+// close-named channel has an exit path; a send to a channel that the
+// spawning function provably made with non-zero buffer capacity cannot
+// block on its first send. A function that selects on a
+// cancellation-shaped channel anywhere is considered
+// cancellation-aware and is not flagged at all.
+//
+// The check is one level deep through the call graph (the spawned
+// function's own body); channel operations buried in deeper callees
+// are out of scope, as are dynamically-dispatched spawn targets.
+func GoroutineLeak() *Analyzer {
+	a := &Analyzer{
+		Name: "goroutine-leak",
+		Doc:  "flags go statements whose goroutine can block forever on a channel with no cancel/close path",
+	}
+	a.Run = func(pass *Pass) {
+		for _, info := range pass.Prog.Graph.Funcs() {
+			if info.Pkg != pass.Pkg {
+				continue
+			}
+			// Channels made with non-zero capacity in the spawning
+			// function: first sends to them cannot block.
+			buffered := bufferedChans(info.Pkg, info.Decl.Body)
+			for _, gs := range info.GoLiterals {
+				lit := gs.Call.Fun.(*ast.FuncLit)
+				checkSpawnedBody(pass, gs, info.Pkg, lit.Body, buffered)
+			}
+			for _, site := range info.Calls {
+				if !site.Go {
+					continue
+				}
+				callee := pass.Prog.Graph.Lookup(site.Callee)
+				if callee == nil {
+					continue
+				}
+				checkSpawnedBody(pass, site.Call, callee.Pkg, callee.Decl.Body, buffered)
+			}
+		}
+	}
+	return a
+}
+
+// checkSpawnedBody reports at, the go statement (or its call), when
+// body contains an unexcused blocking channel operation. bodyPkg is
+// the package declaring the body (its TypesInfo resolves the body's
+// identifiers); buffered holds channel objects the spawner made with
+// non-zero capacity.
+func checkSpawnedBody(pass *Pass, at ast.Node, bodyPkg *Package, body *ast.BlockStmt, buffered map[types.Object]bool) {
+	if selectsOnCancellation(bodyPkg, body) {
+		return
+	}
+	buffered = mergeBuffered(buffered, bufferedChans(bodyPkg, body))
+
+	var blockPos ast.Node
+	var blockWhat string
+	// selects tracks select statements so ops inside their cases are
+	// judged via the select, not as naked ops.
+	inSelect := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if blockPos != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			for _, clause := range n.Body.List {
+				cc := clause.(*ast.CommClause)
+				if cc.Comm != nil {
+					markSelectOps(cc.Comm, inSelect)
+				}
+			}
+			if !selectHasEscape(bodyPkg, n) {
+				blockPos, blockWhat = n, "select with no default, comma-ok or cancellation case"
+				return false
+			}
+		case *ast.SendStmt:
+			if inSelect[n] {
+				return true
+			}
+			if obj := chanObj(bodyPkg, n.Chan); obj != nil && buffered[obj] {
+				return true
+			}
+			blockPos, blockWhat = n, "channel send outside select"
+			return false
+		case *ast.UnaryExpr:
+			if n.Op != token.ARROW || inSelect[n] {
+				return true
+			}
+			if isCommaOkReceive(body, n) || isCancellationChan(bodyPkg, n.X) {
+				return true
+			}
+			blockPos, blockWhat = n, "channel receive outside select"
+			return false
+		}
+		return true
+	})
+	if blockPos != nil {
+		pass.Report(at.Pos(),
+			"goroutine can block forever: %s at %s with no select on a cancellation or close path",
+			blockWhat, pass.Fset.Position(blockPos.Pos()))
+	}
+}
+
+// markSelectOps records the channel operations appearing as a select
+// case's comm statement so the main walk does not re-judge them.
+func markSelectOps(comm ast.Stmt, inSelect map[ast.Node]bool) {
+	inSelect[comm] = true
+	switch c := comm.(type) {
+	case *ast.SendStmt:
+		inSelect[c] = true
+	case *ast.ExprStmt:
+		if u, ok := ast.Unparen(c.X).(*ast.UnaryExpr); ok {
+			inSelect[u] = true
+		}
+	case *ast.AssignStmt:
+		if len(c.Rhs) == 1 {
+			if u, ok := ast.Unparen(c.Rhs[0]).(*ast.UnaryExpr); ok {
+				inSelect[u] = true
+			}
+		}
+	}
+}
+
+// selectHasEscape reports whether sel has an exit path: a default
+// case, a comma-ok receive (close-aware), or a receive from a
+// cancellation-shaped channel (ctx.Done(), timer/ticker .C, done-named
+// channels).
+func selectHasEscape(pkg *Package, sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		cc := clause.(*ast.CommClause)
+		if cc.Comm == nil {
+			return true
+		}
+		switch c := cc.Comm.(type) {
+		case *ast.AssignStmt:
+			if len(c.Lhs) == 2 { // v, ok := <-ch
+				return true
+			}
+			if len(c.Rhs) == 1 {
+				if u, ok := ast.Unparen(c.Rhs[0]).(*ast.UnaryExpr); ok && isCancellationChan(pkg, u.X) {
+					return true
+				}
+			}
+		case *ast.ExprStmt:
+			if u, ok := ast.Unparen(c.X).(*ast.UnaryExpr); ok && isCancellationChan(pkg, u.X) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// selectsOnCancellation reports whether body contains any select with
+// a receive from a cancellation-shaped channel: the author wired a
+// cancel path, so the goroutine is treated as cancellation-aware.
+func selectsOnCancellation(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, clause := range sel.Body.List {
+			cc := clause.(*ast.CommClause)
+			if cc.Comm == nil {
+				continue
+			}
+			var recv ast.Expr
+			switch c := cc.Comm.(type) {
+			case *ast.ExprStmt:
+				if u, isRecv := ast.Unparen(c.X).(*ast.UnaryExpr); isRecv {
+					recv = u.X
+				}
+			case *ast.AssignStmt:
+				if len(c.Rhs) == 1 {
+					if u, isRecv := ast.Unparen(c.Rhs[0]).(*ast.UnaryExpr); isRecv {
+						recv = u.X
+					}
+				}
+			}
+			if recv != nil && isCancellationChan(pkg, recv) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isCancellationChan reports whether expr looks like a cancellation or
+// completion channel: a call to a Done()-style method (context.Context
+// prominently), a timer/ticker's .C field, or a channel identifier /
+// field whose name signals shutdown (done, stop, quit, close, exit).
+func isCancellationChan(pkg *Package, expr ast.Expr) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.CallExpr:
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+			return cancellationName(sel.Sel.Name)
+		}
+		if id, ok := e.Fun.(*ast.Ident); ok {
+			return cancellationName(id.Name)
+		}
+	case *ast.SelectorExpr:
+		if e.Sel.Name == "C" { // time.Timer/Ticker channel
+			return true
+		}
+		return cancellationName(e.Sel.Name)
+	case *ast.Ident:
+		return cancellationName(e.Name)
+	}
+	return false
+}
+
+// cancellationName matches identifiers conventionally naming shutdown
+// channels.
+func cancellationName(name string) bool {
+	n := strings.ToLower(name)
+	for _, w := range []string{"done", "stop", "quit", "close", "exit", "cancel"} {
+		if strings.Contains(n, w) {
+			return true
+		}
+	}
+	return false
+}
+
+// isCommaOkReceive reports whether recv appears as the single RHS of a
+// two-value assignment (v, ok := <-ch), the close-aware receive form.
+func isCommaOkReceive(body *ast.BlockStmt, recv *ast.UnaryExpr) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 2 || len(as.Rhs) != 1 {
+			return true
+		}
+		if u, isU := ast.Unparen(as.Rhs[0]).(*ast.UnaryExpr); isU && u == recv {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// bufferedChans collects channel objects assigned from
+// make(chan T, n) with a non-zero constant (or any non-literal)
+// capacity inside body.
+func bufferedChans(pkg *Package, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, isCall := ast.Unparen(rhs).(*ast.CallExpr)
+			if !isCall || len(call.Args) != 2 {
+				continue
+			}
+			id, isIdent := call.Fun.(*ast.Ident)
+			if !isIdent || id.Name != "make" {
+				continue
+			}
+			tv, hasType := pkg.TypesInfo.Types[call.Args[0]]
+			if !hasType || tv.Type == nil {
+				continue
+			}
+			if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+				continue
+			}
+			if lit, isLit := call.Args[1].(*ast.BasicLit); isLit && lit.Value == "0" {
+				continue
+			}
+			if lhs, isIdent := as.Lhs[i].(*ast.Ident); isIdent {
+				if obj := pkg.TypesInfo.Defs[lhs]; obj != nil {
+					out[obj] = true
+				} else if obj := pkg.TypesInfo.Uses[lhs]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// mergeBuffered unions two buffered-channel sets.
+func mergeBuffered(a, b map[types.Object]bool) map[types.Object]bool {
+	if len(b) == 0 {
+		return a
+	}
+	out := make(map[types.Object]bool, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+// chanObj resolves the object of a channel-valued expression when it
+// is a plain identifier.
+func chanObj(pkg *Package, expr ast.Expr) types.Object {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pkg.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return pkg.TypesInfo.Defs[id]
+}

@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// hotpathDirective marks a function as a hot kernel for HotPathAlloc
+// even without an obs.StartLeaf timer:
+//
+//	//cbx:hotpath <reason>
+//
+// placed in the function's doc comment. The inverse directive
+//
+//	//cbx:coldpath <reason>
+//
+// exempts a StartLeaf-carrying function whose leaf timer measures
+// I/O latency rather than CPU time (the store's get/put, for
+// example): such functions allocate by design and are not part of the
+// zero-alloc budget. Both directives require a reason; a bare
+// directive is reported.
+const (
+	hotpathDirective  = "//cbx:hotpath"
+	coldpathDirective = "//cbx:coldpath"
+)
+
+// HotPathAlloc is the allocation regression gate for hot kernels: in
+// every function tagged hot — it calls obs.StartLeaf (the repo's
+// convention for leaf kernels: gemm, im2col, col2im) or carries a
+// //cbx:hotpath directive — each heap-allocating construct is
+// reported: make, new, append, address-taken composite literals,
+// function literals (closure headers), and interface boxing of
+// concrete arguments. These kernels sit under every train step and
+// predict call; a single allocation in one multiplies by millions of
+// invocations, which is why the zero-alloc property needs a permanent
+// machine check rather than a benchmark someone remembers to run.
+//
+// The check is local to the tagged function body. Allocation in a
+// callee is the callee's business — tag it too if it is hot.
+func HotPathAlloc(obsPath string) *Analyzer {
+	a := &Analyzer{
+		Name: "hot-path-alloc",
+		Doc:  "reports allocations (make/new/append/composite/closure/boxing) inside StartLeaf- or //cbx:hotpath-tagged kernels",
+	}
+	a.Run = func(pass *Pass) {
+		for _, file := range pass.Files() {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				hot, cold := directiveState(pass, fd)
+				if cold {
+					continue
+				}
+				if !hot && !callsStartLeaf(pass, obsPath, fd.Body) {
+					continue
+				}
+				reportAllocs(pass, fd)
+			}
+		}
+	}
+	return a
+}
+
+// directiveState parses //cbx:hotpath and //cbx:coldpath directives in
+// fd's doc comment, reporting bare directives without a reason.
+func directiveState(pass *Pass, fd *ast.FuncDecl) (hot, cold bool) {
+	if fd.Doc == nil {
+		return false, false
+	}
+	for _, c := range fd.Doc.List {
+		for _, d := range []struct {
+			prefix string
+			out    *bool
+		}{{hotpathDirective, &hot}, {coldpathDirective, &cold}} {
+			rest, ok := strings.CutPrefix(c.Text, d.prefix)
+			if !ok {
+				continue
+			}
+			if strings.TrimSpace(rest) == "" {
+				pass.Report(fd.Pos(), "%s directive needs a reason: %s <why this function is hot/exempt>", d.prefix, d.prefix)
+			}
+			*d.out = true
+		}
+	}
+	return hot, cold
+}
+
+// callsStartLeaf reports whether body contains a direct call to
+// obsPath's StartLeaf.
+func callsStartLeaf(pass *Pass, obsPath string, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "StartLeaf" {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pn, ok := pass.Pkg.TypesInfo.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == obsPath {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// reportAllocs walks one hot function body reporting every
+// heap-allocating construct.
+func reportAllocs(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch fun := ast.Unparen(n.Fun).(type) {
+			case *ast.Ident:
+				switch fun.Name {
+				case "make", "new":
+					if _, isBuiltin := info.Uses[fun].(*types.Builtin); isBuiltin {
+						pass.Report(n.Pos(), "%s allocates in hot path; hoist the buffer out of the kernel or reuse scratch space", fun.Name)
+					}
+				case "append":
+					if _, isBuiltin := info.Uses[fun].(*types.Builtin); isBuiltin {
+						pass.Report(n.Pos(), "append may grow its backing array in hot path; pre-size the slice outside the kernel")
+					}
+				}
+			}
+			reportBoxing(pass, n)
+		case *ast.FuncLit:
+			pass.Report(n.Pos(), "function literal allocates its closure in hot path; hoist it or pass parameters explicitly")
+			return false // its body is a different (cold) context
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, isLit := ast.Unparen(n.X).(*ast.CompositeLit); isLit {
+					pass.Report(n.Pos(), "address-taken composite literal escapes to the heap in hot path")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// reportBoxing flags concrete values passed to interface-typed
+// parameters: the conversion allocates when the value is not already
+// an interface or pointer-shaped.
+func reportBoxing(pass *Pass, call *ast.CallExpr) {
+	info := pass.Pkg.TypesInfo
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			if s, isSlice := last.(*types.Slice); isSlice {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at, ok := info.Types[arg]
+		if !ok || at.Type == nil {
+			continue
+		}
+		if _, argIface := at.Type.Underlying().(*types.Interface); argIface {
+			continue
+		}
+		if at.IsNil() {
+			continue
+		}
+		if _, isPtr := at.Type.Underlying().(*types.Pointer); isPtr {
+			continue // pointers box without copying; cheap enough
+		}
+		pass.Report(arg.Pos(), "passing %s to interface parameter boxes the value in hot path", at.Type.String())
+	}
+}

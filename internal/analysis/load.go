@@ -1,8 +1,10 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -11,6 +13,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"cachebox/internal/par"
 )
 
 // Package is one loaded, typechecked module package.
@@ -44,8 +48,10 @@ type Loader struct {
 
 	fset    *token.FileSet
 	std     types.Importer
-	pkgs    map[string]*Package // by import path
-	loading map[string]bool     // cycle guard
+	build   build.Context
+	pkgs    map[string]*Package    // by import path
+	parsed  map[string][]*ast.File // pre-parsed syntax by directory (parallel parse phase)
+	loading map[string]bool        // cycle guard
 }
 
 // NewLoader builds a loader rooted at moduleDir. The module path is
@@ -67,7 +73,9 @@ func NewLoader(moduleDir, modulePath string) (*Loader, error) {
 		ModuleDir:  abs,
 		fset:       fset,
 		std:        importer.ForCompiler(fset, "source", nil),
+		build:      build.Default,
 		pkgs:       make(map[string]*Package),
+		parsed:     make(map[string][]*ast.File),
 		loading:    make(map[string]bool),
 	}, nil
 }
@@ -91,6 +99,42 @@ func readModulePath(gomod string) (string, error) {
 // (skipping testdata, hidden and vendor directories), loads each one,
 // and returns them sorted by import path.
 func (l *Loader) LoadAll() ([]*Package, error) {
+	return l.LoadAllParallel(context.Background(), 1)
+}
+
+// LoadAllParallel is LoadAll with the parse phase fanned out over an
+// internal/par pool of the given width. Parsing dominates load time
+// and is embarrassingly parallel (token.FileSet is safe for concurrent
+// AddFile); typechecking stays serial in sorted import-path order so
+// package objects, and therefore analyzer output, are identical at any
+// worker count.
+func (l *Loader) LoadAllParallel(ctx context.Context, workers int) ([]*Package, error) {
+	dirs, err := l.discoverDirs()
+	if err != nil {
+		return nil, err
+	}
+	syntax, err := par.Map(ctx, workers, dirs, func(_ context.Context, _ int, dir string) ([]*ast.File, error) {
+		return l.parseDir(dir)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, dir := range dirs {
+		l.parsed[dir] = syntax[i]
+	}
+	pkgs := make([]*Package, 0, len(dirs))
+	for _, dir := range dirs {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// discoverDirs walks the module for package directories, sorted.
+func (l *Loader) discoverDirs() ([]string, error) {
 	var dirs []string
 	err := filepath.WalkDir(l.ModuleDir, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
@@ -104,7 +148,7 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 			name == "testdata" || name == "vendor") {
 			return filepath.SkipDir
 		}
-		if hasGoFiles(path) {
+		if l.hasGoFiles(path) {
 			dirs = append(dirs, path)
 		}
 		return nil
@@ -113,15 +157,7 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 		return nil, err
 	}
 	sort.Strings(dirs)
-	pkgs := make([]*Package, 0, len(dirs))
-	for _, dir := range dirs {
-		pkg, err := l.LoadDir(dir)
-		if err != nil {
-			return nil, err
-		}
-		pkgs = append(pkgs, pkg)
-	}
-	return pkgs, nil
+	return dirs, nil
 }
 
 // LoadDir loads the package in a single directory under the module.
@@ -141,19 +177,54 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 	return l.load(path, abs)
 }
 
-// hasGoFiles reports whether dir directly contains non-test .go files.
-func hasGoFiles(dir string) bool {
+// hasGoFiles reports whether dir directly contains non-test .go files
+// that survive build-constraint filtering.
+func (l *Loader) hasGoFiles(dir string) bool {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		return false
 	}
 	for _, e := range ents {
-		name := e.Name()
-		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+		if !e.IsDir() && l.wantFile(dir, e.Name()) {
 			return true
 		}
 	}
 	return false
+}
+
+// wantFile reports whether name is a non-test .go file that matches
+// the loader's build context. go/build's MatchFile honours both
+// filename GOOS/GOARCH suffixes (foo_windows.go) and //go:build /
+// legacy +build lines, so an `ignore`-tagged helper or a
+// foreign-platform file cannot poison the whole lint gate with parse
+// or type errors for code that would never compile here anyway.
+func (l *Loader) wantFile(dir, name string) bool {
+	if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+		return false
+	}
+	match, err := l.build.MatchFile(dir, name)
+	return err == nil && match
+}
+
+// parseDir parses the build-matched files of one directory, sorted by
+// file name for deterministic syntax order.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || !l.wantFile(dir, e.Name()) {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
 }
 
 // load parses and typechecks one package directory, memoized by path.
@@ -167,21 +238,14 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 	l.loading[path] = true
 	defer delete(l.loading, path)
 
-	ents, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, err
-	}
-	var files []*ast.File
-	for _, e := range ents {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
-			continue
-		}
-		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+	files, ok := l.parsed[dir]
+	if !ok {
+		var err error
+		files, err = l.parseDir(dir)
 		if err != nil {
 			return nil, err
 		}
-		files = append(files, f)
+		l.parsed[dir] = files
 	}
 	if len(files) == 0 {
 		return nil, fmt.Errorf("no buildable Go files in %s", dir)

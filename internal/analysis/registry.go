@@ -2,10 +2,15 @@ package analysis
 
 // DefaultAnalyzers returns the production analyzer set for a module
 // rooted at modulePath (e.g. "cachebox"). The set is the lint gate the
-// CI runs: determinism (unseeded-rand, map-range-numeric), robustness
-// (unchecked-error, library-panic), concurrency (mutex-by-value),
-// numeric-API hygiene (shape-arity), artifact durability
-// (nonatomic-write) and observability hygiene (span-leak).
+// CI runs: determinism (unseeded-rand, map-range-numeric,
+// determinism-taint), robustness (unchecked-error, library-panic),
+// concurrency (mutex-by-value, goroutine-leak), numeric-API hygiene
+// (shape-arity), artifact durability (nonatomic-write), observability
+// hygiene (span-leak), and performance (hot-path-alloc,
+// unbounded-resource).
+//
+// The last four in the list are the whole-program analyzers built on
+// the module-wide call graph; the rest are per-package.
 func DefaultAnalyzers(modulePath string) []*Analyzer {
 	return []*Analyzer{
 		UnseededRand(),
@@ -16,5 +21,9 @@ func DefaultAnalyzers(modulePath string) []*Analyzer {
 		ShapeArity(modulePath + "/internal/tensor"),
 		NonatomicWrite(),
 		SpanLeak(modulePath + "/internal/obs"),
+		DeterminismTaint(modulePath),
+		GoroutineLeak(),
+		HotPathAlloc(modulePath + "/internal/obs"),
+		UnboundedResource(),
 	}
 }

@@ -13,34 +13,88 @@ import (
 // word "all") followed by a mandatory free-form reason. It applies to
 // findings on its own source line or on the line directly below it, so
 // it works both as a trailing comment and as a standalone line above
-// the offending statement.
-const ignorePrefix = "//lint:ignore "
+// the offending statement (for a multi-line statement, the line the
+// finding anchors to — usually the statement's first line). The block
+// form /*lint:ignore <analyzer> <reason>*/ is equivalent.
+const ignorePrefix = "lint:ignore "
 
 // suppression is one parsed lint:ignore directive.
 type suppression struct {
 	file      string
 	line      int
 	analyzers map[string]bool // nil means "all"
+	used      bool            // set when the directive suppresses a finding
 }
 
 // suppressionSet holds every directive of one package.
 type suppressionSet struct {
 	byLine    map[string]map[int][]*suppression // file -> line -> directives
+	ordered   []*suppression                    // parse order, for unused reporting
 	malformed []Finding
 }
 
 // suppresses reports whether finding f is covered by a directive on
-// its line or the line above.
+// its line or the line above, marking the covering directive used.
 func (s *suppressionSet) suppresses(f Finding) bool {
 	lines := s.byLine[f.Pos.Filename]
 	for _, ln := range []int{f.Pos.Line, f.Pos.Line - 1} {
 		for _, sup := range lines[ln] {
 			if sup.analyzers == nil || sup.analyzers[f.Analyzer] {
+				sup.used = true
 				return true
 			}
 		}
 	}
 	return false
+}
+
+// unused returns a lint-directive finding for every directive that
+// suppressed nothing even though every analyzer it names ran — a stale
+// suppression hiding no finding is itself a hygiene problem (the code
+// it excused has moved or been fixed). Wildcard ("all") directives are
+// exempt: they cannot be judged against a partial analyzer set.
+func (s *suppressionSet) unused(ran map[string]bool) []Finding {
+	var out []Finding
+	for _, sup := range s.ordered {
+		if sup.used || sup.analyzers == nil {
+			continue
+		}
+		covered := true
+		for name := range sup.analyzers {
+			if !ran[name] {
+				covered = false
+				break
+			}
+		}
+		if !covered {
+			continue
+		}
+		f := Finding{
+			Analyzer: "lint-directive",
+			Message:  "unused lint:ignore directive: no finding left to suppress; delete it",
+		}
+		f.Pos.Filename = sup.file
+		f.Pos.Line = sup.line
+		f.Pos.Column = 1
+		out = append(out, f)
+	}
+	return out
+}
+
+// directiveText extracts the lint:ignore payload from a comment,
+// accepting both the line form //lint:ignore ... and the block form
+// /*lint:ignore ... */.
+func directiveText(c *ast.Comment) (string, bool) {
+	text := c.Text
+	switch {
+	case strings.HasPrefix(text, "//"):
+		text = text[2:]
+	case strings.HasPrefix(text, "/*"):
+		text = strings.TrimSuffix(text[2:], "*/")
+	default:
+		return "", false
+	}
+	return strings.CutPrefix(text, strings.TrimSuffix(ignorePrefix, " "))
 }
 
 // collectSuppressions parses every lint:ignore directive in the
@@ -50,7 +104,7 @@ func collectSuppressions(pkg *Package) *suppressionSet {
 	for _, file := range pkg.Syntax {
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(c.Text, strings.TrimSuffix(ignorePrefix, " "))
+				rest, ok := directiveText(c)
 				if !ok {
 					continue
 				}
@@ -75,6 +129,7 @@ func collectSuppressions(pkg *Package) *suppressionSet {
 					set.byLine[pos.Filename] = make(map[int][]*suppression)
 				}
 				set.byLine[pos.Filename][pos.Line] = append(set.byLine[pos.Filename][pos.Line], sup)
+				set.ordered = append(set.ordered, sup)
 			}
 		}
 	}

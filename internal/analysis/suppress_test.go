@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+)
+
+// TestSuppressDirectives drives the directive machinery end to end
+// through the suppress fixture: block comments, multi-analyzer lists,
+// line-above placement over a multi-line statement, malformed
+// directives and unused-directive reporting (including the
+// analyzer-did-not-run and wildcard exemptions).
+func TestSuppressDirectives(t *testing.T) {
+	checkFixture(t, "suppress", UnseededRand())
+}
+
+// TestLoaderHonoursBuildConstraints loads the tagged fixture, whose
+// directory contains one buildable file plus three poisoned ones
+// excluded by an ignore tag, a GOOS filename suffix and a //go:build
+// expression. The loader must see only the buildable file.
+func TestLoaderHonoursBuildConstraints(t *testing.T) {
+	pkg := loadFixture(t, "tagged") // fails the test on any type error
+	if len(pkg.Syntax) != 1 {
+		t.Fatalf("loaded %d files, want 1", len(pkg.Syntax))
+	}
+	name := filepath.Base(pkg.Fset.Position(pkg.Syntax[0].Pos()).Filename)
+	if name != "tagged.go" {
+		t.Fatalf("loaded %s, want tagged.go", name)
+	}
+	if pkg.Types.Scope().Lookup("Kept") == nil {
+		t.Error("Kept must be in scope")
+	}
+	for _, excluded := range []string{"WindowsOnly", "DarwinOnly"} {
+		if pkg.Types.Scope().Lookup(excluded) != nil {
+			t.Errorf("%s comes from an excluded file and must not be in scope", excluded)
+		}
+	}
+}
+
+// TestLoadAllParallelMatchesSerial loads the fixture module tree at
+// width 1 and width 8 and requires identical package sets and file
+// lists — the loader's half of the byte-identical-output contract.
+func TestLoadAllParallelMatchesSerial(t *testing.T) {
+	shape := func(workers int) []string {
+		loader, err := NewLoader(filepath.Join("testdata", "src"), "fixture")
+		if err != nil {
+			t.Fatalf("NewLoader: %v", err)
+		}
+		pkgs, err := loader.LoadAllParallel(context.Background(), workers)
+		if err != nil {
+			t.Fatalf("LoadAllParallel(%d): %v", workers, err)
+		}
+		var out []string
+		for _, pkg := range pkgs {
+			out = append(out, pkg.ImportPath)
+			for _, f := range pkg.Syntax {
+				out = append(out, "  "+filepath.Base(pkg.Fset.Position(f.Pos()).Filename))
+			}
+		}
+		return out
+	}
+	serial, parallel := shape(1), shape(8)
+	if len(serial) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("serial loaded %d entries, parallel %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("entry %d differs: %q vs %q", i, serial[i], parallel[i])
+		}
+	}
+}

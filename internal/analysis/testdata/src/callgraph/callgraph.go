@@ -1,0 +1,43 @@
+// Package callgraph is a fixture with a known static call structure,
+// exercised by the call-graph and backward-trace unit tests.
+package callgraph
+
+import "time"
+
+// Chain: Top → Mid → Leaf → time.Now.
+
+func Top() time.Time { return Mid() }
+
+func Mid() time.Time { return Leaf() }
+
+func Leaf() time.Time { return time.Now() }
+
+// Counter carries a method node.
+type Counter struct{ n int }
+
+// Bump is a method calling a package function.
+func (c *Counter) Bump() { c.n++; _ = Top() }
+
+// Spawn launches a named function: a Go-flagged call site.
+func Spawn(ch chan int) {
+	go worker(ch)
+}
+
+// SpawnLit launches a literal: recorded in GoLiterals, and the
+// literal's body calls attribute to SpawnLit.
+func SpawnLit(ch chan int) {
+	go func() {
+		ch <- sideEffect()
+	}()
+}
+
+// Closure creates and invokes a literal; the literal's calls count as
+// Closure's, while the dynamic f() call itself is unresolvable.
+func Closure() time.Time {
+	f := func() time.Time { return Leaf() }
+	return f()
+}
+
+func worker(ch chan int) { ch <- sideEffect() }
+
+func sideEffect() int { return 1 }

@@ -1,0 +1,91 @@
+// Package determtaint exercises the determinism-taint analyzer: call
+// paths that both commit artifacts and can reach nondeterminism.
+package determtaint
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"time"
+)
+
+// stamp is a nondeterministic helper two hops from any sink.
+func stamp() int64 { return time.Now().UnixNano() }
+
+// wrapStamp adds a hop so the trace has a path to render.
+func wrapStamp() int64 { return stamp() }
+
+// CommitTainted is a meet point: it reaches time.Now via wrapStamp and
+// commits via json.Marshal + os.WriteFile.
+func CommitTainted(path string) error {
+	v := wrapStamp()
+	b, err := json.Marshal(v) // want "time.Now"
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// CommitRand meets the global math/rand source at its own sink call.
+func CommitRand(path string) error {
+	return os.WriteFile(path, []byte{byte(rand.Intn(256))}, 0o644) // want "global math/rand"
+}
+
+// sumNumericMap ranges over an int-keyed map: a map-order source.
+func sumNumericMap(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// CommitMapOrder commits a float folded in map order.
+func CommitMapOrder(path string, m map[int]float64) error {
+	b, err := json.Marshal(sumNumericMap(m)) // want "numeric-keyed map iteration"
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// sortedSum is the excused twin: the directive on the range carries
+// over into taint, so CommitExcused below must stay clean.
+func sortedSum(m map[int]float64) float64 {
+	var s float64
+	//lint:ignore map-range-numeric fixture: order-independent sum, addition error is not under test
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// CommitExcused commits deterministically: its only source is excused.
+func CommitExcused(path string, m map[int]float64) error {
+	b, err := json.Marshal(sortedSum(m))
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// CommitClean has a sink but no source anywhere below it.
+func CommitClean(path string, v int) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// MeasureOnly reaches time.Now but commits nothing.
+func MeasureOnly() int64 { return stamp() }
+
+// Driver calls a flagged function; the meet point is CommitTainted,
+// not Driver, so no finding lands here.
+func Driver(path string) error {
+	if err := CommitTainted(path); err != nil {
+		return err
+	}
+	return CommitClean(path, 1)
+}

@@ -1,0 +1,133 @@
+// Package goroleak exercises the goroutine-leak analyzer.
+package goroleak
+
+import "context"
+
+// LeakSend spawns a goroutine that blocks forever on an unbuffered
+// send when the receiver has gone away.
+func LeakSend() chan int {
+	ch := make(chan int)
+	go func() { // want "channel send outside select"
+		ch <- compute()
+	}()
+	return ch
+}
+
+// LeakRecv blocks forever when nothing ever sends.
+func LeakRecv(ch chan int) {
+	go func() { // want "channel receive outside select"
+		use(<-ch)
+	}()
+}
+
+// LeakSelect selects with no default, no comma-ok and no cancellation
+// case: every arm can block forever together.
+func LeakSelect(a, b chan int) {
+	go func() { // want "select with no default, comma-ok or cancellation case"
+		select {
+		case v := <-a:
+			use(v)
+		case v := <-b:
+			use(v)
+		}
+	}()
+}
+
+// named is a declared worker with a naked receive; the graph resolves
+// the spawn target one level deep.
+func named(ch chan int) {
+	use(<-ch)
+}
+
+// LeakNamed spawns the leaky declared function.
+func LeakNamed(ch chan int) {
+	go named(ch) // want "channel receive outside select"
+}
+
+// OKBuffered sends once into a channel the spawner made with capacity:
+// the send cannot block.
+func OKBuffered() chan error {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- compute2()
+	}()
+	return errc
+}
+
+// OKCommaOk receives with the comma-ok form: channel close releases
+// the goroutine.
+func OKCommaOk(ch chan int) {
+	go func() {
+		for {
+			v, ok := <-ch
+			if !ok {
+				return
+			}
+			use(v)
+		}
+	}()
+}
+
+// OKCtx selects on ctx.Done(): the goroutine is cancellable.
+func OKCtx(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case v := <-ch:
+				use(v)
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// OKDefault never blocks: the select has a default arm.
+func OKDefault(ch chan int) {
+	go func() {
+		select {
+		case ch <- 1:
+		default:
+		}
+	}()
+}
+
+// OKDoneChan selects on a done-named channel.
+func OKDoneChan(ch chan int, done chan struct{}) {
+	go func() {
+		select {
+		case v := <-ch:
+			use(v)
+		case <-done:
+			return
+		}
+	}()
+}
+
+// OKRange ranges over the channel: close releases the loop.
+func OKRange(ch chan int) {
+	go func() {
+		for v := range ch {
+			use(v)
+		}
+	}()
+}
+
+// OKNoChannels does plain work; nothing to flag.
+func OKNoChannels() {
+	go func() {
+		use(compute())
+	}()
+}
+
+// Suppressed documents a deliberate forever-goroutine.
+func Suppressed(ch chan int) {
+	//lint:ignore goroutine-leak fixture: process-lifetime pump, documented
+	go func() {
+		use(<-ch)
+	}()
+}
+
+func compute() int    { return 1 }
+func compute2() error { return nil }
+func use(v int)       { _ = v }

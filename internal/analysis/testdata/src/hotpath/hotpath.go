@@ -1,0 +1,71 @@
+// Package hotpath exercises the hot-path-alloc analyzer.
+package hotpath
+
+import "fixture/obs"
+
+// sink keeps values alive without allocating.
+var sink float32
+
+// Kernel is hot by StartLeaf convention; every allocating construct
+// inside it must be reported.
+func Kernel(dst, src []float32) {
+	l := obs.StartLeaf("fixture.kernel")
+	defer l.End()
+	tmp := make([]float32, len(src)) // want "make allocates in hot path"
+	copy(tmp, src)
+	tmp = append(tmp, 1) // want "append may grow its backing array"
+	p := new(float32)    // want "new allocates in hot path"
+	*p = tmp[0]
+	cfg := &config{n: len(src)} // want "address-taken composite literal"
+	f := func() { sink = *p }   // want "function literal allocates its closure"
+	f()
+	box(len(src)) // want "passing int to interface parameter boxes"
+	dst[0] = float32(cfg.n)
+}
+
+//cbx:hotpath inner loop of the fixture pipeline
+func Tagged(dst []float32) {
+	buf := make([]float32, 4) // want "make allocates in hot path"
+	dst[0] = buf[0]
+}
+
+//cbx:hotpath
+func TaggedBare(dst []float32) { // want "directive needs a reason"
+	dst[0] = 0
+}
+
+// Cold has no leaf timer and no directive: allocations are fine.
+func Cold(n int) []float32 {
+	out := make([]float32, n)
+	out = append(out, 1)
+	return out
+}
+
+//cbx:coldpath leaf timer measures fixture I/O latency, not CPU
+func ExemptIO() []byte {
+	l := obs.StartLeaf("fixture.io")
+	defer l.End()
+	return make([]byte, 16)
+}
+
+// CleanKernel is hot and allocation-free: no findings.
+func CleanKernel(dst, src []float32) {
+	l := obs.StartLeaf("fixture.clean")
+	defer l.End()
+	for i := range src {
+		dst[i] = src[i] * 2
+	}
+}
+
+// Suppressed documents a deliberate allocation in a hot kernel.
+func Suppressed(src []float32) {
+	l := obs.StartLeaf("fixture.suppressed")
+	defer l.End()
+	//lint:ignore hot-path-alloc fixture: amortised one-time warmup allocation
+	scratch := make([]float32, len(src))
+	sink = scratch[0]
+}
+
+type config struct{ n int }
+
+func box(v any) { _ = v }

@@ -1,0 +1,58 @@
+// Package suppress exercises the lint:ignore directive machinery:
+// block-comment form, multi-analyzer lists, line-above placement over
+// multi-line statements, malformed directives and unused-directive
+// reporting.
+package suppress
+
+import "math/rand"
+
+// BlockForm suppresses with the /* ... */ directive form.
+func BlockForm() int {
+	return rand.Int() /*lint:ignore unseeded-rand fixture: block form covers its own line*/
+}
+
+// MultiList names several analyzers; matching any one suppresses.
+func MultiList() int {
+	//lint:ignore mutex-by-value,unseeded-rand fixture: second name matches
+	return rand.Intn(10)
+}
+
+// LineAbove puts the directive above a statement that spans lines;
+// the finding anchors to the statement's first line.
+func LineAbove() int {
+	//lint:ignore unseeded-rand fixture: directive covers the line below
+	return rand.Intn(
+		10)
+}
+
+// Unsuppressed keeps one live finding so the package is not silent.
+func Unsuppressed() int {
+	return rand.Int() // want "global math/rand.Int"
+}
+
+// Stale has nothing to suppress: the named analyzer ran and found
+// nothing on the next line, so the directive itself is reported.
+func Stale() int {
+	//lint:ignore unseeded-rand fixture: stale, nothing here anymore // want "unused lint:ignore directive"
+	return 42
+}
+
+// NotJudged names an analyzer that did not run in this configuration;
+// the directive cannot be judged unused and must stay silent.
+func NotJudged() int {
+	//lint:ignore shape-arity fixture: analyzer not in this run
+	return 43
+}
+
+// Wildcard directives are never reported unused.
+func Wildcard() int {
+	//lint:ignore all fixture: wildcard cannot be judged against a partial set
+	return 44
+}
+
+// Malformed lacks the mandatory reason, so it is reported and
+// suppresses nothing: the finding below it stays live.
+func Malformed() int {
+	/*lint:ignore unseeded-rand*/ // want "malformed lint:ignore"
+	return rand.Int()             // want "global math/rand.Int"
+}

@@ -1,0 +1,9 @@
+//go:build ignore
+
+// This file is tooling-only: it is excluded by its build tag. It
+// declares a different package and references undefined symbols, so
+// if the loader ever parses or typechecks it the tagged-package
+// loader test fails loudly.
+package main
+
+func main() { deliberatelyUndefined() }

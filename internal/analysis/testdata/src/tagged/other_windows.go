@@ -1,0 +1,6 @@
+package tagged
+
+// WindowsOnly is excluded on linux by its filename GOOS suffix; it
+// also references an undefined symbol so a typecheck of this file
+// cannot go unnoticed.
+func WindowsOnly() int { return undefinedOnPurpose }

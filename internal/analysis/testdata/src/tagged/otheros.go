@@ -1,0 +1,7 @@
+//go:build darwin && !linux
+
+package tagged
+
+// DarwinOnly is excluded on linux by its build expression; it also
+// fails typechecking on purpose.
+func DarwinOnly() int { return alsoUndefined }

@@ -1,0 +1,7 @@
+// Package tagged verifies that the loader honours build constraints:
+// its sibling files are excluded by //go:build tags or filename
+// suffixes and must never reach the parser or typechecker.
+package tagged
+
+// Kept is the only symbol the loader should see in this package.
+func Kept() int { return 1 }

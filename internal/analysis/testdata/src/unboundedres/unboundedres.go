@@ -1,0 +1,88 @@
+// Package unboundedres exercises the unbounded-resource analyzer.
+package unboundedres
+
+import (
+	"os"
+	"time"
+)
+
+// LeakTicker never stops the ticker: its goroutine runs forever.
+func LeakTicker() {
+	t := time.NewTicker(time.Second) // want "missing Stop: ticker t"
+	<-t.C
+}
+
+// LeakFile opens without closing.
+func LeakFile(path string) ([]byte, error) {
+	f, err := os.Open(path) // want "missing Close: file f"
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 16)
+	_, err = f.Read(buf)
+	return buf, err
+}
+
+// LeakDiscard throws the handle away entirely.
+func LeakDiscard() {
+	time.NewTicker(time.Second) // want "ticker from time.NewTicker is discarded"
+}
+
+// LeakBlank binds the handle to the blank identifier.
+func LeakBlank(path string) {
+	_, _ = os.Create(path) // want "file from os.Create is discarded"
+}
+
+// OKDeferred stops via defer.
+func OKDeferred() {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	<-t.C
+}
+
+// OKClosureStop stops inside a deferred closure.
+func OKClosureStop() {
+	t := time.NewTimer(time.Second)
+	defer func() {
+		t.Stop()
+	}()
+	<-t.C
+}
+
+// OKFileClosed closes on the success path.
+func OKFileClosed(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// OKEscapesReturn hands ownership to the caller.
+func OKEscapesReturn(path string) (*os.File, error) {
+	return os.Open(path)
+}
+
+// OKEscapesVar hands ownership to the caller via a named handle.
+func OKEscapesVar(path string) *os.File {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil
+	}
+	return f
+}
+
+// OKEscapesArg hands the handle to a helper that owns its release.
+func OKEscapesArg() {
+	t := time.NewTicker(time.Second)
+	adopt(t)
+}
+
+// Suppressed documents a process-lifetime ticker.
+func Suppressed() {
+	//lint:ignore unbounded-resource fixture: heartbeat ticker lives until process exit
+	t := time.NewTicker(time.Second)
+	<-t.C
+}
+
+func adopt(t *time.Ticker) { t.Stop() }

@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// resourceKind describes one constructor whose result owns an OS or
+// runtime resource that must be released.
+type resourceKind struct {
+	fullName string // constructor's types.Func FullName
+	release  string // method releasing the resource
+	resultIx int    // index of the resource in the result tuple
+	what     string // human name for messages
+}
+
+var resourceKinds = []resourceKind{
+	{fullName: "time.NewTicker", release: "Stop", resultIx: 0, what: "ticker"},
+	{fullName: "time.NewTimer", release: "Stop", resultIx: 0, what: "timer"},
+	{fullName: "os.Open", release: "Close", resultIx: 0, what: "file"},
+	{fullName: "os.Create", release: "Close", resultIx: 0, what: "file"},
+	{fullName: "os.OpenFile", release: "Close", resultIx: 0, what: "file"},
+	{fullName: "os.CreateTemp", release: "Close", resultIx: 0, what: "file"},
+	{fullName: "net.Listen", release: "Close", resultIx: 0, what: "listener"},
+	{fullName: "net.Dial", release: "Close", resultIx: 0, what: "connection"},
+}
+
+// UnboundedResource flags resource acquisitions — tickers, timers,
+// files, sockets — whose handle is provably never released in the
+// acquiring function: no Stop/Close call (deferred closures count),
+// and the handle does not escape (returned, stored in a struct or
+// passed to another function — in which case some other owner is
+// responsible). A discarded handle (`_` or bare expression statement)
+// is always reported: nothing can ever release it.
+//
+// Unreleased tickers leak a goroutine each, unclosed files leak
+// descriptors, and both accumulate without bound in the serving and
+// harness loops the ROADMAP keeps adding — precisely the "fast until
+// it falls over" failure mode a throughput play cannot afford.
+//
+// Like span-leak, the check is flow-insensitive and local: a release
+// on any path (even a conditionally unreached one) satisfies it. It
+// catches the structural leaks, not the path-sensitive ones.
+func UnboundedResource() *Analyzer {
+	byName := make(map[string]resourceKind, len(resourceKinds))
+	for _, k := range resourceKinds {
+		byName[k.fullName] = k
+	}
+	a := &Analyzer{
+		Name: "unbounded-resource",
+		Doc:  "flags tickers/timers/files/sockets acquired but provably never Stopped/Closed",
+	}
+	a.Run = func(pass *Pass) {
+		for _, file := range pass.Files() {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkResources(pass, byName, fd.Body)
+			}
+		}
+	}
+	return a
+}
+
+// tracked is one resource handle bound to a local variable.
+type trackedResource struct {
+	obj  types.Object
+	call *ast.CallExpr
+	kind resourceKind
+	name string
+}
+
+// checkResources analyses one function body.
+func checkResources(pass *Pass, byName map[string]resourceKind, body *ast.BlockStmt) {
+	info := pass.Pkg.TypesInfo
+
+	// resolveKind returns the resource kind when call is a tracked
+	// constructor.
+	resolveKind := func(call *ast.CallExpr) (resourceKind, bool) {
+		fn := resolveCallee(pass.Pkg, call)
+		if fn == nil {
+			return resourceKind{}, false
+		}
+		k, ok := byName[fn.FullName()]
+		return k, ok
+	}
+
+	// Pass 1: find tracked handles; report discarded ones.
+	var tracked []trackedResource
+	defIdents := make(map[*ast.Ident]bool)
+	exprStmts := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if es, ok := n.(*ast.ExprStmt); ok {
+			if call, isCall := ast.Unparen(es.X).(*ast.CallExpr); isCall {
+				exprStmts[call] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			kind, ok := resolveKind(call)
+			if !ok {
+				return true
+			}
+			if kind.resultIx >= len(n.Lhs) {
+				return true
+			}
+			id, ok := n.Lhs[kind.resultIx].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if id.Name == "_" {
+				pass.Report(call.Pos(), "%s from %s is discarded; nothing can ever %s it", kind.what, kind.fullName, kind.release)
+				return true
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj == nil {
+				return true
+			}
+			defIdents[id] = true
+			tracked = append(tracked, trackedResource{obj: obj, call: call, kind: kind, name: id.Name})
+		case *ast.CallExpr:
+			if !exprStmts[n] {
+				return true
+			}
+			if kind, ok := resolveKind(n); ok {
+				pass.Report(n.Pos(), "%s from %s is discarded; nothing can ever %s it", kind.what, kind.fullName, kind.release)
+			}
+		}
+		return true
+	})
+	if len(tracked) == 0 {
+		return
+	}
+	byObj := make(map[types.Object]*trackedResource, len(tracked))
+	for i := range tracked {
+		byObj[tracked[i].obj] = &tracked[i]
+	}
+
+	// Pass 2: classify uses. A receiver position (h.Close(), h.Stop(),
+	// h.Reset(...)) is a method use — the release method satisfies the
+	// check. Any other appearance means the handle escapes and some
+	// other function owns its release.
+	released := make(map[types.Object]bool)
+	receiver := make(map[*ast.Ident]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		t, isTracked := byObj[obj]
+		if !isTracked {
+			return true
+		}
+		receiver[id] = true
+		if sel.Sel.Name == t.kind.release {
+			released[obj] = true
+		}
+		return true
+	})
+	escaped := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || defIdents[id] || receiver[id] {
+			return true
+		}
+		if obj := info.Uses[id]; obj != nil && byObj[obj] != nil {
+			escaped[obj] = true
+		}
+		return true
+	})
+
+	for _, t := range tracked {
+		if !released[t.obj] && !escaped[t.obj] {
+			pass.Report(t.call.Pos(), "missing %s: %s %s from %s never released in this function and never handed off; it leaks until process exit",
+				t.kind.release, t.kind.what, t.name, t.kind.fullName)
+		}
+	}
+}

@@ -327,6 +327,7 @@ func (r *Runner) trainOrLoad(name string, build func() (*core.Model, error)) (*c
 		}
 	}
 	if r.Store != nil {
+		//lint:ignore determinism-taint the clock here only feeds the trained-in log line; the stored bytes come from m.Save alone
 		if _, err := r.Store.Put(r.modelKey(name), m.Save); err != nil {
 			r.logf("[%s] warning: could not store model: %v\n", name, err)
 		}

@@ -259,6 +259,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		}
 		_, encSpan := obs.Start(ctx, "serve.encode")
 		constrained := heatmap.ConstrainMiss(res.miss, access)
+		//lint:ignore determinism-taint the HTTP response is operational output, not a committed artifact; its wall-clock deadline handling is by design
 		s.respond(w, http.StatusOK, PredictResponse{
 			Model:     e.name,
 			Miss:      heatmapToJSON(constrained),
@@ -297,6 +298,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.m.reloads.Inc()
+	//lint:ignore determinism-taint the reload summary reports when the registry changed on this server; wall-clock timestamps are its payload
 	s.respond(w, http.StatusOK, sum)
 }
 

@@ -166,6 +166,8 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 // existing entry for the same key. The payload is staged to a temp
 // file (hashed as it streams through) and published atomically under
 // the writer lock together with its manifest.
+//
+//cbx:coldpath the store.put leaf timer measures disk latency, not an allocation-free kernel
 func (s *Store) Put(k Key, write func(io.Writer) error) (*Manifest, error) {
 	l := obs.StartLeaf("store.put")
 	defer l.End()
@@ -267,6 +269,8 @@ func (v *verifyReader) Close() error { return v.f.Close() }
 // Get opens the entry stored under k. The returned reader verifies the
 // payload's embedded hash as it is consumed; reading through to EOF
 // guarantees integrity. Lookups count into the runtime store metrics.
+//
+//cbx:coldpath the store.get leaf timer measures disk latency, not an allocation-free kernel
 func (s *Store) Get(k Key) (io.ReadCloser, *Manifest, error) {
 	l := obs.StartLeaf("store.get")
 	defer l.End()

@@ -211,6 +211,7 @@ func Gemm(c, a, b []float32, m, k, n int, accumulate bool) {
 			hi = m
 		}
 		wg.Add(1)
+		//lint:ignore hot-path-alloc one closure per worker band, amortised over a whole row band of GEMM; the blocked-kernel rewrite (ROADMAP item 1) replaces this spawn scheme
 		go func(lo, hi int) {
 			defer wg.Done()
 			gemmRows(c, a, b, lo, hi, k, n)
