@@ -1,0 +1,171 @@
+// Command cbx-gateway runs the CacheBox scale-out front tier: a
+// sharding, health-gated, hedging reverse proxy over a fleet of
+// cbx-serve replicas.
+//
+// Run in front of two replicas:
+//
+//	cbx-gateway -addr :8090 \
+//	    -replicas http://127.0.0.1:8081,http://127.0.0.1:8082
+//
+// Requests for the same (model, condition) consistently hash onto the
+// same replica so its micro-batcher sees coalescable traffic; replicas
+// failing health checks are ejected and readmitted with backoff;
+// replica 429 backpressure is retried onto candidates with headroom or
+// shed at the gateway; slow primaries are hedged at an adaptive p95
+// budget (first response wins, the loser is cancelled).
+//
+// Merge per-process Chrome trace files into one multi-process trace:
+//
+//	cbx-gateway -merge merged.json gw-trace.json replica1.json ...
+//
+// Endpoints: POST /v1/predict (proxied), GET /v1/models (forwarded),
+// GET /v1/replicas (health-gate state), GET /v1/ring (debug shard
+// assignment), GET /healthz, GET /metrics.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"cachebox/internal/gateway"
+	"cachebox/internal/obs"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	replicas := flag.String("replicas", "", "comma-separated cbx-serve base URLs (required)")
+	vnodes := flag.Int("vnodes", 64, "virtual nodes per replica on the hash ring")
+	healthInterval := flag.Duration("health-interval", 500*time.Millisecond, "health-poll period")
+	healthTimeout := flag.Duration("health-timeout", 2*time.Second, "health-probe timeout")
+	ejectAfter := flag.Int("eject-after", 3, "consecutive failures before a replica is ejected")
+	readmitBackoff := flag.Duration("readmit-backoff", time.Second, "initial probe backoff for ejected replicas")
+	maxBackoff := flag.Duration("max-backoff", 30*time.Second, "probe backoff cap")
+	noRetry := flag.Bool("no-retry-429", false, "disable retrying replica backpressure onto the next candidate")
+	shedFrac := flag.Float64("shed-frac", 0.8, "retry a 429 only onto a candidate below this fraction of queue capacity")
+	noHedge := flag.Bool("no-hedge", false, "disable tail-latency hedging")
+	hedgeQuantile := flag.Float64("hedge-quantile", 0.95, "latency quantile used as the adaptive hedge budget")
+	hedgeMin := flag.Duration("hedge-min", 2*time.Millisecond, "hedge budget floor (and cold-start budget)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "fixed hedge delay overriding the adaptive budget (0 = adaptive)")
+	timeout := flag.Duration("timeout", 30*time.Second, "end-to-end proxied request timeout")
+	drainWait := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
+	traceDir := flag.String("trace-dir", "", "write a Chrome trace-event file of the gateway spans to this directory at shutdown")
+	mergeOut := flag.String("merge", "", "merge trace files given as positional args into this output file and exit")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof handlers under /debug/pprof/ (opt-in)")
+	flag.Parse()
+
+	if *mergeOut != "" {
+		if flag.NArg() == 0 {
+			fmt.Fprintln(os.Stderr, "cbx-gateway: -merge needs at least one input trace file")
+			os.Exit(1)
+		}
+		if err := obs.MergeTraceFiles(*mergeOut, flag.Args()); err != nil {
+			fmt.Fprintln(os.Stderr, "cbx-gateway: merge:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("merged %d trace file(s) into %s\n", flag.NArg(), *mergeOut)
+		return
+	}
+
+	fleet := splitReplicas(*replicas)
+	if len(fleet) == 0 {
+		fmt.Fprintln(os.Stderr, "cbx-gateway: -replicas is required (comma-separated base URLs)")
+		os.Exit(1)
+	}
+
+	// Like cbx-serve: span histograms always, trace buffering only when
+	// a trace file was requested.
+	collector := obs.NewCollector(obs.Options{Trace: *traceDir != ""})
+	obs.Install(collector)
+
+	g, err := gateway.New(gateway.Config{
+		Replicas:        fleet,
+		VNodes:          *vnodes,
+		HealthInterval:  *healthInterval,
+		HealthTimeout:   *healthTimeout,
+		EjectAfter:      *ejectAfter,
+		ReadmitBackoff:  *readmitBackoff,
+		MaxBackoff:      *maxBackoff,
+		DisableRetry429: *noRetry,
+		ShedFraction:    *shedFrac,
+		DisableHedge:    *noHedge,
+		HedgeQuantile:   *hedgeQuantile,
+		HedgeMin:        *hedgeMin,
+		HedgeAfter:      *hedgeAfter,
+		RequestTimeout:  *timeout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cbx-gateway:", err)
+		os.Exit(1)
+	}
+
+	var handler http.Handler = g
+	if *pprofOn {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", g)
+		handler = mux
+	}
+	hs := &http.Server{Addr: *addr, Handler: handler}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	g.Start(ctx)
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("cbx-gateway: listening on %s, fronting %d replica(s)", *addr, len(fleet))
+
+	select {
+	case <-ctx.Done():
+		log.Printf("cbx-gateway: signal received, draining")
+		sctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			log.Printf("cbx-gateway: shutdown: %v", err)
+		}
+		g.Wait()
+		log.Printf("cbx-gateway: drained")
+		if *traceDir != "" {
+			path := filepath.Join(*traceDir, "cbx-gateway-trace.json")
+			if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+				log.Printf("cbx-gateway: trace dir: %v", err)
+			} else if err := collector.WriteFile(path); err != nil {
+				log.Printf("cbx-gateway: write trace: %v", err)
+			} else {
+				log.Printf("cbx-gateway: wrote %d trace events to %s", collector.EventCount(), path)
+			}
+		}
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "cbx-gateway:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// splitReplicas parses the -replicas flag, trimming whitespace and
+// trailing slashes and dropping empties.
+func splitReplicas(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimRight(strings.TrimSpace(part), "/")
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

@@ -8,9 +8,15 @@
 //	cbx-store [-root dir] ls
 //	cbx-store [-root dir] info <digest-prefix>
 //	cbx-store [-root dir] cat <digest-prefix> > payload.bin
+//	cbx-store [-root dir] put -kind model -input name=tiny <file>
 //	cbx-store [-root dir] verify
 //	cbx-store [-root dir] gc -max-bytes N
 //	cbx-store [-root dir] rm <digest-prefix>
+//
+// put publishes an existing file (e.g. a trained .cbgan model) into the
+// store, so cbx-serve replicas can pull it by content address via
+// -store: a "model" entry with a name input is what the serving
+// registry looks for.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 	"text/tabwriter"
 
 	"cachebox/internal/store"
@@ -63,6 +70,8 @@ func run(args []string, out io.Writer) error {
 		return cmdInfo(s, rest, out)
 	case "cat":
 		return cmdCat(s, rest, out)
+	case "put":
+		return cmdPut(s, rest, out)
 	case "verify":
 		return cmdVerify(s, out)
 	case "gc":
@@ -159,6 +168,53 @@ func cmdCat(s *store.Store, args []string, out io.Writer) error {
 	if cerr := rc.Close(); err == nil {
 		err = cerr
 	}
+	return err
+}
+
+// inputsFlag collects repeated -input name=value pairs.
+type inputsFlag map[string]string
+
+func (f inputsFlag) String() string { return inputsSummary(f, 1<<30) }
+
+func (f inputsFlag) Set(v string) error {
+	name, value, ok := strings.Cut(v, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("input %q: want name=value", v)
+	}
+	f[name] = value
+	return nil
+}
+
+func cmdPut(s *store.Store, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("cbx-store put", flag.ContinueOnError)
+	kind := fs.String("kind", "model", "artifact kind")
+	format := fs.Int("format", 1, "payload format version")
+	inputs := inputsFlag{}
+	fs.Var(inputs, "input", "producing input as name=value (repeatable); models need at least name=<model-name>")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("put takes exactly one payload file")
+	}
+	path := fs.Arg(0)
+	src, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	key := store.Key{Kind: *kind, Format: *format, Inputs: inputs}
+	man, err := s.Put(key, func(w io.Writer) error {
+		_, err := io.Copy(w, src)
+		return err
+	})
+	if cerr := src.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(out, "stored %s kind=%s size=%d (%s)\n",
+		man.Digest[:12], man.Kind, man.Size, inputsSummary(man.Inputs, 3))
 	return err
 }
 

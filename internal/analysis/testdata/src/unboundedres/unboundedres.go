@@ -2,6 +2,9 @@
 package unboundedres
 
 import (
+	"context"
+	"net"
+	"net/http"
 	"os"
 	"time"
 )
@@ -86,3 +89,83 @@ func Suppressed() {
 }
 
 func adopt(t *time.Ticker) { t.Stop() }
+
+// LeakServer starts a server with no drain path at all.
+func LeakServer() {
+	srv := &http.Server{Addr: ":0"}
+	_ = srv.ListenAndServe() // want "missing Shutdown: http.Server srv"
+}
+
+// LeakServerGoroutine starts inside a goroutine — the common idiom —
+// but forgets the Shutdown leg.
+func LeakServerGoroutine(done chan error) {
+	srv := new(http.Server)
+	srv.Addr = ":0"
+	go func() {
+		done <- srv.ListenAndServe() // want "missing Shutdown: http.Server srv"
+	}()
+	<-done
+}
+
+// OKServerShutdown is the full graceful-drain idiom: goroutine owns the
+// accept loop, the signal path owns Shutdown.
+func OKServerShutdown(ctx context.Context) {
+	hs := &http.Server{Addr: ":0"}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = hs.Shutdown(sctx)
+	case <-errc:
+	}
+}
+
+// OKServerClose hard-stops instead of draining; still a release.
+func OKServerClose() {
+	hs := &http.Server{Addr: ":0"}
+	go func() { _ = hs.ListenAndServe() }()
+	_ = hs.Close()
+}
+
+// OKServerListenerHandoff hands a listener to Serve: the server owns
+// the listener's Close from there (listener escape), and the deferred
+// closure owns the server's Shutdown.
+func OKServerListenerHandoff() error {
+	ln, err := net.Listen("tcp", ":0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{}
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = hs.Shutdown(sctx)
+	}()
+	return hs.Serve(ln)
+}
+
+// OKServerConfigOnly never starts the server; configuring fields is not
+// an activation.
+func OKServerConfigOnly(h http.Handler) {
+	srv := &http.Server{}
+	srv.Addr = ":0"
+	srv.Handler = h
+}
+
+// OKServerEscapesReturn hands ownership to the caller.
+func OKServerEscapesReturn(h http.Handler) *http.Server {
+	srv := &http.Server{Handler: h}
+	go func() { _ = srv.ListenAndServe() }()
+	return srv
+}
+
+// OKServerEscapesArg hands the server to a helper that owns its drain.
+func OKServerEscapesArg() {
+	srv := &http.Server{Addr: ":0"}
+	go func() { _ = srv.ListenAndServe() }()
+	drainLater(srv)
+}
+
+func drainLater(s *http.Server) { _ = s.Close() }

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -25,6 +26,17 @@ var resourceKinds = []resourceKind{
 	{fullName: "net.Dial", release: "Close", resultIx: 0, what: "connection"},
 }
 
+// serverActivate are the http.Server methods that bind a listener and
+// start accepting connections; serverRelease are the methods that stop
+// it again (Shutdown drains gracefully, Close hard-stops).
+var (
+	serverActivate = map[string]bool{
+		"ListenAndServe": true, "ListenAndServeTLS": true,
+		"Serve": true, "ServeTLS": true,
+	}
+	serverRelease = map[string]bool{"Shutdown": true, "Close": true}
+)
+
 // UnboundedResource flags resource acquisitions — tickers, timers,
 // files, sockets — whose handle is provably never released in the
 // acquiring function: no Stop/Close call (deferred closures count),
@@ -32,6 +44,22 @@ var resourceKinds = []resourceKind{
 // passed to another function — in which case some other owner is
 // responsible). A discarded handle (`_` or bare expression statement)
 // is always reported: nothing can ever release it.
+//
+// It also understands the http.Server graceful-drain idiom: a locally
+// constructed server that is started (ListenAndServe / Serve, directly
+// or inside a goroutine) must be Shutdown or Closed somewhere in the
+// same function, or escape to another owner. The usual shape —
+//
+//	hs := &http.Server{Addr: addr, Handler: h}
+//	go func() { errc <- hs.ListenAndServe() }()
+//	<-ctx.Done()
+//	hs.Shutdown(sctx)    // the drain path owns the release
+//
+// passes; dropping the Shutdown leg is flagged, because a served
+// listener with no drain path hard-drops in-flight requests on
+// termination. Handing the listener itself to srv.Serve(ln) counts as
+// an escape of the listener (the server owns its Close from there on),
+// so the two rules compose without double-reporting.
 //
 // Unreleased tickers leak a goroutine each, unclosed files leak
 // descriptors, and both accumulate without bound in the serving and
@@ -58,6 +86,7 @@ func UnboundedResource() *Analyzer {
 					continue
 				}
 				checkResources(pass, byName, fd.Body)
+				checkServers(pass, fd.Body)
 			}
 		}
 	}
@@ -196,6 +225,156 @@ func checkResources(pass *Pass, byName map[string]resourceKind, body *ast.BlockS
 		if !released[t.obj] && !escaped[t.obj] {
 			pass.Report(t.call.Pos(), "missing %s: %s %s from %s never released in this function and never handed off; it leaks until process exit",
 				t.kind.release, t.kind.what, t.name, t.kind.fullName)
+		}
+	}
+}
+
+// trackedServer is one locally constructed http.Server.
+type trackedServer struct {
+	obj        types.Object
+	name       string
+	activation token.Pos // first Serve/ListenAndServe use; NoPos if never started
+}
+
+// isHTTPServer reports whether t is net/http.Server or a pointer to it.
+func isHTTPServer(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return t.String() == "net/http.Server"
+}
+
+// localServerInit reports whether rhs constructs a server locally —
+// &http.Server{...}, http.Server{...} or new(http.Server). Handles
+// returned by other functions are that function's contract, not this
+// one's.
+func localServerInit(info *types.Info, rhs ast.Expr) bool {
+	switch e := ast.Unparen(rhs).(type) {
+	case *ast.UnaryExpr:
+		if e.Op != token.AND {
+			return false
+		}
+		cl, ok := e.X.(*ast.CompositeLit)
+		return ok && isHTTPServer(info.TypeOf(cl))
+	case *ast.CompositeLit:
+		return isHTTPServer(info.TypeOf(e))
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(e.Fun).(*ast.Ident)
+		if !ok || id.Name != "new" {
+			return false
+		}
+		_, isBuiltin := info.Uses[id].(*types.Builtin)
+		return isBuiltin && isHTTPServer(info.TypeOf(e))
+	}
+	return false
+}
+
+// checkServers analyses one function body for started-but-undrained
+// http.Servers. The structure mirrors checkResources: find locally
+// constructed servers, classify selector uses (field configuration and
+// lifecycle methods are receiver uses; anything else is an escape),
+// then report servers that were activated with no release and no
+// handoff. Closure bodies count for both activation and release — the
+// activation typically lives in a `go func() { hs.ListenAndServe() }`
+// and the release on the signal-driven drain path.
+func checkServers(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.TypesInfo
+
+	var servers []*trackedServer
+	byObj := make(map[types.Object]*trackedServer)
+	defIdents := make(map[*ast.Ident]bool)
+	track := func(id *ast.Ident, rhs ast.Expr) {
+		if id.Name == "_" || !localServerInit(info, rhs) {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil || byObj[obj] != nil {
+			return
+		}
+		defIdents[id] = true
+		ts := &trackedServer{obj: obj, name: id.Name}
+		servers = append(servers, ts)
+		byObj[obj] = ts
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok {
+						track(id, n.Rhs[i])
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Names {
+					track(n.Names[i], n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	if len(servers) == 0 {
+		return
+	}
+
+	// Selector uses: lifecycle methods and field access are receiver
+	// uses; record activation and release.
+	released := make(map[types.Object]bool)
+	receiver := make(map[*ast.Ident]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		ts := byObj[obj]
+		if ts == nil {
+			return true
+		}
+		receiver[id] = true
+		switch {
+		case serverActivate[sel.Sel.Name]:
+			if !ts.activation.IsValid() {
+				ts.activation = sel.Pos()
+			}
+		case serverRelease[sel.Sel.Name]:
+			released[obj] = true
+		}
+		return true
+	})
+
+	// Any remaining bare use hands the server to another owner.
+	escaped := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || defIdents[id] || receiver[id] {
+			return true
+		}
+		if obj := info.Uses[id]; obj != nil && byObj[obj] != nil {
+			escaped[obj] = true
+		}
+		return true
+	})
+
+	for _, ts := range servers {
+		if ts.activation.IsValid() && !released[ts.obj] && !escaped[ts.obj] {
+			pass.Report(ts.activation, "missing Shutdown: http.Server %s is started here but never Shutdown/Closed in this function and never handed off; termination will hard-drop in-flight requests",
+				ts.name)
 		}
 	}
 }

@@ -1,0 +1,484 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/http/httputil"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cachebox/internal/core"
+	"cachebox/internal/serve"
+)
+
+// predictReplica is a scriptable fake cbx-serve replica: a healthy
+// /healthz plus a custom /v1/predict handler, with counters that let
+// tests prove how often work actually started, finished or was
+// cancelled replica-side.
+type predictReplica struct {
+	srv       *httptest.Server
+	started   atomic.Int64
+	completed atomic.Int64
+	canceled  atomic.Int64
+}
+
+func newPredictReplica(t *testing.T, handle func(p *predictReplica, w http.ResponseWriter, r *http.Request)) *predictReplica {
+	t.Helper()
+	p := &predictReplica{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"status":"ok","models":1,"queue_depth":0,"queue_capacity":64,"inflight_batches":0}`)
+	})
+	mux.HandleFunc("POST /v1/predict", func(w http.ResponseWriter, r *http.Request) {
+		p.started.Add(1)
+		// Drain the body as the real serve handler does: the server only
+		// notices a client disconnect (context cancellation) once the
+		// request body has been consumed.
+		if _, err := io.Copy(io.Discard, r.Body); err != nil {
+			p.canceled.Add(1)
+			return
+		}
+		handle(p, w, r)
+	})
+	p.srv = httptest.NewServer(mux)
+	t.Cleanup(p.srv.Close)
+	return p
+}
+
+// okAfter responds 200 with body after d, or records a cancellation if
+// the gateway abandons the attempt first.
+func okAfter(d time.Duration, body string) func(*predictReplica, http.ResponseWriter, *http.Request) {
+	return func(p *predictReplica, w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+			p.canceled.Add(1)
+			return
+		case <-time.After(d):
+		}
+		p.completed.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, body)
+	}
+}
+
+// statusAfter responds with an arbitrary status after d.
+func statusAfter(d time.Duration, status int) func(*predictReplica, http.ResponseWriter, *http.Request) {
+	return func(p *predictReplica, w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+			p.canceled.Add(1)
+			return
+		case <-time.After(d):
+		}
+		p.completed.Add(1)
+		w.WriteHeader(status)
+	}
+}
+
+// newTestGateway builds a gateway over the fakes without starting the
+// health-poll loop: membership starts all-healthy, which keeps the
+// routing deterministic for these tests.
+func newTestGateway(t *testing.T, cfg Config, replicas ...*predictReplica) *Gateway {
+	t.Helper()
+	for _, p := range replicas {
+		cfg.Replicas = append(cfg.Replicas, p.srv.URL)
+	}
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// modelRoutedTo finds a model name whose shard primary is the wanted
+// replica, so a test can choose which fake receives the first attempt.
+func modelRoutedTo(t *testing.T, g *Gateway, primary string) string {
+	t.Helper()
+	for i := 0; i < 4096; i++ {
+		model := fmt.Sprintf("m%d", i)
+		key := ShardKey(model, core.ConditionVec{Sets: 64, Ways: 12})
+		if g.ring.Candidates(key)[0] == primary {
+			return model
+		}
+	}
+	t.Fatal("no model found routing to wanted primary")
+	return ""
+}
+
+// postPredict sends a routing-sufficient predict body through the
+// gateway and returns the recorded response.
+func postPredict(t *testing.T, g *Gateway, model string) *httptest.ResponseRecorder {
+	t.Helper()
+	body, err := json.Marshal(serve.PredictRequest{Model: model, Sets: 64, Ways: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	g.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(body)))
+	return rec
+}
+
+// gatewayMetricValue scrapes the gateway's own /metrics and returns a
+// sample by exact series name (with label block).
+func gatewayMetricValue(t *testing.T, g *Gateway, series string) float64 {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	g.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	for _, line := range strings.Split(rec.Body.String(), "\n") {
+		if strings.HasPrefix(line, series+" ") {
+			v, err := strconv.ParseFloat(strings.TrimPrefix(line, series+" "), 64)
+			if err != nil {
+				t.Fatalf("parse metric line %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	return 0
+}
+
+// TestHedgeWinsAndLoserIsCancelled is the core hedging contract: a
+// stuck primary triggers a hedge at the budget, the hedge's response is
+// returned, and the losing attempt is cancelled via context so the
+// replica never executes the batch twice.
+func TestHedgeWinsAndLoserIsCancelled(t *testing.T) {
+	slow := newPredictReplica(t, okAfter(3*time.Second, `{"who":"slow"}`))
+	fast := newPredictReplica(t, okAfter(0, `{"who":"fast"}`))
+	g := newTestGateway(t, Config{HedgeAfter: 5 * time.Millisecond}, slow, fast)
+	model := modelRoutedTo(t, g, slow.srv.URL)
+
+	rec := postPredict(t, g, model)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Body.String(); !strings.Contains(got, `"fast"`) {
+		t.Fatalf("winner body = %s, want the hedge's", got)
+	}
+	if got := rec.Header().Get("X-Cachebox-Replica"); got != fast.srv.URL {
+		t.Fatalf("X-Cachebox-Replica = %s, want hedge replica %s", got, fast.srv.URL)
+	}
+	if rec.Header().Get("X-Cachebox-Trace-Id") == "" {
+		t.Fatal("response lost its trace id")
+	}
+
+	// The loser must observe cancellation replica-side: no completed
+	// predict on the slow replica, exactly one cancelled.
+	waitUntil(t, "loser cancellation", func() bool { return slow.canceled.Load() == 1 })
+	if slow.completed.Load() != 0 {
+		t.Fatalf("slow replica completed %d batches — double execution", slow.completed.Load())
+	}
+	if fast.completed.Load() != 1 {
+		t.Fatalf("fast replica completed %d batches, want 1", fast.completed.Load())
+	}
+	if v := gatewayMetricValue(t, g, `cachebox_gateway_hedges_total{event="fired"}`); v != 1 {
+		t.Fatalf("hedges fired = %v, want 1", v)
+	}
+	if v := gatewayMetricValue(t, g, `cachebox_gateway_hedges_total{event="won"}`); v != 1 {
+		t.Fatalf("hedges won = %v, want 1", v)
+	}
+}
+
+// TestHedgePrimaryWin: when the primary beats the already-fired hedge,
+// the primary's response is used and the hedge is the cancelled loser.
+func TestHedgePrimaryWin(t *testing.T) {
+	primary := newPredictReplica(t, okAfter(20*time.Millisecond, `{"who":"primary"}`))
+	standby := newPredictReplica(t, okAfter(3*time.Second, `{"who":"standby"}`))
+	g := newTestGateway(t, Config{HedgeAfter: 2 * time.Millisecond}, primary, standby)
+	model := modelRoutedTo(t, g, primary.srv.URL)
+
+	rec := postPredict(t, g, model)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"primary"`) {
+		t.Fatalf("status %d body %s, want primary's 200", rec.Code, rec.Body.String())
+	}
+	waitUntil(t, "hedge loser cancellation", func() bool { return standby.canceled.Load() == 1 })
+	if v := gatewayMetricValue(t, g, `cachebox_gateway_hedges_total{event="primary_won"}`); v != 1 {
+		t.Fatalf("primary_won = %v, want 1", v)
+	}
+}
+
+// TestHedgeRescuesFailingPrimary: a primary that is slow and then fails
+// outright must not sink the request — the in-flight hedge's later
+// success is returned to the client.
+func TestHedgeRescuesFailingPrimary(t *testing.T) {
+	failing := newPredictReplica(t, statusAfter(15*time.Millisecond, http.StatusInternalServerError))
+	rescue := newPredictReplica(t, okAfter(40*time.Millisecond, `{"who":"rescue"}`))
+	g := newTestGateway(t, Config{HedgeAfter: 3 * time.Millisecond}, failing, rescue)
+	model := modelRoutedTo(t, g, failing.srv.URL)
+
+	rec := postPredict(t, g, model)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"rescue"`) {
+		t.Fatalf("status %d body %s, want the hedge rescue", rec.Code, rec.Body.String())
+	}
+	if failing.completed.Load() != 1 || rescue.completed.Load() != 1 {
+		t.Fatalf("completions failing=%d rescue=%d, want 1/1", failing.completed.Load(), rescue.completed.Load())
+	}
+}
+
+// TestBackpressureRetrySucceeds: a replica 429 retries onto the next
+// ring candidate (which has headroom) and succeeds transparently.
+func TestBackpressureRetrySucceeds(t *testing.T) {
+	full := newPredictReplica(t, statusAfter(0, http.StatusTooManyRequests))
+	idle := newPredictReplica(t, okAfter(0, `{"who":"idle"}`))
+	g := newTestGateway(t, Config{DisableHedge: true}, full, idle)
+	model := modelRoutedTo(t, g, full.srv.URL)
+
+	rec := postPredict(t, g, model)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"idle"`) {
+		t.Fatalf("status %d body %s, want retried 200", rec.Code, rec.Body.String())
+	}
+	if v := gatewayMetricValue(t, g, "cachebox_gateway_retries_total"); v != 1 {
+		t.Fatalf("retries = %v, want 1", v)
+	}
+}
+
+// TestFleetSaturationSheds: when every candidate reports backpressure
+// the gateway sheds with its own 429 envelope and a Retry-After hint.
+func TestFleetSaturationSheds(t *testing.T) {
+	a := newPredictReplica(t, statusAfter(0, http.StatusTooManyRequests))
+	b := newPredictReplica(t, statusAfter(0, http.StatusTooManyRequests))
+	g := newTestGateway(t, Config{DisableHedge: true}, a, b)
+
+	rec := postPredict(t, g, "anymodel")
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	var env struct {
+		Error serve.ErrorBody `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != CodeShed {
+		t.Fatalf("code = %q, want %q", env.Error.Code, CodeShed)
+	}
+	if v := gatewayMetricValue(t, g, "cachebox_gateway_shed_total"); v != 1 {
+		t.Fatalf("sheds = %v, want 1", v)
+	}
+}
+
+// TestTransportFailover: a dead primary (connection refused) fails over
+// to the next candidate and is reported to the health gate.
+func TestTransportFailover(t *testing.T) {
+	dead := newPredictReplica(t, okAfter(0, `{}`))
+	dead.srv.Close() // port now refuses connections
+	alive := newPredictReplica(t, okAfter(0, `{"who":"alive"}`))
+	g := newTestGateway(t, Config{DisableHedge: true, EjectAfter: 3}, dead, alive)
+	model := modelRoutedTo(t, g, dead.srv.URL)
+
+	for i := 0; i < 3; i++ {
+		rec := postPredict(t, g, model)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("request %d: status %d, want failover 200", i, rec.Code)
+		}
+	}
+	// Three passive failure reports eject the dead replica.
+	if g.gate.IsHealthy(dead.srv.URL) {
+		t.Fatal("dead replica still admitted after repeated transport failures")
+	}
+	// Once ejected it is skipped outright: candidates no longer include it.
+	rec := postPredict(t, g, model)
+	if got := rec.Header().Get("X-Cachebox-Replica"); got != alive.srv.URL {
+		t.Fatalf("routed to %s, want %s", got, alive.srv.URL)
+	}
+}
+
+// TestClientErrorPassesThrough: a deterministic 4xx from the replica
+// (unknown model, invalid input) is returned verbatim — retrying it
+// elsewhere would burn the fleet for the same answer.
+func TestClientErrorPassesThrough(t *testing.T) {
+	reject := newPredictReplica(t, func(p *predictReplica, w http.ResponseWriter, r *http.Request) {
+		p.completed.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprint(w, `{"error":{"code":"model_not_found","message":"no such model"}}`)
+	})
+	other := newPredictReplica(t, okAfter(0, `{}`))
+	g := newTestGateway(t, Config{DisableHedge: true}, reject, other)
+	model := modelRoutedTo(t, g, reject.srv.URL)
+
+	rec := postPredict(t, g, model)
+	if rec.Code != http.StatusNotFound || !strings.Contains(rec.Body.String(), "model_not_found") {
+		t.Fatalf("status %d body %s, want passthrough 404", rec.Code, rec.Body.String())
+	}
+	if other.started.Load() != 0 {
+		t.Fatal("client error was retried on another replica")
+	}
+}
+
+// TestNoHealthyReplicas: an all-ejected fleet yields 503 with the
+// no_replicas envelope code.
+func TestNoHealthyReplicas(t *testing.T) {
+	a := newPredictReplica(t, okAfter(0, `{}`))
+	g := newTestGateway(t, Config{DisableHedge: true, EjectAfter: 1}, a)
+	g.gate.ReportFailure(a.srv.URL)
+
+	rec := postPredict(t, g, "m")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", rec.Code)
+	}
+	var env struct {
+		Error serve.ErrorBody `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != CodeNoReplicas {
+		t.Fatalf("code = %q, want %q", env.Error.Code, CodeNoReplicas)
+	}
+
+	// The gateway's own healthz mirrors the outage.
+	rec = httptest.NewRecorder()
+	g.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable || !strings.Contains(rec.Body.String(), `"unavailable"`) {
+		t.Fatalf("gateway healthz = %d %s, want 503 unavailable", rec.Code, rec.Body.String())
+	}
+}
+
+// TestRingEndpoint: the debug assignment endpoint reports a stable key,
+// the full candidate order and the healthy-filtered primary — and
+// reflects ejection by moving the primary to the standby.
+func TestRingEndpoint(t *testing.T) {
+	a := newPredictReplica(t, okAfter(0, `{}`))
+	b := newPredictReplica(t, okAfter(0, `{}`))
+	g := newTestGateway(t, Config{DisableHedge: true, EjectAfter: 1}, a, b)
+	model := modelRoutedTo(t, g, a.srv.URL)
+
+	get := func() ringAssignment {
+		rec := httptest.NewRecorder()
+		g.ServeHTTP(rec, httptest.NewRequest(http.MethodGet,
+			"/v1/ring?model="+model+"&sets=64&ways=12", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("ring endpoint status %d", rec.Code)
+		}
+		var got ringAssignment
+		if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	first := get()
+	if first.Primary != a.srv.URL || len(first.Candidates) != 2 {
+		t.Fatalf("assignment = %+v, want primary %s", first, a.srv.URL)
+	}
+	if second := get(); second.Primary != first.Primary || second.Key != first.Key {
+		t.Fatalf("assignment not sticky: %+v vs %+v", first, second)
+	}
+	g.gate.ReportFailure(a.srv.URL)
+	if after := get(); after.Primary != b.srv.URL || len(after.Healthy) != 1 {
+		t.Fatalf("post-ejection assignment = %+v, want primary %s", after, b.srv.URL)
+	}
+}
+
+// TestModelsForwarded: GET /v1/models proxies to a healthy replica.
+func TestModelsForwarded(t *testing.T) {
+	a := newPredictReplica(t, okAfter(0, `{}`))
+	a.srv.Config.Handler.(*http.ServeMux).HandleFunc("GET /v1/models", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"models":[{"name":"tiny"}]}`)
+	})
+	g := newTestGateway(t, Config{DisableHedge: true}, a)
+	rec := httptest.NewRecorder()
+	g.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/models", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"tiny"`) {
+		t.Fatalf("models = %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestBadRequestRejectedAtGateway: an undecodable body never reaches a
+// replica.
+func TestBadRequestRejectedAtGateway(t *testing.T) {
+	a := newPredictReplica(t, okAfter(0, `{}`))
+	g := newTestGateway(t, Config{DisableHedge: true}, a)
+	rec := httptest.NewRecorder()
+	g.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/predict", strings.NewReader("{not json")))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", rec.Code)
+	}
+	if a.started.Load() != 0 {
+		t.Fatal("malformed request reached a replica")
+	}
+}
+
+// TestGatewayAgainstRealServe runs the gateway in front of two real
+// serve.Server replicas with a tiny model, exercising the whole proxy
+// path end to end in-process.
+func TestGatewayAgainstRealServe(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.ImageSize = 16
+	cfg.NGF = 2
+	cfg.NDF = 2
+	cfg.DLayers = 1
+	cfg.CondHidden = 4
+	cfg.CondChannels = 2
+	cfg.Seed = 5
+	model, err := core.NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var urls []string
+	for i := 0; i < 2; i++ {
+		s := serve.New(serve.NewStaticRegistry("tiny", model), serve.Config{})
+		ts := httptest.NewServer(s)
+		t.Cleanup(func() { ts.Close(); s.Close() })
+		urls = append(urls, ts.URL)
+	}
+	g, err := New(Config{Replicas: urls, DisableHedge: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pix := make([]float32, 16*16)
+	for i := range pix {
+		pix[i] = float32(i%7) / 2
+	}
+	body, err := json.Marshal(serve.PredictRequest{
+		Model:  "tiny",
+		Access: serve.HeatmapJSON{H: 16, W: 16, Pix: pix},
+		Sets:   64,
+		Ways:   12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	g.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		dump, _ := httputil.DumpResponse(rec.Result(), true)
+		t.Fatalf("predict through gateway = %d\n%s", rec.Code, dump)
+	}
+	var resp struct {
+		Model string `json:"model"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Model != "tiny" {
+		t.Fatalf("response model = %q, want tiny", resp.Model)
+	}
+
+	// Same condition, same model → same replica, twice (stickiness
+	// through the live proxy path, not just the ring unit).
+	first := rec.Header().Get("X-Cachebox-Replica")
+	rec2 := httptest.NewRecorder()
+	g.ServeHTTP(rec2, httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(body)))
+	if got := rec2.Header().Get("X-Cachebox-Replica"); got != first {
+		t.Fatalf("replica changed across identical requests: %s then %s", first, got)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	g.Start(ctx)
+	waitUntil(t, "health gate sees real replicas", func() bool { return g.gate.HealthyCount() == 2 })
+	cancel()
+	g.Wait()
+}

@@ -1,0 +1,279 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// replicaHealthz mirrors cbx-serve's GET /healthz body: liveness plus
+// the load signal (queue depth vs capacity, in-flight batches) the
+// shedding policy consumes.
+type replicaHealthz struct {
+	Status          string `json:"status"`
+	Models          int    `json:"models"`
+	QueueDepth      int    `json:"queue_depth"`
+	QueueCapacity   int    `json:"queue_capacity"`
+	InflightBatches int    `json:"inflight_batches"`
+}
+
+// Health-gate membership states.
+const (
+	StateHealthy = "healthy"
+	StateEjected = "ejected"
+)
+
+// ReplicaStatus is one replica's gate state, exposed on the gateway's
+// GET /v1/replicas endpoint and consumed by the CI failover assertions.
+type ReplicaStatus struct {
+	URL   string `json:"url"`
+	State string `json:"state"`
+	// Fails counts consecutive probe failures (reset on success).
+	Fails int `json:"fails"`
+	// Load signal from the replica's last successful health poll.
+	Models          int `json:"models"`
+	QueueDepth      int `json:"queue_depth"`
+	QueueCapacity   int `json:"queue_capacity"`
+	InflightBatches int `json:"inflight_batches"`
+	// BackoffSeconds is the current probe backoff for ejected replicas.
+	BackoffSeconds float64 `json:"backoff_seconds,omitempty"`
+	// LastError explains the most recent failed probe.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// replicaState is the gate's mutable per-replica record.
+type replicaState struct {
+	url       string
+	healthy   bool
+	fails     int
+	last      replicaHealthz
+	lastErr   string
+	backoff   time.Duration
+	nextProbe time.Time
+}
+
+// HealthGate owns fleet membership: a poll loop probes every replica's
+// /healthz on a fixed interval, ejects a replica after EjectAfter
+// consecutive failures, and readmits it on the first successful probe
+// — probes of ejected replicas are spaced by exponential backoff so a
+// crashed replica is not hammered. The proxy path reports transport
+// failures into the gate (ReportFailure), so ejection does not wait
+// for the next poll tick.
+type HealthGate struct {
+	client     *http.Client
+	interval   time.Duration
+	ejectAfter int
+	minBackoff time.Duration
+	maxBackoff time.Duration
+
+	mu       sync.RWMutex
+	replicas map[string]*replicaState
+	order    []string // sorted, fixed at construction
+
+	startOnce sync.Once
+	done      chan struct{}
+}
+
+// newHealthGate wires a gate over the fleet. All replicas start
+// healthy: the first poll round corrects optimism within one interval,
+// and a cold gateway would otherwise reject its warm-up traffic.
+func newHealthGate(replicas []string, interval, timeout time.Duration, ejectAfter int, minBackoff, maxBackoff time.Duration) *HealthGate {
+	g := &HealthGate{
+		client:     &http.Client{Timeout: timeout},
+		interval:   interval,
+		ejectAfter: ejectAfter,
+		minBackoff: minBackoff,
+		maxBackoff: maxBackoff,
+		replicas:   make(map[string]*replicaState, len(replicas)),
+		done:       make(chan struct{}),
+	}
+	sorted := append([]string(nil), replicas...)
+	sort.Strings(sorted)
+	for _, r := range sorted {
+		g.replicas[r] = &replicaState{url: r, healthy: true}
+		g.order = append(g.order, r)
+	}
+	return g
+}
+
+// start launches the poll loop; it exits when ctx is cancelled.
+func (g *HealthGate) start(ctx context.Context) {
+	g.startOnce.Do(func() {
+		go func() {
+			defer close(g.done)
+			ticker := time.NewTicker(g.interval)
+			defer ticker.Stop()
+			g.pollAll(ctx)
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					g.pollAll(ctx)
+				}
+			}
+		}()
+	})
+}
+
+// wait blocks until the poll loop has exited (after ctx cancellation).
+func (g *HealthGate) wait() { <-g.done }
+
+// pollAll probes every due replica concurrently and applies results.
+func (g *HealthGate) pollAll(ctx context.Context) {
+	g.mu.RLock()
+	due := make([]string, 0, len(g.order))
+	now := time.Now()
+	for _, url := range g.order {
+		st := g.replicas[url]
+		if st.healthy || !now.Before(st.nextProbe) {
+			due = append(due, url)
+		}
+	}
+	g.mu.RUnlock()
+	var wg sync.WaitGroup
+	for _, url := range due {
+		wg.Add(1)
+		go func(url string) {
+			defer wg.Done()
+			body, err := g.probe(ctx, url)
+			g.apply(url, body, err)
+		}(url)
+	}
+	wg.Wait()
+}
+
+// probe fetches one replica's /healthz and decodes the body. A
+// draining replica (503) is treated as failing: load balancers must
+// stop routing during shutdown.
+func (g *HealthGate) probe(ctx context.Context, url string) (replicaHealthz, error) {
+	var body replicaHealthz
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/healthz", nil)
+	if err != nil {
+		return body, err
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return body, err
+	}
+	data, rerr := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	cerr := resp.Body.Close()
+	if rerr != nil {
+		return body, rerr
+	}
+	if cerr != nil {
+		return body, cerr
+	}
+	if err := json.Unmarshal(data, &body); err != nil {
+		return body, fmt.Errorf("decode healthz: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return body, fmt.Errorf("healthz status %d (%s)", resp.StatusCode, body.Status)
+	}
+	return body, nil
+}
+
+// apply folds one probe result into the state machine.
+func (g *HealthGate) apply(url string, body replicaHealthz, err error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st, ok := g.replicas[url]
+	if !ok {
+		return
+	}
+	if err == nil {
+		st.healthy = true
+		st.fails = 0
+		st.last = body
+		st.lastErr = ""
+		st.backoff = 0
+		return
+	}
+	st.fails++
+	st.lastErr = err.Error()
+	if st.healthy && st.fails >= g.ejectAfter {
+		st.healthy = false
+		st.backoff = g.minBackoff
+		st.nextProbe = time.Now().Add(st.backoff)
+	} else if !st.healthy {
+		st.backoff *= 2
+		if st.backoff > g.maxBackoff {
+			st.backoff = g.maxBackoff
+		}
+		st.nextProbe = time.Now().Add(st.backoff)
+	}
+}
+
+// ReportFailure feeds a proxy-path transport failure into the gate, so
+// a dead replica is ejected by the traffic that discovers it rather
+// than by the next poll tick.
+func (g *HealthGate) ReportFailure(url string) {
+	g.apply(url, replicaHealthz{}, fmt.Errorf("proxy transport failure"))
+}
+
+// IsHealthy reports url's gate state.
+func (g *HealthGate) IsHealthy(url string) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	st, ok := g.replicas[url]
+	return ok && st.healthy
+}
+
+// HealthyCount returns how many replicas are in service.
+func (g *HealthGate) HealthyCount() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n := 0
+	for _, url := range g.order {
+		if g.replicas[url].healthy {
+			n++
+		}
+	}
+	return n
+}
+
+// Load returns url's last-polled load signal: queued plus in-flight
+// work against queue capacity. known is false before the first
+// successful poll, in which case callers should give the replica the
+// benefit of the doubt.
+func (g *HealthGate) Load(url string) (depth, capacity int, known bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	st, ok := g.replicas[url]
+	if !ok || st.last.QueueCapacity == 0 {
+		return 0, 0, false
+	}
+	return st.last.QueueDepth + st.last.InflightBatches, st.last.QueueCapacity, true
+}
+
+// Snapshot returns every replica's state, sorted by URL.
+func (g *HealthGate) Snapshot() []ReplicaStatus {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]ReplicaStatus, 0, len(g.order))
+	for _, url := range g.order {
+		st := g.replicas[url]
+		rs := ReplicaStatus{
+			URL:             url,
+			State:           StateEjected,
+			Fails:           st.fails,
+			Models:          st.last.Models,
+			QueueDepth:      st.last.QueueDepth,
+			QueueCapacity:   st.last.QueueCapacity,
+			InflightBatches: st.last.InflightBatches,
+			LastError:       st.lastErr,
+		}
+		if st.healthy {
+			rs.State = StateHealthy
+		} else {
+			rs.BackoffSeconds = st.backoff.Seconds()
+		}
+		out = append(out, rs)
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeReplica is a controllable /healthz endpoint.
+type fakeReplica struct {
+	srv  *httptest.Server
+	up   atomic.Bool
+	body replicaHealthz
+}
+
+func newFakeReplica(body replicaHealthz) *fakeReplica {
+	f := &fakeReplica{body: body}
+	f.up.Store(true)
+	f.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !f.up.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(f.body); err != nil {
+			panic(err)
+		}
+	}))
+	return f
+}
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestHealthGateEjectAndReadmit drives the full state machine: a
+// replica that starts failing is ejected after ejectAfter consecutive
+// probe failures, sits behind backoff, and is readmitted on the first
+// successful probe.
+func TestHealthGateEjectAndReadmit(t *testing.T) {
+	f := newFakeReplica(replicaHealthz{Status: "ok", Models: 2, QueueDepth: 3, QueueCapacity: 64, InflightBatches: 1})
+	defer f.srv.Close()
+
+	g := newHealthGate([]string{f.srv.URL}, 5*time.Millisecond, time.Second, 3, time.Millisecond, 20*time.Millisecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	g.start(ctx)
+
+	waitUntil(t, "first successful poll", func() bool {
+		_, _, known := g.Load(f.srv.URL)
+		return known
+	})
+	depth, capacity, _ := g.Load(f.srv.URL)
+	if depth != 4 || capacity != 64 {
+		t.Fatalf("Load = (%d, %d), want queued+inflight=4 capacity=64", depth, capacity)
+	}
+	if !g.IsHealthy(f.srv.URL) || g.HealthyCount() != 1 {
+		t.Fatal("replica should be healthy after a successful poll")
+	}
+
+	f.up.Store(false)
+	waitUntil(t, "ejection after consecutive failures", func() bool { return !g.IsHealthy(f.srv.URL) })
+	snap := g.Snapshot()
+	if len(snap) != 1 || snap[0].State != StateEjected || snap[0].Fails < 3 {
+		t.Fatalf("snapshot after ejection = %+v", snap)
+	}
+	if snap[0].LastError == "" {
+		t.Fatal("ejected replica should carry a last_error")
+	}
+
+	f.up.Store(true)
+	waitUntil(t, "readmission after recovery", func() bool { return g.IsHealthy(f.srv.URL) })
+	if g.HealthyCount() != 1 {
+		t.Fatal("readmitted replica not counted healthy")
+	}
+
+	cancel()
+	g.wait()
+}
+
+// TestHealthGateBackoffDoubles: while ejected, each failed probe
+// doubles the backoff up to the cap, so a crashed replica is not
+// hammered at the poll interval.
+func TestHealthGateBackoffDoubles(t *testing.T) {
+	g := newHealthGate([]string{"http://x:1"}, time.Hour, time.Second, 2, 10*time.Millisecond, 35*time.Millisecond)
+	for i := 0; i < 2; i++ {
+		g.ReportFailure("http://x:1")
+	}
+	if g.IsHealthy("http://x:1") {
+		t.Fatal("not ejected after ejectAfter failures")
+	}
+	want := []float64{0.010, 0.020, 0.035, 0.035} // doubles, then capped
+	for i, w := range want {
+		got := g.Snapshot()[0].BackoffSeconds
+		if got != w {
+			t.Fatalf("backoff step %d = %vs, want %vs", i, got, w)
+		}
+		g.ReportFailure("http://x:1")
+	}
+}
+
+// TestHealthGateReportFailure: the proxy path's passive failure reports
+// eject a replica without waiting for the poll loop.
+func TestHealthGateReportFailure(t *testing.T) {
+	g := newHealthGate([]string{"http://a:1", "http://b:1"}, time.Hour, time.Second, 3, time.Millisecond, time.Second)
+	for i := 0; i < 3; i++ {
+		g.ReportFailure("http://a:1")
+	}
+	if g.IsHealthy("http://a:1") {
+		t.Fatal("replica a should be ejected by passive reports")
+	}
+	if !g.IsHealthy("http://b:1") || g.HealthyCount() != 1 {
+		t.Fatal("replica b should be untouched")
+	}
+	// Unknown URLs are ignored, not invented.
+	g.ReportFailure("http://nope:1")
+	if len(g.Snapshot()) != 2 {
+		t.Fatal("ReportFailure invented a replica")
+	}
+}
+
+// TestHealthGateDrainingReplicaEjected: a 503 from a draining replica
+// counts as a failed probe even though the body decodes fine.
+func TestHealthGateDrainingReplicaEjected(t *testing.T) {
+	f := newFakeReplica(replicaHealthz{Status: "draining"})
+	defer f.srv.Close()
+	f.up.Store(false) // serve 503
+	g := newHealthGate([]string{f.srv.URL}, time.Hour, time.Second, 1, time.Millisecond, time.Second)
+	ctx, cancel := context.WithCancel(context.Background())
+	g.start(ctx)
+	waitUntil(t, "draining replica ejection", func() bool { return !g.IsHealthy(f.srv.URL) })
+	cancel()
+	g.wait()
+}

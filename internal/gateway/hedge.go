@@ -1,0 +1,90 @@
+package gateway
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyTracker estimates a running upper-tail latency quantile from a
+// bounded window of recent successful attempts; the hedge policy fires
+// a second attempt once the primary outlives that estimate. The window
+// is a ring buffer and the quantile is recomputed lazily every
+// recomputeEvery inserts, so the hot path is one lock and one store.
+type latencyTracker struct {
+	q   float64       // target quantile, e.g. 0.95
+	min time.Duration // budget floor (also the cold-start budget)
+
+	mu     sync.Mutex
+	buf    []time.Duration
+	next   int
+	filled bool
+	since  int // inserts since the cached quantile was computed
+	cached time.Duration
+}
+
+// recomputeEvery bounds how often the window is sorted: with a
+// 1024-sample window the amortised cost is a few hundred nanoseconds
+// per observation.
+const recomputeEvery = 32
+
+// minHedgeSamples gates the adaptive estimate: below this many
+// observations the tracker reports the floor, so a cold gateway does
+// not hedge on noise.
+const minHedgeSamples = 16
+
+func newLatencyTracker(window int, q float64, min time.Duration) *latencyTracker {
+	if window <= 0 {
+		window = 1024
+	}
+	return &latencyTracker{q: q, min: min, buf: make([]time.Duration, window), cached: min}
+}
+
+// Observe records one successful attempt latency.
+func (t *latencyTracker) Observe(d time.Duration) {
+	t.mu.Lock()
+	t.buf[t.next] = d
+	t.next++
+	if t.next == len(t.buf) {
+		t.next = 0
+		t.filled = true
+	}
+	t.since++
+	if t.since >= recomputeEvery {
+		t.recomputeLocked()
+	}
+	t.mu.Unlock()
+}
+
+// recomputeLocked sorts a copy of the live window and caches the
+// target quantile, floored at min.
+func (t *latencyTracker) recomputeLocked() {
+	t.since = 0
+	n := t.next
+	if t.filled {
+		n = len(t.buf)
+	}
+	if n < minHedgeSamples {
+		t.cached = t.min
+		return
+	}
+	window := append([]time.Duration(nil), t.buf[:n]...)
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	i := int(t.q * float64(n-1))
+	est := window[i]
+	if est < t.min {
+		est = t.min
+	}
+	t.cached = est
+}
+
+// Budget returns the current hedge delay: the tracked quantile once
+// enough samples exist, the floor before that.
+func (t *latencyTracker) Budget() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.since > 0 {
+		t.recomputeLocked()
+	}
+	return t.cached
+}

@@ -1,0 +1,62 @@
+package gateway
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLatencyTrackerColdStart: below minHedgeSamples observations the
+// budget stays at the floor, so a cold gateway does not hedge on noise.
+func TestLatencyTrackerColdStart(t *testing.T) {
+	tr := newLatencyTracker(128, 0.95, 2*time.Millisecond)
+	if got := tr.Budget(); got != 2*time.Millisecond {
+		t.Fatalf("cold budget = %v, want floor 2ms", got)
+	}
+	for i := 0; i < minHedgeSamples-1; i++ {
+		tr.Observe(time.Second)
+	}
+	if got := tr.Budget(); got != 2*time.Millisecond {
+		t.Fatalf("budget with %d samples = %v, want floor", minHedgeSamples-1, got)
+	}
+}
+
+// TestLatencyTrackerQuantile: with a known distribution the budget
+// lands on the requested quantile.
+func TestLatencyTrackerQuantile(t *testing.T) {
+	tr := newLatencyTracker(128, 0.90, time.Microsecond)
+	for i := 1; i <= 100; i++ {
+		tr.Observe(time.Duration(i) * time.Millisecond)
+	}
+	got := tr.Budget()
+	// q * (n-1) with n=100 → index 89 → 90ms.
+	if got != 90*time.Millisecond {
+		t.Fatalf("p90 of 1..100ms = %v, want 90ms", got)
+	}
+}
+
+// TestLatencyTrackerWindowSlides: old samples fall out of the ring
+// buffer, so the estimate follows the recent regime, not history.
+func TestLatencyTrackerWindowSlides(t *testing.T) {
+	tr := newLatencyTracker(64, 0.50, time.Microsecond)
+	for i := 0; i < 64; i++ {
+		tr.Observe(time.Second) // slow regime
+	}
+	for i := 0; i < 64; i++ {
+		tr.Observe(time.Millisecond) // fast regime overwrites the window
+	}
+	if got := tr.Budget(); got != time.Millisecond {
+		t.Fatalf("median after regime change = %v, want 1ms", got)
+	}
+}
+
+// TestLatencyTrackerFloor: the estimate never drops below the floor
+// even when the fleet is faster than it.
+func TestLatencyTrackerFloor(t *testing.T) {
+	tr := newLatencyTracker(64, 0.95, 5*time.Millisecond)
+	for i := 0; i < 64; i++ {
+		tr.Observe(10 * time.Microsecond)
+	}
+	if got := tr.Budget(); got != 5*time.Millisecond {
+		t.Fatalf("budget = %v, want floor 5ms", got)
+	}
+}

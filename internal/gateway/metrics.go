@@ -1,0 +1,88 @@
+package gateway
+
+import (
+	"sync/atomic"
+
+	"cachebox/internal/metrics"
+)
+
+// Per-attempt outcomes of the cachebox_gateway_requests_total family.
+const (
+	outcomeOK           = "ok"           // 2xx from the replica
+	outcomeBackpressure = "backpressure" // replica 429 (queue full)
+	outcomeError        = "error"        // transport failure or 5xx
+	outcomeRejected     = "rejected"     // replica 4xx passed through
+	outcomeCanceled     = "canceled"     // attempt lost a hedge race
+)
+
+// Hedge lifecycle events of the cachebox_gateway_hedges_total family.
+const (
+	hedgeFired      = "fired"       // budget elapsed, second attempt launched
+	hedgeWon        = "won"         // the hedge attempt produced the response
+	hedgePrimaryWon = "primary_won" // the primary finished first after all
+)
+
+// gatewayMetrics bundles the front tier's operational metrics, exposed
+// through the shared internal/metrics Prometheus exposition on the
+// gateway's own GET /metrics.
+type gatewayMetrics struct {
+	prom     *metrics.PromRegistry
+	requests *metrics.CounterVec2 // by replica and attempt outcome
+	hedges   *metrics.CounterVec  // by hedge lifecycle event
+	retries  *metrics.Counter     // backpressure retries onto a sibling
+	sheds    *metrics.Counter     // gateway-level 429 load sheds
+	latency  *metrics.HistogramVec
+	// perReplica backs the shard-balance gauge: attempts routed per
+	// replica, in ring order.
+	perReplica []*atomic.Uint64
+	responses  *metrics.CounterVec // client-facing responses by status code
+}
+
+// newGatewayMetrics wires the families over a fixed replica set
+// (sorted ring order, so the balance gauge's index mapping is stable).
+func newGatewayMetrics(replicas []string, gate *HealthGate) *gatewayMetrics {
+	p := metrics.NewPromRegistry()
+	m := &gatewayMetrics{prom: p}
+	m.requests = p.NewCounterVec2("cachebox_gateway_requests_total",
+		"Proxy attempts by replica and outcome.", "replica", "outcome")
+	m.hedges = p.NewCounterVec("cachebox_gateway_hedges_total",
+		"Hedge lifecycle events (fired / won / primary_won).", "event")
+	m.retries = p.NewCounter("cachebox_gateway_retries_total",
+		"Backpressure (429) retries onto the next ring candidate.")
+	m.sheds = p.NewCounter("cachebox_gateway_shed_total",
+		"Requests shed at the gateway because the fleet had no headroom.")
+	m.latency = p.NewHistogramVec("cachebox_gateway_replica_seconds",
+		"Per-replica attempt latency in seconds.", "replica",
+		[]float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5})
+	m.responses = p.NewCounterVec("cachebox_gateway_responses_total",
+		"Client-facing responses by HTTP status code.", "code")
+	m.perReplica = make([]*atomic.Uint64, len(replicas))
+	for i := range replicas {
+		m.perReplica[i] = &atomic.Uint64{}
+	}
+	p.NewGaugeFunc("cachebox_gateway_shard_balance",
+		"Max/mean ratio of attempts routed per replica (1.0 = perfectly balanced).",
+		m.shardBalance)
+	p.NewGaugeFunc("cachebox_gateway_healthy_replicas",
+		"Replicas currently admitted by the health gate.",
+		func() float64 { return float64(gate.HealthyCount()) })
+	return m
+}
+
+// shardBalance computes max/mean of per-replica attempt counts; 0
+// before any traffic.
+func (m *gatewayMetrics) shardBalance() float64 {
+	var sum, max uint64
+	for _, c := range m.perReplica {
+		v := c.Load()
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(m.perReplica))
+	return float64(max) / mean
+}

@@ -1,0 +1,130 @@
+// Package gateway is cbx-gateway's engine: a sharding, health-gated,
+// hedging reverse proxy in front of a fleet of cbx-serve replicas —
+// the scale-out tier that turns one micro-batching process into a
+// horizontally grown service. Four pieces:
+//
+//   - a consistent-hash Ring mapping (model, condition) shard keys onto
+//     replicas through bounded virtual nodes, so equal conditions reuse
+//     a replica's hot batching window and membership changes only remap
+//     the departed replica's keys;
+//   - a HealthGate that polls each replica's GET /healthz (which
+//     reports queue depth, capacity, in-flight batches and model
+//     count), ejects replicas after consecutive failures and readmits
+//     them with exponential probe backoff;
+//   - queue-depth-aware shedding: replica 429 backpressure becomes a
+//     gateway retry onto the next ring candidate when that candidate
+//     has headroom, or an immediate gateway-level 429 shed when the
+//     fleet is saturated;
+//   - request hedging: when the primary attempt outlives an adaptive
+//     p9x latency budget, a second attempt fires at the next candidate,
+//     the first success wins and the loser is cancelled via context.
+//
+// Trace context propagates across the hop through internal/obs request
+// headers, so a merged Chrome trace shows gateway.proxy →
+// gateway.attempt → serve.predict → serve.queue → serve.batch →
+// serve.forward for one request across two processes. Everything is Go
+// standard library only.
+package gateway
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"cachebox/internal/core"
+)
+
+// ringPoint is one virtual node on the hash circle.
+type ringPoint struct {
+	hash    uint64
+	replica string
+}
+
+// Ring is an immutable consistent-hash ring over a replica fleet. Each
+// replica owns a bounded number of virtual nodes; a shard key is hashed
+// onto the circle and walks clockwise to enumerate distinct replicas in
+// preference order. Assignment is a pure function of (replicas, vnodes,
+// key) — byte-stable across processes and runs — so health-based
+// failover composes as "skip unhealthy candidates in order" without
+// destroying stickiness for the healthy majority.
+type Ring struct {
+	replicas []string
+	points   []ringPoint
+}
+
+// hash64 maps a label to a point on the circle. SHA-256 (truncated) is
+// deliberate: the repository already standardises on it for
+// content-addressed keys, and its avalanche keeps virtual nodes evenly
+// spread without per-platform variance.
+func hash64(label string) uint64 {
+	sum := sha256.Sum256([]byte(label))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// NewRing builds a ring with vnodes virtual nodes per replica.
+// Replicas are deduplicated and sorted so construction order never
+// changes assignment.
+func NewRing(replicas []string, vnodes int) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	seen := make(map[string]bool, len(replicas))
+	uniq := make([]string, 0, len(replicas))
+	for _, r := range replicas {
+		if r == "" {
+			return nil, fmt.Errorf("gateway: empty replica address")
+		}
+		if !seen[r] {
+			seen[r] = true
+			uniq = append(uniq, r)
+		}
+	}
+	if len(uniq) == 0 {
+		return nil, fmt.Errorf("gateway: ring needs at least one replica")
+	}
+	sort.Strings(uniq)
+	points := make([]ringPoint, 0, len(uniq)*vnodes)
+	for _, r := range uniq {
+		for v := 0; v < vnodes; v++ {
+			points = append(points, ringPoint{hash: hash64(fmt.Sprintf("%s\x00%d", r, v)), replica: r})
+		}
+	}
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].hash != points[j].hash {
+			return points[i].hash < points[j].hash
+		}
+		return points[i].replica < points[j].replica
+	})
+	return &Ring{replicas: uniq, points: points}, nil
+}
+
+// Replicas returns the ring's members, sorted.
+func (r *Ring) Replicas() []string { return append([]string(nil), r.replicas...) }
+
+// ShardKey canonicalises the routing key: requests for the same model
+// and cache geometry coalesce on the same replica, maximising the
+// replica-side micro-batcher's chance of batching them into one
+// forward pass.
+func ShardKey(model string, cond core.ConditionVec) string {
+	return fmt.Sprintf("%s|sets=%d|ways=%d", model, cond.Sets, cond.Ways)
+}
+
+// Candidates returns every replica in preference order for key: the
+// owner of the first point at or clockwise of the key's hash, then the
+// next distinct replicas around the circle. Callers filter by health
+// and walk the list for failover, retry and hedging.
+func (r *Ring) Candidates(key string) []string {
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, len(r.replicas))
+	seen := make(map[string]bool, len(r.replicas))
+	for i := 0; i < len(r.points) && len(out) < len(r.replicas); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.replica] {
+			seen[p.replica] = true
+			out = append(out, p.replica)
+		}
+	}
+	return out
+}

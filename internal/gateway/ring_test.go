@@ -1,0 +1,168 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+
+	"cachebox/internal/core"
+)
+
+// TestRingGoldenAssignment pins the assignment function byte-for-byte:
+// the same (replicas, vnodes, key) must route identically across
+// processes, runs and platforms, because CI and operators rely on shard
+// stickiness. If this test breaks, the hash layout changed and every
+// deployed fleet would reshuffle — that must be a deliberate decision.
+func TestRingGoldenAssignment(t *testing.T) {
+	replicas := []string{
+		"http://127.0.0.1:9101", "http://127.0.0.1:9102",
+		"http://127.0.0.1:9103", "http://127.0.0.1:9104",
+	}
+	r, err := NewRing(replicas, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := []struct {
+		model            string
+		sets, ways       int
+		primary, standby string
+	}{
+		{"tiny", 64, 12, "http://127.0.0.1:9102", "http://127.0.0.1:9104"},
+		{"tiny", 128, 8, "http://127.0.0.1:9104", "http://127.0.0.1:9101"},
+		{"tiny", 256, 4, "http://127.0.0.1:9101", "http://127.0.0.1:9104"},
+		{"resnet", 64, 12, "http://127.0.0.1:9103", "http://127.0.0.1:9102"},
+		{"resnet", 32, 16, "http://127.0.0.1:9101", "http://127.0.0.1:9102"},
+		{"prod-v2", 512, 8, "http://127.0.0.1:9104", "http://127.0.0.1:9101"},
+	}
+	for _, g := range golden {
+		key := ShardKey(g.model, core.ConditionVec{Sets: g.sets, Ways: g.ways})
+		c := r.Candidates(key)
+		if len(c) != len(replicas) {
+			t.Fatalf("key %q: got %d candidates, want %d", key, len(c), len(replicas))
+		}
+		if c[0] != g.primary || c[1] != g.standby {
+			t.Errorf("key %q: got primary=%s standby=%s, want %s / %s",
+				key, c[0], c[1], g.primary, g.standby)
+		}
+	}
+}
+
+// TestRingConstructionOrderIrrelevant: assignment must not depend on
+// the order replicas were listed (flags, config files and CI scripts
+// all enumerate them differently).
+func TestRingConstructionOrderIrrelevant(t *testing.T) {
+	a, err := NewRing([]string{"http://a:1", "http://b:1", "http://c:1"}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"http://c:1", "http://a:1", "http://b:1", "http://a:1"}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		key := ShardKey(fmt.Sprintf("model-%d", i), core.ConditionVec{Sets: 64, Ways: 12})
+		ca, cb := a.Candidates(key), b.Candidates(key)
+		if len(ca) != len(cb) {
+			t.Fatalf("key %q: candidate counts differ", key)
+		}
+		for j := range ca {
+			if ca[j] != cb[j] {
+				t.Fatalf("key %q: order-dependent assignment: %v vs %v", key, ca, cb)
+			}
+		}
+	}
+}
+
+// TestRingBalance: with bounded virtual nodes, primary assignment over
+// many keys should spread within a loose factor of fair share — the
+// property the shard-balance gauge monitors in production.
+func TestRingBalance(t *testing.T) {
+	replicas := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r, err := NewRing(replicas, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 4000
+	counts := make(map[string]int, len(replicas))
+	for i := 0; i < keys; i++ {
+		key := ShardKey(fmt.Sprintf("m%d", i), core.ConditionVec{Sets: 1 << (i % 10), Ways: 1 + i%16})
+		counts[r.Candidates(key)[0]]++
+	}
+	fair := keys / len(replicas)
+	for _, url := range replicas {
+		got := counts[url]
+		if got < fair/2 || got > fair*2 {
+			t.Errorf("replica %s owns %d of %d keys (fair share %d): ring is badly skewed", url, got, keys, fair)
+		}
+	}
+}
+
+// TestRingMinimalRemap: removing one replica must only move keys that
+// replica owned; everyone else's assignment is untouched. This is the
+// whole point of consistent hashing — a failover must not cold-start
+// the surviving replicas' batching windows.
+func TestRingMinimalRemap(t *testing.T) {
+	full := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	rFull, err := NewRing(full, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rLess, err := NewRing(full[:3], 64) // drop http://d:1
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		key := ShardKey(fmt.Sprintf("k%d", i), core.ConditionVec{Sets: 64, Ways: 12})
+		before := rFull.Candidates(key)[0]
+		after := rLess.Candidates(key)[0]
+		if before == "http://d:1" {
+			moved++
+			continue // had to move; any surviving owner is fine
+		}
+		if before != after {
+			t.Fatalf("key %q moved %s -> %s although its owner survived", key, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys owned by the removed replica — test is vacuous")
+	}
+}
+
+// TestRingFailoverIsNextCandidate: skipping an unhealthy primary must
+// land on the same replica that a ring without the primary would pick,
+// so health-gate failover and permanent removal agree.
+func TestRingFailoverIsNextCandidate(t *testing.T) {
+	full := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r, err := NewRing(full, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		key := ShardKey(fmt.Sprintf("k%d", i), core.ConditionVec{Sets: 128, Ways: 8})
+		c := r.Candidates(key)
+		sub := make([]string, 0, 2)
+		for _, url := range full {
+			if url != c[0] {
+				sub = append(sub, url)
+			}
+		}
+		rSub, err := NewRing(sub, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rSub.Candidates(key)[0]; got != c[1] {
+			t.Fatalf("key %q: failover candidate %s != reduced-ring owner %s", key, c[1], got)
+		}
+	}
+}
+
+// TestRingRejectsBadInput covers the constructor's error paths.
+func TestRingRejectsBadInput(t *testing.T) {
+	if _, err := NewRing(nil, 64); err == nil {
+		t.Error("empty fleet accepted")
+	}
+	if _, err := NewRing([]string{""}, 64); err == nil {
+		t.Error("empty replica address accepted")
+	}
+}

@@ -1,0 +1,113 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"cachebox/internal/core"
+	"cachebox/internal/obs"
+	"cachebox/internal/serve"
+)
+
+// TestCrossHopTraceChain is the end-to-end trace assertion: one predict
+// request through gateway and a real serve replica must produce a span
+// chain gateway.proxy → gateway.attempt → serve.predict → serve.forward
+// on one logical track — the replica adopts the gateway's track id from
+// the propagation headers, and every hop carries the same trace_id tag.
+func TestCrossHopTraceChain(t *testing.T) {
+	prev := obs.Installed()
+	c := obs.NewCollector(obs.Options{Trace: true})
+	obs.Install(c)
+	t.Cleanup(func() { obs.Install(prev) })
+
+	cfg := core.DefaultConfig()
+	cfg.ImageSize = 16
+	cfg.NGF = 2
+	cfg.NDF = 2
+	cfg.DLayers = 1
+	cfg.CondHidden = 4
+	cfg.CondChannels = 2
+	cfg.Seed = 5
+	model, err := core.NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := serve.New(serve.NewStaticRegistry("tiny", model), serve.Config{})
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() { ts.Close(); s.Close() })
+
+	g, err := New(Config{Replicas: []string{ts.URL}, DisableHedge: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pix := make([]float32, 16*16)
+	for i := range pix {
+		pix[i] = float32(i%5) / 2
+	}
+	body, err := json.Marshal(serve.PredictRequest{
+		Model:  "tiny",
+		Access: serve.HeatmapJSON{H: 16, W: 16, Pix: pix},
+		Sets:   64,
+		Ways:   12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	g.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("predict = %d: %s", rec.Code, rec.Body.String())
+	}
+	traceID := rec.Header().Get(obs.HeaderTraceID)
+	if traceID == "" {
+		t.Fatal("response carries no trace id")
+	}
+
+	var buf bytes.Buffer
+	if err := c.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Tid  uint64            `json:"tid"`
+			Args map[string]string `json:"args,omitempty"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatal(err)
+	}
+
+	tids := map[string]uint64{}
+	traced := map[string]string{}
+	for _, ev := range trace.TraceEvents {
+		tids[ev.Name] = ev.Tid
+		if id, ok := ev.Args["trace_id"]; ok {
+			traced[ev.Name] = id
+		}
+	}
+	chain := []string{"gateway.proxy", "gateway.attempt", "serve.predict", "serve.forward"}
+	for _, name := range chain {
+		if _, ok := tids[name]; !ok {
+			t.Fatalf("span %q missing from trace (have %v)", name, trace.TraceEvents)
+		}
+	}
+	// One logical track across the hop: the replica adopted the
+	// gateway's tid, and the in-replica spans inherited it.
+	root := tids["gateway.proxy"]
+	for _, name := range chain[1:] {
+		if tids[name] != root {
+			t.Errorf("span %q on tid %d, want gateway.proxy's tid %d", name, tids[name], root)
+		}
+	}
+	// Every tagged hop carries the request's trace id end to end.
+	for _, name := range []string{"gateway.proxy", "gateway.attempt", "serve.predict"} {
+		if traced[name] != traceID {
+			t.Errorf("span %q trace_id = %q, want %q", name, traced[name], traceID)
+		}
+	}
+}

@@ -163,6 +163,55 @@ func (v *CounterVec) expose(buf *bytes.Buffer) {
 	}
 }
 
+// CounterVec2 is a family of counters keyed by two labels (e.g. the
+// gateway's requests-by-replica-and-outcome family). Children are
+// created on first use and exposed sorted by their rendered label
+// block, so exposition stays byte-for-byte deterministic.
+type CounterVec2 struct {
+	name, help, label1, label2 string
+
+	mu       sync.Mutex
+	children []*Counter
+	index    map[[2]string]*Counter
+}
+
+// NewCounterVec2 registers and returns a two-label counter family.
+func (r *PromRegistry) NewCounterVec2(name, help, label1, label2 string) *CounterVec2 {
+	v := &CounterVec2{name: name, help: help, label1: label1, label2: label2,
+		index: make(map[[2]string]*Counter)}
+	r.register(v)
+	return v
+}
+
+// With returns the child counter for the given label values, creating
+// it on first use.
+func (v *CounterVec2) With(value1, value2 string) *Counter {
+	key := [2]string{value1, value2}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.index[key]; ok {
+		return c
+	}
+	c := &Counter{name: v.name, labels: fmt.Sprintf("{%s=\"%s\",%s=\"%s\"}",
+		v.label1, escapeLabel(value1), v.label2, escapeLabel(value2))}
+	v.index[key] = c
+	v.children = append(v.children, c)
+	return c
+}
+
+func (v *CounterVec2) famName() string { return v.name }
+
+func (v *CounterVec2) expose(buf *bytes.Buffer) {
+	v.mu.Lock()
+	children := append([]*Counter(nil), v.children...)
+	v.mu.Unlock()
+	sort.Slice(children, func(i, j int) bool { return children[i].labels < children[j].labels })
+	writeHeader(buf, v.name, v.help, "counter")
+	for _, c := range children {
+		fmt.Fprintf(buf, "%s%s %d\n", c.name, c.labels, c.v.Load())
+	}
+}
+
 // Gauge is a settable instantaneous value (e.g. in-flight worker-pool
 // tasks). Unlike GaugeFunc it is written at the measurement site, so it
 // works when the measured quantity has no single owner to poll.

@@ -38,6 +38,23 @@ func TestPromCounterVecSortedByLabel(t *testing.T) {
 	}
 }
 
+func TestPromCounterVec2SortedExposition(t *testing.T) {
+	r := NewPromRegistry()
+	v := r.NewCounterVec2("gw_total", "gateway requests", "replica", "outcome")
+	v.With("b", "ok").Inc()
+	v.With("a", "ok").Add(2)
+	v.With("a", "error").Inc()
+	v.With("a", "ok").Inc() // same child
+	out := string(r.Expose())
+	want := "# HELP gw_total gateway requests\n# TYPE gw_total counter\n" +
+		"gw_total{replica=\"a\",outcome=\"error\"} 1\n" +
+		"gw_total{replica=\"a\",outcome=\"ok\"} 3\n" +
+		"gw_total{replica=\"b\",outcome=\"ok\"} 1\n"
+	if out != want {
+		t.Fatalf("exposition:\n%s\nwant:\n%s", out, want)
+	}
+}
+
 func TestPromGaugeFunc(t *testing.T) {
 	r := NewPromRegistry()
 	depth := 7.0

@@ -1,0 +1,67 @@
+package obs
+
+// This file merges per-process Chrome trace files into one. Every
+// CacheBox process writes its own trace (Collector.WriteFile) with
+// pid 1; to see a request crossing the gateway/replica hop in a single
+// chrome://tracing timeline, the per-process files are merged with each
+// input re-homed onto its own pid and named via a process_name
+// metadata event. Events keep their tids, so a replica span that
+// adopted the gateway's track via StartRemote lines up with the
+// originating request.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// MergeTraceFiles reads the named Chrome trace-event files and writes
+// their union to outPath (atomically, temp-file + rename). Input i is
+// assigned pid i+1 and labelled with its file base name.
+func MergeTraceFiles(outPath string, inputs []string) error {
+	if len(inputs) == 0 {
+		return fmt.Errorf("obs: merge: no input traces")
+	}
+	var merged traceFile
+	merged.DisplayTimeUnit = "ms"
+	for i, in := range inputs {
+		data, err := os.ReadFile(in)
+		if err != nil {
+			return fmt.Errorf("obs: merge: %w", err)
+		}
+		var tf traceFile
+		if err := json.Unmarshal(data, &tf); err != nil {
+			return fmt.Errorf("obs: merge %s: %w", in, err)
+		}
+		pid := i + 1
+		label := strings.TrimSuffix(filepath.Base(in), filepath.Ext(in))
+		merged.TraceEvents = append(merged.TraceEvents, traceEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]string{"name": label},
+		})
+		for _, ev := range tf.TraceEvents {
+			ev.Pid = pid
+			merged.TraceEvents = append(merged.TraceEvents, ev)
+		}
+	}
+	f, err := os.CreateTemp(filepath.Dir(outPath), ".obs-merge-*")
+	if err != nil {
+		return fmt.Errorf("obs: merge: stage: %w", err)
+	}
+	tmp := f.Name()
+	err = json.NewEncoder(f).Encode(merged)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, outPath)
+	}
+	if err != nil {
+		//lint:ignore unchecked-error best-effort cleanup of a staging file after a failed merge
+		os.Remove(tmp)
+		return fmt.Errorf("obs: merge: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package obs
+
+// This file adds cross-process trace propagation: a span context can be
+// injected into HTTP request headers on the client side of a hop and
+// extracted on the server side, so a request's spans in two processes
+// land on the same Chrome-trace track and share a trace id tag. The
+// carrier is an interface satisfied by net/http.Header, keeping obs
+// itself free of an HTTP dependency (leaf kernels import this package).
+
+import (
+	"context"
+	"strconv"
+	"time"
+)
+
+// Propagation header names. The tid header carries the sender's
+// Chrome-trace track so the receiver's spans nest visually under the
+// originating request; the trace id ties the two processes' events
+// together after their trace files are merged.
+const (
+	HeaderTraceID   = "X-Cachebox-Trace-Id"
+	HeaderParentTid = "X-Cachebox-Parent-Tid"
+)
+
+// HeaderCarrier abstracts the header map a trace context travels in.
+// net/http.Header satisfies it.
+type HeaderCarrier interface {
+	Get(key string) string
+	Set(key, value string)
+}
+
+// RemoteParent is an inbound trace context extracted from a carrier.
+// The zero value means "no remote parent" and makes StartRemote behave
+// exactly like Start.
+type RemoteParent struct {
+	// TraceID is the originating request's identifier, tagged onto the
+	// joined span as trace_id.
+	TraceID string
+	// Tid is the sender's Chrome-trace track; valid only when HasTid.
+	Tid    uint64
+	HasTid bool
+}
+
+// Inject writes sp's track and the given trace id into the carrier.
+// A nil span (tracing disabled on the sending side) still propagates
+// the trace id, so a traced receiver can tag its spans.
+func Inject(h HeaderCarrier, traceID string, sp *Span) {
+	if traceID != "" {
+		h.Set(HeaderTraceID, traceID)
+	}
+	if sp != nil {
+		h.Set(HeaderParentTid, strconv.FormatUint(sp.tid, 10))
+	}
+}
+
+// Extract reads a remote trace context from the carrier. ok reports
+// whether any propagation header was present.
+func Extract(h HeaderCarrier) (rp RemoteParent, ok bool) {
+	rp.TraceID = h.Get(HeaderTraceID)
+	if raw := h.Get(HeaderParentTid); raw != "" {
+		if tid, err := strconv.ParseUint(raw, 10, 64); err == nil {
+			rp.Tid, rp.HasTid = tid, true
+		}
+	}
+	return rp, rp.TraceID != "" || rp.HasTid
+}
+
+// Tid returns the span's Chrome-trace track (0 for nil spans). Useful
+// for asserting cross-hop track adoption in tests.
+func (s *Span) Tid() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.tid
+}
+
+// StartRemote begins a span that joins an inbound remote trace: the
+// span adopts the sender's track (so merged traces show one timeline
+// per request) and carries the trace id as a trace_id tag. With a zero
+// RemoteParent it is identical to Start. Like Start, the disabled path
+// returns the original context and a nil span.
+func StartRemote(ctx context.Context, name string, rp RemoteParent) (context.Context, *Span) {
+	c := active.Load()
+	if c == nil {
+		return ctx, nil
+	}
+	tid := c.tidFor(ctx)
+	if rp.HasTid {
+		tid = rp.Tid
+	}
+	sp := &Span{c: c, name: name, start: time.Now(), tid: tid}
+	if rp.TraceID != "" {
+		sp.Tag("trace_id", rp.TraceID)
+	}
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}

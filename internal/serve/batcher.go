@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cachebox/internal/core"
@@ -60,6 +61,11 @@ type batcher struct {
 	maxWait  time.Duration
 	m        *serveMetrics
 
+	// inflight counts batches currently executing a forward pass; the
+	// health endpoint exposes it so a gateway's shedding policy can see
+	// work the queue-depth gauge no longer covers.
+	inflight atomic.Int64
+
 	// mu guards closed against concurrent enqueues: enqueue holds the
 	// read side, so close's write lock ensures no send can race the
 	// channel close.
@@ -84,6 +90,9 @@ func newBatcher(maxBatch, queueDepth, workers int, maxWait time.Duration, m *ser
 
 // depth reports how many requests are queued but not yet collected.
 func (b *batcher) depth() int { return len(b.queue) }
+
+// inflightBatches reports how many batches are mid-forward-pass.
+func (b *batcher) inflightBatches() int { return int(b.inflight.Load()) }
 
 // enqueue admits a request or rejects it without blocking: ErrDraining
 // after close() began, ErrQueueFull when the bounded queue is at
@@ -180,6 +189,8 @@ func (b *batcher) flushGroup(e *entry, group []*pending) {
 	if len(live) == 0 {
 		return
 	}
+	b.inflight.Add(1)
+	defer b.inflight.Add(-1)
 	batchCtx, batchSpan := obs.Start(live[0].ctx, "serve.batch")
 	batchSpan.TagInt("size", len(live))
 	defer batchSpan.End()

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 
 	"cachebox/internal/obs"
 )
@@ -131,6 +132,137 @@ func TestErrorEnvelopeDraining(t *testing.T) {
 		if got := strings.TrimSpace(string(raw)); got != golden {
 			t.Errorf("%s while draining: body %s, want %s", path, got, golden)
 		}
+	}
+}
+
+// TestHealthzBodyGolden pins the exact /healthz JSON body: beyond
+// liveness, the contract promises queue depth against capacity,
+// in-flight batches, and the loaded-model count — the load signal a
+// fronting cbx-gateway's health gate and shedding policy consume. A
+// byte-level change here is an API break.
+func TestHealthzBodyGolden(t *testing.T) {
+	reg := NewStaticRegistry("default", tinyModel(t))
+	_, ts := newTestServer(t, reg, Config{QueueDepth: 64})
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	//lint:ignore unchecked-error test teardown of a fully-read response body
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d, want 200", resp.StatusCode)
+	}
+	golden := `{"status":"ok","models":1,"queue_depth":0,"queue_capacity":64,"inflight_batches":0}`
+	if got := strings.TrimSpace(string(raw)); got != golden {
+		t.Fatalf("healthz body\n got: %s\nwant: %s", got, golden)
+	}
+}
+
+// TestHealthzReportsInflightBatches verifies the in-flight-batches
+// field rises while a forward pass is stalled mid-flight.
+func TestHealthzReportsInflightBatches(t *testing.T) {
+	reg := NewStaticRegistry("default", tinyModel(t))
+	_, ts := newTestServer(t, reg, Config{MaxBatch: 1, MaxWait: time.Millisecond})
+	release := stall(reg, "default")
+	defer release()
+
+	body := mustJSON(t, PredictRequest{Access: testAccess(16), Sets: 64, Ways: 12})
+	go func() {
+		// Outcome checked via /healthz below; a transport error here
+		// would surface as the waitFor timing out.
+		resp, err := http.Post(ts.URL+"/v1/predict", "application/json", strings.NewReader(string(body)))
+		if err == nil {
+			//lint:ignore unchecked-error test teardown of a best-effort request body
+			resp.Body.Close()
+		}
+	}()
+
+	health := func() healthResponse {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h healthResponse
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	waitFor(t, "a batch to be mid-forward-pass", func() bool { return health().InflightBatches == 1 })
+	release()
+	waitFor(t, "the batch to drain", func() bool { return health().InflightBatches == 0 })
+}
+
+// TestPredictJoinsRemoteTrace is the cross-hop propagation contract: a
+// request carrying gateway-injected trace headers must root its serve
+// spans on the sender's track, tagged with the sender's trace id, so a
+// merged Chrome trace shows one timeline per request.
+func TestPredictJoinsRemoteTrace(t *testing.T) {
+	prev := obs.Installed()
+	c := obs.NewCollector(obs.Options{Trace: true})
+	obs.Install(c)
+	t.Cleanup(func() { obs.Install(prev) })
+
+	reg := NewStaticRegistry("default", tinyModel(t))
+	_, ts := newTestServer(t, reg, Config{})
+
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/predict",
+		strings.NewReader(string(mustJSON(t, PredictRequest{Access: testAccess(16), Sets: 64, Ways: 12}))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.HeaderTraceID, "gw-trace-7")
+	req.Header.Set(obs.HeaderParentTid, "4242")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	//lint:ignore unchecked-error test teardown of a response body read to completion below
+	defer resp.Body.Close()
+	if _, err := io.ReadAll(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict status %d", resp.StatusCode)
+	}
+
+	var buf strings.Builder
+	if err := c.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Tid  uint64            `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &tf); err != nil {
+		t.Fatal(err)
+	}
+	var joined, chained bool
+	for _, ev := range tf.TraceEvents {
+		if ev.Name == "serve.predict" && ev.Tid == 4242 && ev.Args["trace_id"] == "gw-trace-7" {
+			joined = true
+		}
+		// Children inherit the adopted track, so the whole lifecycle
+		// lands on the gateway's timeline.
+		if ev.Name == "serve.forward" && ev.Tid == 4242 {
+			chained = true
+		}
+	}
+	if !joined {
+		t.Fatalf("serve.predict did not join the remote trace:\n%s", buf.String())
+	}
+	if !chained {
+		t.Fatalf("serve.forward not chained onto the remote track:\n%s", buf.String())
 	}
 }
 

@@ -124,6 +124,9 @@ func New(reg *Registry, cfg Config) *Server {
 	m.prom.NewGaugeFunc("cbx_serve_models",
 		"Models currently loaded in the registry.",
 		func() float64 { return float64(s.reg.Len()) })
+	m.prom.NewGaugeFunc("cbx_serve_inflight_batches",
+		"Batches currently executing a generator forward pass.",
+		func() float64 { return float64(s.b.inflightBatches()) })
 	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	s.mux.HandleFunc("GET /v1/models", s.handleModels)
 	s.mux.HandleFunc("POST /admin/reload", s.handleReload)
@@ -168,7 +171,11 @@ func (s *Server) fail(w http.ResponseWriter, status int, code, msg string) {
 // handlePredict implements POST /v1/predict: validate, enqueue into
 // the micro-batcher, wait for the coalesced result.
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	reqCtx, reqSpan := obs.Start(r.Context(), "serve.predict")
+	// Join an inbound trace when the request carries propagation headers
+	// (a fronting cbx-gateway injects them); otherwise this span roots a
+	// fresh per-process trace, exactly as before.
+	remote, _ := obs.Extract(r.Header)
+	reqCtx, reqSpan := obs.StartRemote(r.Context(), "serve.predict", remote)
 	defer reqSpan.End()
 	if s.draining.Load() {
 		s.fail(w, http.StatusServiceUnavailable, CodeDraining, ErrDraining.Error())
@@ -310,9 +317,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status, code = "draining", http.StatusServiceUnavailable
 	}
 	s.respond(w, code, healthResponse{
-		Status:     status,
-		Models:     s.reg.Len(),
-		QueueDepth: s.b.depth(),
+		Status:          status,
+		Models:          s.reg.Len(),
+		QueueDepth:      s.b.depth(),
+		QueueCapacity:   s.cfg.QueueDepth,
+		InflightBatches: s.b.inflightBatches(),
 	})
 }
 

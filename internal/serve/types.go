@@ -128,11 +128,19 @@ type ReloadSummary struct {
 	Failed map[string]string `json:"failed,omitempty"`
 }
 
-// healthResponse is the GET /healthz body.
+// healthResponse is the GET /healthz body. Beyond liveness it reports
+// the live load signal — queue depth against capacity and batches
+// mid-forward-pass — plus the loaded-model count, so a fronting
+// gateway's health gate and shedding policy act on real state rather
+// than status codes alone. The field set and order are part of the API
+// contract (see the golden test in contract_test.go); extend by
+// appending, never by reshaping.
 type healthResponse struct {
-	Status     string `json:"status"`
-	Models     int    `json:"models"`
-	QueueDepth int    `json:"queue_depth"`
+	Status          string `json:"status"`
+	Models          int    `json:"models"`
+	QueueDepth      int    `json:"queue_depth"`
+	QueueCapacity   int    `json:"queue_capacity"`
+	InflightBatches int    `json:"inflight_batches"`
 }
 
 // Stable machine-readable error codes of the v1 error envelope. Codes
