@@ -19,9 +19,11 @@ import (
 	"cachebox/internal/heatmap"
 	"cachebox/internal/metrics"
 	"cachebox/internal/par"
+	"cachebox/internal/sampling"
 	"cachebox/internal/serve"
 	"cachebox/internal/simpoint"
 	"cachebox/internal/store"
+	"cachebox/internal/stream"
 	"cachebox/internal/trace"
 	"cachebox/internal/workload"
 )
@@ -109,6 +111,36 @@ type (
 	// Checkpoint is a resumable training checkpoint (weights +
 	// optimiser state + RNG cursors + epoch counter).
 	Checkpoint = core.Checkpoint
+	// SampleSource supplies training samples by index; it abstracts
+	// over in-memory slices and sharded streaming datasets, so
+	// Model.TrainSource never needs the dataset materialised.
+	SampleSource = core.SampleSource
+	// SliceSampleSource adapts an in-memory sample slice to
+	// SampleSource.
+	SliceSampleSource = core.SliceSource
+	// DatasetManifest describes one built streaming dataset: its
+	// window geometry, sampling mode and per-item shard references.
+	DatasetManifest = stream.Manifest
+	// DatasetItem is one benchmark × cache entry of a streaming
+	// dataset manifest.
+	DatasetItem = stream.Item
+	// StreamDataset serves a built streaming dataset's samples by
+	// index, pulling (and memoising) shards from the store on demand.
+	StreamDataset = stream.Dataset
+	// StreamRunConfig controls one streaming benchmark × cache run.
+	StreamRunConfig = stream.RunConfig
+	// StreamWindow is one access/miss heatmap pair emitted by a
+	// streaming run.
+	StreamWindow = stream.Window
+	// StreamRunResult summarises a streaming run (hit rate, windows,
+	// completeness).
+	StreamRunResult = stream.RunResult
+	// SamplingConfig tunes representative-interval sampling (cluster
+	// count, signature dimension, k-means budget, seed).
+	SamplingConfig = sampling.Config
+	// SamplingPlan maps each benchmark to its representative windows
+	// and their training weights.
+	SamplingPlan = sampling.Plan
 )
 
 // Workload suite constructors.
@@ -122,6 +154,10 @@ var (
 	// ServerLike builds a server-workload suite (trees, hash tables,
 	// bulk copies) beyond the paper's three families.
 	ServerLike = workload.ServerLike
+	// ZipfLike builds the skewed-popularity suite (Zipf-distributed
+	// object accesses, scan/scatter phases) beyond the paper's three
+	// families.
+	ZipfLike = workload.ZipfLike
 	// SplitBenchmarks divides benchmarks 80/20 (or any fraction) into
 	// train and test sets, keeping all phases of a program together.
 	SplitBenchmarks = workload.Split
@@ -233,6 +269,32 @@ var (
 	// NewModelRegistryFromStore serves models straight out of an
 	// artifact store.
 	NewModelRegistryFromStore = serve.NewRegistryFromStore
+)
+
+// Streaming dataset and sampling constructors. The streaming subsystem
+// (internal/stream) synthesises, simulates and windows traces one
+// heatmap window at a time through a bounded channel pipeline — byte-
+// identical to the materialised path — and persists datasets as
+// sharded content-addressed manifests; internal/sampling picks cluster-
+// representative windows so only a fraction need simulated ground
+// truth.
+var (
+	// StreamRun drives one benchmark × cache configuration through the
+	// streaming pipeline, calling a sink for every emitted window.
+	StreamRun = stream.Run
+	// BuildStreamDataset builds (or recalls) a sharded streaming
+	// dataset in a store and returns its manifest.
+	BuildStreamDataset = stream.Build
+	// OpenStreamDataset serves a built dataset's samples by index.
+	OpenStreamDataset = stream.OpenDataset
+	// LoadDatasetManifest fetches a dataset manifest by store digest.
+	LoadDatasetManifest = stream.LoadManifest
+	// BuildSamplingPlan clusters per-window access signatures (no
+	// simulation) and selects weighted representative windows.
+	BuildSamplingPlan = sampling.BuildPlan
+	// DefaultSamplingConfig returns the sampling defaults (k=8,
+	// 64-dim signatures).
+	DefaultSamplingConfig = sampling.DefaultConfig
 )
 
 // Parallel execution helpers. Pipeline.Workers (and the harness's -j

@@ -4,7 +4,7 @@
 //
 //	cbx-experiments [-scale tiny|small|full] [-artifacts DIR] [-run LIST]
 //	                [-store DIR] [-no-store] [-split-seed N]
-//	                [-checkpoint-every N] [-resume] [-j N]
+//	                [-checkpoint-every N] [-resume] [-j N] [-stream]
 //	                [-trace FILE] [-figure LIST] [-tiny]
 //
 // -run selects a comma-separated subset of
@@ -17,6 +17,11 @@
 // once. Simulation results and models are additionally memoised in a
 // content-addressed artifact store (inspect it with cbx-store); a
 // rerun against a warm store performs zero simulator invocations.
+// -stream routes ground truth through the streaming dataset subsystem
+// (internal/stream): traces are simulated and windowed one heatmap
+// window at a time instead of being materialised, and training
+// datasets are built as sharded store manifests (inspect them with
+// cbx-dataset). Artifacts are byte-identical to the materialised path.
 package main
 
 import (
@@ -43,6 +48,7 @@ func main() {
 	checkpointEvery := flag.Int("checkpoint-every", 5, "write a training checkpoint every N epochs (0 disables)")
 	resume := flag.Bool("resume", false, "resume interrupted training from existing checkpoints")
 	workers := flag.Int("j", 0, "simulation worker-pool width (0 = GOMAXPROCS, 1 = serial); artifacts are byte-identical at any width")
+	streamMode := flag.Bool("stream", false, "stream ground truth window-by-window (bounded memory, sharded datasets); artifacts are byte-identical to the materialised path")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event file of the run's spans to this path")
 	figure := flag.String("figure", "", "alias for -run")
 	tiny := flag.Bool("tiny", false, "alias for -scale tiny")
@@ -69,6 +75,7 @@ func main() {
 	r.CheckpointEvery = *checkpointEvery
 	r.Resume = *resume
 	r.Workers = *workers
+	r.Stream = *streamMode
 	if !*noStore {
 		dir := *storeDir
 		if dir == "" {

@@ -1,0 +1,45 @@
+package cachesim
+
+import "cachebox/internal/trace"
+
+// StreamRun drives a cache over an access stream delivered one access
+// at a time — the streaming twin of RunTrace for pipelines that never
+// materialise the trace. Construct it on a fresh cache, feed every
+// access through Access, then read the counter deltas with Stats; the
+// hit/miss verdicts and final statistics are identical to a RunTrace
+// call over the materialised equivalent.
+type StreamRun struct {
+	c      *Cache
+	rec    *RecordingPrefetcher
+	before Stats
+}
+
+// NewStreamRun starts a streaming run against c. The cache's
+// pre-existing contents are preserved, matching RunTrace's cold-start
+// contract when c is freshly constructed.
+func NewStreamRun(c *Cache) *StreamRun {
+	rec, _ := c.Prefetcher.(*RecordingPrefetcher)
+	return &StreamRun{c: c, rec: rec, before: c.Stats()}
+}
+
+// Access presents one access to the cache and reports whether it hit.
+func (s *StreamRun) Access(a trace.Access) bool {
+	if s.rec != nil {
+		s.rec.SetIC(a.IC)
+	}
+	return s.c.Access(a.Addr, a.Write)
+}
+
+// Stats returns the counter deltas accumulated since the run started —
+// the same quantity RunTrace reports in its LevelTrace.
+func (s *StreamRun) Stats() Stats {
+	after := s.c.Stats()
+	return Stats{
+		Accesses:     after.Accesses - s.before.Accesses,
+		Hits:         after.Hits - s.before.Hits,
+		Misses:       after.Misses - s.before.Misses,
+		Writebacks:   after.Writebacks - s.before.Writebacks,
+		PrefetchFill: after.PrefetchFill - s.before.PrefetchFill,
+		PrefetchHit:  after.PrefetchHit - s.before.PrefetchHit,
+	}
+}

@@ -85,6 +85,10 @@ type Sample struct {
 	Params       []float32
 	// Bench names the source benchmark (bookkeeping only).
 	Bench string
+	// Weight scales the sample's L1 reconstruction loss. Zero means 1
+	// (unweighted); representative-interval sampling sets it to the
+	// share of windows the sample's cluster covers.
+	Weight float64
 }
 
 // paramsTensor packs per-sample parameter vectors for a batch; nil if

@@ -40,11 +40,32 @@ type EpochStats struct {
 	Epoch int
 	DLoss float64 // discriminator BCE (real + fake halves)
 	GAdv  float64 // generator adversarial BCE
-	GL1   float64 // generator L1 reconstruction term (unweighted)
+	GL1   float64 // generator L1 reconstruction term (sample-weighted when weights are set)
 
 	Batches int
 	Skipped int // batches skipped due to non-finite losses
 }
+
+// SampleSource supplies training samples by index. It abstracts over
+// the in-memory sample slice and the streaming sharded datasets of
+// internal/stream, so the train loop never needs the whole dataset
+// materialised. At may be called for the same index many times (once
+// per epoch); implementations should make repeated access cheap.
+type SampleSource interface {
+	// Len returns the number of samples.
+	Len() int
+	// At returns sample i in [0, Len()).
+	At(i int) (Sample, error)
+}
+
+// SliceSource adapts an in-memory sample slice to SampleSource.
+type SliceSource []Sample
+
+// Len returns the number of samples.
+func (s SliceSource) Len() int { return len(s) }
+
+// At returns sample i.
+func (s SliceSource) At(i int) (Sample, error) { return s[i], nil }
 
 // TrainStats aggregates per-epoch statistics.
 type TrainStats struct {
@@ -68,14 +89,40 @@ func (m *Model) Train(samples []Sample, opt TrainOptions) (*TrainStats, error) {
 		return nil, fmt.Errorf("core: no training samples")
 	}
 	for i, s := range samples {
-		if s.Access == nil || s.Miss == nil {
-			return nil, fmt.Errorf("core: sample %d has nil heatmaps", i)
-		}
-		if s.Access.H != m.Cfg.ImageSize || s.Access.W != m.Cfg.ImageSize {
-			return nil, fmt.Errorf("core: sample %d is %dx%d, model expects %dx%d",
-				i, s.Access.H, s.Access.W, m.Cfg.ImageSize, m.Cfg.ImageSize)
+		if err := m.validateSample(i, s); err != nil {
+			return nil, err
 		}
 	}
+	return m.trainLoop(SliceSource(samples), opt)
+}
+
+// TrainSource runs the identical training loop over a lazily loaded
+// sample source, e.g. a sharded streaming dataset. Batching, shuffling
+// and checkpointing are byte-for-byte the same as Train — a SliceSource
+// over the materialised samples produces an identical model — but
+// samples are fetched per batch, so the dataset never has to fit in
+// memory. Samples are validated as they are fetched; a source error
+// aborts training.
+func (m *Model) TrainSource(src SampleSource, opt TrainOptions) (*TrainStats, error) {
+	if src == nil || src.Len() == 0 {
+		return nil, fmt.Errorf("core: no training samples")
+	}
+	return m.trainLoop(src, opt)
+}
+
+func (m *Model) validateSample(i int, s Sample) error {
+	if s.Access == nil || s.Miss == nil {
+		return fmt.Errorf("core: sample %d has nil heatmaps", i)
+	}
+	if s.Access.H != m.Cfg.ImageSize || s.Access.W != m.Cfg.ImageSize {
+		return fmt.Errorf("core: sample %d is %dx%d, model expects %dx%d",
+			i, s.Access.H, s.Access.W, m.Cfg.ImageSize, m.Cfg.ImageSize)
+	}
+	return nil
+}
+
+func (m *Model) trainLoop(src SampleSource, opt TrainOptions) (*TrainStats, error) {
+	n := src.Len()
 	if opt.Epochs <= 0 {
 		opt.Epochs = 1
 	}
@@ -83,14 +130,14 @@ func (m *Model) Train(samples []Sample, opt TrainOptions) (*TrainStats, error) {
 		opt.BatchSize = 4
 	}
 	ctx, trainSpan := obs.Start(context.Background(), "train")
-	trainSpan.TagInt("samples", len(samples))
+	trainSpan.TagInt("samples", n)
 	trainSpan.TagInt("epochs", opt.Epochs)
 	trainSpan.TagInt("batch_size", opt.BatchSize)
 	defer trainSpan.End()
 	rng := rand.New(rand.NewSource(opt.Seed + 7))
 	optG := nn.NewAdam(m.G.Params(), m.Cfg.LR)
 	optD := nn.NewAdam(m.D.Params(), m.Cfg.LR)
-	order := make([]int, len(samples))
+	order := make([]int, n)
 	for i := range order {
 		order[i] = i
 	}
@@ -98,7 +145,7 @@ func (m *Model) Train(samples []Sample, opt TrainOptions) (*TrainStats, error) {
 	startEpoch := 0
 	if opt.ResumeFrom != nil {
 		var err error
-		startEpoch, err = m.restoreCheckpoint(opt.ResumeFrom, opt, len(samples), optG, optD, stats)
+		startEpoch, err = m.restoreCheckpoint(opt.ResumeFrom, opt, n, optG, optD, stats)
 		if err != nil {
 			return nil, err
 		}
@@ -125,7 +172,16 @@ func (m *Model) Train(samples []Sample, opt TrainOptions) (*TrainStats, error) {
 			}
 			batch := make([]Sample, 0, hi-lo)
 			for _, idx := range order[lo:hi] {
-				batch = append(batch, samples[idx])
+				s, err := src.At(idx)
+				if err != nil {
+					epochSpan.End()
+					return nil, fmt.Errorf("core: loading sample %d: %w", idx, err)
+				}
+				if err := m.validateSample(idx, s); err != nil {
+					epochSpan.End()
+					return nil, err
+				}
+				batch = append(batch, s)
 			}
 			d, g, l1, ok := m.trainStep(epochCtx, batch, optG, optD)
 			es.Batches++
@@ -151,7 +207,7 @@ func (m *Model) Train(samples []Sample, opt TrainOptions) (*TrainStats, error) {
 		if opt.CheckpointEvery > 0 && opt.CheckpointPath != "" &&
 			((epoch+1)%opt.CheckpointEvery == 0 || epoch == opt.Epochs-1) {
 			_, ckptSpan := obs.Start(epochCtx, "train.checkpoint")
-			c := m.checkpoint(epoch+1, opt, len(samples), optG, optD, stats)
+			c := m.checkpoint(epoch+1, opt, n, optG, optD, stats)
 			err := c.SaveFile(opt.CheckpointPath)
 			ckptSpan.End()
 			if err != nil {
@@ -229,7 +285,16 @@ func (m *Model) trainStep(ctx context.Context, batch []Sample, optG, optD *nn.Ad
 	// The D pass above accumulated gradients we must not apply.
 	nn.ZeroGrads(m.D.Params())
 
-	gL1, dL1 := nn.L1Loss(fake, y)
+	var dL1 *tensor.Tensor
+	if w := batchWeights(batch); w != nil {
+		// Representative-sampled datasets (internal/sampling) weight
+		// each window by the share of its cluster; only the L1
+		// reconstruction term is weighted — the adversarial terms keep
+		// judging every sample equally.
+		gL1, dL1 = nn.WeightedL1Loss(fake, y, w)
+	} else {
+		gL1, dL1 = nn.L1Loss(fake, y)
+	}
 	dFakeTotal := dFakeFromD
 	dL1.Scale(float32(m.Cfg.Lambda))
 	dFakeTotal.AddInPlace(dL1)
@@ -246,6 +311,31 @@ func (m *Model) trainStep(ctx context.Context, batch []Sample, optG, optD *nn.Ad
 }
 
 func isFinite(f float64) bool { return f == f && f < 1e30 && f > -1e30 }
+
+// batchWeights extracts per-sample training weights, or nil when every
+// weight is 1 (or unset, which means 1) so the unweighted path — and
+// its exact float summation order — is used for ordinary datasets.
+func batchWeights(batch []Sample) []float64 {
+	weighted := false
+	for _, s := range batch {
+		if s.Weight != 0 && s.Weight != 1 {
+			weighted = true
+			break
+		}
+	}
+	if !weighted {
+		return nil
+	}
+	w := make([]float64, len(batch))
+	for i, s := range batch {
+		if s.Weight == 0 {
+			w[i] = 1
+		} else {
+			w[i] = s.Weight
+		}
+	}
+	return w
+}
 
 func collectAccess(batch []Sample) []*heatmap.Heatmap {
 	out := make([]*heatmap.Heatmap, len(batch))

@@ -28,7 +28,11 @@ func (r *Runner) Fig7() (*Fig7Result, error) {
 	train, test := r.split(all)
 	cfg := L1Default
 	m, err := r.trainOrLoad("fig7-rq1-mixed", func() (*core.Model, error) {
-		ds, err := r.dataset(train, []cachesim.Config{cfg}, levelThresholds[0])
+		// The dataset arrives as a SampleSource: in-memory samples on
+		// the default path, a sharded streaming dataset under
+		// Runner.Stream. TrainSource is byte-for-byte Train, so the
+		// model artifact is identical either way.
+		src, err := r.datasetSource("fig7-rq1-mixed", train, []cachesim.Config{cfg}, levelThresholds[0])
 		if err != nil {
 			return nil, err
 		}
@@ -37,8 +41,8 @@ func (r *Runner) Fig7() (*Fig7Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		r.logf("[fig7] training on %d samples from %d benchmarks\n", len(ds), len(train))
-		if _, err := model.Train(ds, r.trainOpts("fig7-rq1-mixed", r.Profile.Epochs, 1)); err != nil {
+		r.logf("[fig7] training on %d samples from %d benchmarks\n", src.Len(), len(train))
+		if _, err := model.TrainSource(src, r.trainOpts("fig7-rq1-mixed", r.Profile.Epochs, 1)); err != nil {
 			return nil, err
 		}
 		return model, nil

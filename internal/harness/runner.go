@@ -18,6 +18,7 @@ import (
 	"cachebox/internal/obs"
 	"cachebox/internal/par"
 	"cachebox/internal/store"
+	"cachebox/internal/stream"
 	"cachebox/internal/workload"
 )
 
@@ -80,6 +81,15 @@ type Runner struct {
 	// generator's forward pass is not safe for concurrent use on one
 	// model.
 	Workers int
+	// Stream routes ground truth through the streaming dataset
+	// subsystem (internal/stream): traces are synthesised, simulated
+	// and windowed one heatmap window at a time through a bounded
+	// channel pipeline instead of being materialised, and — when a
+	// store is attached — training datasets are built as sharded
+	// content-addressed manifests and fetched per batch. Every
+	// artifact (cached pairs, trained models) is byte-identical to the
+	// materialised path at any Workers width.
+	Stream bool
 
 	// logMu serialises progress output: with Workers > 1 the pool's
 	// tasks may log (e.g. store warnings) concurrently.
@@ -149,30 +159,53 @@ func (r *Runner) pairsFor(ctx context.Context, b workload.Benchmark, cfg cachesi
 			return art.Pairs, art.HitRate, nil
 		}
 	}
-	metrics.SimRuns.Inc()
-	_, traceSpan := obs.Start(ctx, "workload.trace")
-	traceSpan.Tag("bench", b.Name)
-	tr := b.Trace()
-	traceSpan.End()
-	_, simSpan := obs.Start(ctx, "sim.run")
-	simSpan.Tag("bench", b.Name)
-	lt := cachesim.RunTrace(cachesim.New(cfg), tr)
-	simSpan.End()
-	_, pairSpan := obs.Start(ctx, "heatmap.pairs")
-	pairs, err := heatmap.BuildPair(r.Profile.Heatmap, lt.Accesses, lt.Misses)
-	pairSpan.End()
-	if err != nil {
-		return nil, 0, err
-	}
-	if r.Profile.MaxPairs > 0 && len(pairs) > r.Profile.MaxPairs {
-		pairs = pairs[:r.Profile.MaxPairs]
+	var pairs []heatmap.Pair
+	var hr float64
+	if r.Stream {
+		// Streaming path: synthesis, simulation and windowing fused in
+		// one pass, never materialising the trace. stream.Run counts
+		// the sim run and emits pairs byte-identical to BuildPair; the
+		// cap is applied at the source, and without StopEarly the
+		// whole-trace hit rate is still exact — so the cached artifact
+		// below is byte-identical to the materialised path's.
+		res, err := stream.Run(ctx, b, cfg,
+			stream.RunConfig{Heatmap: r.Profile.Heatmap, MaxWindows: r.Profile.MaxPairs},
+			func(w stream.Window) error {
+				pairs = append(pairs, w.Pair)
+				return nil
+			})
+		if err != nil {
+			return nil, 0, err
+		}
+		hr = res.HitRate
+	} else {
+		metrics.SimRuns.Inc()
+		_, traceSpan := obs.Start(ctx, "workload.trace")
+		traceSpan.Tag("bench", b.Name)
+		tr := b.Trace()
+		traceSpan.End()
+		_, simSpan := obs.Start(ctx, "sim.run")
+		simSpan.Tag("bench", b.Name)
+		lt := cachesim.RunTrace(cachesim.New(cfg), tr)
+		simSpan.End()
+		_, pairSpan := obs.Start(ctx, "heatmap.pairs")
+		var err error
+		pairs, err = heatmap.BuildPair(r.Profile.Heatmap, lt.Accesses, lt.Misses)
+		pairSpan.End()
+		if err != nil {
+			return nil, 0, err
+		}
+		if r.Profile.MaxPairs > 0 && len(pairs) > r.Profile.MaxPairs {
+			pairs = pairs[:r.Profile.MaxPairs]
+		}
+		hr = lt.HitRate()
 	}
 	if r.Store != nil {
-		if err := r.Store.SavePairs(key, &store.PairsArtifact{Pairs: pairs, HitRate: lt.HitRate()}); err != nil {
+		if err := r.Store.SavePairs(key, &store.PairsArtifact{Pairs: pairs, HitRate: hr}); err != nil {
 			r.logf("[store] warning: could not cache pairs for %s: %v\n", b.Name, err)
 		}
 	}
-	return pairs, lt.HitRate(), nil
+	return pairs, hr, nil
 }
 
 // benchTruth is one benchmark's simulated ground truth: the parallel
@@ -246,6 +279,43 @@ func (r *Runner) dataset(benches []workload.Benchmark, cfgs []cachesim.Config, m
 		return nil, fmt.Errorf("harness: empty dataset")
 	}
 	return out, nil
+}
+
+// datasetSource returns the training dataset as a lazily served
+// sample source. With Stream set and a store attached, the samples
+// come from a sharded streaming dataset (stream.Build): windows flow
+// through the bounded channel pipeline straight into content-addressed
+// shards and are fetched per batch during training, so the dataset is
+// never fully materialised in memory. Either way the served sample
+// sequence — and therefore any model trained on it — is byte-identical
+// to the in-memory path.
+func (r *Runner) datasetSource(name string, benches []workload.Benchmark, cfgs []cachesim.Config, minHit float64) (core.SampleSource, error) {
+	if r.Stream && r.Store != nil {
+		man, _, err := stream.Build(context.Background(), r.Store, benches, cfgs, stream.BuildConfig{
+			Name:       name,
+			Heatmap:    r.Profile.Heatmap,
+			MaxWindows: r.Profile.MaxPairs,
+			MinHitRate: minHit,
+			Workers:    r.workers(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		ds, err := stream.OpenDataset(r.Store, man)
+		if err != nil {
+			return nil, err
+		}
+		if ds.Len() == 0 {
+			return nil, fmt.Errorf("harness: empty dataset")
+		}
+		r.logf("[%s] %s\n", name, man.Summary())
+		return ds, nil
+	}
+	samples, err := r.dataset(benches, cfgs, minHit)
+	if err != nil {
+		return nil, err
+	}
+	return core.SliceSource(samples), nil
 }
 
 // modelPath places a cached model artifact.

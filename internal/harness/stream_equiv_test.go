@@ -1,0 +1,51 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cachebox/internal/store"
+)
+
+// fig7Model runs a fresh tiny fig7 into its own artifact dir and store
+// and returns the trained model's artifact bytes.
+func fig7Model(t *testing.T, streamed bool, workers int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	r := NewRunner(Tiny, t.TempDir(), &buf)
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Store = st
+	r.Stream = streamed
+	r.Workers = workers
+	if _, err := r.Fig7(); err != nil {
+		t.Fatalf("fig7 (stream=%v -j%d): %v\n%s", streamed, workers, err, buf.String())
+	}
+	data, err := os.ReadFile(filepath.Join(r.ArtifactsDir, "tiny-fig7-rq1-mixed.cbgan"))
+	if err != nil {
+		t.Fatalf("fig7 (stream=%v -j%d) left no model artifact: %v", streamed, workers, err)
+	}
+	return data
+}
+
+// The golden streamed-vs-materialised contract: a fig7 run whose
+// ground truth flows through the streaming dataset subsystem (windows
+// over a bounded channel into sharded store entries, training fetching
+// per batch) must produce a byte-identical model artifact to the
+// materialised in-memory run, at any worker-pool width.
+func TestFig7StreamedMatchesMaterialised(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	want := fig7Model(t, false, 4)
+	if got := fig7Model(t, true, 1); !bytes.Equal(want, got) {
+		t.Fatal("streamed -j1 fig7 model differs from materialised run")
+	}
+	if got := fig7Model(t, true, 8); !bytes.Equal(want, got) {
+		t.Fatal("streamed -j8 fig7 model differs from materialised run")
+	}
+}

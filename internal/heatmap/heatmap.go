@@ -81,6 +81,13 @@ func (c Config) OverlapCols() int {
 	return int(c.Overlap*float64(c.Width) + 0.5)
 }
 
+// StrideCols is the number of fresh columns each successive image
+// contributes — the distance between the StartCols of consecutive
+// images. Window w of the split sequence covers global columns
+// [w*StrideCols, w*StrideCols+Width). internal/sampling mirrors this
+// arithmetic to attribute accesses to windows without building images.
+func (c Config) StrideCols() int { return c.strideCols() }
+
 // strideCols is the number of fresh columns each successive image
 // contributes.
 func (c Config) strideCols() int {

@@ -1,0 +1,161 @@
+package heatmap_test
+
+import (
+	"reflect"
+	"testing"
+
+	"cachebox/internal/cachesim"
+	"cachebox/internal/heatmap"
+	"cachebox/internal/trace"
+	"cachebox/internal/workload"
+)
+
+// PairStream must reproduce heatmap.BuildPair exactly: same pair count, names,
+// indices and pixel values, across geometries with and without overlap
+// and partial trailing images.
+func TestPairStreamMatchesBuildPair(t *testing.T) {
+	cfgs := []heatmap.Config{
+		{Height: 16, Width: 16, WindowInstr: 150, Overlap: 0.30, AddrShift: 6},
+		{Height: 8, Width: 8, WindowInstr: 90, Overlap: 0, AddrShift: 6},
+		{Height: 16, Width: 16, WindowInstr: 150, Overlap: 0.30, AddrShift: 6, KeepPartial: true},
+		{Height: 4, Width: 32, WindowInstr: 60, Overlap: 0.5, AddrShift: 6},
+	}
+	suite := workload.SpecLike(2, 1, 6000)
+	benches := append(suite.Benchmarks, workload.ZipfLike(6000, 0.15).Benchmarks[:2]...)
+	cacheCfg := cachesim.Config{Sets: 16, Ways: 4, BlockSize: 64, Policy: cachesim.PolicyLRU}
+	for _, cfg := range cfgs {
+		for _, b := range benches {
+			tr := b.Trace()
+			lt := cachesim.RunTrace(cachesim.New(cacheCfg), tr)
+			want, err := heatmap.BuildPair(cfg, lt.Accesses, lt.Misses)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			ps, err := heatmap.NewPairStream(cfg, tr.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim := cachesim.NewStreamRun(cachesim.New(cacheCfg))
+			var got []heatmap.Pair
+			for _, a := range tr.Accesses {
+				hit := sim.Access(a)
+				if err := ps.Add(a, !hit); err != nil {
+					t.Fatal(err)
+				}
+				got = append(got, ps.Drain()...)
+			}
+			rest, err := ps.Finish()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, rest...)
+
+			if len(got) != len(want) {
+				t.Fatalf("%s cfg=%+v: %d streamed pairs vs %d materialised", b.Name, cfg, len(got), len(want))
+			}
+			for i := range want {
+				if !reflect.DeepEqual(want[i].Access, got[i].Access) {
+					t.Fatalf("%s cfg=%+v: access image %d differs", b.Name, cfg, i)
+				}
+				if !reflect.DeepEqual(want[i].Miss, got[i].Miss) {
+					t.Fatalf("%s cfg=%+v: miss image %d differs", b.Name, cfg, i)
+				}
+			}
+			if ps.Emitted() != len(want) {
+				t.Fatalf("%s: Emitted()=%d, want %d", b.Name, ps.Emitted(), len(want))
+			}
+		}
+	}
+}
+
+// The simulated hit/miss stream and stats must match RunTrace.
+func TestStreamRunMatchesRunTrace(t *testing.T) {
+	b := workload.ServerLike(4000, 0.2).Benchmarks[2]
+	tr := b.Trace()
+	cacheCfg := cachesim.Config{Sets: 8, Ways: 2, BlockSize: 64, Policy: cachesim.PolicyLRU}
+	lt := cachesim.RunTrace(cachesim.New(cacheCfg), tr)
+
+	sim := cachesim.NewStreamRun(cachesim.New(cacheCfg))
+	var misses []trace.Access
+	for _, a := range tr.Accesses {
+		if !sim.Access(a) {
+			misses = append(misses, a)
+		}
+	}
+	if !reflect.DeepEqual(lt.Misses.Accesses, misses) {
+		t.Fatal("streamed miss sub-stream differs from RunTrace")
+	}
+	if sim.Stats() != lt.Stats {
+		t.Fatalf("streamed stats %+v differ from RunTrace %+v", sim.Stats(), lt.Stats)
+	}
+}
+
+func TestPairStreamEmpty(t *testing.T) {
+	ps, err := heatmap.NewPairStream(heatmap.DefaultConfig(), "empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := ps.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 0 {
+		t.Fatalf("empty stream produced %d pairs", len(pairs))
+	}
+}
+
+// A long all-hit tail after the last miss is the hard equivalence
+// case: BuildPair windows the miss stream on its own extent, so the
+// window holding the final miss may never close on the miss side and
+// its misses are padded away (or, with KeepPartial, survive once as
+// the trailing partial). The streamed path must reproduce both.
+func TestPairStreamHitTail(t *testing.T) {
+	for _, keep := range []bool{false, true} {
+		cfg := heatmap.Config{Height: 4, Width: 8, WindowInstr: 10, Overlap: 0.25, AddrShift: 6, KeepPartial: keep}
+		for _, lastMissAt := range []int{5, 19, 23, 24, 31, 37, 40} {
+			accesses := &trace.Trace{Name: "tail"}
+			misses := &trace.Trace{Name: "tail.miss"}
+			for i := 0; i < 45; i++ {
+				a := trace.Access{Addr: uint64(i * 64), IC: uint64(100 + i*10)}
+				accesses.Accesses = append(accesses.Accesses, a)
+				if i%3 == 0 && i <= lastMissAt {
+					misses.Accesses = append(misses.Accesses, a)
+				}
+			}
+			want, err := heatmap.BuildPair(cfg, accesses, misses)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps, err := heatmap.NewPairStream(cfg, "tail")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got []heatmap.Pair
+			mi := 0
+			for _, a := range accesses.Accesses {
+				miss := mi < len(misses.Accesses) && misses.Accesses[mi].IC == a.IC
+				if miss {
+					mi++
+				}
+				if err := ps.Add(a, miss); err != nil {
+					t.Fatal(err)
+				}
+				got = append(got, ps.Drain()...)
+			}
+			rest, err := ps.Finish()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, rest...)
+			if len(got) != len(want) {
+				t.Fatalf("keep=%v lastMiss=%d: %d pairs != %d", keep, lastMissAt, len(got), len(want))
+			}
+			for i := range want {
+				if !reflect.DeepEqual(got[i], want[i]) {
+					t.Fatalf("keep=%v lastMiss=%d: pair %d differs", keep, lastMissAt, i)
+				}
+			}
+		}
+	}
+}

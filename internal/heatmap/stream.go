@@ -19,6 +19,7 @@ type StreamBuilder struct {
 
 	cols   [][]float32
 	offset int // global column index of cols[0]
+	cur    int // highest column reached so far
 	done   []*Heatmap
 	next   int // next image index to emit
 }
@@ -30,6 +31,20 @@ func NewStreamBuilder(cfg Config, name string) (*StreamBuilder, error) {
 		return nil, err
 	}
 	return &StreamBuilder{cfg: cfg, name: name}, nil
+}
+
+// NewStreamBuilderAt constructs a streaming builder whose column 0 is
+// anchored at baseIC rather than at the first access seen. This is how
+// a miss builder shares the access stream's binning (the streaming
+// analogue of passing one baseIC to two buildWide calls).
+func NewStreamBuilderAt(cfg Config, name string, baseIC uint64) (*StreamBuilder, error) {
+	b, err := NewStreamBuilder(cfg, name)
+	if err != nil {
+		return nil, err
+	}
+	b.baseIC = baseIC
+	b.seen = true
+	return b, nil
 }
 
 // Add feeds one access. Accesses must arrive in non-decreasing
@@ -48,6 +63,30 @@ func (b *StreamBuilder) Add(a trace.Access) error {
 	}
 	row := int((a.Addr >> b.cfg.AddrShift) % uint64(b.cfg.Height))
 	b.cols[col-b.offset][row]++
+	if col > b.cur {
+		b.cur = col
+	}
+	b.emitComplete(col)
+	return nil
+}
+
+// AdvanceTo notes that the stream has reached instruction count ic
+// without recording an access, closing any images whose columns are now
+// complete. A miss builder is advanced on every access of its parent
+// stream so all-hit windows still emit their (empty) miss images in
+// lockstep with the access builder.
+func (b *StreamBuilder) AdvanceTo(ic uint64) error {
+	if !b.seen {
+		b.baseIC = ic
+		b.seen = true
+	}
+	if ic < b.baseIC {
+		return fmt.Errorf("heatmap: stream IC went backwards (%d < %d)", ic, b.baseIC)
+	}
+	col := int((ic - b.baseIC) / b.cfg.WindowInstr)
+	if col > b.cur {
+		b.cur = col
+	}
 	b.emitComplete(col)
 	return nil
 }
@@ -96,14 +135,29 @@ func (b *StreamBuilder) Drain() []*Heatmap {
 	return out
 }
 
-// Flush completes the stream: with KeepPartial set it emits a final
-// padded image covering any remaining columns. It returns the final
-// batch of images.
+// Finish declares the stream over and returns the remaining images.
+// Unlike Flush it first closes every image whose span is covered by the
+// columns actually seen, so the final complete image — which
+// emitComplete can never emit, lacking a later column to prove it
+// closed — is included. The resulting image sequence matches what
+// Build/split produce for the materialised trace exactly, including the
+// KeepPartial trailing image.
+func (b *StreamBuilder) Finish() []*Heatmap {
+	if b.seen {
+		b.emitComplete(b.cur + 1)
+	}
+	return b.Flush()
+}
+
+// Flush completes the stream: with KeepPartial set it emits trailing
+// padded images covering any remaining columns — every image whose
+// start lies within the columns actually seen, matching split's
+// `start < len(cols)` condition (a short stride can leave more than
+// one such partial). It returns the final batch of images.
 func (b *StreamBuilder) Flush() []*Heatmap {
 	if b.cfg.KeepPartial {
 		stride := b.cfg.strideCols()
-		start := b.next * stride
-		if start-b.offset < len(b.cols) {
+		for start := b.next * stride; start-b.offset < len(b.cols); start = b.next * stride {
 			m := NewHeatmap(b.name, b.cfg.Height, b.cfg.Width)
 			m.Index = b.next
 			m.StartCol = start

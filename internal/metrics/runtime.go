@@ -33,6 +33,14 @@ var (
 	// experiment rerun should leave this at zero.
 	SimRuns = Runtime.NewCounter("cachebox_sim_runs_total",
 		"Ground-truth cache simulator invocations.")
+	// StreamWindows counts heatmap windows emitted by the streaming
+	// dataset pipeline (internal/stream).
+	StreamWindows = Runtime.NewCounter("cachebox_stream_windows_total",
+		"Heatmap windows emitted by the streaming dataset pipeline.")
+	// SamplingSimSkipped counts ground-truth simulations skipped because
+	// representative-interval sampling selected no window from the item.
+	SamplingSimSkipped = Runtime.NewCounter("cachebox_sampling_sim_skipped_total",
+		"Ground-truth simulations skipped by representative-interval sampling.")
 	// ParInFlight gauges worker-pool tasks currently executing.
 	ParInFlight = Runtime.NewGauge("cachebox_par_inflight_workers",
 		"Worker-pool tasks currently executing.")
@@ -48,7 +56,8 @@ var (
 // CLIs print it at exit; CI greps it to assert warm-store reruns skip
 // simulation.
 func RuntimeSummary() string {
-	return fmt.Sprintf("store: hits=%d misses=%d bytes_read=%d bytes_written=%d evictions=%d sim_runs=%d",
+	return fmt.Sprintf("store: hits=%d misses=%d bytes_read=%d bytes_written=%d evictions=%d sim_runs=%d stream_windows=%d sim_skipped=%d",
 		StoreHits.Value(), StoreMisses.Value(), StoreBytesRead.Value(),
-		StoreBytesWritten.Value(), StoreEvictions.Value(), SimRuns.Value())
+		StoreBytesWritten.Value(), StoreEvictions.Value(), SimRuns.Value(),
+		StreamWindows.Value(), SamplingSimSkipped.Value())
 }

@@ -44,6 +44,33 @@ func L1Loss(a, b *tensor.Tensor) (loss float64, da *tensor.Tensor) {
 	return loss / n, da
 }
 
+// WeightedL1Loss computes the per-sample-weighted mean |a-b| and its
+// gradient with respect to a. The leading dimension of a is the batch:
+// element i belongs to sample i/(Len/B) and its absolute difference is
+// scaled by w[sample] before averaging. With every weight equal to 1
+// the result matches L1Loss exactly. This is how representative-
+// interval sampling (internal/sampling) makes a handful of simulated
+// cluster representatives stand in for the full window population.
+func WeightedL1Loss(a, b *tensor.Tensor, w []float64) (loss float64, da *tensor.Tensor) {
+	mustValidShape(a.Len() == b.Len(), "nn: WeightedL1Loss size mismatch")
+	mustValidShape(len(w) > 0 && a.Len()%len(w) == 0, "nn: WeightedL1Loss batch/weight mismatch")
+	da = tensor.New(a.Shape...)
+	n := float64(a.Len())
+	stride := a.Len() / len(w)
+	for i, av := range a.Data {
+		wi := w[i/stride]
+		d := float64(av) - float64(b.Data[i])
+		if d >= 0 {
+			loss += wi * d
+			da.Data[i] = float32(wi / n)
+		} else {
+			loss -= wi * d
+			da.Data[i] = float32(-wi / n)
+		}
+	}
+	return loss / n, da
+}
+
 // MSELoss computes mean squared error and the gradient with respect to
 // a (used in evaluation and ablations).
 func MSELoss(a, b *tensor.Tensor) (loss float64, da *tensor.Tensor) {

@@ -1,0 +1,351 @@
+// Package sampling selects representative heatmap windows so the
+// ground-truth simulator only has to run for a small fraction of the
+// dataset (SimPoint's idea applied to the training pipeline; see
+// paper §4.2 and DESIGN §12).
+//
+// The pipeline is deliberately simulation-free: every benchmark's
+// access stream is replayed once through a cheap per-window signature
+// accumulator (the same hashed block-address histogram internal/simpoint
+// uses for phase analysis), the signatures of all windows across all
+// benchmarks are clustered with seeded k-means, and one representative
+// window per cluster is chosen. Only items that own a representative
+// window are ever simulated; each representative carries a training
+// weight equal to its cluster's population share, so a weighted loss
+// over the representatives estimates the loss over the full window
+// population (mean weight is 1 by construction).
+//
+// Window attribution mirrors internal/heatmap's split arithmetic
+// exactly: window w covers global columns [w*stride, w*stride+Width)
+// with stride = Config.StrideCols(), and a window is counted only once
+// its last column has closed — so the w-th signature describes the
+// w-th streamed heatmap pair, for any cache configuration (binning
+// depends only on the access stream, never on the cache).
+package sampling
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"cachebox/internal/heatmap"
+	"cachebox/internal/obs"
+	"cachebox/internal/par"
+	"cachebox/internal/simpoint"
+	"cachebox/internal/trace"
+	"cachebox/internal/workload"
+)
+
+// Config controls representative-interval selection.
+type Config struct {
+	// K is the number of clusters (and so the upper bound on
+	// representatives). Zero defaults to 8.
+	K int
+	// SignatureDim is the hashed signature dimensionality. Zero
+	// defaults to 64.
+	SignatureDim int
+	// MaxIter bounds the k-means iterations. Zero defaults to 50.
+	MaxIter int
+	// Seed drives k-means++ initialisation; the same seed always
+	// yields the same plan.
+	Seed int64
+}
+
+// DefaultConfig returns the default sampling configuration.
+func DefaultConfig() Config {
+	return Config{K: 8, SignatureDim: 64, MaxIter: 50, Seed: 1}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.K <= 0 {
+		c.K = d.K
+	}
+	if c.SignatureDim <= 0 {
+		c.SignatureDim = d.SignatureDim
+	}
+	if c.MaxIter <= 0 {
+		c.MaxIter = d.MaxIter
+	}
+	return c
+}
+
+// Rep is one representative window within a benchmark.
+type Rep struct {
+	// Window is the window (= split image) index within the benchmark.
+	Window int
+	// Cluster is the k-means cluster this window represents.
+	Cluster int
+	// Weight is the training weight: clusterSize * R / N, where R is
+	// the number of representatives and N the total window count, so
+	// the mean weight across representatives is 1.
+	Weight float64
+}
+
+// PlanItem is the per-benchmark slice of a sampling plan.
+type PlanItem struct {
+	// Bench names the benchmark.
+	Bench string
+	// Windows is the total number of complete windows the benchmark
+	// produces under the plan's heatmap geometry.
+	Windows int
+	// Reps lists the representative windows, ascending by window
+	// index. Empty means no cluster chose a window from this
+	// benchmark and its simulation can be skipped entirely.
+	Reps []Rep
+}
+
+// Plan is the result of representative-interval selection across a
+// benchmark set. It is independent of cache configuration: the same
+// plan applies to every cache config an item sweep pairs with these
+// benchmarks.
+type Plan struct {
+	// Config echoes the (default-filled) sampling configuration.
+	Config Config
+	// TotalWindows is the window population size N.
+	TotalWindows int
+	// Clusters is the number of non-empty clusters (= representatives).
+	Clusters int
+	// Items holds one entry per benchmark, in input order.
+	Items []PlanItem
+}
+
+// Item returns the plan entry for the named benchmark, or nil.
+func (p *Plan) Item(bench string) *PlanItem {
+	for i := range p.Items {
+		if p.Items[i].Bench == bench {
+			return &p.Items[i]
+		}
+	}
+	return nil
+}
+
+// Representatives returns the total representative count R.
+func (p *Plan) Representatives() int {
+	n := 0
+	for i := range p.Items {
+		n += len(p.Items[i].Reps)
+	}
+	return n
+}
+
+// errEnough aborts a benchmark replay once the window budget is full.
+var errEnough = errors.New("sampling: window budget reached")
+
+// sigWindows accumulates one signature per complete heatmap window
+// from a streamed access sequence, mirroring heatmap.StreamBuilder's
+// column binning and emission rules.
+type sigWindows struct {
+	dim         int
+	stride      int
+	width       int
+	windowInstr uint64
+	max         int // cap on emitted windows; 0 = unlimited
+
+	baseIC uint64
+	seen   bool
+	cur    int // highest column reached
+	first  int // window index of open[0]
+	open   []*simpoint.SignatureAccumulator
+	out    [][]float64
+}
+
+func newSigWindows(cfg heatmap.Config, dim, maxWindows int) *sigWindows {
+	return &sigWindows{
+		dim:         dim,
+		stride:      cfg.StrideCols(),
+		width:       cfg.Width,
+		windowInstr: cfg.WindowInstr,
+		max:         maxWindows,
+	}
+}
+
+func (s *sigWindows) add(a trace.Access) error {
+	if !s.seen {
+		s.baseIC = a.IC
+		s.seen = true
+	}
+	if a.IC < s.baseIC {
+		return fmt.Errorf("sampling: stream IC went backwards (%d < %d)", a.IC, s.baseIC)
+	}
+	col := int((a.IC - s.baseIC) / s.windowInstr)
+	if col > s.cur {
+		s.cur = col
+	}
+	if err := s.close(col); err != nil {
+		return err
+	}
+	// Windows covering col: w*stride <= col < w*stride+width.
+	whi := col / s.stride
+	wlo := 0
+	if col >= s.width {
+		wlo = (col-s.width)/s.stride + 1
+	}
+	if wlo < s.first {
+		wlo = s.first
+	}
+	for w := wlo; w <= whi; w++ {
+		s.acc(w).Add(a.Addr)
+	}
+	return nil
+}
+
+// close emits every window whose last column is strictly before col —
+// the same condition heatmap's emitComplete uses.
+func (s *sigWindows) close(col int) error {
+	for s.first*s.stride+s.width <= col {
+		s.emitFirst()
+		if s.max > 0 && len(s.out) >= s.max {
+			return errEnough
+		}
+	}
+	return nil
+}
+
+func (s *sigWindows) emitFirst() {
+	var sig []float64
+	if len(s.open) > 0 && s.open[0] != nil {
+		sig = s.open[0].Signature()
+	} else {
+		sig = make([]float64, s.dim)
+	}
+	s.out = append(s.out, sig)
+	if len(s.open) > 0 {
+		s.open = s.open[1:]
+	}
+	s.first++
+}
+
+func (s *sigWindows) acc(w int) *simpoint.SignatureAccumulator {
+	i := w - s.first
+	for i >= len(s.open) {
+		s.open = append(s.open, nil)
+	}
+	if s.open[i] == nil {
+		s.open[i] = simpoint.NewSignatureAccumulator(s.dim)
+	}
+	return s.open[i]
+}
+
+// finish closes the final window, which — like StreamBuilder's — needs
+// the stream end as its "later column" proof.
+func (s *sigWindows) finish() {
+	if s.seen {
+		//lint:ignore unchecked-error close only returns the errEnough cap sentinel, and at finish the cap no longer matters
+		s.close(s.cur + 1)
+	}
+}
+
+// windowSignatures replays one benchmark through the signature
+// accumulator and returns one signature per complete window, capped at
+// maxWindows (0 = unlimited).
+func windowSignatures(b workload.Benchmark, cfg heatmap.Config, dim, maxWindows int) ([][]float64, error) {
+	s := newSigWindows(cfg, dim, maxWindows)
+	err := b.StreamTrace(func(a trace.Access) error { return s.add(a) })
+	if err != nil && !errors.Is(err, errEnough) {
+		return nil, err
+	}
+	if err == nil {
+		s.finish()
+	}
+	return s.out, nil
+}
+
+// BuildPlan replays every benchmark once (no cache simulation),
+// clusters the per-window signatures with seeded k-means, and returns
+// the representative-window plan. The result is deterministic for a
+// given input: the same benchmarks, geometry, and configuration yield
+// a byte-identical plan at any worker count.
+func BuildPlan(ctx context.Context, benches []workload.Benchmark, hm heatmap.Config, maxWindows int, cfg Config, workers int) (*Plan, error) {
+	cfg = cfg.withDefaults()
+	if err := hm.Validate(); err != nil {
+		return nil, err
+	}
+	if hm.KeepPartial {
+		return nil, fmt.Errorf("sampling: KeepPartial geometries are not supported (partial windows have no stable signature)")
+	}
+	if len(benches) == 0 {
+		return nil, fmt.Errorf("sampling: no benchmarks")
+	}
+
+	ctx, span := obs.Start(ctx, "sampling.signatures")
+	sigs, err := par.Map(ctx, workers, benches, func(ctx context.Context, i int, b workload.Benchmark) ([][]float64, error) {
+		return windowSignatures(b, hm, cfg.SignatureDim, maxWindows)
+	})
+	span.End()
+	if err != nil {
+		return nil, err
+	}
+
+	// Flatten into the global window population, remembering owners.
+	type owner struct{ item, window int }
+	var points [][]float64
+	var owners []owner
+	for i, ws := range sigs {
+		for w := range ws {
+			points = append(points, ws[w])
+			owners = append(owners, owner{i, w})
+		}
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("sampling: benchmarks produced no complete windows under %dx%d geometry", hm.Height, hm.Width)
+	}
+
+	k := cfg.K
+	if k > len(points) {
+		k = len(points)
+	}
+	_, cspan := obs.Start(ctx, "sampling.cluster")
+	cspan.TagInt("windows", len(points))
+	cspan.TagInt("k", k)
+	centroids, assign := simpoint.KMeans(points, k, cfg.MaxIter, cfg.Seed)
+	cspan.End()
+
+	// Pick the window closest to each centroid (lowest index on ties)
+	// and count cluster populations.
+	best := make([]int, k)
+	bestDist := make([]float64, k)
+	counts := make([]int, k)
+	for c := range best {
+		best[c] = -1
+	}
+	for i, p := range points {
+		c := assign[i]
+		counts[c]++
+		d := simpoint.SqDist(p, centroids[c])
+		if best[c] < 0 || d < bestDist[c] {
+			best[c], bestDist[c] = i, d
+		}
+	}
+	reps := 0
+	for c := range best {
+		if best[c] >= 0 {
+			reps++
+		}
+	}
+
+	plan := &Plan{Config: cfg, TotalWindows: len(points), Clusters: reps, Items: make([]PlanItem, len(benches))}
+	for i, b := range benches {
+		plan.Items[i] = PlanItem{Bench: b.Name, Windows: len(sigs[i])}
+	}
+	n := float64(len(points))
+	for c := range best {
+		if best[c] < 0 {
+			continue
+		}
+		o := owners[best[c]]
+		plan.Items[o.item].Reps = append(plan.Items[o.item].Reps, Rep{
+			Window:  o.window,
+			Cluster: c,
+			Weight:  float64(counts[c]) * float64(reps) / n,
+		})
+	}
+	for i := range plan.Items {
+		rs := plan.Items[i].Reps
+		for a := 1; a < len(rs); a++ {
+			for b := a; b > 0 && rs[b-1].Window > rs[b].Window; b-- {
+				rs[b-1], rs[b] = rs[b], rs[b-1]
+			}
+		}
+	}
+	return plan, nil
+}

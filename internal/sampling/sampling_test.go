@@ -1,0 +1,129 @@
+package sampling
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"math"
+	"testing"
+
+	"cachebox/internal/heatmap"
+	"cachebox/internal/workload"
+)
+
+func planBenches() []workload.Benchmark {
+	var bs []workload.Benchmark
+	bs = append(bs, workload.SpecLike(2, 2, 2000).Benchmarks[:3]...)
+	bs = append(bs, workload.ZipfLike(2000, 0.25).Benchmarks[:2]...)
+	return bs
+}
+
+func tinyGeom() heatmap.Config {
+	cfg := heatmap.DefaultConfig()
+	cfg.Height, cfg.Width = 8, 8
+	cfg.WindowInstr = 120
+	return cfg
+}
+
+// The per-window signature stream must count exactly the windows the
+// heatmap splitter emits: signature w describes streamed pair w.
+func TestWindowCountMatchesHeatmapSplit(t *testing.T) {
+	cfg := tinyGeom()
+	for _, b := range planBenches() {
+		sigs, err := windowSignatures(b, cfg, 32, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		tr := b.Trace()
+		if len(tr.Accesses) == 0 {
+			t.Fatalf("%s: empty trace", b.Name)
+		}
+		maps, err := heatmap.Build(cfg, tr, tr.Accesses[0].IC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sigs) != len(maps) {
+			t.Fatalf("%s: %d signatures != %d heatmap windows", b.Name, len(sigs), len(maps))
+		}
+	}
+}
+
+func TestWindowCap(t *testing.T) {
+	cfg := tinyGeom()
+	b := planBenches()[0]
+	sigs, err := windowSignatures(b, cfg, 32, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sigs) != 3 {
+		t.Fatalf("got %d windows, want cap 3", len(sigs))
+	}
+	full, err := windowSignatures(b, cfg, 32, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sigs {
+		for j := range sigs[i] {
+			if sigs[i][j] != full[i][j] {
+				t.Fatalf("capped signature %d differs from uncapped", i)
+			}
+		}
+	}
+}
+
+// BuildPlan must be byte-identical at any worker count — par.Map
+// commits in index order and k-means is seeded.
+func TestPlanDeterministicAcrossWorkers(t *testing.T) {
+	benches := planBenches()
+	cfg := tinyGeom()
+	enc := func(workers int) []byte {
+		p, err := BuildPlan(context.Background(), benches, cfg, 0, Config{K: 4, Seed: 7}, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(p); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(enc(1), enc(8)) {
+		t.Fatal("plan differs between -j1 and -j8")
+	}
+}
+
+func TestPlanWeightsAverageToOne(t *testing.T) {
+	p, err := BuildPlan(context.Background(), planBenches(), tinyGeom(), 0, Config{K: 4, Seed: 7}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := p.Representatives()
+	if reps == 0 || reps > 4 {
+		t.Fatalf("got %d representatives, want 1..4", reps)
+	}
+	if reps != p.Clusters {
+		t.Fatalf("Representatives()=%d != Clusters=%d", reps, p.Clusters)
+	}
+	sum := 0.0
+	for _, it := range p.Items {
+		last := -1
+		for _, r := range it.Reps {
+			if r.Window <= last || r.Window >= it.Windows {
+				t.Fatalf("%s: rep window %d out of order or range (windows=%d)", it.Bench, r.Window, it.Windows)
+			}
+			last = r.Window
+			sum += r.Weight
+		}
+	}
+	if math.Abs(sum/float64(reps)-1) > 1e-9 {
+		t.Fatalf("mean weight = %v, want 1", sum/float64(reps))
+	}
+}
+
+func TestPlanRejectsKeepPartial(t *testing.T) {
+	cfg := tinyGeom()
+	cfg.KeepPartial = true
+	if _, err := BuildPlan(context.Background(), planBenches(), cfg, 0, Config{}, 1); err == nil {
+		t.Fatal("KeepPartial accepted")
+	}
+}

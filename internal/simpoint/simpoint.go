@@ -91,15 +91,17 @@ func Analyze(t *trace.Trace, cfg Config) (*Phases, error) {
 			t.Len(), cfg.IntervalLen)
 	}
 	intervals := make([]Interval, n)
+	points := make([][]float64, n)
+	acc := NewSignatureAccumulator(cfg.SignatureDim)
 	for i := 0; i < n; i++ {
 		lo, hi := i*cfg.IntervalLen, (i+1)*cfg.IntervalLen
-		sig := make([]float64, cfg.SignatureDim)
+		acc.Reset()
 		for _, a := range t.Accesses[lo:hi] {
-			block := a.Addr >> 6
-			sig[hashBucket(block, cfg.SignatureDim)]++
+			acc.Add(a.Addr)
 		}
-		normalize(sig)
+		sig := acc.Signature()
 		intervals[i] = Interval{Index: i, Lo: lo, Hi: hi, Signature: sig}
+		points[i] = sig
 	}
 	k := cfg.K
 	if k == 0 {
@@ -112,7 +114,7 @@ func Analyze(t *trace.Trace, cfg Config) (*Phases, error) {
 	if maxIter <= 0 {
 		maxIter = 50
 	}
-	centroids, assign := kmeans(intervals, k, maxIter, cfg.Seed)
+	centroids, assign := KMeans(points, k, maxIter, cfg.Seed)
 	ph := &Phases{Config: cfg, Intervals: intervals,
 		Representatives: make([]int, k), Weights: make([]float64, k)}
 	counts := make([]int, k)
@@ -174,6 +176,57 @@ func (p *Phases) EstimateRate(t *trace.Trace, measure func(*trace.Trace) float64
 	return est
 }
 
+// SignatureAccumulator builds a block-activity signature incrementally
+// — one Add per access — so streaming consumers (internal/sampling) can
+// compute interval signatures without materialising the trace. It is
+// the exported form of the feature extraction Analyze uses internally:
+// block addresses (addr>>6) are Fibonacci-hashed into dim buckets and
+// the bucket histogram is L1-normalised on read.
+type SignatureAccumulator struct {
+	counts []float64
+	n      int
+}
+
+// NewSignatureAccumulator returns an accumulator with dim buckets.
+func NewSignatureAccumulator(dim int) *SignatureAccumulator {
+	return &SignatureAccumulator{counts: make([]float64, dim)}
+}
+
+// Add records one access by address.
+func (s *SignatureAccumulator) Add(addr uint64) {
+	s.counts[hashBucket(addr>>6, len(s.counts))]++
+	s.n++
+}
+
+// Count reports how many accesses have been added since the last Reset.
+func (s *SignatureAccumulator) Count() int { return s.n }
+
+// Signature returns the normalised activity vector as a fresh slice;
+// the accumulator can keep accumulating afterwards.
+func (s *SignatureAccumulator) Signature() []float64 {
+	sig := append([]float64(nil), s.counts...)
+	normalize(sig)
+	return sig
+}
+
+// Reset clears the accumulator for the next interval.
+func (s *SignatureAccumulator) Reset() {
+	for i := range s.counts {
+		s.counts[i] = 0
+	}
+	s.n = 0
+}
+
+// Signature computes the normalised block-activity signature of a batch
+// of accesses in one call.
+func Signature(accesses []trace.Access, dim int) []float64 {
+	acc := NewSignatureAccumulator(dim)
+	for _, a := range accesses {
+		acc.Add(a.Addr)
+	}
+	return acc.Signature()
+}
+
 // hashBucket maps a block address to a signature bucket with a
 // Fibonacci hash.
 func hashBucket(block uint64, dim int) int {
@@ -193,7 +246,9 @@ func normalize(v []float64) {
 	}
 }
 
-func sqDist(a, b []float64) float64 {
+// SqDist returns the squared Euclidean distance between two vectors of
+// equal length.
+func SqDist(a, b []float64) float64 {
 	var s float64
 	for i := range a {
 		d := a[i] - b[i]
@@ -202,18 +257,24 @@ func sqDist(a, b []float64) float64 {
 	return s
 }
 
-// kmeans clusters interval signatures; returns centroids and
-// assignments.
-func kmeans(intervals []Interval, k, maxIter int, seed int64) ([][]float64, []int) {
+func sqDist(a, b []float64) float64 { return SqDist(a, b) }
+
+// KMeans clusters points (all the same dimension) into k clusters with
+// seeded k-means++ initialisation followed by Lloyd iterations; it
+// returns the final centroids and per-point assignments. The result is
+// fully determined by (points, k, maxIter, seed) — no global state —
+// which is what lets callers fan signature extraction out across
+// workers and still cluster identically at any parallelism.
+func KMeans(points [][]float64, k, maxIter int, seed int64) ([][]float64, []int) {
 	rng := rand.New(rand.NewSource(seed))
-	dim := len(intervals[0].Signature)
+	dim := len(points[0])
 	// k-means++ style init: first random, then far points.
 	centroids := make([][]float64, k)
-	first := rng.Intn(len(intervals))
-	centroids[0] = append([]float64(nil), intervals[first].Signature...)
-	minD := make([]float64, len(intervals))
+	first := rng.Intn(len(points))
+	centroids[0] = append([]float64(nil), points[first]...)
+	minD := make([]float64, len(points))
 	for i := range minD {
-		minD[i] = sqDist(intervals[i].Signature, centroids[0])
+		minD[i] = sqDist(points[i], centroids[0])
 	}
 	for c := 1; c < k; c++ {
 		// Pick proportional to squared distance.
@@ -232,22 +293,22 @@ func kmeans(intervals []Interval, k, maxIter int, seed int64) ([][]float64, []in
 				}
 			}
 		} else {
-			pick = rng.Intn(len(intervals))
+			pick = rng.Intn(len(points))
 		}
-		centroids[c] = append([]float64(nil), intervals[pick].Signature...)
+		centroids[c] = append([]float64(nil), points[pick]...)
 		for i := range minD {
-			if d := sqDist(intervals[i].Signature, centroids[c]); d < minD[i] {
+			if d := sqDist(points[i], centroids[c]); d < minD[i] {
 				minD[i] = d
 			}
 		}
 	}
-	assign := make([]int, len(intervals))
+	assign := make([]int, len(points))
 	for iter := 0; iter < maxIter; iter++ {
 		changed := false
-		for i := range intervals {
+		for i := range points {
 			best, bestD := 0, math.Inf(1)
 			for c := range centroids {
-				if d := sqDist(intervals[i].Signature, centroids[c]); d < bestD {
+				if d := sqDist(points[i], centroids[c]); d < bestD {
 					best, bestD = c, d
 				}
 			}
@@ -265,10 +326,10 @@ func kmeans(intervals []Interval, k, maxIter int, seed int64) ([][]float64, []in
 		for c := range next {
 			next[c] = make([]float64, dim)
 		}
-		for i := range intervals {
+		for i := range points {
 			c := assign[i]
 			counts[c]++
-			for j, v := range intervals[i].Signature {
+			for j, v := range points[i] {
 				next[c][j] += v
 			}
 		}

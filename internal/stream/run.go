@@ -1,0 +1,183 @@
+// Package stream is the streaming dataset subsystem: it synthesises,
+// windows, and consumes traces one heatmap window at a time through a
+// bounded channel pipeline, so a dataset is never fully materialised
+// in memory (DESIGN §12). Built datasets persist as sharded manifests
+// in the content-addressed store; shards are memoised per benchmark ×
+// cache configuration and pullable by sha256 digest.
+//
+// The package guarantees byte-identity with the materialised path:
+// the windows Run emits are exactly the pairs heatmap.BuildPair would
+// produce from the materialised trace, in the same order, and the
+// simulator statistics match cachesim.RunTrace — both properties are
+// proven by tests here and in internal/heatmap.
+package stream
+
+import (
+	"context"
+	"errors"
+
+	"cachebox/internal/cachesim"
+	"cachebox/internal/heatmap"
+	"cachebox/internal/metrics"
+	"cachebox/internal/obs"
+	"cachebox/internal/trace"
+	"cachebox/internal/workload"
+)
+
+// RunConfig controls one streaming benchmark × cache run.
+type RunConfig struct {
+	// Heatmap is the window geometry.
+	Heatmap heatmap.Config
+	// MaxWindows caps the number of windows emitted; 0 means all.
+	MaxWindows int
+	// StopEarly stops simulating once MaxWindows windows have been
+	// emitted instead of finishing the trace. The run then reports
+	// HitRate -1 and Complete false, because the remaining accesses
+	// were never simulated. Leave unset to keep simulating past the
+	// cap so the exact whole-trace hit rate is still produced.
+	StopEarly bool
+	// Buffer is the window channel depth; 0 defaults to 16.
+	Buffer int
+}
+
+// Window is one emitted access/miss heatmap pair.
+type Window struct {
+	// Index is the window's position in the benchmark's split
+	// sequence (equals Pair.Access.Index).
+	Index int
+	// Pair holds the aligned access and miss images.
+	Pair heatmap.Pair
+}
+
+// RunResult summarises a streaming run.
+type RunResult struct {
+	// HitRate is the whole-trace cache hit rate, or -1 when StopEarly
+	// cut the simulation short.
+	HitRate float64
+	// Windows is the number of windows emitted to the consumer.
+	Windows int
+	// Complete reports whether the full trace was simulated.
+	Complete bool
+}
+
+// errStop aborts the producer once StopEarly's window budget is spent.
+var errStop = errors.New("stream: window budget reached")
+
+// Run synthesises bench's access stream, drives a fresh cache over it,
+// windows the access and miss streams into heatmap pairs, and calls fn
+// for every emitted window — all without materialising the trace. The
+// producer (synthesis + simulation + windowing) runs on its own
+// goroutine and hands windows to fn over a bounded channel, so the
+// consumer applies backpressure instead of buffering the dataset.
+//
+// A non-nil fn error cancels the producer and is returned. The emitted
+// windows are byte-identical to the materialised
+// workload.Trace → cachesim.RunTrace → heatmap.BuildPair pipeline.
+func Run(ctx context.Context, bench workload.Benchmark, cacheCfg cachesim.Config, rc RunConfig, fn func(Window) error) (RunResult, error) {
+	if err := rc.Heatmap.Validate(); err != nil {
+		return RunResult{}, err
+	}
+	if err := cacheCfg.Validate(); err != nil {
+		return RunResult{}, err
+	}
+	buf := rc.Buffer
+	if buf <= 0 {
+		buf = 16
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type outcome struct {
+		res RunResult
+		err error
+	}
+	wins := make(chan Window, buf)
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := produce(ctx, bench, cacheCfg, rc, wins)
+		close(wins)
+		done <- outcome{res, err}
+	}()
+
+	var fnErr error
+	for w := range wins {
+		if fnErr != nil {
+			continue // drain so the producer can exit
+		}
+		if err := fn(w); err != nil {
+			fnErr = err
+			cancel()
+		}
+	}
+	o := <-done
+	if fnErr != nil {
+		return o.res, fnErr
+	}
+	return o.res, o.err
+}
+
+// produce is the run's producer goroutine body: synthesis, simulation,
+// and windowing fused into one pass over the access stream.
+func produce(ctx context.Context, bench workload.Benchmark, cacheCfg cachesim.Config, rc RunConfig, wins chan<- Window) (RunResult, error) {
+	_, span := obs.Start(ctx, "stream.run")
+	span.Tag("bench", bench.Name)
+	defer span.End()
+	metrics.SimRuns.Inc()
+
+	run := cachesim.NewStreamRun(cachesim.New(cacheCfg))
+	ps, err := heatmap.NewPairStream(rc.Heatmap, bench.Name)
+	if err != nil {
+		return RunResult{}, err
+	}
+
+	emitted := 0
+	send := func(p heatmap.Pair) error {
+		if rc.MaxWindows > 0 && emitted >= rc.MaxWindows {
+			if rc.StopEarly {
+				return errStop
+			}
+			return nil // keep simulating for the exact hit rate
+		}
+		select {
+		case wins <- Window{Index: p.Access.Index, Pair: p}:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		emitted++
+		metrics.StreamWindows.Inc()
+		return nil
+	}
+
+	sinkErr := bench.StreamTrace(func(a trace.Access) error {
+		miss := !run.Access(a)
+		if err := ps.Add(a, miss); err != nil {
+			return err
+		}
+		for _, p := range ps.Drain() {
+			if err := send(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if sinkErr != nil {
+		if errors.Is(sinkErr, errStop) {
+			return RunResult{HitRate: -1, Windows: emitted, Complete: false}, nil
+		}
+		return RunResult{HitRate: -1, Windows: emitted}, sinkErr
+	}
+
+	pairs, err := ps.Finish()
+	if err != nil {
+		return RunResult{HitRate: -1, Windows: emitted}, err
+	}
+	for _, p := range pairs {
+		if err := send(p); err != nil {
+			if errors.Is(err, errStop) {
+				break // trace fully simulated; only emission was capped
+			}
+			return RunResult{HitRate: -1, Windows: emitted}, err
+		}
+	}
+	return RunResult{HitRate: run.Stats().HitRate(), Windows: emitted, Complete: true}, nil
+}

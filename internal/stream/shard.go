@@ -1,0 +1,215 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"cachebox/internal/heatmap"
+	"cachebox/internal/obs"
+)
+
+// Shard codec: a shard is a run of consecutive windows from one
+// benchmark × cache item, stored as one content-addressed payload.
+//
+//	magic "CBXSHRD1"
+//	uvarint len(name) | name                    (access-heatmap name)
+//	uvarint H | uvarint W | uvarint count
+//	count × window:
+//	  uvarint Index | uvarint StartCol
+//	  uint64  Weight (float64 bits, little-endian)
+//	  H*W × float32 access pixels (little-endian)
+//	  H*W × float32 miss pixels   (little-endian)
+//
+// The miss heatmap's name is always name+".miss", mirroring
+// cachesim.RunTrace's miss-trace naming, so it is not stored.
+
+const shardMagic = "CBXSHRD1"
+
+// Decode caps: a hostile payload (the store re-verifies sha256, but the
+// fuzz target feeds arbitrary bytes) must not drive huge allocations.
+const (
+	maxShardName    = 4096
+	maxShardDim     = 1 << 14
+	maxShardPixels  = 1 << 24
+	maxShardWindows = 1 << 20
+)
+
+// ShardWindow is one window as persisted in a dataset shard: the
+// aligned access/miss pair plus its training weight (0 or 1 means
+// unweighted; representative sampling stores the cluster share).
+type ShardWindow struct {
+	Access *heatmap.Heatmap
+	Miss   *heatmap.Heatmap
+	Weight float64
+}
+
+// EncodeShard writes ws to w in the shard format. All windows must
+// share the access heatmap's name and dimensions.
+//
+//cbx:coldpath the shard codec leaf timer measures store serialisation, not an allocation-free kernel
+func EncodeShard(w io.Writer, ws []ShardWindow) error {
+	l := obs.StartLeaf("stream.shard.encode")
+	defer l.End()
+	if len(ws) == 0 {
+		return fmt.Errorf("stream: empty shard")
+	}
+	name := ws[0].Access.Name
+	h, wd := ws[0].Access.H, ws[0].Access.W
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(shardMagic); err != nil {
+		return err
+	}
+	var uv [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(uv[:], v)
+		_, err := bw.Write(uv[:n])
+		return err
+	}
+	if err := putUvarint(uint64(len(name))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(name); err != nil {
+		return err
+	}
+	for _, v := range []uint64{uint64(h), uint64(wd), uint64(len(ws))} {
+		if err := putUvarint(v); err != nil {
+			return err
+		}
+	}
+	var px [4]byte
+	writePix := func(m *heatmap.Heatmap) error {
+		for _, p := range m.Pix {
+			binary.LittleEndian.PutUint32(px[:], math.Float32bits(p))
+			if _, err := bw.Write(px[:]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i, sw := range ws {
+		if sw.Access == nil || sw.Miss == nil {
+			return fmt.Errorf("stream: shard window %d has nil heatmap", i)
+		}
+		if sw.Access.Name != name || sw.Access.H != h || sw.Access.W != wd ||
+			sw.Miss.H != h || sw.Miss.W != wd || sw.Miss.Name != name+".miss" {
+			return fmt.Errorf("stream: shard window %d is inhomogeneous", i)
+		}
+		if sw.Miss.Index != sw.Access.Index || sw.Miss.StartCol != sw.Access.StartCol {
+			return fmt.Errorf("stream: shard window %d access/miss misaligned", i)
+		}
+		if err := putUvarint(uint64(sw.Access.Index)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(sw.Access.StartCol)); err != nil {
+			return err
+		}
+		var wb [8]byte
+		binary.LittleEndian.PutUint64(wb[:], math.Float64bits(sw.Weight))
+		if _, err := bw.Write(wb[:]); err != nil {
+			return err
+		}
+		if err := writePix(sw.Access); err != nil {
+			return err
+		}
+		if err := writePix(sw.Miss); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeShard reads a shard payload back into its windows. Input is
+// treated as untrusted: sizes are capped and every read is checked, so
+// arbitrary bytes produce an error rather than a panic or an outsized
+// allocation.
+//
+//cbx:coldpath the shard codec leaf timer measures store deserialisation, not an allocation-free kernel
+func DecodeShard(r io.Reader) ([]ShardWindow, error) {
+	l := obs.StartLeaf("stream.shard.decode")
+	defer l.End()
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(shardMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("stream: shard magic: %w", err)
+	}
+	if string(magic) != shardMagic {
+		return nil, fmt.Errorf("stream: bad shard magic %q", magic)
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("stream: shard name length: %w", err)
+	}
+	if nameLen > maxShardName {
+		return nil, fmt.Errorf("stream: shard name length %d exceeds cap", nameLen)
+	}
+	nameBytes := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBytes); err != nil {
+		return nil, fmt.Errorf("stream: shard name: %w", err)
+	}
+	name := string(nameBytes)
+	var dims [3]uint64
+	for i := range dims {
+		if dims[i], err = binary.ReadUvarint(br); err != nil {
+			return nil, fmt.Errorf("stream: shard header: %w", err)
+		}
+	}
+	h, wd, count := dims[0], dims[1], dims[2]
+	if h == 0 || wd == 0 || h > maxShardDim || wd > maxShardDim || h*wd > maxShardPixels {
+		return nil, fmt.Errorf("stream: shard dimensions %dx%d out of range", h, wd)
+	}
+	if count == 0 || count > maxShardWindows {
+		return nil, fmt.Errorf("stream: shard window count %d out of range", count)
+	}
+	pixels := int(h * wd)
+	buf := make([]byte, pixels*4)
+	readMap := func(n string) (*heatmap.Heatmap, error) {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("stream: shard pixels: %w", err)
+		}
+		m := heatmap.NewHeatmap(n, int(h), int(wd))
+		for i := range m.Pix {
+			m.Pix[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
+		}
+		return m, nil
+	}
+	// Grow lazily: a hostile header may claim a huge count that the
+	// payload cannot back, so don't pre-allocate for it.
+	capHint := count
+	if capHint > 1024 {
+		capHint = 1024
+	}
+	ws := make([]ShardWindow, 0, capHint)
+	for i := uint64(0); i < count; i++ {
+		idx, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("stream: shard window %d index: %w", i, err)
+		}
+		start, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("stream: shard window %d start: %w", i, err)
+		}
+		if idx > math.MaxInt32 || start > math.MaxInt32 {
+			return nil, fmt.Errorf("stream: shard window %d index out of range", i)
+		}
+		var wb [8]byte
+		if _, err := io.ReadFull(br, wb[:]); err != nil {
+			return nil, fmt.Errorf("stream: shard window %d weight: %w", i, err)
+		}
+		weight := math.Float64frombits(binary.LittleEndian.Uint64(wb[:]))
+		acc, err := readMap(name)
+		if err != nil {
+			return nil, err
+		}
+		mis, err := readMap(name + ".miss")
+		if err != nil {
+			return nil, err
+		}
+		acc.Index, mis.Index = int(idx), int(idx)
+		acc.StartCol, mis.StartCol = int(start), int(start)
+		ws = append(ws, ShardWindow{Access: acc, Miss: mis, Weight: weight})
+	}
+	return ws, nil
+}

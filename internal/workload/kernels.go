@@ -71,6 +71,25 @@ func kernelZipf(e *Emitter, base uint64, n, count int, s float64) {
 	}
 }
 
+// kernelZipfRW issues count accesses over n objects with Zipfian skew
+// and a write fraction — the read-modify-write traffic of a key-value
+// update path. Objects are cache-block sized so hot keys pin whole
+// blocks.
+func kernelZipfRW(e *Emitter, base uint64, n, count int, s, writeFrac float64) {
+	const objSize = 64
+	if n < 2 {
+		n = 2
+	}
+	z := rand.NewZipf(e.rng, s, 1, uint64(n-1))
+	for i := 0; i < count && !e.Full(); i++ {
+		addr := base + z.Uint64()*objSize
+		e.Load(addr)
+		if e.rng.Float64() < writeFrac {
+			e.Store(addr + 8)
+		}
+	}
+}
+
 // kernelPointerChase walks a random-permutation cycle over n nodes for
 // count steps. Each node is one cache-block-sized object, so every hop
 // is a fresh (dependent) block access: the classic latency-bound

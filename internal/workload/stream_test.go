@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"errors"
+	"reflect"
+	"sort"
+	"testing"
+
+	"cachebox/internal/trace"
+)
+
+// Streaming a benchmark must deliver exactly the access sequence the
+// materialised path produces, across every suite family.
+func TestStreamTraceMatchesTrace(t *testing.T) {
+	const ops = 3000
+	suites := []Suite{
+		SpecLike(3, 2, ops),
+		LigraLike(ops, 0.2),
+		PolyLike(ops, 0.3),
+		ServerLike(ops, 0.2),
+		ZipfLike(ops, 0.2),
+	}
+	for _, s := range suites {
+		for _, b := range s.Benchmarks {
+			want := b.Trace()
+			got := make([]trace.Access, 0, ops)
+			if err := b.StreamTrace(func(a trace.Access) error {
+				got = append(got, a)
+				return nil
+			}); err != nil {
+				t.Fatalf("%s: StreamTrace: %v", b.Name, err)
+			}
+			if !reflect.DeepEqual(want.Accesses, got) {
+				t.Fatalf("%s: streamed accesses differ from materialised trace (%d vs %d)",
+					b.Name, len(got), len(want.Accesses))
+			}
+		}
+	}
+}
+
+func TestStreamTraceSinkError(t *testing.T) {
+	b := SpecLike(1, 1, 5000).Benchmarks[0]
+	boom := errors.New("boom")
+	calls := 0
+	err := b.StreamTrace(func(trace.Access) error {
+		calls++
+		if calls == 10 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want sink error back, got %v", err)
+	}
+	if calls != 10 {
+		t.Fatalf("sink called %d times after error (want exactly 10)", calls)
+	}
+}
+
+func TestZipfLikeDeterministic(t *testing.T) {
+	a := ZipfLike(2000, 0.2)
+	b := ZipfLike(2000, 0.2)
+	if len(a.Benchmarks) == 0 {
+		t.Fatal("zipflike suite is empty")
+	}
+	for i := range a.Benchmarks {
+		ta := a.Benchmarks[i].Trace()
+		tb := b.Benchmarks[i].Trace()
+		if !reflect.DeepEqual(ta, tb) {
+			t.Fatalf("%s: not deterministic", a.Benchmarks[i].Name)
+		}
+		if len(ta.Accesses) != 2000 {
+			t.Fatalf("%s: got %d accesses, want 2000", ta.Name, len(ta.Accesses))
+		}
+	}
+}
+
+// The CDN benchmarks must actually be skewed: a small fraction of the
+// blocks should absorb a large fraction of the accesses.
+func TestZipfLikeSkew(t *testing.T) {
+	b, err := ByName(ZipfLike(20000, 1.0).Benchmarks, "zipf/cdn-hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := b.Trace()
+	counts := map[uint64]int{}
+	for _, a := range tr.Accesses {
+		counts[a.Addr>>6]++
+	}
+	freq := make([]int, 0, len(counts))
+	for _, c := range counts {
+		freq = append(freq, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(freq)))
+	top := len(freq) / 100
+	if top < 1 {
+		top = 1
+	}
+	hot := 0
+	for _, c := range freq[:top] {
+		hot += c
+	}
+	if share := float64(hot) / float64(len(tr.Accesses)); share < 0.3 {
+		t.Fatalf("top 1%% of blocks cover only %.1f%% of accesses; want Zipf-style skew", share*100)
+	}
+}

@@ -56,16 +56,37 @@ func (b Benchmark) Trace() *trace.Trace {
 	return e.finish()
 }
 
+// StreamTrace generates the benchmark's trace one access at a time into
+// sink instead of materialising it. The access sequence delivered to
+// sink is identical to Trace().Accesses; only the storage differs, so
+// streaming consumers see byte-identical inputs. If sink returns an
+// error, generation stops early and the error is returned.
+func (b Benchmark) StreamTrace(sink func(trace.Access) error) error {
+	e := newEmitterSink(b.Ops, b.Seed, sink)
+	for !e.done() {
+		b.gen(e)
+	}
+	return e.sinkErr
+}
+
 // Emitter is the device a benchmark kernel uses to issue memory
 // accesses. It tracks the dynamic instruction count, enforces the
 // benchmark's access budget, and provides a deterministic RNG plus a
 // bump allocator for laying out the benchmark's data structures.
+//
+// An emitter runs in one of two modes: materialised (accesses append to
+// an in-memory trace) or streaming (each access is handed to a sink
+// callback and never stored). Both modes count emitted accesses the
+// same way, so kernels behave identically in either.
 type Emitter struct {
-	t      *trace.Trace
-	rng    *rand.Rand
-	ic     uint64
-	budget int
-	brk    uint64 // bump-allocator break
+	t       *trace.Trace
+	sink    func(trace.Access) error
+	sinkErr error
+	rng     *rand.Rand
+	ic      uint64
+	n       int // accesses emitted, capped at budget
+	budget  int
+	brk     uint64 // bump-allocator break
 }
 
 func newEmitter(name string, ops int, seed int64) *Emitter {
@@ -77,12 +98,18 @@ func newEmitter(name string, ops int, seed int64) *Emitter {
 	}
 }
 
-func (e *Emitter) done() bool { return len(e.t.Accesses) >= e.budget }
+func newEmitterSink(ops int, seed int64, sink func(trace.Access) error) *Emitter {
+	return &Emitter{
+		sink:   sink,
+		rng:    rand.New(rand.NewSource(seed)),
+		budget: ops,
+		brk:    1 << 32,
+	}
+}
+
+func (e *Emitter) done() bool { return e.sinkErr != nil || e.n >= e.budget }
 
 func (e *Emitter) finish() *trace.Trace {
-	if len(e.t.Accesses) > e.budget {
-		e.t.Accesses = e.t.Accesses[:e.budget]
-	}
 	return e.t
 }
 
@@ -106,19 +133,35 @@ func (e *Emitter) Instr(n uint64) { e.ic += n }
 // Load issues a read of addr, costing one memory instruction plus two
 // surrounding ALU instructions (a typical memory-op density of ~1/3).
 func (e *Emitter) Load(addr uint64) {
-	e.ic += 3
-	e.t.Accesses = append(e.t.Accesses, trace.Access{Addr: addr, IC: e.ic, Write: false})
+	e.emit(addr, false)
 }
 
 // Store issues a write of addr.
 func (e *Emitter) Store(addr uint64) {
+	e.emit(addr, true)
+}
+
+// emit records one access. The instruction count always advances — even
+// past the budget, matching the historical behaviour where over-budget
+// accesses were appended and then truncated — but only the first budget
+// accesses are delivered.
+func (e *Emitter) emit(addr uint64, write bool) {
 	e.ic += 3
-	e.t.Accesses = append(e.t.Accesses, trace.Access{Addr: addr, IC: e.ic, Write: true})
+	if e.n >= e.budget || e.sinkErr != nil {
+		return
+	}
+	e.n++
+	a := trace.Access{Addr: addr, IC: e.ic, Write: write}
+	if e.sink != nil {
+		e.sinkErr = e.sink(a)
+		return
+	}
+	e.t.Accesses = append(e.t.Accesses, a)
 }
 
 // Full reports whether the access budget has been reached; kernels with
 // deep loop nests should poll it to stop early.
-func (e *Emitter) Full() bool { return len(e.t.Accesses) >= e.budget }
+func (e *Emitter) Full() bool { return e.sinkErr != nil || e.n >= e.budget }
 
 // Suite is a named collection of benchmarks.
 type Suite struct {

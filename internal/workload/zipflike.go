@@ -1,0 +1,89 @@
+package workload
+
+// ZipfLike is a fifth suite family: CDN / key-value workloads whose
+// popularity distribution follows a Zipf law, the canonical model for
+// web caches, object stores and content delivery (ROADMAP item 3). The
+// suite exists to give the representative-interval sampler a heavily
+// skewed population to cluster: Zipf traces concentrate into a few hot
+// windows plus a long cold tail, exactly the shape where simulating
+// only cluster representatives pays off.
+//
+// Like ServerLike, each benchmark is its own group (no phases), so
+// train/test splits treat every skew level independently.
+func ZipfLike(ops int, sizeScale float64) Suite {
+	scale := func(n int) int {
+		v := int(float64(n) * sizeScale)
+		if v < 64 {
+			v = 64
+		}
+		return v
+	}
+	type def struct {
+		name string
+		gen  func(e *Emitter)
+	}
+	defs := []def{
+		// Classic CDN edge cache: heavy skew, read-only, large catalog.
+		{"cdn-hot", func(e *Emitter) {
+			n := scale(60000)
+			base := e.Alloc(uint64(n * elem))
+			kernelZipf(e, base, n, 1<<30, 1.3)
+		}},
+		// Milder skew over an even larger catalog — the long-tail regime
+		// where hit rates are capacity-bound.
+		{"cdn-tail", func(e *Emitter) {
+			n := scale(120000)
+			base := e.Alloc(uint64(n * elem))
+			kernelZipf(e, base, n, 1<<30, 1.05)
+		}},
+		// Key-value GET path: Zipf-popular keys resolved through a hash
+		// table, alternating probe and payload reads.
+		{"kv-get", func(e *Emitter) {
+			buckets := scale(16000)
+			table := e.Alloc(uint64(buckets * 64))
+			vals := e.Alloc(uint64(scale(40000) * elem))
+			for !e.Full() {
+				kernelZipf(e, vals, scale(40000), 256, 1.2)
+				kernelHashProbe(e, table, buckets, 64, 0.02)
+			}
+		}},
+		// Key-value UPDATE path: skewed read-modify-write traffic.
+		{"kv-update", func(e *Emitter) {
+			n := scale(30000)
+			base := e.Alloc(uint64(n * 64))
+			kernelZipfRW(e, base, n, 1<<30, 1.25, 0.3)
+		}},
+		// Feed assembly: a hot Zipf working set interleaved with
+		// sequential scan bursts over fresh content.
+		{"feed-scan", func(e *Emitter) {
+			hot := scale(20000)
+			fresh := scale(8000)
+			hotBase := e.Alloc(uint64(hot * elem))
+			freshBase := e.Alloc(uint64(fresh * elem))
+			for !e.Full() {
+				kernelZipf(e, hotBase, hot, 512, 1.35)
+				kernelStream(e, freshBase, fresh/4, 0)
+			}
+		}},
+		// Session store: small skewed footprint with frequent writes —
+		// near-perfect locality once the hot set is resident.
+		{"session-store", func(e *Emitter) {
+			n := scale(2000)
+			base := e.Alloc(uint64(n * 64))
+			kernelZipfRW(e, base, n, 1<<30, 1.5, 0.45)
+		}},
+	}
+	s := Suite{Name: "zipflike"}
+	for i, d := range defs {
+		d := d
+		s.Benchmarks = append(s.Benchmarks, Benchmark{
+			Name:  "zipf/" + d.name,
+			Group: "zipf/" + d.name,
+			Suite: "zipflike",
+			Ops:   ops,
+			Seed:  9000 + int64(i),
+			gen:   func(e *Emitter) { d.gen(e) },
+		})
+	}
+	return s
+}

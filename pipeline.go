@@ -11,6 +11,7 @@ import (
 	"cachebox/internal/obs"
 	"cachebox/internal/par"
 	"cachebox/internal/store"
+	"cachebox/internal/stream"
 	"cachebox/internal/workload"
 )
 
@@ -36,6 +37,13 @@ type Pipeline struct {
 	// 1 = the serial path. Results are committed in deterministic input
 	// order, so output is identical whatever the width.
 	Workers int
+	// Stream routes BenchPairs (and everything built on it: Dataset,
+	// Evaluate, EvaluateAll) through the streaming subsystem
+	// (internal/stream): the trace is synthesised, simulated and
+	// windowed one heatmap window at a time through a bounded channel
+	// pipeline instead of being materialised. Output — including any
+	// store artifacts — is byte-identical to the materialised path.
+	Stream bool
 }
 
 // NewPipeline returns a Pipeline with the default scaled-down heatmap
@@ -60,29 +68,50 @@ func (p Pipeline) benchPairs(ctx context.Context, bench Benchmark, cfg CacheConf
 			return art.Pairs, art.HitRate, nil
 		}
 	}
-	metrics.SimRuns.Inc()
-	_, traceSpan := obs.Start(ctx, "workload.trace")
-	traceSpan.Tag("bench", bench.Name)
-	tr := bench.Trace()
-	traceSpan.End()
-	_, simSpan := obs.Start(ctx, "sim.run")
-	simSpan.Tag("bench", bench.Name)
-	lt := cachesim.RunTrace(cachesim.New(cfg), tr)
-	simSpan.End()
-	_, pairSpan := obs.Start(ctx, "heatmap.pairs")
-	pairs, err := heatmap.BuildPair(p.Heatmap, lt.Accesses, lt.Misses)
-	pairSpan.End()
-	if err != nil {
-		return nil, 0, fmt.Errorf("cachebox: %s: %w", bench.Name, err)
-	}
-	if p.MaxPairsPerBench > 0 && len(pairs) > p.MaxPairsPerBench {
-		pairs = pairs[:p.MaxPairsPerBench]
+	var pairs []HeatmapPair
+	var hr float64
+	if p.Stream {
+		// Streamed: one fused pass over the access stream. stream.Run
+		// counts the sim run, applies the pair cap at the source, and —
+		// without StopEarly — still reports the exact whole-trace hit
+		// rate, so the cached artifact below stays byte-identical.
+		res, err := stream.Run(ctx, bench, cfg,
+			stream.RunConfig{Heatmap: p.Heatmap, MaxWindows: p.MaxPairsPerBench},
+			func(w stream.Window) error {
+				pairs = append(pairs, w.Pair)
+				return nil
+			})
+		if err != nil {
+			return nil, 0, fmt.Errorf("cachebox: %s: %w", bench.Name, err)
+		}
+		hr = res.HitRate
+	} else {
+		metrics.SimRuns.Inc()
+		_, traceSpan := obs.Start(ctx, "workload.trace")
+		traceSpan.Tag("bench", bench.Name)
+		tr := bench.Trace()
+		traceSpan.End()
+		_, simSpan := obs.Start(ctx, "sim.run")
+		simSpan.Tag("bench", bench.Name)
+		lt := cachesim.RunTrace(cachesim.New(cfg), tr)
+		simSpan.End()
+		_, pairSpan := obs.Start(ctx, "heatmap.pairs")
+		var err error
+		pairs, err = heatmap.BuildPair(p.Heatmap, lt.Accesses, lt.Misses)
+		pairSpan.End()
+		if err != nil {
+			return nil, 0, fmt.Errorf("cachebox: %s: %w", bench.Name, err)
+		}
+		if p.MaxPairsPerBench > 0 && len(pairs) > p.MaxPairsPerBench {
+			pairs = pairs[:p.MaxPairsPerBench]
+		}
+		hr = lt.HitRate()
 	}
 	if p.Store != nil {
 		//lint:ignore unchecked-error cache-fill failure only costs a future re-simulation
-		p.Store.SavePairs(key, &store.PairsArtifact{Pairs: pairs, HitRate: lt.HitRate()})
+		p.Store.SavePairs(key, &store.PairsArtifact{Pairs: pairs, HitRate: hr})
 	}
-	return pairs, lt.HitRate(), nil
+	return pairs, hr, nil
 }
 
 // LevelPairs simulates bench against a full hierarchy and returns the
@@ -163,6 +192,44 @@ func (p Pipeline) Dataset(benches []Benchmark, cfgs []CacheConfig, minHitRate fl
 		return nil, fmt.Errorf("cachebox: dataset is empty (all benchmarks filtered?)")
 	}
 	return out, nil
+}
+
+// DatasetSource builds (or recalls from a warm store) a sharded
+// streaming dataset and returns it as a lazily served SampleSource for
+// Model.TrainSource, together with its manifest. The dataset is never
+// fully materialised: windows stream through a bounded channel into
+// content-addressed shards, and training fetches shards per batch. An
+// exhaustive build serves the exact sample sequence Dataset returns
+// (same order, images, params), so the trained model is byte-identical.
+//
+// A non-nil sampling config enables representative-interval sampling:
+// per-window access signatures are clustered (no simulation), ground
+// truth is simulated only for cluster representatives, and the served
+// samples carry weights that make the thinned dataset train as a
+// population estimate. Requires an attached Store.
+func (p Pipeline) DatasetSource(name string, benches []Benchmark, cfgs []CacheConfig, minHitRate float64, smp *SamplingConfig) (SampleSource, *DatasetManifest, error) {
+	if p.Store == nil {
+		return nil, nil, fmt.Errorf("cachebox: DatasetSource requires a Store")
+	}
+	man, _, err := stream.Build(context.Background(), p.Store, benches, cfgs, stream.BuildConfig{
+		Name:       name,
+		Heatmap:    p.Heatmap,
+		MaxWindows: p.MaxPairsPerBench,
+		MinHitRate: minHitRate,
+		Workers:    p.Workers,
+		Sampling:   smp,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	ds, err := stream.OpenDataset(p.Store, man)
+	if err != nil {
+		return nil, nil, err
+	}
+	if ds.Len() == 0 {
+		return nil, nil, fmt.Errorf("cachebox: dataset is empty (all benchmarks filtered?)")
+	}
+	return ds, man, nil
 }
 
 // Eval holds one benchmark's evaluation under one cache configuration.
