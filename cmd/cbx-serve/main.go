@@ -57,6 +57,7 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request queue+inference timeout")
 	workers := flag.Int("workers", 1, "batch-collection workers")
 	drainWait := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
+	quantize := flag.Bool("quantize", false, "serve int8 symmetric-quantized inference (calibrated from the loaded float32 weights; applies to hot-reloaded models too)")
 	smoke := flag.String("smoke", "", "run as a smoke-test client against this base URL and exit")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof handlers under /debug/pprof/ (opt-in)")
 	traceDir := flag.String("trace-dir", "", "write a Chrome trace-event file of the serving spans to this directory at shutdown")
@@ -80,6 +81,10 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cbx-serve:", err)
 		os.Exit(1)
+	}
+	if *quantize {
+		reg.Quantize()
+		log.Printf("cbx-serve: int8 quantized inference enabled")
 	}
 	s := serve.New(reg, serve.Config{
 		MaxBatch:       *maxBatch,

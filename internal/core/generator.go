@@ -216,6 +216,76 @@ func (g *Generator) Forward(x, params *tensor.Tensor, train bool) *tensor.Tensor
 	return g.tanh.Forward(u, train)
 }
 
+// PrepareQuant calibrates int8 weight panels for every conv, transposed
+// conv and dense layer so ForwardQuantized can run. Calibration is a
+// pure function of the float32 weights (per-tensor symmetric scale), so
+// it can be re-run at any time — after Load, after training — and the
+// serialised model format is unchanged.
+func (g *Generator) PrepareQuant() {
+	for _, c := range g.convs {
+		c.PrepareQuant()
+	}
+	for _, l := range g.mlp {
+		if dn, ok := l.(*nn.Dense); ok {
+			dn.PrepareQuant()
+		}
+	}
+	for _, u := range g.ups {
+		u.PrepareQuant()
+	}
+}
+
+// ForwardQuantized is the int8 inference forward: the same graph as
+// Forward in eval mode, with every conv/dense GEMM running through the
+// quantized kernels. The conv/dense layers take their inference-only
+// path (no im2col caching for backward, arena scratch instead), and the
+// generator-level skip list stays local instead of overwriting
+// g.skips. PrepareQuant must have been called first. Like Forward,
+// calls require external serialisation per model instance (the serve
+// registry's per-entry mutex provides it).
+func (g *Generator) ForwardQuantized(x, params *tensor.Tensor) *tensor.Tensor {
+	d := g.cfg.depth()
+	n := x.Shape[0]
+	skips := make([]*tensor.Tensor, 0, d-1)
+	h := x
+	for i := 0; i < d; i++ {
+		h = g.convs[i].ForwardQ8(h)
+		if g.bns[i] != nil {
+			h = g.bns[i].Forward(h, false)
+		}
+		h = g.acts[i].Forward(h, false)
+		if i < d-1 {
+			skips = append(skips, h)
+		}
+	}
+	if g.cfg.CondDim > 0 {
+		mustValidShape(params != nil, "core: generator requires cache parameters (CondDim > 0)")
+		p := params
+		for _, l := range g.mlp {
+			if dn, ok := l.(*nn.Dense); ok {
+				p = dn.ForwardQ8(p)
+			} else {
+				p = l.Forward(p, false)
+			}
+		}
+		bh := g.cfg.ImageSize >> uint(d)
+		h = concatC(h, p.Reshape(n, g.cfg.CondChannels, bh, bh))
+	}
+	u := h
+	for j := 0; j < d; j++ {
+		u = g.ups[j].ForwardQ8(u)
+		if j < d-1 {
+			u = g.ubns[j].Forward(u, false)
+			u = g.uacts[j].Forward(u, false)
+			if g.drops[j] != nil {
+				u = g.drops[j].Forward(u, false)
+			}
+			u = concatC(u, skips[d-2-j])
+		}
+	}
+	return g.tanh.Forward(u, false)
+}
+
 // Backward propagates dOut through the whole generator, accumulating
 // parameter gradients, and returns the gradient with respect to x.
 func (g *Generator) Backward(dOut *tensor.Tensor) *tensor.Tensor {

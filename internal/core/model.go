@@ -25,6 +25,34 @@ type Model struct {
 	// CodecX encodes access heatmaps; CodecY encodes/decodes miss
 	// heatmaps (misses are sparser, so they get a smaller cap).
 	CodecX, CodecY Codec
+
+	// quantized routes predict calls through the generator's int8
+	// forward path; set by Quantize.
+	quantized bool
+}
+
+// Quantize calibrates int8 weights for the generator and switches every
+// predict entry point to the quantized forward path. Calibration is
+// deterministic from the float32 weights (per-tensor symmetric scale),
+// so the serialised model format is unchanged — Save still writes
+// float32 weights and a loaded model can be re-quantized at will.
+// Inference-only: training continues to use the float32 path and
+// re-calling Quantize after a train step refreshes the int8 panels.
+func (m *Model) Quantize() {
+	m.G.PrepareQuant()
+	m.quantized = true
+}
+
+// Quantized reports whether predict calls use the int8 forward path.
+func (m *Model) Quantized() bool { return m.quantized }
+
+// forward runs the generator in eval mode on the path selected by
+// Quantize.
+func (m *Model) forward(x, p *tensor.Tensor) *tensor.Tensor {
+	if m.quantized {
+		return m.G.ForwardQuantized(x, p)
+	}
+	return m.G.Forward(x, p, false)
 }
 
 // NewModel constructs a fresh CB-GAN from cfg.
@@ -139,7 +167,7 @@ func (m *Model) Predict(access []*heatmap.Heatmap, params []float32, batchSize i
 			}
 		}
 		_, fwdSpan := obs.Start(ctx, "model.forward")
-		y := m.G.Forward(x, p, false)
+		y := m.forward(x, p)
 		fwdSpan.End()
 		_, decSpan := obs.Start(ctx, "codec.decode")
 		decoded := m.CodecY.DecodeBatch("synthetic", y)
@@ -228,7 +256,7 @@ func (m *Model) predictBatch(access []*heatmap.Heatmap, params [][]float32) ([]*
 		}
 	}
 	_, fwdSpan := obs.Start(ctx, "model.forward")
-	y := m.G.Forward(x, p, false)
+	y := m.forward(x, p)
 	fwdSpan.End()
 	_, decSpan := obs.Start(ctx, "codec.decode")
 	out := m.CodecY.DecodeBatch("synthetic", y)

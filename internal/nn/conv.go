@@ -16,11 +16,16 @@ type Conv2d struct {
 	W *Param // [OutC, InC*Kernel*Kernel]
 	B *Param // [OutC]
 
-	// cached for backward
+	// cached for backward; cols doubles as the reused im2col buffer
+	// (ensureTensor), so steady-state training allocates no im2col
+	// scratch.
 	cols       *tensor.Tensor // [InC*k*k, N*outHW]
+	dcols      *tensor.Tensor // reused backward scratch, same shape
 	inH, inW   int
 	n          int
 	outH, outW int
+
+	qw *tensor.QuantMat // int8 weights [OutC, InC*k*k], set by PrepareQuant
 }
 
 // NewConv2d constructs the layer with Pix2Pix weight init.
@@ -45,7 +50,7 @@ func (c *Conv2d) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	outW := tensor.ConvOutSize(w, c.Kernel, c.Stride, c.Pad)
 	outHW := outH * outW
 	ckk := c.InC * c.Kernel * c.Kernel
-	cols := tensor.New(ckk, n*outHW)
+	cols := ensureTensor(c.cols, ckk, n*outHW)
 	imSize := c.InC * h * w
 	for i := 0; i < n; i++ {
 		tensor.Im2colStrided(cols.Data, n*outHW, i*outHW, x.Data[i*imSize:(i+1)*imSize],
@@ -78,8 +83,10 @@ func (c *Conv2d) Backward(dy *tensor.Tensor) *tensor.Tensor {
 		}
 		c.B.Grad.Data[oc] += float32(s)
 	}
-	// dCols = Wᵀ × dY, then scatter back per sample.
-	dcols := tensor.MatMulATB(c.W.Value, dyCK) // [InC*k*k, N*outHW]
+	// dCols = Wᵀ × dY into the reused scratch, then scatter per sample.
+	dcols := ensureTensor(c.dcols, c.InC*c.Kernel*c.Kernel, n*outHW)
+	tensor.MatMulATBInto(dcols, c.W.Value, dyCK, false)
+	c.dcols = dcols
 	dx := tensor.New(n, c.InC, c.inH, c.inW)
 	imSize := c.InC * c.inH * c.inW
 	for i := 0; i < n; i++ {
@@ -99,9 +106,13 @@ type ConvTranspose2d struct {
 	B *Param // [OutC]
 
 	xCK        *tensor.Tensor // cached input as [InC, N*HW]
+	cols       *tensor.Tensor // reused forward scratch [OutC*k*k, N*HW]
+	dcols      *tensor.Tensor // reused backward scratch, same shape
 	n          int
 	inH, inW   int
 	outH, outW int
+
+	qwt *tensor.QuantMat // transposed int8 weights [OutC*k*k, InC], set by PrepareQuant
 }
 
 // NewConvTranspose2d constructs the layer with Pix2Pix weight init.
@@ -126,7 +137,9 @@ func (c *ConvTranspose2d) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	outH := tensor.ConvTransposeOutSize(h, c.Kernel, c.Stride, c.Pad)
 	outW := tensor.ConvTransposeOutSize(w, c.Kernel, c.Stride, c.Pad)
 	xCK := nchwToCK(x.Reshape(n, c.InC, hw), n, c.InC, hw) // [InC, N*HW]
-	cols := tensor.MatMulATB(c.W.Value, xCK)               // [OutC*k*k, N*HW]
+	cols := ensureTensor(c.cols, c.OutC*c.Kernel*c.Kernel, n*hw)
+	tensor.MatMulATBInto(cols, c.W.Value, xCK, false)
+	c.cols = cols
 	y := tensor.New(n, c.OutC, outH, outW)
 	imSize := c.OutC * outH * outW
 	for i := 0; i < n; i++ {
@@ -151,7 +164,8 @@ func (c *ConvTranspose2d) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	n, hw := c.n, c.inH*c.inW
 	checkShape("ConvTranspose2d grad", dy.Shape, n, c.OutC, c.outH, c.outW)
 	ckk := c.OutC * c.Kernel * c.Kernel
-	dcols := tensor.New(ckk, n*hw)
+	dcols := ensureTensor(c.dcols, ckk, n*hw)
+	c.dcols = dcols
 	imSize := c.OutC * c.outH * c.outW
 	for i := 0; i < n; i++ {
 		tensor.Im2colStrided(dcols.Data, n*hw, i*hw, dy.Data[i*imSize:(i+1)*imSize],

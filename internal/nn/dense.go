@@ -15,6 +15,8 @@ type Dense struct {
 	B       *Param // [Out]
 
 	x *tensor.Tensor
+
+	qwt *tensor.QuantMat // transposed int8 weights [In, Out], set by PrepareQuant
 }
 
 // NewDense constructs the layer with Pix2Pix-style init.

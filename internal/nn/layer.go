@@ -112,6 +112,23 @@ func checkShape(what string, got []int, want ...int) {
 	}
 }
 
+// ensureTensor returns a tensor of the given shape, reusing t's backing
+// array when its capacity suffices (contents are stale — the caller
+// must overwrite the full extent, which im2col and non-accumulating
+// GEMMs do). Layers use it for their large per-call work buffers so a
+// steady-state train loop stops allocating im2col/gradient scratch
+// after the first step.
+func ensureTensor(t *tensor.Tensor, shape ...int) *tensor.Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if t != nil && cap(t.Data) >= n {
+		return tensor.FromSlice(t.Data[:n], shape...)
+	}
+	return tensor.New(shape...)
+}
+
 // nchwToCK permutes x [N,C,HW] into out [C, N*HW] so the whole batch
 // shares one GEMM; ckToNCHW is its inverse.
 func nchwToCK(x *tensor.Tensor, n, c, hw int) *tensor.Tensor {

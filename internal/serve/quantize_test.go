@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"testing"
+)
+
+// TestRegistryQuantize covers the -quantize boot path: existing entries
+// are quantized in place, and models arriving through a later hot
+// reload come up quantized too — a replica flagged for int8 inference
+// must never silently fall back to float32 after a redeploy.
+func TestRegistryQuantize(t *testing.T) {
+	dir := t.TempDir()
+	saveModel(t, dir, "l1")
+	reg, err := NewRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := reg.get("l1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.model.Quantized() {
+		t.Fatal("model quantized before Quantize was called")
+	}
+
+	reg.Quantize()
+	if e, err = reg.get("l1"); err != nil {
+		t.Fatal(err)
+	}
+	if !e.model.Quantized() {
+		t.Fatal("existing entry not quantized")
+	}
+
+	// A new model appearing on reload must come up quantized.
+	saveModel(t, dir, "l2")
+	if _, err := reg.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"l1", "l2"} {
+		e, err := reg.get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !e.model.Quantized() {
+			t.Fatalf("entry %q not quantized after reload", name)
+		}
+	}
+}
+
+// TestStaticRegistryQuantize covers the single-model (-model flag)
+// variant.
+func TestStaticRegistryQuantize(t *testing.T) {
+	reg := NewStaticRegistry("", tinyModel(t))
+	reg.Quantize()
+	e, err := reg.get("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.model.Quantized() {
+		t.Fatal("static entry not quantized")
+	}
+}

@@ -52,10 +52,34 @@ type entry struct {
 // directory of *.cbgan files — or by an artifact store — for hot
 // reload.
 type Registry struct {
-	dir     string       // "" for static and store-backed registries
-	st      *store.Store // nil unless store-backed
-	mu      sync.RWMutex
-	entries map[string]*entry
+	dir      string       // "" for static and store-backed registries
+	st       *store.Store // nil unless store-backed
+	quantize bool         // int8-quantize models at (re)load; set by Quantize
+	mu       sync.RWMutex
+	entries  map[string]*entry
+}
+
+// Quantize switches the registry to int8 inference: every currently
+// loaded model is quantized in place (core.Model.Quantize — calibration
+// from the float32 weights, no file-format change), and models brought
+// in by future Reloads are quantized as they load. It cannot be undone
+// short of a reload on a non-quantizing registry, which is fine for its
+// one caller: the cbx-serve -quantize boot flag.
+func (r *Registry) Quantize() {
+	r.mu.Lock()
+	r.quantize = true
+	entries := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.Unlock()
+	// Quantize under each entry's inference mutex, not the registry map
+	// lock, so in-flight batches on other models are never stalled.
+	for _, e := range entries {
+		e.mu.Lock()
+		e.model.Quantize()
+		e.mu.Unlock()
+	}
 }
 
 // NewRegistry scans dir for *.cbgan files, loading each as the model
@@ -188,6 +212,7 @@ func (r *Registry) Reload() (ReloadSummary, error) {
 	sort.Strings(names)
 
 	r.mu.RLock()
+	quantize := r.quantize
 	old := make(map[string]*entry, len(r.entries))
 	for name, e := range r.entries {
 		old[name] = e
@@ -207,6 +232,9 @@ func (r *Registry) Reload() (ReloadSummary, error) {
 				next[name] = prev
 			}
 			continue
+		}
+		if quantize {
+			m.Quantize()
 		}
 		next[name] = &entry{name: name, model: m, path: path, loadedAt: time.Now(), sha256: sha}
 		if _, existed := old[name]; existed {
@@ -262,6 +290,7 @@ func (r *Registry) reloadFromStore() (ReloadSummary, error) {
 	sort.Strings(names)
 
 	r.mu.RLock()
+	quantize := r.quantize
 	old := make(map[string]*entry, len(r.entries))
 	for name, e := range r.entries {
 		old[name] = e
@@ -288,6 +317,9 @@ func (r *Registry) reloadFromStore() (ReloadSummary, error) {
 				next[name] = prev
 			}
 			continue
+		}
+		if quantize {
+			m.Quantize()
 		}
 		next[name] = &entry{name: name, model: m, path: "store:" + man.Digest[:12], loadedAt: time.Now(), sha256: man.SHA256}
 		if _, existed := old[name]; existed {

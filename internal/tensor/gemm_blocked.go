@@ -1,0 +1,258 @@
+package tensor
+
+import (
+	"context"
+
+	"cachebox/internal/obs"
+	"cachebox/internal/par"
+)
+
+// This file holds the cache-blocked, goroutine-tiled GEMM kernel that
+// replaced the naive row-banded loop (ROADMAP item 1). The structure
+// is the classic three-level blocking of high-performance BLAS:
+//
+//   - the output C is cut into gemmMC × gemmNC tiles, each owned by
+//     exactly one task (deterministic index-ordered ownership: task t
+//     owns tile (t / tilesN, t mod tilesN), and no two tasks write the
+//     same C element);
+//   - within a tile, the shared dimension is walked in gemmKC-deep
+//     blocks; the A block is packed depth-major and the B block packed
+//     row-contiguous into arena panels sized to stay cache-resident;
+//   - a gemmMR × gemmNR register micro-kernel accumulates each output
+//     patch across one depth block in local scalars.
+//
+// Determinism and bit-exactness: every C element is accumulated in
+// strictly increasing p order — depth blocks are visited in order and
+// the micro-kernel walks p sequentially within a block — and every
+// multiply is rounded to float32 before the add (the explicit
+// float32() conversions below forbid FMA contraction). The result is
+// therefore byte-identical to the naive gemmRef triple loop and
+// independent of the worker count, which is what keeps the fig3/fig7
+// golden artifacts stable at any -j.
+const (
+	// gemmMC is the tile height: gemmMC×gemmKC A panels are 64 KiB,
+	// comfortably L2-resident while the B panel streams.
+	gemmMC = 64
+	// gemmKC is the depth block: gemmKC×gemmNR B micro-rows (8 KiB)
+	// stay L1-resident across the whole tile row sweep.
+	gemmKC = 256
+	// gemmNC is the tile width: the packed gemmKC×gemmNC B panel is
+	// 256 KiB, sized for the L2 slice the tile's task effectively owns.
+	gemmNC = 256
+	// gemmMR × gemmNR is the register tile: 32 scalar accumulators plus
+	// 8 B values and 4 A values live in registers in the unrolled
+	// micro-kernel.
+	gemmMR = 4
+	gemmNR = 8
+
+	// gemmParallelMin is the m·n·k below which tiling overhead beats
+	// the win and the tiles run inline on the calling goroutine.
+	gemmParallelMin = 1 << 16
+)
+
+// gemmBlocked is the kernel driver: it cuts C into tiles and runs them
+// serially or across an internal/par pool. workers only changes the
+// schedule, never the result (each tile is owned by one task and each
+// element is summed in fixed p order).
+func gemmBlocked(c, a, b []float32, m, k, n int, accumulate bool, workers int) {
+	if m <= 0 || n <= 0 {
+		return
+	}
+	if k <= 0 {
+		if !accumulate {
+			for i := range c[:m*n] {
+				c[i] = 0
+			}
+		}
+		return
+	}
+	tilesM := (m + gemmMC - 1) / gemmMC
+	tilesN := (n + gemmNC - 1) / gemmNC
+	tiles := tilesM * tilesN
+	if workers > tiles {
+		workers = tiles
+	}
+	if workers <= 1 || m*n*k < gemmParallelMin {
+		for t := 0; t < tiles; t++ {
+			gemmTile(c, a, b, m, k, n, t, tilesN, accumulate)
+		}
+		return
+	}
+	err := par.New(workers).Run(context.Background(), tiles, func(_ context.Context, t int) error {
+		gemmTile(c, a, b, m, k, n, t, tilesN, accumulate)
+		return nil
+	})
+	// Tasks never return errors, so err can only be a panic captured
+	// inside the pool; re-raise it on the caller like the serial path
+	// would have.
+	mustValidShape(err == nil, "tensor: gemm tile worker: %v", err)
+}
+
+// gemmTile computes one gemmMC × gemmNC output tile: pack panels per
+// depth block from the arena, then sweep the register micro-kernel
+// over the tile. Tile t covers C rows [ic, ic+mc) and cols [jc, jc+nc).
+func gemmTile(c, a, b []float32, m, k, n, t, tilesN int, accumulate bool) {
+	ic := (t / tilesN) * gemmMC
+	jc := (t % tilesN) * gemmNC
+	mc := min(gemmMC, m-ic)
+	nc := min(gemmNC, n-jc)
+	aps := GetScratch(gemmMC * gemmKC)
+	bps := GetScratch(gemmKC * gemmNC)
+	ap, bp := aps.Data, bps.Data
+	for pc := 0; pc < k; pc += gemmKC {
+		kc := min(gemmKC, k-pc)
+		packA(ap, a, k, ic, pc, mc, kc)
+		packB(bp, b, n, jc, pc, nc, kc)
+		// On the first depth block of a non-accumulating GEMM the
+		// micro-kernel starts its accumulators at zero instead of loading
+		// C, so the output needs no separate zeroing pass.
+		first := pc == 0 && !accumulate
+		for i0 := 0; i0 < mc; i0 += gemmMR {
+			mr := min(gemmMR, mc-i0)
+			for j0 := 0; j0 < nc; j0 += gemmNR {
+				nr := min(gemmNR, nc-j0)
+				if mr == gemmMR && nr == gemmNR {
+					gemmMicro4x8(c, n, ic+i0, jc+j0, ap, bp, mc, nc, kc, i0, j0, first)
+				} else {
+					gemmMicroEdge(c, n, ic+i0, jc+j0, ap, bp, mc, nc, kc, i0, j0, mr, nr, first)
+				}
+			}
+		}
+	}
+	aps.Release()
+	bps.Release()
+}
+
+// packA copies the A block rows [ic, ic+mc) × depth [pc, pc+kc) into
+// ap depth-major (ap[p*mc+i]), so one depth step of a micro-tile reads
+// its gemmMR A values contiguously.
+func packA(ap, a []float32, k, ic, pc, mc, kc int) {
+	l := obs.StartLeaf("tensor.pack")
+	for i := 0; i < mc; i++ {
+		row := a[(ic+i)*k+pc : (ic+i)*k+pc+kc]
+		for p, v := range row {
+			ap[p*mc+i] = v
+		}
+	}
+	l.End()
+}
+
+// packB copies the B block depth [pc, pc+kc) × cols [jc, jc+nc) into
+// bp row-contiguous (bp[p*nc+j]): dense panels instead of strides
+// across the full matrix width.
+func packB(bp, b []float32, n, jc, pc, nc, kc int) {
+	l := obs.StartLeaf("tensor.pack")
+	for p := 0; p < kc; p++ {
+		copy(bp[p*nc:p*nc+nc], b[(pc+p)*n+jc:(pc+p)*n+jc+nc])
+	}
+	l.End()
+}
+
+// gemmMicro4x8 is the full register tile: 4 C rows × 8 C cols
+// accumulated across one packed depth block in 32 scalar accumulators.
+// ci/cj address the tile's top-left C element; i0/j0 address it inside
+// the packed panels. The float32() conversions are load-bearing: they
+// round every product before its add, forbidding FMA contraction so
+// the kernel is bit-identical to gemmRef on every platform.
+//
+//cbx:hotpath innermost GEMM register tile; runs millions of times per train step
+func gemmMicro4x8(c []float32, n, ci, cj int, ap, bp []float32, mc, nc, kc, i0, j0 int, first bool) {
+	r0 := c[ci*n+cj : ci*n+cj+8 : ci*n+cj+8]
+	r1 := c[(ci+1)*n+cj : (ci+1)*n+cj+8 : (ci+1)*n+cj+8]
+	r2 := c[(ci+2)*n+cj : (ci+2)*n+cj+8 : (ci+2)*n+cj+8]
+	r3 := c[(ci+3)*n+cj : (ci+3)*n+cj+8 : (ci+3)*n+cj+8]
+	var c00, c01, c02, c03, c04, c05, c06, c07 float32
+	var c10, c11, c12, c13, c14, c15, c16, c17 float32
+	var c20, c21, c22, c23, c24, c25, c26, c27 float32
+	var c30, c31, c32, c33, c34, c35, c36, c37 float32
+	if !first {
+		c00, c01, c02, c03, c04, c05, c06, c07 = r0[0], r0[1], r0[2], r0[3], r0[4], r0[5], r0[6], r0[7]
+		c10, c11, c12, c13, c14, c15, c16, c17 = r1[0], r1[1], r1[2], r1[3], r1[4], r1[5], r1[6], r1[7]
+		c20, c21, c22, c23, c24, c25, c26, c27 = r2[0], r2[1], r2[2], r2[3], r2[4], r2[5], r2[6], r2[7]
+		c30, c31, c32, c33, c34, c35, c36, c37 = r3[0], r3[1], r3[2], r3[3], r3[4], r3[5], r3[6], r3[7]
+	}
+	apOff, bpOff := i0, j0
+	for p := 0; p < kc; p++ {
+		av := ap[apOff : apOff+4 : apOff+4]
+		bv := bp[bpOff : bpOff+8 : bpOff+8]
+		apOff += mc
+		bpOff += nc
+		b0, b1, b2, b3 := bv[0], bv[1], bv[2], bv[3]
+		b4, b5, b6, b7 := bv[4], bv[5], bv[6], bv[7]
+		a0 := av[0]
+		c00 += float32(a0 * b0)
+		c01 += float32(a0 * b1)
+		c02 += float32(a0 * b2)
+		c03 += float32(a0 * b3)
+		c04 += float32(a0 * b4)
+		c05 += float32(a0 * b5)
+		c06 += float32(a0 * b6)
+		c07 += float32(a0 * b7)
+		a1 := av[1]
+		c10 += float32(a1 * b0)
+		c11 += float32(a1 * b1)
+		c12 += float32(a1 * b2)
+		c13 += float32(a1 * b3)
+		c14 += float32(a1 * b4)
+		c15 += float32(a1 * b5)
+		c16 += float32(a1 * b6)
+		c17 += float32(a1 * b7)
+		a2 := av[2]
+		c20 += float32(a2 * b0)
+		c21 += float32(a2 * b1)
+		c22 += float32(a2 * b2)
+		c23 += float32(a2 * b3)
+		c24 += float32(a2 * b4)
+		c25 += float32(a2 * b5)
+		c26 += float32(a2 * b6)
+		c27 += float32(a2 * b7)
+		a3 := av[3]
+		c30 += float32(a3 * b0)
+		c31 += float32(a3 * b1)
+		c32 += float32(a3 * b2)
+		c33 += float32(a3 * b3)
+		c34 += float32(a3 * b4)
+		c35 += float32(a3 * b5)
+		c36 += float32(a3 * b6)
+		c37 += float32(a3 * b7)
+	}
+	r0[0], r0[1], r0[2], r0[3], r0[4], r0[5], r0[6], r0[7] = c00, c01, c02, c03, c04, c05, c06, c07
+	r1[0], r1[1], r1[2], r1[3], r1[4], r1[5], r1[6], r1[7] = c10, c11, c12, c13, c14, c15, c16, c17
+	r2[0], r2[1], r2[2], r2[3], r2[4], r2[5], r2[6], r2[7] = c20, c21, c22, c23, c24, c25, c26, c27
+	r3[0], r3[1], r3[2], r3[3], r3[4], r3[5], r3[6], r3[7] = c30, c31, c32, c33, c34, c35, c36, c37
+}
+
+// gemmMicroEdge handles partial tiles at the right/bottom matrix edges
+// with the same fixed p-order accumulation discipline as the unrolled
+// kernel, so edge elements are just as bit-exact.
+//
+//cbx:hotpath edge register tile of the blocked GEMM; same zero-alloc budget as the 4x8 kernel
+func gemmMicroEdge(c []float32, n, ci, cj int, ap, bp []float32, mc, nc, kc, i0, j0, mr, nr int, first bool) {
+	var acc [gemmMR * gemmNR]float32
+	if !first {
+		for r := 0; r < mr; r++ {
+			row := c[(ci+r)*n+cj : (ci+r)*n+cj+nr]
+			for x, v := range row {
+				acc[r*gemmNR+x] = v
+			}
+		}
+	}
+	apOff, bpOff := i0, j0
+	for p := 0; p < kc; p++ {
+		apr := ap[apOff : apOff+mr]
+		bpr := bp[bpOff : bpOff+nr]
+		apOff += mc
+		bpOff += nc
+		for r, av := range apr {
+			for x, bv := range bpr {
+				acc[r*gemmNR+x] += float32(av * bv)
+			}
+		}
+	}
+	for r := 0; r < mr; r++ {
+		row := c[(ci+r)*n+cj : (ci+r)*n+cj+nr]
+		for x := range row {
+			row[x] = acc[r*gemmNR+x]
+		}
+	}
+}

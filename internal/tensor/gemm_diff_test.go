@@ -1,0 +1,290 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The differential GEMM suite: the blocked/tiled kernel must match the
+// naive gemmRef triple loop EXACTLY — same float32 bits, not "close" —
+// for every adversarial shape, both accumulate modes, and any worker
+// count. This is the same discipline as the repo's parallel-equivalence
+// goldens: determinism is bit-equality, never tolerance.
+
+// diffShapes returns the adversarial (m, k, n) set: the full cross
+// product of the small degenerate sizes, each dimension swept across
+// its own block boundary (block−1, block, block+1, 2·block+3 — the
+// blocks differ per dimension: gemmMC rows, gemmKC depth, gemmNC
+// cols), and mixed cases where every dimension sits at an edge at
+// once. Edge sweeps hold the other dimensions at moderate co-prime
+// sizes so a stray stride bug cannot alias away.
+func diffShapes() [][3]int {
+	var shapes [][3]int
+	small := []int{1, 2, 3, 7}
+	for _, m := range small {
+		for _, k := range small {
+			for _, n := range small {
+				shapes = append(shapes, [3]int{m, k, n})
+			}
+		}
+	}
+	for _, m := range []int{gemmMC - 1, gemmMC, gemmMC + 1, 2*gemmMC + 3} {
+		shapes = append(shapes, [3]int{m, 33, 47})
+	}
+	for _, k := range []int{gemmKC - 1, gemmKC, gemmKC + 1, 2*gemmKC + 3} {
+		shapes = append(shapes, [3]int{19, k, 29})
+	}
+	for _, n := range []int{gemmNC - 1, gemmNC, gemmNC + 1, 2*gemmNC + 3} {
+		shapes = append(shapes, [3]int{21, 37, n})
+	}
+	shapes = append(shapes,
+		[3]int{gemmMC + 1, gemmKC + 1, gemmNC + 1},
+		[3]int{2*gemmMC + 3, gemmKC - 1, gemmNC - 1},
+		[3]int{gemmMC - 1, gemmKC + 1, 2},
+		[3]int{1, 2*gemmKC + 3, gemmNC + 1},
+	)
+	return shapes
+}
+
+// assertBitsEqual fails on the first element whose float32 bit pattern
+// differs (math.Float32bits distinguishes -0 from +0 and NaN payloads,
+// which a plain == would not).
+func assertBitsEqual(t *testing.T, got, want []float32, label string) {
+	t.Helper()
+	for i := range want {
+		if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+			t.Fatalf("%s: element %d: got %v (bits %08x), want %v (bits %08x)",
+				label, i, got[i], math.Float32bits(got[i]), want[i], math.Float32bits(want[i]))
+		}
+	}
+}
+
+func TestGemmBlockedMatchesRefExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	for _, sh := range diffShapes() {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := make([]float32, m*k)
+		b := make([]float32, k*n)
+		c0 := make([]float32, m*n)
+		for i := range a {
+			a[i] = float32(rng.NormFloat64())
+		}
+		for i := range b {
+			b[i] = float32(rng.NormFloat64())
+		}
+		for i := range c0 {
+			c0[i] = float32(rng.NormFloat64())
+		}
+		for _, accumulate := range []bool{false, true} {
+			want := append([]float32(nil), c0...)
+			gemmRef(want, a, b, m, k, n, accumulate)
+			for _, workers := range []int{1, 8} {
+				got := append([]float32(nil), c0...)
+				gemmBlocked(got, a, b, m, k, n, accumulate, workers)
+				label := testLabel(m, k, n, accumulate, workers)
+				assertBitsEqual(t, got, want, label)
+			}
+		}
+	}
+}
+
+func testLabel(m, k, n int, accumulate bool, workers int) string {
+	acc := "overwrite"
+	if accumulate {
+		acc = "accumulate"
+	}
+	return "gemm " + itoa(m) + "x" + itoa(k) + "x" + itoa(n) + " " + acc + " j" + itoa(workers)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// TestGemmBlockedZeroK pins the k==0 edge: overwrite mode must zero the
+// output (an empty sum), accumulate mode must leave it untouched.
+func TestGemmBlockedZeroK(t *testing.T) {
+	c := []float32{1, 2, 3, 4}
+	gemmBlocked(c, nil, nil, 2, 0, 2, true, 1)
+	assertBitsEqual(t, c, []float32{1, 2, 3, 4}, "k=0 accumulate")
+	gemmBlocked(c, nil, nil, 2, 0, 2, false, 1)
+	assertBitsEqual(t, c, []float32{0, 0, 0, 0}, "k=0 overwrite")
+}
+
+// TestGemmNoZeroSkip guards a subtle determinism property: the kernel
+// must NOT skip zero A values (the pre-rewrite kernel did). Skipping
+// changes nothing for finite data but diverges from gemmRef when B
+// holds infinities (0·∞ = NaN), and the differential contract is exact
+// agreement on everything.
+func TestGemmNoZeroSkip(t *testing.T) {
+	a := []float32{0, 1}
+	b := []float32{float32(math.Inf(1)), 2, 3, 4}
+	want := make([]float32, 2)
+	gemmRef(want, a, b, 1, 2, 2, false)
+	got := make([]float32, 2)
+	gemmBlocked(got, a, b, 1, 2, 2, false, 1)
+	assertBitsEqual(t, got, want, "zero-times-inf")
+	if !math.IsNaN(float64(got[0])) {
+		t.Fatalf("0*Inf column should be NaN, got %v", got[0])
+	}
+}
+
+// TestGemmQ8MatchesScaledInt pins the int8 kernel against a directly
+// computed int32 reference: integer accumulation is exact, so equality
+// is bitwise regardless of worker count.
+func TestGemmQ8MatchesScaledInt(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for _, sh := range [][3]int{{1, 1, 1}, {3, 7, 2}, {5, 300, 33}, {67, 19, 41}} {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := make([]int8, m*k)
+		b := make([]int8, k*n)
+		for i := range a {
+			a[i] = int8(rng.Intn(255) - 127)
+		}
+		for i := range b {
+			b[i] = int8(rng.Intn(255) - 127)
+		}
+		const scale = 0.03125
+		want := make([]float32, m*n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				var s int32
+				for p := 0; p < k; p++ {
+					s += int32(a[i*k+p]) * int32(b[p*n+j])
+				}
+				want[i*n+j] = scale * float32(s)
+			}
+		}
+		for _, workers := range []int{1, 8} {
+			got := make([]float32, m*n)
+			gemmQ8(got, a, b, m, k, n, scale, false, workers)
+			assertBitsEqual(t, got, want, "q8 "+testLabel(m, k, n, false, workers))
+		}
+	}
+}
+
+// TestQuantizeSymmetricRoundTrip checks the quantizer's contract: scale
+// recovers the magnitudes within half a step, the max-abs element maps
+// to ±127, and the degenerate inputs take their documented fallbacks.
+func TestQuantizeSymmetricRoundTrip(t *testing.T) {
+	src := []float32{-1, 0.5, 0.25, 1.27, -0.003}
+	dst := make([]int8, len(src))
+	scale := QuantizeSymmetric(dst, src)
+	if dst[3] != 127 {
+		t.Fatalf("max-abs element quantized to %d, want 127", dst[3])
+	}
+	for i, v := range src {
+		back := float32(dst[i]) * scale
+		if math.Abs(float64(back-v)) > float64(scale)/2+1e-7 {
+			t.Fatalf("element %d: %v dequantizes to %v (scale %v)", i, v, back, scale)
+		}
+	}
+
+	zeros := make([]float32, 4)
+	qz := make([]int8, 4)
+	if s := QuantizeSymmetric(qz, zeros); s != 1 {
+		t.Fatalf("all-zero scale = %v, want 1", s)
+	}
+	for _, q := range qz {
+		if q != 0 {
+			t.Fatalf("all-zero source quantized to %v", qz)
+		}
+	}
+
+	weird := []float32{float32(math.NaN()), float32(math.Inf(1)), -2}
+	qw := make([]int8, 3)
+	QuantizeSymmetric(qw, weird)
+	if qw[0] != 0 {
+		t.Fatalf("NaN quantized to %d, want 0", qw[0])
+	}
+	if qw[1] != 127 {
+		t.Fatalf("+Inf quantized to %d, want 127", qw[1])
+	}
+}
+
+// TestQuantizeTensorT pins the pre-transposed weight layout Dense and
+// ConvTranspose2d rely on: q[j*rows+i] corresponds to t[i*cols+j].
+func TestQuantizeTensorT(t *testing.T) {
+	w := FromSlice([]float32{1, -2, 3, -4, 5, -6}, 2, 3)
+	q := QuantizeTensorT(w)
+	if q.Rows != 3 || q.Cols != 2 {
+		t.Fatalf("transposed dims %dx%d, want 3x2", q.Rows, q.Cols)
+	}
+	qd := QuantizeTensor(w)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if q.Data[j*2+i] != qd.Data[i*3+j] {
+				t.Fatalf("transpose layout broken at (%d,%d)", i, j)
+			}
+		}
+	}
+	if q.Scale != qd.Scale {
+		t.Fatalf("scales differ: %v vs %v", q.Scale, qd.Scale)
+	}
+}
+
+// BenchmarkGemmBlocked and BenchmarkGemmRef are the CI gemm-bench
+// pair: scripts/bench_pr9.sh runs both on 512×512×512 and asserts the
+// blocked kernel wins by ≥2×.
+func benchGemm(b *testing.B, size int, fn func(c, a, bb []float32, m, k, n int)) {
+	rng := rand.New(rand.NewSource(7))
+	a := make([]float32, size*size)
+	bb := make([]float32, size*size)
+	c := make([]float32, size*size)
+	for i := range a {
+		a[i] = float32(rng.NormFloat64())
+		bb[i] = float32(rng.NormFloat64())
+	}
+	flops := 2 * float64(size) * float64(size) * float64(size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn(c, a, bb, size, size, size)
+	}
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+}
+
+func BenchmarkGemmRef512(b *testing.B) {
+	benchGemm(b, 512, func(c, a, bb []float32, m, k, n int) {
+		gemmRef(c, a, bb, m, k, n, false)
+	})
+}
+
+func BenchmarkGemmBlocked512(b *testing.B) {
+	benchGemm(b, 512, func(c, a, bb []float32, m, k, n int) {
+		gemmBlocked(c, a, bb, m, k, n, false, 1)
+	})
+}
+
+func BenchmarkGemmBlockedParallel512(b *testing.B) {
+	benchGemm(b, 512, func(c, a, bb []float32, m, k, n int) {
+		Gemm(c, a, bb, m, k, n, false)
+	})
+}
+
+func BenchmarkGemmQ8_512(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	const size = 512
+	a := make([]int8, size*size)
+	bb := make([]int8, size*size)
+	c := make([]float32, size*size)
+	for i := range a {
+		a[i] = int8(rng.Intn(255) - 127)
+		bb[i] = int8(rng.Intn(255) - 127)
+	}
+	flops := 2 * float64(size) * float64(size) * float64(size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gemmQ8(c, a, bb, size, size, size, 0.01, false, 1)
+	}
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GOP/s")
+}

@@ -1,0 +1,205 @@
+package tensor
+
+import (
+	"context"
+	"math"
+	"runtime"
+
+	"cachebox/internal/obs"
+	"cachebox/internal/par"
+)
+
+// Int8 symmetric quantization for the inference-only fast path.
+//
+// A float32 tensor is mapped to int8 with a single per-tensor scale
+// s = maxabs/127, q = round(x/s) clamped to [-127, 127]. Weights are
+// quantized once when a model is prepared for quantized serving
+// (calibration is deterministic from the weights, so the model file
+// format is untouched); activations are quantized dynamically per
+// call. The int8×int8 GEMM accumulates in int32 — exact integer math,
+// so unlike the float32 kernel there is no summation-order freedom to
+// defend: any schedule gives bit-identical results. The output is
+// dequantized by the product of the two scales.
+//
+// Range safety: |q| ≤ 127 so each product is ≤ 16129 and an int32
+// accumulator overflows only past k ≈ 133k — far above any reduction
+// depth in this codebase (the largest is InC·k·k at full scale,
+// ~16k).
+
+// QuantMat is an int8 symmetric-quantized matrix: prepared weights for
+// the quantized forward path.
+type QuantMat struct {
+	Data       []int8
+	Scale      float32
+	Rows, Cols int
+}
+
+// QuantizeSymmetric quantizes src into dst (which must be at least
+// len(src) long) and returns the scale. An all-zero (or empty) source
+// returns scale 1 so dequantization stays finite; non-finite inputs
+// clamp to the int8 range (NaN maps to 0).
+func QuantizeSymmetric(dst []int8, src []float32) float32 {
+	var maxAbs float32
+	for _, v := range src {
+		if v != v { // NaN never drives the scale
+			continue
+		}
+		if v < 0 {
+			v = -v
+		}
+		if v > maxAbs {
+			maxAbs = v
+		}
+	}
+	if maxAbs == 0 {
+		for i := range dst[:len(src)] {
+			dst[i] = 0
+		}
+		return 1
+	}
+	if math.IsInf(float64(maxAbs), 0) {
+		maxAbs = math.MaxFloat32
+	}
+	scale := maxAbs / 127
+	inv := 1 / float64(scale)
+	for i, v := range src {
+		dst[i] = quantVal(float64(v), inv)
+	}
+	return scale
+}
+
+// quantVal rounds v·inv to the nearest integer (half away from zero,
+// deterministic across platforms) and clamps to [-127, 127]; NaN maps
+// to 0.
+func quantVal(v, inv float64) int8 {
+	f := math.Round(v * inv)
+	switch {
+	case f >= 127:
+		return 127
+	case f <= -127:
+		return -127
+	case f == f:
+		return int8(f)
+	default: // NaN
+		return 0
+	}
+}
+
+// QuantizeTensor quantizes a 2-D tensor into a QuantMat with the same
+// row-major layout.
+func QuantizeTensor(t *Tensor) *QuantMat {
+	mustValidShape(len(t.Shape) == 2, "tensor: QuantizeTensor needs 2-D, got %v", t.Shape)
+	q := &QuantMat{
+		Data: make([]int8, len(t.Data)),
+		Rows: t.Shape[0], Cols: t.Shape[1],
+	}
+	q.Scale = QuantizeSymmetric(q.Data, t.Data)
+	return q
+}
+
+// QuantizeTensorT quantizes the TRANSPOSE of a 2-D tensor: for a
+// weight stored [rows, cols], the result is a [cols, rows] QuantMat.
+// Pre-transposing at calibration time lets ConvTranspose2d and Dense
+// run the plain row-major int8 GEMM at inference with no per-call
+// transpose.
+func QuantizeTensorT(t *Tensor) *QuantMat {
+	mustValidShape(len(t.Shape) == 2, "tensor: QuantizeTensorT needs 2-D, got %v", t.Shape)
+	rows, cols := t.Shape[0], t.Shape[1]
+	tmp := make([]int8, len(t.Data))
+	scale := QuantizeSymmetric(tmp, t.Data)
+	q := &QuantMat{
+		Data:  make([]int8, len(t.Data)),
+		Scale: scale,
+		Rows:  cols, Cols: rows,
+	}
+	for i := 0; i < rows; i++ {
+		row := tmp[i*cols : (i+1)*cols]
+		for j, v := range row {
+			q.Data[j*rows+i] = v
+		}
+	}
+	return q
+}
+
+// q8RowBandMin is the m·n·k below which the int8 GEMM runs serially.
+const q8RowBandMin = 1 << 16
+
+// GemmQ8 computes C[m,n] (+)= scale · (A[m,k] × B[k,n]) for int8
+// operands with int32 accumulation, dequantizing by scale at the
+// output. scale is normally the product of the two operands' quant
+// scales. Integer accumulation is exact, so results are independent of
+// worker count by construction; rows are banded across the par pool.
+func GemmQ8(c []float32, a, b []int8, m, k, n int, scale float32, accumulate bool) {
+	l := obs.StartLeaf("tensor.gemm_q8")
+	defer l.End()
+	gemmQ8(c, a, b, m, k, n, scale, accumulate, runtime.GOMAXPROCS(0))
+}
+
+// gemmQ8 is the driver behind GemmQ8, with the worker count explicit so
+// tests can pin it.
+func gemmQ8(c []float32, a, b []int8, m, k, n int, scale float32, accumulate bool, workers int) {
+	if m <= 0 || n <= 0 {
+		return
+	}
+	if k <= 0 {
+		if !accumulate {
+			for i := range c[:m*n] {
+				c[i] = 0
+			}
+		}
+		return
+	}
+	if workers > m {
+		workers = m
+	}
+	if workers <= 1 || m*n*k < q8RowBandMin {
+		q8Rows(c, a, b, 0, m, k, n, scale, accumulate)
+		return
+	}
+	band := (m + workers - 1) / workers
+	bands := (m + band - 1) / band
+	err := par.New(workers).Run(context.Background(), bands, func(_ context.Context, t int) error {
+		lo := t * band
+		hi := min(lo+band, m)
+		q8Rows(c, a, b, lo, hi, k, n, scale, accumulate)
+		return nil
+	})
+	// Tasks never fail; only a captured panic reaches here.
+	mustValidShape(err == nil, "tensor: gemm_q8 band worker: %v", err)
+}
+
+// q8Rows computes C rows [lo, hi) with an ikj loop that streams B rows
+// into an arena int32 accumulator row. Zero A values are skipped —
+// safe here, unlike the float32 kernel, because integer addition of a
+// zero product is exactly a no-op.
+func q8Rows(c []float32, a, b []int8, lo, hi, k, n int, scale float32, accumulate bool) {
+	accS := GetScratchI32(n)
+	acc := accS.Data
+	for i := lo; i < hi; i++ {
+		for j := range acc {
+			acc[j] = 0
+		}
+		ai := a[i*k : (i+1)*k]
+		for p, aq := range ai {
+			if aq == 0 {
+				continue
+			}
+			av := int32(aq)
+			bp := b[p*n : (p+1)*n]
+			for j, bv := range bp {
+				acc[j] += av * int32(bv)
+			}
+		}
+		ci := c[i*n : (i+1)*n]
+		if accumulate {
+			for j, s := range acc {
+				ci[j] += scale * float32(s)
+			}
+		} else {
+			for j, s := range acc {
+				ci[j] = scale * float32(s)
+			}
+		}
+	}
+	accS.Release()
+}

@@ -9,10 +9,10 @@ import (
 // TestGemmConcurrentCallers drives the Gemm worker fan-out from many
 // goroutines at once under `go test -race`. The inputs are shared
 // read-only across callers while each caller owns its output buffer —
-// exactly the contract the parallel row-band kernel must uphold. The
-// [96,48,64] operand sizes keep m*n*k above the 1<<16 parallel
-// threshold so the sync.WaitGroup path is exercised, not the serial
-// fallback.
+// exactly the contract the tiled kernel must uphold while callers also
+// compete for arena pack panels. The [96,48,64] operand sizes keep
+// m*n*k above the gemmParallelMin threshold so the par-pool tile path
+// is exercised, not the serial fallback.
 func TestGemmConcurrentCallers(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	a := randT(rng, 96, 48)
@@ -35,6 +35,62 @@ func TestGemmConcurrentCallers(t *testing.T) {
 			t.Fatalf("caller %d produced no result", i)
 		}
 		tensorsClose(t, got, want, 1e-3)
+	}
+}
+
+// TestScratchArenaConcurrentHammer drives 32 concurrent Gemm callers
+// (each spawning its own worker tiles, each tile leasing pack panels
+// from the shared sync.Pool arena) plus int8 GEMMs leasing accumulator
+// rows, all under -race. Every caller checks its result bit-for-bit
+// against the reference, so any pool reuse that aliased a live buffer
+// shows up as a wrong answer even when the race detector is off.
+func TestScratchArenaConcurrentHammer(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const m, k, n = 96, 48, 64 // above gemmParallelMin: tiles run on the pool
+	a := randT(rng, m, k)
+	b := randT(rng, k, n)
+	want := New(m, n)
+	gemmRef(want.Data, a.Data, b.Data, m, k, n, false)
+
+	qa := make([]int8, m*k)
+	qb := make([]int8, k*n)
+	sa := QuantizeSymmetric(qa, a.Data)
+	sb := QuantizeSymmetric(qb, b.Data)
+	qwant := make([]float32, m*n)
+	gemmQ8(qwant, qa, qb, m, k, n, sa*sb, false, 1)
+
+	const callers = 32
+	const rounds = 4
+	errs := make(chan string, callers)
+	var wg sync.WaitGroup
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := make([]float32, m*n)
+			qc := make([]float32, m*n)
+			for r := 0; r < rounds; r++ {
+				gemmBlocked(c, a.Data, b.Data, m, k, n, false, 4)
+				for i := range want.Data {
+					if c[i] != want.Data[i] {
+						errs <- "float32 result corrupted"
+						return
+					}
+				}
+				gemmQ8(qc, qa, qb, m, k, n, sa*sb, false, 4)
+				for i := range qwant {
+					if qc[i] != qwant[i] {
+						errs <- "q8 result corrupted"
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
 	}
 }
 

@@ -10,7 +10,6 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
-	"sync"
 
 	"cachebox/internal/obs"
 )
@@ -184,83 +183,75 @@ func MatMulInto(c, a, b *Tensor, accumulate bool) {
 }
 
 // Gemm is the raw kernel: C[m,n] (+)= A[m,k] × B[k,n], row-major.
-// Durations feed the obs histogram sink (span name tensor.gemm) when a
-// collector is installed; the timer is a value type, so the kernel
-// never allocates for it.
+// It dispatches to the cache-blocked, goroutine-tiled kernel in
+// gemm_blocked.go; results are bit-identical to gemmRef and to any
+// other worker count (see the determinism notes there). Durations feed
+// the obs histogram sink (span name tensor.gemm) when a collector is
+// installed; the timer is a value type, so the kernel never allocates
+// for it.
 func Gemm(c, a, b []float32, m, k, n int, accumulate bool) {
 	l := obs.StartLeaf("tensor.gemm")
 	defer l.End()
-	if !accumulate {
-		for i := range c[:m*n] {
-			c[i] = 0
-		}
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > m {
-		workers = m
-	}
-	if workers <= 1 || m*n*k < 1<<16 {
-		gemmRows(c, a, b, 0, m, k, n)
-		return
-	}
-	var wg sync.WaitGroup
-	band := (m + workers - 1) / workers
-	for lo := 0; lo < m; lo += band {
-		hi := lo + band
-		if hi > m {
-			hi = m
-		}
-		wg.Add(1)
-		//lint:ignore hot-path-alloc one closure per worker band, amortised over a whole row band of GEMM; the blocked-kernel rewrite (ROADMAP item 1) replaces this spawn scheme
-		go func(lo, hi int) {
-			defer wg.Done()
-			gemmRows(c, a, b, lo, hi, k, n)
-		}(lo, hi)
-	}
-	wg.Wait()
+	gemmBlocked(c, a, b, m, k, n, accumulate, runtime.GOMAXPROCS(0))
 }
 
-// gemmRows computes rows [lo,hi) of C += A×B with an ikj loop order
-// that streams B rows, the friendliest order for row-major data.
-func gemmRows(c, a, b []float32, lo, hi, k, n int) {
-	for i := lo; i < hi; i++ {
+// gemmRef is the naive triple loop the blocked kernel is differentially
+// tested against: C[i,j] (+)= Σ_p A[i,p]·B[p,j] with every product
+// rounded to float32 before the add (the same no-FMA discipline as the
+// blocked kernel) and p strictly increasing. It is the semantic
+// definition of Gemm; the blocked kernel must match it bit for bit.
+func gemmRef(c, a, b []float32, m, k, n int, accumulate bool) {
+	for i := 0; i < m; i++ {
 		ci := c[i*n : (i+1)*n]
 		ai := a[i*k : (i+1)*k]
-		for p := 0; p < k; p++ {
-			av := ai[p]
-			if av == 0 {
-				continue
+		for j := 0; j < n; j++ {
+			var s float32
+			if accumulate {
+				s = ci[j]
 			}
-			bp := b[p*n : (p+1)*n]
-			for j, bv := range bp {
-				ci[j] += av * bv
+			for p := 0; p < k; p++ {
+				s += float32(ai[p] * b[p*n+j])
 			}
+			ci[j] = s
 		}
 	}
 }
 
 // MatMulATB computes C = Aᵀ×B for A [k,m], B [k,n] → C [m,n], used for
-// weight gradients without materialising transposes.
+// weight gradients without materialising a transpose the caller can
+// see: A is transposed into arena scratch and handed to the blocked
+// kernel, which beats the old rank-1-update loop on everything but
+// trivial shapes.
 func MatMulATB(a, b *Tensor) *Tensor {
 	mustValidShape(len(a.Shape) == 2 && len(b.Shape) == 2 && a.Shape[0] == b.Shape[0],
 		"tensor: MatMulATB shapes %v x %v", a.Shape, b.Shape)
+	c := New(a.Shape[1], b.Shape[1])
+	matMulATBInto(c, a, b, false)
+	return c
+}
+
+// MatMulATBInto computes C (+)= Aᵀ×B into an existing [m,n] buffer,
+// avoiding the output allocation in hot loops.
+func MatMulATBInto(c, a, b *Tensor, accumulate bool) {
+	mustValidShape(len(a.Shape) == 2 && len(b.Shape) == 2 && a.Shape[0] == b.Shape[0],
+		"tensor: MatMulATBInto shapes %v x %v", a.Shape, b.Shape)
+	mustValidShape(len(c.Shape) == 2 && c.Shape[0] == a.Shape[1] && c.Shape[1] == b.Shape[1],
+		"tensor: MatMulATBInto output shape %v, want [%d %d]", c.Shape, a.Shape[1], b.Shape[1])
+	matMulATBInto(c, a, b, accumulate)
+}
+
+func matMulATBInto(c, a, b *Tensor, accumulate bool) {
 	k, m, n := a.Shape[0], a.Shape[1], b.Shape[1]
-	c := New(m, n)
-	// C[i,j] = sum_p A[p,i]*B[p,j]: accumulate rank-1 updates.
+	ats := GetScratch(m * k)
+	at := ats.Data
 	for p := 0; p < k; p++ {
-		ap := a.Data[p*m : (p+1)*m]
-		bp := b.Data[p*n : (p+1)*n]
-		for i, av := range ap {
-			if av == 0 {
-				continue
-			}
-			ci := c.Data[i*n : (i+1)*n]
-			for j, bv := range bp {
-				ci[j] += av * bv
-			}
+		row := a.Data[p*m : (p+1)*m]
+		for i, v := range row {
+			at[i*k+p] = v
 		}
 	}
-	return c
+	Gemm(c.Data, at, b.Data, m, k, n, accumulate)
+	ats.Release()
 }
 
 // MatMulABT computes C = A×Bᵀ for A [m,k], B [n,k] → C [m,n].

@@ -1,0 +1,110 @@
+#!/usr/bin/env bash
+# bench_pr9.sh — measure the blocked GEMM rewrite and the int8 inference
+# path, and produce BENCH_PR9.json.
+#
+# Three measurements:
+#
+#  1. Kernel microbenchmarks (512x512x512): naive gemmRef vs the
+#     cache-blocked kernel single-threaded (the ≥2x gate), the blocked
+#     kernel through Gemm's worker fan-out, and the int8 gemmQ8.
+#
+#  2. Batched inference throughput: the same window set predicted
+#     through the float32 path and the -quantize int8 path, in
+#     windows/s (the serving headline).
+#
+#  3. fig11 (RQ5) at tiny scale: CB-GAN inference time vs batch size
+#     and the MultiCacheSim wall-clock comparison, through the real
+#     experiment harness.
+#
+#   scripts/bench_pr9.sh [out.json]
+#
+# Environment knobs: BENCHTIME (default 200ms), BENCHCOUNT (default 3 —
+# the JSON records the best of BENCHCOUNT runs per benchmark).
+set -euo pipefail
+
+OUT="${1:-BENCH_PR9.json}"
+BENCHTIME="${BENCHTIME:-200ms}"
+BENCHCOUNT="${BENCHCOUNT:-3}"
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== GEMM kernel microbenchmarks (512x512x512, best of $BENCHCOUNT x $BENCHTIME) =="
+go test -run='^$' -bench='Gemm(Ref|Blocked|BlockedParallel|Q8_)512' \
+  -benchtime="$BENCHTIME" -count="$BENCHCOUNT" ./internal/tensor/ | tee "$WORK/gemm.txt"
+
+echo "== batched inference: float32 vs int8 (windows/s) =="
+go test -run='^$' -bench='Predict(Float32|Quantized)' \
+  -benchtime="$BENCHTIME" -count="$BENCHCOUNT" ./internal/core/ | tee "$WORK/predict.txt"
+
+echo "== fig11 (tiny): CB-GAN batched inference vs MultiCacheSim =="
+go run ./cmd/cbx-experiments -scale tiny -run fig11 \
+  -artifacts "$WORK/art" -store "$WORK/store" -j 4 | tee "$WORK/fig11.txt"
+
+python3 - "$OUT" "$WORK/gemm.txt" "$WORK/predict.txt" "$WORK/fig11.txt" <<'EOF'
+import json, os, platform, re, sys
+
+out, gemm_txt, predict_txt, fig11_txt = sys.argv[1:5]
+
+def best_metric(path):
+    """Parse `go test -bench` output -> {name: max metric across -count runs}."""
+    runs = {}
+    pat = re.compile(r"^Benchmark(\w+?)(?:-\d+)?\s+\d+\s+[\d.]+ ns/op\s+([\d.]+) (\S+)")
+    with open(path) as f:
+        for line in f:
+            m = pat.match(line)
+            if m:
+                name, val, unit = m.group(1), float(m.group(2)), m.group(3)
+                cur = runs.get(name)
+                if cur is None or val > cur[0]:
+                    runs[name] = (val, unit)
+    return runs
+
+gemm = best_metric(gemm_txt)
+pred = best_metric(predict_txt)
+
+ref = gemm["GemmRef512"][0]
+blocked = gemm["GemmBlocked512"][0]
+speedup = blocked / ref
+assert speedup >= 2, f"blocked kernel only {speedup:.2f}x over gemmRef ({blocked:.2f} vs {ref:.2f} GFLOP/s)"
+
+fig = open(fig11_txt).read()
+batches = re.findall(r"batch\s+(\d+):\s+[\d.]+s \(([\d.]+) heatmaps/s\)", fig)
+speed32 = re.search(r"batch-32 speedup over batch-1: ([\d.]+)x", fig)
+mcs = re.search(r"MultiCacheSim: ([\d.]+)s; sequential CBox vs MCS: ([\d.]+)x", fig)
+assert batches and speed32 and mcs, "fig11 output missing expected lines"
+
+doc = {
+    "description": "Cache-blocked GEMM rewrite (internal/tensor): 512^3 kernel "
+                   "microbenchmarks (naive ref vs blocked vs worker fan-out vs int8), "
+                   "float32-vs-int8 batched predict throughput, and tiny fig11 "
+                   "(RQ5) vs MultiCacheSim. Reproduce with: scripts/bench_pr9.sh",
+    "goos": "linux",
+    "machine": platform.machine(),
+    "nproc": os.cpu_count(),
+    "gemm_512": {
+        "ref_gflops": ref,
+        "blocked_1thread_gflops": blocked,
+        "blocked_parallel_gflops": gemm["GemmBlockedParallel512"][0],
+        "q8_1thread_gops": gemm["GemmQ8_512"][0],
+        "blocked_vs_ref_speedup": round(speedup, 2),
+    },
+    "predict_throughput": {
+        "float32_windows_per_s": pred["PredictFloat32"][0],
+        "quantized_windows_per_s": pred["PredictQuantized"][0],
+        "note": "tiny 16x16 model: per-batch activation quantization overhead "
+                "dominates tiny GEMMs; the int8 win grows with layer size",
+    },
+    "fig11_tiny": {
+        "heatmaps_per_s_by_batch": {b: float(v) for b, v in batches},
+        "batch32_speedup": float(speed32.group(1)),
+        "mcs_seconds": float(mcs.group(1)),
+        "cbox_vs_mcs": float(mcs.group(2)),
+    },
+}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"wrote {out}: blocked kernel {speedup:.2f}x over gemmRef "
+      f"({blocked:.2f} vs {ref:.2f} GFLOP/s)")
+EOF
