@@ -59,7 +59,7 @@ func getFixture(b *testing.B) *fixture {
 		if err != nil {
 			panic(err)
 		}
-		if _, err := m.Train(ds, TrainOptions{Epochs: 2, BatchSize: 4, Seed: 1}); err != nil {
+		if _, err := m.Train(ds, TrainConfig{Epochs: 2, BatchSize: 4, Seed: 1}); err != nil {
 			panic(err)
 		}
 		var access []*Heatmap
@@ -418,7 +418,7 @@ func BenchmarkAblationLambda(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := m.Train(ds[:4], TrainOptions{Epochs: 1, BatchSize: 4, Seed: 1}); err != nil {
+				if _, err := m.Train(ds[:4], TrainConfig{Epochs: 1, BatchSize: 4, Seed: 1}); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -67,8 +67,29 @@ type (
 	Model = core.Model
 	// Sample is one CB-GAN training example.
 	Sample = core.Sample
-	// TrainOptions controls CB-GAN training.
-	TrainOptions = core.TrainOptions
+	// TrainConfig is the versioned training configuration shared by
+	// every trainer (the train CLI, the experiment harness and the
+	// cbx-traind service): epochs/batching/seed plus explicit
+	// dataset-source, checkpoint and parallelism sections, serialisable
+	// as the `train.json` file the CLIs accept via -config.
+	TrainConfig = core.TrainConfig
+	// TrainDatasetSource is TrainConfig's dataset-source section.
+	TrainDatasetSource = core.DatasetSource
+	// TrainCheckpointPolicy is TrainConfig's checkpoint section.
+	TrainCheckpointPolicy = core.CheckpointPolicy
+	// TrainParallelism is TrainConfig's data-parallel sharding section.
+	TrainParallelism = core.Parallelism
+)
+
+// Dataset-source kinds accepted by TrainDatasetSource.Kind.
+const (
+	// TrainDatasetInline: samples are supplied in-process by the caller.
+	TrainDatasetInline = core.DatasetInline
+	// TrainDatasetStream: samples stream from a sharded store dataset.
+	TrainDatasetStream = core.DatasetStream
+)
+
+type (
 	// TrainStats reports per-epoch training losses.
 	TrainStats = core.TrainStats
 	// Predictor is a non-GAN miss-rate predictor (HRD, STM, tabular).
@@ -260,6 +281,14 @@ var (
 	ErrStoreMiss = store.ErrMiss
 	// LoadCheckpointFile reads a resumable training checkpoint.
 	LoadCheckpointFile = core.LoadCheckpointFile
+	// DefaultTrainConfig returns the current-version TrainConfig with
+	// the train loop's defaults made explicit.
+	DefaultTrainConfig = core.DefaultTrainConfig
+	// ParseTrainConfig decodes and validates a serialised TrainConfig
+	// (strict: unknown fields are an error).
+	ParseTrainConfig = core.ParseTrainConfig
+	// LoadTrainConfigFile reads and validates a train.json file.
+	LoadTrainConfigFile = core.LoadTrainConfigFile
 	// ErrBadCheckpoint matches (errors.Is) a checkpoint that cannot
 	// resume the current run.
 	ErrBadCheckpoint = core.ErrBadCheckpoint

@@ -30,6 +30,7 @@ import (
 	"cachebox/internal/obs"
 	"cachebox/internal/simpoint"
 	"cachebox/internal/trace"
+	"cachebox/internal/traind"
 	"cachebox/internal/workload"
 )
 
@@ -308,6 +309,46 @@ func tinyModelConfig() cachebox.ModelConfig {
 	return c
 }
 
+// resolveTrainConfig implements the trainer CLIs' shared flag
+// precedence: flag defaults < -config file < explicitly set flags.
+// set reports which flag names the user passed on the command line.
+func resolveTrainConfig(configPath string, set map[string]bool, epochs, batch int, shards, workers int, checkpointEvery int) (cachebox.TrainConfig, error) {
+	var tc cachebox.TrainConfig
+	if configPath != "" {
+		var err error
+		if tc, err = cachebox.LoadTrainConfigFile(configPath); err != nil {
+			return tc, err
+		}
+	}
+	if set["epochs"] || tc.Epochs == 0 {
+		tc.Epochs = epochs
+	}
+	if set["batch"] || tc.BatchSize == 0 {
+		tc.BatchSize = batch
+	}
+	if set["shards"] || tc.Parallel.Shards == 0 {
+		tc.Parallel.Shards = shards
+	}
+	if set["j"] || tc.Parallel.Workers == 0 {
+		tc.Parallel.Workers = workers
+	}
+	if set["checkpoint-every"] || tc.Checkpoint.Every == 0 {
+		tc.Checkpoint.Every = checkpointEvery
+	}
+	if tc.Seed == 0 {
+		tc.Seed = 1
+	}
+	return tc, nil
+}
+
+// setFlags records which flags were passed explicitly (for -config
+// override precedence).
+func setFlags(fs *flag.FlagSet) map[string]bool {
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	return set
+}
+
 func cmdTrain(args []string) (err error) {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
 	out := fs.String("o", "model.cbgan", "output model file")
@@ -315,8 +356,10 @@ func cmdTrain(args []string) (err error) {
 	loadModel := fs.String("load-model", "", "warm-start from an existing model instead of initialising fresh; with -epochs 0 the model is re-exported without training")
 	tiny := fs.Bool("tiny", false, "use a miniature model and heatmap geometry (fast smoke-test models)")
 	cfgStr := fs.String("cache", "64set-12way", "comma-separated cache geometries to train on")
+	configPath := fs.String("config", "", "train.json TrainConfig file; explicitly passed flags override its fields")
 	epochs := fs.Int("epochs", 50, "training epochs (0 with -load-model: re-export only)")
 	batch := fs.Int("batch", 8, "batch size")
+	shards := fs.Int("shards", 0, "data-parallel gradient shards per batch (0/1 = serial; the model depends on -shards, never on -j)")
 	ops := fs.Int("ops", 120000, "accesses per benchmark")
 	scale := fs.Float64("suite-scale", 0.25, "problem-size scale")
 	seed := fs.Int64("seed", 42, "train/test split seed")
@@ -325,7 +368,7 @@ func cmdTrain(args []string) (err error) {
 	noStore := fs.Bool("no-store", false, "disable the artifact store even if -store is set")
 	checkpointEvery := fs.Int("checkpoint-every", 0, "write a resumable checkpoint every N epochs (0 disables)")
 	resume := fs.Bool("resume", false, "resume training from the checkpoint file if present")
-	workers := fs.Int("j", 0, "simulation worker-pool width (0 = GOMAXPROCS, 1 = serial); the dataset is identical at any width")
+	workers := fs.Int("j", 0, "worker-pool width for simulation and gradient shards (0 = GOMAXPROCS, 1 = serial); results are identical at any width")
 	tracePath := fs.String("trace", "", "write a Chrome trace-event file of the run's spans to this path")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -336,6 +379,12 @@ func cmdTrain(args []string) (err error) {
 		path = *saveModel
 	}
 	ckptPath := path + ".ckpt"
+
+	tc, err := resolveTrainConfig(*configPath, setFlags(fs), *epochs, *batch, *shards, *workers, *checkpointEvery)
+	if err != nil {
+		return err
+	}
+	tc.Log = os.Stdout
 
 	var m *cachebox.Model
 	if *loadModel != "" {
@@ -354,11 +403,45 @@ func cmdTrain(args []string) (err error) {
 	// Re-export path: -epochs 0 skips dataset building and training
 	// entirely, so a trained model can be copied into a serving registry
 	// (or a fresh tiny model materialised) without a training run.
-	if *epochs <= 0 {
+	if tc.Epochs <= 0 {
 		if err := m.SaveFile(path); err != nil {
 			return err
 		}
 		fmt.Printf("saved model to %s (no training)\n", path)
+		return nil
+	}
+	if tc.Checkpoint.Every > 0 && tc.Checkpoint.Path == "" {
+		tc.Checkpoint.Path = ckptPath
+	}
+	if *resume {
+		c, err := cachebox.LoadCheckpointFile(ckptPath)
+		if err != nil {
+			return fmt.Errorf("resume: %w", err)
+		}
+		tc.ResumeFrom = c
+		if tc.Checkpoint.Path == "" {
+			// Keep checkpointing where the resumed run left its state.
+			tc.Checkpoint.Path = ckptPath
+			tc.Checkpoint.Every = 1
+		}
+	}
+
+	// A -config file naming a streamed dataset trains straight off the
+	// sharded store manifest; otherwise the synthetic pipeline builds
+	// the dataset in memory.
+	if tc.Dataset.Kind == cachebox.TrainDatasetStream {
+		src, man, err := traind.OpenDatasetSource(tc.Dataset)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("training on %d streamed samples from dataset %q\n", src.Len(), man.Name)
+		if _, err := m.TrainSource(src, tc); err != nil {
+			return err
+		}
+		if err := m.SaveFile(path); err != nil {
+			return err
+		}
+		fmt.Printf("saved model to %s\n", path)
 		return nil
 	}
 
@@ -397,24 +480,7 @@ func cmdTrain(args []string) (err error) {
 		return err
 	}
 	fmt.Printf("training on %d samples from %d benchmarks x %d configs\n", len(ds), len(train), len(cfgs))
-	opt := cachebox.TrainOptions{Epochs: *epochs, BatchSize: *batch, Seed: 1, Log: os.Stdout}
-	if *checkpointEvery > 0 {
-		opt.CheckpointEvery = *checkpointEvery
-		opt.CheckpointPath = ckptPath
-	}
-	if *resume {
-		c, err := cachebox.LoadCheckpointFile(ckptPath)
-		if err != nil {
-			return fmt.Errorf("resume: %w", err)
-		}
-		opt.ResumeFrom = c
-		if opt.CheckpointPath == "" {
-			// Keep checkpointing where the resumed run left its state.
-			opt.CheckpointPath = ckptPath
-			opt.CheckpointEvery = 1
-		}
-	}
-	if _, err := m.Train(ds, opt); err != nil {
+	if _, err := m.Train(ds, tc); err != nil {
 		return err
 	}
 	if err := m.SaveFile(path); err != nil {

@@ -4,6 +4,7 @@
 //
 //	cbx-experiments [-scale tiny|small|full] [-artifacts DIR] [-run LIST]
 //	                [-store DIR] [-no-store] [-split-seed N]
+//	                [-config FILE] [-shards N]
 //	                [-checkpoint-every N] [-resume] [-j N] [-stream]
 //	                [-trace FILE] [-figure LIST] [-tiny]
 //
@@ -32,6 +33,7 @@ import (
 	"strings"
 	"time"
 
+	"cachebox/internal/core"
 	"cachebox/internal/harness"
 	"cachebox/internal/metrics"
 	"cachebox/internal/obs"
@@ -45,6 +47,8 @@ func main() {
 	storeDir := flag.String("store", "", "artifact store directory (default: <artifacts>/store)")
 	noStore := flag.Bool("no-store", false, "disable the artifact store (always re-simulate)")
 	splitSeed := flag.Int64("split-seed", 42, "seed of the train/test benchmark split")
+	configPath := flag.String("config", "", "train.json TrainConfig base for harness training (batch size and parallel sections; explicitly passed flags override)")
+	shards := flag.Int("shards", 0, "data-parallel gradient shards per training batch (0/1 = serial; artifacts depend on -shards, never on -j)")
 	checkpointEvery := flag.Int("checkpoint-every", 5, "write a training checkpoint every N epochs (0 disables)")
 	resume := flag.Bool("resume", false, "resume interrupted training from existing checkpoints")
 	workers := flag.Int("j", 0, "simulation worker-pool width (0 = GOMAXPROCS, 1 = serial); artifacts are byte-identical at any width")
@@ -76,6 +80,26 @@ func main() {
 	r.Resume = *resume
 	r.Workers = *workers
 	r.Stream = *streamMode
+	// Flag precedence matches `cachebox train`: defaults < -config file
+	// < explicitly set flags. The harness keeps epochs/seed/dataset
+	// experiment-controlled; the config contributes the batch-size
+	// override and parallelism sections.
+	if *configPath != "" {
+		tc, err := core.LoadTrainConfigFile(*configPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		r.Train = tc
+	}
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["shards"] || r.Train.Parallel.Shards == 0 {
+		r.Train.Parallel.Shards = *shards
+	}
+	if set["j"] || r.Train.Parallel.Workers == 0 {
+		r.Train.Parallel.Workers = *workers
+	}
 	if !*noStore {
 		dir := *storeDir
 		if dir == "" {

@@ -1,0 +1,195 @@
+// Command cbx-traind runs the CacheBox training service: an HTTP
+// control plane that trains CB-GAN models from streamed store datasets
+// — one job at a time, deterministically data-parallel — and publishes
+// finished models into the same content-addressed store, where a
+// store-backed cbx-serve registry hot-loads them on reload.
+//
+// Serve (store required; checkpoints land in <store>/traind):
+//
+//	cbx-traind -store artifacts/store -addr :8090
+//
+// Submit a job from a spec file, poll it to completion, and exit with
+// its outcome (the CI e2e driver):
+//
+//	cbx-traind -submit job.json -base http://127.0.0.1:8090
+//
+// Endpoints: POST /v1/jobs, GET /v1/jobs, GET /v1/jobs/{id},
+// DELETE /v1/jobs/{id}, GET /healthz, GET /metrics.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cachebox/internal/store"
+	"cachebox/internal/traind"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	storeDir := flag.String("store", "", "artifact store directory (datasets in, trained models out)")
+	workDir := flag.String("workdir", "", "checkpoint directory (default <store>/traind)")
+	submit := flag.String("submit", "", "run as a client: submit this job spec file, poll to completion, exit")
+	base := flag.String("base", "http://127.0.0.1:8090", "server base URL for -submit")
+	wait := flag.Duration("wait", 10*time.Minute, "job-completion budget for -submit")
+	flag.Parse()
+
+	if *submit != "" {
+		if err := runSubmit(*base, *submit, *wait); err != nil {
+			fmt.Fprintln(os.Stderr, "cbx-traind: submit:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "cbx-traind: need -store <dir> (or -submit <job.json>)")
+		os.Exit(1)
+	}
+	st, err := store.Open(*storeDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cbx-traind:", err)
+		os.Exit(1)
+	}
+	s, err := traind.New(traind.Config{Store: st, WorkDir: *workDir, Log: os.Stderr})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cbx-traind:", err)
+		os.Exit(1)
+	}
+	hs := &http.Server{Addr: *addr, Handler: s}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("cbx-traind: listening on %s, store %s", *addr, *storeDir)
+
+	select {
+	case <-ctx.Done():
+		// Stop the listener first, then cancel the active job and wait
+		// for its checkpoint to settle so a restart can resume it.
+		log.Printf("cbx-traind: signal received, canceling active job")
+		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			log.Printf("cbx-traind: shutdown: %v", err)
+		}
+		s.Close()
+		log.Printf("cbx-traind: drained")
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "cbx-traind:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runSubmit drives one job end to end over the API: submit the spec,
+// poll its status until a terminal state, and report the outcome.
+func runSubmit(base, specPath string, budget time.Duration) error {
+	spec, err := os.ReadFile(specPath)
+	if err != nil {
+		return err
+	}
+	if err := waitHealthy(base, 10*time.Second); err != nil {
+		return err
+	}
+	code, body, err := fetch(http.MethodPost, base+"/v1/jobs", spec)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusAccepted {
+		return fmt.Errorf("POST /v1/jobs: status %d: %s", code, body)
+	}
+	var st traind.JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		return fmt.Errorf("decode job status: %w", err)
+	}
+	fmt.Printf("job %s (%s) accepted: %d epochs, %d shard(s)\n", st.ID, st.Name, st.Epochs, st.Shards)
+
+	deadline := time.Now().Add(budget)
+	lastDone := -1
+	for {
+		code, body, err = fetch(http.MethodGet, base+"/v1/jobs/"+st.ID, nil)
+		if err != nil {
+			return err
+		}
+		if code != http.StatusOK {
+			return fmt.Errorf("GET /v1/jobs/%s: status %d: %s", st.ID, code, body)
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			return fmt.Errorf("decode job status: %w", err)
+		}
+		if st.EpochsDone != lastDone {
+			lastDone = st.EpochsDone
+			fmt.Printf("job %s: %s %d/%d epochs (D=%.4f Gadv=%.4f L1=%.4f)\n",
+				st.ID, st.State, st.EpochsDone, st.Epochs, st.DLoss, st.GAdv, st.GL1)
+		}
+		switch st.State {
+		case traind.StateSucceeded:
+			fmt.Printf("job %s succeeded: model %s published as store entry %s\n", st.ID, st.Name, st.ModelDigest)
+			return nil
+		case traind.StateFailed:
+			return fmt.Errorf("job %s failed: %s", st.ID, st.Error)
+		case traind.StateCanceled:
+			return fmt.Errorf("job %s was canceled", st.ID)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job %s still %s after %v", st.ID, st.State, budget)
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+}
+
+// waitHealthy polls /healthz until the server answers, so the client
+// can start before the server finishes booting.
+func waitHealthy(base string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for {
+		code, _, err := fetch(http.MethodGet, base+"/healthz", nil)
+		if err == nil && code == http.StatusOK {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("server never became healthy: %w", err)
+			}
+			return fmt.Errorf("server never became healthy: /healthz status %d", code)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// fetch issues one HTTP request and returns status + body.
+func fetch(method, url string, body []byte) (int, []byte, error) {
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	if method == http.MethodPost {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	data, rerr := io.ReadAll(resp.Body)
+	cerr := resp.Body.Close()
+	if rerr != nil {
+		return 0, nil, rerr
+	}
+	if cerr != nil {
+		return 0, nil, cerr
+	}
+	return resp.StatusCode, data, nil
+}

@@ -48,7 +48,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := model.Train(dataset, cachebox.TrainOptions{Epochs: 12, BatchSize: 8, Seed: 2}); err != nil {
+	if _, err := model.Train(dataset, cachebox.TrainConfig{Epochs: 12, BatchSize: 8, Seed: 2}); err != nil {
 		log.Fatal(err)
 	}
 

@@ -73,7 +73,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := model.Train(dataset, cachebox.TrainOptions{Epochs: 12, BatchSize: 8, Seed: 3}); err != nil {
+	if _, err := model.Train(dataset, cachebox.TrainConfig{Epochs: 12, BatchSize: 8, Seed: 3}); err != nil {
 		log.Fatal(err)
 	}
 

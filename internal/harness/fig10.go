@@ -149,7 +149,7 @@ func (r *Runner) Fig10() (*Fig10Result, error) {
 			return nil, err
 		}
 		r.logf("[fig10] combined model: %d samples across %d levels\n", len(ds), len(levels))
-		if _, err := model.Train(ds, r.trainOpts("fig10-combined", r.Profile.EpochsAux, 4)); err != nil {
+		if _, err := model.Train(ds, r.trainConfig("fig10-combined", r.Profile.EpochsAux, 4)); err != nil {
 			return nil, err
 		}
 		return model, nil
@@ -178,7 +178,7 @@ func (r *Runner) Fig10() (*Fig10Result, error) {
 				return nil, err
 			}
 			r.logf("[fig10] standalone L%d model: %d samples\n", i+1, len(levels[i]))
-			if _, err := model.Train(levels[i], r.trainOpts(fmt.Sprintf("fig10-standalone-l%d", i+1), r.Profile.EpochsAux, int64(5+i))); err != nil {
+			if _, err := model.Train(levels[i], r.trainConfig(fmt.Sprintf("fig10-standalone-l%d", i+1), r.Profile.EpochsAux, int64(5+i))); err != nil {
 				return nil, err
 			}
 			return model, nil

@@ -100,7 +100,7 @@ func (r *Runner) Fig13() (*Fig13Result, error) {
 			return nil, err
 		}
 		r.logf("[fig13] training on %d access/prefetch pairs\n", len(ds))
-		if _, err := model.Train(ds, r.trainOpts("fig13-prefetch", r.Profile.EpochsAux, 7)); err != nil {
+		if _, err := model.Train(ds, r.trainConfig("fig13-prefetch", r.Profile.EpochsAux, 7)); err != nil {
 			return nil, err
 		}
 		return model, nil

@@ -42,7 +42,7 @@ func (r *Runner) Fig7() (*Fig7Result, error) {
 			return nil, err
 		}
 		r.logf("[fig7] training on %d samples from %d benchmarks\n", src.Len(), len(train))
-		if _, err := model.TrainSource(src, r.trainOpts("fig7-rq1-mixed", r.Profile.Epochs, 1)); err != nil {
+		if _, err := model.TrainSource(src, r.trainConfig("fig7-rq1-mixed", r.Profile.Epochs, 1)); err != nil {
 			return nil, err
 		}
 		return model, nil

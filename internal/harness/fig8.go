@@ -25,7 +25,7 @@ func (r *Runner) rq2Model(train []workload.Benchmark) (*core.Model, error) {
 			return nil, err
 		}
 		r.logf("[rq2] training on %d samples (%d benches x %d configs)\n", len(ds), len(train), len(RQ2Configs))
-		if _, err := model.Train(ds, r.trainOpts("rq2-multiconfig", r.Profile.Epochs, 2)); err != nil {
+		if _, err := model.Train(ds, r.trainConfig("rq2-multiconfig", r.Profile.Epochs, 2)); err != nil {
 			return nil, err
 		}
 		return model, nil

@@ -81,6 +81,14 @@ type Runner struct {
 	// generator's forward pass is not safe for concurrent use on one
 	// model.
 	Workers int
+	// Train is the base TrainConfig applied to every model the harness
+	// trains (the cbx-experiments -config file). BatchSize, when set,
+	// overrides the profile's; the Parallel section enables
+	// deterministic data-parallel sharding. Epochs and Seed stay
+	// experiment-controlled (each figure fixes its own for
+	// reproducibility), and the dataset/checkpoint sections are managed
+	// by the runner itself.
+	Train core.TrainConfig
 	// Stream routes ground truth through the streaming dataset
 	// subsystem (internal/stream): traces are synthesised, simulated
 	// and windowed one heatmap window at a time through a bounded
@@ -328,7 +336,7 @@ func (r *Runner) modelPath(name string) string {
 // split seed: a model trained on a different train/test split is a
 // different artifact.
 func (r *Runner) modelKey(name string) store.Key {
-	return store.Key{
+	k := store.Key{
 		Kind:   "model",
 		Format: 1,
 		Inputs: map[string]string{
@@ -337,30 +345,47 @@ func (r *Runner) modelKey(name string) store.Key {
 			"split_seed": fmt.Sprintf("%d", r.SplitSeed),
 		},
 	}
+	// Sharded training is a different float reduction order, hence a
+	// different artifact; serial runs keep the historical key so warm
+	// stores stay warm.
+	if r.Train.Parallel.Shards > 1 {
+		k.Inputs["shards"] = fmt.Sprintf("%d", r.Train.Parallel.Shards)
+	}
+	return k
 }
 
-// trainOpts builds the TrainOptions for a named harness model, wiring
-// in the runner's checkpoint/resume policy. The checkpoint lands next
-// to the model artifact as <scale>-<name>.ckpt.
-func (r *Runner) trainOpts(name string, epochs int, seed int64) core.TrainOptions {
-	opt := core.TrainOptions{Epochs: epochs, BatchSize: r.Profile.BatchSize, Seed: seed}
+// trainConfig builds the TrainConfig for a named harness model: the
+// runner's base config (Parallel section, BatchSize override) plus the
+// experiment's epochs/seed and the runner's checkpoint/resume policy.
+// The checkpoint lands next to the model artifact as
+// <scale>-<name>.ckpt.
+func (r *Runner) trainConfig(name string, epochs int, seed int64) core.TrainConfig {
+	cfg := core.TrainConfig{
+		Epochs:    epochs,
+		BatchSize: r.Profile.BatchSize,
+		Seed:      seed,
+		Parallel:  r.Train.Parallel,
+	}
+	if r.Train.BatchSize > 0 {
+		cfg.BatchSize = r.Train.BatchSize
+	}
 	if r.CheckpointEvery <= 0 || r.ArtifactsDir == "" {
-		return opt
+		return cfg
 	}
 	if err := os.MkdirAll(r.ArtifactsDir, 0o755); err != nil {
 		r.logf("[%s] warning: no artifacts dir, checkpointing disabled: %v\n", name, err)
-		return opt
+		return cfg
 	}
-	opt.CheckpointEvery = r.CheckpointEvery
-	opt.CheckpointPath = filepath.Join(r.ArtifactsDir, fmt.Sprintf("%s-%s.ckpt", r.Scale, name))
+	cfg.Checkpoint.Every = r.CheckpointEvery
+	cfg.Checkpoint.Path = filepath.Join(r.ArtifactsDir, fmt.Sprintf("%s-%s.ckpt", r.Scale, name))
 	if r.Resume {
-		if c, err := core.LoadCheckpointFile(opt.CheckpointPath); err == nil {
-			opt.ResumeFrom = c
+		if c, err := core.LoadCheckpointFile(cfg.Checkpoint.Path); err == nil {
+			cfg.ResumeFrom = c
 		} else if !os.IsNotExist(err) {
-			r.logf("[%s] warning: ignoring unusable checkpoint %s: %v\n", name, opt.CheckpointPath, err)
+			r.logf("[%s] warning: ignoring unusable checkpoint %s: %v\n", name, cfg.Checkpoint.Path, err)
 		}
 	}
-	return opt
+	return cfg
 }
 
 // trainOrLoad returns the named model, training it with build() on a

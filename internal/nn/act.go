@@ -165,6 +165,18 @@ func NewDropout(p float64, seed int64) *Dropout {
 // RNG stream position to store in a training checkpoint.
 func (d *Dropout) Cursor() int64 { return d.draws }
 
+// Reseed restarts the layer's RNG stream from a new seed at position
+// zero. Data-parallel training derives one seed per (optimiser step,
+// shard, layer) and reseeds each replica's dropout layers before the
+// shard's forward pass, which makes the masks a pure function of the
+// step coordinates — independent of worker count and O(1) to restore
+// on resume (unlike SeekTo, which replays the whole stream).
+func (d *Dropout) Reseed(seed int64) {
+	d.rng = rand.New(rand.NewSource(seed))
+	d.seed = seed
+	d.draws = 0
+}
+
 // SeekTo rewinds the layer's RNG to its seed and fast-forwards to
 // stream position n, so training resumed from a checkpoint sees the
 // same dropout masks as an uninterrupted run.

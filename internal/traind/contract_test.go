@@ -1,0 +1,140 @@
+package traind
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// TestErrorEnvelopeGolden pins the exact JSON bodies of the traind v1
+// error envelope — the same {"error":{"code","message"}} shape as the
+// serve API. These are contract tests: a byte-level change here is an
+// API break and must bump the envelope version, not silently reshape
+// the body.
+func TestErrorEnvelopeGolden(t *testing.T) {
+	_, base, _, digest := newTestService(t)
+
+	cases := []struct {
+		name       string
+		method     string
+		path       string
+		body       string
+		wantStatus int
+		golden     string
+	}{
+		{
+			name: "missing name", method: "POST", path: "/v1/jobs",
+			body:       `{"train":{"dataset":{"kind":"stream","dataset":"abc"}}}`,
+			wantStatus: http.StatusBadRequest,
+			golden:     `{"error":{"code":"invalid_config","message":"job name is required"}}`,
+		},
+		{
+			name: "bad name", method: "POST", path: "/v1/jobs",
+			body:       `{"name":"no/slashes","train":{}}`,
+			wantStatus: http.StatusBadRequest,
+			golden:     `{"error":{"code":"invalid_config","message":"job name \"no/slashes\" may only contain letters, digits, '-', '_' and '.'"}}`,
+		},
+		{
+			name: "inline dataset", method: "POST", path: "/v1/jobs",
+			body:       `{"name":"m","train":{"dataset":{"kind":"inline"}}}`,
+			wantStatus: http.StatusBadRequest,
+			golden:     `{"error":{"code":"invalid_config","message":"dataset kind \"inline\": the training service accepts only \"stream\" datasets"}}`,
+		},
+		{
+			name: "negative epochs", method: "POST", path: "/v1/jobs",
+			body:       `{"name":"m","train":{"epochs":-1,"dataset":{"kind":"stream","dataset":"abc"}}}`,
+			wantStatus: http.StatusBadRequest,
+			golden:     `{"error":{"code":"invalid_config","message":"core: negative epochs -1"}}`,
+		},
+		{
+			name: "unknown job", method: "GET", path: "/v1/jobs/zzz",
+			body:       "",
+			wantStatus: http.StatusNotFound,
+			golden:     `{"error":{"code":"not_found","message":"no job \"zzz\""}}`,
+		},
+		{
+			name: "cancel unknown job", method: "DELETE", path: "/v1/jobs/zzz",
+			body:       "",
+			wantStatus: http.StatusNotFound,
+			golden:     `{"error":{"code":"not_found","message":"no job \"zzz\""}}`,
+		},
+	}
+	for _, tc := range cases {
+		status, body := do(t, tc.method, base+tc.path, tc.body)
+		if status != tc.wantStatus {
+			t.Errorf("%s: status %d, want %d (body %s)", tc.name, status, tc.wantStatus, body)
+		}
+		if body != tc.golden {
+			t.Errorf("%s: body mismatch\n got: %s\nwant: %s", tc.name, body, tc.golden)
+		}
+	}
+
+	// Malformed JSON and unknown fields carry decoder-generated
+	// messages; pin only the code.
+	for _, bad := range []string{"{nope", `{"name":"m","surprise":1}`} {
+		status, body := do(t, "POST", base+"/v1/jobs", bad)
+		if status != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", bad, status)
+		}
+		var er errorResponse
+		if err := json.Unmarshal([]byte(body), &er); err != nil || er.Error.Code != CodeBadRequest {
+			t.Errorf("body %q: response %q, want envelope with code %q", bad, body, CodeBadRequest)
+		}
+	}
+
+	// The busy and job-done envelopes are exercised with a live job:
+	// submit, cancel, then pin the finished-job conflict body (job IDs
+	// are sequential, so the message is deterministic).
+	status, body := do(t, "POST", base+"/v1/jobs", jobSpec(t, "pinned", digest, 500, 1))
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: status %d body %s", status, body)
+	}
+	var js JobStatus
+	if err := json.Unmarshal([]byte(body), &js); err != nil {
+		t.Fatal(err)
+	}
+	status, body = do(t, "POST", base+"/v1/jobs", jobSpec(t, "second", digest, 1, 1))
+	busyGolden := `{"error":{"code":"busy","message":"job j1 is training; this service runs one job at a time"}}`
+	if status != http.StatusConflict || body != busyGolden {
+		t.Errorf("busy envelope: status %d body %s\nwant 409 %s", status, body, busyGolden)
+	}
+	if status, body = do(t, "DELETE", base+"/v1/jobs/"+js.ID, ""); status != http.StatusOK {
+		t.Fatalf("cancel: status %d body %s", status, body)
+	}
+	status, body = do(t, "DELETE", base+"/v1/jobs/"+js.ID, "")
+	doneGolden := `{"error":{"code":"job_done","message":"job j1 already finished (canceled)"}}`
+	if status != http.StatusConflict || body != doneGolden {
+		t.Errorf("job-done envelope: status %d body %s\nwant 409 %s", status, body, doneGolden)
+	}
+}
+
+// TestHealthzBodyGolden pins the exact /healthz JSON body.
+func TestHealthzBodyGolden(t *testing.T) {
+	_, base, _, _ := newTestService(t)
+	status, body := do(t, "GET", base+"/healthz", "")
+	if status != http.StatusOK {
+		t.Fatalf("healthz status %d, want 200", status)
+	}
+	golden := `{"status":"ok","training":false,"jobs":0}`
+	if body != golden {
+		t.Fatalf("healthz body\n got: %s\nwant: %s", body, golden)
+	}
+}
+
+// TestJobStatusBodyGolden pins the accepted-job wire form: every field
+// is a deterministic function of the submission, so the exact bytes
+// are part of the contract.
+func TestJobStatusBodyGolden(t *testing.T) {
+	_, base, _, digest := newTestService(t)
+	status, body := do(t, "POST", base+"/v1/jobs", jobSpec(t, "golden", digest, 500, 2))
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: status %d body %s", status, body)
+	}
+	golden := `{"id":"j1","name":"golden","state":"pending","epochs":500,"epochs_done":0,"shards":2}`
+	if body != golden {
+		t.Fatalf("accepted-job body\n got: %s\nwant: %s", body, golden)
+	}
+	if status, body = do(t, "DELETE", base+"/v1/jobs/j1", ""); status != http.StatusOK {
+		t.Fatalf("cleanup cancel: status %d body %s", status, body)
+	}
+}

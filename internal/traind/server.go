@@ -1,0 +1,466 @@
+package traind
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"cachebox/internal/core"
+	"cachebox/internal/metrics"
+	"cachebox/internal/obs"
+	"cachebox/internal/store"
+)
+
+// Config tunes the service. Store is required; everything else has
+// sensible defaults.
+type Config struct {
+	// Store is the artifact store datasets are read from and finished
+	// models are published into.
+	Store *store.Store
+	// WorkDir holds job checkpoints (default <store root>/traind).
+	WorkDir string
+	// Log, when non-nil, receives the active job's per-epoch progress
+	// lines (default: discarded).
+	Log io.Writer
+	// MaxBodyBytes caps job-submission bodies (default 4 MiB).
+	MaxBodyBytes int64
+}
+
+// trainMetrics bundles the service's operational metrics.
+type trainMetrics struct {
+	prom     *metrics.PromRegistry
+	requests *metrics.CounterVec // by HTTP status code
+	jobs     *metrics.CounterVec // by terminal state
+	epochs   *metrics.Counter
+}
+
+func newTrainMetrics() *trainMetrics {
+	p := metrics.NewPromRegistry()
+	tm := &trainMetrics{prom: p}
+	tm.requests = p.NewCounterVec("cbx_traind_requests_total",
+		"API responses by HTTP status code.", "code")
+	tm.jobs = p.NewCounterVec("cbx_traind_jobs_total",
+		"Finished training jobs by terminal state.", "state")
+	tm.epochs = p.NewCounter("cbx_traind_epochs_total",
+		"Training epochs completed across all jobs.")
+	return tm
+}
+
+// job is one submitted training run.
+type job struct {
+	status JobStatus
+	req    JobRequest
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// Server is the training control-plane HTTP service. Create with New,
+// mount as an http.Handler, Close to cancel and drain on shutdown.
+type Server struct {
+	cfg Config
+	st  *store.Store
+	m   *trainMetrics
+	mux *http.ServeMux
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // job IDs in submission order
+	active *job     // nil when idle
+	nextID int
+}
+
+// New wires a server around an artifact store.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("traind: nil store")
+	}
+	if cfg.WorkDir == "" {
+		cfg.WorkDir = filepath.Join(cfg.Store.Root(), "traind")
+	}
+	if err := os.MkdirAll(cfg.WorkDir, 0o755); err != nil {
+		return nil, fmt.Errorf("traind: work dir: %w", err)
+	}
+	if cfg.Log == nil {
+		cfg.Log = io.Discard
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 4 << 20
+	}
+	s := &Server{
+		cfg:  cfg,
+		st:   cfg.Store,
+		m:    newTrainMetrics(),
+		mux:  http.NewServeMux(),
+		jobs: make(map[string]*job),
+	}
+	s.m.prom.NewGaugeFunc("cbx_traind_training",
+		"1 while a job is mid-run, 0 when idle.",
+		func() float64 {
+			if s.training() {
+				return 1
+			}
+			return 0
+		})
+	s.m.prom.NewGaugeFunc("cbx_traind_jobs",
+		"Jobs known to this server (all states).",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.jobs))
+		})
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close cancels the active job (if any) and waits for it to finish, so
+// its checkpoint — the resume point of the next submission — is
+// complete on disk before the process exits.
+func (s *Server) Close() {
+	s.mu.Lock()
+	j := s.active
+	s.mu.Unlock()
+	if j == nil {
+		return
+	}
+	j.cancel()
+	<-j.done
+}
+
+// training reports whether a job is mid-run.
+func (s *Server) training() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.active != nil && !terminal(s.active.status.State)
+}
+
+// respond writes a JSON response and counts it by status code.
+func (s *Server) respond(w http.ResponseWriter, code int, v any) {
+	s.m.requests.With(strconv.Itoa(code)).Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	//lint:ignore unchecked-error a failed response write is the client's problem; the job state is already committed
+	json.NewEncoder(w).Encode(v)
+}
+
+// fail writes the v1 JSON error envelope with the given HTTP status
+// and stable machine-readable code.
+func (s *Server) fail(w http.ResponseWriter, status int, code, msg string) {
+	s.respond(w, status, errorResponse{Error: ErrorBody{Code: code, Message: msg}})
+}
+
+// validName keeps published model names safe as registry names and
+// checkpoint file stems.
+func validName(name string) error {
+	if name == "" {
+		return fmt.Errorf("job name is required")
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+		default:
+			return fmt.Errorf("job name %q may only contain letters, digits, '-', '_' and '.'", name)
+		}
+	}
+	if strings.HasPrefix(name, ".") {
+		return fmt.Errorf("job name %q may not start with '.'", name)
+	}
+	return nil
+}
+
+// handleSubmit implements POST /v1/jobs: validate the spec, claim the
+// single training slot, and start the run.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req JobRequest
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, CodeBadRequest, "decode request: "+err.Error())
+		return
+	}
+	if err := validName(req.Name); err != nil {
+		s.fail(w, http.StatusBadRequest, CodeInvalidConfig, err.Error())
+		return
+	}
+	mc := core.DefaultConfig()
+	if req.Model != nil {
+		mc = *req.Model
+	}
+	if err := mc.Validate(); err != nil {
+		s.fail(w, http.StatusBadRequest, CodeInvalidConfig, "model config: "+err.Error())
+		return
+	}
+	// The service trains from streamed store datasets only: an inline
+	// dataset has no serialisable recipe to resolve on this side of the
+	// process boundary. An omitted store means "the service's own".
+	tc := req.Train
+	if tc.Dataset.Kind == "" || tc.Dataset.Kind == core.DatasetStream {
+		tc.Dataset.Kind = core.DatasetStream
+		if tc.Dataset.Store == "" {
+			tc.Dataset.Store = s.st.Root()
+		}
+	} else {
+		s.fail(w, http.StatusBadRequest, CodeInvalidConfig,
+			fmt.Sprintf("dataset kind %q: the training service accepts only %q datasets", tc.Dataset.Kind, core.DatasetStream))
+		return
+	}
+	// Checkpoints live in the service work directory under the job's
+	// name; client-supplied paths are ignored rather than trusted.
+	ckpt := filepath.Join(s.cfg.WorkDir, req.Name+".ckpt")
+	if tc.Checkpoint.Every > 0 {
+		tc.Checkpoint.Path = ckpt
+	} else {
+		tc.Checkpoint.Path = ""
+	}
+	if tc.Checkpoint.Resume != "" {
+		tc.Checkpoint.Resume = ckpt
+	}
+	if err := tc.Validate(); err != nil {
+		s.fail(w, http.StatusBadRequest, CodeInvalidConfig, err.Error())
+		return
+	}
+	req.Train = tc
+
+	s.mu.Lock()
+	if s.active != nil && !terminal(s.active.status.State) {
+		id := s.active.status.ID
+		s.mu.Unlock()
+		s.fail(w, http.StatusConflict, CodeBusy,
+			fmt.Sprintf("job %s is training; this service runs one job at a time", id))
+		return
+	}
+	s.nextID++
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		req:    req,
+		cancel: cancel,
+		done:   make(chan struct{}),
+		status: JobStatus{
+			ID:     fmt.Sprintf("j%d", s.nextID),
+			Name:   req.Name,
+			State:  StatePending,
+			Epochs: maxInt(req.Train.Epochs, 1),
+			Shards: maxInt(req.Train.Parallel.Shards, 1),
+		},
+	}
+	s.jobs[j.status.ID] = j
+	s.order = append(s.order, j.status.ID)
+	s.active = j
+	snap := j.status
+	s.mu.Unlock()
+
+	go s.run(j, ctx, mc)
+	s.respond(w, http.StatusAccepted, snap)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// run executes one training job to a terminal state.
+func (s *Server) run(j *job, ctx context.Context, mc core.Config) {
+	defer close(j.done)
+	runCtx, span := obs.Start(ctx, "traind.job")
+	span.TagInt("epochs", j.status.Epochs)
+	span.TagInt("shards", j.status.Shards)
+	defer span.End()
+
+	err := s.train(j, runCtx, mc)
+	s.mu.Lock()
+	switch {
+	case err == nil:
+		j.status.State = StateSucceeded
+	case ctx.Err() != nil:
+		j.status.State = StateCanceled
+	default:
+		j.status.State = StateFailed
+		j.status.Error = err.Error()
+	}
+	state := j.status.State
+	s.mu.Unlock()
+	s.m.jobs.With(state).Inc()
+}
+
+// train is the fallible middle of run: resolve the dataset, train, and
+// publish the finished model into the store.
+func (s *Server) train(j *job, ctx context.Context, mc core.Config) error {
+	s.mu.Lock()
+	j.status.State = StateRunning
+	tc := j.req.Train
+	s.mu.Unlock()
+
+	src, man, err := OpenDatasetSource(tc.Dataset)
+	if err != nil {
+		return err
+	}
+	m, err := core.NewModel(mc)
+	if err != nil {
+		return err
+	}
+	tc.Context = ctx
+	tc.Log = s.cfg.Log
+	tc.OnEpoch = func(es core.EpochStats) {
+		s.m.epochs.Inc()
+		s.mu.Lock()
+		j.status.EpochsDone = es.Epoch + 1
+		j.status.DLoss, j.status.GAdv, j.status.GL1 = es.DLoss, es.GAdv, es.GL1
+		s.mu.Unlock()
+	}
+	stats, err := m.TrainSource(src, tc)
+	if err != nil {
+		return err
+	}
+	// The stats cover restored epochs too, so a resumed job that had
+	// already finished reports full progress rather than zero.
+	s.mu.Lock()
+	j.status.EpochsDone = len(stats.Epochs)
+	final := stats.Final()
+	j.status.DLoss, j.status.GAdv, j.status.GL1 = final.DLoss, final.GAdv, final.GL1
+	s.mu.Unlock()
+
+	// Publish into the store under the job name. The key fingerprints
+	// the full recipe, so retraining the same recipe republishes the
+	// same entry while any change (dataset, epochs, shards, seed,
+	// architecture) creates a new one; a store-backed cbx-serve registry
+	// picks up the newest entry per name on its next reload.
+	manDigest, err := s.st.ResolvePrefix(tc.Dataset.Dataset)
+	if err != nil {
+		manDigest = man.Name // foreign-store dataset: fall back to its manifest name
+	}
+	k := store.Key{
+		Kind:   "model",
+		Format: 1,
+		Inputs: map[string]string{
+			"name":    j.req.Name,
+			"dataset": manDigest,
+			"recipe":  recipeFingerprint(mc, tc),
+		},
+	}
+	sm, err := s.st.Put(k, m.Save)
+	if err != nil {
+		return fmt.Errorf("traind: publish model: %w", err)
+	}
+	s.mu.Lock()
+	j.status.ModelDigest = sm.Digest
+	j.status.ModelSHA256 = sm.SHA256
+	s.mu.Unlock()
+	return nil
+}
+
+// recipeFingerprint hashes the deterministic training inputs (model
+// architecture + serialisable TrainConfig) into a short key input.
+func recipeFingerprint(mc core.Config, tc core.TrainConfig) string {
+	// Checkpoint paths are service-local plumbing, not part of what the
+	// trained bytes depend on.
+	tc.Checkpoint = core.CheckpointPolicy{}
+	tc.Parallel.Workers = 0 // worker count never changes the result
+	blob, err := json.Marshal(struct {
+		Model core.Config
+		Train core.TrainConfig
+	}{mc, tc})
+	if err != nil {
+		return "unencodable"
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:8])
+}
+
+// handleList implements GET /v1/jobs: all jobs in submission order.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].status)
+	}
+	s.mu.Unlock()
+	s.respond(w, http.StatusOK, out)
+}
+
+// handleGet implements GET /v1/jobs/{id}.
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	var snap JobStatus
+	if ok {
+		snap = j.status
+	}
+	s.mu.Unlock()
+	if !ok {
+		s.fail(w, http.StatusNotFound, CodeNotFound, fmt.Sprintf("no job %q", id))
+		return
+	}
+	s.respond(w, http.StatusOK, snap)
+}
+
+// handleCancel implements DELETE /v1/jobs/{id}: cancel the run via its
+// context and wait for it to reach a terminal state, so the response
+// reports the settled outcome (checkpoint flushed, state final).
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		s.fail(w, http.StatusNotFound, CodeNotFound, fmt.Sprintf("no job %q", id))
+		return
+	}
+	if terminal(j.status.State) {
+		state := j.status.State
+		s.mu.Unlock()
+		s.fail(w, http.StatusConflict, CodeJobDone,
+			fmt.Sprintf("job %s already finished (%s)", id, state))
+		return
+	}
+	s.mu.Unlock()
+	j.cancel()
+	<-j.done
+	s.mu.Lock()
+	snap := j.status
+	s.mu.Unlock()
+	s.respond(w, http.StatusOK, snap)
+}
+
+// handleHealthz implements GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := len(s.jobs)
+	s.mu.Unlock()
+	s.respond(w, http.StatusOK, healthResponse{
+		Status:   "ok",
+		Training: s.training(),
+		Jobs:     jobs,
+	})
+}
+
+// handleMetrics implements GET /metrics in Prometheus text format,
+// including the process-wide runtime counters.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	buf := append(s.m.prom.Expose(), metrics.Runtime.Expose()...)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	//lint:ignore unchecked-error a failed metrics scrape write is the scraper's problem
+	w.Write(buf)
+}

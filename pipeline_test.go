@@ -91,7 +91,7 @@ func TestPipelineEvaluateAgainstTruth(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Train(ds, TrainOptions{Epochs: 1, BatchSize: 4}); err != nil {
+	if _, err := m.Train(ds, TrainConfig{Epochs: 1, BatchSize: 4}); err != nil {
 		t.Fatal(err)
 	}
 	ev, err := p.Evaluate(m, suite.Benchmarks[2], cfg, 4)

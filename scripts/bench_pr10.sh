@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# bench_pr10.sh — measure the data-parallel training path introduced
+# with cbx-traind, and produce BENCH_PR10.json.
+#
+# Two measurements:
+#
+#  1. Epoch throughput (samples/s): the serial training loop vs the
+#     sharded trainer (Shards=4) at -j 1 and -j 4. The ≥1.5x
+#     serial-vs-sharded gate only arms on hosts with ≥4 cores — on
+#     fewer cores the sharded path pays its deterministic fan-out and
+#     ordered-reduction overhead with nothing to parallelise against,
+#     and the JSON records that honestly instead.
+#
+#  2. fig7 (RQ1) and fig8 (RQ2) at tiny scale through the real
+#     experiment harness, so the JSON carries the accuracy the
+#     training rewrite ships with (average |pred-true| hit-rate
+#     error per figure).
+#
+#   scripts/bench_pr10.sh [out.json]
+#
+# Environment knobs: BENCHTIME (default 200ms), BENCHCOUNT (default 3 —
+# the JSON records the best of BENCHCOUNT runs per benchmark).
+set -euo pipefail
+
+OUT="${1:-BENCH_PR10.json}"
+BENCHTIME="${BENCHTIME:-200ms}"
+BENCHCOUNT="${BENCHCOUNT:-3}"
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== training epoch throughput: serial vs sharded (best of $BENCHCOUNT x $BENCHTIME) =="
+go test -run='^$' -bench='TrainEpoch(Serial|Sharded4J1|Sharded4J4)' \
+  -benchtime="$BENCHTIME" -count="$BENCHCOUNT" ./internal/core/ | tee "$WORK/train.txt"
+
+echo "== fig7 + fig8 (tiny): accuracy shipped by the new training path =="
+go run ./cmd/cbx-experiments -scale tiny -run fig7,fig8 \
+  -artifacts "$WORK/art" -store "$WORK/store" -j 4 | tee "$WORK/figs.txt"
+
+python3 - "$OUT" "$WORK/train.txt" "$WORK/figs.txt" <<'EOF'
+import json, os, platform, re, sys
+
+out, train_txt, figs_txt = sys.argv[1:4]
+
+def best_metric(path):
+    """Parse `go test -bench` output -> {name: max metric across -count runs}."""
+    runs = {}
+    pat = re.compile(r"^Benchmark(\w+?)(?:-\d+)?\s+\d+\s+[\d.]+ ns/op\s+([\d.]+) (\S+)")
+    with open(path) as f:
+        for line in f:
+            m = pat.match(line)
+            if m:
+                name, val, unit = m.group(1), float(m.group(2)), m.group(3)
+                cur = runs.get(name)
+                if cur is None or val > cur[0]:
+                    runs[name] = (val, unit)
+    return runs
+
+train = best_metric(train_txt)
+serial = train["TrainEpochSerial"][0]
+sharded_j1 = train["TrainEpochSharded4J1"][0]
+sharded_j4 = train["TrainEpochSharded4J4"][0]
+speedup = sharded_j4 / serial
+
+nproc = os.cpu_count() or 1
+if nproc >= 4:
+    assert speedup >= 1.5, (
+        f"sharded -j4 only {speedup:.2f}x over serial on {nproc} cores "
+        f"({sharded_j4:.0f} vs {serial:.0f} samples/s)")
+    note = f"gate armed: {nproc} cores, sharded -j4 is {speedup:.2f}x serial"
+else:
+    note = (f"gate disarmed: host has {nproc} core(s); shards=4 pays its "
+            "fan-out and ordered-reduction overhead with no cores to "
+            "parallelise against, so sharded < serial here is expected")
+
+figs = open(figs_txt).read()
+avgs = re.findall(
+    r"average absolute percentage difference: ([\d.]+)% over (\d+) benchmarks", figs)
+fig8_cfgs = re.findall(r"Figure 8 \(RQ2\): one model, four L1 configurations — (\S+)", figs)
+assert len(avgs) >= 2, "expected fig7 + fig8 average lines in experiment output"
+fig7_avg = float(avgs[0][0])
+fig8_avgs = [float(a) for a, _ in avgs[1:]]
+
+doc = {
+    "description": "Data-parallel training service (cbx-traind) PR: serial vs "
+                   "sharded (Shards=4) epoch throughput at -j1/-j4, plus tiny "
+                   "fig7 (RQ1) and fig8 (RQ2) accuracy through the versioned "
+                   "TrainConfig path. Reproduce with: scripts/bench_pr10.sh",
+    "goos": "linux",
+    "machine": platform.machine(),
+    "nproc": nproc,
+    "train_epoch_throughput": {
+        "serial_samples_per_s": serial,
+        "sharded4_j1_samples_per_s": sharded_j1,
+        "sharded4_j4_samples_per_s": sharded_j4,
+        "sharded_j4_vs_serial_speedup": round(speedup, 2),
+        "note": note,
+    },
+    "accuracy_tiny": {
+        "fig7_avg_abs_pct_error": fig7_avg,
+        "fig8_avg_abs_pct_error_by_config": dict(zip(fig8_cfgs, fig8_avgs)),
+    },
+}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"wrote {out}: sharded -j4 {speedup:.2f}x serial on {nproc} core(s); "
+      f"fig7 avg {fig7_avg:.2f}%")
+EOF
